@@ -1,0 +1,143 @@
+//! Front-end affinity (Figures 7–8).
+//!
+//! "We refer to how 'attached' particular clients are to a front-end as
+//! front-end affinity" (§5). Two outputs:
+//!
+//! * the **cumulative switch curve**: for each day of a week, the fraction
+//!   of clients that have landed on more than one front-end by then
+//!   (Figure 7);
+//! * **switch events**: `(day, from, to)` transitions, whose client-to-
+//!   front-end distance deltas make Figure 8.
+
+/// One client's observations over an experiment window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientObservations<S> {
+    /// `(day, serving site)` per observed day, ascending by day.
+    pub daily_sites: Vec<(u32, S)>,
+    /// Days on which the client was seen on more than one site *within*
+    /// the day (intra-day churn, which a day-granularity series would
+    /// miss).
+    pub multi_site_days: Vec<u32>,
+}
+
+impl<S: PartialEq + Copy> ClientObservations<S> {
+    /// The first day by which this client has demonstrably used more than
+    /// one front-end: either an intra-day multi-site day, or the first day
+    /// whose serving site differs from a previous day's.
+    pub fn first_switch_day(&self) -> Option<u32> {
+        let first_multi = self.multi_site_days.iter().copied().min();
+        let mut first_cross = None;
+        for w in self.daily_sites.windows(2) {
+            if w[0].1 != w[1].1 {
+                first_cross = Some(w[1].0);
+                break;
+            }
+        }
+        match (first_multi, first_cross) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Cross-day switch events as `(day, from, to)`.
+    pub fn switches(&self) -> Vec<(u32, S, S)> {
+        self.daily_sites
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .map(|w| (w[1].0, w[0].1, w[1].1))
+            .collect()
+    }
+}
+
+/// The Figure 7 curve: for each day in `days` (ascending), the fraction of
+/// clients whose [`ClientObservations::first_switch_day`] is ≤ that day.
+pub fn cumulative_switch_curve<S: PartialEq + Copy>(
+    clients: &[ClientObservations<S>],
+    days: &[u32],
+) -> Vec<(u32, f64)> {
+    if clients.is_empty() {
+        return days.iter().map(|&d| (d, 0.0)).collect();
+    }
+    let first_days: Vec<Option<u32>> =
+        clients.iter().map(ClientObservations::first_switch_day).collect();
+    days.iter()
+        .map(|&d| {
+            let switched = first_days
+                .iter()
+                .filter(|f| f.is_some_and(|fd| fd <= d))
+                .count();
+            (d, switched as f64 / clients.len() as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(days: &[(u32, u8)], multi: &[u32]) -> ClientObservations<u8> {
+        ClientObservations { daily_sites: days.to_vec(), multi_site_days: multi.to_vec() }
+    }
+
+    #[test]
+    fn stable_client_never_switches() {
+        let c = obs(&[(0, 1), (1, 1), (2, 1)], &[]);
+        assert_eq!(c.first_switch_day(), None);
+        assert!(c.switches().is_empty());
+    }
+
+    #[test]
+    fn cross_day_switch_detected() {
+        let c = obs(&[(0, 1), (1, 1), (2, 2), (3, 2)], &[]);
+        assert_eq!(c.first_switch_day(), Some(2));
+        assert_eq!(c.switches(), vec![(2, 1, 2)]);
+    }
+
+    #[test]
+    fn intra_day_switch_detected() {
+        let c = obs(&[(0, 1), (1, 1)], &[0]);
+        assert_eq!(c.first_switch_day(), Some(0));
+    }
+
+    #[test]
+    fn earliest_evidence_wins() {
+        // Cross-day switch on day 3, but intra-day churn already on day 1.
+        let c = obs(&[(0, 1), (1, 1), (2, 1), (3, 2)], &[1]);
+        assert_eq!(c.first_switch_day(), Some(1));
+    }
+
+    #[test]
+    fn multiple_switches_all_reported() {
+        let c = obs(&[(0, 1), (1, 2), (2, 1), (3, 1)], &[]);
+        assert_eq!(c.switches(), vec![(1, 1, 2), (2, 2, 1)]);
+    }
+
+    #[test]
+    fn gap_days_still_compare_adjacent_observations() {
+        // Client absent on day 1; day 0 → day 2 change still a switch.
+        let c = obs(&[(0, 1), (2, 3)], &[]);
+        assert_eq!(c.first_switch_day(), Some(2));
+    }
+
+    #[test]
+    fn curve_is_monotone_and_bounded() {
+        let clients = vec![
+            obs(&[(0, 1), (1, 2)], &[]),          // switches day 1
+            obs(&[(0, 1), (1, 1), (2, 1)], &[]),  // never
+            obs(&[(0, 1)], &[0]),                 // day 0
+            obs(&[(0, 1), (3, 2)], &[]),          // day 3
+        ];
+        let curve = cumulative_switch_curve(&clients, &[0, 1, 2, 3]);
+        let fracs: Vec<f64> = curve.iter().map(|&(_, f)| f).collect();
+        assert_eq!(fracs, vec![0.25, 0.5, 0.5, 0.75]);
+        for w in fracs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_population_curve_is_zero() {
+        let curve = cumulative_switch_curve::<u8>(&[], &[0, 1]);
+        assert_eq!(curve, vec![(0, 0.0), (1, 0.0)]);
+    }
+}

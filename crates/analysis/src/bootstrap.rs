@@ -1,0 +1,167 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports point estimates ("19% of prefixes", "median 483 km")
+//! over one deployment and one month. A reproduction should know how firm
+//! its own numbers are: [`bootstrap_ci`] resamples a per-unit statistic
+//! (prefixes, switch events, …) with replacement and reports a percentile
+//! confidence interval, so EXPERIMENTS.md comparisons can distinguish a
+//! real mismatch from sampling noise.
+
+use rand::Rng;
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Bootstrap CI of `statistic` over `values`.
+///
+/// Draws `resamples` bootstrap samples (same size as the input, with
+/// replacement), applies `statistic` to each, and returns the percentile
+/// interval at `level`. Returns `None` for an empty input or a degenerate
+/// level.
+pub fn bootstrap_ci<R: Rng + ?Sized>(
+    values: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    if values.is_empty() || !(0.0..1.0).contains(&level) || level <= 0.0 || resamples == 0 {
+        return None;
+    }
+    let estimate = statistic(values);
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; values.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = values[rng.gen_range(0..values.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.total_cmp(b));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64) * alpha).floor() as usize;
+    let hi_idx = (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    Some(ConfidenceInterval { estimate, lo: stats[lo_idx], hi: stats[hi_idx], level })
+}
+
+/// Convenience: bootstrap CI of the median.
+pub fn median_ci<R: Rng + ?Sized>(
+    values: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        values,
+        |v| crate::quantile::percentile(v, 50.0).unwrap_or(f64::NAN),
+        resamples,
+        level,
+        rng,
+    )
+}
+
+/// Convenience: bootstrap CI of the fraction of values exceeding
+/// `threshold` (the Figure 5 per-threshold statistic).
+pub fn fraction_above_ci<R: Rng + ?Sized>(
+    values: &[f64],
+    threshold: f64,
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        values,
+        |v| v.iter().filter(|&&x| x > threshold).count() as f64 / v.len() as f64,
+        resamples,
+        level,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let values: Vec<f64> = (0..500).map(|i| f64::from(i % 100)).collect();
+        let ci = median_ci(&values, 500, 0.95, &mut rng).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.width() >= 0.0);
+    }
+
+    #[test]
+    fn tight_data_gives_tight_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tight: Vec<f64> = vec![50.0; 400];
+        let ci = median_ci(&tight, 300, 0.95, &mut rng).unwrap();
+        assert_eq!(ci.width(), 0.0);
+        let spread: Vec<f64> = (0..400).map(|i| f64::from(i)).collect();
+        let ci2 = median_ci(&spread, 300, 0.95, &mut rng).unwrap();
+        assert!(ci2.width() > 0.0);
+    }
+
+    #[test]
+    fn more_data_narrows_the_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let small: Vec<f64> = (0..30).map(|i| f64::from(i * 7 % 100)).collect();
+        let big: Vec<f64> = (0..3000).map(|i| f64::from(i * 7 % 100)).collect();
+        let ci_small = median_ci(&small, 400, 0.95, &mut rng).unwrap();
+        let ci_big = median_ci(&big, 400, 0.95, &mut rng).unwrap();
+        assert!(ci_big.width() <= ci_small.width() + 1e-9);
+    }
+
+    #[test]
+    fn fraction_ci_is_a_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let values: Vec<f64> = (0..200).map(|i| f64::from(i)).collect();
+        let ci = fraction_above_ci(&values, 150.0, 400, 0.9, &mut rng).unwrap();
+        assert!((ci.estimate - 0.245).abs() < 1e-9);
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+        assert!(ci.contains(0.245));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(median_ci(&[], 100, 0.95, &mut rng).is_none());
+        assert!(median_ci(&[1.0], 0, 0.95, &mut rng).is_none());
+        assert!(median_ci(&[1.0], 100, 0.0, &mut rng).is_none());
+        assert!(median_ci(&[1.0], 100, 1.5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn single_value_interval_is_the_value() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let ci = median_ci(&[42.0], 100, 0.95, &mut rng).unwrap();
+        assert_eq!((ci.lo, ci.estimate, ci.hi), (42.0, 42.0, 42.0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Weighted empirical CDFs and CCDFs.
+//!
+//! Most of the paper's figures are CDFs "of /24s" or "of clients weighted by
+//! query volume" (Figures 1, 2, 4, 8, 9), or CCDFs of requests (Figure 3).
+//! [`Ecdf`] covers all of them: every sample carries a weight (1.0 for
+//! unweighted), and both orientations are queryable at arbitrary points or
+//! over a fixed evaluation grid for figure output.
+
+/// A weighted empirical distribution.
+///
+/// ```
+/// use anycast_analysis::Ecdf;
+///
+/// // Query-volume-weighted latencies: the heavy prefix dominates.
+/// let e = Ecdf::from_weighted([(20.0, 90.0), (80.0, 10.0)]);
+/// assert_eq!(e.median(), Some(20.0));
+/// assert!((e.fraction_above(50.0) - 0.10).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    /// Samples sorted ascending, paired with cumulative weight *through*
+    /// each sample.
+    points: Vec<(f64, f64)>,
+    total_weight: f64,
+}
+
+impl Ecdf {
+    /// Builds from unweighted values (each weight 1). NaNs are skipped.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Ecdf {
+        Ecdf::from_weighted(values.into_iter().map(|v| (v, 1.0)))
+    }
+
+    /// Builds from `(value, weight)` pairs. NaN values and non-positive or
+    /// non-finite weights are skipped — a zero-volume prefix simply does not
+    /// appear in a volume-weighted figure.
+    pub fn from_weighted(pairs: impl IntoIterator<Item = (f64, f64)>) -> Ecdf {
+        let mut samples: Vec<(f64, f64)> = pairs
+            .into_iter()
+            .filter(|(v, w)| !v.is_nan() && w.is_finite() && *w > 0.0)
+            .collect();
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut cum = 0.0;
+        let mut points = Vec::with_capacity(samples.len());
+        for (v, w) in samples {
+            cum += w;
+            points.push((v, cum));
+        }
+        Ecdf { points, total_weight: cum }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the distribution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// `F(x)`: fraction of weight at or below `x`. Zero for an empty
+    /// distribution.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let idx = self.points.partition_point(|&(v, _)| v <= x);
+        if idx == 0 {
+            0.0
+        } else {
+            self.points[idx - 1].1 / self.total_weight
+        }
+    }
+
+    /// `1 − F(x)`: fraction of weight strictly above `x` (the CCDF of
+    /// Figure 3).
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.fraction_at_or_below(x)
+    }
+
+    /// The smallest sample value whose cumulative fraction reaches `q ∈
+    /// [0, 1]`. `None` when empty.
+    pub fn value_at_quantile(&self, q: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total_weight;
+        let idx = self.points.partition_point(|&(_, c)| c < target);
+        Some(self.points[idx.min(self.points.len() - 1)].0)
+    }
+
+    /// Evaluates the CDF over a grid, producing `(x, F(x))` pairs — the
+    /// rows the figure binaries print.
+    pub fn cdf_series(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
+    }
+
+    /// Evaluates the CCDF over a grid, producing `(x, 1 − F(x))` pairs.
+    pub fn ccdf_series(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter().map(|&x| (x, self.fraction_above(x))).collect()
+    }
+
+    /// The median value, `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        self.value_at_quantile(0.5)
+    }
+}
+
+/// A linear grid `[start, stop]` with `steps` intervals (steps+1 points).
+pub fn linear_grid(start: f64, stop: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0 && stop >= start, "bad grid [{start}, {stop}] x{steps}");
+    (0..=steps)
+        .map(|i| start + (stop - start) * i as f64 / steps as f64)
+        .collect()
+}
+
+/// A base-2 logarithmic grid from `start` to `stop` (both > 0), matching the
+/// paper's log-scale distance axes (64…8192 km).
+pub fn log2_grid(start: f64, stop: f64, points_per_octave: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop >= start && points_per_octave > 0);
+    let mut out = Vec::new();
+    let octaves = (stop / start).log2();
+    let n = (octaves * points_per_octave as f64).ceil() as usize;
+    for i in 0..=n {
+        out.push(start * 2f64.powf(i as f64 / points_per_octave as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_cdf_basics() {
+        let e = Ecdf::from_values([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(e.fraction_above(2.5), 0.5);
+    }
+
+    #[test]
+    fn weights_shift_the_distribution() {
+        // One heavy low sample vs many light high ones.
+        let e = Ecdf::from_weighted([(1.0, 90.0), (10.0, 5.0), (20.0, 5.0)]);
+        assert!((e.fraction_at_or_below(1.0) - 0.9).abs() < 1e-12);
+        assert_eq!(e.median(), Some(1.0));
+    }
+
+    #[test]
+    fn value_at_quantile_matches_fraction() {
+        let e = Ecdf::from_values((1..=100).map(f64::from));
+        assert_eq!(e.value_at_quantile(0.5), Some(50.0));
+        assert_eq!(e.value_at_quantile(0.0), Some(1.0));
+        assert_eq!(e.value_at_quantile(1.0), Some(100.0));
+        // Round trip: F(v) >= q at the returned value.
+        for q in [0.1, 0.25, 0.33, 0.66, 0.9] {
+            let v = e.value_at_quantile(q).unwrap();
+            assert!(e.fraction_at_or_below(v) >= q - 1e-12);
+        }
+    }
+
+    #[test]
+    fn nan_and_bad_weights_skipped() {
+        let e = Ecdf::from_weighted([
+            (f64::NAN, 1.0),
+            (1.0, 0.0),
+            (2.0, -3.0),
+            (3.0, f64::INFINITY),
+            (4.0, 2.0),
+        ]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.median(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Ecdf::from_values(std::iter::empty());
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(e.fraction_above(1.0), 1.0);
+        assert_eq!(e.value_at_quantile(0.5), None);
+    }
+
+    #[test]
+    fn series_are_monotonic() {
+        let e = Ecdf::from_values([5.0, 1.0, 9.0, 3.0, 7.0]);
+        let grid = linear_grid(0.0, 10.0, 20);
+        let cdf = e.cdf_series(&grid);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        let ccdf = e.ccdf_series(&grid);
+        for w in ccdf.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn duplicate_values_accumulate() {
+        let e = Ecdf::from_values([2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(e.fraction_at_or_below(1.9), 0.0);
+    }
+
+    #[test]
+    fn grids() {
+        let lin = linear_grid(0.0, 100.0, 4);
+        assert_eq!(lin, vec![0.0, 25.0, 50.0, 75.0, 100.0]);
+        let log = log2_grid(64.0, 8192.0, 1);
+        assert_eq!(log.first().copied(), Some(64.0));
+        assert!((log.last().unwrap() - 8192.0).abs() < 1e-6);
+        assert_eq!(log.len(), 8); // 7 octaves + 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_linear_grid_panics() {
+        linear_grid(10.0, 0.0, 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! Statistics for the measurement study.
+//!
+//! Every figure in the paper is one of a handful of statistical shapes, and
+//! each has a module here:
+//!
+//! * CDFs/CCDFs, optionally query-volume weighted ([`cdf`]) — Figures 1–4, 8, 9;
+//! * robust quantiles and the coefficient-of-variation argument for
+//!   low-percentile prediction metrics ([`quantile`]) — §6;
+//! * daily poor-path prevalence at latency-improvement thresholds
+//!   ([`poor_paths`]) — Figure 5;
+//! * poor-path persistence: days-bad and max-consecutive-days
+//!   ([`persistence`]) — Figure 6;
+//! * front-end affinity: cumulative switch curves and switch-distance
+//!   deltas ([`affinity`]) — Figures 7–8;
+//! * bootstrap confidence intervals for the reported point estimates
+//!   ([`bootstrap`]);
+//! * plain-text/CSV rendering of series ([`report`]) — the figure binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod affinity;
+pub mod bootstrap;
+pub mod cdf;
+pub mod persistence;
+pub mod poor_paths;
+pub mod quantile;
+pub mod report;
+
+pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
+pub use cdf::Ecdf;
+pub use quantile::{coefficient_of_variation, median, percentile};
+pub use report::Series;

@@ -1,0 +1,176 @@
+//! Quantiles and dispersion.
+//!
+//! §6 of the paper picks its prediction metric by dispersion: "The 25th
+//! percentile and median have lower coefficient of variation, indicating
+//! less variation and more stability" than high percentiles. These are the
+//! primitives behind that argument and behind every percentile the
+//! evaluation reports (50th/75th).
+
+/// Linear-interpolation percentile of `values` at `p ∈ [0, 100]`.
+/// Returns `None` for an empty slice or non-finite `p`. Input need not be
+/// sorted; NaNs are rejected by returning `None` (a NaN in a latency vector
+/// is a bug upstream, surfaced rather than propagated).
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !p.is_finite() || values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Percentile over an already-sorted slice (ascending). Callers computing
+/// many percentiles over the same data should sort once and use this.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median (50th percentile).
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Arithmetic mean; `None` when empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation; `None` when empty.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Coefficient of variation (σ/μ); `None` when empty or the mean is zero.
+pub fn coefficient_of_variation(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    if m == 0.0 {
+        return None;
+    }
+    Some(std_dev(values)? / m.abs())
+}
+
+/// A five-number-plus summary of a latency distribution, used by reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// 25th percentile — the paper's preferred prediction metric.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile — the Bing team's internal benchmark percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`; `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(Summary {
+            count: sorted.len(),
+            p25: percentile_sorted(&sorted, 25.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&v, 25.0), Some(2.0));
+        // Interpolation between ranks.
+        assert_eq!(percentile(&v, 10.0), Some(1.4));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+        assert_eq!(percentile(&[1.0, f64::NAN], 50.0), None);
+        assert_eq!(percentile(&[1.0, 2.0], f64::NAN), None);
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), Some(2.0));
+        assert_eq!(percentile(&[1.0, 2.0], -10.0), Some(1.0));
+    }
+
+    #[test]
+    fn median_even_count_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn cov_detects_noise() {
+        // The §6 argument: a noisy (spiky) distribution has higher CoV.
+        let stable = [50.0, 51.0, 49.0, 50.5, 49.5];
+        let noisy = [50.0, 51.0, 49.0, 150.0, 48.0];
+        assert!(
+            coefficient_of_variation(&noisy).unwrap()
+                > 3.0 * coefficient_of_variation(&stable).unwrap()
+        );
+    }
+
+    #[test]
+    fn cov_undefined_for_zero_mean_or_empty() {
+        assert_eq!(coefficient_of_variation(&[]), None);
+        assert_eq!(coefficient_of_variation(&[1.0, -1.0]), None);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.p25 - 25.75).abs() < 1e-9);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p75 - 75.25).abs() < 1e-9);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!(s.p25 <= s.p50 && s.p50 <= s.p75 && s.p75 <= s.p95);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert_eq!(Summary::of(&[]), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Series rendering for figure regeneration.
+//!
+//! The bench harness prints each figure as the same rows/curves the paper
+//! plots. A [`Series`] is one labeled curve; [`render_csv`] emits long-form
+//! CSV (`series,x,y`) and [`render_table`] an aligned text table with one
+//! column per series over a shared x grid — readable directly in a
+//! terminal next to the paper's figure.
+
+/// One labeled curve: `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.into(), points }
+    }
+}
+
+/// Long-form CSV: header `series,x,y`, one row per point.
+pub fn render_csv(series: &[Series]) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in series {
+        for &(x, y) in &s.points {
+            let name = if s.name.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.name.replace('"', "\"\""))
+            } else {
+                s.name.clone()
+            };
+            out.push_str(&format!("{name},{x},{y:.6}\n"));
+        }
+    }
+    out
+}
+
+/// Aligned text table. All series must share the same x grid (checked); the
+/// x column is labeled `x_label`.
+///
+/// # Panics
+/// Panics if series have mismatched grids — figures are always evaluated on
+/// one shared grid, so a mismatch is a harness bug.
+pub fn render_table(x_label: &str, series: &[Series]) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let grid: Vec<f64> = series[0].points.iter().map(|&(x, _)| x).collect();
+    for s in series {
+        let xs: Vec<f64> = s.points.iter().map(|&(x, _)| x).collect();
+        assert_eq!(xs, grid, "series {:?} is on a different x grid", s.name);
+    }
+    let mut widths: Vec<usize> = Vec::new();
+    widths.push(x_label.len().max(10));
+    for s in series {
+        widths.push(s.name.len().max(8));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:>w$}", x_label, w = widths[0]));
+    for (i, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {:>w$}", s.name, w = widths[i + 1]));
+    }
+    out.push('\n');
+    for (row, &x) in grid.iter().enumerate() {
+        out.push_str(&format!("{:>w$.1}", x, w = widths[0]));
+        for (i, s) in series.iter().enumerate() {
+            out.push_str(&format!("  {:>w$.4}", s.points[row].1, w = widths[i + 1]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A labeled scalar block (e.g. "median switch distance: 483 km") appended
+/// below tables in figure output.
+pub fn render_scalars(pairs: &[(&str, f64)]) -> String {
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k:<width$} : {v:.3}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_long_form() {
+        let s = vec![
+            Series::new("a", vec![(0.0, 0.1), (1.0, 0.2)]),
+            Series::new("b", vec![(0.0, 0.3)]),
+        ];
+        let csv = render_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("a,0,"));
+        assert!(lines[3].starts_with("b,0,"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_names() {
+        let s = vec![Series::new("a,b", vec![(0.0, 1.0)])];
+        assert!(render_csv(&s).contains("\"a,b\""));
+    }
+
+    #[test]
+    fn table_aligns_shared_grid() {
+        let s = vec![
+            Series::new("Europe", vec![(0.0, 0.5), (10.0, 0.25)]),
+            Series::new("World", vec![(0.0, 0.6), (10.0, 0.30)]),
+        ];
+        let t = render_table("ms", &s);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("Europe") && lines[0].contains("World"));
+        assert!(lines[1].contains("0.5000"));
+        assert!(lines[2].contains("0.3000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different x grid")]
+    fn table_rejects_mismatched_grids() {
+        let s = vec![
+            Series::new("a", vec![(0.0, 0.5)]),
+            Series::new("b", vec![(1.0, 0.5)]),
+        ];
+        render_table("x", &s);
+    }
+
+    #[test]
+    fn empty_series_list() {
+        assert_eq!(render_table("x", &[]), "");
+    }
+
+    #[test]
+    fn scalars_align() {
+        let out = render_scalars(&[("median km", 483.0), ("p83 km", 2000.0)]);
+        assert!(out.contains("median km : 483.000"));
+        assert!(out.contains("p83 km    : 2000.000"));
+    }
+}

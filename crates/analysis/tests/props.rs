@@ -1,0 +1,118 @@
+//! Property tests for the analysis crate.
+
+use anycast_analysis::affinity::{cumulative_switch_curve, ClientObservations};
+use anycast_analysis::cdf::Ecdf;
+use anycast_analysis::persistence::persistence_by_key;
+use anycast_analysis::poor_paths::{daily_prevalence, PrefixDayPerf};
+use anycast_analysis::report::{render_csv, Series};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn prevalence_counts_are_nested_for_any_data(
+        rows in prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 0..200)
+    ) {
+        let perf: Vec<PrefixDayPerf<usize>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| PrefixDayPerf { key: i, anycast_ms: a, best_unicast_ms: b })
+            .collect();
+        let p = daily_prevalence(&perf);
+        prop_assert_eq!(p.total, perf.len());
+        for w in p.counts.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(p.counts[0] <= p.total);
+    }
+
+    #[test]
+    fn persistence_bounds_hold(
+        observations in prop::collection::vec((0u32..20, 0u32..28), 0..300)
+    ) {
+        let per_key = persistence_by_key(observations.iter().copied());
+        for (key, p) in &per_key {
+            prop_assert!(p.max_consecutive >= 1);
+            prop_assert!(p.max_consecutive <= p.days_bad, "key {key}");
+            prop_assert!(p.days_bad <= 28);
+        }
+        // Every observed key appears.
+        let keys: std::collections::HashSet<u32> =
+            observations.iter().map(|&(k, _)| k).collect();
+        prop_assert_eq!(keys.len(), per_key.len());
+    }
+
+    #[test]
+    fn switch_curve_is_monotone_for_any_population(
+        clients in prop::collection::vec(
+            (prop::collection::vec((0u32..7, 0u8..5), 1..8), prop::collection::vec(0u32..7, 0..3)),
+            0..50
+        )
+    ) {
+        let observations: Vec<ClientObservations<u8>> = clients
+            .iter()
+            .map(|(daily, multi)| {
+                let mut daily = daily.clone();
+                daily.sort_by_key(|&(d, _)| d);
+                daily.dedup_by_key(|&mut (d, _)| d);
+                ClientObservations { daily_sites: daily, multi_site_days: multi.clone() }
+            })
+            .collect();
+        let days: Vec<u32> = (0..7).collect();
+        let curve = cumulative_switch_curve(&observations, &days);
+        prop_assert_eq!(curve.len(), 7);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        for &(_, f) in &curve {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn switches_are_consistent_with_first_switch_day(
+        daily in prop::collection::vec((0u32..14, 0u8..4), 1..10)
+    ) {
+        let mut daily = daily;
+        daily.sort_by_key(|&(d, _)| d);
+        daily.dedup_by_key(|&mut (d, _)| d);
+        let obs = ClientObservations { daily_sites: daily, multi_site_days: vec![] };
+        let switches = obs.switches();
+        match obs.first_switch_day() {
+            None => prop_assert!(switches.is_empty()),
+            Some(first) => {
+                prop_assert_eq!(switches.first().map(|&(d, _, _)| d), Some(first));
+                for (_, from, to) in switches {
+                    prop_assert_ne!(from, to);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csv_row_count_matches_points(
+        lens in prop::collection::vec(0usize..20, 0..6)
+    ) {
+        let series: Vec<Series> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                Series::new(
+                    format!("s{i}"),
+                    (0..n).map(|j| (j as f64, j as f64 * 0.5)).collect(),
+                )
+            })
+            .collect();
+        let csv = render_csv(&series);
+        let expected_rows: usize = lens.iter().sum::<usize>() + 1; // + header
+        prop_assert_eq!(csv.lines().count(), expected_rows);
+    }
+
+    #[test]
+    fn ecdf_total_weight_is_sum_of_kept_weights(
+        pairs in prop::collection::vec((0.0..100.0f64, -1.0..10.0f64), 0..80)
+    ) {
+        let e = Ecdf::from_weighted(pairs.iter().copied());
+        let expected: f64 = pairs.iter().filter(|&&(_, w)| w > 0.0).map(|&(_, w)| w).sum();
+        prop_assert!((e.total_weight() - expected).abs() < 1e-9);
+    }
+}

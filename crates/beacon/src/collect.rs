@@ -1,0 +1,270 @@
+//! The measurement backend: collected, joined beacon data.
+//!
+//! Two access patterns cover every analysis in the paper:
+//!
+//! * **per-execution** — Figure 3 compares, within one beacon run, the
+//!   anycast fetch against the best of the three unicast fetches;
+//! * **per-group per-target** — §5's daily medians and §6's prediction
+//!   scheme aggregate latency distributions per client group (/24 prefix or
+//!   LDNS) towards each target.
+
+use std::collections::HashMap;
+
+use anycast_netsim::{Day, Prefix24, SiteId};
+
+use anycast_dns::LdnsId;
+
+use crate::join::{BeaconMeasurement, Target};
+use crate::slots::Slot;
+
+/// One beacon run reassembled from its four measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeaconExecution {
+    /// Execution counter (measurement id >> 2).
+    pub execution: u64,
+    /// Client /24.
+    pub prefix: Prefix24,
+    /// Resolver used.
+    pub ldns: LdnsId,
+    /// Day of the run.
+    pub day: Day,
+    /// Anycast measurement: `(served site, rtt)` if present.
+    pub anycast: Option<(SiteId, f64)>,
+    /// Unicast measurements: `(target site, rtt)`.
+    pub unicast: Vec<(SiteId, f64)>,
+}
+
+impl BeaconExecution {
+    /// The lowest-latency unicast measurement of this run.
+    pub fn best_unicast(&self) -> Option<(SiteId, f64)> {
+        self.unicast
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Figure 3's per-request quantity: anycast latency minus the best of
+    /// the unicast latencies (positive = anycast was slower). `None` if the
+    /// run is missing either side.
+    pub fn anycast_penalty_ms(&self) -> Option<f64> {
+        let (_, any) = self.anycast?;
+        let (_, best) = self.best_unicast()?;
+        Some(any - best)
+    }
+}
+
+/// The joined dataset.
+#[derive(Debug, Clone, Default)]
+pub struct BeaconDataset {
+    measurements: Vec<BeaconMeasurement>,
+}
+
+impl BeaconDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> BeaconDataset {
+        BeaconDataset::default()
+    }
+
+    /// Appends joined measurements.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = BeaconMeasurement>) {
+        self.measurements.extend(rows);
+    }
+
+    /// All measurements.
+    pub fn measurements(&self) -> &[BeaconMeasurement] {
+        &self.measurements
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Measurements restricted to one day.
+    pub fn day(&self, day: Day) -> impl Iterator<Item = &BeaconMeasurement> {
+        self.measurements.iter().filter(move |m| m.day == day)
+    }
+
+    /// Reassembles executions (each beacon run's four measurements).
+    /// Incomplete runs are kept — the analyses guard on missing sides.
+    pub fn executions(&self) -> Vec<BeaconExecution> {
+        let mut by_exec: HashMap<u64, BeaconExecution> = HashMap::new();
+        for m in &self.measurements {
+            let exec = Slot::execution_of(m.measurement_id);
+            let entry = by_exec.entry(exec).or_insert_with(|| BeaconExecution {
+                execution: exec,
+                prefix: m.prefix,
+                ldns: m.ldns,
+                day: m.day,
+                anycast: None,
+                unicast: Vec::new(),
+            });
+            match m.target {
+                Target::Anycast => entry.anycast = Some((m.served_site, m.rtt_ms)),
+                Target::Unicast(site) => entry.unicast.push((site, m.rtt_ms)),
+            }
+        }
+        let mut out: Vec<BeaconExecution> = by_exec.into_values().collect();
+        out.sort_by_key(|e| e.execution);
+        out
+    }
+
+    /// Latency samples grouped by `(prefix, target)` for one day — the §5
+    /// per-/24 daily medians and the §6 ECS prediction input.
+    pub fn by_prefix_target(&self, day: Day) -> HashMap<(Prefix24, Target), Vec<f64>> {
+        let mut out: HashMap<(Prefix24, Target), Vec<f64>> = HashMap::new();
+        for m in self.day(day) {
+            out.entry((m.prefix, m.target)).or_default().push(m.rtt_ms);
+        }
+        out
+    }
+
+    /// Latency samples grouped by `(ldns, target)` for one day — the §6
+    /// LDNS prediction input ("assigning each front-end measurement made by
+    /// a client to the client's LDNS").
+    pub fn by_ldns_target(&self, day: Day) -> HashMap<(LdnsId, Target), Vec<f64>> {
+        let mut out: HashMap<(LdnsId, Target), Vec<f64>> = HashMap::new();
+        for m in self.day(day) {
+            out.entry((m.ldns, m.target)).or_default().push(m.rtt_ms);
+        }
+        out
+    }
+
+    /// The days present, ascending.
+    pub fn days(&self) -> Vec<Day> {
+        let mut days: Vec<Day> = self.measurements.iter().map(|m| m.day).collect();
+        days.sort();
+        days.dedup();
+        days
+    }
+
+    /// Writes the dataset as CSV (header + one row per measurement) — the
+    /// interchange format for replotting outside the workspace.
+    pub fn write_csv<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "measurement_id,slot,prefix,ldns,target,served_site,rtt_ms,day,time_s")?;
+        for m in &self.measurements {
+            let target = match m.target {
+                Target::Anycast => "anycast".to_string(),
+                Target::Unicast(s) => s.to_string(),
+            };
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{:.1},{},{:.1}",
+                m.measurement_id,
+                m.slot.index(),
+                m.prefix,
+                m.ldns,
+                target,
+                m.served_site,
+                m.rtt_ms,
+                m.day.0,
+                m.time_s,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn m(exec: u64, slot: Slot, target: Target, served: u16, rtt: f64, day: u32) -> BeaconMeasurement {
+        BeaconMeasurement {
+            measurement_id: slot.id_for(exec),
+            slot,
+            prefix: Prefix24::containing(Ipv4Addr::new(11, 0, 0, 1)),
+            ldns: LdnsId(0),
+            ecs: None,
+            target,
+            served_site: SiteId(served),
+            rtt_ms: rtt,
+            day: Day(day),
+            time_s: 0.0,
+        }
+    }
+
+    fn full_run(exec: u64, any_rtt: f64, uni: [(u16, f64); 3], day: u32) -> Vec<BeaconMeasurement> {
+        vec![
+            m(exec, Slot::Anycast, Target::Anycast, 2, any_rtt, day),
+            m(exec, Slot::GeoClosest, Target::Unicast(SiteId(uni[0].0)), uni[0].0, uni[0].1, day),
+            m(exec, Slot::Random1, Target::Unicast(SiteId(uni[1].0)), uni[1].0, uni[1].1, day),
+            m(exec, Slot::Random2, Target::Unicast(SiteId(uni[2].0)), uni[2].0, uni[2].1, day),
+        ]
+    }
+
+    #[test]
+    fn executions_reassemble() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(full_run(0, 50.0, [(1, 40.0), (3, 60.0), (4, 45.0)], 0));
+        ds.extend(full_run(1, 30.0, [(1, 35.0), (3, 33.0), (4, 90.0)], 0));
+        let execs = ds.executions();
+        assert_eq!(execs.len(), 2);
+        assert_eq!(execs[0].unicast.len(), 3);
+        assert_eq!(execs[0].anycast, Some((SiteId(2), 50.0)));
+    }
+
+    #[test]
+    fn penalty_is_anycast_minus_best_unicast() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(full_run(0, 50.0, [(1, 40.0), (3, 60.0), (4, 45.0)], 0));
+        let e = &ds.executions()[0];
+        assert_eq!(e.best_unicast(), Some((SiteId(1), 40.0)));
+        assert_eq!(e.anycast_penalty_ms(), Some(10.0));
+    }
+
+    #[test]
+    fn negative_penalty_when_anycast_wins() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(full_run(0, 30.0, [(1, 40.0), (3, 60.0), (4, 45.0)], 0));
+        assert_eq!(ds.executions()[0].anycast_penalty_ms(), Some(-10.0));
+    }
+
+    #[test]
+    fn incomplete_run_yields_none_penalty() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(vec![m(0, Slot::Anycast, Target::Anycast, 1, 50.0, 0)]);
+        let e = &ds.executions()[0];
+        assert_eq!(e.anycast_penalty_ms(), None);
+        assert_eq!(e.best_unicast(), None);
+    }
+
+    #[test]
+    fn grouping_by_prefix_and_day() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(full_run(0, 50.0, [(1, 40.0), (3, 60.0), (4, 45.0)], 0));
+        ds.extend(full_run(1, 55.0, [(1, 42.0), (3, 61.0), (4, 46.0)], 1));
+        let day0 = ds.by_prefix_target(Day(0));
+        let prefix = Prefix24::containing(Ipv4Addr::new(11, 0, 0, 1));
+        assert_eq!(day0[&(prefix, Target::Anycast)], vec![50.0]);
+        assert_eq!(day0[&(prefix, Target::Unicast(SiteId(1)))], vec![40.0]);
+        assert_eq!(ds.days(), vec![Day(0), Day(1)]);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(full_run(0, 50.0, [(1, 40.0), (3, 60.0), (4, 45.0)], 0));
+        let mut buf = Vec::new();
+        ds.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.lines().next().unwrap().starts_with("measurement_id,"));
+        assert!(text.contains("anycast"));
+    }
+
+    #[test]
+    fn ldns_grouping() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(full_run(0, 50.0, [(1, 40.0), (3, 60.0), (4, 45.0)], 0));
+        let groups = ds.by_ldns_target(Day(0));
+        assert_eq!(groups[&(LdnsId(0), Target::Anycast)].len(), 1);
+        assert_eq!(groups.len(), 4);
+    }
+}

@@ -1,0 +1,233 @@
+//! The authoritative measurement policy: server-side candidate selection.
+//!
+//! §3.3's three overhead/accuracy mechanisms, implemented where the paper
+//! implements them — at the DNS server:
+//!
+//! 1. only the **ten closest front-ends to the LDNS** (by the CDN's
+//!    geolocation of the LDNS) are candidates;
+//! 2. each beacon gets four answers: the anycast VIP, the geo-closest
+//!    candidate, and two random candidates **weighted towards closer ones**
+//!    ("we return the 3rd closest front-end with higher probability than
+//!    the 4th closest");
+//! 3. answers are deterministic per measurement id, so reruns of a seed
+//!    reproduce the same "random" diversity.
+
+use anycast_geo::{GeoPoint, NearestIndex};
+use anycast_netsim::{CdnAddressing, SiteId};
+use rand::{Rng, SeedableRng};
+
+use anycast_dns::{DnsAnswer, QueryContext, RedirectionPolicy};
+
+use crate::slots::Slot;
+
+/// The measurement redirection policy installed on the authoritative server
+/// for the beacon's probe zone.
+#[derive(Debug, Clone)]
+pub struct MeasurementPolicy {
+    sites: NearestIndex<SiteId>,
+    addressing: CdnAddressing,
+    /// Candidate-set size (the paper's ten).
+    pub candidates: usize,
+    /// TTL for measurement answers — "longer than the duration of the
+    /// beacon" so the timed fetch is a cache hit.
+    pub ttl_s: u32,
+    seed: u64,
+}
+
+impl MeasurementPolicy {
+    /// Builds the policy over the CDN's site catalog.
+    pub fn new(
+        site_locations: Vec<(SiteId, GeoPoint)>,
+        addressing: CdnAddressing,
+        candidates: usize,
+        ttl_s: u32,
+        seed: u64,
+    ) -> MeasurementPolicy {
+        assert!(candidates >= 2, "need at least two candidates");
+        MeasurementPolicy {
+            sites: NearestIndex::new(site_locations),
+            addressing,
+            candidates,
+            ttl_s,
+            seed,
+        }
+    }
+
+    /// The candidate front-ends for an LDNS at `ldns_location`: the k
+    /// nearest sites with distances, ascending.
+    pub fn candidate_sites(&self, ldns_location: &GeoPoint) -> Vec<(SiteId, f64)> {
+        self.sites.k_nearest(ldns_location, self.candidates)
+    }
+
+    /// The site a given slot's answer selects for an LDNS location, or
+    /// `None` for the anycast slot (whose answer is the VIP, not a site).
+    /// Exposed for tests and for the Figure 1 candidate-rank analysis.
+    pub fn select_site(&self, slot: Slot, id: u64, ldns_location: &GeoPoint) -> Option<SiteId> {
+        let candidates = self.candidate_sites(ldns_location);
+        match slot {
+            Slot::Anycast => None,
+            Slot::GeoClosest => candidates.first().map(|&(s, _)| s),
+            Slot::Random1 | Slot::Random2 => {
+                let rest = &candidates[1.min(candidates.len())..];
+                if rest.is_empty() {
+                    return candidates.first().map(|&(s, _)| s);
+                }
+                // Weight ∝ 1/(rank+1): the 3rd closest beats the 4th.
+                let weights: Vec<f64> =
+                    (0..rest.len()).map(|r| 1.0 / (r as f64 + 2.0)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut rng = id_rng(self.seed, id);
+                let mut draw = rng.gen::<f64>() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    draw -= w;
+                    if draw <= 0.0 {
+                        return Some(rest[i].0);
+                    }
+                }
+                rest.last().map(|&(s, _)| s)
+            }
+        }
+    }
+}
+
+impl RedirectionPolicy for MeasurementPolicy {
+    fn answer(&self, query: &QueryContext<'_>) -> DnsAnswer {
+        let Some(id) = query.qname.measurement_id() else {
+            // Non-measurement names in the probe zone resolve to anycast —
+            // the production default.
+            return DnsAnswer::global(self.addressing.anycast_ip(), self.ttl_s);
+        };
+        let slot = Slot::from_id(id);
+        match self.select_site(slot, id, &query.ldns_location) {
+            None => DnsAnswer::global(self.addressing.anycast_ip(), self.ttl_s),
+            Some(site) => DnsAnswer::global(self.addressing.site_ip(site), self.ttl_s),
+        }
+    }
+}
+
+fn id_rng(seed: u64, id: u64) -> rand::rngs::SmallRng {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    rand::rngs::SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_dns::{DnsName, LdnsId};
+    use anycast_netsim::Day;
+
+    fn policy() -> MeasurementPolicy {
+        // Sites along the equator at 0, 10, 20, ... 110 degrees east.
+        let sites: Vec<(SiteId, GeoPoint)> = (0..12)
+            .map(|i| (SiteId(i), GeoPoint::new(0.0, f64::from(i) * 10.0)))
+            .collect();
+        MeasurementPolicy::new(sites, CdnAddressing::standard(12), 10, 300, 7)
+    }
+
+    fn ctx<'a>(qname: &'a DnsName, loc: GeoPoint) -> QueryContext<'a> {
+        QueryContext {
+            qname,
+            ldns: LdnsId(0),
+            ldns_location: loc,
+            ecs: None,
+            day: Day(0),
+            time_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn anycast_slot_returns_vip() {
+        let p = policy();
+        let zone = DnsName::new("cdn.example").unwrap();
+        let qname = DnsName::measurement(Slot::Anycast.id_for(5), &zone);
+        let a = p.answer(&ctx(&qname, GeoPoint::new(0.0, 1.0)));
+        assert!(p.addressing.is_anycast(a.addr));
+    }
+
+    #[test]
+    fn geo_closest_slot_returns_nearest_site() {
+        let p = policy();
+        let zone = DnsName::new("cdn.example").unwrap();
+        // LDNS at 42°E: nearest site is #4 (40°E).
+        let qname = DnsName::measurement(Slot::GeoClosest.id_for(5), &zone);
+        let a = p.answer(&ctx(&qname, GeoPoint::new(0.0, 42.0)));
+        assert_eq!(p.addressing.site_for_ip(a.addr), Some(SiteId(4)));
+    }
+
+    #[test]
+    fn random_slots_never_return_the_geo_closest() {
+        let p = policy();
+        let loc = GeoPoint::new(0.0, 42.0);
+        for counter in 0..200 {
+            for slot in [Slot::Random1, Slot::Random2] {
+                let site = p.select_site(slot, slot.id_for(counter), &loc).unwrap();
+                assert_ne!(site, SiteId(4), "random pick equals geo-closest");
+            }
+        }
+    }
+
+    #[test]
+    fn random_picks_stay_within_candidates() {
+        let p = policy();
+        let loc = GeoPoint::new(0.0, 0.0);
+        let candidates: std::collections::HashSet<SiteId> =
+            p.candidate_sites(&loc).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(candidates.len(), 10);
+        for counter in 0..200 {
+            let site = p.select_site(Slot::Random1, Slot::Random1.id_for(counter), &loc).unwrap();
+            assert!(candidates.contains(&site));
+        }
+    }
+
+    #[test]
+    fn random_weighting_prefers_closer_candidates() {
+        let p = policy();
+        let loc = GeoPoint::new(0.0, 0.0);
+        // Candidate ranks: site1 is 2nd closest, site9 is 10th closest.
+        let mut n_second = 0;
+        let mut n_tenth = 0;
+        for counter in 0..5000 {
+            let site = p.select_site(Slot::Random1, Slot::Random1.id_for(counter), &loc).unwrap();
+            if site == SiteId(1) {
+                n_second += 1;
+            } else if site == SiteId(9) {
+                n_tenth += 1;
+            }
+        }
+        assert!(
+            n_second > 2 * n_tenth,
+            "2nd-closest picked {n_second}, 10th-closest {n_tenth}"
+        );
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_id() {
+        let p = policy();
+        let loc = GeoPoint::new(0.0, 33.0);
+        for counter in 0..50 {
+            let id = Slot::Random2.id_for(counter);
+            assert_eq!(
+                p.select_site(Slot::Random2, id, &loc),
+                p.select_site(Slot::Random2, id, &loc)
+            );
+        }
+    }
+
+    #[test]
+    fn non_measurement_names_resolve_to_anycast() {
+        let p = policy();
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        let a = p.answer(&ctx(&qname, GeoPoint::new(0.0, 0.0)));
+        assert!(p.addressing.is_anycast(a.addr));
+    }
+
+    #[test]
+    fn different_ldns_locations_get_different_candidates() {
+        let p = policy();
+        let west = p.candidate_sites(&GeoPoint::new(0.0, 0.0));
+        let east = p.candidate_sites(&GeoPoint::new(0.0, 110.0));
+        assert_ne!(west[0].0, east[0].0);
+    }
+}

@@ -1,0 +1,290 @@
+//! One beacon execution.
+//!
+//! The beacon's client-side sequence, per §3.2.2:
+//!
+//! 1. for each of the four test URLs, issue a **warm-up** DNS resolution so
+//!    the timed fetch uses the cached answer ("to remove the impact of DNS
+//!    lookup from our measurements");
+//! 2. fetch each URL and time the download — primitive timings first,
+//!    substituted by Resource Timing values on compliant browsers;
+//! 3. report `(measurement id, reported latency)` rows to the backend.
+//!
+//! The warm-up resolution is what lands in the authoritative DNS log, and
+//! its unique hostname is the join key.
+
+use std::net::Ipv4Addr;
+
+use anycast_geo::GeoPoint;
+use anycast_netsim::{
+    CdnAddressing, ClientAttachment, Day, Internet, Prefix24, SiteId,
+};
+use rand::Rng;
+
+use anycast_dns::{AuthoritativeServer, DnsName, Ldns};
+
+use crate::policy::MeasurementPolicy;
+use crate::slots::Slot;
+use crate::timing::TimingModel;
+
+/// A client-side HTTP result row: what the beacon uploads to the backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HttpResult {
+    /// The measurement's globally unique id.
+    pub measurement_id: u64,
+    /// The client's /24 (the backend sees the reporting connection's IP).
+    pub prefix: Prefix24,
+    /// IP the test URL resolved to (anycast VIP or a unicast site address).
+    pub fetched_ip: Ipv4Addr,
+    /// The front-end that actually served the fetch (from the CDN's own
+    /// HTTP logs; for unicast it equals the target, for anycast it is
+    /// whichever site routing chose).
+    pub served_site: SiteId,
+    /// Latency the beacon reported, ms.
+    pub reported_ms: f64,
+    /// Day of the execution.
+    pub day: Day,
+    /// Seconds within the day.
+    pub time_s: f64,
+}
+
+/// Allocates unique measurement ids across a campaign.
+#[derive(Debug, Default)]
+pub struct MeasurementIdGen {
+    counter: u64,
+}
+
+impl MeasurementIdGen {
+    /// Creates a generator starting at execution 0.
+    pub fn new() -> MeasurementIdGen {
+        MeasurementIdGen::default()
+    }
+
+    /// Reserves the next execution counter.
+    pub fn next_execution(&mut self) -> u64 {
+        let c = self.counter;
+        self.counter += 1;
+        c
+    }
+}
+
+/// The client-side identity a beacon execution runs as.
+#[derive(Debug, Clone, Copy)]
+pub struct BeaconClient {
+    /// The client's /24 prefix.
+    pub prefix: Prefix24,
+    /// Its network attachment.
+    pub attachment: ClientAttachment,
+}
+
+/// Runs one beacon execution and returns the four client-side result rows.
+///
+/// `ldns_believed_location` is where the CDN's geolocation database places
+/// the client's resolver — the location the server-side candidate selection
+/// uses (§3.3).
+#[allow(clippy::too_many_arguments)]
+pub fn run_beacon(
+    internet: &Internet,
+    addressing: &CdnAddressing,
+    timing: &TimingModel,
+    zone: &DnsName,
+    client: &BeaconClient,
+    ldns: &mut Ldns,
+    ldns_believed_location: GeoPoint,
+    auth: &mut AuthoritativeServer<MeasurementPolicy>,
+    ids: &mut MeasurementIdGen,
+    day: Day,
+    time_s: f64,
+    rng: &mut impl Rng,
+) -> Vec<HttpResult> {
+    let execution = ids.next_execution();
+    let compliant = timing.browser_is_compliant(rng);
+    let mut results = Vec::with_capacity(4);
+    for slot in Slot::ALL {
+        let id = slot.id_for(execution);
+        let qname = DnsName::measurement(id, zone);
+        // Warm-up: populates the LDNS cache and the authoritative log.
+        let warm =
+            ldns.resolve(&qname, client.prefix, ldns_believed_location, auth, day, time_s);
+        debug_assert!(!warm.cache_hit, "unique names always miss on warm-up");
+        // Timed fetch: resolves again (cache hit — TTL outlives the beacon)
+        // and downloads from the answered address.
+        let fetch =
+            ldns.resolve(&qname, client.prefix, ldns_believed_location, auth, day, time_s + 0.5);
+        debug_assert!(fetch.cache_hit, "timed fetch must be served from cache");
+        let addr = fetch.addr;
+        let (served_site, true_rtt) = if addressing.is_anycast(addr) {
+            internet.measure_anycast(&client.attachment, day, rng)
+        } else {
+            let site = addressing
+                .site_for_ip(addr)
+                .expect("measurement answer must be a service address");
+            (site, internet.measure_unicast(&client.attachment, site, day, rng))
+        };
+        results.push(HttpResult {
+            measurement_id: id,
+            prefix: client.prefix,
+            fetched_ip: addr,
+            served_site,
+            reported_ms: timing.observe(true_rtt, compliant, rng),
+            day,
+            time_s,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_dns::{LdnsId, ResolverKind};
+    use anycast_netsim::{AccessTech, NetConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct World {
+        internet: Internet,
+        addressing: CdnAddressing,
+        zone: DnsName,
+    }
+
+    fn world() -> World {
+        let internet = Internet::new(NetConfig::small(), 9).unwrap();
+        let n = internet.topology().cdn.sites.len() as u16;
+        World {
+            internet,
+            addressing: CdnAddressing::standard(n),
+            zone: DnsName::new("cdn.example").unwrap(),
+        }
+    }
+
+    fn auth(w: &World) -> AuthoritativeServer<MeasurementPolicy> {
+        let policy = MeasurementPolicy::new(
+            w.internet.site_locations(),
+            w.addressing,
+            10,
+            300,
+            1,
+        );
+        AuthoritativeServer::new(policy, false)
+    }
+
+    fn client(w: &World) -> BeaconClient {
+        let e = &w.internet.topology().eyeballs[0];
+        let loc = w.internet.topology().atlas.metro(e.home_metro).location();
+        BeaconClient {
+            prefix: Prefix24::containing(Ipv4Addr::new(11, 0, 0, 1)),
+            attachment: ClientAttachment {
+                as_id: e.id,
+                metro: e.home_metro,
+                location: loc,
+                access: AccessTech::Cable,
+            },
+        }
+    }
+
+    fn run_one(w: &World, seed: u64) -> (Vec<HttpResult>, AuthoritativeServer<MeasurementPolicy>) {
+        let mut a = auth(w);
+        let c = client(w);
+        let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, c.attachment.location, false);
+        let mut ids = MeasurementIdGen::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let results = run_beacon(
+            &w.internet,
+            &w.addressing,
+            &TimingModel::perfect(),
+            &w.zone,
+            &c,
+            &mut ldns,
+            c.attachment.location,
+            &mut a,
+            &mut ids,
+            Day(0),
+            100.0,
+            &mut rng,
+        );
+        (results, a)
+    }
+
+    #[test]
+    fn beacon_makes_four_measurements() {
+        let w = world();
+        let (results, _) = run_one(&w, 1);
+        assert_eq!(results.len(), 4);
+        let slots: Vec<Slot> =
+            results.iter().map(|r| Slot::from_id(r.measurement_id)).collect();
+        assert_eq!(slots, Slot::ALL.to_vec());
+    }
+
+    #[test]
+    fn first_slot_is_anycast_rest_are_unicast() {
+        let w = world();
+        let (results, _) = run_one(&w, 2);
+        assert!(w.addressing.is_anycast(results[0].fetched_ip));
+        for r in &results[1..] {
+            let site = w.addressing.site_for_ip(r.fetched_ip).expect("unicast address");
+            assert_eq!(site, r.served_site, "unicast serves the targeted site");
+        }
+    }
+
+    #[test]
+    fn anycast_served_site_matches_routing() {
+        let w = world();
+        let (results, _) = run_one(&w, 3);
+        let c = client(&w);
+        let expected = w.internet.anycast_route(&c.attachment, Day(0)).site;
+        assert_eq!(results[0].served_site, expected);
+    }
+
+    #[test]
+    fn warm_up_logs_each_name_once() {
+        let w = world();
+        let (_, a) = run_one(&w, 4);
+        // One authoritative query per slot (the fetch is a cache hit).
+        assert_eq!(a.log().len(), 4);
+        let mut ids: Vec<u64> = a.log().iter().filter_map(|l| l.measurement_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_plausible() {
+        let w = world();
+        let (results, _) = run_one(&w, 5);
+        for r in &results {
+            assert!(r.reported_ms > 0.0 && r.reported_ms < 2000.0, "{}", r.reported_ms);
+        }
+    }
+
+    #[test]
+    fn executions_get_distinct_ids() {
+        let w = world();
+        let mut a = auth(&w);
+        let c = client(&w);
+        let mut ldns =
+            Ldns::new(LdnsId(0), ResolverKind::IspLocal, c.attachment.location, false);
+        let mut ids = MeasurementIdGen::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10 {
+            let rs = run_beacon(
+                &w.internet,
+                &w.addressing,
+                &TimingModel::default(),
+                &w.zone,
+                &c,
+                &mut ldns,
+                c.attachment.location,
+                &mut a,
+                &mut ids,
+                Day(0),
+                100.0 + f64::from(i) * 60.0,
+                &mut rng,
+            );
+            for r in rs {
+                assert!(seen.insert(r.measurement_id));
+            }
+        }
+        assert_eq!(seen.len(), 40);
+    }
+}

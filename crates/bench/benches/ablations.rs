@@ -1,0 +1,23 @@
+//! Criterion benches for the ablation sweeps (DESIGN.md §3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use anycast_bench::ablations;
+use anycast_bench::worlds::Scale;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for id in ablations::ALL {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let fig = ablations::compute(id, Scale::Small, 2015).expect("known id");
+                std::hint::black_box(fig.series.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

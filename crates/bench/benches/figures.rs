@@ -1,0 +1,28 @@
+//! Criterion benches: one per regenerated table/figure.
+//!
+//! Each bench runs the full figure pipeline at `Scale::Small` — world
+//! build, measurement campaign, analysis — so regressions anywhere in the
+//! stack show up as figure-level slowdowns. Absolute numbers for
+//! EXPERIMENTS.md come from the `figures` binary at `--scale paper`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use anycast_bench::figures;
+use anycast_bench::worlds::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in figures::ALL {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let fig = figures::compute(id, Scale::Small, 2015).expect("known id");
+                std::hint::black_box(fig.series.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks of the hot kernels under the figures: routing decisions,
+//! latency sampling, candidate selection, CDF construction, and predictor
+//! training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use anycast_analysis::Ecdf;
+use anycast_core::{Deployment, Metric, Predictor, PredictorConfig, Study, StudyConfig};
+use anycast_geo::GeoPoint;
+use anycast_netsim::Day;
+use anycast_workload::Scenario;
+
+fn bench_routing(c: &mut Criterion) {
+    let s = Scenario::small(7);
+    let clients: Vec<_> = s.clients.iter().map(|c| c.attachment).collect();
+    let site = s.internet.topology().cdn.site_ids().next().unwrap();
+    let mut group = c.benchmark_group("routing");
+    group.bench_function("anycast_route", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % clients.len();
+            std::hint::black_box(s.internet.anycast_route(&clients[i], Day(0)).site)
+        })
+    });
+    group.bench_function("unicast_route", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % clients.len();
+            std::hint::black_box(s.internet.unicast_route(&clients[i], site, Day(0)).base_rtt_ms)
+        })
+    });
+    group.bench_function("measure_anycast", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % clients.len();
+            std::hint::black_box(s.internet.measure_anycast(&clients[i], Day(0), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let s = Scenario::small(7);
+    let deployment = Deployment::of(&s.internet);
+    let mut group = c.benchmark_group("geo");
+    group.bench_function("haversine", |b| {
+        let a = GeoPoint::new(47.6, -122.3);
+        let z = GeoPoint::new(51.5, -0.13);
+        b.iter(|| std::hint::black_box(a.haversine_km(&z)))
+    });
+    group.bench_function("nearest_10_of_12_sites", |b| {
+        let p = GeoPoint::new(40.7, -74.0);
+        b.iter(|| std::hint::black_box(deployment.nearest(&p, 10).len()))
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let values: Vec<f64> = (0..10_000).map(|_| rng.gen_range(1.0..300.0)).collect();
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("ecdf_build_10k", |b| {
+        b.iter(|| std::hint::black_box(Ecdf::from_values(values.iter().copied()).len()))
+    });
+    let ecdf = Ecdf::from_values(values.iter().copied());
+    group.bench_function("ecdf_query", |b| {
+        b.iter(|| std::hint::black_box(ecdf.fraction_at_or_below(150.0)))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut study = Study::new(Scenario::small(9), StudyConfig::default());
+    let mut rng = SmallRng::seed_from_u64(4);
+    study.run_day(Day(0), &mut rng);
+    let predictor = Predictor::new(PredictorConfig {
+        metric: Metric::P25,
+        min_samples: 5,
+        ..Default::default()
+    });
+    c.bench_function("predictor_train_day", |b| {
+        b.iter(|| std::hint::black_box(predictor.train(study.dataset(), Day(0)).len()))
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_geo, bench_analysis, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,359 @@
+//! Ablations of the design choices the paper motivates.
+//!
+//! Each function sweeps one knob and reports the metric the paper uses to
+//! justify its choice:
+//!
+//! * [`prediction_metric`] — §6 argues for low percentiles because high
+//!   ones are noisy; sweep P25/P50/P75/P95 and report improved/hurt shares;
+//! * [`min_samples`] — the 20-measurement filter;
+//! * [`candidate_count`] — Figure 1's argument for capping candidates at
+//!   ten; sweep the beacon candidate-set size;
+//! * [`deployment_density`] — §4 ties the results to a few-dozen-site
+//!   deployment; sweep the site count and watch the anycast penalty;
+//! * [`hybrid_threshold`] — §6's hybrid: how the redirected share and the
+//!   improvement trade off against the gain threshold.
+
+use anycast_analysis::cdf::Ecdf;
+use anycast_analysis::report::Series;
+use anycast_core::{
+    evaluate_prediction, evaluation::outcome_shares, Deployment, Grouping, Metric, Predictor,
+    PredictorConfig, Study, StudyConfig,
+};
+use anycast_netsim::{Day, NetConfig};
+use anycast_workload::{ldns_assign, Scenario};
+
+use crate::worlds::{figure_days, rng_for, scenario, scenario_config, study, Scale};
+use crate::FigureResult;
+
+/// Sweep of the prediction metric (ECS grouping, p75 evaluation).
+pub fn prediction_metric(scale: Scale, seed: u64) -> FigureResult {
+    let mut st = study(scale, seed);
+    let mut rng = rng_for(seed, 0xab01);
+    st.run_days(Day(0), 2, &mut rng);
+    let ldns_of = st.ldns_of();
+    let volumes = st.volumes();
+
+    let metrics = [
+        (Metric::P25, "p25"),
+        (Metric::Median, "p50"),
+        (Metric::P75, "p75"),
+        (Metric::P95, "p95"),
+    ];
+    let mut improved_pts = Vec::new();
+    let mut hurt_pts = Vec::new();
+    let mut scalars = Vec::new();
+    for (i, (metric, label)) in metrics.iter().enumerate() {
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: *metric, min_samples: 20 };
+        let table = Predictor::new(cfg).train(st.dataset(), Day(0));
+        let rows =
+            evaluate_prediction(&table, Grouping::Ecs, st.dataset(), Day(1), &ldns_of, &volumes);
+        let (improved, _, hurt) = outcome_shares(&rows, false);
+        improved_pts.push((i as f64, improved));
+        hurt_pts.push((i as f64, hurt));
+        scalars.push((format!("{label}: improved - hurt (p75)"), improved - hurt));
+    }
+
+    FigureResult {
+        id: "ablation-prediction-metric",
+        title: "Prediction metric sweep (x: 0=p25, 1=p50, 2=p75, 3=p95)".into(),
+        x_label: "metric index".into(),
+        series: vec![
+            Series::new("weighted share improved", improved_pts),
+            Series::new("weighted share hurt", hurt_pts),
+        ],
+        scalars,
+        text: None,
+    }
+}
+
+/// Sweep of the minimum-sample filter (ECS grouping, p25 metric).
+pub fn min_samples(scale: Scale, seed: u64) -> FigureResult {
+    let mut st = study(scale, seed);
+    let mut rng = rng_for(seed, 0xab02);
+    st.run_days(Day(0), 2, &mut rng);
+    let ldns_of = st.ldns_of();
+    let volumes = st.volumes();
+
+    let mut improved_pts = Vec::new();
+    let mut hurt_pts = Vec::new();
+    let mut redirected_pts = Vec::new();
+    for &min in &[1usize, 5, 20, 50] {
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: min };
+        let table = Predictor::new(cfg).train(st.dataset(), Day(0));
+        let rows =
+            evaluate_prediction(&table, Grouping::Ecs, st.dataset(), Day(1), &ldns_of, &volumes);
+        let (improved, _, hurt) = outcome_shares(&rows, false);
+        improved_pts.push((min as f64, improved));
+        hurt_pts.push((min as f64, hurt));
+        redirected_pts.push((min as f64, table.redirected_groups().count() as f64));
+    }
+
+    FigureResult {
+        id: "ablation-min-samples",
+        title: "Minimum-sample filter sweep".into(),
+        x_label: "min samples".into(),
+        series: vec![
+            Series::new("weighted share improved", improved_pts),
+            Series::new("weighted share hurt", hurt_pts),
+            Series::new("groups redirected", redirected_pts),
+        ],
+        scalars: Vec::new(),
+        text: None,
+    }
+}
+
+/// Sweep of the beacon candidate-set size: median over clients of the best
+/// latency reachable within the k nearest candidates (Figure 1's argument).
+pub fn candidate_count(scale: Scale, seed: u64) -> FigureResult {
+    let s = scenario(scale, seed);
+    let deployment = Deployment::of(&s.internet);
+    let mut rng = rng_for(seed, 0xab03);
+    let max_k = 12usize.min(deployment.size());
+
+    // One pass: per client, cumulative best latency per candidate rank.
+    let mut cumulative: Vec<Vec<f64>> = Vec::with_capacity(s.clients.len());
+    for c in &s.clients {
+        let ldns_id = s.ldns.resolver_of(c.prefix);
+        let believed = ldns_assign::believed_ldns_location(s.ldns.resolver(ldns_id), &s.geodb);
+        let mut best = f64::INFINITY;
+        let mut row = Vec::with_capacity(max_k);
+        for (site, _) in deployment.nearest(&believed, max_k) {
+            best = best.min(s.internet.measure_unicast(&c.attachment, site, Day(0), &mut rng));
+            row.push(best);
+        }
+        cumulative.push(row);
+    }
+
+    let points: Vec<(f64, f64)> = (1..=max_k)
+        .map(|k| {
+            let med = Ecdf::from_values(
+                cumulative.iter().filter_map(|row| row.get(k.min(row.len()) - 1).copied()),
+            )
+            .median()
+            .unwrap_or(f64::NAN);
+            (k as f64, med)
+        })
+        .collect();
+    let knee_gain = points[2].1 - points.last().unwrap().1;
+
+    FigureResult {
+        id: "ablation-candidates",
+        title: "Candidate-set size sweep: median best latency within k nearest".into(),
+        x_label: "candidates k".into(),
+        series: vec![Series::new("median best latency (ms)", points)],
+        scalars: vec![("gain from k=3 to k=max (ms)".to_string(), knee_gain)],
+        text: None,
+    }
+}
+
+/// Sweep of deployment density: fraction of beacon executions with ≥25 ms
+/// anycast penalty, per site count.
+pub fn deployment_density(scale: Scale, seed: u64) -> FigureResult {
+    let site_counts: &[usize] = match scale {
+        Scale::Small => &[6, 12, 24],
+        Scale::Paper => &[10, 22, 44, 66, 88],
+    };
+    let mut penalty_pts = Vec::new();
+    let mut median_dist_pts = Vec::new();
+    for &n_sites in site_counts {
+        let mut cfg = scenario_config(scale, seed);
+        cfg.net = NetConfig { n_sites, ..cfg.net };
+        let scenario = Scenario::build(cfg).expect("valid density config");
+        let mut st = Study::new(scenario, StudyConfig::default());
+        let mut rng = rng_for(seed ^ n_sites as u64, 0xab04);
+        st.run_days(Day(0), figure_days(scale, 1), &mut rng);
+        let penalties = Ecdf::from_values(
+            st.dataset().executions().iter().filter_map(|e| e.anycast_penalty_ms()),
+        );
+        penalty_pts.push((n_sites as f64, penalties.fraction_above(25.0)));
+        // Median client distance to nearest front-end.
+        let deployment = Deployment::of(&st.scenario().internet);
+        let dist = Ecdf::from_values(
+            st.scenario()
+                .clients
+                .iter()
+                .filter_map(|c| deployment.distance_to_nth_km(&c.attachment.location, 1)),
+        );
+        median_dist_pts.push((n_sites as f64, dist.median().unwrap_or(f64::NAN)));
+    }
+
+    FigureResult {
+        id: "ablation-density",
+        title: "Deployment density sweep".into(),
+        x_label: "front-end sites".into(),
+        series: vec![
+            Series::new("fraction of requests ≥25ms penalty", penalty_pts),
+            Series::new("median km to nearest front-end", median_dist_pts),
+        ],
+        scalars: Vec::new(),
+        text: None,
+    }
+}
+
+/// Sweep of the hybrid gain threshold (ECS grouping).
+pub fn hybrid_threshold(scale: Scale, seed: u64) -> FigureResult {
+    let mut st = study(scale, seed);
+    let mut rng = rng_for(seed, 0xab05);
+    st.run_days(Day(0), 2, &mut rng);
+    let ldns_of = st.ldns_of();
+    let volumes = st.volumes();
+    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 };
+    let full_table = Predictor::new(cfg).train(st.dataset(), Day(0));
+
+    let mut redirected_pts = Vec::new();
+    let mut improved_pts = Vec::new();
+    let mut hurt_pts = Vec::new();
+    for &threshold in &[0.0, 5.0, 10.0, 25.0, 50.0] {
+        let table = full_table.hybrid_filter(threshold);
+        let rows =
+            evaluate_prediction(&table, Grouping::Ecs, st.dataset(), Day(1), &ldns_of, &volumes);
+        let (improved, _, hurt) = outcome_shares(&rows, false);
+        redirected_pts.push((threshold, table.len() as f64));
+        improved_pts.push((threshold, improved));
+        hurt_pts.push((threshold, hurt));
+    }
+
+    FigureResult {
+        id: "ablation-hybrid",
+        title: "Hybrid gain-threshold sweep".into(),
+        x_label: "min predicted gain (ms)".into(),
+        series: vec![
+            Series::new("groups redirected", redirected_pts),
+            Series::new("weighted share improved (p75)", improved_pts),
+            Series::new("weighted share hurt (p75)", hurt_pts),
+        ],
+        scalars: Vec::new(),
+        text: None,
+    }
+}
+
+/// Sweep of the training-window length: train on the last k days, evaluate
+/// on the following day. The paper was pinned to one-day intervals by its
+/// sampling rate (§6 footnote 2); this sweep shows what longer histories
+/// buy (more qualifying groups) and cost (staleness under churn).
+pub fn training_window(scale: Scale, seed: u64) -> FigureResult {
+    let total_days = 5u32;
+    let mut st = study(scale, seed);
+    let mut rng = rng_for(seed, 0xab06);
+    st.run_days(Day(0), total_days + 1, &mut rng);
+    let ldns_of = st.ldns_of();
+    let volumes = st.volumes();
+
+    let mut improved_pts = Vec::new();
+    let mut hurt_pts = Vec::new();
+    let mut coverage_pts = Vec::new();
+    for k in 1..=total_days {
+        let window: Vec<Day> = ((total_days - k)..total_days).map(Day).collect();
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 };
+        let table = Predictor::new(cfg).train_window(st.dataset(), &window);
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            st.dataset(),
+            Day(total_days),
+            &ldns_of,
+            &volumes,
+        );
+        let (improved, _, hurt) = outcome_shares(&rows, false);
+        improved_pts.push((f64::from(k), improved));
+        hurt_pts.push((f64::from(k), hurt));
+        coverage_pts.push((f64::from(k), table.len() as f64));
+    }
+
+    FigureResult {
+        id: "ablation-training-window",
+        title: "Training-window length sweep (train on last k days, evaluate next day)".into(),
+        x_label: "window length (days)".into(),
+        series: vec![
+            Series::new("weighted share improved (p75)", improved_pts),
+            Series::new("weighted share hurt (p75)", hurt_pts),
+            Series::new("groups with prediction", coverage_pts),
+        ],
+        scalars: Vec::new(),
+        text: None,
+    }
+}
+
+/// All ablation ids.
+pub const ALL: [&str; 6] = [
+    "ablation-prediction-metric",
+    "ablation-min-samples",
+    "ablation-candidates",
+    "ablation-density",
+    "ablation-hybrid",
+    "ablation-training-window",
+];
+
+/// Computes an ablation by id.
+pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
+    match id {
+        "ablation-prediction-metric" => Some(prediction_metric(scale, seed)),
+        "ablation-min-samples" => Some(min_samples(scale, seed)),
+        "ablation-candidates" => Some(candidate_count(scale, seed)),
+        "ablation-density" => Some(deployment_density(scale, seed)),
+        "ablation-hybrid" => Some(hybrid_threshold(scale, seed)),
+        "ablation-training-window" => Some(training_window(scale, seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_sweep_is_monotone_nonincreasing() {
+        let fig = candidate_count(Scale::Small, 1);
+        let pts = &fig.series[0].points;
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9, "more candidates cannot hurt");
+        }
+    }
+
+    #[test]
+    fn density_reduces_distance() {
+        let fig = deployment_density(Scale::Small, 1);
+        let dist = &fig.series[1].points;
+        assert!(
+            dist.last().unwrap().1 <= dist.first().unwrap().1,
+            "denser deployments must shorten nearest-front-end distance"
+        );
+    }
+
+    #[test]
+    fn min_samples_reduces_redirections() {
+        let fig = min_samples(Scale::Small, 1);
+        let redirected = &fig.series[2].points;
+        assert!(
+            redirected.last().unwrap().1 <= redirected.first().unwrap().1,
+            "stricter filters must redirect fewer groups"
+        );
+    }
+
+    #[test]
+    fn hybrid_threshold_monotone() {
+        let fig = hybrid_threshold(Scale::Small, 1);
+        let redirected = &fig.series[0].points;
+        for w in redirected.windows(2) {
+            assert!(w[1].1 <= w[0].1, "higher thresholds redirect fewer groups");
+        }
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        for id in ALL {
+            assert!(compute(id, Scale::Small, 1).is_some(), "{id}");
+        }
+        assert!(compute("nope", Scale::Small, 1).is_none());
+    }
+
+    #[test]
+    fn longer_windows_cover_more_groups() {
+        let fig = training_window(Scale::Small, 2);
+        let coverage = &fig.series[2].points;
+        assert!(
+            coverage.last().unwrap().1 >= coverage.first().unwrap().1,
+            "more history cannot shrink coverage"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates the paper's tables and figures from the simulated world.
+//!
+//! ```text
+//! figures <artifact|all|ablations|extras|everything>
+//!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
+//! ```
+//!
+//! Output is an aligned text table per artifact; `--csv` emits long-form
+//! CSV to stdout, `--out DIR` writes per-artifact `.csv` and `.txt` files.
+//! EXPERIMENTS.md records the paper-vs-measured comparison produced by
+//! `figures all --scale paper`.
+
+use std::process::ExitCode;
+
+use anycast_bench::cli;
+use anycast_bench::{ablations, extras, figures};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let invocation = match cli::parse(&args) {
+        Ok(inv) => inv,
+        Err(e) => {
+            if !e.0.is_empty() {
+                eprintln!("error: {e}");
+            }
+            eprintln!("{}", cli::usage_text());
+            return if e.0.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+
+    for id in invocation.ids {
+        let result = figures::compute(id, invocation.scale, invocation.seed)
+            .or_else(|| ablations::compute(id, invocation.scale, invocation.seed))
+            .or_else(|| extras::compute(id, invocation.scale, invocation.seed))
+            .expect("cli::parse only yields known ids");
+        if let Some(dir) = &invocation.out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(format!("{id}.csv")), result.to_csv()))
+                .and_then(|()| std::fs::write(dir.join(format!("{id}.txt")), result.render()))
+            {
+                eprintln!("error: writing {id} to {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}/{id}.csv and .txt", dir.display());
+        } else if invocation.csv {
+            print!("{}", result.to_csv());
+        } else {
+            println!("{}", result.render());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,179 @@
+//! Argument parsing for the `figures` binary, separated so it is testable.
+//!
+//! Grammar:
+//!
+//! ```text
+//! figures <artifact|all|ablations|extras|everything>
+//!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
+//! ```
+
+use std::path::PathBuf;
+
+use crate::worlds::Scale;
+use crate::{ablations, extras, figures};
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Artifact ids to compute, in order.
+    pub ids: Vec<&'static str>,
+    /// Experiment scale.
+    pub scale: Scale,
+    /// World seed.
+    pub seed: u64,
+    /// Emit long-form CSV to stdout instead of text tables.
+    pub csv: bool,
+    /// Write per-artifact `.csv`/`.txt` files here instead of stdout.
+    pub out_dir: Option<PathBuf>,
+}
+
+/// Parse failure, with a message for the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Resolves a target word to the artifact ids it denotes.
+pub fn resolve_target(target: &str) -> Result<Vec<&'static str>, ParseError> {
+    match target {
+        "all" => Ok(figures::ALL.to_vec()),
+        "ablations" => Ok(ablations::ALL.to_vec()),
+        "extras" => Ok(extras::ALL.to_vec()),
+        "everything" => Ok(figures::ALL
+            .iter()
+            .chain(ablations::ALL.iter())
+            .chain(extras::ALL.iter())
+            .copied()
+            .collect()),
+        one => figures::ALL
+            .iter()
+            .chain(ablations::ALL.iter())
+            .chain(extras::ALL.iter())
+            .find(|&&id| id == one)
+            .map(|&id| vec![id])
+            .ok_or_else(|| ParseError(format!("unknown artifact {one:?}"))),
+    }
+}
+
+/// Parses command-line arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
+    let mut target: Option<String> = None;
+    let mut scale = Scale::Paper;
+    let mut seed: u64 = 2015;
+    let mut csv = false;
+    let mut out_dir = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| Scale::parse(s))
+                    .ok_or_else(|| ParseError("expected --scale small|paper".into()))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError("expected --seed <u64>".into()))?;
+            }
+            "--csv" => csv = true,
+            "--out" => {
+                out_dir = Some(PathBuf::from(
+                    it.next().ok_or_else(|| ParseError("expected --out <dir>".into()))?,
+                ));
+            }
+            "--help" | "-h" => return Err(ParseError(String::new())),
+            other if target.is_none() => target = Some(other.to_string()),
+            other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+        }
+    }
+    let target = target.ok_or_else(|| ParseError("missing artifact id".into()))?;
+    Ok(Invocation { ids: resolve_target(&target)?, scale, seed, csv, out_dir })
+}
+
+/// The usage text.
+pub fn usage_text() -> String {
+    format!(
+        "usage: figures <artifact|all|ablations|extras|everything> \
+         [--scale small|paper] [--seed N] [--csv] [--out DIR]\n\
+         artifacts: {}\n\
+         ablations: {}\n\
+         extras:    {}",
+        figures::ALL.join(" "),
+        ablations::ALL.join(" "),
+        extras::ALL.join(" "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_invocation() {
+        let inv = parse(&args(&["fig3", "--scale", "small", "--seed", "7", "--csv"])).unwrap();
+        assert_eq!(inv.ids, vec!["fig3"]);
+        assert_eq!(inv.scale, Scale::Small);
+        assert_eq!(inv.seed, 7);
+        assert!(inv.csv);
+        assert!(inv.out_dir.is_none());
+    }
+
+    #[test]
+    fn defaults_are_paper_scale_seed_2015() {
+        let inv = parse(&args(&["fig1"])).unwrap();
+        assert_eq!(inv.scale, Scale::Paper);
+        assert_eq!(inv.seed, 2015);
+        assert!(!inv.csv);
+    }
+
+    #[test]
+    fn groups_expand() {
+        assert_eq!(resolve_target("all").unwrap().len(), figures::ALL.len());
+        assert_eq!(resolve_target("ablations").unwrap().len(), ablations::ALL.len());
+        assert_eq!(resolve_target("extras").unwrap().len(), extras::ALL.len());
+        assert_eq!(
+            resolve_target("everything").unwrap().len(),
+            figures::ALL.len() + ablations::ALL.len() + extras::ALL.len()
+        );
+    }
+
+    #[test]
+    fn every_known_id_resolves_alone() {
+        for id in figures::ALL.iter().chain(ablations::ALL.iter()).chain(extras::ALL.iter()) {
+            assert_eq!(resolve_target(id).unwrap(), vec![*id]);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["nonsense"])).is_err());
+        assert!(parse(&args(&["fig1", "--seed"])).is_err());
+        assert!(parse(&args(&["fig1", "--seed", "x"])).is_err());
+        assert!(parse(&args(&["fig1", "--scale", "huge"])).is_err());
+        assert!(parse(&args(&["fig1", "extra-arg"])).is_err());
+    }
+
+    #[test]
+    fn out_dir_is_captured() {
+        let inv = parse(&args(&["fig2", "--out", "/tmp/x"])).unwrap();
+        assert_eq!(inv.out_dir, Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn usage_mentions_every_group() {
+        let u = usage_text();
+        assert!(u.contains("fig9") && u.contains("ablation-hybrid") && u.contains("world-summary"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 1 — diminishing returns of measuring additional front-ends.
+//!
+//! "The labeled Nth line includes latency measurements from the nearest N
+//! front-ends to the LDNS. The results show decreasing latency as we
+//! initially include more front-ends, but we see little decrease after
+//! adding five front-ends per prefix" (§3.3). The figure validates the
+//! beacon's ten-candidate cap.
+//!
+//! Regeneration: for every client /24, measure each of the ten front-ends
+//! nearest its LDNS (three samples each, keeping the minimum — the paper
+//! plots *minimum observed* latency), then for each N plot the CDF over
+//! /24s of the minimum across the nearest N.
+
+use anycast_analysis::cdf::{linear_grid, Ecdf};
+use anycast_analysis::report::Series;
+use anycast_core::Deployment;
+use anycast_netsim::Day;
+use anycast_workload::ldns_assign;
+
+use crate::worlds::{rng_for, scenario, Scale};
+use crate::FigureResult;
+
+/// The candidate-count lines of the figure.
+pub const N_LINES: [usize; 5] = [1, 3, 5, 7, 9];
+
+/// Samples per candidate front-end.
+const SAMPLES: usize = 3;
+
+/// Computes the figure.
+pub fn compute(scale: Scale, seed: u64) -> FigureResult {
+    let s = scenario(scale, seed);
+    let deployment = Deployment::of(&s.internet);
+    let mut rng = rng_for(seed, 0xf161);
+
+    // Per client: ascending-candidate-rank minimum latencies.
+    let max_n = *N_LINES.iter().max().expect("non-empty") ;
+    let mut per_client_min: Vec<Vec<f64>> = Vec::with_capacity(s.clients.len());
+    for c in &s.clients {
+        let ldns_id = s.ldns.resolver_of(c.prefix);
+        let believed =
+            ldns_assign::believed_ldns_location(s.ldns.resolver(ldns_id), &s.geodb);
+        let candidates = deployment.nearest(&believed, max_n);
+        let mut mins = Vec::with_capacity(candidates.len());
+        let mut best_so_far = f64::INFINITY;
+        for &(site, _) in &candidates {
+            let mut site_min = f64::INFINITY;
+            for _ in 0..SAMPLES {
+                site_min =
+                    site_min.min(s.internet.measure_unicast(&c.attachment, site, Day(0), &mut rng));
+            }
+            best_so_far = best_so_far.min(site_min);
+            mins.push(best_so_far);
+        }
+        per_client_min.push(mins);
+    }
+
+    let grid = linear_grid(0.0, 200.0, 40);
+    let mut series = Vec::new();
+    // Paper legend order: 9 front-ends first.
+    for &n in N_LINES.iter().rev() {
+        let values = per_client_min
+            .iter()
+            .filter_map(|mins| mins.get(n.min(mins.len()) - 1).copied());
+        let ecdf = Ecdf::from_values(values);
+        series.push(Series::new(format!("{n} front-ends"), ecdf.cdf_series(&grid)));
+    }
+
+    // Headline scalars: median min-latency at N=1, 5, 9 — the diminishing-
+    // returns argument in numbers.
+    let median_at = |n: usize| {
+        Ecdf::from_values(
+            per_client_min.iter().filter_map(|m| m.get(n.min(m.len()) - 1).copied()),
+        )
+        .median()
+        .unwrap_or(f64::NAN)
+    };
+    let scalars = vec![
+        ("median min-latency, 1 front-end (ms)".to_string(), median_at(1)),
+        ("median min-latency, 5 front-ends (ms)".to_string(), median_at(5)),
+        ("median min-latency, 9 front-ends (ms)".to_string(), median_at(9)),
+        (
+            "gain from 5 to 9 front-ends (ms)".to_string(),
+            median_at(5) - median_at(9),
+        ),
+    ];
+
+    FigureResult {
+        id: "fig1",
+        title: "Diminishing returns of measuring to additional front-ends".into(),
+        x_label: "min latency (ms)".into(),
+        series,
+        scalars,
+        text: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let fig = compute(Scale::Small, 1);
+        assert_eq!(fig.series.len(), N_LINES.len());
+        // More candidates can only lower the minimum: at every grid point
+        // the 9-front-end CDF dominates the 1-front-end CDF.
+        let nine = &fig.series[0];
+        let one = fig.series.last().unwrap();
+        assert!(nine.name.starts_with('9') && one.name.starts_with('1'));
+        for (a, b) in nine.points.iter().zip(&one.points) {
+            assert!(a.1 >= b.1 - 1e-12, "CDF ordering violated at x={}", a.0);
+        }
+        // Diminishing returns: the 1→5 gain exceeds the 5→9 gain.
+        let med = |name_prefix: &str| {
+            fig.scalars
+                .iter()
+                .find(|(k, _)| k.contains(name_prefix))
+                .unwrap()
+                .1
+        };
+        let gain_1_to_5 = med("1 front-end") - med("5 front-ends");
+        let gain_5_to_9 = med("5 front-ends") - med("9 front-ends");
+        assert!(gain_1_to_5 >= gain_5_to_9, "{gain_1_to_5} vs {gain_5_to_9}");
+        assert!(gain_5_to_9 < 10.0, "no plateau after 5 front-ends");
+    }
+}

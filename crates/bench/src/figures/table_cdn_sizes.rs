@@ -1,0 +1,63 @@
+//! §4's CDN size comparison, rendered as a table.
+//!
+//! "We examine 21 CDNs and content providers for which there is publicly
+//! available data … the Bing CDN is most similar to Level3 and MaxCDN."
+
+use anycast_core::catalog::{RedirectionKind, CDN_CATALOG};
+
+use crate::FigureResult;
+
+/// Renders the catalog.
+pub fn compute() -> FigureResult {
+    let mut text = String::new();
+    text.push_str(&format!(
+        "{:<22} {:>10}  {:<8} {}\n",
+        "CDN", "locations", "redirect", "notes"
+    ));
+    let mut rows: Vec<_> = CDN_CATALOG.to_vec();
+    rows.sort_by_key(|e| std::cmp::Reverse(e.locations));
+    for e in rows {
+        let redirect = match e.redirection {
+            RedirectionKind::Anycast => "anycast",
+            RedirectionKind::Dns => "dns",
+            RedirectionKind::Unknown => "?",
+        };
+        let count = if e.lower_bound {
+            format!(">{}", e.locations)
+        } else {
+            e.locations.to_string()
+        };
+        let notes = if e.outlier { "outlier" } else { "" };
+        text.push_str(&format!("{:<22} {:>10}  {:<8} {}\n", e.name, count, redirect, notes));
+    }
+    let anycast_count =
+        CDN_CATALOG.iter().filter(|e| e.redirection == RedirectionKind::Anycast).count();
+    FigureResult {
+        id: "table-cdn-sizes",
+        title: "CDN deployment sizes (§4)".into(),
+        x_label: String::new(),
+        series: Vec::new(),
+        scalars: vec![
+            ("CDNs compared".to_string(), CDN_CATALOG.len() as f64),
+            ("anycast CDNs".to_string(), anycast_count as f64),
+        ],
+        text: Some(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_every_cdn() {
+        let fig = compute();
+        let text = fig.text.as_ref().unwrap();
+        for e in CDN_CATALOG {
+            assert!(text.contains(e.name), "{} missing", e.name);
+        }
+        assert!(text.contains(">1000"));
+        let rendered = fig.render();
+        assert!(rendered.contains("table-cdn-sizes"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure and table regeneration for the paper's evaluation.
+//!
+//! Every table and figure in *Analyzing the Performance of an Anycast CDN*
+//! has a module here that recomputes it over the simulated world:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`figures::fig1`] | Fig. 1 — diminishing returns of measuring more front-ends |
+//! | [`figures::table_cdn_sizes`] | §4 table — CDN deployment sizes |
+//! | [`figures::fig2`] | Fig. 2 — client distance to Nth-closest front-end |
+//! | [`figures::fig3`] | Fig. 3 — CCDF of anycast penalty vs best unicast |
+//! | [`figures::fig4`] | Fig. 4 — client-to-anycast-front-end distance / past-closest |
+//! | [`figures::fig5`] | Fig. 5 — daily poor-path prevalence over a month |
+//! | [`figures::fig6`] | Fig. 6 — poor-path persistence |
+//! | [`figures::fig7`] | Fig. 7 — cumulative front-end switches over a week |
+//! | [`figures::fig8`] | Fig. 8 — distance change on front-end switch |
+//! | [`figures::fig9`] | Fig. 9 — prediction improvement over anycast |
+//!
+//! [`ablations`] adds the design-choice sweeps DESIGN.md calls out
+//! (prediction metric, min-sample filter, candidate-set size, deployment
+//! density, hybrid threshold); [`extras`] quantifies three claims the
+//! paper makes in prose (client-LDNS distance, TCP disruption under route
+//! changes, shedding vs withdrawal). [`worlds`] builds the standard
+//! experiment worlds at two scales: `Small` for CI/criterion, `Paper` for
+//! the numbers recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod cli;
+pub mod extras;
+pub mod figures;
+pub mod worlds;
+
+use anycast_analysis::report::{render_scalars, render_table, Series};
+
+/// One regenerated artifact: labeled series on a shared grid plus summary
+/// scalars, renderable as text or CSV.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Artifact id ("fig3", "table-cdn-sizes").
+    pub id: &'static str,
+    /// Human title, matching the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Named summary numbers (medians, headline fractions) compared against
+    /// the paper in EXPERIMENTS.md.
+    pub scalars: Vec<(String, f64)>,
+    /// Free-form preformatted block (used by the CDN-size table).
+    pub text: Option<String>,
+}
+
+impl FigureResult {
+    /// Renders the artifact as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        if let Some(t) = &self.text {
+            out.push_str(t);
+        }
+        if !self.series.is_empty() {
+            out.push_str(&render_table(&self.x_label, &self.series));
+        }
+        if !self.scalars.is_empty() {
+            let pairs: Vec<(&str, f64)> =
+                self.scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            out.push('\n');
+            out.push_str(&render_scalars(&pairs));
+        }
+        out
+    }
+
+    /// Renders the series as long-form CSV.
+    pub fn to_csv(&self) -> String {
+        anycast_analysis::report::render_csv(&self.series)
+    }
+}

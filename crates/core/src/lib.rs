@@ -1,0 +1,42 @@
+//! The paper's primary contribution, as a library.
+//!
+//! *Analyzing the Performance of an Anycast CDN* (IMC 2015) contributes
+//! three things on top of its substrates, and each is a module here:
+//!
+//! * a characterization of the **CDN deployment** itself — front-end sites,
+//!   anycast + unicast addressing, and the §4 comparison against 21 public
+//!   CDN footprints ([`deployment`], [`catalog`]);
+//! * the space of **client redirection policies** the paper weighs against
+//!   each other — pure anycast, geo-DNS at LDNS granularity, prediction-
+//!   driven DNS at LDNS or ECS granularity, and the hybrid the conclusion
+//!   advocates ([`redirection`]);
+//! * the **history-based prediction scheme** of §6: group clients by /24
+//!   (ECS) or by resolver (LDNS), score each candidate front-end by a
+//!   robust low percentile of yesterday's latency distribution, and serve
+//!   each group the argmin of {anycast, unicast front-ends}
+//!   ([`prediction`]), evaluated against the next day's measurements at the
+//!   50th and 75th percentiles ([`evaluation`]);
+//! * [`study`] orchestrates the full §3 measurement campaign over a
+//!   simulated world: beacon sampling from the query stream, DNS/HTTP log
+//!   collection, the join, and the per-day aggregates every figure
+//!   consumes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod deployment;
+pub mod evaluation;
+pub mod flows;
+pub mod loadaware;
+pub mod prediction;
+pub mod redirection;
+pub mod study;
+
+pub use deployment::Deployment;
+pub use evaluation::{evaluate_prediction, EvalRow};
+pub use prediction::{Choice, GroupKey, Grouping, Metric, PredictionTable, Predictor, PredictorConfig};
+pub use redirection::{AnycastPolicy, GeoClosestDnsPolicy, HybridPolicy, PredictionPolicy};
+pub use flows::{disruption_rate, DisruptionStats, FlowModel};
+pub use loadaware::{plan_shedding, withdraw, SiteLoad};
+pub use study::{Study, StudyConfig};

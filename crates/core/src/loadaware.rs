@@ -1,0 +1,247 @@
+//! Load-aware traffic shedding (the FastRoute-shaped extension).
+//!
+//! §2: "anycast is unaware of server load. If a particular front-end
+//! becomes overloaded, it is difficult to gradually direct traffic away
+//! from that front-end, although there has been recent progress in this
+//! area \[FastRoute\]. Simply withdrawing the route to take that front-end
+//! offline can lead to cascading overloading of nearby front-ends."
+//!
+//! This module implements both alternatives so the claim can be tested:
+//!
+//! * [`plan_shedding`] — gradual, DNS-driven shedding: move just enough
+//!   load off each overloaded site, to the nearest sites with headroom;
+//! * [`withdraw`] — the blunt instrument: take the site offline entirely,
+//!   letting each displaced unit of load fall to the next-nearest site —
+//!   and watch the cascade.
+
+use std::collections::HashMap;
+
+use anycast_geo::GeoPoint;
+use anycast_netsim::SiteId;
+
+/// A site's load/capacity state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteLoad {
+    /// Site id.
+    pub site: SiteId,
+    /// Location (shedding prefers nearby targets).
+    pub location: GeoPoint,
+    /// Current offered load (arbitrary units, e.g. queries/s).
+    pub load: f64,
+    /// Capacity in the same units.
+    pub capacity: f64,
+}
+
+impl SiteLoad {
+    /// Load above capacity (zero when healthy).
+    pub fn overload(&self) -> f64 {
+        (self.load - self.capacity).max(0.0)
+    }
+
+    /// Spare capacity (zero when at or over capacity).
+    pub fn headroom(&self) -> f64 {
+        (self.capacity - self.load).max(0.0)
+    }
+}
+
+/// One shedding instruction: move `amount` of load from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Move {
+    /// Overloaded source site.
+    pub from: SiteId,
+    /// Destination site (has headroom at planning time).
+    pub to: SiteId,
+    /// Load units to move.
+    pub amount: f64,
+}
+
+/// Plans gradual shedding: for every overloaded site, move its excess to
+/// the nearest sites with headroom (closest first). Returns the moves and
+/// the resulting loads.
+///
+/// If total load exceeds total capacity the residual overload stays on the
+/// original sites (there is nowhere to put it) — the planner never
+/// overloads a destination.
+pub fn plan_shedding(sites: &[SiteLoad]) -> (Vec<Move>, Vec<SiteLoad>) {
+    let mut state: Vec<SiteLoad> = sites.to_vec();
+    let mut moves = Vec::new();
+    let overloaded: Vec<usize> = (0..state.len()).filter(|&i| state[i].overload() > 0.0).collect();
+    for idx in overloaded {
+        let mut excess = state[idx].overload();
+        if excess <= 0.0 {
+            continue;
+        }
+        // Destinations by distance from the overloaded site.
+        let from_loc = state[idx].location;
+        let mut order: Vec<usize> = (0..state.len()).filter(|&j| j != idx).collect();
+        order.sort_by(|&a, &b| {
+            state[a]
+                .location
+                .haversine_km(&from_loc)
+                .total_cmp(&state[b].location.haversine_km(&from_loc))
+        });
+        for j in order {
+            if excess <= 0.0 {
+                break;
+            }
+            let take = state[j].headroom().min(excess);
+            if take <= 0.0 {
+                continue;
+            }
+            state[j].load += take;
+            state[idx].load -= take;
+            excess -= take;
+            moves.push(Move { from: state[idx].site, to: state[j].site, amount: take });
+        }
+    }
+    (moves, state)
+}
+
+/// Withdraws `site` entirely: its whole load falls onto the nearest
+/// remaining site (anycast's actual failover behaviour — BGP moves the
+/// traffic wholesale, with no regard for capacity). Returns the resulting
+/// loads with the withdrawn site at zero.
+pub fn withdraw(sites: &[SiteLoad], site: SiteId) -> Vec<SiteLoad> {
+    let mut state: Vec<SiteLoad> = sites.to_vec();
+    let Some(idx) = state.iter().position(|s| s.site == site) else {
+        return state;
+    };
+    let moved = state[idx].load;
+    let from_loc = state[idx].location;
+    state[idx].load = 0.0;
+    if let Some(nearest) = (0..state.len())
+        .filter(|&j| j != idx)
+        .min_by(|&a, &b| {
+            state[a]
+                .location
+                .haversine_km(&from_loc)
+                .total_cmp(&state[b].location.haversine_km(&from_loc))
+        })
+    {
+        state[nearest].load += moved;
+    }
+    state
+}
+
+/// Total overload across sites — the health metric the experiments report.
+pub fn total_overload(sites: &[SiteLoad]) -> f64 {
+    sites.iter().map(SiteLoad::overload).sum()
+}
+
+/// Builds per-site loads from `(site, weight)` observations (e.g. the
+/// volume-weighted anycast routing of a scenario's clients) and a uniform
+/// capacity factor: every site gets `capacity_factor × mean load`.
+pub fn loads_from_traffic(
+    traffic: &HashMap<SiteId, f64>,
+    locations: &[(SiteId, GeoPoint)],
+    capacity_factor: f64,
+) -> Vec<SiteLoad> {
+    let total: f64 = traffic.values().sum();
+    let mean = total / locations.len().max(1) as f64;
+    locations
+        .iter()
+        .map(|&(site, location)| SiteLoad {
+            site,
+            location,
+            load: traffic.get(&site).copied().unwrap_or(0.0),
+            capacity: capacity_factor * mean,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(id: u16, lon: f64, load: f64, capacity: f64) -> SiteLoad {
+        SiteLoad { site: SiteId(id), location: GeoPoint::new(0.0, lon), load, capacity }
+    }
+
+    #[test]
+    fn shedding_clears_overload_when_capacity_exists() {
+        let sites = vec![
+            site(0, 0.0, 150.0, 100.0), // overloaded by 50
+            site(1, 5.0, 40.0, 100.0),  // 60 headroom, nearest
+            site(2, 50.0, 90.0, 100.0), // 10 headroom, far
+        ];
+        let (moves, after) = plan_shedding(&sites);
+        assert_eq!(total_overload(&after), 0.0);
+        // Nearest destination takes the load.
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].to, SiteId(1));
+        assert!((moves[0].amount - 50.0).abs() < 1e-9);
+        // No destination went over capacity.
+        for s in &after {
+            assert!(s.load <= s.capacity + 1e-9);
+        }
+    }
+
+    #[test]
+    fn shedding_spills_to_second_nearest_when_first_fills() {
+        let sites = vec![
+            site(0, 0.0, 200.0, 100.0), // overloaded by 100
+            site(1, 5.0, 70.0, 100.0),  // 30 headroom
+            site(2, 10.0, 20.0, 100.0), // 80 headroom
+        ];
+        let (moves, after) = plan_shedding(&sites);
+        assert_eq!(total_overload(&after), 0.0);
+        assert_eq!(moves.len(), 2);
+        assert_eq!(moves[0].to, SiteId(1));
+        assert!((moves[0].amount - 30.0).abs() < 1e-9);
+        assert_eq!(moves[1].to, SiteId(2));
+        assert!((moves[1].amount - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_overload_stays_when_system_is_saturated() {
+        let sites = vec![site(0, 0.0, 250.0, 100.0), site(1, 5.0, 100.0, 100.0)];
+        let (_, after) = plan_shedding(&sites);
+        assert!((total_overload(&after) - 150.0).abs() < 1e-9);
+        // The healthy site was not pushed over.
+        assert!(after[1].load <= after[1].capacity + 1e-9);
+    }
+
+    #[test]
+    fn withdrawal_cascades_where_shedding_does_not() {
+        // The §2 scenario: an overloaded site next to a near-capacity
+        // neighbour. Shedding moves only the excess (fits); withdrawal
+        // dumps everything (cascades).
+        let sites = vec![
+            site(0, 0.0, 120.0, 100.0), // overloaded by 20
+            site(1, 5.0, 80.0, 100.0),  // 20 headroom — exactly enough
+            site(2, 90.0, 50.0, 100.0),
+        ];
+        let (_, shed) = plan_shedding(&sites);
+        assert_eq!(total_overload(&shed), 0.0, "gradual shedding fits");
+
+        let withdrawn = withdraw(&sites, SiteId(0));
+        assert!(
+            total_overload(&withdrawn) > 0.0,
+            "withdrawal must cascade the neighbour"
+        );
+        // The cascade landed on the nearest site.
+        assert!(withdrawn[1].load > withdrawn[1].capacity);
+    }
+
+    #[test]
+    fn withdraw_unknown_site_is_a_no_op() {
+        let sites = vec![site(0, 0.0, 10.0, 100.0)];
+        assert_eq!(withdraw(&sites, SiteId(9)), sites);
+    }
+
+    #[test]
+    fn loads_from_traffic_distributes_capacity() {
+        let mut traffic = HashMap::new();
+        traffic.insert(SiteId(0), 300.0);
+        traffic.insert(SiteId(1), 100.0);
+        let locations = vec![
+            (SiteId(0), GeoPoint::new(0.0, 0.0)),
+            (SiteId(1), GeoPoint::new(0.0, 10.0)),
+        ];
+        let sites = loads_from_traffic(&traffic, &locations, 1.2);
+        // mean load 200, capacity 240 each.
+        assert!((sites[0].capacity - 240.0).abs() < 1e-9);
+        assert!((sites[0].overload() - 60.0).abs() < 1e-9);
+        assert_eq!(sites[1].overload(), 0.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The §6 history-based prediction scheme.
+//!
+//! "We evaluate (in emulation based on our real user measurements) a
+//! prediction scheme that maps from a client group (clients of an LDNS or
+//! clients within an ECS prefix) to its predicted best front-end. It
+//! updates its mapping every prediction interval, set to one day in our
+//! experiment. The scheme chooses to map a client group to the lowest
+//! latency front-end across the measurements for that group, picking either
+//! the anycast address or one of the unicast front-ends. … For a given
+//! client group, we select among the front-ends with 20+ measurements from
+//! the clients."
+//!
+//! The prediction **metric** is the 25th percentile (or median) of the
+//! group's latency distribution to each target: "analysis of client data
+//! showed that higher percentiles of latency distributions are very noisy
+//! … The 25th percentile and median have lower coefficient of variation."
+
+use std::collections::HashMap;
+
+use anycast_analysis::percentile;
+use anycast_beacon::{BeaconDataset, Target};
+use anycast_dns::LdnsId;
+use anycast_netsim::{Day, Prefix24};
+
+/// The granularity clients are grouped at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Grouping {
+    /// Per client /24, via the EDNS client-subnet option.
+    Ecs,
+    /// Per recursive resolver — classic DNS redirection granularity.
+    Ldns,
+}
+
+/// A client group's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// An ECS /24 group.
+    Ecs(Prefix24),
+    /// An LDNS group.
+    Ldns(LdnsId),
+}
+
+/// The latency statistic used to score a candidate front-end.
+///
+/// ```
+/// use anycast_core::Metric;
+///
+/// let samples = [10.0, 20.0, 30.0, 40.0, 400.0]; // spiky tail
+/// assert_eq!(Metric::P25.score(&samples), Some(20.0));
+/// assert!(Metric::P95.score(&samples).unwrap() > 300.0); // noise-dominated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// 25th percentile — the paper's headline choice.
+    P25,
+    /// Median — evaluated by the paper, "very similar performance".
+    Median,
+    /// 75th percentile — included for the noise ablation the paper argues
+    /// from.
+    P75,
+    /// 95th percentile — ditto.
+    P95,
+}
+
+impl Metric {
+    /// The percentile value.
+    pub fn p(&self) -> f64 {
+        match self {
+            Metric::P25 => 25.0,
+            Metric::Median => 50.0,
+            Metric::P75 => 75.0,
+            Metric::P95 => 95.0,
+        }
+    }
+
+    /// Applies the metric to a latency sample.
+    pub fn score(&self, samples: &[f64]) -> Option<f64> {
+        percentile(samples, self.p())
+    }
+}
+
+/// Predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorConfig {
+    /// Client grouping granularity.
+    pub grouping: Grouping,
+    /// Scoring metric.
+    pub metric: Metric,
+    /// Minimum measurements a `(group, target)` pair needs to be considered
+    /// (paper: 20).
+    pub min_samples: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 }
+    }
+}
+
+/// A group's trained choice: the target to serve and the gain the metric
+/// expects over anycast (`None` when anycast itself lacked enough samples
+/// to be scored).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Choice {
+    /// The target to serve this group.
+    pub target: Target,
+    /// Expected improvement over anycast under the training metric, ms
+    /// (0 when the choice *is* anycast).
+    pub gain_ms: Option<f64>,
+}
+
+/// The per-group choice table produced by one training pass — what the
+/// authoritative server would serve during the next prediction interval.
+#[derive(Debug, Clone, Default)]
+pub struct PredictionTable {
+    choices: HashMap<GroupKey, Choice>,
+}
+
+impl PredictionTable {
+    /// The predicted best target for a group, if the group had enough data.
+    pub fn predict(&self, key: GroupKey) -> Option<Target> {
+        self.choices.get(&key).map(|c| c.target)
+    }
+
+    /// The full choice (target + expected gain) for a group.
+    pub fn choice(&self, key: GroupKey) -> Option<&Choice> {
+        self.choices.get(&key)
+    }
+
+    /// Restricts the table to groups whose expected gain over anycast is at
+    /// least `min_gain_ms` — the §6 hybrid: "use DNS-based redirection for
+    /// a small subset of poor performing clients, while leaving others to
+    /// anycast". Groups with unknown gain are dropped (no evidence, no
+    /// redirect).
+    pub fn hybrid_filter(&self, min_gain_ms: f64) -> PredictionTable {
+        PredictionTable {
+            choices: self
+                .choices
+                .iter()
+                .filter(|(_, c)| {
+                    matches!(c.target, Target::Unicast(_))
+                        && c.gain_ms.is_some_and(|g| g >= min_gain_ms)
+                })
+                .map(|(k, c)| (*k, *c))
+                .collect(),
+        }
+    }
+
+    /// Number of groups with a prediction.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether no group has a prediction.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Groups predicted to do better on a *unicast* front-end (the clients
+    /// DNS redirection would actually move; everyone else stays on
+    /// anycast).
+    pub fn redirected_groups(&self) -> impl Iterator<Item = (GroupKey, &Choice)> {
+        self.choices
+            .iter()
+            .filter(|(_, c)| !matches!(c.target, Target::Anycast))
+            .map(|(k, c)| (*k, c))
+    }
+
+    /// Iterates over every `(group, choice)`.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupKey, Choice)> + '_ {
+        self.choices.iter().map(|(k, c)| (*k, *c))
+    }
+}
+
+/// The history-based predictor.
+#[derive(Debug, Clone, Copy)]
+pub struct Predictor {
+    cfg: PredictorConfig,
+}
+
+impl Predictor {
+    /// Creates a predictor.
+    pub fn new(cfg: PredictorConfig) -> Predictor {
+        Predictor { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// Trains a prediction table from one day of beacon measurements (the
+    /// paper's one-day prediction interval).
+    pub fn train(&self, data: &BeaconDataset, day: Day) -> PredictionTable {
+        self.train_window(data, &[day])
+    }
+
+    /// Trains from a multi-day window, pooling each group's measurements
+    /// across the days. The paper used a one-day interval only because
+    /// "our sampling rate was limited due to engineering issues" (§6,
+    /// footnote 2); longer windows trade staleness for sample count — the
+    /// `ablation-training-window` sweep quantifies that trade.
+    pub fn train_window(&self, data: &BeaconDataset, days: &[Day]) -> PredictionTable {
+        let mut grouped: HashMap<(GroupKey, Target), Vec<f64>> = HashMap::new();
+        for &day in days {
+            match self.cfg.grouping {
+                Grouping::Ecs => {
+                    for ((p, t), v) in data.by_prefix_target(day) {
+                        grouped.entry((GroupKey::Ecs(p), t)).or_default().extend(v);
+                    }
+                }
+                Grouping::Ldns => {
+                    for ((l, t), v) in data.by_ldns_target(day) {
+                        grouped.entry((GroupKey::Ldns(l), t)).or_default().extend(v);
+                    }
+                }
+            }
+        }
+        // Score every (group, target) with enough samples.
+        let mut best: HashMap<GroupKey, (Target, f64)> = HashMap::new();
+        let mut anycast_score: HashMap<GroupKey, f64> = HashMap::new();
+        for ((key, target), samples) in grouped {
+            if samples.len() < self.cfg.min_samples {
+                continue;
+            }
+            let Some(score) = self.cfg.metric.score(&samples) else { continue };
+            if target == Target::Anycast {
+                anycast_score.insert(key, score);
+            }
+            match best.get(&key) {
+                Some(&(prev_t, prev_s))
+                    if prev_s < score
+                        || (prev_s == score && target_order(prev_t) <= target_order(target)) => {}
+                _ => {
+                    best.insert(key, (target, score));
+                }
+            }
+        }
+        PredictionTable {
+            choices: best
+                .into_iter()
+                .map(|(k, (t, s))| {
+                    let gain_ms = match t {
+                        Target::Anycast => Some(0.0),
+                        Target::Unicast(_) => anycast_score.get(&k).map(|a| a - s),
+                    };
+                    (k, Choice { target: t, gain_ms })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Deterministic tie-break: anycast wins ties (don't redirect without
+/// evidence), then lower site id.
+fn target_order(t: Target) -> u32 {
+    match t {
+        Target::Anycast => 0,
+        Target::Unicast(s) => 1 + u32::from(s.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_beacon::{BeaconMeasurement, Slot};
+    use anycast_netsim::SiteId;
+    use std::net::Ipv4Addr;
+
+    fn prefix(n: u8) -> Prefix24 {
+        Prefix24::containing(Ipv4Addr::new(11, 0, n, 1))
+    }
+
+    /// Builds `n` measurements of `rtt` for (prefix, ldns, target) on day 0.
+    fn rows(
+        exec_base: u64,
+        p: Prefix24,
+        ldns: u32,
+        target: Target,
+        rtt: f64,
+        n: usize,
+    ) -> Vec<BeaconMeasurement> {
+        (0..n)
+            .map(|i| {
+                let slot = match target {
+                    Target::Anycast => Slot::Anycast,
+                    Target::Unicast(_) => Slot::GeoClosest,
+                };
+                BeaconMeasurement {
+                    measurement_id: slot.id_for(exec_base + i as u64),
+                    slot,
+                    prefix: p,
+                    ldns: LdnsId(ldns),
+                    ecs: None,
+                    target,
+                    served_site: match target {
+                        Target::Anycast => SiteId(0),
+                        Target::Unicast(s) => s,
+                    },
+                    rtt_ms: rtt,
+                    day: Day(0),
+                    time_s: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn picks_the_lowest_latency_target() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 25));
+        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 50.0, 25));
+        ds.extend(rows(200, prefix(1), 0, Target::Unicast(SiteId(4)), 65.0, 25));
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        assert_eq!(
+            table.predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Unicast(SiteId(3)))
+        );
+    }
+
+    #[test]
+    fn anycast_kept_when_it_wins() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 40.0, 25));
+        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 50.0, 25));
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+        assert_eq!(table.redirected_groups().count(), 0);
+    }
+
+    #[test]
+    fn min_samples_filter_applies_per_target() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 25));
+        // Better target, but only 5 samples: must be ignored.
+        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 10.0, 5));
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+    }
+
+    #[test]
+    fn group_without_enough_data_has_no_prediction() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 3));
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), None);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn ldns_grouping_pools_prefixes() {
+        let mut ds = BeaconDataset::new();
+        // Two prefixes behind one LDNS, each contributing 15 anycast
+        // samples: individually below min_samples, pooled above it.
+        ds.extend(rows(0, prefix(1), 7, Target::Anycast, 80.0, 15));
+        ds.extend(rows(100, prefix(2), 7, Target::Anycast, 80.0, 15));
+        ds.extend(rows(200, prefix(1), 7, Target::Unicast(SiteId(2)), 30.0, 15));
+        ds.extend(rows(300, prefix(2), 7, Target::Unicast(SiteId(2)), 30.0, 15));
+        let cfg = PredictorConfig { grouping: Grouping::Ldns, ..Default::default() };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+        assert_eq!(
+            table.predict(GroupKey::Ldns(LdnsId(7))),
+            Some(Target::Unicast(SiteId(2)))
+        );
+        // ECS grouping on the same data: no group qualifies.
+        let ecs_table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        assert!(ecs_table.is_empty());
+    }
+
+    #[test]
+    fn metric_changes_the_decision() {
+        // Target A: excellent p25, terrible tail. Target B: flat 55 ms.
+        let mut ds = BeaconDataset::new();
+        let mut a_samples = rows(0, prefix(1), 0, Target::Unicast(SiteId(1)), 20.0, 13);
+        a_samples.extend(rows(50, prefix(1), 0, Target::Unicast(SiteId(1)), 200.0, 12));
+        ds.extend(a_samples);
+        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(2)), 55.0, 25));
+        ds.extend(rows(200, prefix(1), 0, Target::Anycast, 300.0, 25));
+        let p25 = Predictor::new(PredictorConfig { metric: Metric::P25, ..Default::default() });
+        let p95 = Predictor::new(PredictorConfig { metric: Metric::P95, ..Default::default() });
+        assert_eq!(
+            p25.train(&ds, Day(0)).predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Unicast(SiteId(1)))
+        );
+        assert_eq!(
+            p95.train(&ds, Day(0)).predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Unicast(SiteId(2)))
+        );
+    }
+
+    #[test]
+    fn training_only_sees_the_given_day() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 25));
+        let mut tomorrow = rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 10.0, 25);
+        for m in &mut tomorrow {
+            m.day = Day(1);
+        }
+        ds.extend(tomorrow);
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        // Day-1 data must not leak into day-0 training.
+        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+    }
+
+    #[test]
+    fn tie_prefers_anycast() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 50.0, 25));
+        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 50.0, 25));
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+    }
+}

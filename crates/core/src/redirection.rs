@@ -1,0 +1,324 @@
+//! Redirection policies: the §2/§6 design space as pluggable DNS policies.
+//!
+//! Each policy implements [`anycast_dns::RedirectionPolicy`] and can be
+//! installed on an [`anycast_dns::AuthoritativeServer`]:
+//!
+//! * [`AnycastPolicy`] — always answer the anycast VIP (the studied CDN's
+//!   production behaviour);
+//! * [`GeoClosestDnsPolicy`] — answer the unicast address of the front-end
+//!   nearest to the requesting LDNS's believed location (classic geo-DNS,
+//!   §2's "performance-based decision … based on which LDNS forwarded the
+//!   request" in its simplest form);
+//! * [`PredictionPolicy`] — answer from a trained
+//!   [`crate::prediction::PredictionTable`], at ECS or LDNS granularity,
+//!   falling back to anycast for unknown groups;
+//! * [`HybridPolicy`] — the paper's conclusion: anycast for everyone except
+//!   the groups a prediction table says gain at least a threshold from DNS
+//!   redirection.
+
+use anycast_geo::GeoPoint;
+use anycast_netsim::CdnAddressing;
+
+use anycast_dns::{DnsAnswer, QueryContext, RedirectionPolicy};
+
+use crate::deployment::Deployment;
+use crate::prediction::{GroupKey, Grouping, PredictionTable};
+use anycast_beacon::Target;
+
+/// Always answer the anycast VIP.
+#[derive(Debug, Clone, Copy)]
+pub struct AnycastPolicy {
+    addressing: CdnAddressing,
+    ttl_s: u32,
+}
+
+impl AnycastPolicy {
+    /// Creates the policy.
+    pub fn new(addressing: CdnAddressing, ttl_s: u32) -> AnycastPolicy {
+        AnycastPolicy { addressing, ttl_s }
+    }
+}
+
+impl RedirectionPolicy for AnycastPolicy {
+    fn answer(&self, _query: &QueryContext<'_>) -> DnsAnswer {
+        DnsAnswer::global(self.addressing.anycast_ip(), self.ttl_s)
+    }
+}
+
+/// Geo-DNS: the front-end nearest the LDNS's believed location.
+#[derive(Debug, Clone)]
+pub struct GeoClosestDnsPolicy {
+    deployment: Deployment,
+    ttl_s: u32,
+}
+
+impl GeoClosestDnsPolicy {
+    /// Creates the policy over a deployment.
+    pub fn new(deployment: Deployment, ttl_s: u32) -> GeoClosestDnsPolicy {
+        GeoClosestDnsPolicy { deployment, ttl_s }
+    }
+
+    /// The site this policy selects for an LDNS at `loc`.
+    pub fn select(&self, loc: &GeoPoint) -> Option<anycast_netsim::SiteId> {
+        self.deployment.nearest(loc, 1).first().map(|&(s, _)| s)
+    }
+}
+
+impl RedirectionPolicy for GeoClosestDnsPolicy {
+    fn answer(&self, query: &QueryContext<'_>) -> DnsAnswer {
+        match self.select(&query.ldns_location) {
+            Some(site) => {
+                DnsAnswer::global(self.deployment.addressing().site_ip(site), self.ttl_s)
+            }
+            None => DnsAnswer::global(self.deployment.addressing().anycast_ip(), self.ttl_s),
+        }
+    }
+}
+
+/// Prediction-driven DNS redirection.
+#[derive(Debug, Clone)]
+pub struct PredictionPolicy {
+    table: PredictionTable,
+    grouping: Grouping,
+    addressing: CdnAddressing,
+    ttl_s: u32,
+}
+
+impl PredictionPolicy {
+    /// Creates the policy from a trained table.
+    pub fn new(
+        table: PredictionTable,
+        grouping: Grouping,
+        addressing: CdnAddressing,
+        ttl_s: u32,
+    ) -> PredictionPolicy {
+        PredictionPolicy { table, grouping, addressing, ttl_s }
+    }
+
+    /// Swaps in a freshly trained table (the daily prediction-interval
+    /// update).
+    pub fn update_table(&mut self, table: PredictionTable) {
+        self.table = table;
+    }
+
+    /// The currently installed table.
+    pub fn table(&self) -> &PredictionTable {
+        &self.table
+    }
+
+    fn group_of(&self, query: &QueryContext<'_>) -> Option<GroupKey> {
+        match self.grouping {
+            Grouping::Ecs => query.ecs.map(|e| GroupKey::Ecs(e.prefix)),
+            Grouping::Ldns => Some(GroupKey::Ldns(query.ldns)),
+        }
+    }
+}
+
+impl RedirectionPolicy for PredictionPolicy {
+    fn answer(&self, query: &QueryContext<'_>) -> DnsAnswer {
+        let choice = self
+            .group_of(query)
+            .and_then(|k| self.table.predict(k))
+            .unwrap_or(Target::Anycast);
+        let scoped = self.grouping == Grouping::Ecs && query.ecs.is_some();
+        let addr = match choice {
+            Target::Anycast => self.addressing.anycast_ip(),
+            Target::Unicast(site) => self.addressing.site_ip(site),
+        };
+        if scoped {
+            DnsAnswer::subnet_scoped(addr, self.ttl_s)
+        } else {
+            DnsAnswer::global(addr, self.ttl_s)
+        }
+    }
+}
+
+/// The hybrid: prediction-driven redirection restricted to groups whose
+/// expected gain clears a threshold; anycast for everyone else.
+#[derive(Debug, Clone)]
+pub struct HybridPolicy {
+    inner: PredictionPolicy,
+}
+
+impl HybridPolicy {
+    /// Builds the hybrid from a full table by keeping only groups with an
+    /// expected gain of at least `min_gain_ms`.
+    pub fn new(
+        table: &PredictionTable,
+        min_gain_ms: f64,
+        grouping: Grouping,
+        addressing: CdnAddressing,
+        ttl_s: u32,
+    ) -> HybridPolicy {
+        HybridPolicy {
+            inner: PredictionPolicy::new(
+                table.hybrid_filter(min_gain_ms),
+                grouping,
+                addressing,
+                ttl_s,
+            ),
+        }
+    }
+
+    /// Number of groups the hybrid actually redirects.
+    pub fn redirected_count(&self) -> usize {
+        self.inner.table().len()
+    }
+}
+
+impl RedirectionPolicy for HybridPolicy {
+    fn answer(&self, query: &QueryContext<'_>) -> DnsAnswer {
+        self.inner.answer(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_beacon::{BeaconDataset, BeaconMeasurement, Slot};
+    use anycast_dns::{DnsName, EcsOption, LdnsId};
+    use anycast_netsim::{Day, Internet, NetConfig, Prefix24, SiteId};
+    use std::net::Ipv4Addr;
+
+    fn ctx<'a>(
+        qname: &'a DnsName,
+        ldns: u32,
+        loc: GeoPoint,
+        ecs: Option<EcsOption>,
+    ) -> QueryContext<'a> {
+        QueryContext { qname, ldns: LdnsId(ldns), ldns_location: loc, ecs, day: Day(0), time_s: 0.0 }
+    }
+
+    fn prefix(n: u8) -> Prefix24 {
+        Prefix24::containing(Ipv4Addr::new(11, 0, n, 1))
+    }
+
+    fn trained_table(site: u16, gain: f64) -> PredictionTable {
+        // Train a one-group table through the real Predictor so internals
+        // stay consistent.
+        use crate::prediction::{Predictor, PredictorConfig};
+        let mut ds = BeaconDataset::new();
+        let mk = |exec: u64, t: Target, rtt: f64, i: usize| BeaconMeasurement {
+            measurement_id: match t {
+                Target::Anycast => Slot::Anycast.id_for(exec + i as u64),
+                Target::Unicast(_) => Slot::GeoClosest.id_for(exec + i as u64),
+            },
+            slot: Slot::Anycast,
+            prefix: prefix(1),
+            ldns: LdnsId(0),
+            ecs: None,
+            target: t,
+            served_site: SiteId(0),
+            rtt_ms: rtt,
+            day: Day(0),
+            time_s: 0.0,
+        };
+        ds.extend((0..25).map(|i| mk(0, Target::Anycast, 50.0 + gain, i)));
+        ds.extend((0..25).map(|i| mk(100, Target::Unicast(SiteId(site)), 50.0, i)));
+        Predictor::new(PredictorConfig::default()).train(&ds, Day(0))
+    }
+
+    #[test]
+    fn anycast_policy_always_answers_vip() {
+        let plan = CdnAddressing::standard(8);
+        let p = AnycastPolicy::new(plan, 60);
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        let a = p.answer(&ctx(&qname, 0, GeoPoint::new(0.0, 0.0), None));
+        assert!(plan.is_anycast(a.addr));
+        assert_eq!(a.ecs_scope, 0);
+    }
+
+    #[test]
+    fn geo_policy_selects_nearest_site() {
+        let net = Internet::new(NetConfig::small(), 3).unwrap();
+        let deployment = Deployment::of(&net);
+        let plan = *deployment.addressing();
+        // Query from exactly a front-end's location: that site must win.
+        let fe = deployment.front_ends()[2].clone();
+        let p = GeoClosestDnsPolicy::new(deployment, 60);
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        let a = p.answer(&ctx(&qname, 0, fe.location, None));
+        assert_eq!(plan.site_for_ip(a.addr), Some(fe.site));
+    }
+
+    #[test]
+    fn prediction_policy_ecs_uses_subnet() {
+        let plan = CdnAddressing::standard(8);
+        let table = trained_table(3, 30.0);
+        let p = PredictionPolicy::new(table, Grouping::Ecs, plan, 60);
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        // Known subnet: redirected, subnet-scoped.
+        let a = p.answer(&ctx(
+            &qname,
+            0,
+            GeoPoint::new(0.0, 0.0),
+            Some(EcsOption::for_prefix(prefix(1))),
+        ));
+        assert_eq!(plan.site_for_ip(a.addr), Some(SiteId(3)));
+        assert_eq!(a.ecs_scope, 24);
+        // Unknown subnet: anycast fallback.
+        let b = p.answer(&ctx(
+            &qname,
+            0,
+            GeoPoint::new(0.0, 0.0),
+            Some(EcsOption::for_prefix(prefix(9))),
+        ));
+        assert!(plan.is_anycast(b.addr));
+        // No ECS at all: anycast fallback, global scope.
+        let c = p.answer(&ctx(&qname, 0, GeoPoint::new(0.0, 0.0), None));
+        assert!(plan.is_anycast(c.addr));
+        assert_eq!(c.ecs_scope, 0);
+    }
+
+    #[test]
+    fn prediction_policy_ldns_grouping_ignores_ecs() {
+        let plan = CdnAddressing::standard(8);
+        // Build an LDNS-keyed table via the predictor.
+        use crate::prediction::{Predictor, PredictorConfig};
+        let mut ds = BeaconDataset::new();
+        let mk = |exec: u64, t: Target, rtt: f64| BeaconMeasurement {
+            measurement_id: match t {
+                Target::Anycast => Slot::Anycast.id_for(exec),
+                Target::Unicast(_) => Slot::GeoClosest.id_for(exec),
+            },
+            slot: Slot::Anycast,
+            prefix: prefix(1),
+            ldns: LdnsId(4),
+            ecs: None,
+            target: t,
+            served_site: SiteId(0),
+            rtt_ms: rtt,
+            day: Day(0),
+            time_s: 0.0,
+        };
+        ds.extend((0..25).map(|i| mk(i, Target::Anycast, 90.0)));
+        ds.extend((100..125).map(|i| mk(i, Target::Unicast(SiteId(2)), 40.0)));
+        let cfg = PredictorConfig { grouping: Grouping::Ldns, ..Default::default() };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+        let p = PredictionPolicy::new(table, Grouping::Ldns, plan, 60);
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        let a = p.answer(&ctx(&qname, 4, GeoPoint::new(0.0, 0.0), None));
+        assert_eq!(plan.site_for_ip(a.addr), Some(SiteId(2)));
+        // A different LDNS gets anycast.
+        let b = p.answer(&ctx(&qname, 5, GeoPoint::new(0.0, 0.0), None));
+        assert!(plan.is_anycast(b.addr));
+    }
+
+    #[test]
+    fn hybrid_threshold_gates_redirection() {
+        let plan = CdnAddressing::standard(8);
+        let table = trained_table(3, 12.0); // expected gain 12 ms
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        let ecs = Some(EcsOption::for_prefix(prefix(1)));
+
+        let permissive = HybridPolicy::new(&table, 5.0, Grouping::Ecs, plan, 60);
+        assert_eq!(permissive.redirected_count(), 1);
+        let a = permissive.answer(&ctx(&qname, 0, GeoPoint::new(0.0, 0.0), ecs));
+        assert_eq!(plan.site_for_ip(a.addr), Some(SiteId(3)));
+
+        let strict = HybridPolicy::new(&table, 25.0, Grouping::Ecs, plan, 60);
+        assert_eq!(strict.redirected_count(), 0);
+        let b = strict.answer(&ctx(&qname, 0, GeoPoint::new(0.0, 0.0), ecs));
+        assert!(plan.is_anycast(b.addr));
+    }
+}

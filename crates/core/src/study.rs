@@ -1,0 +1,305 @@
+//! The full §3 measurement campaign, orchestrated.
+//!
+//! A [`Study`] drives beacons through a [`Scenario`] the way production
+//! drove them through Bing: a small fraction of each client's queries carry
+//! the beacon, each beacon makes its four measurements through the client's
+//! real resolver against the CDN's authoritative servers, and at the end of
+//! each day the backend joins client-side HTTP results with server-side DNS
+//! logs into the growing [`BeaconDataset`].
+
+use std::collections::HashMap;
+
+use anycast_analysis::poor_paths::PrefixDayPerf;
+use anycast_analysis::quantile::median;
+use anycast_beacon::{
+    join, BeaconClient, BeaconDataset, MeasurementIdGen, MeasurementPolicy, Target, TimingModel,
+};
+use anycast_dns::{AuthoritativeServer, DnsName, LdnsId};
+use anycast_netsim::{Day, Prefix24, Timeline};
+use anycast_workload::{ldns_assign, temporal, Scenario};
+use rand::Rng;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Fraction of queries that carry the beacon ("a small fraction of
+    /// search response pages", §1).
+    pub beacon_rate: f64,
+    /// Candidate-set size for the DNS measurement policy (§3.3's ten).
+    pub candidates: usize,
+    /// Measurement answer TTL, seconds (longer than a beacon run).
+    pub ttl_s: u32,
+    /// Browser timing accuracy model.
+    pub timing: TimingModel,
+    /// Minimum samples for a per-day unicast median to count in the §5
+    /// daily poor-path analysis.
+    pub min_unicast_samples: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            beacon_rate: 0.04,
+            candidates: 10,
+            ttl_s: 300,
+            timing: TimingModel::default(),
+            min_unicast_samples: 6,
+        }
+    }
+}
+
+/// A running measurement campaign.
+#[derive(Debug)]
+pub struct Study {
+    scenario: Scenario,
+    auth: AuthoritativeServer<MeasurementPolicy>,
+    dataset: BeaconDataset,
+    ids: MeasurementIdGen,
+    zone: DnsName,
+    cfg: StudyConfig,
+}
+
+impl Study {
+    /// Sets up the campaign over a scenario.
+    pub fn new(scenario: Scenario, cfg: StudyConfig) -> Study {
+        let policy = MeasurementPolicy::new(
+            scenario.internet.site_locations(),
+            scenario.addressing,
+            cfg.candidates,
+            cfg.ttl_s,
+            scenario.seed ^ 0x6265_6163_6f6e,
+        );
+        // The measurement zone's authoritative server; ECS handling is not
+        // needed for the beacon (client identity comes from the HTTP side).
+        let auth = AuthoritativeServer::new(policy, false);
+        Study {
+            scenario,
+            auth,
+            dataset: BeaconDataset::new(),
+            ids: MeasurementIdGen::new(),
+            zone: DnsName::new("probe.cdn.example").expect("static zone is valid"),
+            cfg,
+        }
+    }
+
+    /// The scenario under study.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.cfg
+    }
+
+    /// The joined measurements collected so far.
+    pub fn dataset(&self) -> &BeaconDataset {
+        &self.dataset
+    }
+
+    /// Runs one day of beacons: samples beacon executions from each
+    /// client's query stream, schedules them on the day's event timeline,
+    /// and runs them in arrival order (so DNS and HTTP logs come out
+    /// time-ordered, as production logs do). The day ends with the backend
+    /// join of DNS and HTTP logs into the dataset.
+    pub fn run_day(&mut self, day: Day, rng: &mut impl Rng) {
+        let s = &mut self.scenario;
+        let day_factor = temporal::day_volume_factor(day);
+        // Phase 1: schedule the day's beacon executions.
+        let mut timeline: Timeline<usize> = Timeline::new();
+        for (idx, c) in s.clients.iter().enumerate() {
+            let expected = c.volume as f64 * self.cfg.beacon_rate * day_factor;
+            let n = {
+                let base = expected.floor();
+                let extra = if rng.gen::<f64>() < expected - base { 1u64 } else { 0 };
+                base as u64 + extra
+            };
+            for _ in 0..n {
+                let t = temporal::sample_query_time(c.attachment.location.lon_deg(), rng);
+                timeline.push(t, idx);
+            }
+        }
+        // Phase 2: drain events in time order.
+        let mut http_rows = Vec::with_capacity(timeline.len() * 4);
+        while let Some((t, idx)) = timeline.pop() {
+            let c = &s.clients[idx];
+            let ldns_id = s.ldns.resolver_of(c.prefix);
+            let believed = ldns_assign::believed_ldns_location(s.ldns.resolver(ldns_id), &s.geodb);
+            let beacon_client = BeaconClient { prefix: c.prefix, attachment: c.attachment };
+            let rows = anycast_beacon::run_beacon(
+                &s.internet,
+                &s.addressing,
+                &self.cfg.timing,
+                &self.zone,
+                &beacon_client,
+                s.ldns.resolver_mut(ldns_id),
+                believed,
+                &mut self.auth,
+                &mut self.ids,
+                day,
+                t,
+                rng,
+            );
+            http_rows.extend(rows);
+        }
+        // Phase 3: day-end backend processing — pull the DNS logs and join.
+        let dns_logs = self.auth.drain_log();
+        let joined = join(&http_rows, &dns_logs, &s.addressing);
+        self.dataset.extend(joined);
+    }
+
+    /// Runs a span of consecutive days.
+    pub fn run_days(&mut self, start: Day, count: u32, rng: &mut impl Rng) {
+        for day in start.span(count) {
+            self.run_day(day, rng);
+        }
+    }
+
+    /// Client prefix → LDNS map (the DNS side of the §6 LDNS evaluation).
+    pub fn ldns_of(&self) -> HashMap<Prefix24, LdnsId> {
+        self.scenario
+            .clients
+            .iter()
+            .map(|c| (c.prefix, self.scenario.ldns.resolver_of(c.prefix)))
+            .collect()
+    }
+
+    /// Client prefix → daily query volume (the figure weighting).
+    pub fn volumes(&self) -> HashMap<Prefix24, u64> {
+        self.scenario.clients.iter().map(|c| (c.prefix, c.volume)).collect()
+    }
+
+    /// §5's end-of-day analysis: for each /24 with anycast measurements on
+    /// `day`, the median anycast latency and the best per-front-end unicast
+    /// median (front-ends with fewer than `min_unicast_samples` samples are
+    /// skipped).
+    pub fn daily_prefix_perf(&self, day: Day) -> Vec<PrefixDayPerf<Prefix24>> {
+        let by_target = self.dataset.by_prefix_target(day);
+        let mut prefixes: Vec<Prefix24> = by_target.keys().map(|&(p, _)| p).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        let mut out = Vec::new();
+        for prefix in prefixes {
+            let Some(anycast_samples) = by_target.get(&(prefix, Target::Anycast)) else {
+                continue;
+            };
+            let Some(anycast_ms) = median(anycast_samples) else { continue };
+            let best_unicast = by_target
+                .iter()
+                .filter(|((p, t), v)| {
+                    *p == prefix
+                        && matches!(t, Target::Unicast(_))
+                        && v.len() >= self.cfg.min_unicast_samples
+                })
+                .filter_map(|(_, v)| median(v))
+                .fold(f64::INFINITY, f64::min);
+            if best_unicast.is_finite() {
+                out.push(PrefixDayPerf { key: prefix, anycast_ms, best_unicast_ms: best_unicast });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_beacon::Slot;
+    use anycast_workload::scenario::seeded_rng;
+
+    fn small_study(seed: u64) -> Study {
+        Study::new(Scenario::small(seed), StudyConfig::default())
+    }
+
+    #[test]
+    fn one_day_produces_joined_measurements() {
+        let mut study = small_study(1);
+        let mut rng = seeded_rng(1, 2);
+        study.run_day(Day(0), &mut rng);
+        assert!(!study.dataset().is_empty(), "no measurements collected");
+        // Every measurement joined an LDNS identity.
+        for m in study.dataset().measurements() {
+            assert!((m.ldns.0 as usize) < study.scenario().ldns.resolvers.len());
+        }
+        // All four slots appear.
+        let slots: std::collections::HashSet<Slot> =
+            study.dataset().measurements().iter().map(|m| m.slot).collect();
+        assert_eq!(slots.len(), 4);
+    }
+
+    #[test]
+    fn executions_have_anycast_and_unicast_sides() {
+        let mut study = small_study(2);
+        let mut rng = seeded_rng(2, 2);
+        study.run_day(Day(0), &mut rng);
+        let execs = study.dataset().executions();
+        assert!(!execs.is_empty());
+        let complete = execs
+            .iter()
+            .filter(|e| e.anycast.is_some() && e.unicast.len() == 3)
+            .count();
+        assert_eq!(complete, execs.len(), "incomplete executions found");
+    }
+
+    #[test]
+    fn beacon_volume_tracks_rate() {
+        let mut study = small_study(3);
+        let mut rng = seeded_rng(3, 2);
+        study.run_day(Day(0), &mut rng);
+        let total_volume: u64 = study.scenario().clients.iter().map(|c| c.volume).sum();
+        let expected_execs = total_volume as f64 * study.config().beacon_rate;
+        let got = study.dataset().executions().len() as f64;
+        assert!(
+            (got - expected_execs).abs() < 0.25 * expected_execs,
+            "{got} executions vs expected {expected_execs}"
+        );
+    }
+
+    #[test]
+    fn daily_perf_is_nonempty_and_sane() {
+        let mut study = small_study(4);
+        let mut rng = seeded_rng(4, 2);
+        study.run_day(Day(0), &mut rng);
+        let perf = study.daily_prefix_perf(Day(0));
+        assert!(!perf.is_empty());
+        for p in &perf {
+            assert!(p.anycast_ms > 0.0 && p.best_unicast_ms > 0.0);
+        }
+        // Some prefixes should have room for improvement, but not most —
+        // the paper's ~20% headline (generous band for a small world).
+        let poor = perf.iter().filter(|p| p.improvement_ms() > 10.0).count();
+        let frac = poor as f64 / perf.len() as f64;
+        assert!(frac > 0.01 && frac < 0.6, "poor fraction {frac}");
+    }
+
+    #[test]
+    fn measurements_arrive_in_time_order() {
+        // The event-driven day must produce time-ordered logs, like a real
+        // log pipeline.
+        let mut study = small_study(8);
+        let mut rng = seeded_rng(8, 2);
+        study.run_day(Day(0), &mut rng);
+        let times: Vec<f64> =
+            study.dataset().measurements().iter().map(|m| m.time_s).collect();
+        assert!(times.len() > 100);
+        let sorted = times.windows(2).all(|w| w[0] <= w[1]);
+        assert!(sorted, "day's measurements are not time-ordered");
+    }
+
+    #[test]
+    fn multi_day_runs_accumulate() {
+        let mut study = small_study(5);
+        let mut rng = seeded_rng(5, 2);
+        study.run_days(Day(0), 2, &mut rng);
+        assert_eq!(study.dataset().days(), vec![Day(0), Day(1)]);
+    }
+
+    #[test]
+    fn maps_cover_population() {
+        let study = small_study(6);
+        let ldns_of = study.ldns_of();
+        let volumes = study.volumes();
+        assert_eq!(ldns_of.len(), study.scenario().clients.len());
+        assert_eq!(volumes.len(), study.scenario().clients.len());
+    }
+}

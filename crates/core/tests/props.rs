@@ -1,0 +1,179 @@
+//! Property tests for the core contribution: the predictor and the load
+//! planner must hold their invariants under arbitrary inputs.
+
+use anycast_beacon::{BeaconDataset, BeaconMeasurement, Slot, Target};
+use anycast_core::loadaware::{plan_shedding, total_overload, withdraw, SiteLoad};
+use anycast_core::{GroupKey, Grouping, Metric, Predictor, PredictorConfig};
+use anycast_dns::LdnsId;
+use anycast_geo::GeoPoint;
+use anycast_netsim::{Day, Prefix24, SiteId};
+use proptest::prelude::*;
+
+/// Builds a dataset from a compact spec: per (prefix, target) a list of
+/// rtts.
+fn dataset(spec: &[(u8, Option<u16>, Vec<f64>)]) -> BeaconDataset {
+    let mut ds = BeaconDataset::new();
+    let mut exec = 0u64;
+    for (prefix_octet, site, rtts) in spec {
+        let prefix = Prefix24::containing(std::net::Ipv4Addr::new(11, 0, *prefix_octet, 1));
+        let (slot, target) = match site {
+            None => (Slot::Anycast, Target::Anycast),
+            Some(s) => (Slot::GeoClosest, Target::Unicast(SiteId(*s))),
+        };
+        let rows: Vec<BeaconMeasurement> = rtts
+            .iter()
+            .map(|&rtt| {
+                exec += 1;
+                BeaconMeasurement {
+                    measurement_id: slot.id_for(exec),
+                    slot,
+                    prefix,
+                    ldns: LdnsId(0),
+                    ecs: None,
+                    target,
+                    served_site: SiteId(site.unwrap_or(0)),
+                    rtt_ms: rtt,
+                    day: Day(0),
+                    time_s: 0.0,
+                }
+            })
+            .collect();
+        ds.extend(rows);
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn predictor_never_uses_undersampled_targets(
+        anycast_rtts in prop::collection::vec(1.0..300.0f64, 0..40),
+        unicast_rtts in prop::collection::vec(1.0..300.0f64, 0..40),
+        min_samples in 1usize..30,
+    ) {
+        let ds = dataset(&[
+            (1, None, anycast_rtts.clone()),
+            (1, Some(3), unicast_rtts.clone()),
+        ]);
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+        let prefix = Prefix24::containing(std::net::Ipv4Addr::new(11, 0, 1, 1));
+        match table.predict(GroupKey::Ecs(prefix)) {
+            None => {
+                prop_assert!(anycast_rtts.len() < min_samples && unicast_rtts.len() < min_samples);
+            }
+            Some(Target::Anycast) => prop_assert!(anycast_rtts.len() >= min_samples),
+            Some(Target::Unicast(_)) => prop_assert!(unicast_rtts.len() >= min_samples),
+        }
+    }
+
+    #[test]
+    fn predictor_choice_minimizes_the_metric(
+        a in prop::collection::vec(1.0..300.0f64, 10..30),
+        b in prop::collection::vec(1.0..300.0f64, 10..30),
+        c in prop::collection::vec(1.0..300.0f64, 10..30),
+    ) {
+        let ds = dataset(&[(1, None, a.clone()), (1, Some(2), b.clone()), (1, Some(5), c.clone())]);
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+        let prefix = Prefix24::containing(std::net::Ipv4Addr::new(11, 0, 1, 1));
+        let chosen = table.predict(GroupKey::Ecs(prefix)).unwrap();
+        let score = |v: &Vec<f64>| Metric::P25.score(v).unwrap();
+        let best = score(&a).min(score(&b)).min(score(&c));
+        let chosen_score = match chosen {
+            Target::Anycast => score(&a),
+            Target::Unicast(SiteId(2)) => score(&b),
+            Target::Unicast(SiteId(5)) => score(&c),
+            _ => unreachable!(),
+        };
+        prop_assert!((chosen_score - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_filter_is_monotone_in_threshold(
+        gains in prop::collection::vec(0.0..100.0f64, 1..20),
+        t1 in 0.0..50.0f64,
+        t2 in 0.0..50.0f64,
+    ) {
+        // Build a table with one redirected group per gain value.
+        let spec: Vec<(u8, Option<u16>, Vec<f64>)> = gains
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &g)| {
+                vec![
+                    (i as u8, None, vec![100.0 + g; 12]),
+                    (i as u8, Some(1), vec![100.0; 12]),
+                ]
+            })
+            .collect();
+        let ds = dataset(&spec);
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(table.hybrid_filter(hi).len() <= table.hybrid_filter(lo).len());
+        // Every surviving group clears the threshold.
+        for (_, choice) in table.hybrid_filter(lo).iter() {
+            prop_assert!(choice.gain_ms.unwrap() >= lo - 1e-9);
+        }
+    }
+
+    #[test]
+    fn shedding_never_overloads_a_destination(
+        loads in prop::collection::vec((0.0..500.0f64, 1.0..300.0f64), 1..20)
+    ) {
+        let sites: Vec<SiteLoad> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &(load, capacity))| SiteLoad {
+                site: SiteId(i as u16),
+                location: GeoPoint::new(0.0, (i as f64 * 17.0) % 360.0 - 180.0),
+                load,
+                capacity,
+            })
+            .collect();
+        let initially_healthy: Vec<bool> = sites.iter().map(|s| s.overload() == 0.0).collect();
+        let (moves, after) = plan_shedding(&sites);
+        // Load is conserved.
+        let before_total: f64 = sites.iter().map(|s| s.load).sum();
+        let after_total: f64 = after.iter().map(|s| s.load).sum();
+        prop_assert!((before_total - after_total).abs() < 1e-6);
+        // No healthy site was pushed over capacity.
+        for (i, s) in after.iter().enumerate() {
+            if initially_healthy[i] {
+                prop_assert!(s.load <= s.capacity + 1e-6, "site {i} overloaded by shedding");
+            }
+        }
+        // Shedding never increases total overload.
+        prop_assert!(total_overload(&after) <= total_overload(&sites) + 1e-6);
+        // Moves are positive and reference existing sites.
+        for m in &moves {
+            prop_assert!(m.amount > 0.0);
+            prop_assert!((m.from.0 as usize) < sites.len());
+            prop_assert!((m.to.0 as usize) < sites.len());
+        }
+    }
+
+    #[test]
+    fn withdrawal_conserves_load(
+        loads in prop::collection::vec((0.0..500.0f64, 1.0..300.0f64), 2..20),
+        victim in 0usize..20,
+    ) {
+        let sites: Vec<SiteLoad> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &(load, capacity))| SiteLoad {
+                site: SiteId(i as u16),
+                location: GeoPoint::new(0.0, (i as f64 * 17.0) % 360.0 - 180.0),
+                load,
+                capacity,
+            })
+            .collect();
+        let victim = SiteId((victim % loads.len()) as u16);
+        let after = withdraw(&sites, victim);
+        let before_total: f64 = sites.iter().map(|s| s.load).sum();
+        let after_total: f64 = after.iter().map(|s| s.load).sum();
+        prop_assert!((before_total - after_total).abs() < 1e-6);
+        prop_assert_eq!(after.iter().find(|s| s.site == victim).unwrap().load, 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! TTL-honoring resolver cache.
+//!
+//! Cache entries are keyed by `(name, ECS prefix)` per RFC 7871 §7.3.1: an
+//! answer computed for one client subnet must not be served to another. For
+//! non-ECS answers the prefix key is `None` and the entry is shared by all
+//! clients of the resolver — exactly the coarseness that makes pure
+//! LDNS-granularity redirection imprecise (§2).
+//!
+//! Time is absolute experiment seconds (day × 86 400 + seconds-of-day).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use anycast_netsim::Prefix24;
+
+use crate::name::DnsName;
+
+/// Cache key: name plus optional ECS scope.
+type Key = (DnsName, Option<Prefix24>);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    addr: Ipv4Addr,
+    expires_at: f64,
+}
+
+/// A TTL cache of A answers.
+#[derive(Debug, Clone, Default)]
+pub struct DnsCache {
+    entries: HashMap<Key, Entry>,
+    hits: u64,
+    misses: u64,
+    /// Maximum live entries; 0 = unbounded. Real resolvers bound their
+    /// cache; the beacon's unique per-measurement names would otherwise
+    /// grow a resolver's cache without limit over a month-long campaign.
+    capacity: usize,
+}
+
+impl DnsCache {
+    /// Creates an unbounded cache.
+    pub fn new() -> DnsCache {
+        DnsCache::default()
+    }
+
+    /// Creates a cache evicting down to `capacity` live entries. Eviction
+    /// removes the entries expiring soonest — the cheapest victims, since
+    /// they are the least likely to be hit again before expiry.
+    pub fn with_capacity(capacity: usize) -> DnsCache {
+        DnsCache { capacity, ..DnsCache::default() }
+    }
+
+    /// Looks up `name` (scoped to `ecs` if the cached answer was
+    /// subnet-scoped) at time `now_s`. Expired entries are treated as
+    /// absent (and dropped).
+    pub fn get(&mut self, name: &DnsName, ecs: Option<Prefix24>, now_s: f64) -> Option<Ipv4Addr> {
+        let key = (name.clone(), ecs);
+        match self.entries.get(&key) {
+            Some(e) if e.expires_at > now_s => {
+                self.hits += 1;
+                Some(e.addr)
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an answer valid for `ttl_s` seconds from `now_s`, evicting
+    /// expired and soonest-expiring entries if a capacity is set.
+    pub fn put(
+        &mut self,
+        name: DnsName,
+        ecs: Option<Prefix24>,
+        addr: Ipv4Addr,
+        ttl_s: u32,
+        now_s: f64,
+    ) {
+        if self.capacity > 0 && self.entries.len() >= self.capacity {
+            // Cheap pass: drop everything already expired.
+            self.entries.retain(|_, e| e.expires_at > now_s);
+            // Still full: evict the soonest-expiring entries.
+            while self.entries.len() >= self.capacity {
+                let victim = self
+                    .entries
+                    .iter()
+                    .min_by(|a, b| a.1.expires_at.total_cmp(&b.1.expires_at))
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        self.entries.remove(&k);
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.entries.insert(
+            (name, ecs),
+            Entry { addr, expires_at: now_s + f64::from(ttl_s) },
+        );
+    }
+
+    /// Number of live + expired entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops every entry (used at day boundaries in long experiments to
+    /// model resolver restarts and bound memory).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::new(s).unwrap()
+    }
+
+    #[test]
+    fn hit_before_expiry_miss_after() {
+        let mut c = DnsCache::new();
+        let n = name("a.cdn.example");
+        let ip = Ipv4Addr::new(203, 0, 113, 1);
+        c.put(n.clone(), None, ip, 60, 1000.0);
+        assert_eq!(c.get(&n, None, 1059.0), Some(ip));
+        assert_eq!(c.get(&n, None, 1060.0), None);
+        // Expired entry is evicted.
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ecs_scoped_entries_do_not_leak_across_subnets() {
+        let mut c = DnsCache::new();
+        let n = name("a.cdn.example");
+        let p1 = Prefix24::containing(Ipv4Addr::new(1, 1, 1, 1));
+        let p2 = Prefix24::containing(Ipv4Addr::new(2, 2, 2, 2));
+        c.put(n.clone(), Some(p1), Ipv4Addr::new(10, 0, 0, 1), 300, 0.0);
+        assert_eq!(c.get(&n, Some(p1), 1.0), Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(c.get(&n, Some(p2), 1.0), None);
+        assert_eq!(c.get(&n, None, 1.0), None);
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let mut c = DnsCache::new();
+        let n = name("a.cdn.example");
+        c.put(n.clone(), None, Ipv4Addr::new(10, 0, 0, 1), 300, 0.0);
+        c.put(n.clone(), None, Ipv4Addr::new(10, 0, 0, 2), 300, 5.0);
+        assert_eq!(c.get(&n, None, 6.0), Some(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = DnsCache::new();
+        let n = name("a.cdn.example");
+        assert_eq!(c.get(&n, None, 0.0), None);
+        c.put(n.clone(), None, Ipv4Addr::new(10, 0, 0, 1), 300, 0.0);
+        c.get(&n, None, 1.0);
+        c.get(&n, None, 2.0);
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let mut c = DnsCache::with_capacity(3);
+        for i in 0..10u8 {
+            let n = name(&format!("h{i}.cdn.example"));
+            c.put(n, None, Ipv4Addr::new(10, 0, 0, i), 300, f64::from(i));
+        }
+        assert!(c.len() <= 3, "cache grew to {}", c.len());
+        // The most recent entry survives.
+        assert_eq!(
+            c.get(&name("h9.cdn.example"), None, 9.5),
+            Some(Ipv4Addr::new(10, 0, 0, 9))
+        );
+    }
+
+    #[test]
+    fn eviction_prefers_expired_entries() {
+        let mut c = DnsCache::with_capacity(2);
+        c.put(name("old.cdn.example"), None, Ipv4Addr::new(1, 1, 1, 1), 10, 0.0);
+        c.put(name("live.cdn.example"), None, Ipv4Addr::new(2, 2, 2, 2), 1000, 0.0);
+        // At t=100 `old` is expired; inserting a third entry must keep `live`.
+        c.put(name("new.cdn.example"), None, Ipv4Addr::new(3, 3, 3, 3), 1000, 100.0);
+        assert_eq!(
+            c.get(&name("live.cdn.example"), None, 101.0),
+            Some(Ipv4Addr::new(2, 2, 2, 2))
+        );
+        assert_eq!(
+            c.get(&name("new.cdn.example"), None, 101.0),
+            Some(Ipv4Addr::new(3, 3, 3, 3))
+        );
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c = DnsCache::new();
+        for i in 0..1000u32 {
+            let n = name(&format!("h{i}.cdn.example"));
+            c.put(n, None, Ipv4Addr::new(10, 0, 0, 1), 300, 0.0);
+        }
+        assert_eq!(c.len(), 1000);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = DnsCache::new();
+        c.put(name("a.cdn.example"), None, Ipv4Addr::new(1, 1, 1, 1), 10, 0.0);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! EDNS client-subnet (ECS).
+//!
+//! ECS (§2, [RFC 7871]) "allows a portion of the client's actual IP address
+//! to be forwarded to the authoritative resolver, allowing per-prefix
+//! redirection decisions". The paper's ECS-based prediction scheme (§6)
+//! operates on /24 prefixes, so the option here carries a
+//! [`Prefix24`] with a source prefix length of 24.
+//!
+//! [RFC 7871]: https://www.rfc-editor.org/rfc/rfc7871
+
+use anycast_netsim::Prefix24;
+
+/// The client-subnet option attached to a forwarded DNS query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EcsOption {
+    /// The client's /24 prefix.
+    pub prefix: Prefix24,
+    /// Source prefix length the resolver forwarded (always 24 here; real
+    /// resolvers may truncate further for privacy).
+    pub source_prefix_len: u8,
+}
+
+impl EcsOption {
+    /// Builds the option for a client prefix.
+    pub fn for_prefix(prefix: Prefix24) -> EcsOption {
+        EcsOption { prefix, source_prefix_len: 24 }
+    }
+}
+
+impl std::fmt::Display for EcsOption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ecs={}", self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn carries_the_prefix() {
+        let p = Prefix24::containing(Ipv4Addr::new(198, 51, 100, 42));
+        let o = EcsOption::for_prefix(p);
+        assert_eq!(o.prefix, p);
+        assert_eq!(o.source_prefix_len, 24);
+        assert_eq!(o.to_string(), "ecs=198.51.100.0/24");
+    }
+}

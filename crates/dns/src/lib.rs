@@ -1,0 +1,41 @@
+//! DNS substrate for the anycast-CDN reproduction.
+//!
+//! The paper's alternative to anycast is DNS-based redirection (§2): the
+//! client's **LDNS** forwards queries to the CDN's **authoritative**
+//! nameserver, which makes a performance-based decision per LDNS — or per
+//! client /24 when the **EDNS client-subnet (ECS)** extension is in play.
+//! The beacon methodology also leans on DNS mechanics: warm-up queries to
+//! remove lookup latency from measurements, TTLs longer than the beacon, and
+//! per-measurement unique hostnames that let server-side DNS logs be joined
+//! with client-side HTTP timings (§3.2.2).
+//!
+//! This crate models exactly those mechanics:
+//!
+//! * [`name::DnsName`] — hostnames, including the unique measurement ids;
+//! * [`record::ARecord`] / [`record::DnsAnswer`] — minimal A-record answers;
+//! * [`ecs::EcsOption`] — the client-subnet option at /24 granularity;
+//! * [`cache::DnsCache`] — TTL-honoring cache, ECS-scope aware;
+//! * [`ldns::Ldns`] — recursive resolvers (ISP-local and public), each with
+//!   a cache and optional ECS support;
+//! * [`authoritative::AuthoritativeServer`] — the CDN's nameserver with a
+//!   pluggable [`authoritative::RedirectionPolicy`] (the policies themselves
+//!   live in `anycast-core`) and a query log ([`log::DnsQueryLog`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod authoritative;
+pub mod cache;
+pub mod ecs;
+pub mod ldns;
+pub mod log;
+pub mod name;
+pub mod record;
+
+pub use authoritative::{AuthoritativeServer, QueryContext, RedirectionPolicy};
+pub use cache::DnsCache;
+pub use ecs::EcsOption;
+pub use ldns::{Ldns, LdnsId, ResolverKind};
+pub use log::DnsQueryLog;
+pub use name::DnsName;
+pub use record::{ARecord, DnsAnswer};

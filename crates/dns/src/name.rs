@@ -1,0 +1,179 @@
+//! DNS names.
+//!
+//! Names are stored lowercase (DNS is case-insensitive) and validated
+//! against the classic RFC 1035 shape constraints: non-empty labels of at
+//! most 63 octets, total length at most 253, and label characters limited to
+//! letters, digits and hyphens. The beacon's unique measurement hostnames
+//! (`m-<id>.probe.<zone>`) satisfy these by construction.
+
+/// A validated, lowercase DNS name.
+///
+/// ```
+/// use anycast_dns::DnsName;
+///
+/// let zone = DnsName::new("cdn.example").unwrap();
+/// let probe = DnsName::measurement(0xbeef, &zone);
+/// assert!(probe.is_in_zone(&zone));
+/// assert_eq!(probe.measurement_id(), Some(0xbeef));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DnsName(String);
+
+/// Why a string failed to parse as a DNS name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// Empty input or a name consisting only of the root dot.
+    Empty,
+    /// Total length exceeded 253 characters.
+    TooLong,
+    /// A label was empty (consecutive dots) or longer than 63 characters.
+    BadLabel(String),
+    /// A label contained a character outside `[a-z0-9-]` or started/ended
+    /// with a hyphen.
+    BadChar(String),
+}
+
+impl std::fmt::Display for NameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameError::Empty => write!(f, "empty name"),
+            NameError::TooLong => write!(f, "name exceeds 253 characters"),
+            NameError::BadLabel(l) => write!(f, "bad label {l:?}"),
+            NameError::BadChar(l) => write!(f, "bad character in label {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl DnsName {
+    /// Parses and normalizes a name. A single trailing dot is accepted and
+    /// dropped.
+    pub fn new(s: &str) -> Result<DnsName, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Err(NameError::Empty);
+        }
+        let lower = s.to_ascii_lowercase();
+        if lower.len() > 253 {
+            return Err(NameError::TooLong);
+        }
+        for label in lower.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(NameError::BadLabel(label.to_string()));
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(NameError::BadChar(label.to_string()));
+            }
+            if !label.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
+                return Err(NameError::BadChar(label.to_string()));
+            }
+        }
+        Ok(DnsName(lower))
+    }
+
+    /// The normalized name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The labels, leftmost first.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// Whether this name is underneath `zone` (or equal to it).
+    pub fn is_in_zone(&self, zone: &DnsName) -> bool {
+        self == zone || self.0.ends_with(&format!(".{}", zone.0))
+    }
+
+    /// Builds the beacon's unique measurement hostname for measurement id
+    /// `id` in `zone`: `m-<id>.probe.<zone>`. The uniqueness of `id` is what
+    /// lets the backend join client-side HTTP timings with server-side DNS
+    /// logs (§3.2.2).
+    pub fn measurement(id: u64, zone: &DnsName) -> DnsName {
+        DnsName(format!("m-{id:016x}.probe.{}", zone.0))
+    }
+
+    /// Extracts the measurement id from a name built by
+    /// [`DnsName::measurement`], if it is one.
+    pub fn measurement_id(&self) -> Option<u64> {
+        let first = self.labels().next()?;
+        let hex = first.strip_prefix("m-")?;
+        if hex.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok()
+    }
+}
+
+impl std::fmt::Display for DnsName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for DnsName {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnsName::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let n = DnsName::new("WWW.Example.COM.").unwrap();
+        assert_eq!(n.as_str(), "www.example.com");
+        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["www", "example", "com"]);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(DnsName::new(""), Err(NameError::Empty));
+        assert_eq!(DnsName::new("."), Err(NameError::Empty));
+        assert!(matches!(DnsName::new("a..b"), Err(NameError::BadLabel(_))));
+        assert!(matches!(DnsName::new("-bad.com"), Err(NameError::BadChar(_))));
+        assert!(matches!(DnsName::new("bad-.com"), Err(NameError::BadChar(_))));
+        assert!(matches!(DnsName::new("spa ce.com"), Err(NameError::BadChar(_))));
+        let long_label = "a".repeat(64);
+        assert!(matches!(DnsName::new(&long_label), Err(NameError::BadLabel(_))));
+        let long_name = format!("{}.{}", "a".repeat(63), "b".repeat(63)).repeat(3);
+        assert!(matches!(DnsName::new(&long_name), Err(NameError::TooLong)));
+    }
+
+    #[test]
+    fn zone_membership() {
+        let zone = DnsName::new("cdn.example").unwrap();
+        assert!(DnsName::new("a.cdn.example").unwrap().is_in_zone(&zone));
+        assert!(DnsName::new("cdn.example").unwrap().is_in_zone(&zone));
+        assert!(!DnsName::new("cdn.example.org").unwrap().is_in_zone(&zone));
+        assert!(!DnsName::new("badcdn.example").unwrap().is_in_zone(&zone));
+    }
+
+    #[test]
+    fn measurement_names_round_trip() {
+        let zone = DnsName::new("cdn.example").unwrap();
+        for id in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let n = DnsName::measurement(id, &zone);
+            assert!(n.is_in_zone(&zone));
+            assert_eq!(n.measurement_id(), Some(id), "{n}");
+        }
+    }
+
+    #[test]
+    fn non_measurement_names_have_no_id() {
+        assert_eq!(DnsName::new("www.cdn.example").unwrap().measurement_id(), None);
+        assert_eq!(DnsName::new("m-xyz.probe.cdn.example").unwrap().measurement_id(), None);
+        assert_eq!(DnsName::new("m-0.probe.cdn.example").unwrap().measurement_id(), None);
+    }
+
+    #[test]
+    fn from_str_works() {
+        let n: DnsName = "bing.cdn.example".parse().unwrap();
+        assert_eq!(n.as_str(), "bing.cdn.example");
+    }
+}

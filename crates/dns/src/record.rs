@@ -1,0 +1,84 @@
+//! Minimal resource records.
+//!
+//! The study only needs A records (the beacon fetches test URLs whose
+//! hostnames resolve to front-end IPs), so that is all we model. TTLs are
+//! kept because the paper's methodology depends on them twice: DNS-based
+//! redirection uses *small* TTLs to retain control (§2), while the beacon
+//! sets TTLs *longer than the beacon duration* so the warm-up query removes
+//! lookup latency from the timed fetch (§3.2.2).
+
+use std::net::Ipv4Addr;
+
+use crate::name::DnsName;
+
+/// What a redirection policy returns: an address and the TTL to serve it
+/// with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnsAnswer {
+    /// The address to return.
+    pub addr: Ipv4Addr,
+    /// Time-to-live in seconds.
+    pub ttl_s: u32,
+    /// ECS scope prefix length to advertise (0 when the answer does not
+    /// depend on the client subnet; 24 when it does).
+    pub ecs_scope: u8,
+}
+
+impl DnsAnswer {
+    /// An answer that does not vary by client subnet.
+    pub fn global(addr: Ipv4Addr, ttl_s: u32) -> DnsAnswer {
+        DnsAnswer { addr, ttl_s, ecs_scope: 0 }
+    }
+
+    /// An answer tailored to a /24 client subnet.
+    pub fn subnet_scoped(addr: Ipv4Addr, ttl_s: u32) -> DnsAnswer {
+        DnsAnswer { addr, ttl_s, ecs_scope: 24 }
+    }
+}
+
+/// A complete A record: name, address, TTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ARecord {
+    /// Owner name.
+    pub name: DnsName,
+    /// IPv4 address.
+    pub addr: Ipv4Addr,
+    /// Time-to-live in seconds.
+    pub ttl_s: u32,
+}
+
+impl ARecord {
+    /// Creates a record.
+    pub fn new(name: DnsName, addr: Ipv4Addr, ttl_s: u32) -> ARecord {
+        ARecord { name, addr, ttl_s }
+    }
+}
+
+impl std::fmt::Display for ARecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} IN A {}", self.name, self.ttl_s, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_carry_scope() {
+        let a = DnsAnswer::global(Ipv4Addr::new(1, 2, 3, 4), 300);
+        assert_eq!(a.ecs_scope, 0);
+        let b = DnsAnswer::subnet_scoped(Ipv4Addr::new(1, 2, 3, 4), 60);
+        assert_eq!(b.ecs_scope, 24);
+    }
+
+    #[test]
+    fn record_displays_zone_file_style() {
+        let r = ARecord::new(
+            DnsName::new("www.cdn.example").unwrap(),
+            Ipv4Addr::new(203, 0, 113, 7),
+            120,
+        );
+        assert_eq!(r.to_string(), "www.cdn.example 120 IN A 203.0.113.7");
+    }
+}

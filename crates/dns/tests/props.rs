@@ -1,0 +1,90 @@
+//! Property tests for the DNS substrate.
+
+use anycast_dns::{AuthoritativeServer, DnsAnswer, DnsCache, DnsName, Ldns, LdnsId, QueryContext, ResolverKind};
+use anycast_geo::GeoPoint;
+use anycast_netsim::{Day, Prefix24};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn valid_names_round_trip(labels in prop::collection::vec(label(), 1..5)) {
+        let name = labels.join(".");
+        let parsed = DnsName::new(&name).unwrap();
+        prop_assert_eq!(parsed.as_str(), name.to_ascii_lowercase());
+        prop_assert_eq!(parsed.labels().count(), labels.len());
+    }
+
+    #[test]
+    fn names_are_case_insensitive(labels in prop::collection::vec(label(), 1..4)) {
+        let lower = labels.join(".");
+        let upper = lower.to_ascii_uppercase();
+        prop_assert_eq!(DnsName::new(&lower).unwrap(), DnsName::new(&upper).unwrap());
+    }
+
+    #[test]
+    fn measurement_ids_round_trip(id in any::<u64>()) {
+        let zone = DnsName::new("cdn.example").unwrap();
+        let name = DnsName::measurement(id, &zone);
+        prop_assert_eq!(name.measurement_id(), Some(id));
+        prop_assert!(name.is_in_zone(&zone));
+    }
+
+    #[test]
+    fn cache_respects_ttl_boundaries(ttl in 1u32..86_400, put_at in 0.0..1e6f64, delta in 0.0..1e5f64) {
+        let mut cache = DnsCache::new();
+        let name = DnsName::new("a.cdn.example").unwrap();
+        let ip = Ipv4Addr::new(203, 0, 113, 1);
+        cache.put(name.clone(), None, ip, ttl, put_at);
+        let probe = put_at + delta;
+        let hit = cache.get(&name, None, probe);
+        if delta < f64::from(ttl) {
+            prop_assert_eq!(hit, Some(ip));
+        } else {
+            prop_assert_eq!(hit, None);
+        }
+    }
+
+    #[test]
+    fn authoritative_logs_every_query(n in 1usize..50) {
+        let policy = |_q: &QueryContext<'_>| DnsAnswer::global(Ipv4Addr::new(1, 1, 1, 1), 60);
+        let mut server = AuthoritativeServer::new(policy, false);
+        let zone = DnsName::new("cdn.example").unwrap();
+        for i in 0..n {
+            let qname = DnsName::measurement(i as u64, &zone);
+            server.resolve(&qname, LdnsId(0), GeoPoint::new(0.0, 0.0), None, Day(0), i as f64);
+        }
+        prop_assert_eq!(server.log().len(), n);
+        // Ids in the log match the queries.
+        for (i, row) in server.log().iter().enumerate() {
+            prop_assert_eq!(row.measurement_id(), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn resolver_caches_within_ttl(gap_s in 0.0..250.0f64) {
+        // TTL 300: any second query within 250s must be a cache hit.
+        let policy = |_q: &QueryContext<'_>| DnsAnswer::global(Ipv4Addr::new(9, 9, 9, 9), 300);
+        let mut server = AuthoritativeServer::new(policy, false);
+        let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, GeoPoint::new(0.0, 0.0), false);
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        let prefix = Prefix24::containing(Ipv4Addr::new(11, 0, 0, 1));
+        let first = ldns.resolve(&qname, prefix, ldns.location, &mut server, Day(0), 0.0);
+        prop_assert!(!first.cache_hit);
+        let second = ldns.resolve(&qname, prefix, ldns.location, &mut server, Day(0), gap_s);
+        prop_assert!(second.cache_hit);
+        prop_assert_eq!(first.addr, second.addr);
+        prop_assert_eq!(server.log().len(), 1);
+    }
+}
+
+#[test]
+fn malformed_names_are_rejected() {
+    for bad in ["", ".", "..", "-x.com", "x-.com", "a b.com", "Ü.com", &"a".repeat(64)] {
+        assert!(DnsName::new(bad).is_err(), "{bad:?} should be rejected");
+    }
+}

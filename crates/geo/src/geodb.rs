@@ -1,0 +1,246 @@
+//! Geolocation database with a stable error model.
+//!
+//! The paper relies on a commercial geolocation database in two places: the
+//! beacon picks candidate front-ends by *LDNS geolocation* (§3.3), and the
+//! distance analyses geolocate client prefixes (§5). Footnote 1 concedes that
+//! "no geolocation database is perfect" and that a fraction of very long
+//! client-to-front-end distances may be geolocation artifacts.
+//!
+//! [`GeoDb`] reproduces that imperfection deterministically: for any key
+//! (e.g. a /24 prefix id or an LDNS id) it reports either the true location
+//! or — with configurable probability — a displaced one. The displacement is
+//! a lognormal-distributed distance in a uniform direction, and crucially it
+//! is a *stable function of the key*: the database returns the same wrong
+//! answer every time, exactly like a real database with a stale entry.
+
+use crate::coords::GeoPoint;
+use rand::distributions::Distribution;
+use rand::{Rng, SeedableRng};
+use rand_chacha_free::SplitMix64;
+
+/// A tiny deterministic key-to-stream generator.
+///
+/// We avoid pulling in a hash crate: SplitMix64 is the standard 64-bit mixer
+/// (public domain, used by `rand` internals and Java's `SplittableRandom`).
+/// It gives us an independent, reproducible random stream per database key.
+mod rand_chacha_free {
+    /// SplitMix64 state; see Steele et al., "Fast Splittable Pseudorandom
+    /// Number Generators" (OOPSLA 2014).
+    pub struct SplitMix64(pub u64);
+
+    impl SplitMix64 {
+        /// Next 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Parameters of the geolocation error process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoDbErrorModel {
+    /// Probability that a key's database entry is mislocated at all.
+    /// Real databases are right at country level almost always and at city
+    /// level most of the time; the default models a 6% city-level miss rate.
+    pub mislocate_prob: f64,
+    /// Median displacement of a mislocated entry, in km.
+    pub error_km_median: f64,
+    /// Lognormal shape parameter (sigma of the underlying normal).
+    /// Larger values fatten the tail of very wrong entries — the paper's
+    /// "very long client-to-front-end distances" artifact.
+    pub error_km_sigma: f64,
+}
+
+impl Default for GeoDbErrorModel {
+    fn default() -> Self {
+        GeoDbErrorModel { mislocate_prob: 0.06, error_km_median: 200.0, error_km_sigma: 1.4 }
+    }
+}
+
+impl GeoDbErrorModel {
+    /// A perfect database: every entry is the true location. Useful for
+    /// isolating geolocation effects in ablations.
+    pub fn perfect() -> Self {
+        GeoDbErrorModel { mislocate_prob: 0.0, error_km_median: 0.0, error_km_sigma: 0.0 }
+    }
+}
+
+/// A deterministic geolocation database.
+///
+/// `GeoDb` does not store entries; it *is* the (pure) function from
+/// `(key, true_location)` to `believed_location`, parameterized by a seed.
+/// This keeps memory flat no matter how many client prefixes an experiment
+/// uses, while behaving exactly like a static database snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct GeoDb {
+    seed: u64,
+    model: GeoDbErrorModel,
+}
+
+impl GeoDb {
+    /// Creates a database with the given seed and error model.
+    pub fn new(seed: u64, model: GeoDbErrorModel) -> Self {
+        GeoDb { seed, model }
+    }
+
+    /// Creates a perfect database (no error), for ablations.
+    pub fn perfect() -> Self {
+        GeoDb { seed: 0, model: GeoDbErrorModel::perfect() }
+    }
+
+    /// The error model in force.
+    pub fn model(&self) -> GeoDbErrorModel {
+        self.model
+    }
+
+    /// The believed location of `key`, whose true location is `true_loc`.
+    ///
+    /// Stable: the same `(seed, key, true_loc)` always yields the same
+    /// answer. Independent keys get independent error draws.
+    pub fn locate(&self, key: u64, true_loc: GeoPoint) -> GeoPoint {
+        if self.model.mislocate_prob <= 0.0 {
+            return true_loc;
+        }
+        let mut mix = SplitMix64(self.seed ^ key.wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(mix.next_u64());
+        if rng.gen::<f64>() >= self.model.mislocate_prob {
+            return true_loc;
+        }
+        // Lognormal displacement distance: median * exp(sigma * N(0,1)).
+        let normal: f64 = sample_standard_normal(&mut rng);
+        let distance = self.model.error_km_median * (self.model.error_km_sigma * normal).exp();
+        let bearing = rng.gen_range(0.0..360.0);
+        true_loc.destination(bearing, distance)
+    }
+
+    /// Whether `key` is mislocated under this database snapshot.
+    pub fn is_mislocated(&self, key: u64) -> bool {
+        if self.model.mislocate_prob <= 0.0 {
+            return false;
+        }
+        let mut mix = SplitMix64(self.seed ^ key.wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(mix.next_u64());
+        rng.gen::<f64>() < self.model.mislocate_prob
+    }
+}
+
+/// Samples a standard normal via Box–Muller; avoids depending on
+/// `rand_distr` (not in the approved dependency set).
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Uniform draws in (0, 1]: guard against ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A lognormal sampler usable by other crates (latency jitter etc.), built on
+/// the same Box–Muller primitive so the whole workspace shares one
+/// implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// exp(mu): the median of the distribution.
+    pub median: f64,
+    /// Sigma of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a sampler with the given median and shape.
+    pub fn new(median: f64, sigma: f64) -> Self {
+        LogNormal { median, sigma }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.median * (self.sigma * n).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn perfect_db_is_identity() {
+        let db = GeoDb::perfect();
+        let p = GeoPoint::new(47.6, -122.3);
+        for key in 0..100 {
+            assert_eq!(db.locate(key, p), p);
+            assert!(!db.is_mislocated(key));
+        }
+    }
+
+    #[test]
+    fn locate_is_stable_per_key() {
+        let db = GeoDb::new(42, GeoDbErrorModel::default());
+        let p = GeoPoint::new(48.85, 2.35);
+        for key in 0..500 {
+            assert_eq!(db.locate(key, p), db.locate(key, p), "key {key}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_snapshots() {
+        let model = GeoDbErrorModel { mislocate_prob: 1.0, ..Default::default() };
+        let a = GeoDb::new(1, model);
+        let b = GeoDb::new(2, model);
+        let p = GeoPoint::new(0.0, 0.0);
+        let differing = (0..100).filter(|&k| a.locate(k, p) != b.locate(k, p)).count();
+        assert!(differing > 90);
+    }
+
+    #[test]
+    fn mislocate_fraction_matches_model() {
+        let model = GeoDbErrorModel { mislocate_prob: 0.06, ..Default::default() };
+        let db = GeoDb::new(7, model);
+        let n = 50_000;
+        let bad = (0..n).filter(|&k| db.is_mislocated(k)).count();
+        let frac = bad as f64 / n as f64;
+        assert!((frac - 0.06).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn mislocated_entries_agree_with_locate() {
+        let db = GeoDb::new(9, GeoDbErrorModel::default());
+        let p = GeoPoint::new(35.68, 139.65);
+        for key in 0..2000 {
+            let moved = db.locate(key, p) != p;
+            assert_eq!(moved, db.is_mislocated(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn error_distances_have_expected_median() {
+        let model =
+            GeoDbErrorModel { mislocate_prob: 1.0, error_km_median: 200.0, error_km_sigma: 1.4 };
+        let db = GeoDb::new(11, model);
+        let p = GeoPoint::new(51.5, -0.13);
+        let mut dists: Vec<f64> = (0..20_000).map(|k| db.locate(k, p).haversine_km(&p)).collect();
+        dists.sort_by(|a, b| a.total_cmp(b));
+        let median = dists[dists.len() / 2];
+        assert!((median - 200.0).abs() < 25.0, "median {median}");
+        // Fat tail exists: some entries are very wrong (> 1500 km).
+        assert!(dists.iter().any(|&d| d > 1500.0));
+    }
+
+    #[test]
+    fn lognormal_sampler_median_and_positivity() {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ln = LogNormal::new(50.0, 0.5);
+        let mut xs: Vec<f64> = (0..20_000).map(|_| ln.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[xs.len() / 2];
+        assert!((median - 50.0).abs() < 3.0, "median {median}");
+    }
+}

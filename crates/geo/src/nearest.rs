@@ -1,0 +1,149 @@
+//! Nearest-neighbour queries over located objects.
+//!
+//! The beacon methodology's candidate selection — "the ten closest
+//! front-ends to the LDNS (based on geolocation data)" (§3.3) — and the
+//! Figure 2 distance-to-Nth-closest analysis both reduce to k-nearest
+//! queries over a few dozen front-end sites. At that scale a brute-force
+//! scan with a bounded partial sort is both the simplest and the fastest
+//! option (no tree beats a 40-element scan), which fits the session guides'
+//! simplicity-over-cleverness rule.
+
+use crate::coords::GeoPoint;
+
+/// An immutable index over `(item, location)` pairs supporting k-nearest
+/// queries by great-circle distance.
+#[derive(Debug, Clone)]
+pub struct NearestIndex<T> {
+    entries: Vec<(T, GeoPoint)>,
+}
+
+impl<T: Copy> NearestIndex<T> {
+    /// Builds an index over the given items.
+    pub fn new(entries: Vec<(T, GeoPoint)>) -> Self {
+        NearestIndex { entries }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the indexed items and their locations.
+    pub fn iter(&self) -> impl Iterator<Item = &(T, GeoPoint)> {
+        self.entries.iter()
+    }
+
+    /// The `k` items nearest to `from`, as `(item, distance_km)` sorted by
+    /// ascending distance. Returns fewer than `k` if the index is smaller.
+    /// Ties are broken by index order, making results fully deterministic.
+    pub fn k_nearest(&self, from: &GeoPoint, k: usize) -> Vec<(T, f64)> {
+        let mut all: Vec<(usize, T, f64)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, (item, loc))| (i, *item, loc.haversine_km(from)))
+            .collect();
+        let k = k.min(all.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        all.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all.into_iter().map(|(_, item, d)| (item, d)).collect()
+    }
+
+    /// The single nearest item and its distance, or `None` if empty.
+    pub fn nearest(&self, from: &GeoPoint) -> Option<(T, f64)> {
+        self.k_nearest(from, 1).into_iter().next()
+    }
+
+    /// Distance from `from` to the `n`-th closest item (1-based), the exact
+    /// quantity plotted in Figure 2. `None` if fewer than `n` items exist.
+    pub fn distance_to_nth(&self, from: &GeoPoint, n: usize) -> Option<f64> {
+        if n == 0 {
+            return None;
+        }
+        self.k_nearest(from, n).get(n - 1).map(|(_, d)| *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> NearestIndex<u32> {
+        NearestIndex::new(vec![
+            (0, GeoPoint::new(47.61, -122.33)), // Seattle
+            (1, GeoPoint::new(37.77, -122.42)), // San Francisco
+            (2, GeoPoint::new(34.05, -118.24)), // Los Angeles
+            (3, GeoPoint::new(40.71, -74.01)),  // New York
+            (4, GeoPoint::new(51.51, -0.13)),   // London
+        ])
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let idx = index();
+        let portland = GeoPoint::new(45.52, -122.68);
+        let got: Vec<u32> = idx.k_nearest(&portland, 3).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_nearest_distances_ascend() {
+        let idx = index();
+        let p = GeoPoint::new(48.85, 2.35); // Paris
+        let res = idx.k_nearest(&p, 5);
+        assert_eq!(res.len(), 5);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(res[0].0, 4); // London first from Paris
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_all() {
+        let idx = index();
+        let p = GeoPoint::new(0.0, 0.0);
+        assert_eq!(idx.k_nearest(&p, 100).len(), 5);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let idx = index();
+        assert!(idx.k_nearest(&GeoPoint::new(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx: NearestIndex<u32> = NearestIndex::new(vec![]);
+        assert!(idx.is_empty());
+        assert!(idx.nearest(&GeoPoint::new(0.0, 0.0)).is_none());
+        assert!(idx.distance_to_nth(&GeoPoint::new(0.0, 0.0), 1).is_none());
+    }
+
+    #[test]
+    fn distance_to_nth_matches_k_nearest() {
+        let idx = index();
+        let p = GeoPoint::new(41.88, -87.63); // Chicago
+        let all = idx.k_nearest(&p, 5);
+        for n in 1..=5 {
+            assert_eq!(idx.distance_to_nth(&p, n), Some(all[n - 1].1));
+        }
+        assert_eq!(idx.distance_to_nth(&p, 6), None);
+        assert_eq!(idx.distance_to_nth(&p, 0), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let p = GeoPoint::new(10.0, 10.0);
+        let idx = NearestIndex::new(vec![(7u32, p), (3u32, p)]);
+        let got: Vec<u32> = idx.k_nearest(&p, 2).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(got, vec![7, 3]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Region and scope taxonomy.
+//!
+//! Figure 3 of the paper splits the anycast-vs-unicast comparison into three
+//! populations — *Europe*, *World*, and *United States* — and §4 discusses
+//! front-end density per continent. [`Region`] is the continental taxonomy
+//! attached to every metro in the atlas; [`Scope`] is the figure-level filter.
+
+/// Continental region of a metro area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// North and Central America, including the Caribbean.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe, including Russia west of the Urals.
+    Europe,
+    /// Asia and the Middle East.
+    Asia,
+    /// Africa.
+    Africa,
+    /// Australia, New Zealand and the Pacific islands.
+    Oceania,
+}
+
+impl Region {
+    /// All regions, in a stable order.
+    pub const ALL: [Region; 6] = [
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::Africa,
+        Region::Oceania,
+    ];
+
+    /// Short human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "North America",
+            Region::SouthAmerica => "South America",
+            Region::Europe => "Europe",
+            Region::Asia => "Asia",
+            Region::Africa => "Africa",
+            Region::Oceania => "Oceania",
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A client-population filter, as used by Figure 3's three curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Every client.
+    World,
+    /// Clients in European metros.
+    Europe,
+    /// Clients in United States metros (country code `US`).
+    UnitedStates,
+}
+
+impl Scope {
+    /// The three scopes of Figure 3, in the paper's legend order.
+    pub const FIGURE3: [Scope; 3] = [Scope::Europe, Scope::World, Scope::UnitedStates];
+
+    /// Whether a client with the given country code and region falls inside
+    /// this scope.
+    pub fn contains(&self, country: &str, region: Region) -> bool {
+        match self {
+            Scope::World => true,
+            Scope::Europe => region == Region::Europe,
+            Scope::UnitedStates => country == "US",
+        }
+    }
+
+    /// Label used in figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scope::World => "World",
+            Scope::Europe => "Europe",
+            Scope::UnitedStates => "United States",
+        }
+    }
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_contains_everything() {
+        for region in Region::ALL {
+            assert!(Scope::World.contains("XX", region));
+        }
+    }
+
+    #[test]
+    fn europe_scope_is_region_based() {
+        assert!(Scope::Europe.contains("DE", Region::Europe));
+        assert!(Scope::Europe.contains("RU", Region::Europe));
+        assert!(!Scope::Europe.contains("US", Region::NorthAmerica));
+        assert!(!Scope::Europe.contains("JP", Region::Asia));
+    }
+
+    #[test]
+    fn us_scope_is_country_based() {
+        assert!(Scope::UnitedStates.contains("US", Region::NorthAmerica));
+        assert!(!Scope::UnitedStates.contains("CA", Region::NorthAmerica));
+        assert!(!Scope::UnitedStates.contains("GB", Region::Europe));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Region::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), Region::ALL.len());
+    }
+
+    #[test]
+    fn figure3_order_matches_legend() {
+        assert_eq!(
+            Scope::FIGURE3.map(|s| s.label()),
+            ["Europe", "World", "United States"]
+        );
+    }
+}

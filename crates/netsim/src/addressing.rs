@@ -1,0 +1,115 @@
+//! CDN service addressing: the anycast VIP and per-site unicast prefixes.
+//!
+//! §3.1: "All test front-ends locations have both anycast and unicast IP
+//! addresses … we also assign each front-end location a unique /24 prefix
+//! which does not serve production traffic." This module is that address
+//! plan: one anycast VIP announced everywhere, and one /24 per site for the
+//! measurement traffic, with bidirectional IP ↔ site mapping for log joins.
+
+use std::net::Ipv4Addr;
+
+use crate::ids::SiteId;
+
+/// The CDN's address plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdnAddressing {
+    anycast: Ipv4Addr,
+    /// First two octets of the unicast super-block; site `s` owns
+    /// `<block>.<s>.0/24`.
+    unicast_block: [u8; 2],
+    n_sites: u16,
+}
+
+impl CdnAddressing {
+    /// The standard plan: anycast VIP `198.18.0.1` (benchmarking range, so
+    /// it cannot collide with client prefixes), unicast block
+    /// `198.19.<site>.0/24`.
+    pub fn standard(n_sites: u16) -> CdnAddressing {
+        assert!(n_sites > 0 && n_sites <= 256, "sites must fit one /16: {n_sites}");
+        CdnAddressing {
+            anycast: Ipv4Addr::new(198, 18, 0, 1),
+            unicast_block: [198, 19],
+            n_sites,
+        }
+    }
+
+    /// The anycast VIP.
+    pub fn anycast_ip(&self) -> Ipv4Addr {
+        self.anycast
+    }
+
+    /// The unicast service address of `site` (the `.1` host of its /24).
+    ///
+    /// # Panics
+    /// Panics if the site id is outside this plan (a cross-deployment id
+    /// mixup).
+    pub fn site_ip(&self, site: SiteId) -> Ipv4Addr {
+        assert!(site.0 < self.n_sites, "site {site} outside address plan");
+        Ipv4Addr::new(self.unicast_block[0], self.unicast_block[1], site.0 as u8, 1)
+    }
+
+    /// Whether `ip` is the anycast VIP.
+    pub fn is_anycast(&self, ip: Ipv4Addr) -> bool {
+        ip == self.anycast
+    }
+
+    /// The site owning `ip`, if it is one of the unicast service addresses.
+    pub fn site_for_ip(&self, ip: Ipv4Addr) -> Option<SiteId> {
+        let o = ip.octets();
+        if o[0] == self.unicast_block[0]
+            && o[1] == self.unicast_block[1]
+            && u16::from(o[2]) < self.n_sites
+        {
+            Some(SiteId(u16::from(o[2])))
+        } else {
+            None
+        }
+    }
+
+    /// Number of sites covered by this plan.
+    pub fn n_sites(&self) -> u16 {
+        self.n_sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_site_ips() {
+        let plan = CdnAddressing::standard(44);
+        for s in 0..44u16 {
+            let ip = plan.site_ip(SiteId(s));
+            assert_eq!(plan.site_for_ip(ip), Some(SiteId(s)));
+            assert!(!plan.is_anycast(ip));
+        }
+    }
+
+    #[test]
+    fn anycast_is_distinct() {
+        let plan = CdnAddressing::standard(10);
+        assert!(plan.is_anycast(plan.anycast_ip()));
+        assert_eq!(plan.site_for_ip(plan.anycast_ip()), None);
+    }
+
+    #[test]
+    fn foreign_ips_map_to_nothing() {
+        let plan = CdnAddressing::standard(10);
+        assert_eq!(plan.site_for_ip(Ipv4Addr::new(8, 8, 8, 8)), None);
+        // Inside the block but beyond the site count.
+        assert_eq!(plan.site_for_ip(Ipv4Addr::new(198, 19, 11, 1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside address plan")]
+    fn out_of_plan_site_panics() {
+        CdnAddressing::standard(4).site_ip(SiteId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit one /16")]
+    fn oversized_plan_rejected() {
+        CdnAddressing::standard(257);
+    }
+}

@@ -1,0 +1,315 @@
+//! Simulation parameters.
+//!
+//! Every knob that shapes the synthetic Internet lives here, with defaults
+//! calibrated so the default world reproduces the paper's headline shapes
+//! (≈20% of clients with a better unicast front-end; ≈55% of clients routed
+//! to their closest front-end; churn of a few percent per weekday). The
+//! calibration rationale for each default is given on the field.
+
+/// Parameters for topology generation, routing pathologies, churn and the
+/// latency model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Number of CDN front-end sites. The paper's CDN has "dozens of front
+    /// end locations" and is compared to Level3 (62) and MaxCDN; default 44.
+    pub n_sites: usize,
+    /// Number of additional CDN peering locations that host a border router
+    /// but no front-end. These create the §5 case-study gap between where
+    /// traffic ingresses and where front-ends are.
+    pub n_extra_borders: usize,
+    /// Number of transit (tier-1-like) providers with global footprints.
+    pub n_transit: usize,
+    /// Number of metros in each transit provider's backbone.
+    pub transit_pops: usize,
+    /// Number of eyeball (access) ASes hosting clients.
+    pub n_eyeball: usize,
+    /// Maximum number of metros in an eyeball AS's footprint.
+    pub eyeball_max_pops: usize,
+    /// Fraction of eyeball ASes that peer directly with the CDN somewhere.
+    /// The rest reach the CDN only through transit. Default 0.78: large
+    /// eyeballs overwhelmingly peer with major CDNs directly.
+    pub p_direct_peering: f64,
+    /// Among directly-peering ASes, the fraction whose *only* peering with
+    /// the CDN is at a single (possibly distant) location — the paper's
+    /// "ISP's internal policy chooses to hand off traffic at a distant
+    /// peering point" pathology (Moscow→Stockholm).
+    pub p_remote_peering_only: f64,
+    /// Among directly-peering multi-egress ASes, the fraction whose egress
+    /// policy pins all CDN traffic to one fixed regional egress instead of
+    /// hot-potato (the Denver→Phoenix case).
+    pub p_fixed_regional_egress: f64,
+    /// Probability that a given (AS, ingress) peering adjacency is
+    /// **chronically** congested: the penalty applies every day. This is
+    /// the small population of prefixes Figure 6 shows poor for five or
+    /// more (often consecutive) days.
+    pub p_chronic_congestion: f64,
+    /// Per-day probability that an otherwise healthy adjacency suffers a
+    /// **transient** congestion episode. Episodes are drawn independently
+    /// per day, so most last exactly one day — Figure 6's "around 60%
+    /// appear for only one day over the month".
+    pub p_episodic_congestion: f64,
+    /// Median of the lognormal stable congestion penalty (ms, RTT).
+    pub congestion_ms_median: f64,
+    /// Sigma of the stable congestion penalty lognormal.
+    pub congestion_ms_sigma: f64,
+    /// Probability that a flappy attachment point flips its route tie-break
+    /// on a given weekday. Calibrated against Figure 7 *end to end*: an
+    /// attachment-level flip only becomes a visible front-end switch when
+    /// the alternative egress maps to a different site and the client is
+    /// observed on both routes, so the attachment-level rates here are
+    /// roughly 2.5× the client-visible rates the paper reports (~7% of
+    /// clients switching on day one, ~21% over the week).
+    pub weekday_flip_prob: f64,
+    /// Same, on weekend days. Figure 7 shows churn under 0.5% on weekends
+    /// ("network operators not pushing out changes during the weekend").
+    pub weekend_flip_prob: f64,
+    /// Fraction of (AS, metro) attachment points that are flappy at all;
+    /// the rest never change routes. Figure 7 plateaus near 21% over a full
+    /// week: most clients are stable.
+    pub flappy_fraction: f64,
+    /// One-way propagation speed in fiber, km per millisecond (~2/3 c).
+    pub fiber_km_per_ms: f64,
+    /// Multiplier on great-circle distance to account for fiber paths not
+    /// following geodesics. 1.25 matches common transit-path stretch
+    /// estimates.
+    pub fiber_path_stretch: f64,
+    /// Additional stretch on the transit-carried leg of a route. Prefixes
+    /// announced from a single location (the measurement /24s, §3.1) reach
+    /// most of the Internet via transit, whose paths detour through provider
+    /// hubs; direct peering avoids this. The asymmetry makes the *unicast*
+    /// probe to a distant front-end genuinely slower than anycast for
+    /// well-served clients — which is why the paper's daily "any
+    /// improvement" classification fires rarely for most prefixes.
+    pub transit_detour_stretch: f64,
+    /// Per-hop processing/serialization delay, ms (RTT, both directions).
+    pub per_hop_ms: f64,
+    /// Median last-mile RTT in ms by access technology is built into
+    /// [`crate::latency::AccessTech`]; this scales all of them (1.0 = as
+    /// modeled).
+    pub last_mile_scale: f64,
+    /// Median of the per-measurement additive jitter lognormal (ms).
+    pub jitter_ms_median: f64,
+    /// Sigma of the per-measurement jitter lognormal.
+    pub jitter_ms_sigma: f64,
+    /// Probability a single measurement hits a transient congestion spike.
+    pub spike_prob: f64,
+    /// Maximum transient spike size (ms); spikes are uniform in
+    /// `[spike_min_ms, spike_max_ms]`.
+    pub spike_min_ms: f64,
+    /// See `spike_min_ms`.
+    pub spike_max_ms: f64,
+    /// Server processing time added to every HTTP fetch (ms, median).
+    pub server_ms_median: f64,
+    /// Sigma of the server processing lognormal.
+    pub server_ms_sigma: f64,
+    /// Fraction of CDN border routers whose IGP cost towards some front-ends
+    /// is inflated (non-geographic internal topology, §5 case study 1).
+    pub p_igp_inflated: f64,
+    /// Probability that a given (AS, unicast-announcement) pair carries a
+    /// stable extra path penalty. The measurement /24s are announced from a
+    /// single location and carry no production traffic, so ISPs neither
+    /// traffic-engineer nor hot-fix their routes towards them; a sizable
+    /// share of such single-prefix paths are measurably worse than the
+    /// anycast path to the very same building. This is why, in the paper,
+    /// only 19% of prefixes see *any* daily-median improvement even though
+    /// 45% of clients are not on their geographically closest front-end.
+    pub p_unicast_path_penalty: f64,
+    /// Median of the stable unicast path penalty, ms.
+    pub unicast_penalty_ms_median: f64,
+    /// Lognormal sigma of the unicast path penalty.
+    pub unicast_penalty_ms_sigma: f64,
+    /// Per-day probability that a border router's ingress→front-end mapping
+    /// is remapped to its runner-up site for that day (internal maintenance
+    /// and load management — the FastRoute-style interventions the paper
+    /// cites). These are the *anycast-only* one-day events behind Figure
+    /// 6's short-lived poor paths: unicast probes, pinned to their own
+    /// sites, are unaffected.
+    pub p_igp_episode: f64,
+    /// Multiplier applied to the IGP cost of an inflated (border, site)
+    /// pair.
+    pub igp_inflation_factor: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            n_sites: 44,
+            n_extra_borders: 10,
+            n_transit: 6,
+            transit_pops: 50,
+            n_eyeball: 160,
+            eyeball_max_pops: 12,
+            p_direct_peering: 0.80,
+            p_remote_peering_only: 0.05,
+            p_fixed_regional_egress: 0.045,
+            p_chronic_congestion: 0.02,
+            p_episodic_congestion: 0.07,
+            congestion_ms_median: 26.0,
+            congestion_ms_sigma: 1.1,
+            weekday_flip_prob: 0.42,
+            weekend_flip_prob: 0.02,
+            flappy_fraction: 0.42,
+            fiber_km_per_ms: 200.0,
+            fiber_path_stretch: 1.25,
+            transit_detour_stretch: 1.45,
+            per_hop_ms: 0.35,
+            last_mile_scale: 1.0,
+            jitter_ms_median: 2.0,
+            jitter_ms_sigma: 0.12,
+            spike_prob: 0.12,
+            spike_min_ms: 10.0,
+            spike_max_ms: 200.0,
+            server_ms_median: 4.0,
+            server_ms_sigma: 0.05,
+            p_igp_inflated: 0.08,
+            p_unicast_path_penalty: 0.55,
+            unicast_penalty_ms_median: 4.0,
+            unicast_penalty_ms_sigma: 0.8,
+            p_igp_episode: 0.02,
+            igp_inflation_factor: 3.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A small world for fast unit tests: fewer sites and ASes, same
+    /// mechanisms.
+    pub fn small() -> Self {
+        NetConfig {
+            n_sites: 12,
+            n_extra_borders: 4,
+            n_transit: 3,
+            transit_pops: 20,
+            n_eyeball: 40,
+            ..Default::default()
+        }
+    }
+
+    /// A pathology-free world: no remote peering, no fixed egress, no
+    /// congested adjacencies, no IGP inflation, no churn. Anycast should be
+    /// near-optimal here; used by ablations and as a test oracle.
+    pub fn idealized() -> Self {
+        NetConfig {
+            p_remote_peering_only: 0.0,
+            p_fixed_regional_egress: 0.0,
+            p_chronic_congestion: 0.0,
+            p_episodic_congestion: 0.0,
+            p_igp_inflated: 0.0,
+            p_unicast_path_penalty: 0.0,
+            unicast_penalty_ms_median: 4.0,
+            unicast_penalty_ms_sigma: 0.8,
+            p_igp_episode: 0.0,
+            flappy_fraction: 0.0,
+            weekday_flip_prob: 0.0,
+            weekend_flip_prob: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// violated constraint. Called by `Internet::new` so a bad sweep
+    /// parameter fails loudly at construction time, not as a NaN ten
+    /// minutes into an experiment.
+    pub fn validate(&self) -> Result<(), String> {
+        fn prob(name: &str, v: f64) -> Result<(), String> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be a probability, got {v}"))
+            }
+        }
+        fn pos(name: &str, v: f64) -> Result<(), String> {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive and finite, got {v}"))
+            }
+        }
+        if self.n_sites == 0 {
+            return Err("n_sites must be at least 1".into());
+        }
+        if self.n_eyeball == 0 {
+            return Err("n_eyeball must be at least 1".into());
+        }
+        if self.eyeball_max_pops == 0 {
+            return Err("eyeball_max_pops must be at least 1".into());
+        }
+        prob("p_direct_peering", self.p_direct_peering)?;
+        prob("p_remote_peering_only", self.p_remote_peering_only)?;
+        prob("p_fixed_regional_egress", self.p_fixed_regional_egress)?;
+        prob("p_chronic_congestion", self.p_chronic_congestion)?;
+        prob("p_episodic_congestion", self.p_episodic_congestion)?;
+        prob("weekday_flip_prob", self.weekday_flip_prob)?;
+        prob("weekend_flip_prob", self.weekend_flip_prob)?;
+        prob("flappy_fraction", self.flappy_fraction)?;
+        prob("spike_prob", self.spike_prob)?;
+        prob("p_igp_inflated", self.p_igp_inflated)?;
+        prob("p_igp_episode", self.p_igp_episode)?;
+        prob("p_unicast_path_penalty", self.p_unicast_path_penalty)?;
+        pos("unicast_penalty_ms_median", self.unicast_penalty_ms_median)?;
+        pos("fiber_km_per_ms", self.fiber_km_per_ms)?;
+        pos("fiber_path_stretch", self.fiber_path_stretch)?;
+        if self.transit_detour_stretch < 1.0 || !self.transit_detour_stretch.is_finite() {
+            return Err(format!(
+                "transit_detour_stretch must be >= 1, got {}",
+                self.transit_detour_stretch
+            ));
+        }
+        pos("congestion_ms_median", self.congestion_ms_median)?;
+        pos("jitter_ms_median", self.jitter_ms_median)?;
+        pos("server_ms_median", self.server_ms_median)?;
+        pos("igp_inflation_factor", self.igp_inflation_factor)?;
+        if self.per_hop_ms < 0.0 || self.last_mile_scale < 0.0 {
+            return Err("per_hop_ms and last_mile_scale must be non-negative".into());
+        }
+        if self.spike_min_ms < 0.0 || self.spike_max_ms < self.spike_min_ms {
+            return Err("spike range must satisfy 0 <= min <= max".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        NetConfig::default().validate().unwrap();
+        NetConfig::small().validate().unwrap();
+        NetConfig::idealized().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let cfg = NetConfig { p_direct_peering: 1.5, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_spike_range_rejected() {
+        let cfg = NetConfig { spike_min_ms: 50.0, spike_max_ms: 10.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_sites_rejected() {
+        let cfg = NetConfig { n_sites: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn negative_speed_rejected() {
+        let cfg = NetConfig { fiber_km_per_ms: -1.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn idealized_has_no_pathologies() {
+        let cfg = NetConfig::idealized();
+        assert_eq!(cfg.p_remote_peering_only, 0.0);
+        assert_eq!(cfg.p_chronic_congestion, 0.0);
+        assert_eq!(cfg.p_episodic_congestion, 0.0);
+        assert_eq!(cfg.flappy_fraction, 0.0);
+    }
+}

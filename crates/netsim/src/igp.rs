@@ -1,0 +1,139 @@
+//! The CDN's intradomain routing: ingress border → front-end selection.
+//!
+//! Once anycast traffic enters the CDN at a border router, "intradomain
+//! policy then directs the client's request to the front-end nearest to the
+//! peering point, not to the client" (§5). *Nearest* is in IGP cost, not
+//! geography: the paper's first case study is a border router whose internal
+//! route to the geographically nearest front-end is long, so a different
+//! front-end wins.
+//!
+//! IGP cost here is geographic distance times a per-`(border, site)`
+//! multiplier from the topology (1.0 normally; inflated for a configured
+//! fraction of peering-only borders).
+
+use crate::ids::{BorderId, SiteId};
+use crate::topology::Topology;
+
+/// IGP cost from a border router to a front-end site.
+pub fn igp_cost(topo: &Topology, border: BorderId, site: SiteId) -> f64 {
+    let b = topo.atlas.metro(topo.cdn.border_metro(border)).location();
+    let s = topo.atlas.metro(topo.cdn.site_metro(site)).location();
+    let mult = topo.cdn.igp_multiplier[border.0 as usize][site.0 as usize];
+    b.haversine_km(&s) * mult
+}
+
+/// The front-end the CDN's IGP selects for traffic ingressing at `border`:
+/// minimum IGP cost, ties broken by site id (deterministic).
+pub fn select_site(topo: &Topology, border: BorderId) -> SiteId {
+    select_site_ranked(topo, border, 0)
+}
+
+/// The `rank`-th best front-end by IGP cost from `border` (rank 0 = normal
+/// selection; rank 1 = the runner-up a maintenance episode diverts to).
+/// Rank is clamped to the site count.
+pub fn select_site_ranked(topo: &Topology, border: BorderId, rank: usize) -> SiteId {
+    // Colocated site always wins normal selection: zero distance.
+    if rank == 0 {
+        if let Some(site) = topo.cdn.borders[border.0 as usize].colocated_site {
+            return site;
+        }
+    }
+    let mut ranked: Vec<SiteId> = topo.cdn.site_ids().collect();
+    ranked.sort_by(|a, b| {
+        igp_cost(topo, border, *a)
+            .total_cmp(&igp_cost(topo, border, *b))
+            .then(a.cmp(b))
+    });
+    ranked[rank.min(ranked.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+
+    #[test]
+    fn ranked_selection_is_ordered_and_distinct() {
+        let topo = Topology::generate(&NetConfig::small(), 9);
+        for b in topo.cdn.border_ids() {
+            let first = select_site_ranked(&topo, b, 0);
+            let second = select_site_ranked(&topo, b, 1);
+            assert_ne!(first, second, "runner-up must differ");
+            // Huge ranks clamp instead of panicking.
+            let last = select_site_ranked(&topo, b, 10_000);
+            assert!(topo.cdn.site_ids().any(|s| s == last));
+        }
+    }
+
+    #[test]
+    fn colocated_border_selects_its_site() {
+        let topo = Topology::generate(&NetConfig::small(), 1);
+        for (b_idx, border) in topo.cdn.borders.iter().enumerate() {
+            if let Some(site) = border.colocated_site {
+                assert_eq!(select_site(&topo, BorderId(b_idx as u16)), site);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_minimizes_igp_cost() {
+        let topo = Topology::generate(&NetConfig::small(), 2);
+        for b in topo.cdn.border_ids() {
+            let chosen = select_site(&topo, b);
+            let chosen_cost = igp_cost(&topo, b, chosen);
+            for s in topo.cdn.site_ids() {
+                assert!(chosen_cost <= igp_cost(&topo, b, s) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inflation_can_divert_from_geo_nearest() {
+        // Build a world with guaranteed inflation and check that at least
+        // one peering-only border is diverted from its geographically
+        // nearest site — the §5 case-study mechanism.
+        let cfg = NetConfig { p_igp_inflated: 1.0, ..NetConfig::small() };
+        let topo = Topology::generate(&cfg, 3);
+        let mut diverted = 0;
+        for (b_idx, border) in topo.cdn.borders.iter().enumerate() {
+            if border.colocated_site.is_some() {
+                continue;
+            }
+            let b = BorderId(b_idx as u16);
+            let bloc = topo.atlas.metro(border.metro).location();
+            let geo_nearest = topo
+                .cdn
+                .site_ids()
+                .min_by(|x, y| {
+                    let dx = topo.atlas.metro(topo.cdn.site_metro(*x)).location().haversine_km(&bloc);
+                    let dy = topo.atlas.metro(topo.cdn.site_metro(*y)).location().haversine_km(&bloc);
+                    dx.total_cmp(&dy)
+                })
+                .unwrap();
+            if select_site(&topo, b) != geo_nearest {
+                diverted += 1;
+            }
+        }
+        assert!(diverted > 0, "inflation never diverted any border");
+    }
+
+    #[test]
+    fn no_inflation_means_geo_nearest() {
+        let cfg = NetConfig { p_igp_inflated: 0.0, ..NetConfig::small() };
+        let topo = Topology::generate(&cfg, 4);
+        for (b_idx, border) in topo.cdn.borders.iter().enumerate() {
+            let b = BorderId(b_idx as u16);
+            let bloc = topo.atlas.metro(border.metro).location();
+            let geo_nearest = topo
+                .cdn
+                .site_ids()
+                .min_by(|x, y| {
+                    let dx = topo.atlas.metro(topo.cdn.site_metro(*x)).location().haversine_km(&bloc);
+                    let dy = topo.atlas.metro(topo.cdn.site_metro(*y)).location().haversine_km(&bloc);
+                    dx.total_cmp(&dy).then(x.cmp(y))
+                })
+                .unwrap();
+            assert_eq!(select_site(&topo, b), geo_nearest, "border {b_idx}");
+        }
+    }
+}

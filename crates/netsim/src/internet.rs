@@ -1,0 +1,484 @@
+//! The `Internet` facade: routing decisions and latency measurements.
+//!
+//! This is the surface the rest of the workspace programs against. Given a
+//! client attachment and a day, it answers the two questions the paper's
+//! beacon asks of the real Internet:
+//!
+//! * *where does anycast take this client today?* ([`Internet::anycast_route`])
+//! * *what would the RTT be to a specific unicast front-end?*
+//!   ([`Internet::unicast_route`] + [`Internet::sample_rtt`])
+//!
+//! Routing is deterministic per `(client, day)`; measured RTTs add explicit
+//! RNG-driven noise on top of the route's base RTT.
+
+use anycast_geo::{GeoPoint, MetroId};
+use rand::Rng;
+
+use crate::bgp::{self, EgressDecision};
+use crate::churn::ChurnModel;
+use crate::config::NetConfig;
+use crate::ids::{AsId, BorderId, SiteId};
+use crate::igp;
+use crate::latency::{AccessTech, LatencyModel};
+use crate::path::{Hop, HopKind, RoutePath};
+use crate::sim::Day;
+use crate::topology::Topology;
+
+/// A client's network attachment: which AS it sits in, at which metro, at
+/// which exact location, over which access technology. The workload crate
+/// produces one of these per client /24 prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientAttachment {
+    /// The client's (eyeball) AS.
+    pub as_id: AsId,
+    /// Attachment metro (the ISP PoP serving the client).
+    pub metro: MetroId,
+    /// The client's actual location (within tens of km of the metro).
+    pub location: GeoPoint,
+    /// Access technology.
+    pub access: AccessTech,
+}
+
+/// A resolved route: where traffic ingresses, which front-end serves it, the
+/// geographic path, and the noise-free base RTT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteDecision {
+    /// CDN border router where traffic enters.
+    pub ingress: BorderId,
+    /// Serving front-end site.
+    pub site: SiteId,
+    /// Hop-by-hop path (traceroute equivalent).
+    pub path: RoutePath,
+    /// Deterministic RTT in ms (propagation + hops + last mile + stable
+    /// congestion); add [`Internet::sample_rtt`] noise for a measurement.
+    pub base_rtt_ms: f64,
+    /// Transit provider used, if any.
+    pub via_transit: Option<AsId>,
+}
+
+/// The simulated Internet: topology + churn + latency under one roof.
+///
+/// ```
+/// use anycast_netsim::{AccessTech, ClientAttachment, Day, Internet, NetConfig};
+///
+/// let net = Internet::new(NetConfig::small(), 7).unwrap();
+/// let eyeball = &net.topology().eyeballs[0];
+/// let client = ClientAttachment {
+///     as_id: eyeball.id,
+///     metro: eyeball.home_metro,
+///     location: net.topology().atlas.metro(eyeball.home_metro).location(),
+///     access: AccessTech::Cable,
+/// };
+/// let route = net.anycast_route(&client, Day(0));
+/// assert!(route.base_rtt_ms > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Internet {
+    topo: Topology,
+    churn: ChurnModel,
+    latency: LatencyModel,
+    episode_seed: u64,
+}
+
+impl Internet {
+    /// Generates a world from configuration and seed.
+    ///
+    /// # Errors
+    /// Returns a description of the violated constraint if `cfg` is invalid.
+    pub fn new(cfg: NetConfig, seed: u64) -> Result<Internet, String> {
+        cfg.validate()?;
+        let topo = Topology::generate(&cfg, seed);
+        Ok(Self::from_topology(topo, cfg, seed))
+    }
+
+    /// Wraps an existing topology (used by tests that build bespoke worlds).
+    /// `cfg` must be the configuration the topology was generated with, or
+    /// at least one whose latency/churn parameters you intend.
+    pub fn from_topology(topo: Topology, cfg: NetConfig, seed: u64) -> Internet {
+        let churn = ChurnModel::new(&cfg, seed);
+        let latency = LatencyModel::new(cfg, seed);
+        Internet { topo, churn, latency, episode_seed: seed ^ 0x6970_6765_7069 }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetConfig {
+        self.latency.config()
+    }
+
+    /// The churn model (exposed for affinity analyses).
+    pub fn churn(&self) -> &ChurnModel {
+        &self.churn
+    }
+
+    /// The latency model (exposed for ablations).
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Front-end site locations as `(site, location)` pairs — the catalog
+    /// the beacon's candidate selection indexes.
+    pub fn site_locations(&self) -> Vec<(SiteId, GeoPoint)> {
+        self.topo
+            .cdn
+            .site_ids()
+            .map(|s| (s, self.topo.atlas.metro(self.topo.cdn.site_metro(s)).location()))
+            .collect()
+    }
+
+    /// Where anycast routes `client` on `day` (after any route flip
+    /// scheduled that day has taken effect).
+    pub fn anycast_route(&self, client: &ClientAttachment, day: Day) -> RouteDecision {
+        let rank = self.churn.selection_rank(client.as_id, client.metro, day);
+        self.anycast_route_ranked(client, rank, day)
+    }
+
+    /// Where anycast routed `client` at the *start* of `day`, before any
+    /// flip event scheduled on that day. Differs from
+    /// [`Internet::anycast_route`] exactly on flip days; the passive-log
+    /// generator uses both to reproduce intra-day front-end switches.
+    pub fn anycast_route_at_day_start(
+        &self,
+        client: &ClientAttachment,
+        day: Day,
+    ) -> RouteDecision {
+        let rank = self.churn.selection_rank_before(client.as_id, client.metro, day);
+        self.anycast_route_ranked(client, rank, day)
+    }
+
+    fn anycast_route_ranked(
+        &self,
+        client: &ClientAttachment,
+        rank: usize,
+        day: Day,
+    ) -> RouteDecision {
+        let egress = bgp::select_anycast_ingress(&self.topo, rank, client.as_id, client.metro);
+        let igp_rank = usize::from(self.igp_episode_on(egress.ingress, day));
+        let site = igp::select_site_ranked(&self.topo, egress.ingress, igp_rank);
+        self.build_decision(client, egress, site, day)
+    }
+
+    /// Whether `border`'s ingress→front-end mapping is diverted to its
+    /// runner-up site on `day` (internal maintenance episode). Anycast-only:
+    /// unicast prefixes are pinned to their sites.
+    pub fn igp_episode_on(&self, border: BorderId, day: Day) -> bool {
+        let p = self.config().p_igp_episode;
+        if p <= 0.0 {
+            return false;
+        }
+        let key = (u64::from(border.0) << 32) | u64::from(day.0);
+        let mut z = self.episode_seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// The route to `site`'s **unicast** prefix for `client` on `day`.
+    pub fn unicast_route(
+        &self,
+        client: &ClientAttachment,
+        site: SiteId,
+        day: Day,
+    ) -> RouteDecision {
+        let announcement = self.topo.cdn.unicast_announcement_border(site);
+        let rank = self.churn.selection_rank(client.as_id, client.metro, day);
+        let egress = bgp::select_unicast_ingress(
+            &self.topo,
+            rank,
+            client.as_id,
+            client.metro,
+            announcement,
+        );
+        let mut decision = self.build_decision(client, egress, site, day);
+        // Single-prefix routes are often not the ISP's engineered best path.
+        decision.base_rtt_ms += self.latency.unicast_path_penalty_ms(client.as_id, announcement);
+        decision
+    }
+
+    /// Samples one measured RTT over a resolved route: base RTT plus
+    /// jitter/spike/server noise.
+    pub fn sample_rtt<R: Rng + ?Sized>(&self, decision: &RouteDecision, rng: &mut R) -> f64 {
+        decision.base_rtt_ms + self.latency.sample_extra_ms(rng)
+    }
+
+    /// Convenience: anycast route + one RTT sample.
+    pub fn measure_anycast<R: Rng + ?Sized>(
+        &self,
+        client: &ClientAttachment,
+        day: Day,
+        rng: &mut R,
+    ) -> (SiteId, f64) {
+        let d = self.anycast_route(client, day);
+        let rtt = self.sample_rtt(&d, rng);
+        (d.site, rtt)
+    }
+
+    /// Convenience: unicast route to `site` + one RTT sample.
+    pub fn measure_unicast<R: Rng + ?Sized>(
+        &self,
+        client: &ClientAttachment,
+        site: SiteId,
+        day: Day,
+        rng: &mut R,
+    ) -> f64 {
+        let d = self.unicast_route(client, site, day);
+        self.sample_rtt(&d, rng)
+    }
+
+    /// Great-circle distance from `client` to `site`, in km — the Figure 2/4
+    /// quantity.
+    pub fn client_site_km(&self, client: &ClientAttachment, site: SiteId) -> f64 {
+        let s = self.topo.atlas.metro(self.topo.cdn.site_metro(site)).location();
+        client.location.haversine_km(&s)
+    }
+
+    fn build_decision(
+        &self,
+        client: &ClientAttachment,
+        egress: EgressDecision,
+        site: SiteId,
+        day: Day,
+    ) -> RouteDecision {
+        let atlas = &self.topo.atlas;
+        let mut hops = Vec::with_capacity(6);
+        hops.push(Hop {
+            kind: HopKind::ClientAccess,
+            metro: client.metro,
+            location: client.location,
+        });
+        let client_metro_loc = atlas.metro(client.metro).location();
+        // ISP backbone hop at the attachment metro center (distinct from the
+        // client's own location).
+        hops.push(Hop { kind: HopKind::IspBackbone, metro: client.metro, location: client_metro_loc });
+        if let Some(handoff) = egress.handoff_metro {
+            if handoff != client.metro {
+                hops.push(Hop {
+                    kind: HopKind::TransitBackbone,
+                    metro: handoff,
+                    location: atlas.metro(handoff).location(),
+                });
+            }
+        }
+        let ingress_metro = self.topo.cdn.border_metro(egress.ingress);
+        hops.push(Hop {
+            kind: HopKind::Peering,
+            metro: ingress_metro,
+            location: atlas.metro(ingress_metro).location(),
+        });
+        let site_metro = self.topo.cdn.site_metro(site);
+        if site_metro != ingress_metro {
+            hops.push(Hop {
+                kind: HopKind::CdnBackbone,
+                metro: site_metro,
+                location: atlas.metro(site_metro).location(),
+            });
+        }
+        hops.push(Hop {
+            kind: HopKind::FrontEnd,
+            metro: site_metro,
+            location: atlas.metro(site_metro).location(),
+        });
+        let path = RoutePath::new(hops);
+        // Transit-carried legs detour through provider hubs: charge the
+        // configured extra stretch on the handoff→ingress leg.
+        let extra_km = match egress.handoff_metro {
+            Some(handoff) => {
+                let leg = atlas
+                    .metro(handoff)
+                    .location()
+                    .haversine_km(&atlas.metro(ingress_metro).location());
+                (self.config().transit_detour_stretch - 1.0) * leg
+            }
+            None => 0.0,
+        };
+        let base_rtt_ms = self.latency.base_rtt_ms(
+            &path,
+            client.access,
+            client.as_id,
+            egress.ingress,
+            day,
+            extra_km,
+        );
+        RouteDecision {
+            ingress: egress.ingress,
+            site,
+            path,
+            base_rtt_ms,
+            via_transit: egress.via_transit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn world() -> Internet {
+        Internet::new(NetConfig::small(), 42).unwrap()
+    }
+
+    fn client_at(net: &Internet, as_idx: usize) -> ClientAttachment {
+        let e = &net.topology().eyeballs[as_idx % net.topology().eyeballs.len()];
+        let metro = e.home_metro;
+        let loc = net.topology().atlas.metro(metro).location().destination(45.0, 20.0);
+        ClientAttachment { as_id: e.id, metro, location: loc, access: AccessTech::Cable }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = NetConfig { p_direct_peering: 2.0, ..NetConfig::small() };
+        assert!(Internet::new(cfg, 1).is_err());
+    }
+
+    #[test]
+    fn anycast_route_is_deterministic_per_day() {
+        let net = world();
+        let c = client_at(&net, 3);
+        let a = net.anycast_route(&c, Day(2));
+        let b = net.anycast_route(&c, Day(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn path_starts_at_client_and_ends_at_site() {
+        let net = world();
+        for i in 0..10 {
+            let c = client_at(&net, i);
+            let d = net.anycast_route(&c, Day(0));
+            let hops = d.path.hops();
+            assert_eq!(hops.first().unwrap().kind, HopKind::ClientAccess);
+            assert_eq!(hops.last().unwrap().kind, HopKind::FrontEnd);
+            assert_eq!(hops.last().unwrap().metro, net.topology().cdn.site_metro(d.site));
+        }
+    }
+
+    #[test]
+    fn base_rtt_is_positive_and_reflects_path() {
+        let net = world();
+        for i in 0..20 {
+            let c = client_at(&net, i);
+            let d = net.anycast_route(&c, Day(0));
+            assert!(d.base_rtt_ms > 0.0);
+            // RTT must at least cover two-way propagation on the path.
+            let min_prop = 2.0 * d.path.total_km() * net.config().fiber_path_stretch
+                / net.config().fiber_km_per_ms;
+            assert!(d.base_rtt_ms >= min_prop);
+        }
+    }
+
+    #[test]
+    fn sampled_rtt_exceeds_base() {
+        let net = world();
+        let c = client_at(&net, 1);
+        let d = net.anycast_route(&c, Day(0));
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(net.sample_rtt(&d, &mut rng) > d.base_rtt_ms);
+        }
+    }
+
+    #[test]
+    fn unicast_route_serves_requested_site() {
+        let net = world();
+        let c = client_at(&net, 5);
+        for site in net.topology().cdn.site_ids() {
+            let d = net.unicast_route(&c, site, Day(0));
+            assert_eq!(d.site, site);
+        }
+    }
+
+    #[test]
+    fn unicast_ingress_is_near_the_front_end() {
+        // §3.1: unicast traffic ingresses near the front-end. The ingress
+        // border must be much closer to the site than the client is (for
+        // remote clients).
+        let net = world();
+        let c = client_at(&net, 7);
+        for site in net.topology().cdn.site_ids() {
+            let d = net.unicast_route(&c, site, Day(0));
+            let site_loc = net
+                .topology()
+                .atlas
+                .metro(net.topology().cdn.site_metro(site))
+                .location();
+            let ingress_loc = net
+                .topology()
+                .atlas
+                .metro(net.topology().cdn.border_metro(d.ingress))
+                .location();
+            let ingress_to_site = ingress_loc.haversine_km(&site_loc);
+            let client_to_site = c.location.haversine_km(&site_loc);
+            if client_to_site > 3000.0 {
+                assert!(
+                    ingress_to_site < client_to_site,
+                    "ingress {ingress_to_site} km vs client {client_to_site} km"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anycast_prefers_nearby_sites_in_idealized_world() {
+        // With no pathologies, anycast should land most clients on a
+        // front-end no farther than ~2x their nearest.
+        let cfg = NetConfig { n_eyeball: 60, ..NetConfig::idealized() };
+        let net = Internet::new(cfg, 7).unwrap();
+        let sites = net.site_locations();
+        let mut optimal = 0;
+        let mut total = 0;
+        for i in 0..net.topology().eyeballs.len() {
+            let c = client_at(&net, i);
+            let d = net.anycast_route(&c, Day(0));
+            let nearest = sites
+                .iter()
+                .map(|(_, loc)| loc.haversine_km(&c.location))
+                .fold(f64::INFINITY, f64::min);
+            let chosen = net.client_site_km(&c, d.site);
+            total += 1;
+            if chosen <= nearest.max(50.0) * 2.0 + 200.0 {
+                optimal += 1;
+            }
+        }
+        let frac = f64::from(optimal) / f64::from(total);
+        assert!(frac > 0.8, "only {frac} of idealized clients near-optimal");
+    }
+
+    #[test]
+    fn measure_helpers_agree_with_routes() {
+        let net = world();
+        let c = client_at(&net, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (site, rtt) = net.measure_anycast(&c, Day(0), &mut rng);
+        assert_eq!(site, net.anycast_route(&c, Day(0)).site);
+        assert!(rtt > 0.0);
+        let u = net.measure_unicast(&c, site, Day(0), &mut rng);
+        assert!(u > 0.0);
+    }
+
+    #[test]
+    fn client_site_km_is_geodesic() {
+        let net = world();
+        let c = client_at(&net, 0);
+        for (site, loc) in net.site_locations() {
+            assert!((net.client_site_km(&c, site) - c.location.haversine_km(&loc)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_world_same_routes() {
+        let a = Internet::new(NetConfig::small(), 5).unwrap();
+        let b = Internet::new(NetConfig::small(), 5).unwrap();
+        for i in 0..10 {
+            let ca = client_at(&a, i);
+            let cb = client_at(&b, i);
+            assert_eq!(a.anycast_route(&ca, Day(3)).site, b.anycast_route(&cb, Day(3)).site);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Client /24 prefixes.
+//!
+//! The paper aggregates clients into /24 prefixes throughout ("we aggregated
+//! client IP addresses from measurements into /24 prefixes because they tend
+//! to be localized", §3.2), and the ECS prediction scheme operates at /24
+//! granularity. [`Prefix24`] is that identity: the top 24 bits of an IPv4
+//! address.
+
+use std::net::Ipv4Addr;
+
+/// An IPv4 /24 prefix, stored as the network address with the low octet
+/// zeroed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix24(u32);
+
+impl Prefix24 {
+    /// The prefix containing `addr`.
+    pub fn containing(addr: Ipv4Addr) -> Prefix24 {
+        Prefix24(u32::from(addr) & 0xFFFF_FF00)
+    }
+
+    /// Constructs from a raw network value; the low octet is masked off.
+    pub fn from_raw(raw: u32) -> Prefix24 {
+        Prefix24(raw & 0xFFFF_FF00)
+    }
+
+    /// The network address (low octet zero).
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0)
+    }
+
+    /// The raw 32-bit network value.
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+
+    /// The host address with the given low octet inside this prefix.
+    pub fn host(&self, low: u8) -> Ipv4Addr {
+        Ipv4Addr::from(self.0 | u32::from(low))
+    }
+
+    /// Whether `addr` belongs to this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & 0xFFFF_FF00) == self.0
+    }
+
+    /// A stable 64-bit key for hashing into seeded random streams.
+    pub fn key(&self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl std::fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/24", self.network())
+    }
+}
+
+/// Allocates distinct /24 prefixes sequentially from a base, skipping
+/// reserved ranges. The workload generator uses one allocator per world so
+/// every client /24 is unique.
+#[derive(Debug, Clone)]
+pub struct PrefixAllocator {
+    next: u32,
+}
+
+impl Default for PrefixAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixAllocator {
+    /// Starts allocation at 11.0.0.0/24 (clear of 0/8, 10/8 private space,
+    /// and loopback).
+    pub fn new() -> Self {
+        PrefixAllocator { next: u32::from(Ipv4Addr::new(11, 0, 0, 0)) }
+    }
+
+    /// Allocates the next unused /24.
+    ///
+    /// # Panics
+    /// Panics if the allocator runs past 223.255.255.0 (more /24s than any
+    /// experiment could use — a loud failure beats silent reuse).
+    pub fn alloc(&mut self) -> Prefix24 {
+        loop {
+            let candidate = self.next;
+            assert!(
+                candidate < u32::from(Ipv4Addr::new(224, 0, 0, 0)),
+                "prefix space exhausted"
+            );
+            self.next = candidate.wrapping_add(0x100);
+            let first_octet = (candidate >> 24) as u8;
+            // Skip loopback and multicast-adjacent ranges, and private 172.16/12
+            // and 192.168/16 for realism.
+            let private_172 = first_octet == 172 && ((candidate >> 16) & 0xFF) >= 16 && ((candidate >> 16) & 0xFF) < 32;
+            let private_192 = first_octet == 192 && ((candidate >> 16) & 0xFF) == 168;
+            if first_octet == 127 || private_172 || private_192 {
+                continue;
+            }
+            return Prefix24::from_raw(candidate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_masks_low_octet() {
+        let p = Prefix24::containing(Ipv4Addr::new(93, 184, 216, 34));
+        assert_eq!(p.network(), Ipv4Addr::new(93, 184, 216, 0));
+        assert!(p.contains(Ipv4Addr::new(93, 184, 216, 255)));
+        assert!(!p.contains(Ipv4Addr::new(93, 184, 217, 0)));
+    }
+
+    #[test]
+    fn host_addresses_stay_inside() {
+        let p = Prefix24::from_raw(u32::from(Ipv4Addr::new(10, 1, 2, 99)));
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(p.host(7), Ipv4Addr::new(10, 1, 2, 7));
+        assert!(p.contains(p.host(200)));
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Prefix24::containing(Ipv4Addr::new(8, 8, 8, 8));
+        assert_eq!(p.to_string(), "8.8.8.0/24");
+    }
+
+    #[test]
+    fn allocator_yields_unique_prefixes() {
+        let mut alloc = PrefixAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100_000 {
+            assert!(seen.insert(alloc.alloc()), "duplicate prefix");
+        }
+    }
+
+    #[test]
+    fn allocator_skips_loopback_and_private() {
+        let mut alloc = PrefixAllocator::new();
+        for _ in 0..2_000_000 {
+            let p = alloc.alloc();
+            let first = (p.raw() >> 24) as u8;
+            let second = ((p.raw() >> 16) & 0xFF) as u8;
+            assert_ne!(first, 127);
+            assert!(!(first == 172 && (16..32).contains(&second)));
+            assert!(!(first == 192 && second == 168));
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let a = Prefix24::containing(Ipv4Addr::new(1, 2, 3, 4));
+        let b = Prefix24::containing(Ipv4Addr::new(1, 2, 4, 4));
+        assert_ne!(a.key(), b.key());
+    }
+}

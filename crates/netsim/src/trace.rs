@@ -1,0 +1,247 @@
+//! Atlas-style measurement probes and traceroutes.
+//!
+//! "To troubleshoot, we used the RIPE Atlas testbed, a network of over
+//! 8000 probes predominantly hosted in home networks. We issued traceroutes
+//! from Atlas probes hosted within the same ISP-metro area pairs where we
+//! have observed clients with poor performance" (§5).
+//!
+//! [`ProbeFleet`] is that testbed: probes pinned to `(AS, metro)` pairs,
+//! each able to run a [`Traceroute`] towards the anycast VIP or a unicast
+//! front-end. A traceroute reports per-hop RTT estimates consistent with
+//! the latency model (cumulative propagation to each hop plus the fixed
+//! edge costs), so a rendered trace explains exactly the latency the
+//! beacon measured — the property that made the paper's case-study
+//! methodology work.
+
+use anycast_geo::MetroId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ids::{AsId, SiteId};
+use crate::internet::{ClientAttachment, Internet, RouteDecision};
+use crate::latency::AccessTech;
+use crate::path::Hop;
+use crate::sim::Day;
+
+/// One measurement probe: a vantage point inside an eyeball AS at a metro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    /// Probe id (index in the fleet).
+    pub id: u32,
+    /// The attachment the probe measures from.
+    pub attachment: ClientAttachment,
+}
+
+/// A traceroute: the resolved route plus per-hop RTT estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Traceroute {
+    /// What was targeted (`None` = the anycast VIP).
+    pub target: Option<SiteId>,
+    /// The resolved route.
+    pub decision: RouteDecision,
+    /// Estimated RTT *to each hop*, ms, same length as the path.
+    pub hop_rtts_ms: Vec<f64>,
+}
+
+impl Traceroute {
+    /// Renders hop lines with RTTs, traceroute style.
+    pub fn render(&self, internet: &Internet) -> String {
+        let atlas = &internet.topology().atlas;
+        let mut out = String::new();
+        for (i, (hop, rtt)) in
+            self.decision.path.hops().iter().zip(&self.hop_rtts_ms).enumerate()
+        {
+            let metro = atlas.metro(hop.metro);
+            out.push_str(&format!(
+                "{:>2}  {:<10} {:<20} {:>7.1} ms\n",
+                i + 1,
+                hop.kind.label(),
+                format!("{}, {}", metro.name, metro.country),
+                rtt,
+            ));
+        }
+        out
+    }
+}
+
+/// A fleet of probes over a topology.
+#[derive(Debug, Clone)]
+pub struct ProbeFleet {
+    probes: Vec<Probe>,
+}
+
+impl ProbeFleet {
+    /// Deploys `n` probes across eyeball-AS attachment points, one per
+    /// `(AS, metro)` pair, breadth-first over ASes so coverage is broad.
+    pub fn deploy(internet: &Internet, n: usize, rng: &mut impl Rng) -> ProbeFleet {
+        let topo = internet.topology();
+        let mut pairs: Vec<(AsId, MetroId)> = topo
+            .eyeballs
+            .iter()
+            .flat_map(|e| e.pops.iter().map(move |&m| (e.id, m)))
+            .collect();
+        pairs.shuffle(rng);
+        pairs.truncate(n);
+        let probes = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (as_id, metro))| Probe {
+                id: i as u32,
+                attachment: ClientAttachment {
+                    as_id,
+                    metro,
+                    // Probes are "predominantly hosted in home networks":
+                    // place them a commuting distance from the metro center.
+                    location: topo
+                        .atlas
+                        .metro(metro)
+                        .location()
+                        .destination(rng.gen_range(0.0..360.0), rng.gen_range(2.0..40.0)),
+                    access: AccessTech::sample(rng.gen()),
+                },
+            })
+            .collect();
+        ProbeFleet { probes }
+    }
+
+    /// The probes.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Probes inside the given `(AS, metro)` pair — the paper's selection
+    /// criterion ("probes hosted within the same ISP-metro area pairs
+    /// where we have observed clients with poor performance").
+    pub fn probes_in(&self, as_id: AsId, metro: MetroId) -> Vec<&Probe> {
+        self.probes
+            .iter()
+            .filter(|p| p.attachment.as_id == as_id && p.attachment.metro == metro)
+            .collect()
+    }
+
+    /// Runs a traceroute from a probe towards the anycast VIP
+    /// (`target = None`) or a unicast front-end.
+    pub fn traceroute(
+        &self,
+        internet: &Internet,
+        probe: &Probe,
+        target: Option<SiteId>,
+        day: Day,
+    ) -> Traceroute {
+        let decision = match target {
+            None => internet.anycast_route(&probe.attachment, day),
+            Some(site) => internet.unicast_route(&probe.attachment, site, day),
+        };
+        let hop_rtts_ms = hop_rtts(internet, &probe.attachment, &decision);
+        Traceroute { target, decision, hop_rtts_ms }
+    }
+}
+
+/// Per-hop RTT estimates: cumulative two-way propagation to each hop plus
+/// the fixed edge costs, scaled so the final hop equals the decision's
+/// base RTT (keeping trace and measurement consistent).
+fn hop_rtts(
+    internet: &Internet,
+    client: &ClientAttachment,
+    decision: &RouteDecision,
+) -> Vec<f64> {
+    let hops: &[Hop] = decision.path.hops();
+    if hops.is_empty() {
+        return Vec::new();
+    }
+    let cfg = internet.config();
+    let mut cumulative_km = 0.0;
+    let mut raw: Vec<f64> = Vec::with_capacity(hops.len());
+    for (i, hop) in hops.iter().enumerate() {
+        if i > 0 {
+            cumulative_km += hops[i - 1].location.haversine_km(&hop.location);
+        }
+        let prop = 2.0 * cumulative_km * cfg.fiber_path_stretch / cfg.fiber_km_per_ms;
+        let last_mile = client.access.last_mile_ms() * cfg.last_mile_scale;
+        raw.push(prop + last_mile);
+    }
+    // Scale so the final hop matches the measured base RTT (absorbing the
+    // per-hop processing, detours and congestion terms proportionally).
+    let last = *raw.last().expect("non-empty");
+    if last > 0.0 && decision.base_rtt_ms > 0.0 {
+        let scale = decision.base_rtt_ms / last;
+        for r in &mut raw {
+            *r *= scale;
+        }
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fleet() -> (Internet, ProbeFleet) {
+        let internet = Internet::new(NetConfig::small(), 4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let fleet = ProbeFleet::deploy(&internet, 50, &mut rng);
+        (internet, fleet)
+    }
+
+    #[test]
+    fn fleet_deploys_requested_probes() {
+        let (_, fleet) = fleet();
+        assert_eq!(fleet.probes().len(), 50);
+        // Ids are dense.
+        for (i, p) in fleet.probes().iter().enumerate() {
+            assert_eq!(p.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn probes_are_findable_by_pair() {
+        let (_, fleet) = fleet();
+        let p = &fleet.probes()[0];
+        let found = fleet.probes_in(p.attachment.as_id, p.attachment.metro);
+        assert!(found.iter().any(|q| q.id == p.id));
+    }
+
+    #[test]
+    fn traceroute_hop_rtts_are_monotone_and_end_at_base_rtt() {
+        let (internet, fleet) = fleet();
+        for probe in fleet.probes().iter().take(10) {
+            let trace = fleet.traceroute(&internet, probe, None, Day(0));
+            assert_eq!(trace.hop_rtts_ms.len(), trace.decision.path.len());
+            for w in trace.hop_rtts_ms.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "hop RTTs must not decrease");
+            }
+            let last = *trace.hop_rtts_ms.last().unwrap();
+            assert!((last - trace.decision.base_rtt_ms).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unicast_traceroute_targets_the_site() {
+        let (internet, fleet) = fleet();
+        let site = internet.topology().cdn.site_ids().next().unwrap();
+        let probe = &fleet.probes()[3];
+        let trace = fleet.traceroute(&internet, probe, Some(site), Day(0));
+        assert_eq!(trace.decision.site, site);
+        assert_eq!(trace.target, Some(site));
+    }
+
+    #[test]
+    fn render_is_one_line_per_hop() {
+        let (internet, fleet) = fleet();
+        let probe = &fleet.probes()[0];
+        let trace = fleet.traceroute(&internet, probe, None, Day(0));
+        assert_eq!(trace.render(&internet).lines().count(), trace.decision.path.len());
+    }
+
+    #[test]
+    fn traceroute_agrees_with_routing() {
+        let (internet, fleet) = fleet();
+        let probe = &fleet.probes()[5];
+        let trace = fleet.traceroute(&internet, probe, None, Day(2));
+        let route = internet.anycast_route(&probe.attachment, Day(2));
+        assert_eq!(trace.decision, route);
+    }
+}

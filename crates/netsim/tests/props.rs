@@ -1,0 +1,135 @@
+//! Property tests for the Internet substrate: routing invariants that must
+//! hold over *any* generated world.
+
+use anycast_netsim::{
+    AccessTech, ClientAttachment, Day, HopKind, Internet, NetConfig, Prefix24, PrefixAllocator,
+};
+use proptest::prelude::*;
+
+fn world(seed: u64) -> Internet {
+    Internet::new(NetConfig::small(), seed).unwrap()
+}
+
+fn client_of(net: &Internet, idx: usize, offset_km: f64) -> ClientAttachment {
+    let eyeballs = &net.topology().eyeballs;
+    let e = &eyeballs[idx % eyeballs.len()];
+    let metro = e.pops[idx % e.pops.len()];
+    ClientAttachment {
+        as_id: e.id,
+        metro,
+        location: net
+            .topology()
+            .atlas
+            .metro(metro)
+            .location()
+            .destination((idx as f64 * 37.0) % 360.0, offset_km),
+        access: AccessTech::sample((idx as f64 * 0.137) % 1.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn anycast_routes_are_well_formed(seed in 0u64..20, idx in 0usize..200, day in 0u32..14) {
+        let net = world(seed);
+        let c = client_of(&net, idx, 25.0);
+        let d = net.anycast_route(&c, Day(day));
+        // Site is a real site; ingress a real border.
+        prop_assert!((d.site.0 as usize) < net.topology().cdn.sites.len());
+        prop_assert!((d.ingress.0 as usize) < net.topology().cdn.borders.len());
+        // Path shape: starts at the client, ends at the chosen site.
+        let hops = d.path.hops();
+        prop_assert!(hops.len() >= 3);
+        prop_assert_eq!(hops[0].kind, HopKind::ClientAccess);
+        prop_assert_eq!(hops.last().unwrap().kind, HopKind::FrontEnd);
+        prop_assert_eq!(hops.last().unwrap().metro, net.topology().cdn.site_metro(d.site));
+        // Latency is at least two-way stretched propagation over the path.
+        let floor = 2.0 * d.path.total_km() * net.config().fiber_path_stretch
+            / net.config().fiber_km_per_ms;
+        prop_assert!(d.base_rtt_ms >= floor - 1e-9);
+        prop_assert!(d.base_rtt_ms.is_finite());
+    }
+
+    #[test]
+    fn unicast_routes_serve_the_requested_site(seed in 0u64..10, idx in 0usize..100, site_pick in 0usize..12) {
+        let net = world(seed);
+        let c = client_of(&net, idx, 30.0);
+        let sites: Vec<_> = net.topology().cdn.site_ids().collect();
+        let site = sites[site_pick % sites.len()];
+        let d = net.unicast_route(&c, site, Day(0));
+        prop_assert_eq!(d.site, site);
+        prop_assert_eq!(
+            d.path.hops().last().unwrap().metro,
+            net.topology().cdn.site_metro(site)
+        );
+    }
+
+    #[test]
+    fn routing_day_determinism(seed in 0u64..10, idx in 0usize..100, day in 0u32..28) {
+        let net = world(seed);
+        let c = client_of(&net, idx, 10.0);
+        prop_assert_eq!(net.anycast_route(&c, Day(day)), net.anycast_route(&c, Day(day)));
+    }
+
+    #[test]
+    fn day_start_route_differs_only_on_flip_days(seed in 0u64..8, idx in 0usize..80, day in 1u32..14) {
+        let net = world(seed);
+        let c = client_of(&net, idx, 10.0);
+        let start = net.anycast_route_at_day_start(&c, Day(day));
+        let end = net.anycast_route(&c, Day(day));
+        if !net.churn().flips_on(c.as_id, c.metro, Day(day)) {
+            prop_assert_eq!(start.ingress, end.ingress);
+        }
+    }
+
+    #[test]
+    fn idealized_world_is_pathology_free(seed in 0u64..6, idx in 0usize..60) {
+        let cfg = NetConfig { n_sites: 12, n_extra_borders: 4, n_transit: 3,
+            transit_pops: 20, n_eyeball: 40, ..NetConfig::idealized() };
+        let net = Internet::new(cfg, seed).unwrap();
+        let c = client_of(&net, idx, 10.0);
+        // No churn: every day routes identically.
+        let d0 = net.anycast_route(&c, Day(0));
+        for day in 1..10 {
+            prop_assert_eq!(net.anycast_route(&c, Day(day)).site, d0.site);
+        }
+    }
+
+    #[test]
+    fn sampled_rtts_always_exceed_base(seed in 0u64..6, idx in 0usize..60, noise_seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let net = world(seed);
+        let c = client_of(&net, idx, 10.0);
+        let d = net.anycast_route(&c, Day(0));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(noise_seed);
+        for _ in 0..20 {
+            let rtt = net.sample_rtt(&d, &mut rng);
+            prop_assert!(rtt > d.base_rtt_ms);
+            prop_assert!(rtt.is_finite());
+        }
+    }
+
+    #[test]
+    fn prefix_allocator_never_repeats(n in 1usize..2000) {
+        let mut alloc = PrefixAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let p: Prefix24 = alloc.alloc();
+            prop_assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_out_of_range(p in 1.01f64..100.0) {
+        for field in 0..3 {
+            let mut cfg = NetConfig::default();
+            match field {
+                0 => cfg.p_direct_peering = p,
+                1 => cfg.flappy_fraction = p,
+                _ => cfg.spike_prob = p,
+            }
+            prop_assert!(cfg.validate().is_err());
+        }
+    }
+}

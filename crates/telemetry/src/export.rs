@@ -1,0 +1,81 @@
+//! CSV export, dependency-free.
+//!
+//! Experiments dump both raw logs and derived series as CSV so results can
+//! be inspected or re-plotted outside the workspace. The writer quotes only
+//! when necessary (commas, quotes, newlines) and is deliberately tiny — a
+//! full CSV crate is not justified for write-only output.
+
+use std::io::{self, Write};
+
+use crate::record::PassiveRecord;
+
+/// Quotes a CSV field if it contains a delimiter, quote or newline.
+pub fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes one CSV row.
+pub fn write_row<W: Write>(w: &mut W, fields: &[&str]) -> io::Result<()> {
+    let escaped: Vec<String> = fields.iter().map(|f| escape(f)).collect();
+    writeln!(w, "{}", escaped.join(","))
+}
+
+/// Writes the passive log as CSV with a header row.
+pub fn write_passive_csv<W: Write>(w: &mut W, records: &[PassiveRecord]) -> io::Result<()> {
+    write_row(w, &["prefix", "country", "region", "site", "day", "time_s"])?;
+    for r in records {
+        write_row(
+            w,
+            &[
+                &r.prefix.to_string(),
+                r.country,
+                r.region.label(),
+                &r.site.to_string(),
+                &r.day.0.to_string(),
+                &format!("{:.1}", r.time_s),
+            ],
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_geo::{GeoPoint, MetroId, Region};
+    use anycast_netsim::{Day, Prefix24, SiteId};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn escape_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn passive_csv_has_header_and_rows() {
+        let records = vec![PassiveRecord {
+            prefix: Prefix24::containing(Ipv4Addr::new(11, 0, 0, 1)),
+            metro: MetroId(0),
+            country: "US",
+            region: Region::NorthAmerica,
+            location: GeoPoint::new(0.0, 0.0),
+            site: SiteId(4),
+            day: Day(2),
+            time_s: 33.25,
+        }];
+        let mut buf = Vec::new();
+        write_passive_csv(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "prefix,country,region,site,day,time_s");
+        assert_eq!(lines[1], "11.0.0.0/24,US,North America,fe4,2,33.2");
+    }
+}

@@ -1,0 +1,50 @@
+//! Per-query passive log records.
+
+use anycast_geo::{GeoPoint, MetroId, Region};
+use anycast_netsim::{Day, Prefix24, SiteId};
+
+/// One row of the CDN's production request log — the §3.2.1 data source for
+/// the distance (Figure 4) and affinity (Figures 7–8) analyses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassiveRecord {
+    /// Client /24 prefix ("we aggregated client IP addresses … into /24
+    /// prefixes").
+    pub prefix: Prefix24,
+    /// Client's metro (from the CDN's geolocation of the client IP).
+    pub metro: MetroId,
+    /// Client's country code.
+    pub country: &'static str,
+    /// Client's continental region.
+    pub region: Region,
+    /// Client's (believed) location.
+    pub location: GeoPoint,
+    /// Front-end that served the request — for production traffic this is
+    /// always the anycast-selected site.
+    pub site: SiteId,
+    /// Day of the request.
+    pub day: Day,
+    /// Seconds within the day.
+    pub time_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn record_is_plain_data() {
+        let r = PassiveRecord {
+            prefix: Prefix24::containing(Ipv4Addr::new(11, 0, 0, 1)),
+            metro: MetroId(3),
+            country: "US",
+            region: Region::NorthAmerica,
+            location: GeoPoint::new(40.0, -74.0),
+            site: SiteId(1),
+            day: Day(0),
+            time_s: 120.0,
+        };
+        let copy = r;
+        assert_eq!(copy, r);
+    }
+}

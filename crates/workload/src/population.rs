@@ -1,0 +1,267 @@
+//! Client /24 population generation.
+//!
+//! Each client is one /24 prefix: localized (all its hosts share a metro and
+//! an access network, per the paper's Freedman-et-al. citation), attached to
+//! an eyeball AS present at its metro, and placed at a concrete location
+//! within commuting distance of the metro center.
+
+use anycast_geo::{GeoPoint, LogNormal, Metro, MetroId, Region};
+use anycast_netsim::{AccessTech, ClientAttachment, Prefix24, PrefixAllocator, Topology};
+use rand::distributions::Distribution;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One client /24 and everything the experiments need to know about it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Client {
+    /// The /24 prefix identity.
+    pub prefix: Prefix24,
+    /// Network attachment (AS, metro, location, access technology).
+    pub attachment: ClientAttachment,
+    /// Country of the client's metro.
+    pub country: &'static str,
+    /// Region of the client's metro.
+    pub region: Region,
+    /// Daily query volume (queries per day attributed to this /24).
+    pub volume: u64,
+}
+
+impl Client {
+    /// The client's metro record.
+    pub fn metro<'t>(&self, topo: &'t Topology) -> &'t Metro {
+        topo.atlas.metro(self.attachment.metro)
+    }
+}
+
+/// Parameters of population generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of client /24 prefixes to generate.
+    pub n_prefixes: usize,
+    /// Zipf exponent of the per-/24 query-volume skew (≈1 for web traffic).
+    pub zipf_exponent: f64,
+    /// Total queries per day across the population (volumes are scaled to
+    /// sum approximately to this).
+    pub daily_queries: u64,
+    /// Median displacement of a client from its metro center, km. Clients
+    /// are not at the metro's city hall: metro areas plus their commuter
+    /// and rural hinterland spread populations over hundreds of km, which
+    /// is what puts the paper's median client 280 km from its nearest
+    /// front-end even though front-ends sit in major metros.
+    pub spread_km_median: f64,
+    /// Lognormal sigma of the displacement (tail heaviness).
+    pub spread_sigma: f64,
+    /// Per-region usage multipliers applied on top of raw metro population
+    /// when sampling client locations. The studied service's user base was
+    /// heavily North-American/European; raw world population would put
+    /// nearly half the clients in Asia, which no mid-2010s search engine's
+    /// traffic resembled.
+    pub region_usage: [(Region, f64); 6],
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            n_prefixes: 4000,
+            zipf_exponent: 1.05,
+            daily_queries: 400_000,
+            spread_km_median: 110.0,
+            spread_sigma: 1.0,
+            region_usage: [
+                (Region::NorthAmerica, 3.4),
+                (Region::Europe, 2.6),
+                (Region::Asia, 0.45),
+                (Region::SouthAmerica, 0.8),
+                (Region::Oceania, 2.2),
+                (Region::Africa, 0.35),
+            ],
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A small population for fast tests.
+    pub fn small() -> Self {
+        PopulationConfig { n_prefixes: 400, daily_queries: 20_000, ..Default::default() }
+    }
+}
+
+/// Generates the client population over a topology. Metros are drawn
+/// proportionally to population; the AS is drawn uniformly from those
+/// present at the metro; volumes follow [`crate::volume::zipf_volumes`].
+pub fn generate(topo: &Topology, cfg: &PopulationConfig, rng: &mut impl Rng) -> Vec<Client> {
+    let mut alloc = PrefixAllocator::new();
+    let volumes = crate::volume::zipf_volumes(
+        cfg.n_prefixes,
+        cfg.zipf_exponent,
+        cfg.daily_queries,
+        rng,
+    );
+    let spread = LogNormal::new(cfg.spread_km_median, cfg.spread_sigma);
+    // Usage-weighted metro sampler: population × region usage factor.
+    let usage = |r: Region| -> f64 {
+        cfg.region_usage
+            .iter()
+            .find(|(region, _)| *region == r)
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0)
+    };
+    let mut cumulative: Vec<f64> = Vec::with_capacity(topo.atlas.len());
+    let mut total = 0.0f64;
+    for (_, m) in topo.atlas.iter() {
+        total += f64::from(m.population_k) * usage(m.region).max(0.0);
+        cumulative.push(total);
+    }
+    let sample_metro = |u: f64| -> MetroId {
+        let target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+        let idx = cumulative.partition_point(|&c| c <= target);
+        MetroId(idx.min(topo.atlas.len() - 1) as u32)
+    };
+    (0..cfg.n_prefixes)
+        .map(|i| {
+            let metro_id = sample_metro(rng.gen());
+            let metro = topo.atlas.metro(metro_id);
+            let as_id = *topo
+                .eyeballs_at_metro(metro_id)
+                .choose(rng)
+                .expect("every metro hosts at least one eyeball AS");
+            let bearing = rng.gen_range(0.0..360.0);
+            let location = metro.location().destination(bearing, spread.sample(rng));
+            Client {
+                prefix: alloc.alloc(),
+                attachment: ClientAttachment {
+                    as_id,
+                    metro: metro_id,
+                    location,
+                    access: AccessTech::sample(rng.gen()),
+                },
+                country: metro.country,
+                region: metro.region,
+                volume: volumes[i],
+            }
+        })
+        .collect()
+}
+
+/// Returns `(metro_id, client_count)` pairs for a population — a sanity view
+/// used in tests and reports.
+pub fn metro_histogram(clients: &[Client]) -> Vec<(MetroId, usize)> {
+    let mut counts: std::collections::HashMap<MetroId, usize> = std::collections::HashMap::new();
+    for c in clients {
+        *counts.entry(c.attachment.metro).or_default() += 1;
+    }
+    let mut out: Vec<(MetroId, usize)> = counts.into_iter().collect();
+    out.sort_by_key(|&(m, n)| (std::cmp::Reverse(n), m));
+    out
+}
+
+/// Convenience for analyses: the client's believed location according to a
+/// geolocation database (stable per prefix).
+pub fn believed_location(client: &Client, geodb: &anycast_geo::GeoDb) -> GeoPoint {
+    geodb.locate(client.prefix.key(), client.attachment.location)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_netsim::NetConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn world_and_clients() -> (Topology, Vec<Client>) {
+        let topo = Topology::generate(&NetConfig::small(), 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let clients = generate(&topo, &PopulationConfig::small(), &mut rng);
+        (topo, clients)
+    }
+
+    #[test]
+    fn population_size_and_unique_prefixes() {
+        let (_, clients) = world_and_clients();
+        assert_eq!(clients.len(), 400);
+        let mut prefixes: Vec<Prefix24> = clients.iter().map(|c| c.prefix).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), 400);
+    }
+
+    #[test]
+    fn clients_attach_to_ases_at_their_metro() {
+        let (topo, clients) = world_and_clients();
+        for c in &clients {
+            assert!(
+                topo.eyeballs_at_metro(c.attachment.metro).contains(&c.attachment.as_id),
+                "client AS not present at metro"
+            );
+            assert_eq!(c.country, topo.atlas.metro(c.attachment.metro).country);
+            assert_eq!(c.region, topo.atlas.metro(c.attachment.metro).region);
+        }
+    }
+
+    #[test]
+    fn clients_are_near_their_metro() {
+        let (topo, clients) = world_and_clients();
+        for c in &clients {
+            let d = c
+                .attachment
+                .location
+                .haversine_km(&topo.atlas.metro(c.attachment.metro).location());
+            assert!(d < 5000.0, "client {} km from metro center", d);
+        }
+    }
+
+    #[test]
+    fn volume_is_skewed() {
+        let (_, clients) = world_and_clients();
+        let mut volumes: Vec<u64> = clients.iter().map(|c| c.volume).collect();
+        volumes.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = volumes.iter().sum();
+        let top_decile: u64 = volumes[..volumes.len() / 10].iter().sum();
+        assert!(
+            top_decile as f64 > 0.4 * total as f64,
+            "top 10% of prefixes carry only {}% of queries",
+            100 * top_decile / total
+        );
+        assert!(volumes.iter().all(|&v| v >= 1));
+    }
+
+    #[test]
+    fn total_volume_approximates_config() {
+        let (_, clients) = world_and_clients();
+        let total: u64 = clients.iter().map(|c| c.volume).sum();
+        let target = PopulationConfig::small().daily_queries;
+        assert!(
+            (total as f64 - target as f64).abs() < 0.1 * target as f64,
+            "total {total} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn populous_metros_attract_more_clients() {
+        let topo = Topology::generate(&NetConfig::small(), 3);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cfg = PopulationConfig { n_prefixes: 5000, ..PopulationConfig::small() };
+        let clients = generate(&topo, &cfg, &mut rng);
+        let hist = metro_histogram(&clients);
+        // The most client-heavy metro must be one of the world's biggest.
+        let top_metro = topo.atlas.metro(hist[0].0);
+        assert!(top_metro.population_k > 10_000, "top metro {}", top_metro.name);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let topo = Topology::generate(&NetConfig::small(), 3);
+        let a = generate(&topo, &PopulationConfig::small(), &mut SmallRng::seed_from_u64(9));
+        let b = generate(&topo, &PopulationConfig::small(), &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn believed_location_is_stable() {
+        let (_, clients) = world_and_clients();
+        let db = anycast_geo::GeoDb::new(1, anycast_geo::GeoDbErrorModel::default());
+        for c in clients.iter().take(50) {
+            assert_eq!(believed_location(c, &db), believed_location(c, &db));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! End-to-end scenario assembly.
+//!
+//! A [`Scenario`] is one complete experimental world: the simulated
+//! Internet, the client population, the resolver fleet, the CDN address
+//! plan, and a geolocation database. Every figure harness, example and
+//! integration test starts by building one, then drives days of passive
+//! logs and beacon measurements through it.
+
+use anycast_geo::{GeoDb, GeoDbErrorModel};
+use anycast_netsim::{CdnAddressing, Day, Internet, NetConfig};
+use anycast_telemetry::PassiveRecord;
+use rand::Rng;
+
+use crate::ldns_assign::{self, LdnsAssignment, LdnsConfig};
+use crate::population::{self, Client, PopulationConfig};
+use crate::temporal;
+
+/// Everything needed to build a [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Internet/topology parameters.
+    pub net: NetConfig,
+    /// Population parameters.
+    pub population: PopulationConfig,
+    /// Resolver parameters.
+    pub ldns: LdnsConfig,
+    /// Geolocation error model for the CDN's database.
+    pub geodb_error: GeoDbErrorModel,
+    /// Fraction of each /24's daily queries that the passive log generator
+    /// actually materializes (production logs are huge; experiments sample).
+    pub passive_sample_rate: f64,
+    /// Master seed. The same seed reproduces the scenario and every
+    /// derived measurement bit-for-bit.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            net: NetConfig::default(),
+            population: PopulationConfig::default(),
+            ldns: LdnsConfig::default(),
+            geodb_error: GeoDbErrorModel::default(),
+            passive_sample_rate: 0.30,
+            seed: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small configuration for fast tests.
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            net: NetConfig::small(),
+            population: PopulationConfig::small(),
+            passive_sample_rate: 0.2,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// One assembled experimental world.
+///
+/// ```
+/// use anycast_workload::Scenario;
+/// use anycast_netsim::Day;
+///
+/// let scenario = Scenario::small(1);
+/// let mut rng = anycast_workload::scenario::seeded_rng(1, 2);
+/// let logs = scenario.generate_passive_day(Day(0), &mut rng);
+/// assert!(!logs.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Scenario {
+    /// The simulated Internet.
+    pub internet: Internet,
+    /// The client /24 population.
+    pub clients: Vec<Client>,
+    /// Resolver fleet and client assignment.
+    pub ldns: LdnsAssignment,
+    /// The CDN's geolocation database.
+    pub geodb: GeoDb,
+    /// The CDN's address plan.
+    pub addressing: CdnAddressing,
+    /// Passive sampling rate in force.
+    pub passive_sample_rate: f64,
+    /// The master seed the scenario was built from.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Builds a scenario from configuration.
+    ///
+    /// # Errors
+    /// Propagates [`NetConfig`] validation failures.
+    pub fn build(cfg: ScenarioConfig) -> Result<Scenario, String> {
+        if !(0.0..=1.0).contains(&cfg.passive_sample_rate) {
+            return Err(format!(
+                "passive_sample_rate must be in [0,1], got {}",
+                cfg.passive_sample_rate
+            ));
+        }
+        let internet = Internet::new(cfg.net.clone(), cfg.seed)?;
+        let mut rng = seeded_rng(cfg.seed, 0x776f726b);
+        let clients = population::generate(internet.topology(), &cfg.population, &mut rng);
+        let ldns = ldns_assign::assign(internet.topology(), &clients, &cfg.ldns, &mut rng);
+        let geodb = GeoDb::new(cfg.seed ^ 0x67656f64, cfg.geodb_error);
+        let n_sites = internet.topology().cdn.sites.len() as u16;
+        Ok(Scenario {
+            internet,
+            clients,
+            ldns,
+            geodb,
+            addressing: CdnAddressing::standard(n_sites),
+            passive_sample_rate: cfg.passive_sample_rate,
+            seed: cfg.seed,
+        })
+    }
+
+    /// Convenience: a small world for tests.
+    pub fn small(seed: u64) -> Scenario {
+        Scenario::build(ScenarioConfig::small(seed)).expect("small config is valid")
+    }
+
+    /// The client with the given index.
+    pub fn client(&self, idx: usize) -> &Client {
+        &self.clients[idx]
+    }
+
+    /// The UTC second-of-day at which a pending route flip for this
+    /// attachment takes effect on `day` (deterministic per attachment/day).
+    pub fn flip_time_s(&self, client: &Client, day: Day) -> f64 {
+        let a = client.attachment;
+        let mut z = self.seed
+            ^ (u64::from(a.as_id.0) << 40)
+            ^ (u64::from(a.metro.0) << 16)
+            ^ u64::from(day.0);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 86_400.0
+    }
+
+    /// Generates one day of passive production logs: every client's sampled
+    /// queries, routed by anycast, honoring intra-day route flips (queries
+    /// before the flip time see the day-start route).
+    pub fn generate_passive_day(&self, day: Day, rng: &mut impl Rng) -> Vec<PassiveRecord> {
+        let mut out = Vec::new();
+        let day_factor = temporal::day_volume_factor(day);
+        for c in &self.clients {
+            let expected = c.volume as f64 * self.passive_sample_rate * day_factor;
+            let n = sample_count(expected, rng);
+            if n == 0 {
+                continue;
+            }
+            let route_after = self.internet.anycast_route(&c.attachment, day);
+            let flips =
+                self.internet.churn().flips_on(c.attachment.as_id, c.attachment.metro, day);
+            let route_before = if flips {
+                Some(self.internet.anycast_route_at_day_start(&c.attachment, day))
+            } else {
+                None
+            };
+            let flip_at = self.flip_time_s(c, day);
+            let believed = self.geodb.locate(c.prefix.key(), c.attachment.location);
+            for _ in 0..n {
+                let t = temporal::sample_query_time(c.attachment.location.lon_deg(), rng);
+                let site = match &route_before {
+                    Some(before) if t < flip_at => before.site,
+                    _ => route_after.site,
+                };
+                out.push(PassiveRecord {
+                    prefix: c.prefix,
+                    metro: c.attachment.metro,
+                    country: c.country,
+                    region: c.region,
+                    location: believed,
+                    site,
+                    day,
+                    time_s: t,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Expected-value-preserving integer sample: `floor(x)` plus one with
+/// probability `frac(x)`.
+fn sample_count(expected: f64, rng: &mut impl Rng) -> u64 {
+    let base = expected.floor();
+    let extra = if rng.gen::<f64>() < expected - base { 1 } else { 0 };
+    base as u64 + extra
+}
+
+/// Derives an independent RNG stream from `(seed, salt)`.
+pub fn seeded_rng(seed: u64, salt: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    rand::rngs::SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_telemetry::TelemetryStore;
+
+    #[test]
+    fn build_small_world() {
+        let s = Scenario::small(1);
+        assert_eq!(s.clients.len(), 400);
+        assert!(!s.ldns.resolvers.is_empty());
+        assert_eq!(
+            s.addressing.n_sites() as usize,
+            s.internet.topology().cdn.sites.len()
+        );
+    }
+
+    #[test]
+    fn bad_sample_rate_rejected() {
+        let cfg = ScenarioConfig { passive_sample_rate: 1.5, ..ScenarioConfig::small(0) };
+        assert!(Scenario::build(cfg).is_err());
+    }
+
+    #[test]
+    fn passive_day_has_sampled_volume() {
+        let s = Scenario::small(2);
+        let mut rng = seeded_rng(2, 1);
+        let records = s.generate_passive_day(Day(0), &mut rng);
+        let total_volume: u64 = s.clients.iter().map(|c| c.volume).sum();
+        let expected = total_volume as f64 * s.passive_sample_rate;
+        assert!(
+            (records.len() as f64 - expected).abs() < 0.15 * expected,
+            "{} records vs expected {expected}",
+            records.len()
+        );
+    }
+
+    #[test]
+    fn weekend_volume_dips() {
+        let s = Scenario::small(3);
+        let mut rng = seeded_rng(3, 1);
+        let wed = s.generate_passive_day(Day(0), &mut rng).len() as f64;
+        let sat = s.generate_passive_day(Day(3), &mut rng).len() as f64;
+        assert!(sat < 0.92 * wed, "sat {sat} vs wed {wed}");
+    }
+
+    #[test]
+    fn passive_records_go_into_store() {
+        let s = Scenario::small(4);
+        let mut rng = seeded_rng(4, 1);
+        let mut store = TelemetryStore::new();
+        for day in Day(0).span(3) {
+            for r in s.generate_passive_day(day, &mut rng) {
+                store.push(r);
+            }
+        }
+        assert_eq!(store.days().count(), 3);
+        assert!(store.len() > 1000);
+    }
+
+    #[test]
+    fn flip_days_can_show_two_sites() {
+        // Over a week, at least one client must be observed on two
+        // front-ends within a single day (intra-day churn).
+        let s = Scenario::small(5);
+        let mut rng = seeded_rng(5, 1);
+        let mut found = false;
+        'outer: for day in Day(0).span(7) {
+            let mut store = TelemetryStore::new();
+            for r in s.generate_passive_day(day, &mut rng) {
+                store.push(r);
+            }
+            for (_, sites) in store.sites_seen(day) {
+                if sites.len() > 1 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no intra-day front-end switch observed in a week");
+    }
+
+    #[test]
+    fn flip_time_is_deterministic_and_in_range() {
+        let s = Scenario::small(6);
+        for c in s.clients.iter().take(20) {
+            for day in Day(0).span(3) {
+                let t = s.flip_time_s(c, day);
+                assert!((0.0..86_400.0).contains(&t));
+                assert_eq!(t, s.flip_time_s(c, day));
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_is_reproducible() {
+        let a = Scenario::small(7);
+        let b = Scenario::small(7);
+        assert_eq!(a.clients, b.clients);
+        let mut ra = seeded_rng(7, 9);
+        let mut rb = seeded_rng(7, 9);
+        let da = a.generate_passive_day(Day(0), &mut ra);
+        let db = b.generate_passive_day(Day(0), &mut rb);
+        assert_eq!(da.len(), db.len());
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x.prefix, y.prefix);
+            assert_eq!(x.site, y.site);
+        }
+    }
+}

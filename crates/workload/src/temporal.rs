@@ -1,0 +1,114 @@
+//! Temporal structure of the query stream.
+//!
+//! Queries arrive on a diurnal curve in the client's *local* time (search
+//! peaks in the evening), with slightly lower weekend volume. The curve
+//! matters to the reproduction because the beacon samples the query stream:
+//! measurement timestamps inherit the diurnal shape, and intra-day route
+//! flips land at a time-of-day drawn from the same clock.
+
+use anycast_netsim::Day;
+use rand::Rng;
+
+/// Relative query rate at local hour `h ∈ [0, 24)`: a double-peaked diurnal
+/// curve (noon and evening), never fully zero (bots and night owls).
+pub fn diurnal_weight(local_hour: f64) -> f64 {
+    let h = local_hour.rem_euclid(24.0);
+    // Base + noon bump + broad evening peak.
+    let noon = (-(h - 13.0).powi(2) / 18.0).exp();
+    let evening = (-(h - 20.5).powi(2) / 10.0).exp();
+    0.15 + 0.5 * noon + evening
+}
+
+/// Weekend volume multiplier (search volume dips on weekends).
+pub fn day_volume_factor(day: Day) -> f64 {
+    if day.weekday().is_weekend() {
+        0.8
+    } else {
+        1.0
+    }
+}
+
+/// Timezone offset in hours derived from longitude (15° per hour). Coarse,
+/// but the diurnal model only needs local-time alignment, not political
+/// timezones.
+pub fn tz_offset_hours(lon_deg: f64) -> f64 {
+    (lon_deg / 15.0).round()
+}
+
+/// Samples a UTC second-of-day for a query from a client at longitude
+/// `lon_deg`, honoring the diurnal curve in the client's local time.
+/// Rejection sampling against the curve's max (≈1.2).
+pub fn sample_query_time(lon_deg: f64, rng: &mut impl Rng) -> f64 {
+    let tz = tz_offset_hours(lon_deg);
+    loop {
+        let utc_s: f64 = rng.gen_range(0.0..86_400.0);
+        let local_hour = (utc_s / 3600.0 + tz).rem_euclid(24.0);
+        if rng.gen_range(0.0..1.25) < diurnal_weight(local_hour) {
+            return utc_s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_curve_peaks_in_the_evening() {
+        let evening = diurnal_weight(20.5);
+        let early = diurnal_weight(4.0);
+        assert!(evening > 3.0 * early, "evening {evening} vs 4am {early}");
+        // Never zero.
+        for h in 0..24 {
+            assert!(diurnal_weight(f64::from(h)) > 0.1);
+        }
+    }
+
+    #[test]
+    fn diurnal_wraps_midnight() {
+        assert!((diurnal_weight(24.0) - diurnal_weight(0.0)).abs() < 1e-12);
+        assert!((diurnal_weight(-4.0) - diurnal_weight(20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekend_factor() {
+        assert_eq!(day_volume_factor(Day(0)), 1.0); // Wed
+        assert_eq!(day_volume_factor(Day(3)), 0.8); // Sat
+        assert_eq!(day_volume_factor(Day(4)), 0.8); // Sun
+        assert_eq!(day_volume_factor(Day(5)), 1.0); // Mon
+    }
+
+    #[test]
+    fn tz_offsets() {
+        assert_eq!(tz_offset_hours(0.0), 0.0);
+        assert_eq!(tz_offset_hours(-74.0), -5.0); // New York
+        assert_eq!(tz_offset_hours(139.7), 9.0); // Tokyo
+    }
+
+    #[test]
+    fn sampled_times_follow_local_evening_peak() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Tokyo clients: local evening 20:00 ≈ 11:00 UTC.
+        let times: Vec<f64> = (0..20_000).map(|_| sample_query_time(139.7, &mut rng)).collect();
+        assert!(times.iter().all(|&t| (0.0..86_400.0).contains(&t)));
+        let in_local_evening = times
+            .iter()
+            .filter(|&&t| {
+                let local = (t / 3600.0 + 9.0).rem_euclid(24.0);
+                (18.0..23.0).contains(&local)
+            })
+            .count() as f64
+            / times.len() as f64;
+        let in_local_night = times
+            .iter()
+            .filter(|&&t| {
+                let local = (t / 3600.0 + 9.0).rem_euclid(24.0);
+                (2.0..7.0).contains(&local)
+            })
+            .count() as f64
+            / times.len() as f64;
+        assert!(in_local_evening > 2.0 * in_local_night);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for workload generation.
+
+use anycast_netsim::{Day, NetConfig, Topology};
+use anycast_workload::volume::{gini, zipf_volumes};
+use anycast_workload::{
+    ldns_assign, population, temporal, LdnsConfig, PopulationConfig, Scenario, ScenarioConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zipf_volumes_hold_their_invariants(
+        n in 1usize..2000, s in 0.0..2.0f64, total in 100u64..1_000_000, seed in any::<u64>()
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = zipf_volumes(n, s, total, &mut rng);
+        prop_assert_eq!(v.len(), n);
+        prop_assert!(v.iter().all(|&x| x >= 1));
+        // Higher exponents concentrate volume.
+        prop_assert!((0.0..=1.0).contains(&gini(&v)));
+    }
+
+    #[test]
+    fn population_is_fully_attached(seed in 0u64..12) {
+        let topo = Topology::generate(&NetConfig::small(), seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 99);
+        let clients = population::generate(&topo, &PopulationConfig::small(), &mut rng);
+        for c in &clients {
+            prop_assert!(topo.eyeballs_at_metro(c.attachment.metro).contains(&c.attachment.as_id));
+            prop_assert!(c.volume >= 1);
+            prop_assert!(c.attachment.location.lat_deg().abs() <= 90.0);
+        }
+        // Prefixes are unique.
+        let mut prefixes: Vec<_> = clients.iter().map(|c| c.prefix).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        prop_assert_eq!(prefixes.len(), clients.len());
+    }
+
+    #[test]
+    fn ldns_assignment_is_total_and_stable(seed in 0u64..10) {
+        let topo = Topology::generate(&NetConfig::small(), seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 7);
+        let clients = population::generate(&topo, &PopulationConfig::small(), &mut rng);
+        let a = ldns_assign::assign(&topo, &clients, &LdnsConfig::default(), &mut rng);
+        for c in &clients {
+            let id = a.resolver_of(c.prefix);
+            prop_assert!((id.0 as usize) < a.resolvers.len());
+            prop_assert_eq!(a.resolver(id).id, id);
+        }
+        prop_assert_eq!(a.client_ldns_km(&clients).len(), clients.len());
+    }
+
+    #[test]
+    fn diurnal_weight_is_positive_everywhere(h in -100.0..100.0f64) {
+        prop_assert!(temporal::diurnal_weight(h) > 0.0);
+    }
+
+    #[test]
+    fn sampled_query_times_are_within_a_day(lon in -180.0..180.0f64, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let t = temporal::sample_query_time(lon, &mut rng);
+            prop_assert!((0.0..86_400.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn flip_times_are_deterministic_and_in_range(seed in 0u64..6, idx in 0usize..100, day in 0u32..28) {
+        let s = Scenario::small(seed);
+        let c = &s.clients[idx % s.clients.len()];
+        let t = s.flip_time_s(c, Day(day));
+        prop_assert!((0.0..86_400.0).contains(&t));
+        prop_assert_eq!(t, s.flip_time_s(c, Day(day)));
+    }
+
+    #[test]
+    fn invalid_sample_rates_are_rejected(rate in prop::sample::select(vec![-0.1f64, 1.0001, 5.0])) {
+        let cfg = ScenarioConfig { passive_sample_rate: rate, ..ScenarioConfig::small(0) };
+        prop_assert!(Scenario::build(cfg).is_err());
+    }
+}
+
+#[test]
+fn passive_records_reference_real_entities() {
+    let s = Scenario::small(31);
+    let mut rng = anycast_workload::scenario::seeded_rng(31, 1);
+    let prefixes: std::collections::HashSet<_> = s.clients.iter().map(|c| c.prefix).collect();
+    let n_sites = s.internet.topology().cdn.sites.len() as u16;
+    for r in s.generate_passive_day(Day(0), &mut rng) {
+        assert!(prefixes.contains(&r.prefix));
+        assert!(r.site.0 < n_sites);
+        assert!((0.0..86_400.0).contains(&r.time_s));
+        assert_eq!(r.day, Day(0));
+    }
+}

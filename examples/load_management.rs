@@ -1,0 +1,86 @@
+//! Load-aware traffic management vs. route withdrawal (§2's claims).
+//!
+//! ```sh
+//! cargo run --release --example load_management
+//! ```
+//!
+//! Anycast "is unaware of server load … simply withdrawing the route to
+//! take that front-end offline can lead to cascading overloading of nearby
+//! front-ends" (§2). This example computes each site's offered load from a
+//! day of anycast routing, then contrasts the two remedies for an
+//! overloaded front-end — gradual DNS-driven shedding and the BGP blunt
+//! instrument — and finishes with the companion §2 claim: how rarely route
+//! churn actually breaks TCP flows.
+
+use std::collections::HashMap;
+
+use anycast_cdn::core::flows::{disruption_rate, FlowModel};
+use anycast_cdn::core::loadaware::{loads_from_traffic, plan_shedding, total_overload, withdraw};
+use anycast_cdn::core::Deployment;
+use anycast_cdn::netsim::{Day, SiteId};
+use anycast_cdn::workload::{scenario::seeded_rng, Scenario, ScenarioConfig};
+
+fn main() {
+    let scenario = Scenario::build(ScenarioConfig { seed: 17, ..Default::default() })
+        .expect("default configuration is valid");
+    let deployment = Deployment::of(&scenario.internet);
+
+    // Offered load per site: volume-weighted anycast routing on day 0.
+    let mut traffic: HashMap<SiteId, f64> = HashMap::new();
+    for client in &scenario.clients {
+        let route = scenario.internet.anycast_route(&client.attachment, Day(0));
+        *traffic.entry(route.site).or_default() += client.volume as f64;
+    }
+    let sites = loads_from_traffic(&traffic, &scenario.internet.site_locations(), 2.0);
+
+    let mut by_load = sites.clone();
+    by_load.sort_by(|a, b| b.load.total_cmp(&a.load));
+    println!("busiest front-ends (capacity = 2× mean load):");
+    for s in by_load.iter().take(5) {
+        println!(
+            "  {:<18} load {:>9.0}  capacity {:>9.0}  {}",
+            deployment.front_end(s.site).label,
+            s.load,
+            s.capacity,
+            if s.overload() > 0.0 { "OVERLOADED" } else { "ok" }
+        );
+    }
+
+    println!("\ninitial total overload: {:.0}", total_overload(&sites));
+
+    // Remedy 1: gradual shedding.
+    let (moves, after_shed) = plan_shedding(&sites);
+    println!("\ngradual shedding ({} moves):", moves.len());
+    for m in moves.iter().take(5) {
+        println!(
+            "  move {:>8.0} from {} to {}",
+            m.amount,
+            deployment.front_end(m.from).label,
+            deployment.front_end(m.to).label
+        );
+    }
+    println!("  residual overload: {:.0}", total_overload(&after_shed));
+
+    // Remedy 2: withdraw the busiest site.
+    let busiest = by_load[0].site;
+    let after_withdraw = withdraw(&sites, busiest);
+    println!(
+        "\nwithdrawing {} instead:\n  residual overload: {:.0}  (the §2 cascade)",
+        deployment.front_end(busiest).label,
+        total_overload(&after_withdraw)
+    );
+
+    // Companion claim: route churn barely breaks web flows.
+    let mut rng = seeded_rng(17, 0xf10e);
+    let web = disruption_rate(&scenario, Day(0), FlowModel::web(), 3, &mut rng);
+    let video = disruption_rate(&scenario, Day(0), FlowModel::video(), 3, &mut rng);
+    println!(
+        "\nTCP disruption from route churn (day 0):\n  \
+         web flows broken:   {:.4}% of {}\n  \
+         video flows broken: {:.4}% of {}",
+        100.0 * web.broken_fraction(),
+        web.flows,
+        100.0 * video.broken_fraction(),
+        video.flows,
+    );
+}
