@@ -58,8 +58,10 @@ pub fn cumulative_switch_curve<S: PartialEq + Copy>(
     if clients.is_empty() {
         return days.iter().map(|&d| (d, 0.0)).collect();
     }
-    let first_days: Vec<Option<u32>> =
-        clients.iter().map(ClientObservations::first_switch_day).collect();
+    let first_days: Vec<Option<u32>> = clients
+        .iter()
+        .map(ClientObservations::first_switch_day)
+        .collect();
     days.iter()
         .map(|&d| {
             let switched = first_days
@@ -76,7 +78,10 @@ mod tests {
     use super::*;
 
     fn obs(days: &[(u32, u8)], multi: &[u32]) -> ClientObservations<u8> {
-        ClientObservations { daily_sites: days.to_vec(), multi_site_days: multi.to_vec() }
+        ClientObservations {
+            daily_sites: days.to_vec(),
+            multi_site_days: multi.to_vec(),
+        }
     }
 
     #[test]
@@ -122,10 +127,10 @@ mod tests {
     #[test]
     fn curve_is_monotone_and_bounded() {
         let clients = vec![
-            obs(&[(0, 1), (1, 2)], &[]),          // switches day 1
-            obs(&[(0, 1), (1, 1), (2, 1)], &[]),  // never
-            obs(&[(0, 1)], &[0]),                 // day 0
-            obs(&[(0, 1), (3, 2)], &[]),          // day 3
+            obs(&[(0, 1), (1, 2)], &[]),         // switches day 1
+            obs(&[(0, 1), (1, 1), (2, 1)], &[]), // never
+            obs(&[(0, 1)], &[0]),                // day 0
+            obs(&[(0, 1), (3, 2)], &[]),         // day 3
         ];
         let curve = cumulative_switch_curve(&clients, &[0, 1, 2, 3]);
         let fracs: Vec<f64> = curve.iter().map(|&(_, f)| f).collect();

@@ -65,7 +65,12 @@ pub fn bootstrap_ci<R: Rng + ?Sized>(
     let hi_idx = (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize)
         .saturating_sub(1)
         .min(stats.len() - 1);
-    Some(ConfidenceInterval { estimate, lo: stats[lo_idx], hi: stats[hi_idx], level })
+    Some(ConfidenceInterval {
+        estimate,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+    })
 }
 
 /// Convenience: bootstrap CI of the median.
@@ -124,7 +129,7 @@ mod tests {
         let tight: Vec<f64> = vec![50.0; 400];
         let ci = median_ci(&tight, 300, 0.95, &mut rng).unwrap();
         assert_eq!(ci.width(), 0.0);
-        let spread: Vec<f64> = (0..400).map(|i| f64::from(i)).collect();
+        let spread: Vec<f64> = (0..400).map(f64::from).collect();
         let ci2 = median_ci(&spread, 300, 0.95, &mut rng).unwrap();
         assert!(ci2.width() > 0.0);
     }
@@ -142,7 +147,7 @@ mod tests {
     #[test]
     fn fraction_ci_is_a_probability() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let values: Vec<f64> = (0..200).map(|i| f64::from(i)).collect();
+        let values: Vec<f64> = (0..200).map(f64::from).collect();
         let ci = fraction_above_ci(&values, 150.0, 400, 0.9, &mut rng).unwrap();
         assert!((ci.estimate - 0.245).abs() < 1e-9);
         assert!(ci.lo >= 0.0 && ci.hi <= 1.0);

@@ -45,7 +45,10 @@ impl Ecdf {
             cum += w;
             points.push((v, cum));
         }
-        Ecdf { points, total_weight: cum }
+        Ecdf {
+            points,
+            total_weight: cum,
+        }
     }
 
     /// Number of retained samples.
@@ -98,7 +101,9 @@ impl Ecdf {
     /// Evaluates the CDF over a grid, producing `(x, F(x))` pairs — the
     /// rows the figure binaries print.
     pub fn cdf_series(&self, grid: &[f64]) -> Vec<(f64, f64)> {
-        grid.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
+        grid.iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
     }
 
     /// Evaluates the CCDF over a grid, producing `(x, 1 − F(x))` pairs.
@@ -114,7 +119,10 @@ impl Ecdf {
 
 /// A linear grid `[start, stop]` with `steps` intervals (steps+1 points).
 pub fn linear_grid(start: f64, stop: f64, steps: usize) -> Vec<f64> {
-    assert!(steps > 0 && stop >= start, "bad grid [{start}, {stop}] x{steps}");
+    assert!(
+        steps > 0 && stop >= start,
+        "bad grid [{start}, {stop}] x{steps}"
+    );
     (0..=steps)
         .map(|i| start + (stop - start) * i as f64 / steps as f64)
         .collect()

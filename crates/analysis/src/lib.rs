@@ -29,5 +29,5 @@ pub mod report;
 
 pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
 pub use cdf::Ecdf;
-pub use quantile::{coefficient_of_variation, median, percentile};
+pub use quantile::{coefficient_of_variation, median, percentile, ExactQuantiles, QuantileBackend};
 pub use report::Series;

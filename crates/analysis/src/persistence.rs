@@ -44,7 +44,13 @@ pub fn persistence_by_key<K: Copy + Eq + Hash>(
                     run = 1;
                 }
             }
-            (k, Persistence { days_bad, max_consecutive: max_run })
+            (
+                k,
+                Persistence {
+                    days_bad,
+                    max_consecutive: max_run,
+                },
+            )
         })
         .collect()
 }
@@ -56,31 +62,61 @@ mod tests {
     #[test]
     fn single_day() {
         let p = persistence_by_key([(1u32, 5u32)]);
-        assert_eq!(p[&1], Persistence { days_bad: 1, max_consecutive: 1 });
+        assert_eq!(
+            p[&1],
+            Persistence {
+                days_bad: 1,
+                max_consecutive: 1
+            }
+        );
     }
 
     #[test]
     fn consecutive_run_detected() {
         let p = persistence_by_key([(1u32, 3u32), (1, 4), (1, 5), (1, 9)]);
-        assert_eq!(p[&1], Persistence { days_bad: 4, max_consecutive: 3 });
+        assert_eq!(
+            p[&1],
+            Persistence {
+                days_bad: 4,
+                max_consecutive: 3
+            }
+        );
     }
 
     #[test]
     fn non_consecutive_days() {
         let p = persistence_by_key([(1u32, 0u32), (1, 2), (1, 4), (1, 6)]);
-        assert_eq!(p[&1], Persistence { days_bad: 4, max_consecutive: 1 });
+        assert_eq!(
+            p[&1],
+            Persistence {
+                days_bad: 4,
+                max_consecutive: 1
+            }
+        );
     }
 
     #[test]
     fn duplicates_ignored() {
         let p = persistence_by_key([(1u32, 3u32), (1, 3), (1, 3), (1, 4)]);
-        assert_eq!(p[&1], Persistence { days_bad: 2, max_consecutive: 2 });
+        assert_eq!(
+            p[&1],
+            Persistence {
+                days_bad: 2,
+                max_consecutive: 2
+            }
+        );
     }
 
     #[test]
     fn unordered_input() {
         let p = persistence_by_key([(1u32, 9u32), (1, 7), (1, 8), (1, 1)]);
-        assert_eq!(p[&1], Persistence { days_bad: 4, max_consecutive: 3 });
+        assert_eq!(
+            p[&1],
+            Persistence {
+                days_bad: 4,
+                max_consecutive: 3
+            }
+        );
     }
 
     #[test]

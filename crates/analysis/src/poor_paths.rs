@@ -65,16 +65,19 @@ pub fn daily_prevalence<K>(perf: &[PrefixDayPerf<K>]) -> DailyPrevalence {
             }
         }
     }
-    DailyPrevalence { total: perf.len(), counts }
+    DailyPrevalence {
+        total: perf.len(),
+        counts,
+    }
 }
 
 /// The keys whose improvement exceeded `threshold_ms` (feeds the Figure 6
 /// persistence analysis: which prefixes were poor on which days).
-pub fn poor_keys<K: Copy + Eq + Hash>(
-    perf: &[PrefixDayPerf<K>],
-    threshold_ms: f64,
-) -> Vec<K> {
-    perf.iter().filter(|p| p.improvement_ms() > threshold_ms).map(|p| p.key).collect()
+pub fn poor_keys<K: Copy + Eq + Hash>(perf: &[PrefixDayPerf<K>], threshold_ms: f64) -> Vec<K> {
+    perf.iter()
+        .filter(|p| p.improvement_ms() > threshold_ms)
+        .map(|p| p.key)
+        .collect()
 }
 
 /// Averages prevalence fractions across days — the paper's "on average, we
@@ -87,9 +90,7 @@ pub fn mean_fraction(days: &[DailyPrevalence], threshold_idx: usize) -> f64 {
 }
 
 /// Per-key improvement map for one day (used by prediction evaluation).
-pub fn improvement_by_key<K: Copy + Eq + Hash>(
-    perf: &[PrefixDayPerf<K>],
-) -> HashMap<K, f64> {
+pub fn improvement_by_key<K: Copy + Eq + Hash>(perf: &[PrefixDayPerf<K>]) -> HashMap<K, f64> {
     perf.iter().map(|p| (p.key, p.improvement_ms())).collect()
 }
 
@@ -98,7 +99,11 @@ mod tests {
     use super::*;
 
     fn perf(key: u32, anycast: f64, best: f64) -> PrefixDayPerf<u32> {
-        PrefixDayPerf { key, anycast_ms: anycast, best_unicast_ms: best }
+        PrefixDayPerf {
+            key,
+            anycast_ms: anycast,
+            best_unicast_ms: best,
+        }
     }
 
     #[test]

@@ -6,6 +6,68 @@
 //! primitives behind that argument and behind every percentile the
 //! evaluation reports (50th/75th).
 
+/// A source of percentile estimates over a latency distribution.
+///
+/// Two implementations exist: [`ExactQuantiles`] (every sample kept,
+/// sorted on demand — the behavior every analysis in this crate had
+/// before the pipeline existed) and `anycast_pipeline::QuantileSketch`
+/// (bounded memory, mergeable, rank error within a configured bound).
+/// Consumers that only need "the p-th percentile of what this group saw"
+/// — the §6 predictor above all — should take this trait so they work
+/// against either backend.
+pub trait QuantileBackend {
+    /// Exact number of samples absorbed. Exact, not estimated: the §6
+    /// "20+ measurements" eligibility filter reads it.
+    fn count(&self) -> u64;
+
+    /// The percentile `p ∈ [0, 100]`; `None` when no samples.
+    fn percentile(&self, p: f64) -> Option<f64>;
+}
+
+/// The exact [`QuantileBackend`]: keeps every sample and sorts lazily.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactQuantiles {
+    values: Vec<f64>,
+}
+
+impl ExactQuantiles {
+    /// Creates an empty collector.
+    pub fn new() -> ExactQuantiles {
+        ExactQuantiles::default()
+    }
+
+    /// Absorbs one sample.
+    pub fn observe(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Absorbs many samples.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        self.values.extend(values);
+    }
+
+    /// Merges another collector's samples.
+    pub fn merge(&mut self, other: &ExactQuantiles) {
+        self.values.extend_from_slice(&other.values);
+    }
+}
+
+impl From<Vec<f64>> for ExactQuantiles {
+    fn from(values: Vec<f64>) -> ExactQuantiles {
+        ExactQuantiles { values }
+    }
+}
+
+impl QuantileBackend for ExactQuantiles {
+    fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    fn percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.values, p)
+    }
+}
+
 /// Linear-interpolation percentile of `values` at `p ∈ [0, 100]`.
 /// Returns `None` for an empty slice or non-finite `p`. Input need not be
 /// sorted; NaNs are rejected by returning `None` (a NaN in a latency vector
@@ -172,5 +234,22 @@ mod tests {
     #[test]
     fn summary_empty_is_none() {
         assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn exact_backend_matches_percentile() {
+        let mut q = ExactQuantiles::new();
+        q.extend([5.0, 1.0, 3.0]);
+        q.observe(2.0);
+        q.observe(4.0);
+        assert_eq!(q.count(), 5);
+        assert_eq!(QuantileBackend::percentile(&q, 50.0), Some(3.0));
+        let mut other = ExactQuantiles::from(vec![6.0, 7.0]);
+        other.merge(&q);
+        assert_eq!(other.count(), 7);
+        assert_eq!(
+            QuantileBackend::percentile(&ExactQuantiles::new(), 50.0),
+            None
+        );
     }
 }

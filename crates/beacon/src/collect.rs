@@ -146,7 +146,10 @@ impl BeaconDataset {
     /// Writes the dataset as CSV (header + one row per measurement) — the
     /// interchange format for replotting outside the workspace.
     pub fn write_csv<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        writeln!(w, "measurement_id,slot,prefix,ldns,target,served_site,rtt_ms,day,time_s")?;
+        writeln!(
+            w,
+            "measurement_id,slot,prefix,ldns,target,served_site,rtt_ms,day,time_s"
+        )?;
         for m in &self.measurements {
             let target = match m.target {
                 Target::Anycast => "anycast".to_string(),
@@ -175,7 +178,14 @@ mod tests {
     use super::*;
     use std::net::Ipv4Addr;
 
-    fn m(exec: u64, slot: Slot, target: Target, served: u16, rtt: f64, day: u32) -> BeaconMeasurement {
+    fn m(
+        exec: u64,
+        slot: Slot,
+        target: Target,
+        served: u16,
+        rtt: f64,
+        day: u32,
+    ) -> BeaconMeasurement {
         BeaconMeasurement {
             measurement_id: slot.id_for(exec),
             slot,
@@ -193,9 +203,30 @@ mod tests {
     fn full_run(exec: u64, any_rtt: f64, uni: [(u16, f64); 3], day: u32) -> Vec<BeaconMeasurement> {
         vec![
             m(exec, Slot::Anycast, Target::Anycast, 2, any_rtt, day),
-            m(exec, Slot::GeoClosest, Target::Unicast(SiteId(uni[0].0)), uni[0].0, uni[0].1, day),
-            m(exec, Slot::Random1, Target::Unicast(SiteId(uni[1].0)), uni[1].0, uni[1].1, day),
-            m(exec, Slot::Random2, Target::Unicast(SiteId(uni[2].0)), uni[2].0, uni[2].1, day),
+            m(
+                exec,
+                Slot::GeoClosest,
+                Target::Unicast(SiteId(uni[0].0)),
+                uni[0].0,
+                uni[0].1,
+                day,
+            ),
+            m(
+                exec,
+                Slot::Random1,
+                Target::Unicast(SiteId(uni[1].0)),
+                uni[1].0,
+                uni[1].1,
+                day,
+            ),
+            m(
+                exec,
+                Slot::Random2,
+                Target::Unicast(SiteId(uni[2].0)),
+                uni[2].0,
+                uni[2].1,
+                day,
+            ),
         ]
     }
 

@@ -16,8 +16,10 @@ use anycast_dns::{DnsQueryLog, LdnsId};
 use crate::runner::HttpResult;
 use crate::slots::Slot;
 
-/// What a measurement targeted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// What a measurement targeted. The `Ord` is the deterministic target
+/// order downstream aggregation keys on: anycast first, then unicast by
+/// site id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Target {
     /// The anycast VIP; routing picked the site.
     Anycast,
@@ -59,8 +61,10 @@ pub fn join(
     dns: &[DnsQueryLog],
     addressing: &CdnAddressing,
 ) -> Vec<BeaconMeasurement> {
-    let dns_by_id: HashMap<u64, &DnsQueryLog> =
-        dns.iter().filter_map(|row| row.measurement_id().map(|id| (id, row))).collect();
+    let dns_by_id: HashMap<u64, &DnsQueryLog> = dns
+        .iter()
+        .filter_map(|row| row.measurement_id().map(|id| (id, row)))
+        .collect();
     http.iter()
         .filter_map(|h| {
             let d = dns_by_id.get(&h.measurement_id)?;
@@ -124,7 +128,10 @@ mod tests {
             http_row(any_id, plan.anycast_ip(), 3),
             http_row(uni_id, plan.site_ip(SiteId(5)), 5),
         ];
-        let dns = vec![dns_row(any_id, plan.anycast_ip()), dns_row(uni_id, plan.site_ip(SiteId(5)))];
+        let dns = vec![
+            dns_row(any_id, plan.anycast_ip()),
+            dns_row(uni_id, plan.site_ip(SiteId(5))),
+        ];
         let joined = join(&http, &dns, &plan);
         assert_eq!(joined.len(), 2);
         assert_eq!(joined[0].target, Target::Anycast);

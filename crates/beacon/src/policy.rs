@@ -73,8 +73,7 @@ impl MeasurementPolicy {
                     return candidates.first().map(|&(s, _)| s);
                 }
                 // Weight ∝ 1/(rank+1): the 3rd closest beats the 4th.
-                let weights: Vec<f64> =
-                    (0..rest.len()).map(|r| 1.0 / (r as f64 + 2.0)).collect();
+                let weights: Vec<f64> = (0..rest.len()).map(|r| 1.0 / (r as f64 + 2.0)).collect();
                 let total: f64 = weights.iter().sum();
                 let mut rng = id_rng(self.seed, id);
                 let mut draw = rng.gen::<f64>() * total;
@@ -172,11 +171,16 @@ mod tests {
     fn random_picks_stay_within_candidates() {
         let p = policy();
         let loc = GeoPoint::new(0.0, 0.0);
-        let candidates: std::collections::HashSet<SiteId> =
-            p.candidate_sites(&loc).into_iter().map(|(s, _)| s).collect();
+        let candidates: std::collections::HashSet<SiteId> = p
+            .candidate_sites(&loc)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         assert_eq!(candidates.len(), 10);
         for counter in 0..200 {
-            let site = p.select_site(Slot::Random1, Slot::Random1.id_for(counter), &loc).unwrap();
+            let site = p
+                .select_site(Slot::Random1, Slot::Random1.id_for(counter), &loc)
+                .unwrap();
             assert!(candidates.contains(&site));
         }
     }
@@ -189,7 +193,9 @@ mod tests {
         let mut n_second = 0;
         let mut n_tenth = 0;
         for counter in 0..5000 {
-            let site = p.select_site(Slot::Random1, Slot::Random1.id_for(counter), &loc).unwrap();
+            let site = p
+                .select_site(Slot::Random1, Slot::Random1.id_for(counter), &loc)
+                .unwrap();
             if site == SiteId(1) {
                 n_second += 1;
             } else if site == SiteId(9) {

@@ -15,9 +15,7 @@
 use std::net::Ipv4Addr;
 
 use anycast_geo::GeoPoint;
-use anycast_netsim::{
-    CdnAddressing, ClientAttachment, Day, Internet, Prefix24, SiteId,
-};
+use anycast_netsim::{CdnAddressing, ClientAttachment, Day, Internet, Prefix24, SiteId};
 use rand::Rng;
 
 use anycast_dns::{AuthoritativeServer, DnsName, Ldns};
@@ -103,13 +101,25 @@ pub fn run_beacon(
         let id = slot.id_for(execution);
         let qname = DnsName::measurement(id, zone);
         // Warm-up: populates the LDNS cache and the authoritative log.
-        let warm =
-            ldns.resolve(&qname, client.prefix, ldns_believed_location, auth, day, time_s);
+        let warm = ldns.resolve(
+            &qname,
+            client.prefix,
+            ldns_believed_location,
+            auth,
+            day,
+            time_s,
+        );
         debug_assert!(!warm.cache_hit, "unique names always miss on warm-up");
         // Timed fetch: resolves again (cache hit — TTL outlives the beacon)
         // and downloads from the answered address.
-        let fetch =
-            ldns.resolve(&qname, client.prefix, ldns_believed_location, auth, day, time_s + 0.5);
+        let fetch = ldns.resolve(
+            &qname,
+            client.prefix,
+            ldns_believed_location,
+            auth,
+            day,
+            time_s + 0.5,
+        );
         debug_assert!(fetch.cache_hit, "timed fetch must be served from cache");
         let addr = fetch.addr;
         let (served_site, true_rtt) = if addressing.is_anycast(addr) {
@@ -118,7 +128,10 @@ pub fn run_beacon(
             let site = addressing
                 .site_for_ip(addr)
                 .expect("measurement answer must be a service address");
-            (site, internet.measure_unicast(&client.attachment, site, day, rng))
+            (
+                site,
+                internet.measure_unicast(&client.attachment, site, day, rng),
+            )
         };
         results.push(HttpResult {
             measurement_id: id,
@@ -158,13 +171,7 @@ mod tests {
     }
 
     fn auth(w: &World) -> AuthoritativeServer<MeasurementPolicy> {
-        let policy = MeasurementPolicy::new(
-            w.internet.site_locations(),
-            w.addressing,
-            10,
-            300,
-            1,
-        );
+        let policy = MeasurementPolicy::new(w.internet.site_locations(), w.addressing, 10, 300, 1);
         AuthoritativeServer::new(policy, false)
     }
 
@@ -185,7 +192,12 @@ mod tests {
     fn run_one(w: &World, seed: u64) -> (Vec<HttpResult>, AuthoritativeServer<MeasurementPolicy>) {
         let mut a = auth(w);
         let c = client(w);
-        let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, c.attachment.location, false);
+        let mut ldns = Ldns::new(
+            LdnsId(0),
+            ResolverKind::IspLocal,
+            c.attachment.location,
+            false,
+        );
         let mut ids = MeasurementIdGen::new();
         let mut rng = SmallRng::seed_from_u64(seed);
         let results = run_beacon(
@@ -210,8 +222,10 @@ mod tests {
         let w = world();
         let (results, _) = run_one(&w, 1);
         assert_eq!(results.len(), 4);
-        let slots: Vec<Slot> =
-            results.iter().map(|r| Slot::from_id(r.measurement_id)).collect();
+        let slots: Vec<Slot> = results
+            .iter()
+            .map(|r| Slot::from_id(r.measurement_id))
+            .collect();
         assert_eq!(slots, Slot::ALL.to_vec());
     }
 
@@ -221,7 +235,10 @@ mod tests {
         let (results, _) = run_one(&w, 2);
         assert!(w.addressing.is_anycast(results[0].fetched_ip));
         for r in &results[1..] {
-            let site = w.addressing.site_for_ip(r.fetched_ip).expect("unicast address");
+            let site = w
+                .addressing
+                .site_for_ip(r.fetched_ip)
+                .expect("unicast address");
             assert_eq!(site, r.served_site, "unicast serves the targeted site");
         }
     }
@@ -252,7 +269,11 @@ mod tests {
         let w = world();
         let (results, _) = run_one(&w, 5);
         for r in &results {
-            assert!(r.reported_ms > 0.0 && r.reported_ms < 2000.0, "{}", r.reported_ms);
+            assert!(
+                r.reported_ms > 0.0 && r.reported_ms < 2000.0,
+                "{}",
+                r.reported_ms
+            );
         }
     }
 
@@ -261,8 +282,12 @@ mod tests {
         let w = world();
         let mut a = auth(&w);
         let c = client(&w);
-        let mut ldns =
-            Ldns::new(LdnsId(0), ResolverKind::IspLocal, c.attachment.location, false);
+        let mut ldns = Ldns::new(
+            LdnsId(0),
+            ResolverKind::IspLocal,
+            c.attachment.location,
+            false,
+        );
         let mut ids = MeasurementIdGen::new();
         let mut rng = SmallRng::seed_from_u64(6);
         let mut seen = std::collections::HashSet::new();

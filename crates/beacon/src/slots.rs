@@ -21,7 +21,12 @@ pub enum Slot {
 
 impl Slot {
     /// All slots in execution order.
-    pub const ALL: [Slot; 4] = [Slot::Anycast, Slot::GeoClosest, Slot::Random1, Slot::Random2];
+    pub const ALL: [Slot; 4] = [
+        Slot::Anycast,
+        Slot::GeoClosest,
+        Slot::Random1,
+        Slot::Random2,
+    ];
 
     /// Slot index in `0..4`.
     pub fn index(&self) -> u64 {

@@ -109,8 +109,9 @@ mod tests {
     fn primitive_timings_overestimate() {
         let m = TimingModel::default();
         let mut rng = SmallRng::seed_from_u64(2);
-        let mut overheads: Vec<f64> =
-            (0..5000).map(|_| m.observe(42.0, false, &mut rng) - 42.0).collect();
+        let mut overheads: Vec<f64> = (0..5000)
+            .map(|_| m.observe(42.0, false, &mut rng) - 42.0)
+            .collect();
         assert!(overheads.iter().all(|&o| o >= 0.0));
         overheads.sort_by(|a, b| a.total_cmp(b));
         let median = overheads[overheads.len() / 2];
@@ -121,9 +122,14 @@ mod tests {
     fn support_fraction_is_respected() {
         let m = TimingModel::default();
         let mut rng = SmallRng::seed_from_u64(3);
-        let compliant =
-            (0..20_000).filter(|_| m.browser_is_compliant(&mut rng)).count() as f64 / 20_000.0;
-        assert!((compliant - 0.78).abs() < 0.02, "compliant fraction {compliant}");
+        let compliant = (0..20_000)
+            .filter(|_| m.browser_is_compliant(&mut rng))
+            .count() as f64
+            / 20_000.0;
+        assert!(
+            (compliant - 0.78).abs() < 0.02,
+            "compliant fraction {compliant}"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ fn bench_routing(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 1) % clients.len();
-            std::hint::black_box(s.internet.unicast_route(&clients[i], site, Day(0)).base_rtt_ms)
+            std::hint::black_box(
+                s.internet
+                    .unicast_route(&clients[i], site, Day(0))
+                    .base_rtt_ms,
+            )
         })
     });
     group.bench_function("measure_anycast", |b| {
@@ -86,5 +90,11 @@ fn bench_prediction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_routing, bench_geo, bench_analysis, bench_prediction);
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_geo,
+    bench_analysis,
+    bench_prediction
+);
 criterion_main!(benches);

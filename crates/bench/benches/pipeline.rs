@@ -1,0 +1,156 @@
+//! Benches for the streaming-aggregation pipeline: ingest throughput on a
+//! web-scale day, day-sketch merge cost, and sketch-fed vs exact predictor
+//! training.
+//!
+//! The headline comparison is `pipeline-ingest`: a synthetic ≥1M-record
+//! day pushed through sharded streaming ingestion (bounded memory,
+//! per-group quantile sketches built in-flight) against the repo's
+//! original batch path (materialize every record, regroup into per-group
+//! vectors, sort each to read a percentile). The streaming path must win
+//! even on one core — it does strictly less work per record at day close —
+//! and that margin is what makes it the production-shaped choice.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use anycast_analysis::quantile::percentile;
+use anycast_beacon::Target;
+use anycast_core::{Metric, Predictor, PredictorConfig, Study, StudyConfig};
+use anycast_netsim::{Day, SiteId};
+use anycast_pipeline::{mix64, sketch_day, DayWindow, QuantileSketch, ShardConfig};
+use anycast_workload::Scenario;
+
+/// One synthetic day: `n` latency records across `groups` client groups
+/// and 4 targets, Zipf-ish group popularity, deterministic.
+fn synthetic_day(n: usize, groups: u32) -> Vec<(u32, Target, f64)> {
+    let mut rng = SmallRng::seed_from_u64(0x5eed);
+    (0..n)
+        .map(|i| {
+            // Skew: low group ids are hot (mirrors per-/24 query volume).
+            let r: f64 = rng.gen_range(0.0f64..1.0);
+            let key = ((r * r) * f64::from(groups)) as u32;
+            let target = match i % 4 {
+                0 => Target::Anycast,
+                t => Target::Unicast(SiteId(t as u16)),
+            };
+            let rtt = rng.gen_range(5.0f64..250.0);
+            (key, target, rtt)
+        })
+        .collect()
+}
+
+/// The pre-pipeline batch path: materialize the day, regroup into exact
+/// per-(group, target) sample vectors, sort each, read p25.
+fn batch_exact_p25(records: &[(u32, Target, f64)]) -> usize {
+    // Materialization pass: what a log collector does before analysis.
+    let day: Vec<(u32, Target, f64)> = records.to_vec();
+    let mut grouped: HashMap<(u32, Target), Vec<f64>> = HashMap::new();
+    for (k, t, v) in day {
+        grouped.entry((k, t)).or_default().push(v);
+    }
+    grouped.values().filter_map(|v| percentile(v, 25.0)).count()
+}
+
+/// The streaming path: sharded ingest into per-group sketches, merged,
+/// p25 read from each.
+fn streaming_p25(records: &[(u32, Target, f64)], workers: usize) -> usize {
+    let cfg = ShardConfig {
+        workers,
+        batch: 8192,
+        queue_depth: 8,
+    };
+    let mut day = sketch_day(records.iter().copied(), 0.01, cfg, |k: &u32| {
+        mix64(u64::from(*k))
+    });
+    day.values_mut()
+        .filter_map(|s| s.quantile_read(25.0))
+        .count()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let records = synthetic_day(1 << 20, 4096);
+    let mut group = c.benchmark_group("pipeline-ingest");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("batch-exact-1M", |b| {
+        b.iter(|| black_box(batch_exact_p25(&records)))
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("sharded-{workers}w-1M").as_str(), |b| {
+            b.iter(|| black_box(streaming_p25(&records, workers)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // A month of day-sketches for one hot group: the train_window pooling
+    // cost at day close.
+    let days: Vec<QuantileSketch> = (0..28u64)
+        .map(|d| {
+            let mut s = QuantileSketch::new(0.01);
+            let mut rng = SmallRng::seed_from_u64(d);
+            for _ in 0..20_000 {
+                s.observe(rng.gen_range(5.0f64..250.0));
+            }
+            s
+        })
+        .collect();
+    let mut group = c.benchmark_group("pipeline-merge");
+    group.bench_function("pool-28-day-sketches", |b| {
+        b.iter(|| {
+            let mut pooled = days[0].clone();
+            for d in &days[1..] {
+                pooled.merge(d);
+            }
+            black_box(pooled.quantile(25.0))
+        })
+    });
+    // The windowed variant: per-(group, target) maps across 7 days.
+    let mut window: DayWindow<u32> = DayWindow::new(0.01);
+    let mut rng = SmallRng::seed_from_u64(99);
+    for d in 0..7u32 {
+        for _ in 0..50_000 {
+            let key = rng.gen_range(0u32..256);
+            window.observe(Day(d), key, Target::Anycast, rng.gen_range(5.0f64..250.0));
+        }
+    }
+    let all_days: Vec<Day> = window.days();
+    group.bench_function("pool-7-day-window-256-groups", |b| {
+        b.iter(|| black_box(window.pooled(&all_days).len()))
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut study = Study::new(Scenario::small(9), StudyConfig::default());
+    let mut rng = SmallRng::seed_from_u64(4);
+    study.run_day(Day(0), &mut rng);
+    let predictor = Predictor::new(PredictorConfig {
+        metric: Metric::P25,
+        min_samples: 5,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("pipeline-train");
+    group.bench_function("exact-train-day", |b| {
+        b.iter(|| black_box(predictor.train(study.dataset(), Day(0)).len()))
+    });
+    group.bench_function("sketch-train-day", |b| {
+        b.iter(|| {
+            black_box(
+                predictor
+                    .train_sketched(study.dataset(), &[Day(0)], 0.01, ShardConfig::default())
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_merge, bench_training);
+criterion_main!(benches);

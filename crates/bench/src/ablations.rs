@@ -11,7 +11,10 @@
 //! * [`deployment_density`] — §4 ties the results to a few-dozen-site
 //!   deployment; sweep the site count and watch the anycast penalty;
 //! * [`hybrid_threshold`] — §6's hybrid: how the redirected share and the
-//!   improvement trade off against the gain threshold.
+//!   improvement trade off against the gain threshold;
+//! * [`sketch_accuracy`] — the streaming-pipeline question: how much of
+//!   the Figure 9 result survives when training reads bounded-memory
+//!   quantile sketches instead of exact per-group sample vectors.
 
 use anycast_analysis::cdf::Ecdf;
 use anycast_analysis::report::Series;
@@ -20,6 +23,7 @@ use anycast_core::{
     PredictorConfig, Study, StudyConfig,
 };
 use anycast_netsim::{Day, NetConfig};
+use anycast_pipeline::ShardConfig;
 use anycast_workload::{ldns_assign, Scenario};
 
 use crate::worlds::{figure_days, rng_for, scenario, scenario_config, study, Scale};
@@ -43,10 +47,20 @@ pub fn prediction_metric(scale: Scale, seed: u64) -> FigureResult {
     let mut hurt_pts = Vec::new();
     let mut scalars = Vec::new();
     for (i, (metric, label)) in metrics.iter().enumerate() {
-        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: *metric, min_samples: 20 };
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ecs,
+            metric: *metric,
+            min_samples: 20,
+        };
         let table = Predictor::new(cfg).train(st.dataset(), Day(0));
-        let rows =
-            evaluate_prediction(&table, Grouping::Ecs, st.dataset(), Day(1), &ldns_of, &volumes);
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            st.dataset(),
+            Day(1),
+            &ldns_of,
+            &volumes,
+        );
         let (improved, _, hurt) = outcome_shares(&rows, false);
         improved_pts.push((i as f64, improved));
         hurt_pts.push((i as f64, hurt));
@@ -78,10 +92,20 @@ pub fn min_samples(scale: Scale, seed: u64) -> FigureResult {
     let mut hurt_pts = Vec::new();
     let mut redirected_pts = Vec::new();
     for &min in &[1usize, 5, 20, 50] {
-        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: min };
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ecs,
+            metric: Metric::P25,
+            min_samples: min,
+        };
         let table = Predictor::new(cfg).train(st.dataset(), Day(0));
-        let rows =
-            evaluate_prediction(&table, Grouping::Ecs, st.dataset(), Day(1), &ldns_of, &volumes);
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            st.dataset(),
+            Day(1),
+            &ldns_of,
+            &volumes,
+        );
         let (improved, _, hurt) = outcome_shares(&rows, false);
         improved_pts.push((min as f64, improved));
         hurt_pts.push((min as f64, hurt));
@@ -118,7 +142,10 @@ pub fn candidate_count(scale: Scale, seed: u64) -> FigureResult {
         let mut best = f64::INFINITY;
         let mut row = Vec::with_capacity(max_k);
         for (site, _) in deployment.nearest(&believed, max_k) {
-            best = best.min(s.internet.measure_unicast(&c.attachment, site, Day(0), &mut rng));
+            best = best.min(
+                s.internet
+                    .measure_unicast(&c.attachment, site, Day(0), &mut rng),
+            );
             row.push(best);
         }
         cumulative.push(row);
@@ -127,7 +154,9 @@ pub fn candidate_count(scale: Scale, seed: u64) -> FigureResult {
     let points: Vec<(f64, f64)> = (1..=max_k)
         .map(|k| {
             let med = Ecdf::from_values(
-                cumulative.iter().filter_map(|row| row.get(k.min(row.len()) - 1).copied()),
+                cumulative
+                    .iter()
+                    .filter_map(|row| row.get(k.min(row.len()) - 1).copied()),
             )
             .median()
             .unwrap_or(f64::NAN);
@@ -163,7 +192,10 @@ pub fn deployment_density(scale: Scale, seed: u64) -> FigureResult {
         let mut rng = rng_for(seed ^ n_sites as u64, 0xab04);
         st.run_days(Day(0), figure_days(scale, 1), &mut rng);
         let penalties = Ecdf::from_values(
-            st.dataset().executions().iter().filter_map(|e| e.anycast_penalty_ms()),
+            st.dataset()
+                .executions()
+                .iter()
+                .filter_map(|e| e.anycast_penalty_ms()),
         );
         penalty_pts.push((n_sites as f64, penalties.fraction_above(25.0)));
         // Median client distance to nearest front-end.
@@ -197,7 +229,11 @@ pub fn hybrid_threshold(scale: Scale, seed: u64) -> FigureResult {
     st.run_days(Day(0), 2, &mut rng);
     let ldns_of = st.ldns_of();
     let volumes = st.volumes();
-    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 };
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 20,
+    };
     let full_table = Predictor::new(cfg).train(st.dataset(), Day(0));
 
     let mut redirected_pts = Vec::new();
@@ -205,8 +241,14 @@ pub fn hybrid_threshold(scale: Scale, seed: u64) -> FigureResult {
     let mut hurt_pts = Vec::new();
     for &threshold in &[0.0, 5.0, 10.0, 25.0, 50.0] {
         let table = full_table.hybrid_filter(threshold);
-        let rows =
-            evaluate_prediction(&table, Grouping::Ecs, st.dataset(), Day(1), &ldns_of, &volumes);
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            st.dataset(),
+            Day(1),
+            &ldns_of,
+            &volumes,
+        );
         let (improved, _, hurt) = outcome_shares(&rows, false);
         redirected_pts.push((threshold, table.len() as f64));
         improved_pts.push((threshold, improved));
@@ -244,7 +286,11 @@ pub fn training_window(scale: Scale, seed: u64) -> FigureResult {
     let mut coverage_pts = Vec::new();
     for k in 1..=total_days {
         let window: Vec<Day> = ((total_days - k)..total_days).map(Day).collect();
-        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 };
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ecs,
+            metric: Metric::P25,
+            min_samples: 20,
+        };
         let table = Predictor::new(cfg).train_window(st.dataset(), &window);
         let rows = evaluate_prediction(
             &table,
@@ -274,14 +320,108 @@ pub fn training_window(scale: Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// Sweep of the pipeline sketch's rank-error bound: train the predictor
+/// from streaming quantile sketches (`Predictor::train_sketched`) at each
+/// bound, evaluate on the next day exactly as Figure 9 does, and compare
+/// the improved/hurt shares against exact-path training. At the default
+/// bound (ε = 0.01) the shares must agree within 2 percentage points —
+/// the contract that lets the streaming pipeline replace the
+/// materialize-and-sort path at production scale.
+pub fn sketch_accuracy(scale: Scale, seed: u64) -> FigureResult {
+    let mut st = study(scale, seed);
+    let mut rng = rng_for(seed, 0xab07);
+    st.run_days(Day(0), 2, &mut rng);
+    let ldns_of = st.ldns_of();
+    let volumes = st.volumes();
+    let shard = ShardConfig::default();
+    const DEFAULT_EPS: f64 = 0.01;
+
+    let mut series = Vec::new();
+    let mut scalars = Vec::new();
+    for (grouping, label) in [(Grouping::Ecs, "ECS"), (Grouping::Ldns, "LDNS")] {
+        let cfg = PredictorConfig {
+            grouping,
+            metric: Metric::P25,
+            min_samples: 20,
+        };
+        let predictor = Predictor::new(cfg);
+        let exact_table = predictor.train(st.dataset(), Day(0));
+        let exact_rows = evaluate_prediction(
+            &exact_table,
+            grouping,
+            st.dataset(),
+            Day(1),
+            &ldns_of,
+            &volumes,
+        );
+        let (exact_improved, _, exact_hurt) = outcome_shares(&exact_rows, false);
+        scalars.push((
+            format!("{label} exact improved share (p75)"),
+            exact_improved,
+        ));
+        scalars.push((format!("{label} exact hurt share (p75)"), exact_hurt));
+
+        let mut improved_pts = Vec::new();
+        let mut hurt_pts = Vec::new();
+        let mut agreement_pts = Vec::new();
+        for &eps in &[0.005, DEFAULT_EPS, 0.02, 0.05, 0.1, 0.2] {
+            let table = predictor.train_sketched(st.dataset(), &[Day(0)], eps, shard);
+            let rows =
+                evaluate_prediction(&table, grouping, st.dataset(), Day(1), &ldns_of, &volumes);
+            let (improved, _, hurt) = outcome_shares(&rows, false);
+            improved_pts.push((eps * 1e3, improved));
+            hurt_pts.push((eps * 1e3, hurt));
+            let agreeing = exact_table
+                .iter()
+                .filter(|(k, c)| table.predict(*k) == Some(c.target))
+                .count();
+            let agreement = if exact_table.is_empty() {
+                1.0
+            } else {
+                agreeing as f64 / exact_table.len() as f64
+            };
+            agreement_pts.push((eps * 1e3, agreement));
+            if eps == DEFAULT_EPS {
+                scalars.push((
+                    format!("{label} |Δ improved| at default ε (pp)"),
+                    (improved - exact_improved).abs() * 100.0,
+                ));
+                scalars.push((
+                    format!("{label} |Δ hurt| at default ε (pp)"),
+                    (hurt - exact_hurt).abs() * 100.0,
+                ));
+            }
+        }
+        series.push(Series::new(
+            format!("{label} improved (sketch)"),
+            improved_pts,
+        ));
+        series.push(Series::new(format!("{label} hurt (sketch)"), hurt_pts));
+        series.push(Series::new(
+            format!("{label} choice agreement"),
+            agreement_pts,
+        ));
+    }
+
+    FigureResult {
+        id: "ablation-sketch-accuracy",
+        title: "Sketch-fed training vs exact training across rank-error bounds".into(),
+        x_label: "rank-error bound ε (x 1e-3)".into(),
+        series,
+        scalars,
+        text: None,
+    }
+}
+
 /// All ablation ids.
-pub const ALL: [&str; 6] = [
+pub const ALL: [&str; 7] = [
     "ablation-prediction-metric",
     "ablation-min-samples",
     "ablation-candidates",
     "ablation-density",
     "ablation-hybrid",
     "ablation-training-window",
+    "ablation-sketch-accuracy",
 ];
 
 /// Computes an ablation by id.
@@ -293,6 +433,7 @@ pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
         "ablation-density" => Some(deployment_density(scale, seed)),
         "ablation-hybrid" => Some(hybrid_threshold(scale, seed)),
         "ablation-training-window" => Some(training_window(scale, seed)),
+        "ablation-sketch-accuracy" => Some(sketch_accuracy(scale, seed)),
         _ => None,
     }
 }
@@ -345,6 +486,38 @@ mod tests {
             assert!(compute(id, Scale::Small, 1).is_some(), "{id}");
         }
         assert!(compute("nope", Scale::Small, 1).is_none());
+    }
+
+    #[test]
+    fn sketch_training_matches_exact_within_two_points() {
+        // The PR's acceptance bar: at the default rank-error bound, the
+        // sketch-fed predictor reproduces the exact-path Figure 9
+        // improved/hurt shares within 2 percentage points, for both
+        // groupings.
+        let fig = sketch_accuracy(Scale::Small, 1);
+        for (name, v) in &fig.scalars {
+            if name.contains("|Δ") {
+                assert!(*v <= 2.0, "{name} = {v:.3} pp exceeds the 2 pp budget");
+            }
+        }
+        // Sanity: all four delta scalars are actually present.
+        assert_eq!(
+            fig.scalars.iter().filter(|(n, _)| n.contains("|Δ")).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn tighter_sketches_agree_at_least_as_well() {
+        let fig = sketch_accuracy(Scale::Small, 1);
+        for s in fig.series.iter().filter(|s| s.name.contains("agreement")) {
+            let first = s.points.first().unwrap().1;
+            assert!(
+                first >= 0.9,
+                "{}: tightest bound agrees on only {first:.3} of choices",
+                s.name
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}");
             }
             eprintln!("{}", cli::usage_text());
-            return if e.0.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            return if e.0.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
 

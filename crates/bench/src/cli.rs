@@ -85,7 +85,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             "--csv" => csv = true,
             "--out" => {
                 out_dir = Some(PathBuf::from(
-                    it.next().ok_or_else(|| ParseError("expected --out <dir>".into()))?,
+                    it.next()
+                        .ok_or_else(|| ParseError("expected --out <dir>".into()))?,
                 ));
             }
             "--help" | "-h" => return Err(ParseError(String::new())),
@@ -94,7 +95,13 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         }
     }
     let target = target.ok_or_else(|| ParseError("missing artifact id".into()))?;
-    Ok(Invocation { ids: resolve_target(&target)?, scale, seed, csv, out_dir })
+    Ok(Invocation {
+        ids: resolve_target(&target)?,
+        scale,
+        seed,
+        csv,
+        out_dir,
+    })
 }
 
 /// The usage text.
@@ -140,7 +147,10 @@ mod tests {
     #[test]
     fn groups_expand() {
         assert_eq!(resolve_target("all").unwrap().len(), figures::ALL.len());
-        assert_eq!(resolve_target("ablations").unwrap().len(), ablations::ALL.len());
+        assert_eq!(
+            resolve_target("ablations").unwrap().len(),
+            ablations::ALL.len()
+        );
         assert_eq!(resolve_target("extras").unwrap().len(), extras::ALL.len());
         assert_eq!(
             resolve_target("everything").unwrap().len(),
@@ -150,7 +160,11 @@ mod tests {
 
     #[test]
     fn every_known_id_resolves_alone() {
-        for id in figures::ALL.iter().chain(ablations::ALL.iter()).chain(extras::ALL.iter()) {
+        for id in figures::ALL
+            .iter()
+            .chain(ablations::ALL.iter())
+            .chain(extras::ALL.iter())
+        {
             assert_eq!(resolve_target(id).unwrap(), vec![*id]);
         }
     }

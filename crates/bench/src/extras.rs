@@ -17,8 +17,8 @@ use anycast_analysis::report::Series;
 use anycast_core::flows::{disruption_rate, FlowModel};
 use anycast_core::loadaware::{loads_from_traffic, plan_shedding, total_overload, withdraw};
 use anycast_core::{
-    evaluate_prediction, evaluation::outcome_shares, Grouping, Metric, Predictor,
-    PredictorConfig, Study, StudyConfig,
+    evaluate_prediction, evaluation::outcome_shares, Grouping, Metric, Predictor, PredictorConfig,
+    Study, StudyConfig,
 };
 use anycast_dns::ResolverKind;
 use anycast_netsim::{Day, SiteId};
@@ -60,7 +60,10 @@ pub fn ldns_distance(scale: Scale, seed: u64) -> FigureResult {
                 "ISP demand farther than 500 km from LDNS".to_string(),
                 isp_ecdf.fraction_above(500.0),
             ),
-            ("public-resolver demand share".to_string(), public_w / total_w),
+            (
+                "public-resolver demand share".to_string(),
+                public_w / total_w,
+            ),
         ],
         text: None,
     }
@@ -72,7 +75,10 @@ pub fn tcp_disruption(scale: Scale, seed: u64) -> FigureResult {
     let mut rng = rng_for(seed, 0xecf1);
     let mut points = Vec::new();
     for median_s in [0.5, 1.5, 10.0, 60.0, 300.0, 1800.0] {
-        let model = FlowModel { duration_median_s: median_s, duration_sigma: 1.0 };
+        let model = FlowModel {
+            duration_median_s: median_s,
+            duration_sigma: 1.0,
+        };
         let stats = disruption_rate(&s, Day(0), model, 5, &mut rng);
         points.push((median_s, stats.broken_fraction()));
     }
@@ -121,16 +127,21 @@ pub fn load_shedding(scale: Scale, seed: u64) -> FigureResult {
     let withdraw_at_2 = withdraw_pts[2].1;
     FigureResult {
         id: "extra-load-shed",
-        title: "Residual overload: gradual shedding vs withdrawing the busiest site (§2)"
-            .into(),
+        title: "Residual overload: gradual shedding vs withdrawing the busiest site (§2)".into(),
         x_label: "capacity factor (× mean load)".into(),
         series: vec![
             Series::new("after gradual shedding", shed_pts),
             Series::new("after withdrawal", withdraw_pts),
         ],
         scalars: vec![
-            ("residual overload after shedding (2× capacity)".to_string(), shed_at_2),
-            ("residual overload after withdrawal (2× capacity)".to_string(), withdraw_at_2),
+            (
+                "residual overload after shedding (2× capacity)".to_string(),
+                shed_at_2,
+            ),
+            (
+                "residual overload after withdrawal (2× capacity)".to_string(),
+                withdraw_at_2,
+            ),
         ],
         text: None,
     }
@@ -166,25 +177,34 @@ pub fn ecs_adoption(scale: Scale, seed: u64) -> FigureResult {
         reach_pts.push((adoption, reachable / total_volume));
 
         // Prediction benefit, counting unreachable clients as unchanged.
-        let pcfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 };
+        let pcfg = PredictorConfig {
+            grouping: Grouping::Ecs,
+            metric: Metric::P25,
+            min_samples: 20,
+        };
         let table = Predictor::new(pcfg).train(st.dataset(), Day(0));
         let ldns_of = st.ldns_of();
         let volumes = st.volumes();
-        let rows: Vec<_> =
-            evaluate_prediction(&table, Grouping::Ecs, st.dataset(), Day(1), &ldns_of, &volumes)
-                .into_iter()
-                .map(|mut row| {
-                    let capable =
-                        s.ldns.resolver(s.ldns.resolver_of(row.prefix)).supports_ecs;
-                    if !capable {
-                        // No ECS from this client's resolver: the prediction
-                        // cannot reach it; it stays on anycast.
-                        row.improvement_p50_ms = 0.0;
-                        row.improvement_p75_ms = 0.0;
-                    }
-                    row
-                })
-                .collect();
+        let rows: Vec<_> = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            st.dataset(),
+            Day(1),
+            &ldns_of,
+            &volumes,
+        )
+        .into_iter()
+        .map(|mut row| {
+            let capable = s.ldns.resolver(s.ldns.resolver_of(row.prefix)).supports_ecs;
+            if !capable {
+                // No ECS from this client's resolver: the prediction
+                // cannot reach it; it stays on anycast.
+                row.improvement_p50_ms = 0.0;
+                row.improvement_p75_ms = 0.0;
+            }
+            row
+        })
+        .collect();
         let (improved, _, _) = outcome_shares(&rows, false);
         improved_pts.push((adoption, improved));
     }
@@ -224,8 +244,12 @@ pub fn world_summary(scale: Scale, seed: u64) -> FigureResult {
             text.push_str(&format!("  {:<14} {n}\n", region.label()));
         }
     }
-    let peering_only =
-        topo.cdn.borders.iter().filter(|b| b.colocated_site.is_none()).count();
+    let peering_only = topo
+        .cdn
+        .borders
+        .iter()
+        .filter(|b| b.colocated_site.is_none())
+        .count();
     text.push_str(&format!(
         "border routers: {} ({} peering-only)\n",
         topo.cdn.borders.len(),
@@ -233,7 +257,11 @@ pub fn world_summary(scale: Scale, seed: u64) -> FigureResult {
     ));
 
     let transit_only = topo.eyeballs.iter().filter(|e| e.is_transit_only()).count();
-    let single_peer = topo.eyeballs.iter().filter(|e| e.peering_borders.len() == 1).count();
+    let single_peer = topo
+        .eyeballs
+        .iter()
+        .filter(|e| e.peering_borders.len() == 1)
+        .count();
     let fixed = topo
         .eyeballs
         .iter()
@@ -300,7 +328,10 @@ mod tests {
         // The paper's statistic: ~11-12% of non-public demand > 500 km.
         assert!(far > 0.02 && far < 0.35, "far-LDNS share {far}");
         let public_share = fig.scalars[1].1;
-        assert!(public_share > 0.02 && public_share < 0.20, "public share {public_share}");
+        assert!(
+            public_share > 0.02 && public_share < 0.20,
+            "public share {public_share}"
+        );
     }
 
     #[test]
@@ -337,7 +368,10 @@ mod tests {
         let text = fig.text.as_ref().unwrap();
         assert!(text.contains("front-end sites by region"));
         assert!(text.contains("eyeball ASes"));
-        assert!(fig.scalars.iter().any(|(k, v)| k == "front-end sites" && *v == 12.0));
+        assert!(fig
+            .scalars
+            .iter()
+            .any(|(k, v)| k == "front-end sites" && *v == 12.0));
     }
 
     #[test]
@@ -346,7 +380,11 @@ mod tests {
         let shed = &fig.series[0].points;
         let withdrawn = &fig.series[1].points;
         for (s, w) in shed.iter().zip(withdrawn) {
-            assert!(w.1 >= s.1 - 1e-9, "withdrawal beat shedding at factor {}", s.0);
+            assert!(
+                w.1 >= s.1 - 1e-9,
+                "withdrawal beat shedding at factor {}",
+                s.0
+            );
         }
     }
 }

@@ -33,12 +33,11 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let mut rng = rng_for(seed, 0xf161);
 
     // Per client: ascending-candidate-rank minimum latencies.
-    let max_n = *N_LINES.iter().max().expect("non-empty") ;
+    let max_n = *N_LINES.iter().max().expect("non-empty");
     let mut per_client_min: Vec<Vec<f64>> = Vec::with_capacity(s.clients.len());
     for c in &s.clients {
         let ldns_id = s.ldns.resolver_of(c.prefix);
-        let believed =
-            ldns_assign::believed_ldns_location(s.ldns.resolver(ldns_id), &s.geodb);
+        let believed = ldns_assign::believed_ldns_location(s.ldns.resolver(ldns_id), &s.geodb);
         let candidates = deployment.nearest(&believed, max_n);
         let mut mins = Vec::with_capacity(candidates.len());
         let mut best_so_far = f64::INFINITY;
@@ -46,7 +45,10 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
             let mut site_min = f64::INFINITY;
             for _ in 0..SAMPLES {
                 site_min =
-                    site_min.min(s.internet.measure_unicast(&c.attachment, site, Day(0), &mut rng));
+                    site_min.min(
+                        s.internet
+                            .measure_unicast(&c.attachment, site, Day(0), &mut rng),
+                    );
             }
             best_so_far = best_so_far.min(site_min);
             mins.push(best_so_far);
@@ -62,22 +64,36 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
             .iter()
             .filter_map(|mins| mins.get(n.min(mins.len()) - 1).copied());
         let ecdf = Ecdf::from_values(values);
-        series.push(Series::new(format!("{n} front-ends"), ecdf.cdf_series(&grid)));
+        series.push(Series::new(
+            format!("{n} front-ends"),
+            ecdf.cdf_series(&grid),
+        ));
     }
 
     // Headline scalars: median min-latency at N=1, 5, 9 — the diminishing-
     // returns argument in numbers.
     let median_at = |n: usize| {
         Ecdf::from_values(
-            per_client_min.iter().filter_map(|m| m.get(n.min(m.len()) - 1).copied()),
+            per_client_min
+                .iter()
+                .filter_map(|m| m.get(n.min(m.len()) - 1).copied()),
         )
         .median()
         .unwrap_or(f64::NAN)
     };
     let scalars = vec![
-        ("median min-latency, 1 front-end (ms)".to_string(), median_at(1)),
-        ("median min-latency, 5 front-ends (ms)".to_string(), median_at(5)),
-        ("median min-latency, 9 front-ends (ms)".to_string(), median_at(9)),
+        (
+            "median min-latency, 1 front-end (ms)".to_string(),
+            median_at(1),
+        ),
+        (
+            "median min-latency, 5 front-ends (ms)".to_string(),
+            median_at(5),
+        ),
+        (
+            "median min-latency, 9 front-ends (ms)".to_string(),
+            median_at(9),
+        ),
         (
             "gain from 5 to 9 front-ends (ms)".to_string(),
             median_at(5) - median_at(9),

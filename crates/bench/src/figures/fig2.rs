@@ -34,7 +34,10 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
             format!("median distance to {}{} closest (km)", n, ordinal(n)),
             ecdf.median().unwrap_or(f64::NAN),
         ));
-        series.push(Series::new(format!("{}{} closest", n, ordinal(n)), ecdf.cdf_series(&grid)));
+        series.push(Series::new(
+            format!("{}{} closest", n, ordinal(n)),
+            ecdf.cdf_series(&grid),
+        ));
     }
 
     FigureResult {

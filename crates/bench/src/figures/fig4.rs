@@ -33,12 +33,17 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let mut to_fe: Vec<(f64, f64)> = Vec::new(); // (km, weight)
     let mut past_closest: Vec<(f64, f64)> = Vec::new();
     for (prefix, days) in &serving {
-        let Some(&site) = days.get(&Day(0)) else { continue };
+        let Some(&site) = days.get(&Day(0)) else {
+            continue;
+        };
         let Some(rec) = store.day(Day(0)).iter().find(|r| r.prefix == *prefix) else {
             continue;
         };
         let weight = volumes.get(prefix).copied().unwrap_or(1) as f64;
-        let d_fe = deployment.front_end(site).location.haversine_km(&rec.location);
+        let d_fe = deployment
+            .front_end(site)
+            .location
+            .haversine_km(&rec.location);
         let d_closest = deployment
             .nearest(&rec.location, 1)
             .first()
@@ -78,9 +83,15 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     ];
 
     let series = vec![
-        Series::new("Weighted Clients Past Closest", weighted_past.cdf_series(&grid)),
+        Series::new(
+            "Weighted Clients Past Closest",
+            weighted_past.cdf_series(&grid),
+        ),
         Series::new("Clients Past Closest", unweighted_past.cdf_series(&grid)),
-        Series::new("Weighted Clients to Front-end", weighted_fe.cdf_series(&grid)),
+        Series::new(
+            "Weighted Clients to Front-end",
+            weighted_fe.cdf_series(&grid),
+        ),
         Series::new("Clients to Front-end", unweighted_fe.cdf_series(&grid)),
     ];
 
@@ -103,8 +114,16 @@ mod tests {
         let fig = compute(Scale::Small, 1);
         // Past-closest distances are ≤ absolute distances, so their CDF
         // lies above at every x.
-        let past = fig.series.iter().find(|s| s.name == "Clients Past Closest").unwrap();
-        let abs = fig.series.iter().find(|s| s.name == "Clients to Front-end").unwrap();
+        let past = fig
+            .series
+            .iter()
+            .find(|s| s.name == "Clients Past Closest")
+            .unwrap();
+        let abs = fig
+            .series
+            .iter()
+            .find(|s| s.name == "Clients to Front-end")
+            .unwrap();
         for (a, b) in past.points.iter().zip(&abs.points) {
             assert!(a.1 >= b.1 - 1e-12);
         }

@@ -41,7 +41,10 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     }
 
     let scalars = vec![
-        ("mean fraction with any improvement".to_string(), mean_fraction(&daily, 0)),
+        (
+            "mean fraction with any improvement".to_string(),
+            mean_fraction(&daily, 0),
+        ),
         ("mean fraction >10ms".to_string(), mean_fraction(&daily, 1)),
         ("mean fraction >25ms".to_string(), mean_fraction(&daily, 2)),
         ("mean fraction >50ms".to_string(), mean_fraction(&daily, 3)),
@@ -61,10 +64,7 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
 
 /// The per-day `(prefix, improvement)` data behind the figure — reused by
 /// Figure 6's persistence analysis so the month-long study runs once.
-pub fn poor_days_by_prefix(
-    scale: Scale,
-    seed: u64,
-) -> Vec<(anycast_netsim::Prefix24, u32)> {
+pub fn poor_days_by_prefix(scale: Scale, seed: u64) -> Vec<(anycast_netsim::Prefix24, u32)> {
     let days = figure_days(scale, PAPER_DAYS);
     let mut st = study(scale, seed);
     let mut rng = rng_for(seed, 0xf165);
@@ -106,7 +106,10 @@ mod tests {
         let fig = compute(Scale::Small, 2);
         let any = fig.scalars[0].1;
         let over50 = fig.scalars[3].1;
-        assert!(any > 0.02 && any < 0.6, "daily any-improvement fraction {any}");
+        assert!(
+            any > 0.02 && any < 0.6,
+            "daily any-improvement fraction {any}"
+        );
         assert!(over50 < any, "thresholded fraction must be smaller");
     }
 

@@ -19,9 +19,14 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let poor = fig5::poor_days_by_prefix(scale, seed);
     let persistence = persistence_by_key(poor);
 
-    let days_bad: Vec<f64> = persistence.values().map(|p| f64::from(p.days_bad)).collect();
-    let max_consec: Vec<f64> =
-        persistence.values().map(|p| f64::from(p.max_consecutive)).collect();
+    let days_bad: Vec<f64> = persistence
+        .values()
+        .map(|p| f64::from(p.days_bad))
+        .collect();
+    let max_consec: Vec<f64> = persistence
+        .values()
+        .map(|p| f64::from(p.max_consecutive))
+        .collect();
     let grid = linear_grid(1.0, 15.0, 14);
     let days_ecdf = Ecdf::from_values(days_bad.iter().copied());
     let consec_ecdf = Ecdf::from_values(max_consec.iter().copied());
@@ -31,10 +36,7 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
             "poor on exactly one day".to_string(),
             days_ecdf.fraction_at_or_below(1.0),
         ),
-        (
-            "poor on 5+ days".to_string(),
-            days_ecdf.fraction_above(4.0),
-        ),
+        ("poor on 5+ days".to_string(), days_ecdf.fraction_above(4.0)),
         (
             "5+ consecutive poor days".to_string(),
             consec_ecdf.fraction_above(4.0),
@@ -74,9 +76,19 @@ mod tests {
 
     #[test]
     fn majority_of_poor_paths_are_short_lived() {
-        let fig = compute(Scale::Small, 2);
-        let one_day = fig.scalars[0].1;
-        let five_plus = fig.scalars[1].1;
+        // A single small world has only ~10 ever-poor prefixes, so the
+        // per-seed fractions are binomial noise; pool a few independent
+        // worlds to test the distributional claim at a usable sample size.
+        let (mut one_day_n, mut five_plus_n, mut total) = (0.0, 0.0, 0.0);
+        for seed in [1, 2, 3] {
+            let fig = compute(Scale::Small, seed);
+            let ever_poor = fig.scalars[3].1;
+            one_day_n += fig.scalars[0].1 * ever_poor;
+            five_plus_n += fig.scalars[1].1 * ever_poor;
+            total += ever_poor;
+        }
+        let one_day = one_day_n / total;
+        let five_plus = five_plus_n / total;
         // Paper: ~60% one-day, ~10% five-plus (over 28 days; the small
         // scale runs 7, so accept broad bands and check the ordering).
         assert!(one_day > 0.3, "one-day fraction {one_day}");

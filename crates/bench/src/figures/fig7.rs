@@ -24,7 +24,10 @@ pub const WEEK_DAYS: u32 = 7;
 pub fn week_observations(
     scale: Scale,
     seed: u64,
-) -> (TelemetryStore, HashMap<Prefix24, ClientObservations<SiteId>>) {
+) -> (
+    TelemetryStore,
+    HashMap<Prefix24, ClientObservations<SiteId>>,
+) {
     let s = scenario(scale, seed);
     let mut rng = rng_for(seed, 0xf167);
     let mut store = TelemetryStore::new();
@@ -45,10 +48,15 @@ pub fn week_observations(
     let observations: HashMap<Prefix24, ClientObservations<SiteId>> = serving
         .into_iter()
         .map(|(prefix, days)| {
-            let daily_sites: Vec<(u32, SiteId)> =
-                days.into_iter().map(|(d, s)| (d.0, s)).collect();
+            let daily_sites: Vec<(u32, SiteId)> = days.into_iter().map(|(d, s)| (d.0, s)).collect();
             let multi_site_days = multi.remove(&prefix).unwrap_or_default();
-            (prefix, ClientObservations { daily_sites, multi_site_days })
+            (
+                prefix,
+                ClientObservations {
+                    daily_sites,
+                    multi_site_days,
+                },
+            )
         })
         .collect();
     (store, observations)

@@ -32,7 +32,9 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
 
     let mut deltas: Vec<f64> = Vec::new();
     for (prefix, obs) in &observations {
-        let Some(loc) = client_loc.get(prefix) else { continue };
+        let Some(loc) = client_loc.get(prefix) else {
+            continue;
+        };
         for (_, from, to) in obs.switches() {
             let d_from = deployment.front_end(from).location.haversine_km(loc);
             let d_to = deployment.front_end(to).location.haversine_km(loc);
@@ -43,7 +45,10 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let grid = log2_grid(64.0, 8192.0, 2);
     let ecdf = Ecdf::from_values(deltas.iter().copied());
     let scalars = vec![
-        ("median distance change (km)".to_string(), ecdf.median().unwrap_or(f64::NAN)),
+        (
+            "median distance change (km)".to_string(),
+            ecdf.median().unwrap_or(f64::NAN),
+        ),
         (
             "switches within 2000 km".to_string(),
             ecdf.fraction_at_or_below(2000.0),

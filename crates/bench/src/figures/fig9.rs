@@ -35,25 +35,31 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let mut scalars = Vec::new();
 
     for (grouping, label) in [(Grouping::Ecs, "EDNS-0"), (Grouping::Ldns, "LDNS")] {
-        let cfg = PredictorConfig { grouping, metric: Metric::P25, min_samples: 20 };
-        let table = Predictor::new(cfg).train(st.dataset(), Day(0));
-        let rows = evaluate_prediction(
-            &table,
+        let cfg = PredictorConfig {
             grouping,
-            st.dataset(),
-            Day(1),
-            &ldns_of,
-            &volumes,
-        );
+            metric: Metric::P25,
+            min_samples: 20,
+        };
+        let table = Predictor::new(cfg).train(st.dataset(), Day(0));
+        let rows = evaluate_prediction(&table, grouping, st.dataset(), Day(1), &ldns_of, &volumes);
         let p50 = Ecdf::from_weighted(rows.iter().map(|r| (r.improvement_p50_ms, r.weight)));
         let p75 = Ecdf::from_weighted(rows.iter().map(|r| (r.improvement_p75_ms, r.weight)));
-        series.push(Series::new(format!("{label} Median"), p50.cdf_series(&grid)));
+        series.push(Series::new(
+            format!("{label} Median"),
+            p50.cdf_series(&grid),
+        ));
         series.push(Series::new(format!("{label} 75th"), p75.cdf_series(&grid)));
         let (improved, unchanged, hurt) = outcome_shares(&rows, false);
         scalars.push((format!("{label}: weighted share improved (p75)"), improved));
-        scalars.push((format!("{label}: weighted share unchanged (p75)"), unchanged));
+        scalars.push((
+            format!("{label}: weighted share unchanged (p75)"),
+            unchanged,
+        ));
         scalars.push((format!("{label}: weighted share hurt (p75)"), hurt));
-        scalars.push((format!("{label}: groups redirected"), table.redirected_groups().count() as f64));
+        scalars.push((
+            format!("{label}: groups redirected"),
+            table.redirected_groups().count() as f64,
+        ));
     }
 
     FigureResult {
@@ -99,8 +105,14 @@ mod tests {
         let improved = get("EDNS-0: weighted share improved");
         let hurt = get("EDNS-0: weighted share hurt");
         let unchanged = get("EDNS-0: weighted share unchanged");
-        assert!(hurt < 0.15, "ECS prediction hurt {hurt} of weighted prefixes");
-        assert!(unchanged > 0.5, "most prefixes must be unchanged, got {unchanged}");
+        assert!(
+            hurt < 0.15,
+            "ECS prediction hurt {hurt} of weighted prefixes"
+        );
+        assert!(
+            unchanged > 0.5,
+            "most prefixes must be unchanged, got {unchanged}"
+        );
         // Shares are a partition.
         assert!((improved + hurt + unchanged - 1.0).abs() < 1e-9);
     }

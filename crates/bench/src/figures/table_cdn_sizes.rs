@@ -28,10 +28,15 @@ pub fn compute() -> FigureResult {
             e.locations.to_string()
         };
         let notes = if e.outlier { "outlier" } else { "" };
-        text.push_str(&format!("{:<22} {:>10}  {:<8} {}\n", e.name, count, redirect, notes));
+        text.push_str(&format!(
+            "{:<22} {:>10}  {:<8} {}\n",
+            e.name, count, redirect, notes
+        ));
     }
-    let anycast_count =
-        CDN_CATALOG.iter().filter(|e| e.redirection == RedirectionKind::Anycast).count();
+    let anycast_count = CDN_CATALOG
+        .iter()
+        .filter(|e| e.redirection == RedirectionKind::Anycast)
+        .count();
     FigureResult {
         id: "table-cdn-sizes",
         title: "CDN deployment sizes (§4)".into(),

@@ -38,7 +38,10 @@ impl Scale {
 pub fn scenario_config(scale: Scale, seed: u64) -> ScenarioConfig {
     match scale {
         Scale::Small => ScenarioConfig::small(seed),
-        Scale::Paper => ScenarioConfig { seed, ..Default::default() },
+        Scale::Paper => ScenarioConfig {
+            seed,
+            ..Default::default()
+        },
     }
 }
 

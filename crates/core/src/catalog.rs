@@ -37,28 +37,160 @@ pub struct CdnEntry {
 
 /// The 21-CDN comparison (§4), plus the studied deployment itself.
 pub const CDN_CATALOG: &[CdnEntry] = &[
-    CdnEntry { name: "Google", locations: 1000, lower_bound: true, redirection: RedirectionKind::Dns, outlier: true },
-    CdnEntry { name: "Akamai", locations: 1000, lower_bound: true, redirection: RedirectionKind::Dns, outlier: true },
-    CdnEntry { name: "ChinaNetCenter", locations: 100, lower_bound: true, redirection: RedirectionKind::Unknown, outlier: true },
-    CdnEntry { name: "ChinaCache", locations: 100, lower_bound: true, redirection: RedirectionKind::Unknown, outlier: true },
-    CdnEntry { name: "CDNetworks", locations: 161, lower_bound: false, redirection: RedirectionKind::Dns, outlier: false },
-    CdnEntry { name: "SkyparkCDN", locations: 119, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
-    CdnEntry { name: "Level3", locations: 62, lower_bound: false, redirection: RedirectionKind::Dns, outlier: false },
-    CdnEntry { name: "Bing CDN (studied)", locations: 44, lower_bound: false, redirection: RedirectionKind::Anycast, outlier: false },
-    CdnEntry { name: "CloudFlare", locations: 43, lower_bound: false, redirection: RedirectionKind::Anycast, outlier: false },
-    CdnEntry { name: "CacheFly", locations: 41, lower_bound: false, redirection: RedirectionKind::Anycast, outlier: false },
-    CdnEntry { name: "Amazon CloudFront", locations: 37, lower_bound: false, redirection: RedirectionKind::Dns, outlier: false },
-    CdnEntry { name: "EdgeCast", locations: 31, lower_bound: false, redirection: RedirectionKind::Anycast, outlier: false },
-    CdnEntry { name: "MaxCDN", locations: 30, lower_bound: false, redirection: RedirectionKind::Dns, outlier: false },
-    CdnEntry { name: "Fastly", locations: 28, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
-    CdnEntry { name: "Incapsula", locations: 27, lower_bound: false, redirection: RedirectionKind::Anycast, outlier: false },
-    CdnEntry { name: "KeyCDN", locations: 25, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
-    CdnEntry { name: "Limelight", locations: 24, lower_bound: false, redirection: RedirectionKind::Dns, outlier: false },
-    CdnEntry { name: "Highwinds", locations: 23, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
-    CdnEntry { name: "CDN77", locations: 21, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
-    CdnEntry { name: "LeaseWeb", locations: 19, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
-    CdnEntry { name: "OnApp", locations: 18, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
-    CdnEntry { name: "CDNify", locations: 17, lower_bound: false, redirection: RedirectionKind::Unknown, outlier: false },
+    CdnEntry {
+        name: "Google",
+        locations: 1000,
+        lower_bound: true,
+        redirection: RedirectionKind::Dns,
+        outlier: true,
+    },
+    CdnEntry {
+        name: "Akamai",
+        locations: 1000,
+        lower_bound: true,
+        redirection: RedirectionKind::Dns,
+        outlier: true,
+    },
+    CdnEntry {
+        name: "ChinaNetCenter",
+        locations: 100,
+        lower_bound: true,
+        redirection: RedirectionKind::Unknown,
+        outlier: true,
+    },
+    CdnEntry {
+        name: "ChinaCache",
+        locations: 100,
+        lower_bound: true,
+        redirection: RedirectionKind::Unknown,
+        outlier: true,
+    },
+    CdnEntry {
+        name: "CDNetworks",
+        locations: 161,
+        lower_bound: false,
+        redirection: RedirectionKind::Dns,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "SkyparkCDN",
+        locations: 119,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "Level3",
+        locations: 62,
+        lower_bound: false,
+        redirection: RedirectionKind::Dns,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "Bing CDN (studied)",
+        locations: 44,
+        lower_bound: false,
+        redirection: RedirectionKind::Anycast,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "CloudFlare",
+        locations: 43,
+        lower_bound: false,
+        redirection: RedirectionKind::Anycast,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "CacheFly",
+        locations: 41,
+        lower_bound: false,
+        redirection: RedirectionKind::Anycast,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "Amazon CloudFront",
+        locations: 37,
+        lower_bound: false,
+        redirection: RedirectionKind::Dns,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "EdgeCast",
+        locations: 31,
+        lower_bound: false,
+        redirection: RedirectionKind::Anycast,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "MaxCDN",
+        locations: 30,
+        lower_bound: false,
+        redirection: RedirectionKind::Dns,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "Fastly",
+        locations: 28,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "Incapsula",
+        locations: 27,
+        lower_bound: false,
+        redirection: RedirectionKind::Anycast,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "KeyCDN",
+        locations: 25,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "Limelight",
+        locations: 24,
+        lower_bound: false,
+        redirection: RedirectionKind::Dns,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "Highwinds",
+        locations: 23,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "CDN77",
+        locations: 21,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "LeaseWeb",
+        locations: 19,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "OnApp",
+        locations: 18,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
+    CdnEntry {
+        name: "CDNify",
+        locations: 17,
+        lower_bound: false,
+        redirection: RedirectionKind::Unknown,
+        outlier: false,
+    },
 ];
 
 /// Non-outlier entries, sorted by location count descending — the
@@ -123,7 +255,10 @@ mod tests {
 
     #[test]
     fn studied_cdn_is_level3_maxcdn_scale() {
-        let bing = CDN_CATALOG.iter().find(|e| e.name.starts_with("Bing")).unwrap();
+        let bing = CDN_CATALOG
+            .iter()
+            .find(|e| e.name.starts_with("Bing"))
+            .unwrap();
         assert!(bing.locations >= 30 && bing.locations <= 62);
     }
 }

@@ -44,8 +44,7 @@ impl Deployment {
                 }
             })
             .collect();
-        let index =
-            NearestIndex::new(front_ends.iter().map(|f| (f.site, f.location)).collect());
+        let index = NearestIndex::new(front_ends.iter().map(|f| (f.site, f.location)).collect());
         Deployment {
             front_ends,
             index,

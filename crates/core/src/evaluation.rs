@@ -111,22 +111,30 @@ pub fn outcome_shares(rows: &[EvalRow], use_p50: bool) -> (f64, f64, f64) {
     let mut improved = 0.0;
     let mut hurt = 0.0;
     for r in rows {
-        let v = if use_p50 { r.improvement_p50_ms } else { r.improvement_p75_ms };
+        let v = if use_p50 {
+            r.improvement_p50_ms
+        } else {
+            r.improvement_p75_ms
+        };
         if v > eps {
             improved += r.weight;
         } else if v < -eps {
             hurt += r.weight;
         }
     }
-    (improved / total, 1.0 - (improved + hurt) / total, hurt / total)
+    (
+        improved / total,
+        1.0 - (improved + hurt) / total,
+        hurt / total,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prediction::{Predictor, PredictorConfig};
     use anycast_beacon::{BeaconMeasurement, Slot};
     use anycast_netsim::SiteId;
-    use crate::prediction::{Predictor, PredictorConfig};
     use std::net::Ipv4Addr;
 
     fn prefix(n: u8) -> Prefix24 {
@@ -170,10 +178,22 @@ mod tests {
         let mut ds = BeaconDataset::new();
         // Day 0 (training): prefix 1 is badly served by anycast.
         ds.extend(rows_on(0, 0, prefix(1), Target::Anycast, &[100.0; 25]));
-        ds.extend(rows_on(0, 100, prefix(1), Target::Unicast(SiteId(3)), &[60.0; 25]));
+        ds.extend(rows_on(
+            0,
+            100,
+            prefix(1),
+            Target::Unicast(SiteId(3)),
+            &[60.0; 25],
+        ));
         // Day 1 (eval): the improvement persists (stable pathology).
         ds.extend(rows_on(1, 200, prefix(1), Target::Anycast, &[95.0; 20]));
-        ds.extend(rows_on(1, 300, prefix(1), Target::Unicast(SiteId(3)), &[58.0; 20]));
+        ds.extend(rows_on(
+            1,
+            300,
+            prefix(1),
+            Target::Unicast(SiteId(3)),
+            &[58.0; 20],
+        ));
         ds
     }
 
@@ -201,10 +221,22 @@ mod tests {
     fn transient_pathology_shows_negative_improvement() {
         let mut ds = BeaconDataset::new();
         ds.extend(rows_on(0, 0, prefix(1), Target::Anycast, &[100.0; 25]));
-        ds.extend(rows_on(0, 100, prefix(1), Target::Unicast(SiteId(3)), &[60.0; 25]));
+        ds.extend(rows_on(
+            0,
+            100,
+            prefix(1),
+            Target::Unicast(SiteId(3)),
+            &[60.0; 25],
+        ));
         // Day 1: the route healed; anycast is now better.
         ds.extend(rows_on(1, 200, prefix(1), Target::Anycast, &[40.0; 20]));
-        ds.extend(rows_on(1, 300, prefix(1), Target::Unicast(SiteId(3)), &[58.0; 20]));
+        ds.extend(rows_on(
+            1,
+            300,
+            prefix(1),
+            Target::Unicast(SiteId(3)),
+            &[58.0; 20],
+        ));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         let rows = evaluate_prediction(
             &table,
@@ -223,7 +255,13 @@ mod tests {
     fn anycast_choice_scores_zero() {
         let mut ds = BeaconDataset::new();
         ds.extend(rows_on(0, 0, prefix(1), Target::Anycast, &[40.0; 25]));
-        ds.extend(rows_on(0, 100, prefix(1), Target::Unicast(SiteId(3)), &[60.0; 25]));
+        ds.extend(rows_on(
+            0,
+            100,
+            prefix(1),
+            Target::Unicast(SiteId(3)),
+            &[60.0; 25],
+        ));
         ds.extend(rows_on(1, 200, prefix(1), Target::Anycast, &[40.0; 20]));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         let rows = evaluate_prediction(
@@ -246,24 +284,54 @@ mod tests {
         // Training day: all data under LDNS 5, pooled.
         ds.extend(rows_on(0, 0, prefix(1), Target::Anycast, &[100.0; 15]));
         ds.extend(rows_on(0, 100, prefix(2), Target::Anycast, &[100.0; 15]));
-        ds.extend(rows_on(0, 200, prefix(1), Target::Unicast(SiteId(2)), &[50.0; 15]));
-        ds.extend(rows_on(0, 300, prefix(2), Target::Unicast(SiteId(2)), &[50.0; 15]));
+        ds.extend(rows_on(
+            0,
+            200,
+            prefix(1),
+            Target::Unicast(SiteId(2)),
+            &[50.0; 15],
+        ));
+        ds.extend(rows_on(
+            0,
+            300,
+            prefix(2),
+            Target::Unicast(SiteId(2)),
+            &[50.0; 15],
+        ));
         // Eval day: prefix 1 measured both targets.
         ds.extend(rows_on(1, 400, prefix(1), Target::Anycast, &[100.0; 5]));
-        ds.extend(rows_on(1, 500, prefix(1), Target::Unicast(SiteId(2)), &[52.0; 5]));
+        ds.extend(rows_on(
+            1,
+            500,
+            prefix(1),
+            Target::Unicast(SiteId(2)),
+            &[52.0; 5],
+        ));
         let mut ds5 = BeaconDataset::new();
         // Rebuild with ldns 5 on every row.
         let rows: Vec<BeaconMeasurement> = ds
             .measurements()
             .iter()
-            .map(|m| BeaconMeasurement { ldns: LdnsId(5), ..*m })
+            .map(|m| BeaconMeasurement {
+                ldns: LdnsId(5),
+                ..*m
+            })
             .collect();
         ds5.extend(rows);
-        let cfg = PredictorConfig { grouping: Grouping::Ldns, ..Default::default() };
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ldns,
+            ..Default::default()
+        };
         let table = Predictor::new(cfg).train(&ds5, Day(0));
         let ldns_of = HashMap::from([(prefix(1), LdnsId(5)), (prefix(2), LdnsId(5))]);
-        let rows =
-            evaluate_prediction(&table, Grouping::Ldns, &ds5, Day(1), &ldns_of, &HashMap::new());
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ldns,
+            &ds5,
+            Day(1),
+            &ldns_of,
+            &HashMap::new(),
+        );
         assert_eq!(rows.len(), 1); // prefix 2 has no eval-day data
         assert_eq!(rows[0].prefix, prefix(1));
         assert!(rows[0].improvement_p50_ms > 0.0);
@@ -274,7 +342,13 @@ mod tests {
         let ds = {
             let mut ds = BeaconDataset::new();
             ds.extend(rows_on(0, 0, prefix(1), Target::Anycast, &[100.0; 25]));
-            ds.extend(rows_on(0, 100, prefix(1), Target::Unicast(SiteId(3)), &[60.0; 25]));
+            ds.extend(rows_on(
+                0,
+                100,
+                prefix(1),
+                Target::Unicast(SiteId(3)),
+                &[60.0; 25],
+            ));
             // Eval day: anycast only — the predicted front-end was never
             // measured, so the comparison is undefined.
             ds.extend(rows_on(1, 200, prefix(1), Target::Anycast, &[95.0; 20]));

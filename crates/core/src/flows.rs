@@ -32,12 +32,18 @@ pub struct FlowModel {
 impl FlowModel {
     /// Web page loads: short, heavy-tailed.
     pub fn web() -> FlowModel {
-        FlowModel { duration_median_s: 1.5, duration_sigma: 1.2 }
+        FlowModel {
+            duration_median_s: 1.5,
+            duration_sigma: 1.2,
+        }
     }
 
     /// Video sessions: minutes.
     pub fn video() -> FlowModel {
-        FlowModel { duration_median_s: 300.0, duration_sigma: 0.8 }
+        FlowModel {
+            duration_median_s: 300.0,
+            duration_sigma: 0.8,
+        }
     }
 }
 
@@ -86,7 +92,9 @@ pub fn disruption_rate(
             day,
         );
         let change = if flips {
-            let before = scenario.internet.anycast_route_at_day_start(&client.attachment, day);
+            let before = scenario
+                .internet
+                .anycast_route_at_day_start(&client.attachment, day);
             let after = scenario.internet.anycast_route(&client.attachment, day);
             (before.site != after.site).then(|| scenario.flip_time_s(client, day))
         } else {
@@ -145,7 +153,10 @@ mod tests {
         use anycast_netsim::NetConfig;
         use anycast_workload::ScenarioConfig;
         let cfg = ScenarioConfig {
-            net: NetConfig { flappy_fraction: 0.0, ..NetConfig::small() },
+            net: NetConfig {
+                flappy_fraction: 0.0,
+                ..NetConfig::small()
+            },
             ..ScenarioConfig::small(23)
         };
         let scenario = Scenario::build(cfg).unwrap();
@@ -156,7 +167,10 @@ mod tests {
 
     #[test]
     fn stats_handle_zero_flows() {
-        let stats = DisruptionStats { flows: 0, broken: 0 };
+        let stats = DisruptionStats {
+            flows: 0,
+            broken: 0,
+        };
         assert_eq!(stats.broken_fraction(), 0.0);
     }
 }

@@ -35,8 +35,10 @@ pub mod study;
 
 pub use deployment::Deployment;
 pub use evaluation::{evaluate_prediction, EvalRow};
-pub use prediction::{Choice, GroupKey, Grouping, Metric, PredictionTable, Predictor, PredictorConfig};
-pub use redirection::{AnycastPolicy, GeoClosestDnsPolicy, HybridPolicy, PredictionPolicy};
 pub use flows::{disruption_rate, DisruptionStats, FlowModel};
 pub use loadaware::{plan_shedding, withdraw, SiteLoad};
+pub use prediction::{
+    Choice, GroupKey, Grouping, Metric, PredictionTable, Predictor, PredictorConfig,
+};
+pub use redirection::{AnycastPolicy, GeoClosestDnsPolicy, HybridPolicy, PredictionPolicy};
 pub use study::{Study, StudyConfig};

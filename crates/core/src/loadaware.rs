@@ -65,7 +65,9 @@ pub struct Move {
 pub fn plan_shedding(sites: &[SiteLoad]) -> (Vec<Move>, Vec<SiteLoad>) {
     let mut state: Vec<SiteLoad> = sites.to_vec();
     let mut moves = Vec::new();
-    let overloaded: Vec<usize> = (0..state.len()).filter(|&i| state[i].overload() > 0.0).collect();
+    let overloaded: Vec<usize> = (0..state.len())
+        .filter(|&i| state[i].overload() > 0.0)
+        .collect();
     for idx in overloaded {
         let mut excess = state[idx].overload();
         if excess <= 0.0 {
@@ -91,7 +93,11 @@ pub fn plan_shedding(sites: &[SiteLoad]) -> (Vec<Move>, Vec<SiteLoad>) {
             state[j].load += take;
             state[idx].load -= take;
             excess -= take;
-            moves.push(Move { from: state[idx].site, to: state[j].site, amount: take });
+            moves.push(Move {
+                from: state[idx].site,
+                to: state[j].site,
+                amount: take,
+            });
         }
     }
     (moves, state)
@@ -109,15 +115,12 @@ pub fn withdraw(sites: &[SiteLoad], site: SiteId) -> Vec<SiteLoad> {
     let moved = state[idx].load;
     let from_loc = state[idx].location;
     state[idx].load = 0.0;
-    if let Some(nearest) = (0..state.len())
-        .filter(|&j| j != idx)
-        .min_by(|&a, &b| {
-            state[a]
-                .location
-                .haversine_km(&from_loc)
-                .total_cmp(&state[b].location.haversine_km(&from_loc))
-        })
-    {
+    if let Some(nearest) = (0..state.len()).filter(|&j| j != idx).min_by(|&a, &b| {
+        state[a]
+            .location
+            .haversine_km(&from_loc)
+            .total_cmp(&state[b].location.haversine_km(&from_loc))
+    }) {
         state[nearest].load += moved;
     }
     state
@@ -154,7 +157,12 @@ mod tests {
     use super::*;
 
     fn site(id: u16, lon: f64, load: f64, capacity: f64) -> SiteLoad {
-        SiteLoad { site: SiteId(id), location: GeoPoint::new(0.0, lon), load, capacity }
+        SiteLoad {
+            site: SiteId(id),
+            location: GeoPoint::new(0.0, lon),
+            load,
+            capacity,
+        }
     }
 
     #[test]

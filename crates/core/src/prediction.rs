@@ -15,12 +15,14 @@
 //! showed that higher percentiles of latency distributions are very noisy
 //! … The 25th percentile and median have lower coefficient of variation."
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use anycast_analysis::percentile;
+use anycast_analysis::{percentile, QuantileBackend};
 use anycast_beacon::{BeaconDataset, Target};
 use anycast_dns::LdnsId;
 use anycast_netsim::{Day, Prefix24};
+use anycast_pipeline::{ecs_record, ldns_record, route_ldns, route_prefix};
+use anycast_pipeline::{DayWindow, ShardConfig};
 
 /// The granularity clients are grouped at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,7 +95,11 @@ pub struct PredictorConfig {
 
 impl Default for PredictorConfig {
     fn default() -> Self {
-        PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 }
+        PredictorConfig {
+            grouping: Grouping::Ecs,
+            metric: Metric::P25,
+            min_samples: 20,
+        }
     }
 }
 
@@ -216,38 +222,116 @@ impl Predictor {
                 }
             }
         }
-        // Score every (group, target) with enough samples.
-        let mut best: HashMap<GroupKey, (Target, f64)> = HashMap::new();
-        let mut anycast_score: HashMap<GroupKey, f64> = HashMap::new();
-        for ((key, target), samples) in grouped {
-            if samples.len() < self.cfg.min_samples {
-                continue;
+        let min = self.cfg.min_samples;
+        let p = self.cfg.metric.p();
+        choose(grouped.into_iter().filter_map(|((key, target), samples)| {
+            if samples.len() < min {
+                return None;
             }
-            let Some(score) = self.cfg.metric.score(&samples) else { continue };
-            if target == Target::Anycast {
-                anycast_score.insert(key, score);
+            percentile(&samples, p).map(|score| (key, target, score))
+        }))
+    }
+
+    /// Trains from streaming per-`(group, target)` summaries instead of
+    /// raw sample vectors — the pipeline-fed path. Any
+    /// [`QuantileBackend`] works; with `anycast_pipeline::QuantileSketch`
+    /// the scores carry that sketch's rank-error bound, and the
+    /// `ablation-sketch-accuracy` sweep measures what that does to the
+    /// Figure 9 outcome shares (within 2 points at the default bound).
+    ///
+    /// The eligibility filter and tie-breaks are byte-for-byte the ones
+    /// [`Predictor::train_window`] applies: `QuantileBackend::count` is
+    /// exact, so "20+ measurements" means the same thing on both paths.
+    pub fn train_from_stats<S: QuantileBackend>(
+        &self,
+        stats: &BTreeMap<(GroupKey, Target), S>,
+    ) -> PredictionTable {
+        let min = self.cfg.min_samples as u64;
+        let p = self.cfg.metric.p();
+        choose(stats.iter().filter_map(|(&(key, target), backend)| {
+            if backend.count() < min {
+                return None;
             }
-            match best.get(&key) {
-                Some(&(prev_t, prev_s))
-                    if prev_s < score
-                        || (prev_s == score && target_order(prev_t) <= target_order(target)) => {}
-                _ => {
-                    best.insert(key, (target, score));
+            backend.percentile(p).map(|score| (key, target, score))
+        }))
+    }
+
+    /// Trains from a multi-day window through the full streaming pipeline:
+    /// each day's measurements are sharded by group key into per-worker
+    /// latency sketches of rank-error bound `eps`, merged, pooled across
+    /// the window, and scored with [`Predictor::train_from_stats`].
+    ///
+    /// This is the production-shaped equivalent of
+    /// [`Predictor::train_window`]: same filter, same tie-breaks, scores
+    /// within the sketch's error bound — and, per the pipeline's
+    /// determinism contract, the same table for any `shard.workers`.
+    pub fn train_sketched(
+        &self,
+        data: &BeaconDataset,
+        days: &[Day],
+        eps: f64,
+        shard: ShardConfig,
+    ) -> PredictionTable {
+        let mut window: DayWindow<GroupKey> = DayWindow::new(eps);
+        for &day in days {
+            let records = data.day(day).map(|m| match self.cfg.grouping {
+                Grouping::Ecs => {
+                    let (p, t, rtt) = ecs_record(m);
+                    (GroupKey::Ecs(p), t, rtt)
                 }
+                Grouping::Ldns => {
+                    let (l, t, rtt) = ldns_record(m);
+                    (GroupKey::Ldns(l), t, rtt)
+                }
+            });
+            let sketches = anycast_pipeline::sketch_day(records, eps, shard, route_group);
+            window.absorb_day(day, sketches);
+        }
+        self.train_from_stats(&window.pooled(days))
+    }
+}
+
+/// Shard route for prediction group keys (key-ownership discipline: a
+/// group's records always land on the same worker).
+fn route_group(key: &GroupKey) -> u64 {
+    match *key {
+        GroupKey::Ecs(p) => route_prefix(p),
+        GroupKey::Ldns(l) => route_ldns(l),
+    }
+}
+
+/// Shared selection pass: given `(group, target, score)` rows (already
+/// filtered for eligibility), picks each group's argmin-score target and
+/// computes the expected gain over anycast. Both the exact and the
+/// sketch-fed training paths end here, so their tie-break behavior cannot
+/// drift apart.
+fn choose(scores: impl Iterator<Item = (GroupKey, Target, f64)>) -> PredictionTable {
+    let mut best: HashMap<GroupKey, (Target, f64)> = HashMap::new();
+    let mut anycast_score: HashMap<GroupKey, f64> = HashMap::new();
+    for (key, target, score) in scores {
+        if target == Target::Anycast {
+            anycast_score.insert(key, score);
+        }
+        match best.get(&key) {
+            Some(&(prev_t, prev_s))
+                if prev_s < score
+                    || (prev_s == score && target_order(prev_t) <= target_order(target)) => {}
+            _ => {
+                best.insert(key, (target, score));
             }
         }
-        PredictionTable {
-            choices: best
-                .into_iter()
-                .map(|(k, (t, s))| {
-                    let gain_ms = match t {
-                        Target::Anycast => Some(0.0),
-                        Target::Unicast(_) => anycast_score.get(&k).map(|a| a - s),
-                    };
-                    (k, Choice { target: t, gain_ms })
-                })
-                .collect(),
-        }
+    }
+    PredictionTable {
+        choices: best
+            .into_iter()
+            .map(|(k, (t, s))| {
+                let gain_ms = match t {
+                    Target::Anycast => Some(0.0),
+                    Target::Unicast(_) => anycast_score.get(&k).map(|a| a - s),
+                };
+                (k, Choice { target: t, gain_ms })
+            })
+            .collect(),
     }
 }
 
@@ -309,8 +393,22 @@ mod tests {
     fn picks_the_lowest_latency_target() {
         let mut ds = BeaconDataset::new();
         ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 25));
-        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 50.0, 25));
-        ds.extend(rows(200, prefix(1), 0, Target::Unicast(SiteId(4)), 65.0, 25));
+        ds.extend(rows(
+            100,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(3)),
+            50.0,
+            25,
+        ));
+        ds.extend(rows(
+            200,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(4)),
+            65.0,
+            25,
+        ));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         assert_eq!(
             table.predict(GroupKey::Ecs(prefix(1))),
@@ -322,9 +420,19 @@ mod tests {
     fn anycast_kept_when_it_wins() {
         let mut ds = BeaconDataset::new();
         ds.extend(rows(0, prefix(1), 0, Target::Anycast, 40.0, 25));
-        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 50.0, 25));
+        ds.extend(rows(
+            100,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(3)),
+            50.0,
+            25,
+        ));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
-        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+        assert_eq!(
+            table.predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Anycast)
+        );
         assert_eq!(table.redirected_groups().count(), 0);
     }
 
@@ -335,7 +443,10 @@ mod tests {
         // Better target, but only 5 samples: must be ignored.
         ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 10.0, 5));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
-        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+        assert_eq!(
+            table.predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Anycast)
+        );
     }
 
     #[test]
@@ -354,9 +465,26 @@ mod tests {
         // samples: individually below min_samples, pooled above it.
         ds.extend(rows(0, prefix(1), 7, Target::Anycast, 80.0, 15));
         ds.extend(rows(100, prefix(2), 7, Target::Anycast, 80.0, 15));
-        ds.extend(rows(200, prefix(1), 7, Target::Unicast(SiteId(2)), 30.0, 15));
-        ds.extend(rows(300, prefix(2), 7, Target::Unicast(SiteId(2)), 30.0, 15));
-        let cfg = PredictorConfig { grouping: Grouping::Ldns, ..Default::default() };
+        ds.extend(rows(
+            200,
+            prefix(1),
+            7,
+            Target::Unicast(SiteId(2)),
+            30.0,
+            15,
+        ));
+        ds.extend(rows(
+            300,
+            prefix(2),
+            7,
+            Target::Unicast(SiteId(2)),
+            30.0,
+            15,
+        ));
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ldns,
+            ..Default::default()
+        };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         assert_eq!(
             table.predict(GroupKey::Ldns(LdnsId(7))),
@@ -372,12 +500,32 @@ mod tests {
         // Target A: excellent p25, terrible tail. Target B: flat 55 ms.
         let mut ds = BeaconDataset::new();
         let mut a_samples = rows(0, prefix(1), 0, Target::Unicast(SiteId(1)), 20.0, 13);
-        a_samples.extend(rows(50, prefix(1), 0, Target::Unicast(SiteId(1)), 200.0, 12));
+        a_samples.extend(rows(
+            50,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(1)),
+            200.0,
+            12,
+        ));
         ds.extend(a_samples);
-        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(2)), 55.0, 25));
+        ds.extend(rows(
+            100,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(2)),
+            55.0,
+            25,
+        ));
         ds.extend(rows(200, prefix(1), 0, Target::Anycast, 300.0, 25));
-        let p25 = Predictor::new(PredictorConfig { metric: Metric::P25, ..Default::default() });
-        let p95 = Predictor::new(PredictorConfig { metric: Metric::P95, ..Default::default() });
+        let p25 = Predictor::new(PredictorConfig {
+            metric: Metric::P25,
+            ..Default::default()
+        });
+        let p95 = Predictor::new(PredictorConfig {
+            metric: Metric::P95,
+            ..Default::default()
+        });
         assert_eq!(
             p25.train(&ds, Day(0)).predict(GroupKey::Ecs(prefix(1))),
             Some(Target::Unicast(SiteId(1)))
@@ -399,15 +547,123 @@ mod tests {
         ds.extend(tomorrow);
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         // Day-1 data must not leak into day-0 training.
-        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+        assert_eq!(
+            table.predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Anycast)
+        );
     }
 
     #[test]
     fn tie_prefers_anycast() {
         let mut ds = BeaconDataset::new();
         ds.extend(rows(0, prefix(1), 0, Target::Anycast, 50.0, 25));
-        ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 50.0, 25));
+        ds.extend(rows(
+            100,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(3)),
+            50.0,
+            25,
+        ));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
-        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), Some(Target::Anycast));
+        assert_eq!(
+            table.predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Anycast)
+        );
+    }
+
+    /// A dataset with clearly separated per-target latency levels, varied
+    /// enough that sketches have real distributions to summarize.
+    fn separated_dataset() -> BeaconDataset {
+        let mut ds = BeaconDataset::new();
+        let mut exec = 0u64;
+        for g in 0..12u8 {
+            // Jittered but well-separated levels: anycast ~80, site 3
+            // ~50+g, site 4 ~65. Jitter is deterministic in (g, i).
+            for (target, base) in [
+                (Target::Anycast, 80.0),
+                (Target::Unicast(SiteId(3)), 50.0 + f64::from(g)),
+                (Target::Unicast(SiteId(4)), 65.0),
+            ] {
+                for i in 0..30usize {
+                    let jitter = ((i * 7 + usize::from(g) * 3) % 11) as f64 - 5.0;
+                    ds.extend(rows(
+                        exec,
+                        prefix(g),
+                        u32::from(g),
+                        target,
+                        base + jitter,
+                        1,
+                    ));
+                    exec += 1;
+                }
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn sketch_training_agrees_with_exact_training() {
+        let ds = separated_dataset();
+        for grouping in [Grouping::Ecs, Grouping::Ldns] {
+            let predictor = Predictor::new(PredictorConfig {
+                grouping,
+                ..Default::default()
+            });
+            let exact = predictor.train(&ds, Day(0));
+            let sketched = predictor.train_sketched(&ds, &[Day(0)], 0.01, ShardConfig::default());
+            assert_eq!(
+                exact.len(),
+                sketched.len(),
+                "{grouping:?}: same groups qualify"
+            );
+            for (key, choice) in exact.iter() {
+                assert_eq!(
+                    sketched.predict(key),
+                    Some(choice.target),
+                    "{grouping:?}: sketch path must pick the same target for {key:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_training_is_worker_count_invariant() {
+        let ds = separated_dataset();
+        let predictor = Predictor::new(PredictorConfig::default());
+        let tables: Vec<Vec<(GroupKey, Choice)>> = [1usize, 3]
+            .iter()
+            .map(|&workers| {
+                let shard = ShardConfig {
+                    workers,
+                    ..ShardConfig::default()
+                };
+                let mut t: Vec<(GroupKey, Choice)> = predictor
+                    .train_sketched(&ds, &[Day(0)], 0.01, shard)
+                    .iter()
+                    .collect();
+                t.sort_by_key(|(k, _)| *k);
+                t
+            })
+            .collect();
+        assert_eq!(
+            tables[0], tables[1],
+            "worker count must not change the trained table"
+        );
+    }
+
+    #[test]
+    fn train_from_stats_applies_the_min_samples_filter() {
+        use anycast_analysis::ExactQuantiles;
+        let mut stats: BTreeMap<(GroupKey, Target), ExactQuantiles> = BTreeMap::new();
+        let key = GroupKey::Ecs(prefix(1));
+        stats.insert((key, Target::Anycast), ExactQuantiles::from(vec![80.0; 25]));
+        // Faster, but too few samples to be eligible.
+        stats.insert(
+            (key, Target::Unicast(SiteId(3))),
+            ExactQuantiles::from(vec![10.0; 5]),
+        );
+        let table = Predictor::new(PredictorConfig::default()).train_from_stats(&stats);
+        assert_eq!(table.predict(key), Some(Target::Anycast));
     }
 }

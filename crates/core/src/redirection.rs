@@ -67,9 +67,7 @@ impl GeoClosestDnsPolicy {
 impl RedirectionPolicy for GeoClosestDnsPolicy {
     fn answer(&self, query: &QueryContext<'_>) -> DnsAnswer {
         match self.select(&query.ldns_location) {
-            Some(site) => {
-                DnsAnswer::global(self.deployment.addressing().site_ip(site), self.ttl_s)
-            }
+            Some(site) => DnsAnswer::global(self.deployment.addressing().site_ip(site), self.ttl_s),
             None => DnsAnswer::global(self.deployment.addressing().anycast_ip(), self.ttl_s),
         }
     }
@@ -92,7 +90,12 @@ impl PredictionPolicy {
         addressing: CdnAddressing,
         ttl_s: u32,
     ) -> PredictionPolicy {
-        PredictionPolicy { table, grouping, addressing, ttl_s }
+        PredictionPolicy {
+            table,
+            grouping,
+            addressing,
+            ttl_s,
+        }
     }
 
     /// Swaps in a freshly trained table (the daily prediction-interval
@@ -186,7 +189,14 @@ mod tests {
         loc: GeoPoint,
         ecs: Option<EcsOption>,
     ) -> QueryContext<'a> {
-        QueryContext { qname, ldns: LdnsId(ldns), ldns_location: loc, ecs, day: Day(0), time_s: 0.0 }
+        QueryContext {
+            qname,
+            ldns: LdnsId(ldns),
+            ldns_location: loc,
+            ecs,
+            day: Day(0),
+            time_s: 0.0,
+        }
     }
 
     fn prefix(n: u8) -> Prefix24 {
@@ -293,7 +303,10 @@ mod tests {
         };
         ds.extend((0..25).map(|i| mk(i, Target::Anycast, 90.0)));
         ds.extend((100..125).map(|i| mk(i, Target::Unicast(SiteId(2)), 40.0)));
-        let cfg = PredictorConfig { grouping: Grouping::Ldns, ..Default::default() };
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ldns,
+            ..Default::default()
+        };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         let p = PredictionPolicy::new(table, Grouping::Ldns, plan, 60);
         let qname = DnsName::new("www.cdn.example").unwrap();

@@ -111,7 +111,11 @@ impl Study {
             let expected = c.volume as f64 * self.cfg.beacon_rate * day_factor;
             let n = {
                 let base = expected.floor();
-                let extra = if rng.gen::<f64>() < expected - base { 1u64 } else { 0 };
+                let extra = if rng.gen::<f64>() < expected - base {
+                    1u64
+                } else {
+                    0
+                };
                 base as u64 + extra
             };
             for _ in 0..n {
@@ -125,7 +129,10 @@ impl Study {
             let c = &s.clients[idx];
             let ldns_id = s.ldns.resolver_of(c.prefix);
             let believed = ldns_assign::believed_ldns_location(s.ldns.resolver(ldns_id), &s.geodb);
-            let beacon_client = BeaconClient { prefix: c.prefix, attachment: c.attachment };
+            let beacon_client = BeaconClient {
+                prefix: c.prefix,
+                attachment: c.attachment,
+            };
             let rows = anycast_beacon::run_beacon(
                 &s.internet,
                 &s.addressing,
@@ -166,7 +173,11 @@ impl Study {
 
     /// Client prefix → daily query volume (the figure weighting).
     pub fn volumes(&self) -> HashMap<Prefix24, u64> {
-        self.scenario.clients.iter().map(|c| (c.prefix, c.volume)).collect()
+        self.scenario
+            .clients
+            .iter()
+            .map(|c| (c.prefix, c.volume))
+            .collect()
     }
 
     /// §5's end-of-day analysis: for each /24 with anycast measurements on
@@ -183,7 +194,9 @@ impl Study {
             let Some(anycast_samples) = by_target.get(&(prefix, Target::Anycast)) else {
                 continue;
             };
-            let Some(anycast_ms) = median(anycast_samples) else { continue };
+            let Some(anycast_ms) = median(anycast_samples) else {
+                continue;
+            };
             let best_unicast = by_target
                 .iter()
                 .filter(|((p, t), v)| {
@@ -194,7 +207,11 @@ impl Study {
                 .filter_map(|(_, v)| median(v))
                 .fold(f64::INFINITY, f64::min);
             if best_unicast.is_finite() {
-                out.push(PrefixDayPerf { key: prefix, anycast_ms, best_unicast_ms: best_unicast });
+                out.push(PrefixDayPerf {
+                    key: prefix,
+                    anycast_ms,
+                    best_unicast_ms: best_unicast,
+                });
             }
         }
         out
@@ -222,8 +239,12 @@ mod tests {
             assert!((m.ldns.0 as usize) < study.scenario().ldns.resolvers.len());
         }
         // All four slots appear.
-        let slots: std::collections::HashSet<Slot> =
-            study.dataset().measurements().iter().map(|m| m.slot).collect();
+        let slots: std::collections::HashSet<Slot> = study
+            .dataset()
+            .measurements()
+            .iter()
+            .map(|m| m.slot)
+            .collect();
         assert_eq!(slots.len(), 4);
     }
 
@@ -279,8 +300,12 @@ mod tests {
         let mut study = small_study(8);
         let mut rng = seeded_rng(8, 2);
         study.run_day(Day(0), &mut rng);
-        let times: Vec<f64> =
-            study.dataset().measurements().iter().map(|m| m.time_s).collect();
+        let times: Vec<f64> = study
+            .dataset()
+            .measurements()
+            .iter()
+            .map(|m| m.time_s)
+            .collect();
         assert!(times.len() > 100);
         let sorted = times.windows(2).all(|w| w[0] <= w[1]);
         assert!(sorted, "day's measurements are not time-ordered");

@@ -63,7 +63,11 @@ impl<P: RedirectionPolicy> AuthoritativeServer<P> {
     /// options are honored (passed through to the policy) or stripped —
     /// real CDNs must opt in to ECS (§7).
     pub fn new(policy: P, ecs_enabled: bool) -> Self {
-        AuthoritativeServer { policy, ecs_enabled, log: Vec::new() }
+        AuthoritativeServer {
+            policy,
+            ecs_enabled,
+            log: Vec::new(),
+        }
     }
 
     /// Whether ECS is honored.
@@ -100,7 +104,10 @@ impl<P: RedirectionPolicy> AuthoritativeServer<P> {
             day,
             time_s,
         });
-        (ARecord::new(qname.clone(), answer.addr, answer.ttl_s), answer)
+        (
+            ARecord::new(qname.clone(), answer.addr, answer.ttl_s),
+            answer,
+        )
     }
 
     /// The accumulated query log.
@@ -165,7 +172,14 @@ mod tests {
         let mut server = AuthoritativeServer::new(policy, false);
         let qname = DnsName::new("www.cdn.example").unwrap();
         let ecs = EcsOption::for_prefix(Prefix24::containing(Ipv4Addr::new(9, 9, 9, 9)));
-        server.resolve(&qname, LdnsId(0), GeoPoint::new(0.0, 0.0), Some(ecs), Day(0), 0.0);
+        server.resolve(
+            &qname,
+            LdnsId(0),
+            GeoPoint::new(0.0, 0.0),
+            Some(ecs),
+            Day(0),
+            0.0,
+        );
         assert_eq!(*seen.borrow(), Some(false));
         assert_eq!(server.log()[0].ecs, None);
     }
@@ -192,8 +206,7 @@ mod tests {
 
     #[test]
     fn drain_log_empties() {
-        let mut server =
-            AuthoritativeServer::new(fixed_policy(Ipv4Addr::new(1, 1, 1, 1)), false);
+        let mut server = AuthoritativeServer::new(fixed_policy(Ipv4Addr::new(1, 1, 1, 1)), false);
         let qname = DnsName::new("a.cdn.example").unwrap();
         for i in 0..5 {
             server.resolve(

@@ -46,7 +46,10 @@ impl DnsCache {
     /// removes the entries expiring soonest — the cheapest victims, since
     /// they are the least likely to be hit again before expiry.
     pub fn with_capacity(capacity: usize) -> DnsCache {
-        DnsCache { capacity, ..DnsCache::default() }
+        DnsCache {
+            capacity,
+            ..DnsCache::default()
+        }
     }
 
     /// Looks up `name` (scoped to `ecs` if the cached answer was
@@ -101,7 +104,10 @@ impl DnsCache {
         }
         self.entries.insert(
             (name, ecs),
-            Entry { addr, expires_at: now_s + f64::from(ttl_s) },
+            Entry {
+                addr,
+                expires_at: now_s + f64::from(ttl_s),
+            },
         );
     }
 
@@ -198,10 +204,28 @@ mod tests {
     #[test]
     fn eviction_prefers_expired_entries() {
         let mut c = DnsCache::with_capacity(2);
-        c.put(name("old.cdn.example"), None, Ipv4Addr::new(1, 1, 1, 1), 10, 0.0);
-        c.put(name("live.cdn.example"), None, Ipv4Addr::new(2, 2, 2, 2), 1000, 0.0);
+        c.put(
+            name("old.cdn.example"),
+            None,
+            Ipv4Addr::new(1, 1, 1, 1),
+            10,
+            0.0,
+        );
+        c.put(
+            name("live.cdn.example"),
+            None,
+            Ipv4Addr::new(2, 2, 2, 2),
+            1000,
+            0.0,
+        );
         // At t=100 `old` is expired; inserting a third entry must keep `live`.
-        c.put(name("new.cdn.example"), None, Ipv4Addr::new(3, 3, 3, 3), 1000, 100.0);
+        c.put(
+            name("new.cdn.example"),
+            None,
+            Ipv4Addr::new(3, 3, 3, 3),
+            1000,
+            100.0,
+        );
         assert_eq!(
             c.get(&name("live.cdn.example"), None, 101.0),
             Some(Ipv4Addr::new(2, 2, 2, 2))
@@ -225,7 +249,13 @@ mod tests {
     #[test]
     fn clear_empties() {
         let mut c = DnsCache::new();
-        c.put(name("a.cdn.example"), None, Ipv4Addr::new(1, 1, 1, 1), 10, 0.0);
+        c.put(
+            name("a.cdn.example"),
+            None,
+            Ipv4Addr::new(1, 1, 1, 1),
+            10,
+            0.0,
+        );
         c.clear();
         assert!(c.is_empty());
     }

@@ -23,7 +23,10 @@ pub struct EcsOption {
 impl EcsOption {
     /// Builds the option for a client prefix.
     pub fn for_prefix(prefix: Prefix24) -> EcsOption {
-        EcsOption { prefix, source_prefix_len: 24 }
+        EcsOption {
+            prefix,
+            source_prefix_len: 24,
+        }
     }
 }
 

@@ -106,19 +106,29 @@ impl Ldns {
     ) -> Resolution {
         let now_s = f64::from(day.0) * 86_400.0 + time_s;
         let ecs_active = self.supports_ecs && auth.ecs_enabled();
-        let cache_scope = if ecs_active { Some(client_prefix) } else { None };
+        let cache_scope = if ecs_active {
+            Some(client_prefix)
+        } else {
+            None
+        };
         if let Some(addr) = self.cache.get(qname, cache_scope, now_s) {
-            return Resolution { addr, cache_hit: true };
+            return Resolution {
+                addr,
+                cache_hit: true,
+            };
         }
         let ecs = ecs_active.then(|| EcsOption::for_prefix(client_prefix));
-        let (record, answer) =
-            auth.resolve(qname, self.id, believed_location, ecs, day, time_s);
+        let (record, answer) = auth.resolve(qname, self.id, believed_location, ecs, day, time_s);
         // Per RFC 7871 the cache scope follows the *answer's* scope: a
         // global answer (scope 0) is shared across subnets even if we sent
         // ECS.
         let store_scope = (ecs_active && answer.ecs_scope > 0).then_some(client_prefix);
-        self.cache.put(qname.clone(), store_scope, record.addr, record.ttl_s, now_s);
-        Resolution { addr: record.addr, cache_hit: false }
+        self.cache
+            .put(qname.clone(), store_scope, record.addr, record.ttl_s, now_s);
+        Resolution {
+            addr: record.addr,
+            cache_hit: false,
+        }
     }
 
     /// Cache statistics `(hits, misses)`.
@@ -138,9 +148,7 @@ mod tests {
     use crate::authoritative::QueryContext;
     use crate::record::DnsAnswer;
 
-    fn counting_policy(
-        counter: std::rc::Rc<std::cell::Cell<u32>>,
-    ) -> impl RedirectionPolicy {
+    fn counting_policy(counter: std::rc::Rc<std::cell::Cell<u32>>) -> impl RedirectionPolicy {
         move |q: &QueryContext<'_>| {
             counter.set(counter.get() + 1);
             match q.ecs {
@@ -163,7 +171,12 @@ mod tests {
     fn cache_hit_skips_authoritative() {
         let hits = std::rc::Rc::new(std::cell::Cell::new(0));
         let mut auth = AuthoritativeServer::new(counting_policy(hits.clone()), false);
-        let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, GeoPoint::new(0.0, 0.0), false);
+        let mut ldns = Ldns::new(
+            LdnsId(0),
+            ResolverKind::IspLocal,
+            GeoPoint::new(0.0, 0.0),
+            false,
+        );
         let qname = DnsName::new("www.cdn.example").unwrap();
         let r1 = ldns.resolve(&qname, prefix(1), ldns.location, &mut auth, Day(0), 0.0);
         assert!(!r1.cache_hit);
@@ -178,7 +191,12 @@ mod tests {
     fn ttl_expiry_forces_refetch() {
         let hits = std::rc::Rc::new(std::cell::Cell::new(0));
         let mut auth = AuthoritativeServer::new(counting_policy(hits.clone()), false);
-        let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, GeoPoint::new(0.0, 0.0), false);
+        let mut ldns = Ldns::new(
+            LdnsId(0),
+            ResolverKind::IspLocal,
+            GeoPoint::new(0.0, 0.0),
+            false,
+        );
         let qname = DnsName::new("www.cdn.example").unwrap();
         ldns.resolve(&qname, prefix(1), ldns.location, &mut auth, Day(0), 0.0);
         // 300s TTL: a query 400s later misses.
@@ -191,11 +209,19 @@ mod tests {
     fn ecs_separates_subnets_in_cache() {
         let hits = std::rc::Rc::new(std::cell::Cell::new(0));
         let mut auth = AuthoritativeServer::new(counting_policy(hits.clone()), true);
-        let mut ldns = Ldns::new(LdnsId(1), ResolverKind::Public, GeoPoint::new(0.0, 0.0), true);
+        let mut ldns = Ldns::new(
+            LdnsId(1),
+            ResolverKind::Public,
+            GeoPoint::new(0.0, 0.0),
+            true,
+        );
         let qname = DnsName::new("www.cdn.example").unwrap();
         let r1 = ldns.resolve(&qname, prefix(1), ldns.location, &mut auth, Day(0), 0.0);
         let r2 = ldns.resolve(&qname, prefix(2), ldns.location, &mut auth, Day(0), 1.0);
-        assert!(!r1.cache_hit && !r2.cache_hit, "different subnets both miss");
+        assert!(
+            !r1.cache_hit && !r2.cache_hit,
+            "different subnets both miss"
+        );
         assert_ne!(r1.addr, r2.addr, "answers are subnet-specific");
         // Same subnet again: cached.
         let r3 = ldns.resolve(&qname, prefix(1), ldns.location, &mut auth, Day(0), 2.0);
@@ -211,7 +237,12 @@ mod tests {
             DnsAnswer::global(Ipv4Addr::new(1, 1, 1, 1), 60)
         };
         let mut auth = AuthoritativeServer::new(policy, true);
-        let mut ldns = Ldns::new(LdnsId(2), ResolverKind::IspLocal, GeoPoint::new(0.0, 0.0), false);
+        let mut ldns = Ldns::new(
+            LdnsId(2),
+            ResolverKind::IspLocal,
+            GeoPoint::new(0.0, 0.0),
+            false,
+        );
         let qname = DnsName::new("www.cdn.example").unwrap();
         ldns.resolve(&qname, prefix(3), ldns.location, &mut auth, Day(0), 0.0);
         assert_eq!(auth.log()[0].ecs, None);
@@ -221,10 +252,22 @@ mod tests {
     fn cross_day_time_is_absolute() {
         let hits = std::rc::Rc::new(std::cell::Cell::new(0));
         let mut auth = AuthoritativeServer::new(counting_policy(hits.clone()), false);
-        let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, GeoPoint::new(0.0, 0.0), false);
+        let mut ldns = Ldns::new(
+            LdnsId(0),
+            ResolverKind::IspLocal,
+            GeoPoint::new(0.0, 0.0),
+            false,
+        );
         let qname = DnsName::new("www.cdn.example").unwrap();
         // Cached at the very end of day 0 ...
-        ldns.resolve(&qname, prefix(1), ldns.location, &mut auth, Day(0), 86_399.0);
+        ldns.resolve(
+            &qname,
+            prefix(1),
+            ldns.location,
+            &mut auth,
+            Day(0),
+            86_399.0,
+        );
         // ... still valid 100 s into day 1 (TTL 300).
         let r = ldns.resolve(&qname, prefix(1), ldns.location, &mut auth, Day(1), 100.0);
         assert!(r.cache_hit);

@@ -65,7 +65,10 @@ impl DnsName {
             if label.starts_with('-') || label.ends_with('-') {
                 return Err(NameError::BadChar(label.to_string()));
             }
-            if !label.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
+            if !label
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            {
                 return Err(NameError::BadChar(label.to_string()));
             }
         }
@@ -128,7 +131,10 @@ mod tests {
     fn parses_and_normalizes() {
         let n = DnsName::new("WWW.Example.COM.").unwrap();
         assert_eq!(n.as_str(), "www.example.com");
-        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["www", "example", "com"]);
+        assert_eq!(
+            n.labels().collect::<Vec<_>>(),
+            vec!["www", "example", "com"]
+        );
     }
 
     #[test]
@@ -136,11 +142,23 @@ mod tests {
         assert_eq!(DnsName::new(""), Err(NameError::Empty));
         assert_eq!(DnsName::new("."), Err(NameError::Empty));
         assert!(matches!(DnsName::new("a..b"), Err(NameError::BadLabel(_))));
-        assert!(matches!(DnsName::new("-bad.com"), Err(NameError::BadChar(_))));
-        assert!(matches!(DnsName::new("bad-.com"), Err(NameError::BadChar(_))));
-        assert!(matches!(DnsName::new("spa ce.com"), Err(NameError::BadChar(_))));
+        assert!(matches!(
+            DnsName::new("-bad.com"),
+            Err(NameError::BadChar(_))
+        ));
+        assert!(matches!(
+            DnsName::new("bad-.com"),
+            Err(NameError::BadChar(_))
+        ));
+        assert!(matches!(
+            DnsName::new("spa ce.com"),
+            Err(NameError::BadChar(_))
+        ));
         let long_label = "a".repeat(64);
-        assert!(matches!(DnsName::new(&long_label), Err(NameError::BadLabel(_))));
+        assert!(matches!(
+            DnsName::new(&long_label),
+            Err(NameError::BadLabel(_))
+        ));
         let long_name = format!("{}.{}", "a".repeat(63), "b".repeat(63)).repeat(3);
         assert!(matches!(DnsName::new(&long_name), Err(NameError::TooLong)));
     }
@@ -166,9 +184,22 @@ mod tests {
 
     #[test]
     fn non_measurement_names_have_no_id() {
-        assert_eq!(DnsName::new("www.cdn.example").unwrap().measurement_id(), None);
-        assert_eq!(DnsName::new("m-xyz.probe.cdn.example").unwrap().measurement_id(), None);
-        assert_eq!(DnsName::new("m-0.probe.cdn.example").unwrap().measurement_id(), None);
+        assert_eq!(
+            DnsName::new("www.cdn.example").unwrap().measurement_id(),
+            None
+        );
+        assert_eq!(
+            DnsName::new("m-xyz.probe.cdn.example")
+                .unwrap()
+                .measurement_id(),
+            None
+        );
+        assert_eq!(
+            DnsName::new("m-0.probe.cdn.example")
+                .unwrap()
+                .measurement_id(),
+            None
+        );
     }
 
     #[test]

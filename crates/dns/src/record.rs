@@ -27,12 +27,20 @@ pub struct DnsAnswer {
 impl DnsAnswer {
     /// An answer that does not vary by client subnet.
     pub fn global(addr: Ipv4Addr, ttl_s: u32) -> DnsAnswer {
-        DnsAnswer { addr, ttl_s, ecs_scope: 0 }
+        DnsAnswer {
+            addr,
+            ttl_s,
+            ecs_scope: 0,
+        }
     }
 
     /// An answer tailored to a /24 client subnet.
     pub fn subnet_scoped(addr: Ipv4Addr, ttl_s: u32) -> DnsAnswer {
-        DnsAnswer { addr, ttl_s, ecs_scope: 24 }
+        DnsAnswer {
+            addr,
+            ttl_s,
+            ecs_scope: 24,
+        }
     }
 }
 

@@ -1,6 +1,8 @@
 //! Property tests for the DNS substrate.
 
-use anycast_dns::{AuthoritativeServer, DnsAnswer, DnsCache, DnsName, Ldns, LdnsId, QueryContext, ResolverKind};
+use anycast_dns::{
+    AuthoritativeServer, DnsAnswer, DnsCache, DnsName, Ldns, LdnsId, QueryContext, ResolverKind,
+};
 use anycast_geo::GeoPoint;
 use anycast_netsim::{Day, Prefix24};
 use proptest::prelude::*;
@@ -84,7 +86,16 @@ proptest! {
 
 #[test]
 fn malformed_names_are_rejected() {
-    for bad in ["", ".", "..", "-x.com", "x-.com", "a b.com", "Ü.com", &"a".repeat(64)] {
+    for bad in [
+        "",
+        ".",
+        "..",
+        "-x.com",
+        "x-.com",
+        "a b.com",
+        "Ü.com",
+        &"a".repeat(64),
+    ] {
         assert!(DnsName::new(bad).is_err(), "{bad:?} should be rejected");
     }
 }

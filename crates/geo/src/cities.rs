@@ -310,7 +310,10 @@ impl WorldAtlas {
             total += u64::from(m.population_k);
             cumulative_pop.push(total);
         }
-        WorldAtlas { cumulative_pop, total_pop: total }
+        WorldAtlas {
+            cumulative_pop,
+            total_pop: total,
+        }
     }
 
     /// Number of metros in the catalog.
@@ -332,7 +335,10 @@ impl WorldAtlas {
 
     /// Iterator over `(id, metro)` pairs in catalog order.
     pub fn iter(&self) -> impl Iterator<Item = (MetroId, &'static Metro)> {
-        METROS.iter().enumerate().map(|(i, m)| (MetroId(i as u32), m))
+        METROS
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MetroId(i as u32), m))
     }
 
     /// Total population across all metros, in thousands.
@@ -364,7 +370,10 @@ impl WorldAtlas {
 
     /// All metros in the given region, in catalog order.
     pub fn in_region(&self, region: Region) -> Vec<MetroId> {
-        self.iter().filter(|(_, m)| m.region == region).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, m)| m.region == region)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Id of the metro whose center is nearest to `point`.
@@ -389,12 +398,13 @@ mod tests {
     #[test]
     fn catalog_has_global_coverage() {
         let atlas = WorldAtlas::new();
-        assert!(atlas.len() >= 180, "catalog unexpectedly small: {}", atlas.len());
+        assert!(
+            atlas.len() >= 180,
+            "catalog unexpectedly small: {}",
+            atlas.len()
+        );
         for region in Region::ALL {
-            assert!(
-                !atlas.in_region(region).is_empty(),
-                "no metros in {region}"
-            );
+            assert!(!atlas.in_region(region).is_empty(), "no metros in {region}");
         }
     }
 
@@ -433,7 +443,11 @@ mod tests {
         // Tokyo (37.4M) must be drawn far more often than Wellington (0.42M).
         let atlas = WorldAtlas::new();
         let tokyo = atlas.iter().find(|(_, m)| m.name == "Tokyo").unwrap().0;
-        let wellington = atlas.iter().find(|(_, m)| m.name == "Wellington").unwrap().0;
+        let wellington = atlas
+            .iter()
+            .find(|(_, m)| m.name == "Wellington")
+            .unwrap()
+            .0;
         let (mut n_tokyo, mut n_wellington) = (0u32, 0u32);
         let n = 200_000;
         for i in 0..n {
@@ -454,9 +468,7 @@ mod tests {
         let top = atlas.top_by_population(10, Some(Region::Europe));
         assert_eq!(top.len(), 10);
         for w in top.windows(2) {
-            assert!(
-                atlas.metro(w[0]).population_k >= atlas.metro(w[1]).population_k
-            );
+            assert!(atlas.metro(w[0]).population_k >= atlas.metro(w[1]).population_k);
         }
         for id in &top {
             assert_eq!(atlas.metro(*id).region, Region::Europe);

@@ -33,9 +33,20 @@ impl GeoPoint {
     /// operations and we prefer a defined, harmless fallback over a panic in
     /// the middle of a multi-day experiment.
     pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
-        let lat = if lat_deg.is_finite() { lat_deg.clamp(-90.0, 90.0) } else { 0.0 };
-        let lon = if lon_deg.is_finite() { wrap_lon(lon_deg) } else { 0.0 };
-        GeoPoint { lat_deg: lat, lon_deg: lon }
+        let lat = if lat_deg.is_finite() {
+            lat_deg.clamp(-90.0, 90.0)
+        } else {
+            0.0
+        };
+        let lon = if lon_deg.is_finite() {
+            wrap_lon(lon_deg)
+        } else {
+            0.0
+        };
+        GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
     }
 
     /// Latitude in degrees, in `[-90, 90]`.
@@ -118,8 +129,7 @@ impl GeoPoint {
         let dlon = lon2 - lon1;
         let bx = lat2.cos() * dlon.cos();
         let by = lat2.cos() * dlon.sin();
-        let lat3 = (lat1.sin() + lat2.sin())
-            .atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
+        let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
         let lon3 = lon1 + by.atan2(lat1.cos() + bx);
         GeoPoint::new(lat3.to_degrees(), lon3.to_degrees())
     }
@@ -216,10 +226,26 @@ mod tests {
     #[test]
     fn bearing_cardinal_directions() {
         let eq = GeoPoint::new(0.0, 0.0);
-        assert!(approx(eq.initial_bearing_deg(&GeoPoint::new(1.0, 0.0)), 0.0, 1e-6));
-        assert!(approx(eq.initial_bearing_deg(&GeoPoint::new(0.0, 1.0)), 90.0, 1e-6));
-        assert!(approx(eq.initial_bearing_deg(&GeoPoint::new(-1.0, 0.0)), 180.0, 1e-6));
-        assert!(approx(eq.initial_bearing_deg(&GeoPoint::new(0.0, -1.0)), 270.0, 1e-6));
+        assert!(approx(
+            eq.initial_bearing_deg(&GeoPoint::new(1.0, 0.0)),
+            0.0,
+            1e-6
+        ));
+        assert!(approx(
+            eq.initial_bearing_deg(&GeoPoint::new(0.0, 1.0)),
+            90.0,
+            1e-6
+        ));
+        assert!(approx(
+            eq.initial_bearing_deg(&GeoPoint::new(-1.0, 0.0)),
+            180.0,
+            1e-6
+        ));
+        assert!(approx(
+            eq.initial_bearing_deg(&GeoPoint::new(0.0, -1.0)),
+            270.0,
+            1e-6
+        ));
     }
 
     #[test]

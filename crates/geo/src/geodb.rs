@@ -57,7 +57,11 @@ pub struct GeoDbErrorModel {
 
 impl Default for GeoDbErrorModel {
     fn default() -> Self {
-        GeoDbErrorModel { mislocate_prob: 0.06, error_km_median: 200.0, error_km_sigma: 1.4 }
+        GeoDbErrorModel {
+            mislocate_prob: 0.06,
+            error_km_median: 200.0,
+            error_km_sigma: 1.4,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ impl GeoDbErrorModel {
     /// A perfect database: every entry is the true location. Useful for
     /// isolating geolocation effects in ablations.
     pub fn perfect() -> Self {
-        GeoDbErrorModel { mislocate_prob: 0.0, error_km_median: 0.0, error_km_sigma: 0.0 }
+        GeoDbErrorModel {
+            mislocate_prob: 0.0,
+            error_km_median: 0.0,
+            error_km_sigma: 0.0,
+        }
     }
 }
 
@@ -89,7 +97,10 @@ impl GeoDb {
 
     /// Creates a perfect database (no error), for ablations.
     pub fn perfect() -> Self {
-        GeoDb { seed: 0, model: GeoDbErrorModel::perfect() }
+        GeoDb {
+            seed: 0,
+            model: GeoDbErrorModel::perfect(),
+        }
     }
 
     /// The error model in force.
@@ -190,17 +201,25 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_snapshots() {
-        let model = GeoDbErrorModel { mislocate_prob: 1.0, ..Default::default() };
+        let model = GeoDbErrorModel {
+            mislocate_prob: 1.0,
+            ..Default::default()
+        };
         let a = GeoDb::new(1, model);
         let b = GeoDb::new(2, model);
         let p = GeoPoint::new(0.0, 0.0);
-        let differing = (0..100).filter(|&k| a.locate(k, p) != b.locate(k, p)).count();
+        let differing = (0..100)
+            .filter(|&k| a.locate(k, p) != b.locate(k, p))
+            .count();
         assert!(differing > 90);
     }
 
     #[test]
     fn mislocate_fraction_matches_model() {
-        let model = GeoDbErrorModel { mislocate_prob: 0.06, ..Default::default() };
+        let model = GeoDbErrorModel {
+            mislocate_prob: 0.06,
+            ..Default::default()
+        };
         let db = GeoDb::new(7, model);
         let n = 50_000;
         let bad = (0..n).filter(|&k| db.is_mislocated(k)).count();
@@ -220,11 +239,16 @@ mod tests {
 
     #[test]
     fn error_distances_have_expected_median() {
-        let model =
-            GeoDbErrorModel { mislocate_prob: 1.0, error_km_median: 200.0, error_km_sigma: 1.4 };
+        let model = GeoDbErrorModel {
+            mislocate_prob: 1.0,
+            error_km_median: 200.0,
+            error_km_sigma: 1.4,
+        };
         let db = GeoDb::new(11, model);
         let p = GeoPoint::new(51.5, -0.13);
-        let mut dists: Vec<f64> = (0..20_000).map(|k| db.locate(k, p).haversine_km(&p)).collect();
+        let mut dists: Vec<f64> = (0..20_000)
+            .map(|k| db.locate(k, p).haversine_km(&p))
+            .collect();
         dists.sort_by(|a, b| a.total_cmp(b));
         let median = dists[dists.len() / 2];
         assert!((median - 200.0).abs() < 25.0, "median {median}");

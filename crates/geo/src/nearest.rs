@@ -90,7 +90,11 @@ mod tests {
     fn k_nearest_orders_by_distance() {
         let idx = index();
         let portland = GeoPoint::new(45.52, -122.68);
-        let got: Vec<u32> = idx.k_nearest(&portland, 3).into_iter().map(|(i, _)| i).collect();
+        let got: Vec<u32> = idx
+            .k_nearest(&portland, 3)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(got, vec![0, 1, 2]);
     }
 

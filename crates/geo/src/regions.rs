@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Region::ALL.iter().map(|r| r.label()).collect();
+        let labels: std::collections::HashSet<_> = Region::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), Region::ALL.len());
     }
 

@@ -25,7 +25,10 @@ impl CdnAddressing {
     /// it cannot collide with client prefixes), unicast block
     /// `198.19.<site>.0/24`.
     pub fn standard(n_sites: u16) -> CdnAddressing {
-        assert!(n_sites > 0 && n_sites <= 256, "sites must fit one /16: {n_sites}");
+        assert!(
+            n_sites > 0 && n_sites <= 256,
+            "sites must fit one /16: {n_sites}"
+        );
         CdnAddressing {
             anycast: Ipv4Addr::new(198, 18, 0, 1),
             unicast_block: [198, 19],
@@ -45,7 +48,12 @@ impl CdnAddressing {
     /// mixup).
     pub fn site_ip(&self, site: SiteId) -> Ipv4Addr {
         assert!(site.0 < self.n_sites, "site {site} outside address plan");
-        Ipv4Addr::new(self.unicast_block[0], self.unicast_block[1], site.0 as u8, 1)
+        Ipv4Addr::new(
+            self.unicast_block[0],
+            self.unicast_block[1],
+            site.0 as u8,
+            1,
+        )
     }
 
     /// Whether `ip` is the anycast VIP.

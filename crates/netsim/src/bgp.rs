@@ -62,13 +62,18 @@ pub fn select_anycast_ingress(
     if !eyeball.peering_borders.is_empty() {
         // Direct peering wins on local-pref and AS-path length.
         match eyeball.egress_policy {
-            EgressPolicy::FixedEgress(b) => {
-                EgressDecision { ingress: b, via_transit: None, handoff_metro: None }
-            }
+            EgressPolicy::FixedEgress(b) => EgressDecision {
+                ingress: b,
+                via_transit: None,
+                handoff_metro: None,
+            },
             EgressPolicy::HotPotato => {
-                let ingress =
-                    rank_by_distance(topo, &eyeball.peering_borders, client_metro, rank);
-                EgressDecision { ingress, via_transit: None, handoff_metro: None }
+                let ingress = rank_by_distance(topo, &eyeball.peering_borders, client_metro, rank);
+                EgressDecision {
+                    ingress,
+                    via_transit: None,
+                    handoff_metro: None,
+                }
             }
         }
     } else {
@@ -79,7 +84,11 @@ pub fn select_anycast_ingress(
         // The transit provider is itself hot-potato: it exits at its peering
         // point nearest the handoff.
         let ingress = rank_by_distance(topo, &provider.peering_borders, handoff, 0);
-        EgressDecision { ingress, via_transit: Some(provider.id), handoff_metro: Some(handoff) }
+        EgressDecision {
+            ingress,
+            via_transit: Some(provider.id),
+            handoff_metro: Some(handoff),
+        }
     }
 }
 
@@ -98,7 +107,11 @@ pub fn select_unicast_ingress(
 ) -> EgressDecision {
     let eyeball = topo.eyeball(as_id);
     if eyeball.peering_borders.contains(&announcement) {
-        return EgressDecision { ingress: announcement, via_transit: None, handoff_metro: None };
+        return EgressDecision {
+            ingress: announcement,
+            via_transit: None,
+            handoff_metro: None,
+        };
     }
     // Via transit. Provider choice matches the anycast rank so a churn flip
     // moves both routes coherently.
@@ -113,7 +126,11 @@ pub fn select_unicast_ingress(
         let target = topo.cdn.border_metro(announcement);
         rank_by_distance(topo, &provider.peering_borders, target, 0)
     };
-    EgressDecision { ingress, via_transit: Some(provider.id), handoff_metro: Some(handoff) }
+    EgressDecision {
+        ingress,
+        via_transit: Some(provider.id),
+        handoff_metro: Some(handoff),
+    }
 }
 
 /// The candidate at `rank` when borders are sorted by distance from
@@ -168,8 +185,7 @@ mod tests {
         topo.eyeballs
             .iter()
             .find(|e| {
-                e.peering_borders.len() > 1
-                    && matches!(e.egress_policy, EgressPolicy::HotPotato)
+                e.peering_borders.len() > 1 && matches!(e.egress_policy, EgressPolicy::HotPotato)
             })
             .expect("a multi-homed hot-potato AS exists")
             .id
@@ -227,8 +243,16 @@ mod tests {
         assert_ne!(best.ingress, second.ingress);
         // The runner-up is farther (or equal) by construction.
         let from = topo.atlas.metro(metro).location();
-        let d0 = topo.atlas.metro(topo.cdn.border_metro(best.ingress)).location().haversine_km(&from);
-        let d1 = topo.atlas.metro(topo.cdn.border_metro(second.ingress)).location().haversine_km(&from);
+        let d0 = topo
+            .atlas
+            .metro(topo.cdn.border_metro(best.ingress))
+            .location()
+            .haversine_km(&from);
+        let d1 = topo
+            .atlas
+            .metro(topo.cdn.border_metro(second.ingress))
+            .location()
+            .haversine_km(&from);
         assert!(d1 >= d0);
     }
 
@@ -255,7 +279,9 @@ mod tests {
             // test in topology.rs guarantees they exist at scale.
             return;
         };
-        let EgressPolicy::FixedEgress(pinned) = e.egress_policy else { unreachable!() };
+        let EgressPolicy::FixedEgress(pinned) = e.egress_policy else {
+            unreachable!()
+        };
         for &m in &e.pops {
             for rank in 0..2 {
                 let d = select_anycast_ingress(&topo, rank, e.id, m);

@@ -114,7 +114,8 @@ fn key(as_id: AsId, metro: MetroId) -> u64 {
 
 /// SplitMix64-style mixing of (seed, key, salt) into a well-distributed u64.
 fn mix(seed: u64, key: u64, salt: u64) -> u64 {
-    let mut z = seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z =
+        seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -236,11 +237,15 @@ mod tests {
         let week = f64::from(switched_by_day[6]) / f64::from(n);
         let expect_day0 = cfg.flappy_fraction * cfg.weekday_flip_prob;
         let expect_week = cfg.flappy_fraction
-            * (1.0
-                - (1.0 - cfg.weekday_flip_prob).powi(5)
-                    * (1.0 - cfg.weekend_flip_prob).powi(2));
-        assert!((day0 - expect_day0).abs() < 0.03, "day-one {day0} vs {expect_day0}");
-        assert!((week - expect_week).abs() < 0.04, "week {week} vs {expect_week}");
+            * (1.0 - (1.0 - cfg.weekday_flip_prob).powi(5) * (1.0 - cfg.weekend_flip_prob).powi(2));
+        assert!(
+            (day0 - expect_day0).abs() < 0.03,
+            "day-one {day0} vs {expect_day0}"
+        );
+        assert!(
+            (week - expect_week).abs() < 0.04,
+            "week {week} vs {expect_week}"
+        );
     }
 
     #[test]

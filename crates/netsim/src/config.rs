@@ -282,25 +282,38 @@ mod tests {
 
     #[test]
     fn bad_probability_rejected() {
-        let cfg = NetConfig { p_direct_peering: 1.5, ..Default::default() };
+        let cfg = NetConfig {
+            p_direct_peering: 1.5,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn bad_spike_range_rejected() {
-        let cfg = NetConfig { spike_min_ms: 50.0, spike_max_ms: 10.0, ..Default::default() };
+        let cfg = NetConfig {
+            spike_min_ms: 50.0,
+            spike_max_ms: 10.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn zero_sites_rejected() {
-        let cfg = NetConfig { n_sites: 0, ..Default::default() };
+        let cfg = NetConfig {
+            n_sites: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn negative_speed_rejected() {
-        let cfg = NetConfig { fiber_km_per_ms: -1.0, ..Default::default() };
+        let cfg = NetConfig {
+            fiber_km_per_ms: -1.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -92,7 +92,10 @@ mod tests {
         // Build a world with guaranteed inflation and check that at least
         // one peering-only border is diverted from its geographically
         // nearest site — the §5 case-study mechanism.
-        let cfg = NetConfig { p_igp_inflated: 1.0, ..NetConfig::small() };
+        let cfg = NetConfig {
+            p_igp_inflated: 1.0,
+            ..NetConfig::small()
+        };
         let topo = Topology::generate(&cfg, 3);
         let mut diverted = 0;
         for (b_idx, border) in topo.cdn.borders.iter().enumerate() {
@@ -105,8 +108,16 @@ mod tests {
                 .cdn
                 .site_ids()
                 .min_by(|x, y| {
-                    let dx = topo.atlas.metro(topo.cdn.site_metro(*x)).location().haversine_km(&bloc);
-                    let dy = topo.atlas.metro(topo.cdn.site_metro(*y)).location().haversine_km(&bloc);
+                    let dx = topo
+                        .atlas
+                        .metro(topo.cdn.site_metro(*x))
+                        .location()
+                        .haversine_km(&bloc);
+                    let dy = topo
+                        .atlas
+                        .metro(topo.cdn.site_metro(*y))
+                        .location()
+                        .haversine_km(&bloc);
                     dx.total_cmp(&dy)
                 })
                 .unwrap();
@@ -119,7 +130,10 @@ mod tests {
 
     #[test]
     fn no_inflation_means_geo_nearest() {
-        let cfg = NetConfig { p_igp_inflated: 0.0, ..NetConfig::small() };
+        let cfg = NetConfig {
+            p_igp_inflated: 0.0,
+            ..NetConfig::small()
+        };
         let topo = Topology::generate(&cfg, 4);
         for (b_idx, border) in topo.cdn.borders.iter().enumerate() {
             let b = BorderId(b_idx as u16);
@@ -128,8 +142,16 @@ mod tests {
                 .cdn
                 .site_ids()
                 .min_by(|x, y| {
-                    let dx = topo.atlas.metro(topo.cdn.site_metro(*x)).location().haversine_km(&bloc);
-                    let dy = topo.atlas.metro(topo.cdn.site_metro(*y)).location().haversine_km(&bloc);
+                    let dx = topo
+                        .atlas
+                        .metro(topo.cdn.site_metro(*x))
+                        .location()
+                        .haversine_km(&bloc);
+                    let dy = topo
+                        .atlas
+                        .metro(topo.cdn.site_metro(*y))
+                        .location()
+                        .haversine_km(&bloc);
                     dx.total_cmp(&dy).then(x.cmp(y))
                 })
                 .unwrap();

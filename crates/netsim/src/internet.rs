@@ -97,7 +97,12 @@ impl Internet {
     pub fn from_topology(topo: Topology, cfg: NetConfig, seed: u64) -> Internet {
         let churn = ChurnModel::new(&cfg, seed);
         let latency = LatencyModel::new(cfg, seed);
-        Internet { topo, churn, latency, episode_seed: seed ^ 0x6970_6765_7069 }
+        Internet {
+            topo,
+            churn,
+            latency,
+            episode_seed: seed ^ 0x6970_6765_7069,
+        }
     }
 
     /// The underlying topology.
@@ -126,7 +131,15 @@ impl Internet {
         self.topo
             .cdn
             .site_ids()
-            .map(|s| (s, self.topo.atlas.metro(self.topo.cdn.site_metro(s)).location()))
+            .map(|s| {
+                (
+                    s,
+                    self.topo
+                        .atlas
+                        .metro(self.topo.cdn.site_metro(s))
+                        .location(),
+                )
+            })
             .collect()
     }
 
@@ -141,12 +154,10 @@ impl Internet {
     /// flip event scheduled on that day. Differs from
     /// [`Internet::anycast_route`] exactly on flip days; the passive-log
     /// generator uses both to reproduce intra-day front-end switches.
-    pub fn anycast_route_at_day_start(
-        &self,
-        client: &ClientAttachment,
-        day: Day,
-    ) -> RouteDecision {
-        let rank = self.churn.selection_rank_before(client.as_id, client.metro, day);
+    pub fn anycast_route_at_day_start(&self, client: &ClientAttachment, day: Day) -> RouteDecision {
+        let rank = self
+            .churn
+            .selection_rank_before(client.as_id, client.metro, day);
         self.anycast_route_ranked(client, rank, day)
     }
 
@@ -187,16 +198,13 @@ impl Internet {
     ) -> RouteDecision {
         let announcement = self.topo.cdn.unicast_announcement_border(site);
         let rank = self.churn.selection_rank(client.as_id, client.metro, day);
-        let egress = bgp::select_unicast_ingress(
-            &self.topo,
-            rank,
-            client.as_id,
-            client.metro,
-            announcement,
-        );
+        let egress =
+            bgp::select_unicast_ingress(&self.topo, rank, client.as_id, client.metro, announcement);
         let mut decision = self.build_decision(client, egress, site, day);
         // Single-prefix routes are often not the ISP's engineered best path.
-        decision.base_rtt_ms += self.latency.unicast_path_penalty_ms(client.as_id, announcement);
+        decision.base_rtt_ms += self
+            .latency
+            .unicast_path_penalty_ms(client.as_id, announcement);
         decision
     }
 
@@ -233,7 +241,11 @@ impl Internet {
     /// Great-circle distance from `client` to `site`, in km — the Figure 2/4
     /// quantity.
     pub fn client_site_km(&self, client: &ClientAttachment, site: SiteId) -> f64 {
-        let s = self.topo.atlas.metro(self.topo.cdn.site_metro(site)).location();
+        let s = self
+            .topo
+            .atlas
+            .metro(self.topo.cdn.site_metro(site))
+            .location();
         client.location.haversine_km(&s)
     }
 
@@ -254,7 +266,11 @@ impl Internet {
         let client_metro_loc = atlas.metro(client.metro).location();
         // ISP backbone hop at the attachment metro center (distinct from the
         // client's own location).
-        hops.push(Hop { kind: HopKind::IspBackbone, metro: client.metro, location: client_metro_loc });
+        hops.push(Hop {
+            kind: HopKind::IspBackbone,
+            metro: client.metro,
+            location: client_metro_loc,
+        });
         if let Some(handoff) = egress.handoff_metro {
             if handoff != client.metro {
                 hops.push(Hop {
@@ -327,13 +343,26 @@ mod tests {
     fn client_at(net: &Internet, as_idx: usize) -> ClientAttachment {
         let e = &net.topology().eyeballs[as_idx % net.topology().eyeballs.len()];
         let metro = e.home_metro;
-        let loc = net.topology().atlas.metro(metro).location().destination(45.0, 20.0);
-        ClientAttachment { as_id: e.id, metro, location: loc, access: AccessTech::Cable }
+        let loc = net
+            .topology()
+            .atlas
+            .metro(metro)
+            .location()
+            .destination(45.0, 20.0);
+        ClientAttachment {
+            as_id: e.id,
+            metro,
+            location: loc,
+            access: AccessTech::Cable,
+        }
     }
 
     #[test]
     fn invalid_config_is_rejected() {
-        let cfg = NetConfig { p_direct_peering: 2.0, ..NetConfig::small() };
+        let cfg = NetConfig {
+            p_direct_peering: 2.0,
+            ..NetConfig::small()
+        };
         assert!(Internet::new(cfg, 1).is_err());
     }
 
@@ -355,7 +384,10 @@ mod tests {
             let hops = d.path.hops();
             assert_eq!(hops.first().unwrap().kind, HopKind::ClientAccess);
             assert_eq!(hops.last().unwrap().kind, HopKind::FrontEnd);
-            assert_eq!(hops.last().unwrap().metro, net.topology().cdn.site_metro(d.site));
+            assert_eq!(
+                hops.last().unwrap().metro,
+                net.topology().cdn.site_metro(d.site)
+            );
         }
     }
 
@@ -428,7 +460,10 @@ mod tests {
     fn anycast_prefers_nearby_sites_in_idealized_world() {
         // With no pathologies, anycast should land most clients on a
         // front-end no farther than ~2x their nearest.
-        let cfg = NetConfig { n_eyeball: 60, ..NetConfig::idealized() };
+        let cfg = NetConfig {
+            n_eyeball: 60,
+            ..NetConfig::idealized()
+        };
         let net = Internet::new(cfg, 7).unwrap();
         let sites = net.site_locations();
         let mut optimal = 0;
@@ -478,7 +513,10 @@ mod tests {
         for i in 0..10 {
             let ca = client_at(&a, i);
             let cb = client_at(&b, i);
-            assert_eq!(a.anycast_route(&ca, Day(3)).site, b.anycast_route(&cb, Day(3)).site);
+            assert_eq!(
+                a.anycast_route(&ca, Day(3)).site,
+                b.anycast_route(&cb, Day(3)).site
+            );
         }
     }
 }

@@ -90,7 +90,10 @@ impl LatencyModel {
     /// Builds the model. `seed` fixes the stable-congestion assignment of
     /// `(AS, ingress)` adjacencies.
     pub fn new(cfg: NetConfig, seed: u64) -> Self {
-        LatencyModel { cfg, congestion_seed: seed ^ 0x636f_6e67_6573_7400 }
+        LatencyModel {
+            cfg,
+            congestion_seed: seed ^ 0x636f_6e67_6573_7400,
+        }
     }
 
     /// The configuration in force.
@@ -134,11 +137,8 @@ impl LatencyModel {
     pub fn congestion_ms(&self, as_id: AsId, ingress: BorderId, day: Day) -> f64 {
         let key = (u64::from(as_id.0) << 24) | u64::from(ingress.0);
         if self.cfg.p_chronic_congestion > 0.0 {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(mix64(
-                self.congestion_seed,
-                key,
-                0xc401,
-            ));
+            let mut rng =
+                rand::rngs::SmallRng::seed_from_u64(mix64(self.congestion_seed, key, 0xc401));
             if rng.gen::<f64>() < self.cfg.p_chronic_congestion {
                 return LogNormal::new(self.cfg.congestion_ms_median, self.cfg.congestion_ms_sigma)
                     .sample(&mut rng);
@@ -161,15 +161,15 @@ impl LatencyModel {
     /// Samples the per-measurement additive components: jitter, transient
     /// spike, and server time.
     pub fn sample_extra_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let jitter = LogNormal::new(self.cfg.jitter_ms_median, self.cfg.jitter_ms_sigma)
-            .sample(rng);
+        let jitter =
+            LogNormal::new(self.cfg.jitter_ms_median, self.cfg.jitter_ms_sigma).sample(rng);
         let spike = if rng.gen::<f64>() < self.cfg.spike_prob {
             rng.gen_range(self.cfg.spike_min_ms..=self.cfg.spike_max_ms)
         } else {
             0.0
         };
-        let server = LogNormal::new(self.cfg.server_ms_median, self.cfg.server_ms_sigma)
-            .sample(rng);
+        let server =
+            LogNormal::new(self.cfg.server_ms_median, self.cfg.server_ms_sigma).sample(rng);
         jitter + spike + server
     }
 }
@@ -183,11 +183,13 @@ impl LatencyModel {
             return 0.0;
         }
         let key = 0x5550_0000_0000_0000 | (u64::from(as_id.0) << 24) | u64::from(announcement.0);
-        let mut rng =
-            rand::rngs::SmallRng::seed_from_u64(mix64(self.congestion_seed, key, 0x751c));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(mix64(self.congestion_seed, key, 0x751c));
         if rng.gen::<f64>() < self.cfg.p_unicast_path_penalty {
-            LogNormal::new(self.cfg.unicast_penalty_ms_median, self.cfg.unicast_penalty_ms_sigma)
-                .sample(&mut rng)
+            LogNormal::new(
+                self.cfg.unicast_penalty_ms_median,
+                self.cfg.unicast_penalty_ms_sigma,
+            )
+            .sample(&mut rng)
         } else {
             0.0
         }
@@ -206,8 +208,8 @@ fn mix64(seed: u64, key: u64, salt: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anycast_geo::{GeoPoint, MetroId};
     use crate::path::{Hop, HopKind};
+    use anycast_geo::{GeoPoint, MetroId};
     use rand::rngs::SmallRng;
 
     fn straight_path(km_target: f64) -> RoutePath {
@@ -215,8 +217,16 @@ mod tests {
         let start = GeoPoint::new(0.0, 0.0);
         let end = start.destination(90.0, km_target);
         RoutePath::new(vec![
-            Hop { kind: HopKind::ClientAccess, metro: MetroId(0), location: start },
-            Hop { kind: HopKind::FrontEnd, metro: MetroId(1), location: end },
+            Hop {
+                kind: HopKind::ClientAccess,
+                metro: MetroId(0),
+                location: start,
+            },
+            Hop {
+                kind: HopKind::FrontEnd,
+                metro: MetroId(1),
+                location: end,
+            },
         ])
     }
 
@@ -227,10 +237,22 @@ mod tests {
     #[test]
     fn rtt_scales_with_distance() {
         let m = model();
-        let near =
-            m.base_rtt_ms(&straight_path(100.0), AccessTech::Fiber, AsId(50), BorderId(0), Day(0), 0.0);
-        let far =
-            m.base_rtt_ms(&straight_path(5000.0), AccessTech::Fiber, AsId(50), BorderId(0), Day(0), 0.0);
+        let near = m.base_rtt_ms(
+            &straight_path(100.0),
+            AccessTech::Fiber,
+            AsId(50),
+            BorderId(0),
+            Day(0),
+            0.0,
+        );
+        let far = m.base_rtt_ms(
+            &straight_path(5000.0),
+            AccessTech::Fiber,
+            AsId(50),
+            BorderId(0),
+            Day(0),
+            0.0,
+        );
         assert!(far > near + 40.0, "near {near} far {far}");
         // 5000 km * 1.25 stretch / 200 km/ms * 2 = 62.5 ms of propagation.
         assert!(far > 62.0 && far < 120.0, "far {far}");
@@ -243,7 +265,14 @@ mod tests {
         let fiber = m.base_rtt_ms(&path, AccessTech::Fiber, AsId(50), BorderId(0), Day(0), 0.0);
         let cable = m.base_rtt_ms(&path, AccessTech::Cable, AsId(50), BorderId(0), Day(0), 0.0);
         let dsl = m.base_rtt_ms(&path, AccessTech::Dsl, AsId(50), BorderId(0), Day(0), 0.0);
-        let mobile = m.base_rtt_ms(&path, AccessTech::Mobile, AsId(50), BorderId(0), Day(0), 0.0);
+        let mobile = m.base_rtt_ms(
+            &path,
+            AccessTech::Mobile,
+            AsId(50),
+            BorderId(0),
+            Day(0),
+            0.0,
+        );
         assert!(fiber < cable && cable < dsl && dsl < mobile);
         assert!((mobile - fiber - 39.0).abs() < 1e-9);
     }
@@ -276,11 +305,13 @@ mod tests {
         for i in 0..2000u32 {
             let a = AsId((i % 400) as u16);
             let b = BorderId((i / 400) as u16);
-            let per_day: Vec<f64> =
-                (0..20).map(|d| m.congestion_ms(a, b, Day(d))).collect();
+            let per_day: Vec<f64> = (0..20).map(|d| m.congestion_ms(a, b, Day(d))).collect();
             if per_day.iter().all(|&x| x > 0.0) {
                 found_chronic = true;
-                assert!(per_day.windows(2).all(|w| w[0] == w[1]), "chronic penalty varies");
+                assert!(
+                    per_day.windows(2).all(|w| w[0] == w[1]),
+                    "chronic penalty varies"
+                );
             }
         }
         assert!(found_chronic, "no chronic adjacency found");
@@ -308,9 +339,15 @@ mod tests {
                 }
             }
         }
-        assert!(episode_days > 100, "too few episodes to judge ({episode_days})");
+        assert!(
+            episode_days > 100,
+            "too few episodes to judge ({episode_days})"
+        );
         let continuation = f64::from(followed_by_another) / f64::from(episode_days);
-        assert!(continuation < 0.15, "episodes too persistent: {continuation}");
+        assert!(
+            continuation < 0.15,
+            "episodes too persistent: {continuation}"
+        );
     }
 
     #[test]
@@ -353,8 +390,14 @@ mod tests {
     #[test]
     fn empty_path_still_has_floor_latency() {
         let m = model();
-        let rtt =
-            m.base_rtt_ms(&RoutePath::default(), AccessTech::Dsl, AsId(50), BorderId(0), Day(0), 0.0);
+        let rtt = m.base_rtt_ms(
+            &RoutePath::default(),
+            AccessTech::Dsl,
+            AsId(50),
+            BorderId(0),
+            Day(0),
+            0.0,
+        );
         // Fixed hops + last mile, no propagation.
         assert!(rtt > 15.0 && rtt < 30.0, "floor {rtt}");
     }

@@ -107,7 +107,11 @@ impl RoutePath {
     pub fn stretch(&self) -> f64 {
         let direct = self.direct_km();
         if direct <= 0.0 {
-            return if self.total_km() > 0.0 { f64::INFINITY } else { 0.0 };
+            return if self.total_km() > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         self.total_km() / direct
     }
@@ -140,7 +144,11 @@ mod tests {
     use anycast_geo::WorldAtlas;
 
     fn hop(kind: HopKind, lat: f64, lon: f64) -> Hop {
-        Hop { kind, metro: MetroId(0), location: GeoPoint::new(lat, lon) }
+        Hop {
+            kind,
+            metro: MetroId(0),
+            location: GeoPoint::new(lat, lon),
+        }
     }
 
     #[test]
@@ -191,8 +199,16 @@ mod tests {
     fn render_mentions_every_hop() {
         let atlas = WorldAtlas::new();
         let path = RoutePath::new(vec![
-            Hop { kind: HopKind::ClientAccess, metro: MetroId(0), location: GeoPoint::new(40.7, -74.0) },
-            Hop { kind: HopKind::FrontEnd, metro: MetroId(1), location: GeoPoint::new(34.0, -118.2) },
+            Hop {
+                kind: HopKind::ClientAccess,
+                metro: MetroId(0),
+                location: GeoPoint::new(40.7, -74.0),
+            },
+            Hop {
+                kind: HopKind::FrontEnd,
+                metro: MetroId(1),
+                location: GeoPoint::new(34.0, -118.2),
+            },
         ]);
         let text = path.render(&atlas);
         assert_eq!(text.lines().count(), 2);

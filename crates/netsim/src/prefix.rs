@@ -74,7 +74,9 @@ impl PrefixAllocator {
     /// Starts allocation at 11.0.0.0/24 (clear of 0/8, 10/8 private space,
     /// and loopback).
     pub fn new() -> Self {
-        PrefixAllocator { next: u32::from(Ipv4Addr::new(11, 0, 0, 0)) }
+        PrefixAllocator {
+            next: u32::from(Ipv4Addr::new(11, 0, 0, 0)),
+        }
     }
 
     /// Allocates the next unused /24.
@@ -93,7 +95,9 @@ impl PrefixAllocator {
             let first_octet = (candidate >> 24) as u8;
             // Skip loopback and multicast-adjacent ranges, and private 172.16/12
             // and 192.168/16 for realism.
-            let private_172 = first_octet == 172 && ((candidate >> 16) & 0xFF) >= 16 && ((candidate >> 16) & 0xFF) < 32;
+            let private_172 = first_octet == 172
+                && ((candidate >> 16) & 0xFF) >= 16
+                && ((candidate >> 16) & 0xFF) < 32;
             let private_192 = first_octet == 192 && ((candidate >> 16) & 0xFF) == 168;
             if first_octet == 127 || private_172 || private_192 {
                 continue;

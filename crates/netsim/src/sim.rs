@@ -151,7 +151,10 @@ impl<E> Default for Timeline<E> {
 impl<E> Timeline<E> {
     /// Creates an empty timeline.
     pub fn new() -> Self {
-        Timeline { heap: BinaryHeap::new(), seq: 0 }
+        Timeline {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at `time` (seconds). Panics on non-finite time.

@@ -164,7 +164,13 @@ impl Topology {
             }
         }
 
-        Topology { atlas, cdn, transits, eyeballs, eyeballs_by_metro }
+        Topology {
+            atlas,
+            cdn,
+            transits,
+            eyeballs,
+            eyeballs_by_metro,
+        }
     }
 
     /// The eyeball AS with the given id. Panics on a transit or unknown id
@@ -189,7 +195,10 @@ impl Topology {
     /// Eyeball ASes with an attachment point at `metro` (possibly empty for
     /// metros only covered via the coverage pass of a different metro).
     pub fn eyeballs_at_metro(&self, metro: MetroId) -> &[AsId] {
-        self.eyeballs_by_metro.get(&metro).map(Vec::as_slice).unwrap_or(&[])
+        self.eyeballs_by_metro
+            .get(&metro)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The metro of a front-end site (convenience).
@@ -250,11 +259,20 @@ fn generate_cdn(atlas: &WorldAtlas, cfg: &NetConfig, rng: &mut impl Rng) -> CdnN
     let mut borders = Vec::with_capacity(site_metros.len() + extra.len());
     for (i, &m) in site_metros.iter().enumerate() {
         let border = BorderId(borders.len() as u16);
-        borders.push(BorderRouter { metro: m, colocated_site: Some(SiteId(i as u16)) });
-        sites.push(FrontEndSite { metro: m, colocated_border: border });
+        borders.push(BorderRouter {
+            metro: m,
+            colocated_site: Some(SiteId(i as u16)),
+        });
+        sites.push(FrontEndSite {
+            metro: m,
+            colocated_border: border,
+        });
     }
     for &m in &extra {
-        borders.push(BorderRouter { metro: m, colocated_site: None });
+        borders.push(BorderRouter {
+            metro: m,
+            colocated_site: None,
+        });
     }
 
     // IGP multipliers: mostly 1.0; for a fraction of borders, inflate the
@@ -285,7 +303,11 @@ fn generate_cdn(atlas: &WorldAtlas, cfg: &NetConfig, rng: &mut impl Rng) -> CdnN
         }
     }
 
-    CdnNetwork { sites, borders, igp_multiplier: igp }
+    CdnNetwork {
+        sites,
+        borders,
+        igp_multiplier: igp,
+    }
 }
 
 fn generate_transits(
@@ -310,7 +332,11 @@ fn generate_transits(
             peering.truncate(keep_peer.max(1));
             peering.sort();
             pops.sort();
-            TransitAs { id: AsId(i as u16), pops, peering_borders: peering }
+            TransitAs {
+                id: AsId(i as u16),
+                pops,
+                peering_borders: peering,
+            }
         })
         .collect()
 }
@@ -337,7 +363,9 @@ fn generate_eyeballs(
             .map(|(mid, m)| (mid, m.location().haversine_km(&home_loc)))
             .collect();
         candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let size = rng.gen_range(1..=cfg.eyeball_max_pops).min(candidates.len());
+        let size = rng
+            .gen_range(1..=cfg.eyeball_max_pops)
+            .min(candidates.len());
         let pops: Vec<MetroId> = candidates[..size].iter().map(|&(m, _)| m).collect();
 
         // Direct peering: borders "reachable" from the footprint.
@@ -349,30 +377,29 @@ fn generate_eyeballs(
 
         // Egress policy: pathological fixed egress for a fraction of
         // multi-homed ASes.
-        let egress_policy = if peering_borders.len() > 1
-            && rng.gen::<f64>() < cfg.p_fixed_regional_egress
-        {
-            // Pin to the egress *farthest* from home: the operator optimizes
-            // for its own transit costs, not for client latency.
-            let far = *peering_borders
-                .iter()
-                .max_by(|a, b| {
-                    atlas
-                        .metro(cdn.border_metro(**a))
-                        .location()
-                        .haversine_km(&home_loc)
-                        .total_cmp(
-                            &atlas
-                                .metro(cdn.border_metro(**b))
-                                .location()
-                                .haversine_km(&home_loc),
-                        )
-                })
-                .expect("non-empty peering");
-            EgressPolicy::FixedEgress(far)
-        } else {
-            EgressPolicy::HotPotato
-        };
+        let egress_policy =
+            if peering_borders.len() > 1 && rng.gen::<f64>() < cfg.p_fixed_regional_egress {
+                // Pin to the egress *farthest* from home: the operator optimizes
+                // for its own transit costs, not for client latency.
+                let far = *peering_borders
+                    .iter()
+                    .max_by(|a, b| {
+                        atlas
+                            .metro(cdn.border_metro(**a))
+                            .location()
+                            .haversine_km(&home_loc)
+                            .total_cmp(
+                                &atlas
+                                    .metro(cdn.border_metro(**b))
+                                    .location()
+                                    .haversine_km(&home_loc),
+                            )
+                    })
+                    .expect("non-empty peering");
+                EgressPolicy::FixedEgress(far)
+            } else {
+                EgressPolicy::HotPotato
+            };
 
         // 1–2 transit providers.
         let mut transit_ids: Vec<AsId> = transits.iter().map(|t| t.id).collect();
@@ -408,8 +435,7 @@ fn choose_peering(
             let d = pops
                 .iter()
                 .map(|&m| atlas.metro(m).location().haversine_km(&bloc))
-                .fold(f64::INFINITY, f64::min)
-                ;
+                .fold(f64::INFINITY, f64::min);
             (b, d)
         })
         .collect();
@@ -440,7 +466,10 @@ fn choose_peering(
                             .location()
                             .haversine_km(&loc)
                             .total_cmp(
-                                &atlas.metro(cdn.border_metro(*b)).location().haversine_km(&loc),
+                                &atlas
+                                    .metro(cdn.border_metro(*b))
+                                    .location()
+                                    .haversine_km(&loc),
                             )
                             .then(a.cmp(b))
                     })
@@ -469,8 +498,10 @@ fn ensure_metro_coverage(atlas: &WorldAtlas, eyeballs: &mut [EyeballAs]) {
     if eyeballs.is_empty() {
         return;
     }
-    let covered: std::collections::HashSet<MetroId> =
-        eyeballs.iter().flat_map(|e| e.pops.iter().copied()).collect();
+    let covered: std::collections::HashSet<MetroId> = eyeballs
+        .iter()
+        .flat_map(|e| e.pops.iter().copied())
+        .collect();
     for (mid, metro) in atlas.iter() {
         if covered.contains(&mid) {
             continue;
@@ -558,7 +589,12 @@ mod tests {
     #[test]
     fn extra_borders_host_no_site() {
         let t = world();
-        let extra = t.cdn.borders.iter().filter(|b| b.colocated_site.is_none()).count();
+        let extra = t
+            .cdn
+            .borders
+            .iter()
+            .filter(|b| b.colocated_site.is_none())
+            .count();
         assert_eq!(extra, NetConfig::small().n_extra_borders);
     }
 
@@ -574,8 +610,12 @@ mod tests {
     #[test]
     fn sites_cover_multiple_regions() {
         let t = Topology::generate(&NetConfig::default(), 5);
-        let regions: std::collections::HashSet<Region> =
-            t.cdn.sites.iter().map(|s| t.atlas.metro(s.metro).region).collect();
+        let regions: std::collections::HashSet<Region> = t
+            .cdn
+            .sites
+            .iter()
+            .map(|s| t.atlas.metro(s.metro).region)
+            .collect();
         assert!(regions.len() >= 5, "only {} regions covered", regions.len());
     }
 
@@ -640,7 +680,13 @@ mod tests {
 
     #[test]
     fn idealized_world_has_no_pathologies() {
-        let t = Topology::generate(&NetConfig { n_eyeball: 60, ..NetConfig::idealized() }, 17);
+        let t = Topology::generate(
+            &NetConfig {
+                n_eyeball: 60,
+                ..NetConfig::idealized()
+            },
+            17,
+        );
         for e in &t.eyeballs {
             assert!(matches!(e.egress_policy, EgressPolicy::HotPotato));
         }

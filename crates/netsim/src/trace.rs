@@ -48,8 +48,13 @@ impl Traceroute {
     pub fn render(&self, internet: &Internet) -> String {
         let atlas = &internet.topology().atlas;
         let mut out = String::new();
-        for (i, (hop, rtt)) in
-            self.decision.path.hops().iter().zip(&self.hop_rtts_ms).enumerate()
+        for (i, (hop, rtt)) in self
+            .decision
+            .path
+            .hops()
+            .iter()
+            .zip(&self.hop_rtts_ms)
+            .enumerate()
         {
             let metro = atlas.metro(hop.metro);
             out.push_str(&format!(
@@ -133,18 +138,18 @@ impl ProbeFleet {
             Some(site) => internet.unicast_route(&probe.attachment, site, day),
         };
         let hop_rtts_ms = hop_rtts(internet, &probe.attachment, &decision);
-        Traceroute { target, decision, hop_rtts_ms }
+        Traceroute {
+            target,
+            decision,
+            hop_rtts_ms,
+        }
     }
 }
 
 /// Per-hop RTT estimates: cumulative two-way propagation to each hop plus
 /// the fixed edge costs, scaled so the final hop equals the decision's
 /// base RTT (keeping trace and measurement consistent).
-fn hop_rtts(
-    internet: &Internet,
-    client: &ClientAttachment,
-    decision: &RouteDecision,
-) -> Vec<f64> {
+fn hop_rtts(internet: &Internet, client: &ClientAttachment, decision: &RouteDecision) -> Vec<f64> {
     let hops: &[Hop] = decision.path.hops();
     if hops.is_empty() {
         return Vec::new();
@@ -233,7 +238,10 @@ mod tests {
         let (internet, fleet) = fleet();
         let probe = &fleet.probes()[0];
         let trace = fleet.traceroute(&internet, probe, None, Day(0));
-        assert_eq!(trace.render(&internet).lines().count(), trace.decision.path.len());
+        assert_eq!(
+            trace.render(&internet).lines().count(),
+            trace.decision.path.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Sharded streaming aggregation for web-scale telemetry.
+//!
+//! The paper's data plane is big: "our analysis of client performance
+//! … is based on more than 420 million queries" and a month of beacon
+//! measurements (§3.2). The rest of this workspace analyzes such data by
+//! materializing every per-group latency vector and sorting it — fine for
+//! simulation scales, not for production ones. This crate is the
+//! production-shaped ingestion path:
+//!
+//! * [`sketch`] — mergeable bounded-memory summaries: a Greenwald–Khanna
+//!   quantile sketch with a configurable rank-error bound (the §6
+//!   25th-percentile prediction metric reads it), a SpaceSaving heavy-
+//!   hitter tracker (Zipf-skewed per-/24 query volume), and a KMV
+//!   distinct-/24 estimator;
+//! * [`shard`] — hash-partitioned ingestion across N worker threads over
+//!   bounded channels with blocking backpressure, merged deterministically
+//!   at day close;
+//! * [`window`] — day-partitioned incremental per-`(group, front-end)`
+//!   sketches, pooled over training windows and retired once the window
+//!   passes (the §6 one-day prediction interval lifecycle);
+//! * [`source`] — adapters from `anycast_telemetry` passive rows and
+//!   `anycast_beacon` joined measurements into pipeline streams.
+//!
+//! **Determinism under sharding.** Every pipeline here routes records by
+//! the client-group key, so a group's records are wholly owned by one
+//! worker and arrive in stream order; merged outputs are canonical-order
+//! unions of disjoint-key maps. The same seed therefore produces
+//! bit-identical aggregates for *any* worker count — reproducibility
+//! never depends on how the work was parallelized.
+//!
+//! The sketch path plugs into the exact path through
+//! `anycast_analysis::quantile::QuantileBackend`, which
+//! [`QuantileSketch`] implements; `anycast_core`'s predictor can train
+//! from either and the `ablation-sketch-accuracy` sweep quantifies the
+//! gap.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod shard;
+pub mod sketch;
+pub mod source;
+pub mod window;
+
+pub use shard::{merge_keyed, Aggregate, ShardConfig, ShardedIngest};
+pub use sketch::{
+    mix64, Counts, DistinctCounter, FastHasher, FastMap, HeavyHitters, QuantileSketch,
+};
+pub use source::{
+    ecs_record, ldns_record, passive_record, route_ldns, route_prefix, sketch_day,
+    summarize_passive_day, PassiveAggregator, PassiveDaySummary, PassiveSummaryConfig,
+};
+pub use window::{DaySketches, DayWindow, GroupAggregator};
+
+use anycast_analysis::quantile::QuantileBackend;
+
+impl QuantileBackend for QuantileSketch {
+    fn count(&self) -> u64 {
+        QuantileSketch::count(self)
+    }
+
+    fn percentile(&self, p: f64) -> Option<f64> {
+        self.quantile(p)
+    }
+}

@@ -1,0 +1,856 @@
+//! Mergeable streaming summaries.
+//!
+//! The paper's analyses run over "more than 420 million queries" of passive
+//! logs and a month of beacon measurements (§3.2). At that volume the
+//! repo's exact path — materialize every `(group, target)` latency vector,
+//! sort it, read a percentile — stops being the thing a production CDN
+//! would run. This module provides the three bounded-memory summaries the
+//! day-scale aggregation actually needs:
+//!
+//! * [`QuantileSketch`] — a Greenwald–Khanna streaming quantile summary
+//!   with a configurable rank-error bound, for the §6 per-group
+//!   25th-percentile prediction metric;
+//! * [`HeavyHitters`] — a SpaceSaving counter set, for the Zipf-skewed
+//!   per-/24 query-volume weighting the Figure 9 evaluation uses;
+//! * [`DistinctCounter`] — a k-minimum-values estimator for distinct /24
+//!   counts ("around 400k /24 client networks", §5.1).
+//!
+//! Every summary here is **mergeable** and **deterministic**: merging is
+//! insensitive to operand order, and the same input stream produces the
+//! same bytes regardless of how ingestion was sharded (see
+//! [`crate::shard`] for the ownership discipline that guarantees the
+//! latter).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used for
+/// deterministic hashing (shard routing, KMV hashing). Stable across
+/// platforms and releases by construction — never replace it with
+/// `DefaultHasher`, whose output is allowed to change between Rust
+/// versions.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A cheap multiply-rotate hasher (FxHash construction) for the
+/// pipeline's per-record hot maps. Runs once per log record, where
+/// SipHash's per-lookup cost is measurable at day scale. Deterministic
+/// and DoS-hardening-free by design — pipeline keys are simulator ids,
+/// not attacker-controlled input.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` keyed through [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, std::hash::BuildHasherDefault<FastHasher>>;
+
+/// One Greenwald–Khanna tuple: a stored value `v` covering `g` observations
+/// whose rank is known up to `delta` ("the GK summary maintains tuples
+/// (vᵢ, gᵢ, Δᵢ) such that rmin(vᵢ) = Σⱼ≤ᵢ gⱼ and rmax(vᵢ) = rmin(vᵢ) + Δᵢ").
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// A streaming quantile summary with a configurable rank-error bound.
+///
+/// `QuantileSketch::new(eps)` guarantees, for a sketch fed a single stream,
+/// a returned quantile whose rank differs from the requested rank by at
+/// most `eps/3 · n`; for a sketch assembled by **any** sequence of
+/// [`merge`](QuantileSketch::merge) calls over single-stream sketches of
+/// the same `eps`, by at most `eps · N` (N = total observations). The
+/// internal budget is `eps/3` precisely so that arbitrary merge trees stay
+/// inside the advertised bound: a merge is a canonical tuple union that
+/// adds no per-tuple uncertainty but can hide up to one tuple-spread of
+/// rank per operand.
+///
+/// Merging never compresses, so the merged state is literally the multiset
+/// union of the operands' tuples in canonical order — which makes `merge`
+/// bit-exactly commutative and associative, the property the sharded
+/// ingestion layer's determinism contract rests on.
+///
+/// Space: O((1/eps) · log(eps·n)) tuples, plus an insert buffer of
+/// ⌈3/(2·eps)⌉ values that batches sort+merge work (the single-core ingest
+/// win measured by the `pipeline-ingest` bench comes from this buffer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Advertised rank-error bound (fraction of n).
+    eps: f64,
+    /// Observations already folded into `tuples`.
+    n: u64,
+    /// GK tuples, ascending by `(v, g, delta)` (canonical order).
+    tuples: Vec<Tuple>,
+    /// Observations awaiting a flush, unordered.
+    buffer: Vec<f64>,
+    /// Cached ⌈1/(2ε')⌉ — a pure function of `eps`, read once per observe.
+    buf_limit: usize,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch with rank-error bound `eps` (e.g. `0.01`
+    /// for ±1% of n).
+    ///
+    /// # Panics
+    /// Panics unless `0 < eps < 0.5`.
+    pub fn new(eps: f64) -> QuantileSketch {
+        assert!(
+            eps > 0.0 && eps < 0.5,
+            "rank-error bound must be in (0, 0.5), got {eps}"
+        );
+        QuantileSketch {
+            eps,
+            n: 0,
+            tuples: Vec::new(),
+            buffer: Vec::new(),
+            buf_limit: Self::buf_limit_for(eps),
+        }
+    }
+
+    /// The configured rank-error bound.
+    pub fn error_bound(&self) -> f64 {
+        self.eps
+    }
+
+    /// Exact number of observations absorbed — the §6 "20+ measurements"
+    /// filter reads this, so it must not be an estimate.
+    pub fn count(&self) -> u64 {
+        self.n + self.buffer.len() as u64
+    }
+
+    /// Whether the sketch has seen no observations.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Number of stored tuples (space introspection for tests/benches).
+    pub fn tuples_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Internal rank-error budget: a third of the advertised bound, the
+    /// rest being reserved for merge slack (see the type docs).
+    fn eps_internal(&self) -> f64 {
+        self.eps / 3.0
+    }
+
+    /// The GK capacity ⌊2·ε'·n⌋ at the current n, floored at 1.
+    fn capacity(&self) -> u64 {
+        ((2.0 * self.eps_internal() * self.n as f64) as u64).max(1)
+    }
+
+    /// Insert-buffer size: one flush per ⌈1/(2ε')⌉ observations amortizes
+    /// the sort+merge to O(log) comparisons per observation.
+    fn buffer_limit(&self) -> usize {
+        self.buf_limit
+    }
+
+    fn buf_limit_for(eps: f64) -> usize {
+        (1.0 / (2.0 * (eps / 3.0))).ceil() as usize
+    }
+
+    /// Absorbs one observation. NaNs are rejected (a NaN latency is an
+    /// upstream bug; dropping it silently would corrupt counts).
+    ///
+    /// # Panics
+    /// Panics on NaN input.
+    pub fn observe(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN fed to QuantileSketch");
+        if self.buffer.capacity() == 0 {
+            // One exact allocation instead of a doubling-growth chain; the
+            // capacity is then kept across flushes.
+            self.buffer.reserve_exact(self.buf_limit);
+        }
+        self.buffer.push(v);
+        // Adaptive schedule: never flush before the accuracy-driven
+        // minimum, and on hot streams wait until the buffer matches the
+        // tuple list so each tuple-walk amortizes to O(1) per record.
+        // Both operands are pure functions of the stream, so the flush
+        // points — and hence the bytes — stay deterministic.
+        if self.buffer.len() >= self.buffer_limit().max(self.tuples.len()) {
+            self.flush();
+        }
+    }
+
+    /// Folds the insert buffer into the tuple list: sort the buffer, walk
+    /// it against the (sorted) tuples once, then compress. Each new tuple
+    /// gets `delta = capacity − 1` (computed at the post-flush n, which
+    /// only over-states uncertainty — bounds stay valid), except stream
+    /// minima/maxima which are exact (`delta = 0`).
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.buffer);
+        // Unstable sorts stay deterministic here: ties are bitwise-equal
+        // values, indistinguishable in the output.
+        batch.sort_unstable_by(|a, b| a.total_cmp(b));
+        self.n += batch.len() as u64;
+        let delta = self.capacity() - 1;
+
+        let old = std::mem::take(&mut self.tuples);
+        let mut merged = Vec::with_capacity(old.len() + batch.len());
+        let mut bi = 0;
+        for t in old {
+            while bi < batch.len() && batch[bi] < t.v {
+                merged.push(self.new_tuple(batch[bi], delta, merged.is_empty()));
+                bi += 1;
+            }
+            merged.push(t);
+        }
+        while bi < batch.len() {
+            merged.push(self.new_tuple(batch[bi], delta, merged.is_empty()));
+            bi += 1;
+        }
+        // The last tuple holds the stream maximum, whose rank is exactly n
+        // (rmin of the last tuple is Σg = n), so its delta is always 0.
+        if let Some(last) = merged.last_mut() {
+            last.delta = 0;
+        }
+        // Hand the (cleared) batch allocation back to the insert buffer so
+        // hot streams don't re-grow it every flush cycle.
+        batch.clear();
+        self.buffer = batch;
+        self.tuples = merged;
+        self.compress();
+        // Canonical order: compress and tie placement can leave equal-value
+        // runs ordered by history; merge commutativity needs the total
+        // (v, g, delta) order. The list is always v-sorted, so only
+        // equal-value runs can be out of order — check before paying for
+        // a sort (continuous latencies rarely tie).
+        let canonical = self.tuples.windows(2).all(|w| tuple_le(&w[0], &w[1]));
+        if !canonical {
+            self.tuples.sort_unstable_by(|a, b| {
+                a.v.total_cmp(&b.v)
+                    .then(a.g.cmp(&b.g))
+                    .then(a.delta.cmp(&b.delta))
+            });
+        }
+    }
+
+    fn new_tuple(&self, v: f64, delta: u64, is_first: bool) -> Tuple {
+        Tuple {
+            v,
+            g: 1,
+            delta: if is_first { 0 } else { delta },
+        }
+    }
+
+    /// GK compression: merge tuple i into i+1 whenever the combined spread
+    /// stays within capacity. The first and last tuples are preserved so
+    /// the stream minimum and maximum stay exact.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = self.capacity();
+        // Single backward pass: merge tuple i into its nearest surviving
+        // right neighbour j when the combined spread fits, tombstone i
+        // (g = 0), and compact once at the end — O(T) where the naive
+        // remove-in-place loop is O(T²).
+        let mut j = self.tuples.len() - 1;
+        let mut i = j - 1;
+        while i >= 1 {
+            let g = self.tuples[i].g;
+            let next = self.tuples[j];
+            if g + next.g + next.delta <= cap {
+                self.tuples[j].g += g;
+                self.tuples[i].g = 0;
+            } else {
+                j = i;
+            }
+            i -= 1;
+        }
+        self.tuples.retain(|t| t.g > 0);
+    }
+
+    /// Merges `other` into `self`: a canonical multiset union of tuples
+    /// (both insert buffers flushed first), `n` summed, `eps` the max of
+    /// the two bounds. No compression happens here, so merging is
+    /// bit-exactly commutative and associative.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.flush();
+        let mut o = other.clone();
+        o.flush();
+        self.eps = self.eps.max(o.eps);
+        self.buf_limit = Self::buf_limit_for(self.eps);
+        self.n += o.n;
+        let a = std::mem::take(&mut self.tuples);
+        let mut merged = Vec::with_capacity(a.len() + o.tuples.len());
+        let (mut ai, mut bi) = (0, 0);
+        while ai < a.len() && bi < o.tuples.len() {
+            if tuple_le(&a[ai], &o.tuples[bi]) {
+                merged.push(a[ai]);
+                ai += 1;
+            } else {
+                merged.push(o.tuples[bi]);
+                bi += 1;
+            }
+        }
+        merged.extend_from_slice(&a[ai..]);
+        merged.extend_from_slice(&o.tuples[bi..]);
+        self.tuples = merged;
+    }
+
+    /// Folds any buffered observations into the tuple summary in place.
+    /// A compacted sketch answers [`quantile`](QuantileSketch::quantile)
+    /// without the internal defensive copy, so batch readers (day close,
+    /// training) should compact once, then query.
+    pub fn compact(&mut self) {
+        self.flush();
+    }
+
+    /// The day-close read path: like [`quantile`](QuantileSketch::quantile)
+    /// but `&mut`, so it never copies. A sketch that never overflowed its
+    /// insert buffer (the common case — most client groups are small)
+    /// answers **exactly** via in-place selection, skipping tuple
+    /// construction entirely; otherwise it compacts once and walks the
+    /// summary. Same rank convention as `quantile`, so the two agree on
+    /// buffer-only sketches.
+    pub fn quantile_read(&mut self, p: f64) -> Option<f64> {
+        if self.is_empty() || !p.is_finite() {
+            return None;
+        }
+        if self.tuples.is_empty() {
+            // Nearest-rank with ties to the lower rank — the same pick the
+            // tuple walk makes on a buffer-only flush (g = 1, Δ = 0).
+            let p = p.clamp(0.0, 100.0);
+            let t = p / 100.0 * (self.buffer.len() - 1) as f64;
+            let lo = t.floor();
+            let idx = if t - lo <= 0.5 {
+                lo as usize
+            } else {
+                lo as usize + 1
+            };
+            let (_, v, _) = self
+                .buffer
+                .select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
+            return Some(*v);
+        }
+        self.compact();
+        Some(self.query(p))
+    }
+
+    /// The estimated percentile `p ∈ [0, 100]`; `None` when empty. Uses
+    /// the same percentile convention as `anycast_analysis::percentile`
+    /// (rank `p/100 · (n−1)` in zero-based terms), so sketch and exact
+    /// paths answer the same question.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.is_empty() || !p.is_finite() {
+            return None;
+        }
+        if self.buffer.is_empty() {
+            return Some(self.query(p));
+        }
+        let mut flushed = self.clone();
+        flushed.flush();
+        Some(flushed.query(p))
+    }
+
+    /// Query against the flushed tuple list: pick the tuple whose rank
+    /// midpoint is closest to the target rank (error ≤ max spread ≈ ε'n
+    /// beyond the summary's own uncertainty).
+    fn query(&self, p: f64) -> f64 {
+        debug_assert!(self.buffer.is_empty() && !self.tuples.is_empty());
+        let p = p.clamp(0.0, 100.0);
+        let target = 1.0 + p / 100.0 * (self.n - 1) as f64;
+        let mut rmin = 0u64;
+        let mut best = (f64::INFINITY, self.tuples[0].v);
+        for t in &self.tuples {
+            rmin += t.g;
+            let mid = rmin as f64 + t.delta as f64 / 2.0;
+            let dist = (mid - target).abs();
+            if dist < best.0 {
+                best = (dist, t.v);
+            }
+        }
+        best.1
+    }
+}
+
+fn tuple_le(a: &Tuple, b: &Tuple) -> bool {
+    (a.v.total_cmp(&b.v))
+        .then(a.g.cmp(&b.g))
+        .then(a.delta.cmp(&b.delta))
+        .is_le()
+}
+
+/// A SpaceSaving heavy-hitter tracker over keys of type `K`.
+///
+/// With capacity `c`, any key whose true count exceeds `n/c` is guaranteed
+/// present, and every reported count over-states the truth by at most its
+/// recorded `err` (itself ≤ n/c). Per-/24 query volume is Zipf-skewed
+/// ("50% of queries come from 1% of /24s" is the shape §5's
+/// volume-weighted CDFs lean on), which is exactly the regime SpaceSaving
+/// is designed for.
+///
+/// All tie-breaks are on the key's `Ord`, so identical streams produce
+/// identical states and merging is order-insensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitters<K: Ord + Clone> {
+    capacity: usize,
+    n: u64,
+    counters: BTreeMap<K, Counts>,
+    by_count: BTreeSet<(u64, K)>,
+}
+
+/// A tracked key's count and over-estimate bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Estimated count (never under the true count; over by at most `err`).
+    pub count: u64,
+    /// Maximum possible over-estimate inherited from evicted keys.
+    pub err: u64,
+}
+
+impl Counts {
+    /// The guaranteed lower bound on the true count.
+    pub fn guaranteed(&self) -> u64 {
+        self.count - self.err
+    }
+}
+
+impl<K: Ord + Clone> HeavyHitters<K> {
+    /// Creates a tracker holding at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> HeavyHitters<K> {
+        assert!(capacity > 0, "HeavyHitters capacity must be positive");
+        HeavyHitters {
+            capacity,
+            n: 0,
+            counters: BTreeMap::new(),
+            by_count: BTreeSet::new(),
+        }
+    }
+
+    /// Total stream weight observed.
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Observes `key` with weight `w` (a query count, typically 1).
+    pub fn observe(&mut self, key: K, w: u64) {
+        self.n += w;
+        if let Some(c) = self.counters.get_mut(&key) {
+            self.by_count.remove(&(c.count, key.clone()));
+            c.count += w;
+            self.by_count.insert((c.count, key));
+        } else if self.counters.len() < self.capacity {
+            self.counters
+                .insert(key.clone(), Counts { count: w, err: 0 });
+            self.by_count.insert((w, key));
+        } else {
+            // Evict the (count, key)-minimal victim; the newcomer inherits
+            // its count as the over-estimate (classic SpaceSaving).
+            let (vc, vk) = self
+                .by_count
+                .first()
+                .expect("non-empty at capacity")
+                .clone();
+            self.by_count.remove(&(vc, vk.clone()));
+            self.counters.remove(&vk);
+            self.counters.insert(
+                key.clone(),
+                Counts {
+                    count: vc + w,
+                    err: vc,
+                },
+            );
+            self.by_count.insert((vc + w, key));
+        }
+    }
+
+    /// Merges `other` into `self`: counts and error bounds add keywise,
+    /// then the table is trimmed back to capacity by evicting
+    /// (count, key)-minimal entries. Commutative bit-for-bit; associative
+    /// up to the (bounded) error the trim introduces.
+    pub fn merge(&mut self, other: &HeavyHitters<K>) {
+        self.n += other.n;
+        self.capacity = self.capacity.min(other.capacity);
+        for (k, oc) in &other.counters {
+            match self.counters.get_mut(k) {
+                Some(c) => {
+                    self.by_count.remove(&(c.count, k.clone()));
+                    c.count += oc.count;
+                    c.err += oc.err;
+                    self.by_count.insert((c.count, k.clone()));
+                }
+                None => {
+                    self.counters.insert(k.clone(), *oc);
+                    self.by_count.insert((oc.count, k.clone()));
+                }
+            }
+        }
+        while self.counters.len() > self.capacity {
+            let (vc, vk) = self.by_count.first().expect("over capacity").clone();
+            self.by_count.remove(&(vc, vk.clone()));
+            self.counters.remove(&vk);
+        }
+    }
+
+    /// Tracked keys, heaviest first (ties broken by key order).
+    pub fn top(&self) -> Vec<(K, Counts)> {
+        let mut out: Vec<(K, Counts)> =
+            self.counters.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        out.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The tracked count for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<Counts> {
+        self.counters.get(key).copied()
+    }
+}
+
+/// A k-minimum-values distinct counter.
+///
+/// Keeps the `k` smallest SplitMix64 hashes seen; the k-th smallest,
+/// viewed as a fraction of the hash space, estimates density and hence
+/// cardinality. Below `k` distinct values the count is exact. Merging is
+/// a set union re-trimmed to `k` — bit-exactly commutative, associative,
+/// and idempotent, so re-merging a day's summary is harmless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctCounter {
+    k: usize,
+    hashes: BTreeSet<u64>,
+}
+
+impl DistinctCounter {
+    /// Creates a counter keeping `k` minimum hashes (relative error
+    /// ≈ 1/√k).
+    ///
+    /// # Panics
+    /// Panics when `k < 2` (the estimator needs at least two order
+    /// statistics).
+    pub fn new(k: usize) -> DistinctCounter {
+        assert!(k >= 2, "KMV needs k >= 2");
+        DistinctCounter {
+            k,
+            hashes: BTreeSet::new(),
+        }
+    }
+
+    /// Observes an item by its stable 64-bit key.
+    pub fn observe(&mut self, item: u64) {
+        let h = mix64(item);
+        if self.hashes.len() < self.k {
+            self.hashes.insert(h);
+        } else if h < *self.hashes.last().expect("k >= 2") {
+            self.hashes.insert(h);
+            if self.hashes.len() > self.k {
+                self.hashes.pop_last();
+            }
+        }
+    }
+
+    /// Merges `other` into `self` (union, trimmed to the smaller k).
+    pub fn merge(&mut self, other: &DistinctCounter) {
+        self.k = self.k.min(other.k);
+        self.hashes.extend(other.hashes.iter().copied());
+        while self.hashes.len() > self.k {
+            self.hashes.pop_last();
+        }
+    }
+
+    /// The estimated number of distinct items observed (exact below k).
+    pub fn estimate(&self) -> f64 {
+        if self.hashes.len() < self.k {
+            return self.hashes.len() as f64;
+        }
+        let kth = *self.hashes.last().expect("k >= 2");
+        let frac = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_percentile(sorted: &[f64], p: f64) -> f64 {
+        anycast_analysis::quantile::percentile_sorted(sorted, p)
+    }
+
+    /// Asserts the estimate's rank is within `slack` ranks of the target.
+    fn assert_rank_close(sorted: &[f64], p: f64, estimate: f64, slack: f64) {
+        let n = sorted.len() as f64;
+        let target = p / 100.0 * (n - 1.0);
+        let lo = ((target - slack).floor().max(0.0)) as usize;
+        let hi = ((target + slack).ceil() as usize).min(sorted.len() - 1);
+        assert!(
+            sorted[lo] <= estimate && estimate <= sorted[hi],
+            "p{p}: estimate {estimate} outside rank window [{}, {}] (exact {})",
+            sorted[lo],
+            sorted[hi],
+            exact_percentile(sorted, p),
+        );
+    }
+
+    #[test]
+    fn small_streams_are_near_exact() {
+        let mut s = QuantileSketch::new(0.1);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 5);
+        // Five values fit in the buffer: the p0/p100 are exact.
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(100.0), Some(5.0));
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let mut s = QuantileSketch::new(0.05);
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(50.0), None);
+        assert_eq!(s.quantile_read(50.0), None);
+    }
+
+    #[test]
+    fn quantile_read_agrees_with_quantile() {
+        // Buffer-only (selection path) and flushed (summary path) sketches
+        // must answer identically to the immutable read.
+        for n in [1u64, 2, 7, 64, 149, 150, 151, 5_000] {
+            let mut s = QuantileSketch::new(0.01);
+            for i in 0..n {
+                s.observe((mix64(i) % 997) as f64);
+            }
+            for p in [0.0, 10.0, 25.0, 50.0, 90.0, 100.0] {
+                let immut = s.quantile(p);
+                assert_eq!(s.clone().quantile_read(p), immut, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_stream_within_bound_and_bounded_space() {
+        let eps = 0.01;
+        let mut s = QuantileSketch::new(eps);
+        let n = 100_000u64;
+        // Deterministic scrambled order.
+        let mut values: Vec<f64> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            values.push((mix64(i) % 1_000_000) as f64 / 100.0);
+        }
+        for &v in &values {
+            s.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0] {
+            assert_rank_close(&sorted, p, s.quantile(p).unwrap(), eps * n as f64 + 1.0);
+        }
+        assert!(
+            s.tuples_len() < 6_000,
+            "sketch must stay sublinear: {} tuples for {n} values",
+            s.tuples_len()
+        );
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let build = |lo: u64, hi: u64| {
+            let mut s = QuantileSketch::new(0.05);
+            for i in lo..hi {
+                s.observe((mix64(i) % 1000) as f64);
+            }
+            s
+        };
+        let (a, b, c) = (build(0, 500), build(500, 2_000), build(2_000, 2_100));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+        assert_eq!(ab_c.count(), 2_100);
+    }
+
+    #[test]
+    fn merged_sketch_stays_within_advertised_bound() {
+        let eps = 0.03;
+        let mut all: Vec<f64> = Vec::new();
+        let mut merged = QuantileSketch::new(eps);
+        for day in 0..7u64 {
+            let mut s = QuantileSketch::new(eps);
+            for i in 0..3_000u64 {
+                let v = (mix64(day * 10_000 + i) % 100_000) as f64;
+                s.observe(v);
+                all.push(v);
+            }
+            merged.merge(&s);
+        }
+        all.sort_by(|a, b| a.total_cmp(b));
+        for p in [10.0, 25.0, 50.0, 90.0] {
+            assert_rank_close(
+                &all,
+                p,
+                merged.quantile(p).unwrap(),
+                eps * all.len() as f64 + 1.0,
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-error bound")]
+    fn zero_eps_rejected() {
+        QuantileSketch::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        QuantileSketch::new(0.1).observe(f64::NAN);
+    }
+
+    #[test]
+    fn heavy_hitters_find_the_zipf_head() {
+        // Key i appears ~30000/(i+1) times: classic Zipf head.
+        let mut hh = HeavyHitters::new(16);
+        for i in 0..200u32 {
+            for _ in 0..(30_000 / (i + 1)) {
+                hh.observe(i, 1);
+            }
+        }
+        let top = hh.top();
+        assert_eq!(top[0].0, 0, "true heaviest key must surface");
+        let bound = hh.total() / 16;
+        for (k, c) in &top {
+            let truth = u64::from(30_000 / (k + 1));
+            assert!(c.count >= truth, "SpaceSaving never undercounts");
+            assert!(
+                c.count - truth <= bound,
+                "over-estimate beyond n/c for key {k}"
+            );
+            assert!(c.guaranteed() <= truth);
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_merge_commutes() {
+        let mut a = HeavyHitters::new(8);
+        let mut b = HeavyHitters::new(8);
+        for i in 0..400u64 {
+            a.observe(mix64(i) % 40, 1);
+            b.observe(mix64(i + 1_000) % 60, 1);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 800);
+        assert!(ab.len() <= 8);
+    }
+
+    #[test]
+    fn distinct_counter_exact_below_k_and_close_above() {
+        let mut d = DistinctCounter::new(256);
+        for i in 0..100u64 {
+            d.observe(i);
+            d.observe(i); // duplicates must not count
+        }
+        assert_eq!(d.estimate(), 100.0);
+        for i in 0..50_000u64 {
+            d.observe(i);
+        }
+        let est = d.estimate();
+        let err = (est - 50_000.0).abs() / 50_000.0;
+        assert!(err < 0.2, "KMV estimate {est} off by {err}");
+    }
+
+    #[test]
+    fn distinct_counter_merge_is_idempotent_union() {
+        let mut a = DistinctCounter::new(64);
+        let mut b = DistinctCounter::new(64);
+        for i in 0..1_000u64 {
+            a.observe(i);
+            b.observe(i + 500);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut again = ab.clone();
+        again.merge(&ab);
+        assert_eq!(again, ab, "self-merge must be a no-op");
+    }
+
+    #[test]
+    fn mix64_is_stable() {
+        // Pin the mixer: shard routing and KMV depend on these exact bits.
+        assert_eq!(mix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(mix64(1), 0x910a2dec89025cc1);
+    }
+}

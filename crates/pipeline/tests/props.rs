@@ -1,0 +1,192 @@
+//! Property tests pinning the pipeline's two contracts:
+//!
+//! * **accuracy** — a quantile read never misses the requested rank by
+//!   more than the advertised `eps · n` (plus the off-by-one a discrete
+//!   rank comparison needs);
+//! * **determinism** — merging is bit-exactly commutative and associative,
+//!   and a sharded ingestion run produces bit-identical output for any
+//!   worker count.
+
+use std::collections::BTreeMap;
+
+use anycast_beacon::Target;
+use anycast_netsim::SiteId;
+use anycast_pipeline::{
+    merge_keyed, mix64, DistinctCounter, GroupAggregator, QuantileSketch, ShardConfig,
+    ShardedIngest,
+};
+use proptest::prelude::*;
+
+fn sketch_of(values: &[f64], eps: f64) -> QuantileSketch {
+    let mut s = QuantileSketch::new(eps);
+    for &v in values {
+        s.observe(v);
+    }
+    s
+}
+
+/// The positions `estimate` could occupy in `sorted` (ties make it a
+/// range): `[count(< estimate), count(<= estimate) - 1]`.
+fn rank_window(sorted: &[f64], estimate: f64) -> (f64, f64) {
+    let below = sorted.iter().filter(|v| **v < estimate).count();
+    let at_or_below = sorted.iter().filter(|v| **v <= estimate).count();
+    (below as f64, (at_or_below - 1) as f64)
+}
+
+proptest! {
+    #[test]
+    fn quantile_reads_stay_within_the_advertised_rank_error(
+        values in prop::collection::vec(0.0f64..1_000.0, 1..3_000),
+        p in 0.0f64..100.0,
+    ) {
+        let eps = 0.02;
+        let s = sketch_of(&values, eps);
+        let estimate = s.quantile(p).unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let target = p / 100.0 * (sorted.len() - 1) as f64;
+        let slack = eps * sorted.len() as f64 + 1.0;
+        let (lo, hi) = rank_window(&sorted, estimate);
+        prop_assert!(
+            lo - slack <= target && target <= hi + slack,
+            "p{p}: estimate {estimate} sits at ranks [{lo}, {hi}], \
+             target {target} ± {slack} (n = {})",
+            sorted.len()
+        );
+    }
+
+    #[test]
+    fn merging_preserves_the_bound_over_a_split_stream(
+        a in prop::collection::vec(0.0f64..500.0, 1..800),
+        b in prop::collection::vec(0.0f64..500.0, 1..800),
+        p in 0.0f64..100.0,
+    ) {
+        let eps = 0.05;
+        let mut merged = sketch_of(&a, eps);
+        merged.merge(&sketch_of(&b, eps));
+        let estimate = merged.quantile(p).unwrap();
+        let mut sorted: Vec<f64> = a.iter().chain(&b).copied().collect();
+        sorted.sort_by(|x, y| x.total_cmp(y));
+        let target = p / 100.0 * (sorted.len() - 1) as f64;
+        let slack = eps * sorted.len() as f64 + 1.0;
+        let (lo, hi) = rank_window(&sorted, estimate);
+        prop_assert!(
+            lo - slack <= target && target <= hi + slack,
+            "merged p{p}: ranks [{lo}, {hi}], target {target} ± {slack}"
+        );
+    }
+
+    #[test]
+    fn merge_is_bitwise_commutative_and_associative(
+        a in prop::collection::vec(0.0f64..100.0, 0..400),
+        b in prop::collection::vec(0.0f64..100.0, 0..400),
+        c in prop::collection::vec(0.0f64..100.0, 0..400),
+    ) {
+        let eps = 0.05;
+        let (sa, sb, sc) = (sketch_of(&a, eps), sketch_of(&b, eps), sketch_of(&c, eps));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+    }
+
+    #[test]
+    fn sharded_ingestion_is_worker_count_invariant(
+        records in prop::collection::vec(
+            (0u32..64, 0u8..4, 0.0f64..250.0),
+            1..2_000,
+        ),
+        workers in 2usize..7,
+        batch in 1usize..129,
+    ) {
+        let records: Vec<(u32, Target, f64)> = records
+            .into_iter()
+            .map(|(k, t, v)| {
+                let target = match t {
+                    0 => Target::Anycast,
+                    t => Target::Unicast(SiteId(u16::from(t))),
+                };
+                (k, target, v)
+            })
+            .collect();
+        let run = |workers: usize, batch: usize| {
+            let cfg = ShardConfig { workers, batch, queue_depth: 2 };
+            let mut ingest = ShardedIngest::new(
+                cfg,
+                |r: &(u32, Target, f64)| mix64(u64::from(r.0)),
+                |_| GroupAggregator::new(0.02),
+            );
+            for &r in &records {
+                ingest.push(r);
+            }
+            merge_keyed(ingest.finish(), |a: &mut QuantileSketch, b| a.merge(&b))
+        };
+        let reference = run(1, 64);
+        let sharded = run(workers, batch);
+        prop_assert_eq!(&sharded, &reference, "workers = {}, batch = {}", workers, batch);
+    }
+
+    #[test]
+    fn distinct_counter_merge_is_idempotent_and_commutative(
+        a in prop::collection::vec(0u64..5_000, 0..600),
+        b in prop::collection::vec(0u64..5_000, 0..600),
+    ) {
+        let mut da = DistinctCounter::new(64);
+        for &x in &a {
+            da.observe(x);
+        }
+        let mut db = DistinctCounter::new(64);
+        for &x in &b {
+            db.observe(x);
+        }
+        let mut ab = da.clone();
+        ab.merge(&db);
+        let mut ba = db.clone();
+        ba.merge(&da);
+        prop_assert_eq!(&ab, &ba);
+        // Idempotence: folding the same summary in twice changes nothing.
+        let mut twice = ab.clone();
+        twice.merge(&db);
+        prop_assert_eq!(&twice, &ab);
+    }
+}
+
+/// Non-proptest companion: exact counts survive sharding for every key —
+/// a cheap full-coverage check the random cases above build on.
+#[test]
+fn sharded_counts_are_exact_per_key() {
+    let records: Vec<(u32, Target, f64)> = (0..10_000u64)
+        .map(|i| ((i % 37) as u32, Target::Anycast, (mix64(i) % 300) as f64))
+        .collect();
+    let cfg = ShardConfig {
+        workers: 5,
+        batch: 33,
+        queue_depth: 2,
+    };
+    let mut ingest = ShardedIngest::new(
+        cfg,
+        |r: &(u32, Target, f64)| mix64(u64::from(r.0)),
+        |_| GroupAggregator::new(0.05),
+    );
+    for &r in &records {
+        ingest.push(r);
+    }
+    let merged = merge_keyed(ingest.finish(), |a: &mut QuantileSketch, b| a.merge(&b));
+    let mut expected: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(k, _, _) in &records {
+        *expected.entry(k).or_insert(0) += 1;
+    }
+    for ((k, _), sketch) in &merged {
+        assert_eq!(sketch.count(), expected[k]);
+    }
+}

@@ -69,7 +69,10 @@ impl LdnsAssignment {
     /// # Panics
     /// Panics if the prefix was not part of the assigned population.
     pub fn resolver_of(&self, prefix: Prefix24) -> LdnsId {
-        *self.by_client.get(&prefix).expect("prefix not in assignment")
+        *self
+            .by_client
+            .get(&prefix)
+            .expect("prefix not in assignment")
     }
 
     /// The resolver with the given id.
@@ -141,22 +144,27 @@ pub fn assign(
             } else {
                 c.attachment.metro
             };
-            *isp_resolver.entry((as_raw, resolver_metro.0)).or_insert_with(|| {
-                let id = LdnsId(resolvers.len() as u32);
-                let supports_ecs = rng.gen::<f64>() < cfg.isp_ecs_fraction;
-                resolvers.push(Ldns::new(
-                    id,
-                    ResolverKind::IspLocal,
-                    topo.atlas.metro(resolver_metro).location(),
-                    supports_ecs,
-                ));
-                id
-            })
+            *isp_resolver
+                .entry((as_raw, resolver_metro.0))
+                .or_insert_with(|| {
+                    let id = LdnsId(resolvers.len() as u32);
+                    let supports_ecs = rng.gen::<f64>() < cfg.isp_ecs_fraction;
+                    resolvers.push(Ldns::new(
+                        id,
+                        ResolverKind::IspLocal,
+                        topo.atlas.metro(resolver_metro).location(),
+                        supports_ecs,
+                    ));
+                    id
+                })
         };
         by_client.insert(c.prefix, id);
     }
 
-    LdnsAssignment { resolvers, by_client }
+    LdnsAssignment {
+        resolvers,
+        by_client,
+    }
 }
 
 /// Where a geolocation database believes a resolver is (stable per
@@ -219,13 +227,22 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(19);
         let clients = population::generate(
             &topo,
-            &PopulationConfig { n_prefixes: 2000, ..PopulationConfig::small() },
+            &PopulationConfig {
+                n_prefixes: 2000,
+                ..PopulationConfig::small()
+            },
             &mut rng,
         );
-        let cfg = LdnsConfig { isp_ecs_fraction: 0.5, ..Default::default() };
+        let cfg = LdnsConfig {
+            isp_ecs_fraction: 0.5,
+            ..Default::default()
+        };
         let a = assign(&topo, &clients, &cfg, &mut rng);
-        let isp: Vec<_> =
-            a.resolvers.iter().filter(|r| r.kind == ResolverKind::IspLocal).collect();
+        let isp: Vec<_> = a
+            .resolvers
+            .iter()
+            .filter(|r| r.kind == ResolverKind::IspLocal)
+            .collect();
         let adopted = isp.iter().filter(|r| r.supports_ecs).count();
         let frac = adopted as f64 / isp.len() as f64;
         assert!((frac - 0.5).abs() < 0.15, "adoption {frac}");
@@ -261,7 +278,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(13);
         let clients = population::generate(
             &topo,
-            &PopulationConfig { n_prefixes: 2000, ..PopulationConfig::small() },
+            &PopulationConfig {
+                n_prefixes: 2000,
+                ..PopulationConfig::small()
+            },
             &mut rng,
         );
         let cfg = LdnsConfig {
@@ -271,7 +291,10 @@ mod tests {
         };
         let a = assign(&topo, &clients, &cfg, &mut rng);
         let dists = a.client_ldns_km(&clients);
-        assert!(dists.iter().any(|&d| d > 500.0), "no distant client-LDNS pairs");
+        assert!(
+            dists.iter().any(|&d| d > 500.0),
+            "no distant client-LDNS pairs"
+        );
     }
 
     #[test]
@@ -294,7 +317,10 @@ mod tests {
         let (_, _, a) = setup();
         let db = anycast_geo::GeoDb::new(5, anycast_geo::GeoDbErrorModel::default());
         for r in a.resolvers.iter().take(20) {
-            assert_eq!(believed_ldns_location(r, &db), believed_ldns_location(r, &db));
+            assert_eq!(
+                believed_ldns_location(r, &db),
+                believed_ldns_location(r, &db)
+            );
         }
     }
 }

@@ -82,7 +82,11 @@ impl Default for PopulationConfig {
 impl PopulationConfig {
     /// A small population for fast tests.
     pub fn small() -> Self {
-        PopulationConfig { n_prefixes: 400, daily_queries: 20_000, ..Default::default() }
+        PopulationConfig {
+            n_prefixes: 400,
+            daily_queries: 20_000,
+            ..Default::default()
+        }
     }
 }
 
@@ -91,12 +95,8 @@ impl PopulationConfig {
 /// present at the metro; volumes follow [`crate::volume::zipf_volumes`].
 pub fn generate(topo: &Topology, cfg: &PopulationConfig, rng: &mut impl Rng) -> Vec<Client> {
     let mut alloc = PrefixAllocator::new();
-    let volumes = crate::volume::zipf_volumes(
-        cfg.n_prefixes,
-        cfg.zipf_exponent,
-        cfg.daily_queries,
-        rng,
-    );
+    let volumes =
+        crate::volume::zipf_volumes(cfg.n_prefixes, cfg.zipf_exponent, cfg.daily_queries, rng);
     let spread = LogNormal::new(cfg.spread_km_median, cfg.spread_sigma);
     // Usage-weighted metro sampler: population × region usage factor.
     let usage = |r: Region| -> f64 {
@@ -190,7 +190,8 @@ mod tests {
         let (topo, clients) = world_and_clients();
         for c in &clients {
             assert!(
-                topo.eyeballs_at_metro(c.attachment.metro).contains(&c.attachment.as_id),
+                topo.eyeballs_at_metro(c.attachment.metro)
+                    .contains(&c.attachment.as_id),
                 "client AS not present at metro"
             );
             assert_eq!(c.country, topo.atlas.metro(c.attachment.metro).country);
@@ -240,19 +241,34 @@ mod tests {
     fn populous_metros_attract_more_clients() {
         let topo = Topology::generate(&NetConfig::small(), 3);
         let mut rng = SmallRng::seed_from_u64(7);
-        let cfg = PopulationConfig { n_prefixes: 5000, ..PopulationConfig::small() };
+        let cfg = PopulationConfig {
+            n_prefixes: 5000,
+            ..PopulationConfig::small()
+        };
         let clients = generate(&topo, &cfg, &mut rng);
         let hist = metro_histogram(&clients);
         // The most client-heavy metro must be one of the world's biggest.
         let top_metro = topo.atlas.metro(hist[0].0);
-        assert!(top_metro.population_k > 10_000, "top metro {}", top_metro.name);
+        assert!(
+            top_metro.population_k > 10_000,
+            "top metro {}",
+            top_metro.name
+        );
     }
 
     #[test]
     fn generation_is_deterministic() {
         let topo = Topology::generate(&NetConfig::small(), 3);
-        let a = generate(&topo, &PopulationConfig::small(), &mut SmallRng::seed_from_u64(9));
-        let b = generate(&topo, &PopulationConfig::small(), &mut SmallRng::seed_from_u64(9));
+        let a = generate(
+            &topo,
+            &PopulationConfig::small(),
+            &mut SmallRng::seed_from_u64(9),
+        );
+        let b = generate(
+            &topo,
+            &PopulationConfig::small(),
+            &mut SmallRng::seed_from_u64(9),
+        );
         assert_eq!(a, b);
     }
 

@@ -155,8 +155,10 @@ impl Scenario {
                 continue;
             }
             let route_after = self.internet.anycast_route(&c.attachment, day);
-            let flips =
-                self.internet.churn().flips_on(c.attachment.as_id, c.attachment.metro, day);
+            let flips = self
+                .internet
+                .churn()
+                .flips_on(c.attachment.as_id, c.attachment.metro, day);
             let route_before = if flips {
                 Some(self.internet.anycast_route_at_day_start(&c.attachment, day))
             } else {
@@ -190,7 +192,11 @@ impl Scenario {
 /// probability `frac(x)`.
 fn sample_count(expected: f64, rng: &mut impl Rng) -> u64 {
     let base = expected.floor();
-    let extra = if rng.gen::<f64>() < expected - base { 1 } else { 0 };
+    let extra = if rng.gen::<f64>() < expected - base {
+        1
+    } else {
+        0
+    };
     base as u64 + extra
 }
 
@@ -221,7 +227,10 @@ mod tests {
 
     #[test]
     fn bad_sample_rate_rejected() {
-        let cfg = ScenarioConfig { passive_sample_rate: 1.5, ..ScenarioConfig::small(0) };
+        let cfg = ScenarioConfig {
+            passive_sample_rate: 1.5,
+            ..ScenarioConfig::small(0)
+        };
         assert!(Scenario::build(cfg).is_err());
     }
 

@@ -91,7 +91,9 @@ mod tests {
     fn sampled_times_follow_local_evening_peak() {
         let mut rng = SmallRng::seed_from_u64(1);
         // Tokyo clients: local evening 20:00 ≈ 11:00 UTC.
-        let times: Vec<f64> = (0..20_000).map(|_| sample_query_time(139.7, &mut rng)).collect();
+        let times: Vec<f64> = (0..20_000)
+            .map(|_| sample_query_time(139.7, &mut rng))
+            .collect();
         assert!(times.iter().all(|&t| (0.0..86_400.0).contains(&t)));
         let in_local_evening = times
             .iter()

@@ -18,8 +18,11 @@ use anycast_cdn::netsim::Day;
 use anycast_cdn::workload::{scenario::seeded_rng, Scenario, ScenarioConfig};
 
 fn main() {
-    let scenario = Scenario::build(ScenarioConfig { seed: 7, ..Default::default() })
-        .expect("default configuration is valid");
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("default configuration is valid");
     let mut study = Study::new(scenario, StudyConfig::default());
     let mut rng = seeded_rng(7, 0xbeac);
 
@@ -36,8 +39,10 @@ fn main() {
 
     // Per-execution anycast penalty (Figure 3's quantity).
     let executions = dataset.executions();
-    let penalties: Vec<f64> =
-        executions.iter().filter_map(|e| e.anycast_penalty_ms()).collect();
+    let penalties: Vec<f64> = executions
+        .iter()
+        .filter_map(|e| e.anycast_penalty_ms())
+        .collect();
     let ecdf = Ecdf::from_values(penalties.iter().copied());
     println!("\nanycast vs best-of-three unicast (per request):");
     for threshold in [0.0, 10.0, 25.0, 50.0, 100.0] {
@@ -54,7 +59,10 @@ fn main() {
         .find(|e| e.anycast.is_some() && e.unicast.len() == 3)
         .expect("complete executions exist");
     let (any_site, any_rtt) = sample.anycast.unwrap();
-    println!("\none beacon execution ({} via {}):", sample.prefix, sample.ldns);
+    println!(
+        "\none beacon execution ({} via {}):",
+        sample.prefix, sample.ldns
+    );
     println!("  anycast      → {any_site}: {any_rtt:.0} ms");
     for (site, rtt) in &sample.unicast {
         println!("  unicast      → {site}: {rtt:.0} ms");

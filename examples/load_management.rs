@@ -21,8 +21,11 @@ use anycast_cdn::netsim::{Day, SiteId};
 use anycast_cdn::workload::{scenario::seeded_rng, Scenario, ScenarioConfig};
 
 fn main() {
-    let scenario = Scenario::build(ScenarioConfig { seed: 17, ..Default::default() })
-        .expect("default configuration is valid");
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 17,
+        ..Default::default()
+    })
+    .expect("default configuration is valid");
     let deployment = Deployment::of(&scenario.internet);
 
     // Offered load per site: volume-weighted anycast routing on day 0.
@@ -42,7 +45,11 @@ fn main() {
             deployment.front_end(s.site).label,
             s.load,
             s.capacity,
-            if s.overload() > 0.0 { "OVERLOADED" } else { "ok" }
+            if s.overload() > 0.0 {
+                "OVERLOADED"
+            } else {
+                "ok"
+            }
         );
     }
 

@@ -11,15 +11,18 @@
 //! anycast demonstrably underserves.
 
 use anycast_cdn::core::{
-    evaluate_prediction, evaluation::outcome_shares, Grouping, Metric, Predictor,
-    PredictorConfig, Study, StudyConfig,
+    evaluate_prediction, evaluation::outcome_shares, Grouping, Metric, Predictor, PredictorConfig,
+    Study, StudyConfig,
 };
 use anycast_cdn::netsim::Day;
 use anycast_cdn::workload::{scenario::seeded_rng, Scenario, ScenarioConfig};
 
 fn main() {
-    let scenario = Scenario::build(ScenarioConfig { seed: 11, ..Default::default() })
-        .expect("default configuration is valid");
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("default configuration is valid");
     let mut study = Study::new(scenario, StudyConfig::default());
     let mut rng = seeded_rng(11, 0x9ced);
     study.run_days(Day(0), 2, &mut rng);
@@ -29,7 +32,11 @@ fn main() {
 
     println!("train on day 0, evaluate on day 1 (weighted by query volume)\n");
     for (grouping, label) in [(Grouping::Ecs, "ECS (/24)"), (Grouping::Ldns, "LDNS")] {
-        let cfg = PredictorConfig { grouping, metric: Metric::P25, min_samples: 20 };
+        let cfg = PredictorConfig {
+            grouping,
+            metric: Metric::P25,
+            min_samples: 20,
+        };
         let table = Predictor::new(cfg).train(study.dataset(), Day(0));
         let rows = evaluate_prediction(
             &table,
@@ -57,7 +64,11 @@ fn main() {
 
     // The hybrid: require a predicted gain before redirecting anyone.
     println!("hybrid sweep (ECS grouping): min predicted gain → redirected groups, outcome");
-    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 20 };
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 20,
+    };
     let full = Predictor::new(cfg).train(study.dataset(), Day(0));
     for threshold in [0.0, 5.0, 10.0, 25.0, 50.0] {
         let table = full.hybrid_filter(threshold);

@@ -15,8 +15,11 @@ use anycast_cdn::netsim::Day;
 use anycast_cdn::workload::{Scenario, ScenarioConfig};
 
 fn main() {
-    let scenario = Scenario::build(ScenarioConfig { seed: 42, ..Default::default() })
-        .expect("default configuration is valid");
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 42,
+        ..Default::default()
+    })
+    .expect("default configuration is valid");
     let deployment = Deployment::of(&scenario.internet);
 
     println!(
@@ -34,7 +37,9 @@ fn main() {
     let mut past_closest_km = Vec::new();
     for client in &scenario.clients {
         let route = scenario.internet.anycast_route(&client.attachment, day);
-        let d_fe = scenario.internet.client_site_km(&client.attachment, route.site);
+        let d_fe = scenario
+            .internet
+            .client_site_km(&client.attachment, route.site);
         let d_best = deployment
             .nearest(&client.attachment.location, 1)
             .first()
@@ -47,12 +52,27 @@ fn main() {
     let fe = Ecdf::from_values(to_fe_km);
     let past = Ecdf::from_values(past_closest_km);
     println!("distance from client to its anycast front-end:");
-    println!("  median               {:7.0} km", fe.median().unwrap_or(0.0));
-    println!("  within 2000 km       {:6.1} %", 100.0 * fe.fraction_at_or_below(2000.0));
+    println!(
+        "  median               {:7.0} km",
+        fe.median().unwrap_or(0.0)
+    );
+    println!(
+        "  within 2000 km       {:6.1} %",
+        100.0 * fe.fraction_at_or_below(2000.0)
+    );
     println!("distance past the closest front-end:");
-    println!("  routed to closest    {:6.1} %", 100.0 * past.fraction_at_or_below(0.0));
-    println!("  within 400 km        {:6.1} %", 100.0 * past.fraction_at_or_below(400.0));
-    println!("  within 1375 km       {:6.1} %", 100.0 * past.fraction_at_or_below(1375.0));
+    println!(
+        "  routed to closest    {:6.1} %",
+        100.0 * past.fraction_at_or_below(0.0)
+    );
+    println!(
+        "  within 400 km        {:6.1} %",
+        100.0 * past.fraction_at_or_below(400.0)
+    );
+    println!(
+        "  within 1375 km       {:6.1} %",
+        100.0 * past.fraction_at_or_below(1375.0)
+    );
 
     // One concrete client, end to end.
     let client = &scenario.clients[0];
@@ -66,5 +86,8 @@ fn main() {
         deployment.front_end(route.site).label,
         route.base_rtt_ms,
     );
-    println!("path:\n{}", route.path.render(&scenario.internet.topology().atlas));
+    println!(
+        "path:\n{}",
+        route.path.render(&scenario.internet.topology().atlas)
+    );
 }

@@ -21,8 +21,11 @@ use anycast_cdn::netsim::{Day, EgressPolicy};
 use anycast_cdn::workload::{Scenario, ScenarioConfig};
 
 fn main() {
-    let scenario = Scenario::build(ScenarioConfig { seed: 3, ..Default::default() })
-        .expect("default configuration is valid");
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 3,
+        ..Default::default()
+    })
+    .expect("default configuration is valid");
     let topo = scenario.internet.topology();
     let deployment = Deployment::of(&scenario.internet);
     let day = Day(0);
@@ -49,7 +52,9 @@ fn main() {
             continue; // only show the egregious ones
         }
         let best = deployment.nearest(&client.attachment.location, 1)[0];
-        let unicast = scenario.internet.unicast_route(&client.attachment, best.0, day);
+        let unicast = scenario
+            .internet
+            .unicast_route(&client.attachment, best.0, day);
         if unicast.base_rtt_ms >= route.base_rtt_ms {
             // The nearby front-end is not actually faster for this client
             // (e.g. its single-prefix route is itself poor); not a case
@@ -88,8 +93,11 @@ fn main() {
     // find the pattern.
     println!("=== case study: internal topology the announcement cannot express ===\n");
     'seeds: for seed in 0..32u64 {
-        let world = Scenario::build(ScenarioConfig { seed, ..Default::default() })
-            .expect("valid config");
+        let world = Scenario::build(ScenarioConfig {
+            seed,
+            ..Default::default()
+        })
+        .expect("valid config");
         let wtopo = world.internet.topology();
         let wdeploy = Deployment::of(&world.internet);
         for (b_idx, border) in wtopo.cdn.borders.iter().enumerate() {

@@ -69,5 +69,8 @@ fn distinct_salts_give_independent_streams() {
     let vb: Vec<u32> = (0..64).map(|_| b.gen()).collect();
     assert_ne!(va, vb);
     let equal = va.iter().zip(&vb).filter(|(x, y)| x == y).count();
-    assert!(equal < 4, "streams suspiciously correlated: {equal}/64 equal");
+    assert!(
+        equal < 4,
+        "streams suspiciously correlated: {equal}/64 equal"
+    );
 }

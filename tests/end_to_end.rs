@@ -29,10 +29,17 @@ fn full_pipeline_produces_all_analyses() {
     let perf = study.daily_prefix_perf(Day(0));
     assert!(!perf.is_empty());
     let prevalence = daily_prevalence(&perf);
-    assert!(prevalence.fraction(0) < 0.9, "almost everything poor: implausible");
+    assert!(
+        prevalence.fraction(0) < 0.9,
+        "almost everything poor: implausible"
+    );
 
     // §6 prediction round trip.
-    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 10,
+    };
     let table = Predictor::new(cfg).train(dataset, Day(0));
     let rows = evaluate_prediction(
         &table,
@@ -50,7 +57,12 @@ fn same_seed_reproduces_every_measurement() {
     let a = small_study(7, 1);
     let b = small_study(7, 1);
     assert_eq!(a.dataset().len(), b.dataset().len());
-    for (x, y) in a.dataset().measurements().iter().zip(b.dataset().measurements()) {
+    for (x, y) in a
+        .dataset()
+        .measurements()
+        .iter()
+        .zip(b.dataset().measurements())
+    {
         assert_eq!(x.measurement_id, y.measurement_id);
         assert_eq!(x.rtt_ms, y.rtt_ms);
         assert_eq!(x.target, y.target);
@@ -69,7 +81,10 @@ fn different_seeds_differ() {
         .zip(b.dataset().measurements())
         .filter(|(x, y)| x.rtt_ms == y.rtt_ms)
         .count();
-    assert!(same < a.dataset().len() / 2, "seeds barely changed anything");
+    assert!(
+        same < a.dataset().len() / 2,
+        "seeds barely changed anything"
+    );
 }
 
 #[test]
@@ -79,7 +94,9 @@ fn beacon_slots_follow_the_methodology() {
     // no farther from the LDNS than either random pick (§3.3).
     let study = small_study(3, 1);
     let execs = study.dataset().executions();
-    let complete = execs.iter().filter(|e| e.anycast.is_some() && e.unicast.len() == 3);
+    let complete = execs
+        .iter()
+        .filter(|e| e.anycast.is_some() && e.unicast.len() == 3);
     let mut checked = 0;
     for e in complete {
         assert!(e.best_unicast().is_some());
@@ -108,8 +125,15 @@ fn passive_and_active_views_agree_on_anycast_site() {
         if flips {
             continue; // both sites are legitimate on flip days
         }
-        let expected = scenario.internet.anycast_route(&client.attachment, Day(0)).site;
-        for r in store.day(Day(0)).iter().filter(|r| r.prefix == client.prefix) {
+        let expected = scenario
+            .internet
+            .anycast_route(&client.attachment, Day(0))
+            .site;
+        for r in store
+            .day(Day(0))
+            .iter()
+            .filter(|r| r.prefix == client.prefix)
+        {
             assert_eq!(r.site, expected, "{}", client.prefix);
             checked += 1;
         }
@@ -121,7 +145,11 @@ fn passive_and_active_views_agree_on_anycast_site() {
 fn prediction_targets_were_actually_measured() {
     // The predictor may only choose targets that had enough samples.
     let study = small_study(9, 1);
-    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 10,
+    };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     let by_target = study.dataset().by_prefix_target(Day(0));
     for (key, choice) in table.iter() {

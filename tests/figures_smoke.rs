@@ -7,8 +7,13 @@
 use anycast_bench::worlds::Scale;
 use anycast_bench::{cli, extras, figures};
 
-const FAST_ARTIFACTS: [&str; 5] =
-    ["fig2", "fig4", "table-cdn-sizes", "world-summary", "extra-ldns-distance"];
+const FAST_ARTIFACTS: [&str; 5] = [
+    "fig2",
+    "fig4",
+    "table-cdn-sizes",
+    "world-summary",
+    "extra-ldns-distance",
+];
 
 #[test]
 fn fast_artifacts_render_and_export() {

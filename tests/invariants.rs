@@ -168,7 +168,9 @@ fn anycast_never_beats_every_unicast_probe_to_its_own_site_by_much() {
     let mut total = 0;
     for client in scenario.clients.iter().take(300) {
         let any = scenario.internet.anycast_route(&client.attachment, Day(0));
-        let uni = scenario.internet.unicast_route(&client.attachment, any.site, Day(0));
+        let uni = scenario
+            .internet
+            .unicast_route(&client.attachment, any.site, Day(0));
         total += 1;
         if any.base_rtt_ms - uni.base_rtt_ms > 30.0 {
             big_gaps += 1;

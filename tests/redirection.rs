@@ -20,13 +20,24 @@ fn resolve_via_stack<P: anycast_cdn::dns::RedirectionPolicy>(
     let mut auth = AuthoritativeServer::new(policy, ecs_enabled);
     let mut ldns = Ldns::new(
         LdnsId(0),
-        if supports_ecs { ResolverKind::Public } else { ResolverKind::IspLocal },
+        if supports_ecs {
+            ResolverKind::Public
+        } else {
+            ResolverKind::IspLocal
+        },
         client.attachment.location,
         supports_ecs,
     );
     let qname = DnsName::new("www.cdn.example").unwrap();
-    ldns.resolve(&qname, client.prefix, client.attachment.location, &mut auth, Day(0), 0.0)
-        .addr
+    ldns.resolve(
+        &qname,
+        client.prefix,
+        client.attachment.location,
+        &mut auth,
+        Day(0),
+        0.0,
+    )
+    .addr
 }
 
 #[test]
@@ -55,7 +66,11 @@ fn prediction_policy_end_to_end_with_ecs() {
     let mut study = Study::new(Scenario::small(3), StudyConfig::default());
     let mut rng = seeded_rng(3, 0xd15);
     study.run_day(Day(0), &mut rng);
-    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 10,
+    };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     assert!(!table.is_empty(), "campaign produced no predictions");
 
@@ -65,8 +80,7 @@ fn prediction_policy_end_to_end_with_ecs() {
     let mut redirected_seen = false;
     for (idx, client) in scenario.clients.iter().enumerate().take(200) {
         let predicted = table.predict(anycast_cdn::core::GroupKey::Ecs(client.prefix));
-        let policy =
-            PredictionPolicy::new(table.clone(), Grouping::Ecs, scenario.addressing, 300);
+        let policy = PredictionPolicy::new(table.clone(), Grouping::Ecs, scenario.addressing, 300);
         let addr = resolve_via_stack(scenario, idx, policy, true, true);
         match predicted {
             Some(anycast_cdn::beacon::Target::Unicast(site)) => {
@@ -88,13 +102,16 @@ fn prediction_policy_without_ecs_falls_back_to_anycast() {
     let mut study = Study::new(Scenario::small(4), StudyConfig::default());
     let mut rng = seeded_rng(4, 0xd15);
     study.run_day(Day(0), &mut rng);
-    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 10,
+    };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     let scenario = study.scenario();
     // ECS-grouped table + resolver that can't send ECS → anycast for all.
     for idx in 0..50 {
-        let policy =
-            PredictionPolicy::new(table.clone(), Grouping::Ecs, scenario.addressing, 300);
+        let policy = PredictionPolicy::new(table.clone(), Grouping::Ecs, scenario.addressing, 300);
         let addr = resolve_via_stack(scenario, idx, policy, true, false);
         assert!(scenario.addressing.is_anycast(addr));
     }
@@ -105,7 +122,11 @@ fn hybrid_redirects_strict_subset() {
     let mut study = Study::new(Scenario::small(5), StudyConfig::default());
     let mut rng = seeded_rng(5, 0xd15);
     study.run_day(Day(0), &mut rng);
-    let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 10,
+    };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     let all = table.redirected_groups().count();
     let scenario = study.scenario();

@@ -1,0 +1,683 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the real `proptest` is
+//! unavailable. This crate keeps the workspace's property tests compiling
+//! and *meaningful*: each `proptest!` test still runs many randomized cases
+//! drawn from the declared strategies, fails with the offending inputs, and
+//! is fully deterministic (cases are seeded from the test name and case
+//! index, so a failure reproduces on every run).
+//!
+//! Differences from upstream: no shrinking (the failing case is reported
+//! as-is), no persistence files, and only the strategy combinators this
+//! workspace actually uses (numeric ranges, tuples, `any`,
+//! `prop::collection::vec`, `string::string_regex`).
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and primitive strategies.
+pub mod strategy {
+    use rand::distributions::{Distribution, Standard};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy for "any value of `T`" (uniform over the type's range).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T> Strategy for Any<T>
+    where
+        Standard: Distribution<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// A constant strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+/// `any::<T>()` — uniform values of `T`.
+pub fn any<T>() -> strategy::Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    strategy::Any::default()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower and upper bound (inclusive) on the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min <= max, "empty size range for prop::collection::vec");
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// String strategies (regex-shaped generation).
+pub mod string {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Regex parse failure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Seq(Vec<Node>),
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Repeat {
+            node: Box<Node>,
+            min: usize,
+            max: usize,
+        },
+    }
+
+    /// Strategy generating strings matching a (subset-of-)regex pattern.
+    ///
+    /// Supported syntax: literals, `[...]` classes with ranges, `(...)`
+    /// groups, and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`, `{m,}`
+    /// (unbounded repeats are capped at 8 extra iterations).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        root: Node,
+    }
+
+    /// Parses `pattern` into a generator strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        chars.reverse(); // pop() from the front
+        let root = parse_seq(&mut chars, pattern)?;
+        if chars.is_empty() {
+            Ok(RegexGeneratorStrategy { root })
+        } else {
+            Err(Error(format!("trailing input in {pattern:?}")))
+        }
+    }
+
+    fn parse_seq(input: &mut Vec<char>, pattern: &str) -> Result<Node, Error> {
+        let mut items = Vec::new();
+        while let Some(&c) = input.last() {
+            if c == ')' {
+                break;
+            }
+            input.pop();
+            let atom = match c {
+                '(' => {
+                    let inner = parse_seq(input, pattern)?;
+                    match input.pop() {
+                        Some(')') => inner,
+                        _ => return Err(Error(format!("unclosed group in {pattern:?}"))),
+                    }
+                }
+                '[' => parse_class(input, pattern)?,
+                '\\' => Node::Lit(
+                    input
+                        .pop()
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?,
+                ),
+                '.' | '|' | '^' | '$' => {
+                    return Err(Error(format!("unsupported construct {c:?} in {pattern:?}")))
+                }
+                lit => Node::Lit(lit),
+            };
+            items.push(apply_quantifier(atom, input, pattern)?);
+        }
+        Ok(Node::Seq(items))
+    }
+
+    fn apply_quantifier(node: Node, input: &mut Vec<char>, pattern: &str) -> Result<Node, Error> {
+        const UNBOUNDED_EXTRA: usize = 8;
+        let (min, max) = match input.last() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_EXTRA),
+            Some('+') => (1, 1 + UNBOUNDED_EXTRA),
+            Some('{') => {
+                input.pop();
+                let mut digits = String::new();
+                while matches!(input.last(), Some(c) if c.is_ascii_digit()) {
+                    digits.push(input.pop().unwrap());
+                }
+                let m: usize = digits
+                    .parse()
+                    .map_err(|_| Error(format!("bad repetition in {pattern:?}")))?;
+                let (min, max) = match input.pop() {
+                    Some('}') => (m, m),
+                    Some(',') => {
+                        let mut digits = String::new();
+                        while matches!(input.last(), Some(c) if c.is_ascii_digit()) {
+                            digits.push(input.pop().unwrap());
+                        }
+                        let n = if digits.is_empty() {
+                            m + UNBOUNDED_EXTRA
+                        } else {
+                            digits
+                                .parse()
+                                .map_err(|_| Error(format!("bad repetition in {pattern:?}")))?
+                        };
+                        match input.pop() {
+                            Some('}') => (m, n),
+                            _ => return Err(Error(format!("unclosed repetition in {pattern:?}"))),
+                        }
+                    }
+                    _ => return Err(Error(format!("unclosed repetition in {pattern:?}"))),
+                };
+                return Ok(Node::Repeat {
+                    node: Box::new(node),
+                    min,
+                    max,
+                });
+            }
+            _ => return Ok(node),
+        };
+        input.pop();
+        Ok(Node::Repeat {
+            node: Box::new(node),
+            min,
+            max,
+        })
+    }
+
+    fn parse_class(input: &mut Vec<char>, pattern: &str) -> Result<Node, Error> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = input
+                .pop()
+                .ok_or_else(|| Error(format!("unclosed class in {pattern:?}")))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let lit = input
+                        .pop()
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                    ranges.push((lit, lit));
+                }
+                lo => {
+                    // `x-y` range, unless the '-' is the final char of the
+                    // class (then both are literals).
+                    if input.last() == Some(&'-')
+                        && input.get(input.len().wrapping_sub(2)) != Some(&']')
+                    {
+                        input.pop();
+                        let hi = input
+                            .pop()
+                            .ok_or_else(|| Error(format!("unclosed class in {pattern:?}")))?;
+                        if hi == ']' {
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                            break;
+                        }
+                        if hi < lo {
+                            return Err(Error(format!("inverted range in {pattern:?}")));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return Err(Error(format!("empty class in {pattern:?}")));
+        }
+        Ok(Node::Class(ranges))
+    }
+
+    fn sample_node(node: &Node, rng: &mut SmallRng, out: &mut String) {
+        match node {
+            Node::Seq(items) => {
+                for item in items {
+                    sample_node(item, rng, out);
+                }
+            }
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(lo as u32 + pick).expect("class chars are valid"));
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("class sampling is exhaustive");
+            }
+            Node::Repeat { node, min, max } => {
+                let n = rng.gen_range(*min..=*max);
+                for _ in 0..n {
+                    sample_node(node, rng, out);
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn sample(&self, rng: &mut SmallRng) -> String {
+            let mut out = String::new();
+            sample_node(&self.root, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Test-runner configuration and driver.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+
+    /// How a test case ended early.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the message describes it.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject,
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives one property test: repeatedly samples inputs and runs the
+    /// body, panicking with the case number on the first failure.
+    pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+    where
+        F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+    {
+        // Deterministic per-test seed: the test name hashed with the fixed
+        // std SipHash keys. Stable across runs, distinct across tests.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        let base_seed = hasher.finish();
+
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        // Cap total attempts so a too-strict prop_assume! fails loudly
+        // rather than spinning.
+        let max_attempts = config.cases.saturating_mul(20).max(1000);
+        for case in 0..max_attempts {
+            if passed >= config.cases {
+                return;
+            }
+            let mut rng = SmallRng::seed_from_u64(base_seed ^ (u64::from(case) << 32));
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case {case} failed for {test_name} \
+                         (seed {base_seed:#x}): {msg}"
+                    );
+                }
+            }
+        }
+        panic!(
+            "proptest {test_name}: only {passed}/{} cases passed within \
+             {max_attempts} attempts ({rejected} rejected by prop_assume!)",
+            config.cases
+        );
+    }
+}
+
+/// Choosing among explicit values.
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy drawing uniformly from a fixed list of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniform choice among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(
+            !options.is_empty(),
+            "prop::sample::select needs at least one option"
+        );
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            self.0.choose(rng).expect("select is non-empty").clone()
+        }
+    }
+}
+
+/// The `prop` namespace mirrored from upstream (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($argpat:pat in $argstrat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(&config, stringify!($name), |prop_rng| {
+                $(let $argpat = $crate::strategy::Strategy::sample(&($argstrat), prop_rng);)+
+                let body_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                body_result
+            });
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with the
+/// sampled inputs reported by the runner) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Discards the current case when its sampled inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -2.0..2.0f64, mut z in 1usize..=4) {
+            z += 1;
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((2..=5).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u8..4, prop::collection::vec(0.0..1.0f64, 0..3))) {
+            let (a, v) = pair;
+            prop_assert!(a < 4);
+            prop_assert!(v.len() < 3);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    fn string_regex_generates_matching_strings() {
+        let strat = crate::string::string_regex("[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?").unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = strat.sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 22, "bad length: {s:?}");
+            let ok = s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+            assert!(ok, "bad char in {s:?}");
+            assert!(
+                !s.starts_with('-') && !s.ends_with('-'),
+                "dash at edge: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("(").is_err());
+        assert!(crate::string::string_regex("[").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_info() {
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run_cases(&config, "doomed", |rng| {
+            let x: u64 = crate::any::<u64>().sample(rng);
+            crate::prop_assert!(x % 2 == 2, "x was {x}");
+            Ok(())
+        });
+    }
+}
