@@ -44,8 +44,12 @@ pub struct BeaconMeasurement {
     pub target: Target,
     /// The site that served the fetch (equals the target site for unicast).
     pub served_site: SiteId,
-    /// Reported latency, ms.
+    /// Reported latency, ms (total timeout time for failed fetches).
     pub rtt_ms: f64,
+    /// Whether the fetch failed (every attempt timed out). Failed rows
+    /// carry no usable latency and are excluded from latency aggregation,
+    /// but they are what the availability analyses count.
+    pub failed: bool,
     /// Day of the measurement.
     pub day: Day,
     /// Seconds within the day.
@@ -82,6 +86,7 @@ pub fn join(
                 target,
                 served_site: h.served_site,
                 rtt_ms: h.reported_ms,
+                failed: h.failed,
                 day: h.day,
                 time_s: h.time_s,
             })
@@ -102,6 +107,8 @@ mod tests {
             fetched_ip: ip,
             served_site: SiteId(site),
             reported_ms: 42.0,
+            failed: false,
+            attempts: 1,
             day: Day(0),
             time_s: 1.0,
         }
@@ -156,6 +163,19 @@ mod tests {
         let http = vec![http_row(id, Ipv4Addr::new(8, 8, 8, 8), 0)];
         let dns = vec![dns_row(id, Ipv4Addr::new(8, 8, 8, 8))];
         assert!(join(&http, &dns, &plan).is_empty());
+    }
+
+    #[test]
+    fn failure_flag_propagates_through_join() {
+        let plan = CdnAddressing::standard(8);
+        let id = Slot::Anycast.id_for(3);
+        let mut h = http_row(id, plan.anycast_ip(), 3);
+        h.failed = true;
+        h.reported_ms = 6000.0;
+        let dns = vec![dns_row(id, plan.anycast_ip())];
+        let joined = join(&[h], &dns, &plan);
+        assert!(joined[0].failed);
+        assert_eq!(joined[0].rtt_ms, 6000.0);
     }
 
     #[test]

@@ -35,14 +35,42 @@ pub struct HttpResult {
     pub fetched_ip: Ipv4Addr,
     /// The front-end that actually served the fetch (from the CDN's own
     /// HTTP logs; for unicast it equals the target, for anycast it is
-    /// whichever site routing chose).
+    /// whichever site routing chose). For a failed fetch this is the site
+    /// the client was *trying* to reach when every attempt timed out.
     pub served_site: SiteId,
-    /// Latency the beacon reported, ms.
+    /// Latency the beacon reported, ms. For a failed fetch this is the
+    /// total time burned across timed-out attempts, not an RTT.
     pub reported_ms: f64,
+    /// Whether every fetch attempt timed out (front-end down or the
+    /// client's route still converging around a withdrawal).
+    pub failed: bool,
+    /// How many fetch attempts were made (1 on first-try success).
+    pub attempts: u32,
     /// Day of the execution.
     pub day: Day,
     /// Seconds within the day.
     pub time_s: f64,
+}
+
+/// Client-side fetch resilience knobs: how long a beacon fetch waits
+/// before declaring a timeout and how many times it retries. Real beacon
+/// JavaScript bounds both so a dead front-end costs a few seconds, not a
+/// hung measurement — and so the failure is *recorded* rather than lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchConfig {
+    /// Per-attempt timeout, ms.
+    pub timeout_ms: f64,
+    /// Total attempts (first try + retries), at least 1.
+    pub max_attempts: u32,
+}
+
+impl Default for FetchConfig {
+    fn default() -> FetchConfig {
+        FetchConfig {
+            timeout_ms: 3_000.0,
+            max_attempts: 2,
+        }
+    }
 }
 
 /// Allocates unique measurement ids across a campaign.
@@ -79,11 +107,20 @@ pub struct BeaconClient {
 /// `ldns_believed_location` is where the CDN's geolocation database places
 /// the client's resolver — the location the server-side candidate selection
 /// uses (§3.3).
+///
+/// Fetches honor the failure schedule: an attempt against a down (or
+/// still-converging) front-end times out after `fetch.timeout_ms`, retries
+/// re-route at the later instant (the DNS answer stays cached, so retries
+/// reuse the same address), and an execution whose every attempt times out
+/// is reported as a *failed* row rather than silently dropped. In a world
+/// with no scheduled failures the sequence — and every random draw — is
+/// identical to the non-retrying path.
 #[allow(clippy::too_many_arguments)]
 pub fn run_beacon(
     internet: &Internet,
     addressing: &CdnAddressing,
     timing: &TimingModel,
+    fetch_cfg: &FetchConfig,
     zone: &DnsName,
     client: &BeaconClient,
     ldns: &mut Ldns,
@@ -122,23 +159,57 @@ pub fn run_beacon(
         );
         debug_assert!(fetch.cache_hit, "timed fetch must be served from cache");
         let addr = fetch.addr;
-        let (served_site, true_rtt) = if addressing.is_anycast(addr) {
-            internet.measure_anycast(&client.attachment, day, rng)
-        } else {
-            let site = addressing
-                .site_for_ip(addr)
-                .expect("measurement answer must be a service address");
-            (
-                site,
-                internet.measure_unicast(&client.attachment, site, day, rng),
-            )
+        let max_attempts = fetch_cfg.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut served: Option<(SiteId, f64)> = None;
+        for attempt in 0..max_attempts {
+            attempts = attempt + 1;
+            // Each retry happens one timeout later; routing is re-resolved
+            // at that instant, so anycast clients pick up the post-failover
+            // catchment while unicast retries keep hitting the dead site.
+            let t = time_s + 0.5 + f64::from(attempt) * fetch_cfg.timeout_ms / 1000.0;
+            let route = if addressing.is_anycast(addr) {
+                internet.anycast_route_at(&client.attachment, day, t)
+            } else {
+                let site = addressing
+                    .site_for_ip(addr)
+                    .expect("measurement answer must be a service address");
+                internet.unicast_route_at(&client.attachment, site, day, t)
+            };
+            if let Some(decision) = route {
+                // Success path draws exactly the same randomness as the
+                // failure-free runner: one RTT jitter sample, one timing
+                // observation. Timed-out attempts draw none.
+                let true_rtt = internet.sample_rtt(&decision, rng);
+                served = Some((decision.site, timing.observe(true_rtt, compliant, rng)));
+                break;
+            }
+        }
+        let (served_site, reported_ms, failed) = match served {
+            Some((site, ms)) => (site, ms, false),
+            None => {
+                // Every attempt timed out. Attribute the failure to the
+                // site the client was steered towards (the unicast target,
+                // or anycast's steady-state catchment) and report the time
+                // the beacon burned waiting.
+                let site = if addressing.is_anycast(addr) {
+                    internet.anycast_route(&client.attachment, day).site
+                } else {
+                    addressing
+                        .site_for_ip(addr)
+                        .expect("measurement answer must be a service address")
+                };
+                (site, f64::from(attempts) * fetch_cfg.timeout_ms, true)
+            }
         };
         results.push(HttpResult {
             measurement_id: id,
             prefix: client.prefix,
             fetched_ip: addr,
             served_site,
-            reported_ms: timing.observe(true_rtt, compliant, rng),
+            reported_ms,
+            failed,
+            attempts,
             day,
             time_s,
         });
@@ -204,6 +275,7 @@ mod tests {
             &w.internet,
             &w.addressing,
             &TimingModel::perfect(),
+            &FetchConfig::default(),
             &w.zone,
             &c,
             &mut ldns,
@@ -278,6 +350,98 @@ mod tests {
     }
 
     #[test]
+    fn healthy_world_fetches_never_fail() {
+        let w = world();
+        let (results, _) = run_one(&w, 7);
+        for r in &results {
+            assert!(!r.failed);
+            assert_eq!(r.attempts, 1);
+        }
+    }
+
+    /// Midpoint of the first scheduled outage window (past reconvergence).
+    fn first_outage(internet: &Internet, sites: u16) -> Option<(Day, f64)> {
+        for day in 0..30u32 {
+            for s in 0..sites {
+                if let Some(win) = internet.outages().window_on(SiteId(s), Day(day)) {
+                    return Some((Day(day), (win.start_s + win.end_s) / 2.0));
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn fetches_against_down_front_ends_are_recorded_as_failures() {
+        let cfg = NetConfig {
+            p_site_outage: 0.4,
+            ..NetConfig::small()
+        };
+        let internet = Internet::new(cfg, 11).unwrap();
+        let n = internet.topology().cdn.sites.len() as u16;
+        let addressing = CdnAddressing::standard(n);
+        let zone = DnsName::new("cdn.example").unwrap();
+        let (day, when) = first_outage(&internet, n).expect("outage scheduled at rate 0.4");
+        let fetch = FetchConfig::default();
+        let policy = MeasurementPolicy::new(internet.site_locations(), addressing, 10, 300, 1);
+        let mut auth = AuthoritativeServer::new(policy, false);
+        let mut ids = MeasurementIdGen::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut saw_failure = false;
+        for e in &internet.topology().eyeballs {
+            let loc = internet.topology().atlas.metro(e.home_metro).location();
+            let c = BeaconClient {
+                prefix: Prefix24::containing(Ipv4Addr::new(11, 0, 0, 1)),
+                attachment: ClientAttachment {
+                    as_id: e.id,
+                    metro: e.home_metro,
+                    location: loc,
+                    access: AccessTech::Cable,
+                },
+            };
+            let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, loc, false);
+            for i in 0..4u32 {
+                let rs = run_beacon(
+                    &internet,
+                    &addressing,
+                    &TimingModel::perfect(),
+                    &fetch,
+                    &zone,
+                    &c,
+                    &mut ldns,
+                    loc,
+                    &mut auth,
+                    &mut ids,
+                    day,
+                    when + f64::from(i) * 60.0,
+                    &mut rng,
+                );
+                for r in rs {
+                    if r.failed {
+                        saw_failure = true;
+                        assert_eq!(r.attempts, fetch.max_attempts);
+                        assert_eq!(
+                            r.reported_ms,
+                            f64::from(fetch.max_attempts) * fetch.timeout_ms,
+                            "failed rows report total timeout time"
+                        );
+                        assert!(
+                            internet.outages().is_down(r.served_site, day, r.time_s),
+                            "failure must be attributed to a down site"
+                        );
+                    } else {
+                        assert!(r.reported_ms < fetch.timeout_ms);
+                    }
+                }
+            }
+        }
+        assert!(
+            saw_failure,
+            "some fetch must target the down front-end mid-outage"
+        );
+    }
+
+    #[test]
     fn executions_get_distinct_ids() {
         let w = world();
         let mut a = auth(&w);
@@ -296,6 +460,7 @@ mod tests {
                 &w.internet,
                 &w.addressing,
                 &TimingModel::default(),
+                &FetchConfig::default(),
                 &w.zone,
                 &c,
                 &mut ldns,

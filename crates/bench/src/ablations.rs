@@ -14,13 +14,15 @@
 //!   improvement trade off against the gain threshold;
 //! * [`sketch_accuracy`] — the streaming-pipeline question: how much of
 //!   the Figure 9 result survives when training reads bounded-memory
-//!   quantile sketches instead of exact per-group sample vectors.
+//!   quantile sketches instead of exact per-group sample vectors;
+//! * [`outage_ttl`] — the §2 availability argument under stress: outage
+//!   rate × DNS TTL, anycast failover against DNS redirection staleness.
 
 use anycast_analysis::cdf::Ecdf;
 use anycast_analysis::report::Series;
 use anycast_core::{
-    evaluate_prediction, evaluation::outcome_shares, Deployment, Grouping, Metric, Predictor,
-    PredictorConfig, Study, StudyConfig,
+    anycast_request, evaluate_prediction, evaluation::outcome_shares, request_times, Deployment,
+    DnsRedirectionSim, Grouping, Metric, Predictor, PredictorConfig, Study, StudyConfig,
 };
 use anycast_netsim::{Day, NetConfig};
 use anycast_pipeline::ShardConfig;
@@ -51,6 +53,7 @@ pub fn prediction_metric(scale: Scale, seed: u64) -> FigureResult {
             grouping: Grouping::Ecs,
             metric: *metric,
             min_samples: 20,
+            failure_penalty_ms: 3_000.0,
         };
         let table = Predictor::new(cfg).train(st.dataset(), Day(0));
         let rows = evaluate_prediction(
@@ -96,6 +99,7 @@ pub fn min_samples(scale: Scale, seed: u64) -> FigureResult {
             grouping: Grouping::Ecs,
             metric: Metric::P25,
             min_samples: min,
+            failure_penalty_ms: 3_000.0,
         };
         let table = Predictor::new(cfg).train(st.dataset(), Day(0));
         let rows = evaluate_prediction(
@@ -233,6 +237,7 @@ pub fn hybrid_threshold(scale: Scale, seed: u64) -> FigureResult {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
         min_samples: 20,
+        failure_penalty_ms: 3_000.0,
     };
     let full_table = Predictor::new(cfg).train(st.dataset(), Day(0));
 
@@ -290,6 +295,7 @@ pub fn training_window(scale: Scale, seed: u64) -> FigureResult {
             grouping: Grouping::Ecs,
             metric: Metric::P25,
             min_samples: 20,
+            failure_penalty_ms: 3_000.0,
         };
         let table = Predictor::new(cfg).train_window(st.dataset(), &window);
         let rows = evaluate_prediction(
@@ -343,6 +349,7 @@ pub fn sketch_accuracy(scale: Scale, seed: u64) -> FigureResult {
             grouping,
             metric: Metric::P25,
             min_samples: 20,
+            failure_penalty_ms: 3_000.0,
         };
         let predictor = Predictor::new(cfg);
         let exact_table = predictor.train(st.dataset(), Day(0));
@@ -413,8 +420,83 @@ pub fn sketch_accuracy(scale: Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// Joint sweep of outage rate × DNS answer TTL — the robustness ablation
+/// behind the §2 availability argument.
+///
+/// One world is built per outage rate; within a world the same
+/// deterministic probe schedule is replayed once over the anycast VIP
+/// (cache-free, so TTL-independent) and once per TTL through
+/// [`DnsRedirectionSim`]. Reported per rate: one DNS-unavailability curve
+/// over TTL plus an anycast-unavailability scalar. The claim being
+/// ablated: anycast's loss stays pinned to the BGP reconvergence window no
+/// matter how unreliable front-ends get, while DNS redirection's loss
+/// scales with both knobs.
+pub fn outage_ttl(scale: Scale, seed: u64) -> FigureResult {
+    const RATES: [f64; 3] = [0.05, 0.15, 0.3];
+    const TTLS_S: [f64; 4] = [60.0, 300.0, 900.0, 3600.0];
+    let days = figure_days(scale, 3);
+    let times = request_times(192);
+
+    let mut series = Vec::new();
+    let mut scalars = Vec::new();
+    for rate in RATES {
+        let mut cfg = scenario_config(scale, seed);
+        cfg.net.p_site_outage = rate;
+        let s = Scenario::build(cfg).expect("valid outage config");
+        let internet = &s.internet;
+
+        let (mut any_served, mut any_failed) = (0u64, 0u64);
+        for day in 0..days {
+            for &t in &times {
+                for c in &s.clients {
+                    if anycast_request(internet, &c.attachment, Day(day), t).served() {
+                        any_served += 1;
+                    } else {
+                        any_failed += 1;
+                    }
+                }
+            }
+        }
+        scalars.push((
+            format!("anycast unavailability at outage rate {rate}"),
+            any_failed as f64 / (any_served + any_failed) as f64,
+        ));
+
+        let mut dns_pts = Vec::new();
+        for ttl in TTLS_S {
+            let mut dns = DnsRedirectionSim::new(internet, ttl);
+            let (mut served, mut failed) = (0u64, 0u64);
+            for day in 0..days {
+                for &t in &times {
+                    for c in &s.clients {
+                        if dns.request(c.prefix, &c.attachment, Day(day), t).served() {
+                            served += 1;
+                        } else {
+                            failed += 1;
+                        }
+                    }
+                }
+            }
+            dns_pts.push((ttl, failed as f64 / (served + failed) as f64));
+        }
+        series.push(Series::new(
+            format!("DNS unavailability, outage rate {rate}"),
+            dns_pts,
+        ));
+    }
+
+    FigureResult {
+        id: "ablation-outage-ttl",
+        title: "Outage rate × DNS TTL sweep: unavailability of DNS redirection vs anycast".into(),
+        x_label: "DNS answer TTL (s)".into(),
+        series,
+        scalars,
+        text: None,
+    }
+}
+
 /// All ablation ids.
-pub const ALL: [&str; 7] = [
+pub const ALL: [&str; 8] = [
     "ablation-prediction-metric",
     "ablation-min-samples",
     "ablation-candidates",
@@ -422,6 +504,7 @@ pub const ALL: [&str; 7] = [
     "ablation-hybrid",
     "ablation-training-window",
     "ablation-sketch-accuracy",
+    "ablation-outage-ttl",
 ];
 
 /// Computes an ablation by id.
@@ -434,6 +517,7 @@ pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
         "ablation-hybrid" => Some(hybrid_threshold(scale, seed)),
         "ablation-training-window" => Some(training_window(scale, seed)),
         "ablation-sketch-accuracy" => Some(sketch_accuracy(scale, seed)),
+        "ablation-outage-ttl" => Some(outage_ttl(scale, seed)),
         _ => None,
     }
 }
@@ -518,6 +602,29 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn outage_ttl_sweep_pins_anycast_loss_below_dns() {
+        let fig = outage_ttl(Scale::Small, 7);
+        assert_eq!(fig.series.len(), 3);
+        assert_eq!(fig.scalars.len(), 3);
+        for (s, (_, any_unavail)) in fig.series.iter().zip(&fig.scalars) {
+            // Within each world, longer TTLs cannot improve DNS availability.
+            assert!(
+                s.points.last().unwrap().1 >= s.points.first().unwrap().1 - 1e-12,
+                "{}: unavailability shrank with TTL",
+                s.name
+            );
+            // At the longest TTL, DNS loses at least as much as anycast.
+            assert!(
+                s.points.last().unwrap().1 >= *any_unavail,
+                "{}: DNS beat anycast availability",
+                s.name
+            );
+        }
+        // Anycast stays near-perfect even at the harshest outage rate.
+        assert!(fig.scalars[2].1 < 0.01, "anycast loss {}", fig.scalars[2].1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Supplementary experiments beyond the paper's figures.
 //!
-//! Three claims the paper makes in prose get quantified here:
+//! Claims the paper makes in prose get quantified here:
 //!
 //! * [`ldns_distance`] — §3.3's justification for using LDNS location:
 //!   "excluding 8% of demand from public resolvers, only 11-12% of demand
@@ -8,7 +8,12 @@
 //! * [`tcp_disruption`] — §2's "the Web … is dominated by short flows,
 //!   this does not appear to be an issue in practice";
 //! * [`load_shedding`] — §2's "simply withdrawing the route … can lead to
-//!   cascading overloading of nearby front-ends", versus gradual shedding.
+//!   cascading overloading of nearby front-ends", versus gradual shedding;
+//! * [`ecs_adoption`] — §7's deployment caveat: prediction only reaches
+//!   clients whose resolvers forward ECS;
+//! * [`failover`] — §2's availability argument: anycast fails over in one
+//!   routing step while DNS redirection serves stale answers until TTL
+//!   expiry.
 
 use std::collections::HashMap;
 
@@ -17,14 +22,15 @@ use anycast_analysis::report::Series;
 use anycast_core::flows::{disruption_rate, FlowModel};
 use anycast_core::loadaware::{loads_from_traffic, plan_shedding, total_overload, withdraw};
 use anycast_core::{
-    evaluate_prediction, evaluation::outcome_shares, Grouping, Metric, Predictor, PredictorConfig,
-    Study, StudyConfig,
+    anycast_request, evaluate_prediction, evaluation::outcome_shares, request_times,
+    DnsRedirectionSim, FailureReason, Grouping, Metric, Predictor, PredictorConfig, Study,
+    StudyConfig,
 };
 use anycast_dns::ResolverKind;
 use anycast_netsim::{Day, SiteId};
 use anycast_workload::Scenario;
 
-use crate::worlds::{rng_for, scenario, scenario_config, Scale};
+use crate::worlds::{figure_days, rng_for, scenario, scenario_config, Scale};
 use crate::FigureResult;
 
 /// Client-to-LDNS distance, split by resolver population.
@@ -181,6 +187,7 @@ pub fn ecs_adoption(scale: Scale, seed: u64) -> FigureResult {
             grouping: Grouping::Ecs,
             metric: Metric::P25,
             min_samples: 20,
+            failure_penalty_ms: 3_000.0,
         };
         let table = Predictor::new(pcfg).train(st.dataset(), Day(0));
         let ldns_of = st.ldns_of();
@@ -218,6 +225,107 @@ pub fn ecs_adoption(scale: Scale, seed: u64) -> FigureResult {
             Series::new("weighted share improved (p75)", improved_pts),
         ],
         scalars: Vec::new(),
+        text: None,
+    }
+}
+
+/// Availability under front-end failures: anycast failover vs DNS TTL (§2).
+///
+/// "In the event of the failure of the front-end, BGP fails over to the
+/// next best front-end" — while DNS redirection "can take a long time to
+/// take effect" because answers sit in caches for a TTL. We build a world
+/// with scheduled front-end outages, replay the same deterministic probe
+/// schedule against (a) the anycast VIP and (b) a health-checked DNS
+/// authority at a range of TTLs, and count the fraction of requests lost.
+/// Anycast's loss is bounded by the BGP reconvergence window and is
+/// independent of any cache; DNS loss grows with the TTL because a
+/// front-end that dies mid-TTL strands every client still holding its
+/// answer.
+pub fn failover(scale: Scale, seed: u64) -> FigureResult {
+    const TTLS_S: [f64; 6] = [30.0, 60.0, 120.0, 300.0, 1_200.0, 3_600.0];
+    let mut cfg = scenario_config(scale, seed);
+    cfg.net.p_site_outage = 0.25;
+    cfg.net.p_site_drain = 0.1;
+    let s = Scenario::build(cfg).expect("valid failure config");
+    let internet = &s.internet;
+    let days = figure_days(scale, 10);
+    // Probes are spaced 900 s apart; TTLs above that (1 200 s, 3 600 s)
+    // exercise cached answers, shorter ones always re-resolve — so the
+    // curve shows exactly where staleness starts to bite.
+    let times = request_times(96);
+
+    // Anycast: no client-side state, so one pass covers every TTL.
+    let (mut any_served, mut any_failed, mut any_converging) = (0u64, 0u64, 0u64);
+    for day in 0..days {
+        for &t in &times {
+            for c in &s.clients {
+                match anycast_request(internet, &c.attachment, Day(day), t) {
+                    out if out.served() => any_served += 1,
+                    out => {
+                        any_failed += 1;
+                        if out.reason() == Some(FailureReason::Converging) {
+                            any_converging += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let any_total = any_served + any_failed;
+    let any_unavail = any_failed as f64 / any_total as f64;
+
+    // DNS redirection: one cache per TTL, time advancing monotonically so
+    // expiries behave like a real resolver's.
+    let mut dns_pts = Vec::new();
+    let mut stale_at_max = 0u64;
+    for ttl in TTLS_S {
+        let mut dns = DnsRedirectionSim::new(internet, ttl);
+        let (mut served, mut failed, mut stale) = (0u64, 0u64, 0u64);
+        for day in 0..days {
+            for &t in &times {
+                for c in &s.clients {
+                    match dns.request(c.prefix, &c.attachment, Day(day), t) {
+                        out if out.served() => served += 1,
+                        out => {
+                            failed += 1;
+                            if out.reason() == Some(FailureReason::StaleDnsAnswer) {
+                                stale += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dns_pts.push((ttl, failed as f64 / (served + failed) as f64));
+        if ttl == TTLS_S[TTLS_S.len() - 1] {
+            stale_at_max = stale;
+        }
+    }
+    let anycast_pts: Vec<(f64, f64)> = TTLS_S.iter().map(|&ttl| (ttl, any_unavail)).collect();
+
+    FigureResult {
+        id: "extra-failover",
+        title: "Unavailability under front-end outages: anycast vs DNS redirection (§2)".into(),
+        x_label: "DNS answer TTL (s)".into(),
+        series: vec![
+            Series::new("DNS redirection", dns_pts),
+            Series::new("anycast (TTL-independent)", anycast_pts),
+        ],
+        scalars: vec![
+            ("anycast availability".to_string(), 1.0 - any_unavail),
+            (
+                "anycast failures inside BGP reconvergence".to_string(),
+                any_converging as f64,
+            ),
+            (
+                "BGP reconvergence (s)".to_string(),
+                internet.outages().reconvergence_s(),
+            ),
+            (
+                "stale-answer failures at 3 600 s TTL".to_string(),
+                stale_at_max as f64,
+            ),
+        ],
         text: None,
     }
 }
@@ -297,11 +405,12 @@ pub fn world_summary(scale: Scale, seed: u64) -> FigureResult {
 }
 
 /// All supplementary ids.
-pub const ALL: [&str; 5] = [
+pub const ALL: [&str; 6] = [
     "extra-ldns-distance",
     "extra-tcp-disruption",
     "extra-load-shed",
     "extra-ecs-adoption",
+    "extra-failover",
     "world-summary",
 ];
 
@@ -312,6 +421,7 @@ pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
         "extra-tcp-disruption" => Some(tcp_disruption(scale, seed)),
         "extra-load-shed" => Some(load_shedding(scale, seed)),
         "extra-ecs-adoption" => Some(ecs_adoption(scale, seed)),
+        "extra-failover" => Some(failover(scale, seed)),
         "world-summary" => Some(world_summary(scale, seed)),
         _ => None,
     }
@@ -360,6 +470,32 @@ mod tests {
         // Improvement never shrinks as adoption grows.
         let improved = &fig.series[1].points;
         assert!(improved.last().unwrap().1 >= improved[0].1 - 1e-9);
+    }
+
+    #[test]
+    fn failover_ranks_anycast_above_dns_redirection() {
+        let fig = failover(Scale::Small, 5);
+        let dns = &fig.series[0].points;
+        let anycast = &fig.series[1].points;
+        // DNS loss grows with the TTL; the longest TTL loses strictly more
+        // than the shortest (the §2 staleness claim).
+        assert!(
+            dns.last().unwrap().1 >= dns.first().unwrap().1,
+            "DNS unavailability must not shrink as the TTL grows: {dns:?}"
+        );
+        assert!(
+            dns.last().unwrap().1 >= anycast.last().unwrap().1,
+            "long-TTL DNS must lose at least as much as anycast"
+        );
+        // Anycast only loses requests inside the BGP reconvergence window.
+        let avail = fig.scalars[0].1;
+        assert!(avail > 0.99, "anycast availability {avail}");
+        // The experiment actually exercised the stale-answer path.
+        assert!(fig.scalars[3].1 > 0.0, "no stale answers observed");
+        // Deterministic: same seed, same curves, bit for bit.
+        let again = failover(Scale::Small, 5);
+        assert_eq!(fig.series[0].points, again.series[0].points);
+        assert_eq!(fig.series[1].points, again.series[1].points);
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct EvalRow {
     pub improvement_p50_ms: f64,
     /// Same at the 75th percentile.
     pub improvement_p75_ms: f64,
+    /// Fraction of the eval day's fetches towards the *chosen* target that
+    /// were served rather than timing out — 1.0 in failure-free worlds.
+    /// Latency improvements mean nothing if the chosen front-end doesn't
+    /// answer; this is the availability axis the failure worlds add.
+    pub availability: f64,
 }
 
 /// Evaluates a trained table against `eval_day`'s measurements.
@@ -53,6 +58,7 @@ pub fn evaluate_prediction(
     volumes: &HashMap<Prefix24, u64>,
 ) -> Vec<EvalRow> {
     let by_prefix = data.by_prefix_target(eval_day);
+    let outcomes = data.outcomes_by_prefix_target(eval_day);
     // Collect the prefixes seen on the eval day.
     let mut prefixes: Vec<Prefix24> = by_prefix.keys().map(|&(p, _)| p).collect();
     prefixes.sort();
@@ -87,12 +93,19 @@ pub fn evaluate_prediction(
                 }
             }
         };
+        let availability = match outcomes.get(&(prefix, choice)) {
+            Some(&(served, failed)) if served + failed > 0 => {
+                served as f64 / (served + failed) as f64
+            }
+            _ => 1.0,
+        };
         out.push(EvalRow {
             prefix,
             weight: volumes.get(&prefix).copied().unwrap_or(1) as f64,
             choice,
             improvement_p50_ms: p50,
             improvement_p75_ms: p75,
+            availability,
         });
     }
     out
@@ -127,6 +140,18 @@ pub fn outcome_shares(rows: &[EvalRow], use_p50: bool) -> (f64, f64, f64) {
         1.0 - (improved + hurt) / total,
         hurt / total,
     )
+}
+
+/// Volume-weighted mean availability over an evaluation — the scalar the
+/// failure experiments track alongside the Figure 9 latency shares.
+/// Returns 1.0 for an empty evaluation (nothing failed because nothing
+/// was asked).
+pub fn weighted_availability(rows: &[EvalRow]) -> f64 {
+    let total: f64 = rows.iter().map(|r| r.weight).sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    rows.iter().map(|r| r.weight * r.availability).sum::<f64>() / total
 }
 
 #[cfg(test)]
@@ -167,6 +192,7 @@ mod tests {
                         Target::Unicast(s) => s,
                     },
                     rtt_ms: rtt,
+                    failed: false,
                     day: Day(day),
                     time_s: 0.0,
                 }
@@ -369,5 +395,46 @@ mod tests {
     #[test]
     fn outcome_shares_empty_input() {
         assert_eq!(outcome_shares(&[], true), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn availability_reflects_eval_day_failures() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows_on(0, 0, prefix(1), Target::Anycast, &[40.0; 25]));
+        // Eval day: 15 served, 5 timed out.
+        ds.extend(rows_on(1, 200, prefix(1), Target::Anycast, &[40.0; 15]));
+        let mut bad = rows_on(1, 300, prefix(1), Target::Anycast, &[6000.0; 5]);
+        for m in &mut bad {
+            m.failed = true;
+        }
+        ds.extend(bad);
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            &ds,
+            Day(1),
+            &HashMap::new(),
+            &HashMap::new(),
+        );
+        assert_eq!(rows[0].choice, Target::Anycast);
+        assert!((rows[0].availability - 0.75).abs() < 1e-9);
+        assert!((weighted_availability(&rows) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_free_eval_has_full_availability() {
+        let ds = train_eval_dataset();
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            &ds,
+            Day(1),
+            &HashMap::new(),
+            &HashMap::new(),
+        );
+        assert!(rows.iter().all(|r| r.availability == 1.0));
+        assert_eq!(weighted_availability(&rows), 1.0);
     }
 }

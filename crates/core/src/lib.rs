@@ -16,6 +16,9 @@
 //!   each group the argmin of {anycast, unicast front-ends}
 //!   ([`prediction`]), evaluated against the next day's measurements at the
 //!   50th and 75th percentiles ([`evaluation`]);
+//! * the §2 **availability argument** made executable: anycast's
+//!   one-routing-step failover against DNS redirection's TTL-long
+//!   staleness when a front-end dies ([`failure`]);
 //! * [`study`] orchestrates the full §3 measurement campaign over a
 //!   simulated world: beacon sampling from the query stream, DNS/HTTP log
 //!   collection, the join, and the per-day aggregates every figure
@@ -27,6 +30,7 @@
 pub mod catalog;
 pub mod deployment;
 pub mod evaluation;
+pub mod failure;
 pub mod flows;
 pub mod loadaware;
 pub mod prediction;
@@ -34,7 +38,11 @@ pub mod redirection;
 pub mod study;
 
 pub use deployment::Deployment;
-pub use evaluation::{evaluate_prediction, EvalRow};
+pub use evaluation::{evaluate_prediction, weighted_availability, EvalRow};
+pub use failure::{
+    anycast_request, anycast_requests, request_times, DnsRedirectionSim, FailureReason,
+    RequestOutcome,
+};
 pub use flows::{disruption_rate, DisruptionStats, FlowModel};
 pub use loadaware::{plan_shedding, withdraw, SiteLoad};
 pub use prediction::{

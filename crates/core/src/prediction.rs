@@ -21,8 +21,8 @@ use anycast_analysis::{percentile, QuantileBackend};
 use anycast_beacon::{BeaconDataset, Target};
 use anycast_dns::LdnsId;
 use anycast_netsim::{Day, Prefix24};
-use anycast_pipeline::{ecs_record, ldns_record, route_ldns, route_prefix};
-use anycast_pipeline::{DayWindow, ShardConfig};
+use anycast_pipeline::{ecs_record_with_failures, ldns_record_with_failures};
+use anycast_pipeline::{route_ldns, route_prefix, DayWindow, ShardConfig};
 
 /// The granularity clients are grouped at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +91,14 @@ pub struct PredictorConfig {
     /// Minimum measurements a `(group, target)` pair needs to be considered
     /// (paper: 20).
     pub min_samples: usize,
+    /// Latency substituted for a *failed* measurement when scoring a
+    /// target, ms. Failed fetches carry no RTT, but silently dropping them
+    /// would make a flaky front-end look as good as its successful fetches
+    /// — the predictor would happily redirect clients to a site that times
+    /// out on them. Charging each failure the fetch timeout makes
+    /// unreliability count against a target exactly as much as being that
+    /// slow. Irrelevant (by construction) in worlds without failures.
+    pub failure_penalty_ms: f64,
 }
 
 impl Default for PredictorConfig {
@@ -99,6 +107,7 @@ impl Default for PredictorConfig {
             grouping: Grouping::Ecs,
             metric: Metric::P25,
             min_samples: 20,
+            failure_penalty_ms: 3_000.0,
         }
     }
 }
@@ -208,18 +217,20 @@ impl Predictor {
     /// `ablation-training-window` sweep quantifies that trade.
     pub fn train_window(&self, data: &BeaconDataset, days: &[Day]) -> PredictionTable {
         let mut grouped: HashMap<(GroupKey, Target), Vec<f64>> = HashMap::new();
+        let penalty = self.cfg.failure_penalty_ms;
         for &day in days {
-            match self.cfg.grouping {
-                Grouping::Ecs => {
-                    for ((p, t), v) in data.by_prefix_target(day) {
-                        grouped.entry((GroupKey::Ecs(p), t)).or_default().extend(v);
+            for m in data.day(day) {
+                let (key, target, rtt) = match self.cfg.grouping {
+                    Grouping::Ecs => {
+                        let (p, t, rtt) = ecs_record_with_failures(m, penalty);
+                        (GroupKey::Ecs(p), t, rtt)
                     }
-                }
-                Grouping::Ldns => {
-                    for ((l, t), v) in data.by_ldns_target(day) {
-                        grouped.entry((GroupKey::Ldns(l), t)).or_default().extend(v);
+                    Grouping::Ldns => {
+                        let (l, t, rtt) = ldns_record_with_failures(m, penalty);
+                        (GroupKey::Ldns(l), t, rtt)
                     }
-                }
+                };
+                grouped.entry((key, target)).or_default().push(rtt);
             }
         }
         let min = self.cfg.min_samples;
@@ -273,14 +284,15 @@ impl Predictor {
         shard: ShardConfig,
     ) -> PredictionTable {
         let mut window: DayWindow<GroupKey> = DayWindow::new(eps);
+        let penalty = self.cfg.failure_penalty_ms;
         for &day in days {
             let records = data.day(day).map(|m| match self.cfg.grouping {
                 Grouping::Ecs => {
-                    let (p, t, rtt) = ecs_record(m);
+                    let (p, t, rtt) = ecs_record_with_failures(m, penalty);
                     (GroupKey::Ecs(p), t, rtt)
                 }
                 Grouping::Ldns => {
-                    let (l, t, rtt) = ldns_record(m);
+                    let (l, t, rtt) = ldns_record_with_failures(m, penalty);
                     (GroupKey::Ldns(l), t, rtt)
                 }
             });
@@ -382,11 +394,96 @@ mod tests {
                         Target::Unicast(s) => s,
                     },
                     rtt_ms: rtt,
+                    failed: false,
                     day: Day(0),
                     time_s: 0.0,
                 }
             })
             .collect()
+    }
+
+    /// Like [`rows`], but every fetch failed (`rtt_ms` carries the burnt
+    /// timeout time, which training must replace with its penalty).
+    fn failed_rows(
+        exec_base: u64,
+        p: Prefix24,
+        ldns: u32,
+        target: Target,
+        n: usize,
+    ) -> Vec<BeaconMeasurement> {
+        let mut v = rows(exec_base, p, ldns, target, 6000.0, n);
+        for m in &mut v {
+            m.failed = true;
+        }
+        v
+    }
+
+    #[test]
+    fn failures_count_against_a_flaky_target() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 25));
+        // Site 3 is fast when it answers — but times out more often than
+        // it answers. Scored on successes alone it would win at 30 ms; the
+        // failure penalty must make reliability part of the score.
+        ds.extend(rows(
+            100,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(3)),
+            30.0,
+            25,
+        ));
+        ds.extend(failed_rows(
+            200,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(3)),
+            30,
+        ));
+        let cfg = PredictorConfig {
+            metric: Metric::Median,
+            ..Default::default()
+        };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+        assert_eq!(
+            table.predict(GroupKey::Ecs(prefix(1))),
+            Some(Target::Anycast),
+            "a mostly-failing front-end must not be chosen"
+        );
+    }
+
+    #[test]
+    fn sketch_and_exact_training_agree_on_failures() {
+        let mut ds = BeaconDataset::new();
+        ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 25));
+        ds.extend(rows(
+            100,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(3)),
+            30.0,
+            25,
+        ));
+        ds.extend(failed_rows(
+            200,
+            prefix(1),
+            0,
+            Target::Unicast(SiteId(3)),
+            30,
+        ));
+        for metric in [Metric::P25, Metric::Median] {
+            let predictor = Predictor::new(PredictorConfig {
+                metric,
+                ..Default::default()
+            });
+            let exact = predictor.train(&ds, Day(0));
+            let sketched = predictor.train_sketched(&ds, &[Day(0)], 0.01, ShardConfig::default());
+            assert_eq!(
+                exact.predict(GroupKey::Ecs(prefix(1))),
+                sketched.predict(GroupKey::Ecs(prefix(1))),
+                "{metric:?}: penalty handling must match on both paths"
+            );
+        }
     }
 
     #[test]

@@ -220,6 +220,7 @@ mod tests {
             target: t,
             served_site: SiteId(0),
             rtt_ms: rtt,
+            failed: false,
             day: Day(0),
             time_s: 0.0,
         };
@@ -298,6 +299,7 @@ mod tests {
             target: t,
             served_site: SiteId(0),
             rtt_ms: rtt,
+            failed: false,
             day: Day(0),
             time_s: 0.0,
         };

@@ -12,7 +12,8 @@ use std::collections::HashMap;
 use anycast_analysis::poor_paths::PrefixDayPerf;
 use anycast_analysis::quantile::median;
 use anycast_beacon::{
-    join, BeaconClient, BeaconDataset, MeasurementIdGen, MeasurementPolicy, Target, TimingModel,
+    join, BeaconClient, BeaconDataset, FetchConfig, MeasurementIdGen, MeasurementPolicy, Target,
+    TimingModel,
 };
 use anycast_dns::{AuthoritativeServer, DnsName, LdnsId};
 use anycast_netsim::{Day, Prefix24, Timeline};
@@ -31,6 +32,9 @@ pub struct StudyConfig {
     pub ttl_s: u32,
     /// Browser timing accuracy model.
     pub timing: TimingModel,
+    /// Client-side fetch timeout/retry behavior (matters only in worlds
+    /// with scheduled front-end failures).
+    pub fetch: FetchConfig,
     /// Minimum samples for a per-day unicast median to count in the §5
     /// daily poor-path analysis.
     pub min_unicast_samples: usize,
@@ -43,6 +47,7 @@ impl Default for StudyConfig {
             candidates: 10,
             ttl_s: 300,
             timing: TimingModel::default(),
+            fetch: FetchConfig::default(),
             min_unicast_samples: 6,
         }
     }
@@ -137,6 +142,7 @@ impl Study {
                 &s.internet,
                 &s.addressing,
                 &self.cfg.timing,
+                &self.cfg.fetch,
                 &self.zone,
                 &beacon_client,
                 s.ldns.resolver_mut(ldns_id),

@@ -33,6 +33,7 @@ fn dataset(spec: &[(u8, Option<u16>, Vec<f64>)]) -> BeaconDataset {
                     target,
                     served_site: SiteId(site.unwrap_or(0)),
                     rtt_ms: rtt,
+                    failed: false,
                     day: Day(0),
                     time_s: 0.0,
                 }
@@ -56,7 +57,7 @@ proptest! {
             (1, None, anycast_rtts.clone()),
             (1, Some(3), unicast_rtts.clone()),
         ]);
-        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples };
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples, failure_penalty_ms: 3_000.0 };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         let prefix = Prefix24::containing(std::net::Ipv4Addr::new(11, 0, 1, 1));
         match table.predict(GroupKey::Ecs(prefix)) {
@@ -75,7 +76,7 @@ proptest! {
         c in prop::collection::vec(1.0..300.0f64, 10..30),
     ) {
         let ds = dataset(&[(1, None, a.clone()), (1, Some(2), b.clone()), (1, Some(5), c.clone())]);
-        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10, failure_penalty_ms: 3_000.0 };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         let prefix = Prefix24::containing(std::net::Ipv4Addr::new(11, 0, 1, 1));
         let chosen = table.predict(GroupKey::Ecs(prefix)).unwrap();
@@ -108,7 +109,7 @@ proptest! {
             })
             .collect();
         let ds = dataset(&spec);
-        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10 };
+        let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10, failure_penalty_ms: 3_000.0 };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
         prop_assert!(table.hybrid_filter(hi).len() <= table.hybrid_filter(lo).len());

@@ -84,7 +84,15 @@ impl DnsCache {
         ttl_s: u32,
         now_s: f64,
     ) {
-        if self.capacity > 0 && self.entries.len() >= self.capacity {
+        let key = (name, ecs);
+        // Overwriting an existing key does not grow the cache, so it must
+        // not trigger eviction: doing so could victimize the key itself
+        // (it may be the soonest-expiring entry) and then evict an
+        // unrelated live entry on the next insert.
+        if self.capacity > 0
+            && self.entries.len() >= self.capacity
+            && !self.entries.contains_key(&key)
+        {
             // Cheap pass: drop everything already expired.
             self.entries.retain(|_, e| e.expires_at > now_s);
             // Still full: evict the soonest-expiring entries.
@@ -103,7 +111,7 @@ impl DnsCache {
             }
         }
         self.entries.insert(
-            (name, ecs),
+            key,
             Entry {
                 addr,
                 expires_at: now_s + f64::from(ttl_s),
@@ -198,6 +206,58 @@ mod tests {
         assert_eq!(
             c.get(&name("h9.cdn.example"), None, 9.5),
             Some(Ipv4Addr::new(10, 0, 0, 9))
+        );
+    }
+
+    #[test]
+    fn overwrite_at_capacity_preserves_other_live_entries() {
+        // Regression: overwriting an existing key at capacity used to run
+        // eviction anyway. The soonest-expiring victim could be the very
+        // key being overwritten, leaving the cache under capacity, after
+        // which the next insert evicted an unrelated live entry.
+        let mut c = DnsCache::with_capacity(3);
+        c.put(
+            name("a.cdn.example"),
+            None,
+            Ipv4Addr::new(1, 1, 1, 1),
+            1000,
+            0.0,
+        );
+        c.put(
+            name("b.cdn.example"),
+            None,
+            Ipv4Addr::new(2, 2, 2, 2),
+            10, // soonest-expiring but live: the eviction victim pre-fix
+            0.0,
+        );
+        c.put(
+            name("c.cdn.example"),
+            None,
+            Ipv4Addr::new(3, 3, 3, 3),
+            1000,
+            0.0,
+        );
+        // At capacity. Refresh `a` — a pure overwrite.
+        c.put(
+            name("a.cdn.example"),
+            None,
+            Ipv4Addr::new(1, 1, 1, 9),
+            1000,
+            1.0,
+        );
+        assert_eq!(c.len(), 3);
+        // All three entries are live and intact.
+        assert_eq!(
+            c.get(&name("a.cdn.example"), None, 2.0),
+            Some(Ipv4Addr::new(1, 1, 1, 9))
+        );
+        assert_eq!(
+            c.get(&name("b.cdn.example"), None, 2.0),
+            Some(Ipv4Addr::new(2, 2, 2, 2))
+        );
+        assert_eq!(
+            c.get(&name("c.cdn.example"), None, 2.0),
+            Some(Ipv4Addr::new(3, 3, 3, 3))
         );
     }
 

@@ -4,9 +4,10 @@
 //! front-ends to the LDNS (based on geolocation data)" (§3.3) — and the
 //! Figure 2 distance-to-Nth-closest analysis both reduce to k-nearest
 //! queries over a few dozen front-end sites. At that scale a brute-force
-//! scan with a bounded partial sort is both the simplest and the fastest
-//! option (no tree beats a 40-element scan), which fits the session guides'
-//! simplicity-over-cleverness rule.
+//! scan with a bounded partial sort — an O(n) `select_nth_unstable_by` of
+//! the k nearest followed by a sort of only that prefix — is both the
+//! simplest and the fastest option (no tree beats a 40-element scan), which
+//! fits the session guides' simplicity-over-cleverness rule.
 
 use crate::coords::GeoPoint;
 
@@ -52,8 +53,17 @@ impl<T: Copy> NearestIndex<T> {
         if k == 0 {
             return Vec::new();
         }
-        all.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
-        all.truncate(k);
+        let by_distance_then_index =
+            |a: &(usize, T, f64), b: &(usize, T, f64)| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0));
+        // Bounded partial sort: O(n) selection of the k nearest, then an
+        // O(k log k) sort of just that prefix. The (distance, index)
+        // comparator is a total order, so selection is deterministic and
+        // ties still resolve by insertion order.
+        if k < all.len() {
+            all.select_nth_unstable_by(k - 1, by_distance_then_index);
+            all.truncate(k);
+        }
+        all.sort_by(by_distance_then_index);
         all.into_iter().map(|(_, item, d)| (item, d)).collect()
     }
 
@@ -149,5 +159,24 @@ mod tests {
         let idx = NearestIndex::new(vec![(7u32, p), (3u32, p)]);
         let got: Vec<u32> = idx.k_nearest(&p, 2).into_iter().map(|(i, _)| i).collect();
         assert_eq!(got, vec![7, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order_through_the_partial_sort() {
+        // More equal-distance points than k: the selection step must cut
+        // the tie group by insertion order, not arbitrarily. Pin the exact
+        // result.
+        let p = GeoPoint::new(10.0, 10.0);
+        let entries: Vec<(u32, GeoPoint)> = [9u32, 4, 7, 1, 8, 2, 6, 0, 5, 3]
+            .iter()
+            .map(|&i| (i, p))
+            .collect();
+        let idx = NearestIndex::new(entries);
+        let got: Vec<u32> = idx.k_nearest(&p, 4).into_iter().map(|(i, _)| i).collect();
+        // First four in insertion order, regardless of item values.
+        assert_eq!(got, vec![9, 4, 7, 1]);
+        // And the same query with k = len still returns insertion order.
+        let all: Vec<u32> = idx.k_nearest(&p, 10).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(all, vec![9, 4, 7, 1, 8, 2, 6, 0, 5, 3]);
     }
 }

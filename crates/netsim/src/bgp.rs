@@ -92,6 +92,89 @@ pub fn select_anycast_ingress(
     }
 }
 
+/// Like [`select_anycast_ingress`], but with the borders in `withdrawn` no
+/// longer announcing the anycast prefix (their colocated front-ends are
+/// down, see [`crate::outage::OutageModel`]). Every route learned through a
+/// withdrawn border disappears from the candidate set and selection re-runs
+/// over what remains — this is the BGP re-resolution that gives anycast its
+/// automatic failover (§2). With an empty `withdrawn` the result is
+/// identical to [`select_anycast_ingress`].
+///
+/// Corner cases follow BGP semantics: a [`EgressPolicy::FixedEgress`] AS
+/// whose pinned border is withdrawn has no route over that session and
+/// falls back to hot-potato over its remaining peerings (or transit); a
+/// transit provider whose peerings are all withdrawn delivers at the
+/// nearest still-announcing border.
+pub fn select_anycast_ingress_avoiding(
+    topo: &Topology,
+    rank: usize,
+    as_id: AsId,
+    client_metro: MetroId,
+    withdrawn: &[BorderId],
+) -> EgressDecision {
+    if withdrawn.is_empty() {
+        return select_anycast_ingress(topo, rank, as_id, client_metro);
+    }
+    let live = |b: &BorderId| !withdrawn.contains(b);
+    let eyeball = topo.eyeball(as_id);
+    let peering: Vec<BorderId> = eyeball
+        .peering_borders
+        .iter()
+        .copied()
+        .filter(|b| live(b))
+        .collect();
+    if !peering.is_empty() {
+        match eyeball.egress_policy {
+            EgressPolicy::FixedEgress(b) if live(&b) => {
+                return EgressDecision {
+                    ingress: b,
+                    via_transit: None,
+                    handoff_metro: None,
+                }
+            }
+            // Pinned egress lost its route (or the AS is hot-potato):
+            // pick among the surviving direct peerings.
+            _ => {
+                let ingress = rank_by_distance(topo, &peering, client_metro, rank);
+                return EgressDecision {
+                    ingress,
+                    via_transit: None,
+                    handoff_metro: None,
+                };
+            }
+        }
+    }
+    // No surviving direct peering: the route arrives via transit.
+    let provider_idx = rank % eyeball.transit.len();
+    let provider = topo.transit(eyeball.transit[provider_idx]);
+    let handoff = nearest_metro(topo, &provider.pops, client_metro);
+    let provider_live: Vec<BorderId> = provider
+        .peering_borders
+        .iter()
+        .copied()
+        .filter(|b| live(b))
+        .collect();
+    let candidates = if provider_live.is_empty() {
+        // The provider hears the announcement from other ASes even where it
+        // does not peer directly; deliver at the nearest live border of the
+        // CDN overall. (Reachable only in worlds where almost every border
+        // is withdrawn.)
+        topo.cdn.border_ids().filter(|b| live(b)).collect()
+    } else {
+        provider_live
+    };
+    debug_assert!(
+        !candidates.is_empty(),
+        "all anycast announcements withdrawn"
+    );
+    let ingress = rank_by_distance(topo, &candidates, handoff, 0);
+    EgressDecision {
+        ingress,
+        via_transit: Some(provider.id),
+        handoff_metro: Some(handoff),
+    }
+}
+
 /// Selects the CDN ingress for a **unicast** per-site prefix, which only the
 /// border router colocated with the site announces (§3.1). The client's ISP
 /// hears it over direct peering only if it peers at exactly that border;
@@ -336,6 +419,46 @@ mod tests {
         } else {
             assert!(topo.transit(provider).peering_borders.contains(&d.ingress));
         }
+    }
+
+    #[test]
+    fn avoiding_nothing_matches_plain_selection() {
+        let topo = world();
+        for e in &topo.eyeballs {
+            for rank in 0..2 {
+                let plain = select_anycast_ingress(&topo, rank, e.id, e.home_metro);
+                let avoid = select_anycast_ingress_avoiding(&topo, rank, e.id, e.home_metro, &[]);
+                assert_eq!(plain, avoid);
+            }
+        }
+    }
+
+    #[test]
+    fn withdrawn_border_is_never_selected() {
+        let topo = world();
+        for e in &topo.eyeballs {
+            let plain = select_anycast_ingress(&topo, 0, e.id, e.home_metro);
+            let withdrawn = [plain.ingress];
+            let moved = select_anycast_ingress_avoiding(&topo, 0, e.id, e.home_metro, &withdrawn);
+            assert_ne!(moved.ingress, plain.ingress, "AS {:?}", e.id);
+        }
+    }
+
+    #[test]
+    fn fixed_egress_falls_back_when_pinned_border_withdrawn() {
+        let topo = world();
+        let Some(e) = topo
+            .eyeballs
+            .iter()
+            .find(|e| matches!(e.egress_policy, EgressPolicy::FixedEgress(_)))
+        else {
+            return;
+        };
+        let EgressPolicy::FixedEgress(pinned) = e.egress_policy else {
+            unreachable!()
+        };
+        let d = select_anycast_ingress_avoiding(&topo, 0, e.id, e.home_metro, &[pinned]);
+        assert_ne!(d.ingress, pinned);
     }
 
     #[test]

@@ -128,6 +128,27 @@ pub struct NetConfig {
     /// Multiplier applied to the IGP cost of an inflated (border, site)
     /// pair.
     pub igp_inflation_factor: f64,
+    /// Per-day probability that a front-end site suffers an **unplanned
+    /// outage** (crash): its anycast announcement is withdrawn reactively,
+    /// so the old catchment blackholes until BGP reconverges, and its
+    /// unicast prefix points at a dead machine for the whole window.
+    /// Default 0 — failure worlds are opt-in and the default world is
+    /// byte-identical to pre-failure builds.
+    pub p_site_outage: f64,
+    /// Per-day probability that a site is taken down for a **maintenance
+    /// drain** (pre-announced withdrawal; anycast clients move losslessly
+    /// before the site goes dark). Rolled only on days without an outage.
+    pub p_site_drain: f64,
+    /// Duration of an unplanned outage window, seconds (≤ one day; windows
+    /// never span midnight).
+    pub outage_duration_s: f64,
+    /// Duration of a maintenance-drain window, seconds (≤ one day).
+    pub drain_duration_s: f64,
+    /// How long an *unplanned* anycast withdrawal takes to propagate:
+    /// clients whose steady route lands on the crashed site lose requests
+    /// for this many seconds after the window opens, then recover via the
+    /// next-best catchment (the paper's §2 "one routing step").
+    pub bgp_reconvergence_s: f64,
 }
 
 impl Default for NetConfig {
@@ -167,6 +188,11 @@ impl Default for NetConfig {
             unicast_penalty_ms_sigma: 0.8,
             p_igp_episode: 0.02,
             igp_inflation_factor: 3.0,
+            p_site_outage: 0.0,
+            p_site_drain: 0.0,
+            outage_duration_s: 7_200.0,
+            drain_duration_s: 14_400.0,
+            bgp_reconvergence_s: 30.0,
         }
     }
 }
@@ -245,6 +271,19 @@ impl NetConfig {
         prob("spike_prob", self.spike_prob)?;
         prob("p_igp_inflated", self.p_igp_inflated)?;
         prob("p_igp_episode", self.p_igp_episode)?;
+        prob("p_site_outage", self.p_site_outage)?;
+        prob("p_site_drain", self.p_site_drain)?;
+        pos("outage_duration_s", self.outage_duration_s)?;
+        pos("drain_duration_s", self.drain_duration_s)?;
+        if self.outage_duration_s > 86_400.0 || self.drain_duration_s > 86_400.0 {
+            return Err("outage/drain windows must fit within one day".into());
+        }
+        if self.bgp_reconvergence_s < 0.0 || !self.bgp_reconvergence_s.is_finite() {
+            return Err(format!(
+                "bgp_reconvergence_s must be non-negative and finite, got {}",
+                self.bgp_reconvergence_s
+            ));
+        }
         prob("p_unicast_path_penalty", self.p_unicast_path_penalty)?;
         pos("unicast_penalty_ms_median", self.unicast_penalty_ms_median)?;
         pos("fiber_km_per_ms", self.fiber_km_per_ms)?;
@@ -315,6 +354,29 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn failure_knobs_default_off_and_validate() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.p_site_outage, 0.0);
+        assert_eq!(cfg.p_site_drain, 0.0);
+        let bad = NetConfig {
+            outage_duration_s: 200_000.0,
+            ..NetConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NetConfig {
+            bgp_reconvergence_s: -1.0,
+            ..NetConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let ok = NetConfig {
+            p_site_outage: 0.3,
+            p_site_drain: 0.1,
+            ..NetConfig::small()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

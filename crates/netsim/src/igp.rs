@@ -47,6 +47,40 @@ pub fn select_site_ranked(topo: &Topology, border: BorderId, rank: usize) -> Sit
     ranked[rank.min(ranked.len() - 1)]
 }
 
+/// The best live front-end by IGP cost from `border` when the sites in
+/// `down` are out of service (crashed or drained, see
+/// [`crate::outage::OutageModel`]): the CDN's IGP simply stops advertising
+/// internal routes to a dead site, so the next-cheapest live site wins.
+/// Returns `None` only when *every* site is down. With an empty `down` the
+/// result equals [`select_site_ranked`].
+pub fn select_site_avoiding(
+    topo: &Topology,
+    border: BorderId,
+    rank: usize,
+    down: &[SiteId],
+) -> Option<SiteId> {
+    if down.is_empty() {
+        return Some(select_site_ranked(topo, border, rank));
+    }
+    if rank == 0 {
+        if let Some(site) = topo.cdn.borders[border.0 as usize].colocated_site {
+            if !down.contains(&site) {
+                return Some(site);
+            }
+        }
+    }
+    let mut ranked: Vec<SiteId> = topo.cdn.site_ids().filter(|s| !down.contains(s)).collect();
+    if ranked.is_empty() {
+        return None;
+    }
+    ranked.sort_by(|a, b| {
+        igp_cost(topo, border, *a)
+            .total_cmp(&igp_cost(topo, border, *b))
+            .then(a.cmp(b))
+    });
+    Some(ranked[rank.min(ranked.len() - 1)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +96,25 @@ mod tests {
             // Huge ranks clamp instead of panicking.
             let last = select_site_ranked(&topo, b, 10_000);
             assert!(topo.cdn.site_ids().any(|s| s == last));
+        }
+    }
+
+    #[test]
+    fn avoiding_skips_down_sites() {
+        let topo = Topology::generate(&NetConfig::small(), 9);
+        for b in topo.cdn.border_ids() {
+            // No down sites: exact agreement with ranked selection.
+            assert_eq!(
+                select_site_avoiding(&topo, b, 0, &[]),
+                Some(select_site_ranked(&topo, b, 0))
+            );
+            // The normally-selected site goes down: the runner-up wins.
+            let normal = select_site(&topo, b);
+            let moved = select_site_avoiding(&topo, b, 0, &[normal]).unwrap();
+            assert_ne!(moved, normal);
+            // Everything down: nothing to serve from.
+            let all: Vec<SiteId> = topo.cdn.site_ids().collect();
+            assert_eq!(select_site_avoiding(&topo, b, 0, &all), None);
         }
     }
 

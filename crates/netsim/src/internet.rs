@@ -20,6 +20,7 @@ use crate::config::NetConfig;
 use crate::ids::{AsId, BorderId, SiteId};
 use crate::igp;
 use crate::latency::{AccessTech, LatencyModel};
+use crate::outage::OutageModel;
 use crate::path::{Hop, HopKind, RoutePath};
 use crate::sim::Day;
 use crate::topology::Topology;
@@ -76,6 +77,7 @@ pub struct RouteDecision {
 pub struct Internet {
     topo: Topology,
     churn: ChurnModel,
+    outages: OutageModel,
     latency: LatencyModel,
     episode_seed: u64,
 }
@@ -96,10 +98,12 @@ impl Internet {
     /// at least one whose latency/churn parameters you intend.
     pub fn from_topology(topo: Topology, cfg: NetConfig, seed: u64) -> Internet {
         let churn = ChurnModel::new(&cfg, seed);
+        let outages = OutageModel::new(&cfg, seed);
         let latency = LatencyModel::new(cfg, seed);
         Internet {
             topo,
             churn,
+            outages,
             latency,
             episode_seed: seed ^ 0x6970_6765_7069,
         }
@@ -123,6 +127,24 @@ impl Internet {
     /// The latency model (exposed for ablations).
     pub fn latency_model(&self) -> &LatencyModel {
         &self.latency
+    }
+
+    /// The failure schedule (exposed for availability analyses).
+    pub fn outages(&self) -> &OutageModel {
+        &self.outages
+    }
+
+    /// The front-end sites that are down at `(day, time_s)`. Empty in every
+    /// world that does not configure failure injection.
+    pub fn down_sites(&self, day: Day, time_s: f64) -> Vec<SiteId> {
+        if !self.outages.enabled() {
+            return Vec::new();
+        }
+        self.topo
+            .cdn
+            .site_ids()
+            .filter(|&s| self.outages.is_down(s, day, time_s))
+            .collect()
     }
 
     /// Front-end site locations as `(site, location)` pairs — the catalog
@@ -171,6 +193,72 @@ impl Internet {
         let igp_rank = usize::from(self.igp_episode_on(egress.ingress, day));
         let site = igp::select_site_ranked(&self.topo, egress.ingress, igp_rank);
         self.build_decision(client, egress, site, day)
+    }
+
+    /// Where anycast routes `client` at the instant `(day, time_s)`, with
+    /// the failure schedule applied.
+    ///
+    /// Returns `None` when the request is lost:
+    ///
+    /// * the client's steady route lands on a site that just suffered an
+    ///   *unplanned* outage and BGP has not yet reconverged
+    ///   (`bgp_reconvergence_s`), so packets still follow the withdrawn
+    ///   announcement into the dead site; or
+    /// * every front-end is down at once.
+    ///
+    /// Otherwise the dead sites' borders are treated as having withdrawn
+    /// the anycast announcement and selection re-runs over the survivors —
+    /// one routing step later the client is served by its next-best
+    /// catchment (§2). Maintenance drains are pre-announced, so routing
+    /// has already moved by the window start and no request is ever lost.
+    /// In a world without failure injection this is exactly
+    /// [`Internet::anycast_route`].
+    pub fn anycast_route_at(
+        &self,
+        client: &ClientAttachment,
+        day: Day,
+        time_s: f64,
+    ) -> Option<RouteDecision> {
+        let down = self.down_sites(day, time_s);
+        if down.is_empty() {
+            return Some(self.anycast_route(client, day));
+        }
+        let steady = self.anycast_route(client, day);
+        if down.contains(&steady.site) && self.outages.converging(steady.site, day, time_s) {
+            return None;
+        }
+        let withdrawn: Vec<BorderId> = down
+            .iter()
+            .map(|&s| self.topo.cdn.unicast_announcement_border(s))
+            .collect();
+        let rank = self.churn.selection_rank(client.as_id, client.metro, day);
+        let egress = bgp::select_anycast_ingress_avoiding(
+            &self.topo,
+            rank,
+            client.as_id,
+            client.metro,
+            &withdrawn,
+        );
+        let igp_rank = usize::from(self.igp_episode_on(egress.ingress, day));
+        let site = igp::select_site_avoiding(&self.topo, egress.ingress, igp_rank, &down)?;
+        Some(self.build_decision(client, egress, site, day))
+    }
+
+    /// The unicast route to `site` at the instant `(day, time_s)`: `None`
+    /// while the site is down (its unicast prefix points at a dead machine
+    /// for the *whole* window — there is no alternative announcement to
+    /// fail over to, which is the §2 asymmetry against DNS redirection).
+    pub fn unicast_route_at(
+        &self,
+        client: &ClientAttachment,
+        site: SiteId,
+        day: Day,
+        time_s: f64,
+    ) -> Option<RouteDecision> {
+        if self.outages.is_down(site, day, time_s) {
+            return None;
+        }
+        Some(self.unicast_route(client, site, day))
     }
 
     /// Whether `border`'s ingress→front-end mapping is diverted to its
@@ -504,6 +592,105 @@ mod tests {
         for (site, loc) in net.site_locations() {
             assert!((net.client_site_km(&c, site) - c.location.haversine_km(&loc)).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn route_at_matches_route_without_failures() {
+        let net = world();
+        for i in 0..8 {
+            let c = client_at(&net, i);
+            for day in Day(0).span(3) {
+                for t in [0.0, 30_000.0, 80_000.0] {
+                    assert_eq!(
+                        net.anycast_route_at(&c, day, t),
+                        Some(net.anycast_route(&c, day))
+                    );
+                    let site = net.topology().cdn.site_ids().next().unwrap();
+                    assert_eq!(
+                        net.unicast_route_at(&c, site, day, t),
+                        Some(net.unicast_route(&c, site, day))
+                    );
+                }
+            }
+        }
+    }
+
+    fn failure_world() -> Internet {
+        let cfg = NetConfig {
+            p_site_outage: 0.3,
+            p_site_drain: 0.15,
+            ..NetConfig::small()
+        };
+        Internet::new(cfg, 11).unwrap()
+    }
+
+    #[test]
+    fn failover_routes_avoid_down_sites() {
+        let net = failure_world();
+        for i in 0..10 {
+            let c = client_at(&net, i);
+            for day in Day(0).span(10) {
+                for t in [10_000.0, 40_000.0, 70_000.0] {
+                    if let Some(d) = net.anycast_route_at(&c, day, t) {
+                        assert!(
+                            !net.outages().is_down(d.site, day, t),
+                            "client routed to a down site"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_to_down_site_fails_for_the_whole_window() {
+        let net = failure_world();
+        let c = client_at(&net, 0);
+        let (site, day, w) = net
+            .topology()
+            .cdn
+            .site_ids()
+            .flat_map(|s| Day(0).span(30).map(move |d| (s, d)))
+            .find_map(|(s, d)| net.outages().window_on(s, d).map(|w| (s, d, w)))
+            .expect("failure world schedules some window");
+        let mid = (w.start_s + w.end_s) / 2.0;
+        assert_eq!(net.unicast_route_at(&c, site, day, mid), None);
+        if w.end_s < 86_000.0 {
+            assert!(net.unicast_route_at(&c, site, day, w.end_s + 1.0).is_some());
+        }
+    }
+
+    #[test]
+    fn unplanned_outage_blackholes_then_fails_over_in_one_step() {
+        use crate::outage::OutageKind;
+        let net = failure_world();
+        let reconv = net.config().bgp_reconvergence_s;
+        assert!(reconv > 2.0, "test needs a visible convergence window");
+        // Find a client whose steady route lands on a site with an
+        // unplanned outage that day.
+        let found = (0..net.topology().eyeballs.len()).find_map(|i| {
+            let c = client_at(&net, i);
+            Day(0).span(30).find_map(|day| {
+                let steady = net.anycast_route(&c, day);
+                match net.outages().window_on(steady.site, day) {
+                    Some(w) if w.kind == OutageKind::Unplanned && w.end_s < 86_000.0 => {
+                        Some((c, day, steady, w))
+                    }
+                    _ => None,
+                }
+            })
+        });
+        let (c, day, steady, w) = found.expect("some client is hit by an unplanned outage");
+        // During reconvergence: the stale route blackholes.
+        assert_eq!(net.anycast_route_at(&c, day, w.start_s + 1.0), None);
+        // One routing step later: served by a different, live site.
+        let after = net
+            .anycast_route_at(&c, day, w.start_s + reconv + 1.0)
+            .expect("failover route exists");
+        assert_ne!(after.site, steady.site);
+        assert!(!net
+            .outages()
+            .is_down(after.site, day, w.start_s + reconv + 1.0));
     }
 
     #[test]

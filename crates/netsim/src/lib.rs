@@ -17,6 +17,9 @@
 //!    front-end closest to the client ([`igp`]).
 //! 4. **Routes churn.** Tie-breaks and internal weights flip day to day, with
 //!    reduced operator activity on weekends (Figure 7) ([`churn`]).
+//! 5. **Front-ends fail.** Sites crash or are drained for maintenance; the
+//!    anycast announcement is withdrawn and BGP re-resolves the catchment,
+//!    while unicast routes to the dead site simply fail ([`outage`]).
 //!
 //! The crate is fully deterministic: topology generation, routing, churn and
 //! latency noise all derive from explicit seeds. The same seed reproduces the
@@ -43,6 +46,7 @@ pub mod ids;
 pub mod igp;
 pub mod internet;
 pub mod latency;
+pub mod outage;
 pub mod path;
 pub mod prefix;
 pub mod sim;
@@ -55,6 +59,7 @@ pub use config::NetConfig;
 pub use ids::{AsId, BorderId, SiteId};
 pub use internet::{ClientAttachment, Internet, RouteDecision};
 pub use latency::AccessTech;
+pub use outage::{OutageKind, OutageModel, OutageWindow};
 pub use path::{Hop, HopKind, RoutePath};
 pub use prefix::{Prefix24, PrefixAllocator};
 pub use sim::{Day, Timeline};

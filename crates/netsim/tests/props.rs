@@ -2,7 +2,8 @@
 //! hold over *any* generated world.
 
 use anycast_netsim::{
-    AccessTech, ClientAttachment, Day, HopKind, Internet, NetConfig, Prefix24, PrefixAllocator,
+    AccessTech, ClientAttachment, Day, HopKind, Internet, NetConfig, OutageKind, OutageModel,
+    Prefix24, PrefixAllocator, SiteId,
 };
 use proptest::prelude::*;
 
@@ -117,6 +118,92 @@ proptest! {
         for _ in 0..n {
             let p: Prefix24 = alloc.alloc();
             prop_assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn outage_schedule_is_deterministic_and_well_formed(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+        site in 0u16..64,
+        day in 0u32..365,
+    ) {
+        let cfg = NetConfig {
+            p_site_outage: rate,
+            p_site_drain: rate * 0.5,
+            ..NetConfig::small()
+        };
+        let a = OutageModel::new(&cfg, seed);
+        let b = OutageModel::new(&cfg, seed);
+        let win = a.window_on(SiteId(site), Day(day));
+        // Pure function of (seed, site, day): replays agree bit-for-bit.
+        prop_assert_eq!(win, b.window_on(SiteId(site), Day(day)));
+        if let Some(w) = win {
+            // Windows sit inside the day and never span midnight.
+            prop_assert!(w.start_s >= 0.0);
+            prop_assert!(w.start_s < w.end_s);
+            prop_assert!(w.end_s <= 86_400.0);
+            // is_down agrees with the window over the whole day.
+            for probe in [w.start_s, w.end_s - 1e-6, (w.start_s + w.end_s) / 2.0] {
+                prop_assert!(a.is_down(SiteId(site), Day(day), probe));
+            }
+            prop_assert!(!a.is_down(SiteId(site), Day(day), w.end_s));
+        } else {
+            prop_assert!(!a.is_down(SiteId(site), Day(day), 43_200.0));
+        }
+    }
+
+    #[test]
+    fn outage_fraction_tracks_the_configured_rate(
+        seed in any::<u64>(),
+        rate in 0.05f64..0.45,
+    ) {
+        let cfg = NetConfig { p_site_outage: rate, ..NetConfig::small() };
+        let m = OutageModel::new(&cfg, seed);
+        let (n_sites, n_days) = (16u16, 200u32);
+        let mut outages = 0u32;
+        for s in 0..n_sites {
+            for d in 0..n_days {
+                if matches!(
+                    m.window_on(SiteId(s), Day(d)),
+                    Some(w) if w.kind == OutageKind::Unplanned
+                ) {
+                    outages += 1;
+                }
+            }
+        }
+        let frac = f64::from(outages) / f64::from(u32::from(n_sites) * n_days);
+        // 3 200 draws: the observed fraction must sit well within
+        // binomial noise of the configured probability (±5σ ≈ 0.045).
+        prop_assert!((frac - rate).abs() < 0.05, "fraction {frac} vs rate {rate}");
+    }
+
+    #[test]
+    fn catchments_never_point_at_down_sites(
+        seed in 0u64..6,
+        idx in 0usize..60,
+        day in 0u32..10,
+        slot in 0u32..24,
+    ) {
+        let cfg = NetConfig {
+            p_site_outage: 0.3,
+            p_site_drain: 0.2,
+            ..NetConfig::small()
+        };
+        let net = Internet::new(cfg, seed).unwrap();
+        let c = client_of(&net, idx, 20.0);
+        let t = (f64::from(slot) + 0.5) * 3_600.0;
+        // Anycast only ever resolves to a live site — failover is routing's
+        // job, so a Some(..) answer must be servable.
+        if let Some(d) = net.anycast_route_at(&c, Day(day), t) {
+            prop_assert!(!net.outages().is_down(d.site, Day(day), t));
+        }
+        // Unicast has no such escape hatch: a down site is unreachable for
+        // the whole window.
+        for site in net.topology().cdn.site_ids() {
+            if net.outages().is_down(site, Day(day), t) {
+                prop_assert!(net.unicast_route_at(&c, site, Day(day), t).is_none());
+            }
         }
     }
 

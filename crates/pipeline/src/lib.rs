@@ -42,13 +42,14 @@ pub mod sketch;
 pub mod source;
 pub mod window;
 
-pub use shard::{merge_keyed, Aggregate, ShardConfig, ShardedIngest};
+pub use shard::{merge_keyed, Aggregate, ShardConfig, ShardError, ShardedIngest};
 pub use sketch::{
     mix64, Counts, DistinctCounter, FastHasher, FastMap, HeavyHitters, QuantileSketch,
 };
 pub use source::{
-    ecs_record, ldns_record, passive_record, route_ldns, route_prefix, sketch_day,
-    summarize_passive_day, PassiveAggregator, PassiveDaySummary, PassiveSummaryConfig,
+    ecs_record, ecs_record_with_failures, ldns_record, ldns_record_with_failures, passive_record,
+    route_ldns, route_prefix, sketch_day, summarize_passive_day, tally_outcomes, OutcomeCounts,
+    OutcomeTally, PassiveAggregator, PassiveDaySummary, PassiveSummaryConfig,
 };
 pub use window::{DaySketches, DayWindow, GroupAggregator};
 

@@ -20,8 +20,41 @@
 //! [`ShardedIngest::push`] rather than buffering the day in memory.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
+
+/// A shard worker died mid-stream. Carries the worker's index and its
+/// panic message, recovered from the `JoinHandle::join` payload — the
+/// producer used to abort with an opaque `SendError` that lost both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Index of the worker that died (0-based, stable across runs for a
+    /// given routing function and worker count).
+    pub worker: usize,
+    /// The worker's panic payload rendered as text: `&str` and `String`
+    /// payloads verbatim, anything else a placeholder.
+    pub message: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Renders a `JoinHandle::join` panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A per-worker streaming aggregate: consumes records one at a time,
 /// produces a partial result at end of stream.
@@ -65,7 +98,10 @@ impl Default for ShardConfig {
 pub struct ShardedIngest<A: Aggregate, R: Fn(&A::Record) -> u64> {
     senders: Vec<SyncSender<Vec<A::Record>>>,
     pending: Vec<Vec<A::Record>>,
-    handles: Vec<JoinHandle<A::Output>>,
+    handles: Vec<Option<JoinHandle<A::Output>>>,
+    /// First worker death observed by `push`, replayed by `finish` so the
+    /// failure cannot be lost by continuing to drive a dead ingestion.
+    dead: Option<ShardError>,
     route: R,
     batch: usize,
 }
@@ -92,14 +128,14 @@ impl<A: Aggregate, R: Fn(&A::Record) -> u64> ShardedIngest<A, R> {
         for i in 0..cfg.workers {
             let (tx, rx) = sync_channel::<Vec<A::Record>>(cfg.queue_depth);
             let mut agg = make(i);
-            handles.push(std::thread::spawn(move || {
+            handles.push(Some(std::thread::spawn(move || {
                 for batch in rx {
                     for record in batch {
                         agg.observe(record);
                     }
                 }
                 agg.finish()
-            }));
+            })));
             senders.push(tx);
         }
         ShardedIngest {
@@ -108,13 +144,19 @@ impl<A: Aggregate, R: Fn(&A::Record) -> u64> ShardedIngest<A, R> {
                 .map(|_| Vec::with_capacity(cfg.batch))
                 .collect(),
             handles,
+            dead: None,
             route,
             batch: cfg.batch,
         }
     }
 
     /// Feeds one record; blocks when the owning worker's queue is full.
-    pub fn push(&mut self, record: A::Record) {
+    ///
+    /// # Errors
+    /// Returns [`ShardError`] when the owning worker has panicked: the
+    /// worker is joined and its panic message recovered, so the caller can
+    /// surface *why* ingestion degraded instead of an opaque `SendError`.
+    pub fn push(&mut self, record: A::Record) -> Result<(), ShardError> {
         // Multiply-shift range reduction (Lemire): a pure function of
         // (hash, worker count) like `%`, without the hardware divide —
         // this runs once per log record.
@@ -123,27 +165,77 @@ impl<A: Aggregate, R: Fn(&A::Record) -> u64> ShardedIngest<A, R> {
         self.pending[shard].push(record);
         if self.pending[shard].len() >= self.batch {
             let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.batch));
-            self.senders[shard]
-                .send(batch)
-                .expect("shard worker died mid-stream");
+            if self.senders[shard].send(batch).is_err() {
+                // A send only fails when the receiver hung up, i.e. the
+                // worker died. Reap it for the real panic payload.
+                return Err(self.reap(shard));
+            }
         }
+        Ok(())
+    }
+
+    /// Joins a dead worker and converts its panic payload into the typed
+    /// error.
+    fn reap(&mut self, shard: usize) -> ShardError {
+        let err = match self.handles[shard].take() {
+            Some(h) => match h.join() {
+                Err(payload) => ShardError {
+                    worker: shard,
+                    message: panic_message(payload),
+                },
+                Ok(_) => ShardError {
+                    worker: shard,
+                    message: "worker exited before end of stream".to_string(),
+                },
+            },
+            None => ShardError {
+                worker: shard,
+                message: "worker already reaped".to_string(),
+            },
+        };
+        if self.dead.is_none() {
+            self.dead = Some(err.clone());
+        }
+        err
     }
 
     /// Closes the stream: flushes residual batches, joins every worker,
     /// and returns the partial outputs in worker order (0..N).
-    pub fn finish(mut self) -> Vec<A::Output> {
+    ///
+    /// # Errors
+    /// Returns the first worker failure observed — the one `push` already
+    /// reported if any, else the lowest-index panicking worker's
+    /// [`ShardError`]. Every worker is still joined first, so no thread is
+    /// leaked on the error path.
+    pub fn finish(mut self) -> Result<Vec<A::Output>, ShardError> {
         for (i, residue) in self.pending.drain(..).enumerate() {
             if !residue.is_empty() {
-                self.senders[i]
-                    .send(residue)
-                    .expect("shard worker died at flush");
+                // A failed flush means the worker died; the join below
+                // recovers its panic payload, so ignore the send error.
+                let _ = self.senders[i].send(residue);
             }
         }
-        drop(self.senders);
-        self.handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+        self.senders.clear();
+        let mut outputs = Vec::with_capacity(self.handles.len());
+        let mut first_err: Option<ShardError> = None;
+        for (i, slot) in self.handles.into_iter().enumerate() {
+            let Some(h) = slot else { continue };
+            match h.join() {
+                Ok(out) => outputs.push(out),
+                Err(payload) => {
+                    if first_err.is_none() {
+                        first_err = Some(ShardError {
+                            worker: i,
+                            message: panic_message(payload),
+                        });
+                    }
+                }
+            }
+        }
+        match self.dead.or(first_err) {
+            Some(e) => Err(e),
+            None => Ok(outputs),
+        }
     }
 }
 
@@ -201,9 +293,26 @@ mod tests {
         let mut ingest =
             ShardedIngest::new(cfg, |r: &(u64, u64)| mix64(r.0), |_| Sums(BTreeMap::new()));
         for &r in records {
-            ingest.push(r);
+            ingest.push(r).unwrap();
         }
-        merge_keyed(ingest.finish(), |a, b| *a += b)
+        merge_keyed(ingest.finish().unwrap(), |a, b| *a += b)
+    }
+
+    /// Aggregate that panics on a poison record — models a worker hitting
+    /// a malformed log row or an internal invariant failure.
+    struct Poisonable;
+
+    impl Aggregate for Poisonable {
+        type Record = u64;
+        type Output = u64;
+
+        fn observe(&mut self, record: u64) {
+            assert!(record != 42, "poison record 42 observed");
+        }
+
+        fn finish(self) -> u64 {
+            0
+        }
     }
 
     #[test]
@@ -239,6 +348,66 @@ mod tests {
         let merged = merge_keyed(parts, |a, b| a.extend(b));
         assert_eq!(merged[&1], vec!["a", "c"]);
         assert_eq!(merged[&2], vec!["b"]);
+    }
+
+    #[test]
+    fn worker_panic_message_reaches_the_producer() {
+        // Regression: a worker panic used to surface as an opaque
+        // `SendError` expect in the producer, losing the panic payload.
+        let cfg = ShardConfig {
+            workers: 2,
+            batch: 1, // every push sends, so the death is observed quickly
+            queue_depth: 1,
+        };
+        let mut ingest = ShardedIngest::new(cfg, |r: &u64| mix64(*r), |_| Poisonable);
+        let mut err = None;
+        for i in 0..10_000u64 {
+            let record = if i == 5 { 42 } else { i };
+            if let Err(e) = ingest.push(record) {
+                err = Some(e);
+                break;
+            }
+        }
+        // Either a later push hit the dead worker, or finish reaps it.
+        let e = match err {
+            Some(e) => e,
+            None => ingest.finish().expect_err("worker panicked"),
+        };
+        assert!(e.worker < 2);
+        assert!(
+            e.message.contains("poison record 42"),
+            "panic payload lost: {:?}",
+            e.message
+        );
+        assert!(e.to_string().contains("shard worker"));
+    }
+
+    #[test]
+    fn panic_during_flush_is_reported_by_finish() {
+        let cfg = ShardConfig {
+            workers: 2,
+            batch: 1_000_000, // poison stays in the residue until finish
+            queue_depth: 1,
+        };
+        let mut ingest = ShardedIngest::new(cfg, |r: &u64| mix64(*r), |_| Poisonable);
+        for i in 0..50u64 {
+            ingest.push(if i == 25 { 42 } else { i }).unwrap();
+        }
+        let e = ingest.finish().expect_err("worker panicked at flush");
+        assert!(e.message.contains("poison record 42"), "{}", e.message);
+    }
+
+    #[test]
+    fn healthy_streams_are_unaffected_by_the_error_path() {
+        // The Result-returning API must not change any output bytes.
+        let records: Vec<(u64, u64)> = (0..3_000).map(|i| (i % 31, 2)).collect();
+        let mut expected = BTreeMap::new();
+        for &(k, w) in &records {
+            *expected.entry(k).or_insert(0) += w;
+        }
+        for workers in [1, 2, 5] {
+            assert_eq!(run(workers, &records), expected);
+        }
     }
 
     #[test]

@@ -36,6 +36,22 @@ pub fn ldns_record(m: &BeaconMeasurement) -> (LdnsId, Target, f64) {
     (m.ldns, m.target, m.rtt_ms)
 }
 
+/// Like [`ecs_record`], but failure-aware: a failed fetch (timeout against
+/// a dead front-end) contributes `penalty_ms` instead of its meaningless
+/// reported latency, so availability-aware training sees dead targets as
+/// very slow rather than invisible.
+pub fn ecs_record_with_failures(m: &BeaconMeasurement, penalty_ms: f64) -> (Prefix24, Target, f64) {
+    let v = if m.failed { penalty_ms } else { m.rtt_ms };
+    (m.prefix, m.target, v)
+}
+
+/// Like [`ldns_record`], but failure-aware (see
+/// [`ecs_record_with_failures`]).
+pub fn ldns_record_with_failures(m: &BeaconMeasurement, penalty_ms: f64) -> (LdnsId, Target, f64) {
+    let v = if m.failed { penalty_ms } else { m.rtt_ms };
+    (m.ldns, m.target, v)
+}
+
 /// A passive log row as a `(client /24, serving site)` stream record.
 pub fn passive_record(r: &PassiveRecord) -> (Prefix24, SiteId) {
     (r.prefix, r.site)
@@ -73,9 +89,14 @@ where
         |_| crate::window::GroupAggregator::new(eps),
     );
     for r in records {
-        ingest.push(r);
+        if let Err(e) = ingest.push(r) {
+            panic!("sketch_day ingestion failed: {e}");
+        }
     }
-    merge_keyed(ingest.finish(), |a: &mut QuantileSketch, b| a.merge(&b))
+    let parts = ingest
+        .finish()
+        .unwrap_or_else(|e| panic!("sketch_day ingestion failed: {e}"));
+    merge_keyed(parts, |a: &mut QuantileSketch, b| a.merge(&b))
 }
 
 /// Summary sizes for a passive-log day.
@@ -181,14 +202,114 @@ where
         |_| PassiveAggregator::new(sum_cfg),
     );
     for r in records {
-        ingest.push(r);
+        if let Err(e) = ingest.push(r) {
+            panic!("passive-day ingestion failed: {e}");
+        }
     }
-    let mut parts = ingest.finish().into_iter();
+    let mut parts = ingest
+        .finish()
+        .unwrap_or_else(|e| panic!("passive-day ingestion failed: {e}"))
+        .into_iter();
     let mut merged = parts.next().expect("at least one worker");
     for p in parts {
         merged.merge(&p);
     }
     merged
+}
+
+/// Success/failure counts for one request group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Requests that were served.
+    pub ok: u64,
+    /// Requests that failed (timed out against a dead front-end, or were
+    /// lost while routing reconverged).
+    pub failed: u64,
+}
+
+impl OutcomeCounts {
+    /// Total requests observed.
+    pub fn total(&self) -> u64 {
+        self.ok + self.failed
+    }
+
+    /// Served fraction in `[0, 1]`; an empty group counts as available.
+    pub fn availability(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.total() as f64
+        }
+    }
+
+    /// Adds another group's counts (used by [`merge_keyed`]).
+    pub fn absorb(&mut self, other: OutcomeCounts) {
+        self.ok += other.ok;
+        self.failed += other.failed;
+    }
+}
+
+/// The [`Aggregate`] over `(key, served)` request-outcome records: per-key
+/// availability tallies for the failure experiments. Counts add under
+/// merge, so the sharded tally is worker-count invariant like every other
+/// pipeline in this crate.
+#[derive(Debug, Clone)]
+pub struct OutcomeTally<K> {
+    counts: BTreeMap<K, OutcomeCounts>,
+}
+
+impl<K> Default for OutcomeTally<K> {
+    fn default() -> Self {
+        OutcomeTally {
+            counts: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Ord + Send + 'static> Aggregate for OutcomeTally<K> {
+    type Record = (K, bool);
+    type Output = BTreeMap<K, OutcomeCounts>;
+
+    fn observe(&mut self, (key, served): (K, bool)) {
+        let c = self.counts.entry(key).or_default();
+        if served {
+            c.ok += 1;
+        } else {
+            c.failed += 1;
+        }
+    }
+
+    fn finish(self) -> BTreeMap<K, OutcomeCounts> {
+        self.counts
+    }
+}
+
+/// Runs `(key, served)` outcome records through sharded ingestion and
+/// returns the merged per-key tallies. Bit-identical for any
+/// `cfg.workers`.
+pub fn tally_outcomes<K, I>(
+    records: I,
+    cfg: ShardConfig,
+    route: impl Fn(&K) -> u64 + 'static,
+) -> BTreeMap<K, OutcomeCounts>
+where
+    K: Ord + Send + 'static,
+    I: IntoIterator<Item = (K, bool)>,
+{
+    let mut ingest = ShardedIngest::new(
+        cfg,
+        move |r: &(K, bool)| route(&r.0),
+        |_| OutcomeTally::default(),
+    );
+    for r in records {
+        if let Err(e) = ingest.push(r) {
+            panic!("outcome tally ingestion failed: {e}");
+        }
+    }
+    let parts = ingest
+        .finish()
+        .unwrap_or_else(|e| panic!("outcome tally ingestion failed: {e}"));
+    merge_keyed(parts, |a: &mut OutcomeCounts, b| a.absorb(b))
 }
 
 #[cfg(test)]
@@ -281,6 +402,7 @@ mod tests {
             target: Target::Anycast,
             served_site: SiteId(1),
             rtt_ms: 42.0,
+            failed: false,
             day: Day(3),
             time_s: 1.0,
         };

@@ -238,9 +238,11 @@ mod tests {
                 |_| GroupAggregator::new(0.02),
             );
             for &r in &records {
-                ingest.push(r);
+                ingest.push(r).unwrap();
             }
-            let merged = merge_keyed(ingest.finish(), |a: &mut QuantileSketch, b| a.merge(&b));
+            let merged = merge_keyed(ingest.finish().unwrap(), |a: &mut QuantileSketch, b| {
+                a.merge(&b)
+            });
             let mut sharded: DayWindow<u32> = DayWindow::new(0.02);
             sharded.absorb_day(Day(0), merged);
             assert_eq!(
@@ -265,9 +267,11 @@ mod tests {
             |_| GroupAggregator::new(0.05),
         );
         for &r in &records {
-            ingest.push(r);
+            ingest.push(r).unwrap();
         }
-        let merged = merge_keyed(ingest.finish(), |a: &mut QuantileSketch, b| a.merge(&b));
+        let merged = merge_keyed(ingest.finish().unwrap(), |a: &mut QuantileSketch, b| {
+            a.merge(&b)
+        });
         let total: u64 = merged.values().map(|s| s.count()).sum();
         assert_eq!(total, 999);
     }

@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 use anycast_beacon::Target;
 use anycast_netsim::SiteId;
 use anycast_pipeline::{
-    merge_keyed, mix64, DistinctCounter, GroupAggregator, QuantileSketch, ShardConfig,
-    ShardedIngest,
+    merge_keyed, mix64, tally_outcomes, DistinctCounter, GroupAggregator, QuantileSketch,
+    ShardConfig, ShardedIngest,
 };
 use proptest::prelude::*;
 
@@ -127,13 +127,36 @@ proptest! {
                 |_| GroupAggregator::new(0.02),
             );
             for &r in &records {
-                ingest.push(r);
+                ingest.push(r).unwrap();
             }
-            merge_keyed(ingest.finish(), |a: &mut QuantileSketch, b| a.merge(&b))
+            merge_keyed(ingest.finish().unwrap(), |a: &mut QuantileSketch, b| a.merge(&b))
         };
         let reference = run(1, 64);
         let sharded = run(workers, batch);
         prop_assert_eq!(&sharded, &reference, "workers = {}, batch = {}", workers, batch);
+    }
+
+    #[test]
+    fn outcome_tallies_are_worker_count_invariant(
+        records in prop::collection::vec((0u32..48, any::<bool>()), 1..2_000),
+        workers in 2usize..7,
+        batch in 1usize..65,
+    ) {
+        // Failure records — (group key, served?) — tally identically no
+        // matter how the stream is sharded, so availability numbers from
+        // the parallel pipeline match a sequential pass bit-for-bit.
+        let run = |workers: usize, batch: usize| {
+            let cfg = ShardConfig { workers, batch, queue_depth: 2 };
+            tally_outcomes(records.iter().copied(), cfg, |k: &u32| mix64(u64::from(*k)))
+        };
+        let reference = run(1, 64);
+        let sharded = run(workers, batch);
+        prop_assert_eq!(&sharded, &reference, "workers = {}, batch = {}", workers, batch);
+        // Conservation: every record lands in exactly one tally.
+        let total: u64 = reference.values().map(|c| c.total()).sum();
+        prop_assert_eq!(total, records.len() as u64);
+        let failed: u64 = reference.values().map(|c| c.failed).sum();
+        prop_assert_eq!(failed, records.iter().filter(|&&(_, served)| !served).count() as u64);
     }
 
     #[test]
@@ -179,9 +202,11 @@ fn sharded_counts_are_exact_per_key() {
         |_| GroupAggregator::new(0.05),
     );
     for &r in &records {
-        ingest.push(r);
+        ingest.push(r).unwrap();
     }
-    let merged = merge_keyed(ingest.finish(), |a: &mut QuantileSketch, b| a.merge(&b));
+    let merged = merge_keyed(ingest.finish().unwrap(), |a: &mut QuantileSketch, b| {
+        a.merge(&b)
+    });
     let mut expected: BTreeMap<u32, u64> = BTreeMap::new();
     for &(k, _, _) in &records {
         *expected.entry(k).or_insert(0) += 1;

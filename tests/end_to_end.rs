@@ -39,6 +39,7 @@ fn full_pipeline_produces_all_analyses() {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
         min_samples: 10,
+        failure_penalty_ms: 3_000.0,
     };
     let table = Predictor::new(cfg).train(dataset, Day(0));
     let rows = evaluate_prediction(
@@ -149,6 +150,7 @@ fn prediction_targets_were_actually_measured() {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
         min_samples: 10,
+        failure_penalty_ms: 3_000.0,
     };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     let by_target = study.dataset().by_prefix_target(Day(0));

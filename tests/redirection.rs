@@ -70,6 +70,7 @@ fn prediction_policy_end_to_end_with_ecs() {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
         min_samples: 10,
+        failure_penalty_ms: 3_000.0,
     };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     assert!(!table.is_empty(), "campaign produced no predictions");
@@ -106,6 +107,7 @@ fn prediction_policy_without_ecs_falls_back_to_anycast() {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
         min_samples: 10,
+        failure_penalty_ms: 3_000.0,
     };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     let scenario = study.scenario();
@@ -126,6 +128,7 @@ fn hybrid_redirects_strict_subset() {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
         min_samples: 10,
+        failure_penalty_ms: 3_000.0,
     };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     let all = table.redirected_groups().count();
