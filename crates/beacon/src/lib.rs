@@ -34,6 +34,6 @@ pub mod timing;
 pub use collect::{BeaconDataset, BeaconExecution};
 pub use join::{join, BeaconMeasurement, Target};
 pub use policy::MeasurementPolicy;
-pub use runner::{run_beacon, BeaconClient, FetchConfig, HttpResult, MeasurementIdGen};
+pub use runner::{run_beacon, BeaconClient, FetchConfig, HttpResult};
 pub use slots::Slot;
 pub use timing::TimingModel;

@@ -12,10 +12,13 @@
 //! The warm-up resolution is what lands in the authoritative DNS log, and
 //! its unique hostname is the join key.
 
+use std::borrow::Cow;
 use std::net::Ipv4Addr;
 
 use anycast_geo::GeoPoint;
-use anycast_netsim::{CdnAddressing, ClientAttachment, Day, Internet, Prefix24, SiteId};
+use anycast_netsim::{
+    CdnAddressing, ClientAttachment, ClientRoutes, Day, Internet, Prefix24, SiteId,
+};
 use rand::Rng;
 
 use anycast_dns::{AuthoritativeServer, DnsName, Ldns};
@@ -73,26 +76,6 @@ impl Default for FetchConfig {
     }
 }
 
-/// Allocates unique measurement ids across a campaign.
-#[derive(Debug, Default)]
-pub struct MeasurementIdGen {
-    counter: u64,
-}
-
-impl MeasurementIdGen {
-    /// Creates a generator starting at execution 0.
-    pub fn new() -> MeasurementIdGen {
-        MeasurementIdGen::default()
-    }
-
-    /// Reserves the next execution counter.
-    pub fn next_execution(&mut self) -> u64 {
-        let c = self.counter;
-        self.counter += 1;
-        c
-    }
-}
-
 /// The client-side identity a beacon execution runs as.
 #[derive(Debug, Clone, Copy)]
 pub struct BeaconClient {
@@ -108,6 +91,13 @@ pub struct BeaconClient {
 /// the client's resolver — the location the server-side candidate selection
 /// uses (§3.3).
 ///
+/// `execution` is the caller-assigned execution counter (measurement ids
+/// are `Slot::id_for(execution)`), and `routes` is the client's view of
+/// the day's [route snapshot](anycast_netsim::RouteSnapshot) — both are
+/// supplied by the campaign engine so executions can be computed out of
+/// order and on any thread. The engine also derives `rng` per beacon, so
+/// this function's draws never interleave with another execution's.
+///
 /// Fetches honor the failure schedule: an attempt against a down (or
 /// still-converging) front-end times out after `fetch.timeout_ms`, retries
 /// re-route at the later instant (the DNS answer stays cached, so retries
@@ -118,6 +108,7 @@ pub struct BeaconClient {
 #[allow(clippy::too_many_arguments)]
 pub fn run_beacon(
     internet: &Internet,
+    routes: ClientRoutes<'_>,
     addressing: &CdnAddressing,
     timing: &TimingModel,
     fetch_cfg: &FetchConfig,
@@ -126,12 +117,11 @@ pub fn run_beacon(
     ldns: &mut Ldns,
     ldns_believed_location: GeoPoint,
     auth: &mut AuthoritativeServer<MeasurementPolicy>,
-    ids: &mut MeasurementIdGen,
-    day: Day,
+    execution: u64,
     time_s: f64,
     rng: &mut impl Rng,
 ) -> Vec<HttpResult> {
-    let execution = ids.next_execution();
+    let day = routes.day();
     let compliant = timing.browser_is_compliant(rng);
     let mut results = Vec::with_capacity(4);
     for slot in Slot::ALL {
@@ -169,12 +159,12 @@ pub fn run_beacon(
             // catchment while unicast retries keep hitting the dead site.
             let t = time_s + 0.5 + f64::from(attempt) * fetch_cfg.timeout_ms / 1000.0;
             let route = if addressing.is_anycast(addr) {
-                internet.anycast_route_at(&client.attachment, day, t)
+                routes.anycast_at(internet, t)
             } else {
                 let site = addressing
                     .site_for_ip(addr)
                     .expect("measurement answer must be a service address");
-                internet.unicast_route_at(&client.attachment, site, day, t)
+                routes.unicast_at(site, t).map(Cow::Borrowed)
             };
             if let Some(decision) = route {
                 // Success path draws exactly the same randomness as the
@@ -193,7 +183,7 @@ pub fn run_beacon(
                 // or anycast's steady-state catchment) and report the time
                 // the beacon burned waiting.
                 let site = if addressing.is_anycast(addr) {
-                    internet.anycast_route(&client.attachment, day).site
+                    routes.steady_anycast().site
                 } else {
                     addressing
                         .site_for_ip(addr)
@@ -221,7 +211,7 @@ pub fn run_beacon(
 mod tests {
     use super::*;
     use anycast_dns::{LdnsId, ResolverKind};
-    use anycast_netsim::{AccessTech, NetConfig};
+    use anycast_netsim::{AccessTech, NetConfig, RouteSnapshot};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -269,10 +259,11 @@ mod tests {
             c.attachment.location,
             false,
         );
-        let mut ids = MeasurementIdGen::new();
+        let snap = RouteSnapshot::build(&w.internet, &[c.attachment], Day(0));
         let mut rng = SmallRng::seed_from_u64(seed);
         let results = run_beacon(
             &w.internet,
+            snap.client(0),
             &w.addressing,
             &TimingModel::perfect(),
             &FetchConfig::default(),
@@ -281,8 +272,7 @@ mod tests {
             &mut ldns,
             c.attachment.location,
             &mut a,
-            &mut ids,
-            Day(0),
+            0,
             100.0,
             &mut rng,
         );
@@ -385,7 +375,7 @@ mod tests {
         let fetch = FetchConfig::default();
         let policy = MeasurementPolicy::new(internet.site_locations(), addressing, 10, 300, 1);
         let mut auth = AuthoritativeServer::new(policy, false);
-        let mut ids = MeasurementIdGen::new();
+        let mut execution = 0u64;
         let mut rng = SmallRng::seed_from_u64(11);
         let mut saw_failure = false;
         for e in &internet.topology().eyeballs {
@@ -399,10 +389,13 @@ mod tests {
                     access: AccessTech::Cable,
                 },
             };
+            let snap = RouteSnapshot::build(&internet, &[c.attachment], day);
             let mut ldns = Ldns::new(LdnsId(0), ResolverKind::IspLocal, loc, false);
             for i in 0..4u32 {
+                execution += 1;
                 let rs = run_beacon(
                     &internet,
+                    snap.client(0),
                     &addressing,
                     &TimingModel::perfect(),
                     &fetch,
@@ -411,8 +404,7 @@ mod tests {
                     &mut ldns,
                     loc,
                     &mut auth,
-                    &mut ids,
-                    day,
+                    execution,
                     when + f64::from(i) * 60.0,
                     &mut rng,
                 );
@@ -452,12 +444,13 @@ mod tests {
             c.attachment.location,
             false,
         );
-        let mut ids = MeasurementIdGen::new();
+        let snap = RouteSnapshot::build(&w.internet, &[c.attachment], Day(0));
         let mut rng = SmallRng::seed_from_u64(6);
         let mut seen = std::collections::HashSet::new();
-        for i in 0..10 {
+        for i in 0..10u64 {
             let rs = run_beacon(
                 &w.internet,
+                snap.client(0),
                 &w.addressing,
                 &TimingModel::default(),
                 &FetchConfig::default(),
@@ -466,9 +459,8 @@ mod tests {
                 &mut ldns,
                 c.attachment.location,
                 &mut a,
-                &mut ids,
-                Day(0),
-                100.0 + f64::from(i) * 60.0,
+                i,
+                100.0 + i as f64 * 60.0,
                 &mut rng,
             );
             for r in rs {

@@ -129,8 +129,7 @@ fn bench_merge(c: &mut Criterion) {
 
 fn bench_training(c: &mut Criterion) {
     let mut study = Study::new(Scenario::small(9), StudyConfig::default());
-    let mut rng = SmallRng::seed_from_u64(4);
-    study.run_day(Day(0), &mut rng);
+    study.run_day(Day(0));
     let predictor = Predictor::new(PredictorConfig {
         metric: Metric::P25,
         min_samples: 5,

@@ -1,0 +1,41 @@
+//! Bench for the parallel campaign engine: one full beacon day
+//! (`Study::run_day`) at the Small scale, sequential vs sharded.
+//!
+//! The engine's contract is that worker count never changes output bytes
+//! (the `study_worker_invariance` proptest pins that), so this bench is
+//! purely about wall-clock: the same day's schedule/execute/merge phases
+//! fanned across 1, 2, and 8 workers. The study is built once per worker
+//! count; each iteration re-runs day 0, so the timed region is exactly one
+//! campaign day (schedule fan-out, ordered execution, merge, join).
+//! Speedup tops out at `min(workers, host cores)` — on a single-core
+//! runner every worker count ties, and `BENCH_study.json` records which
+//! case the committed numbers came from.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use anycast_bench::worlds::{self, Scale};
+use anycast_core::{Study, StudyConfig};
+use anycast_netsim::Day;
+
+fn bench_run_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for workers in [1usize, 2, 8] {
+        let cfg = StudyConfig {
+            workers,
+            ..StudyConfig::default()
+        };
+        let mut st = Study::new(worlds::scenario(Scale::Small, 2015), cfg);
+        group.bench_function(format!("run-day-{workers}w").as_str(), |b| {
+            b.iter(|| st.run_day(Day(0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_day);
+criterion_main!(benches);

@@ -21,10 +21,11 @@
 use anycast_analysis::cdf::Ecdf;
 use anycast_analysis::report::Series;
 use anycast_core::{
-    anycast_request, evaluate_prediction, evaluation::outcome_shares, request_times, Deployment,
-    DnsRedirectionSim, Grouping, Metric, Predictor, PredictorConfig, Study, StudyConfig,
+    anycast_request_memo, evaluate_prediction, evaluation::outcome_shares, request_times,
+    Deployment, DnsRedirectionSim, Grouping, Metric, Predictor, PredictorConfig, Study,
+    StudyConfig,
 };
-use anycast_netsim::{Day, NetConfig};
+use anycast_netsim::{Day, NetConfig, RouteSnapshot};
 use anycast_pipeline::ShardConfig;
 use anycast_workload::{ldns_assign, Scenario};
 
@@ -34,8 +35,7 @@ use crate::FigureResult;
 /// Sweep of the prediction metric (ECS grouping, p75 evaluation).
 pub fn prediction_metric(scale: Scale, seed: u64) -> FigureResult {
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xab01);
-    st.run_days(Day(0), 2, &mut rng);
+    st.run_days(Day(0), 2);
     let ldns_of = st.ldns_of();
     let volumes = st.volumes();
 
@@ -61,7 +61,7 @@ pub fn prediction_metric(scale: Scale, seed: u64) -> FigureResult {
             Grouping::Ecs,
             st.dataset(),
             Day(1),
-            &ldns_of,
+            ldns_of,
             &volumes,
         );
         let (improved, _, hurt) = outcome_shares(&rows, false);
@@ -86,8 +86,7 @@ pub fn prediction_metric(scale: Scale, seed: u64) -> FigureResult {
 /// Sweep of the minimum-sample filter (ECS grouping, p25 metric).
 pub fn min_samples(scale: Scale, seed: u64) -> FigureResult {
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xab02);
-    st.run_days(Day(0), 2, &mut rng);
+    st.run_days(Day(0), 2);
     let ldns_of = st.ldns_of();
     let volumes = st.volumes();
 
@@ -107,7 +106,7 @@ pub fn min_samples(scale: Scale, seed: u64) -> FigureResult {
             Grouping::Ecs,
             st.dataset(),
             Day(1),
-            &ldns_of,
+            ldns_of,
             &volumes,
         );
         let (improved, _, hurt) = outcome_shares(&rows, false);
@@ -193,8 +192,7 @@ pub fn deployment_density(scale: Scale, seed: u64) -> FigureResult {
         cfg.net = NetConfig { n_sites, ..cfg.net };
         let scenario = Scenario::build(cfg).expect("valid density config");
         let mut st = Study::new(scenario, StudyConfig::default());
-        let mut rng = rng_for(seed ^ n_sites as u64, 0xab04);
-        st.run_days(Day(0), figure_days(scale, 1), &mut rng);
+        st.run_days(Day(0), figure_days(scale, 1));
         let penalties = Ecdf::from_values(
             st.dataset()
                 .executions()
@@ -229,8 +227,7 @@ pub fn deployment_density(scale: Scale, seed: u64) -> FigureResult {
 /// Sweep of the hybrid gain threshold (ECS grouping).
 pub fn hybrid_threshold(scale: Scale, seed: u64) -> FigureResult {
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xab05);
-    st.run_days(Day(0), 2, &mut rng);
+    st.run_days(Day(0), 2);
     let ldns_of = st.ldns_of();
     let volumes = st.volumes();
     let cfg = PredictorConfig {
@@ -251,7 +248,7 @@ pub fn hybrid_threshold(scale: Scale, seed: u64) -> FigureResult {
             Grouping::Ecs,
             st.dataset(),
             Day(1),
-            &ldns_of,
+            ldns_of,
             &volumes,
         );
         let (improved, _, hurt) = outcome_shares(&rows, false);
@@ -281,8 +278,7 @@ pub fn hybrid_threshold(scale: Scale, seed: u64) -> FigureResult {
 pub fn training_window(scale: Scale, seed: u64) -> FigureResult {
     let total_days = 5u32;
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xab06);
-    st.run_days(Day(0), total_days + 1, &mut rng);
+    st.run_days(Day(0), total_days + 1);
     let ldns_of = st.ldns_of();
     let volumes = st.volumes();
 
@@ -303,7 +299,7 @@ pub fn training_window(scale: Scale, seed: u64) -> FigureResult {
             Grouping::Ecs,
             st.dataset(),
             Day(total_days),
-            &ldns_of,
+            ldns_of,
             &volumes,
         );
         let (improved, _, hurt) = outcome_shares(&rows, false);
@@ -335,8 +331,7 @@ pub fn training_window(scale: Scale, seed: u64) -> FigureResult {
 /// materialize-and-sort path at production scale.
 pub fn sketch_accuracy(scale: Scale, seed: u64) -> FigureResult {
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xab07);
-    st.run_days(Day(0), 2, &mut rng);
+    st.run_days(Day(0), 2);
     let ldns_of = st.ldns_of();
     let volumes = st.volumes();
     let shard = ShardConfig::default();
@@ -358,7 +353,7 @@ pub fn sketch_accuracy(scale: Scale, seed: u64) -> FigureResult {
             grouping,
             st.dataset(),
             Day(1),
-            &ldns_of,
+            ldns_of,
             &volumes,
         );
         let (exact_improved, _, exact_hurt) = outcome_shares(&exact_rows, false);
@@ -374,7 +369,7 @@ pub fn sketch_accuracy(scale: Scale, seed: u64) -> FigureResult {
         for &eps in &[0.005, DEFAULT_EPS, 0.02, 0.05, 0.1, 0.2] {
             let table = predictor.train_sketched(st.dataset(), &[Day(0)], eps, shard);
             let rows =
-                evaluate_prediction(&table, grouping, st.dataset(), Day(1), &ldns_of, &volumes);
+                evaluate_prediction(&table, grouping, st.dataset(), Day(1), ldns_of, &volumes);
             let (improved, _, hurt) = outcome_shares(&rows, false);
             improved_pts.push((eps * 1e3, improved));
             hurt_pts.push((eps * 1e3, hurt));
@@ -445,11 +440,16 @@ pub fn outage_ttl(scale: Scale, seed: u64) -> FigureResult {
         let s = Scenario::build(cfg).expect("valid outage config");
         let internet = &s.internet;
 
+        // Per-day route snapshots keep the 192-probe/day sweep from
+        // re-resolving steady routes on every probe.
+        let attachments: Vec<_> = s.clients.iter().map(|c| c.attachment).collect();
+
         let (mut any_served, mut any_failed) = (0u64, 0u64);
         for day in 0..days {
+            let snap = RouteSnapshot::build(internet, &attachments, Day(day));
             for &t in &times {
-                for c in &s.clients {
-                    if anycast_request(internet, &c.attachment, Day(day), t).served() {
+                for i in 0..s.clients.len() {
+                    if anycast_request_memo(internet, &snap, i, t).served() {
                         any_served += 1;
                     } else {
                         any_failed += 1;
@@ -467,9 +467,10 @@ pub fn outage_ttl(scale: Scale, seed: u64) -> FigureResult {
             let mut dns = DnsRedirectionSim::new(internet, ttl);
             let (mut served, mut failed) = (0u64, 0u64);
             for day in 0..days {
+                let snap = RouteSnapshot::build(internet, &attachments, Day(day));
                 for &t in &times {
-                    for c in &s.clients {
-                        if dns.request(c.prefix, &c.attachment, Day(day), t).served() {
+                    for (i, c) in s.clients.iter().enumerate() {
+                        if dns.request_memo(c.prefix, &snap, i, t).served() {
                             served += 1;
                         } else {
                             failed += 1;

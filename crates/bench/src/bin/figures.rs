@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures from the simulated world.
 //!
 //! ```text
-//! figures <artifact|all|ablations|extras|everything>
+//! figures <artifact|all|ablations|extras|everything|bench>
 //!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
 //! ```
 //!
@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 use anycast_bench::cli;
-use anycast_bench::{ablations, extras, figures};
+use anycast_bench::{ablations, extras, figures, studybench};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +33,26 @@ fn main() -> ExitCode {
     };
 
     for id in invocation.ids {
+        if id == "bench" {
+            let report = studybench::run(
+                invocation.scale,
+                invocation.seed,
+                studybench::WORKER_COUNTS,
+                5,
+            );
+            let path = invocation
+                .out_dir
+                .clone()
+                .unwrap_or_default()
+                .join("BENCH_study.json");
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("{}", report.render());
+            println!("wrote {}", path.display());
+            continue;
+        }
         let result = figures::compute(id, invocation.scale, invocation.seed)
             .or_else(|| ablations::compute(id, invocation.scale, invocation.seed))
             .or_else(|| extras::compute(id, invocation.scale, invocation.seed))

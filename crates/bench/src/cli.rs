@@ -3,9 +3,12 @@
 //! Grammar:
 //!
 //! ```text
-//! figures <artifact|all|ablations|extras|everything>
+//! figures <artifact|all|ablations|extras|everything|bench>
 //!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
 //! ```
+//!
+//! `bench` is special: it times the campaign engine across worker counts
+//! and writes `BENCH_study.json` instead of rendering a figure.
 
 use std::path::PathBuf;
 
@@ -41,6 +44,9 @@ impl std::fmt::Display for ParseError {
 pub fn resolve_target(target: &str) -> Result<Vec<&'static str>, ParseError> {
     match target {
         "all" => Ok(figures::ALL.to_vec()),
+        // The campaign-engine timing sweep (studybench); writes
+        // BENCH_study.json rather than a figure table.
+        "bench" => Ok(vec!["bench"]),
         "ablations" => Ok(ablations::ALL.to_vec()),
         "extras" => Ok(extras::ALL.to_vec()),
         "everything" => Ok(figures::ALL
@@ -107,8 +113,10 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
 /// The usage text.
 pub fn usage_text() -> String {
     format!(
-        "usage: figures <artifact|all|ablations|extras|everything> \
+        "usage: figures <artifact|all|ablations|extras|everything|bench> \
          [--scale small|paper] [--seed N] [--csv] [--out DIR]\n\
+         bench: times Study::run_day across worker counts, \
+         writes BENCH_study.json\n\
          artifacts: {}\n\
          ablations: {}\n\
          extras:    {}",
@@ -189,5 +197,14 @@ mod tests {
     fn usage_mentions_every_group() {
         let u = usage_text();
         assert!(u.contains("fig9") && u.contains("ablation-hybrid") && u.contains("world-summary"));
+        assert!(u.contains("bench") && u.contains("BENCH_study.json"));
+    }
+
+    #[test]
+    fn bench_target_resolves() {
+        assert_eq!(resolve_target("bench").unwrap(), vec!["bench"]);
+        let inv = parse(&args(&["bench", "--scale", "small"])).unwrap();
+        assert_eq!(inv.ids, vec!["bench"]);
+        assert_eq!(inv.scale, Scale::Small);
     }
 }

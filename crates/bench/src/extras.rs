@@ -22,12 +22,12 @@ use anycast_analysis::report::Series;
 use anycast_core::flows::{disruption_rate, FlowModel};
 use anycast_core::loadaware::{loads_from_traffic, plan_shedding, total_overload, withdraw};
 use anycast_core::{
-    anycast_request, evaluate_prediction, evaluation::outcome_shares, request_times,
+    anycast_request_memo, evaluate_prediction, evaluation::outcome_shares, request_times,
     DnsRedirectionSim, FailureReason, Grouping, Metric, Predictor, PredictorConfig, Study,
     StudyConfig,
 };
 use anycast_dns::ResolverKind;
-use anycast_netsim::{Day, SiteId};
+use anycast_netsim::{Day, RouteSnapshot, SiteId};
 use anycast_workload::Scenario;
 
 use crate::worlds::{figure_days, rng_for, scenario, scenario_config, Scale};
@@ -168,8 +168,7 @@ pub fn ecs_adoption(scale: Scale, seed: u64) -> FigureResult {
         cfg.ldns.isp_ecs_fraction = adoption;
         let scenario = Scenario::build(cfg).expect("valid adoption config");
         let mut st = Study::new(scenario, StudyConfig::default());
-        let mut rng = rng_for(seed ^ (adoption * 100.0) as u64, 0xec5a);
-        st.run_days(Day(0), 2, &mut rng);
+        st.run_days(Day(0), 2);
 
         // ECS reach: share of demand whose resolver forwards its subnet.
         let s = st.scenario();
@@ -197,7 +196,7 @@ pub fn ecs_adoption(scale: Scale, seed: u64) -> FigureResult {
             Grouping::Ecs,
             st.dataset(),
             Day(1),
-            &ldns_of,
+            ldns_of,
             &volumes,
         )
         .into_iter()
@@ -254,12 +253,18 @@ pub fn failover(scale: Scale, seed: u64) -> FigureResult {
     // curve shows exactly where staleness starts to bite.
     let times = request_times(96);
 
+    // Routes are probed 96× per client-day, so resolve them once per day
+    // into a snapshot and let only the outage-window fallback re-resolve
+    // (the route-memo transparency proptest pins the equivalence).
+    let attachments: Vec<_> = s.clients.iter().map(|c| c.attachment).collect();
+
     // Anycast: no client-side state, so one pass covers every TTL.
     let (mut any_served, mut any_failed, mut any_converging) = (0u64, 0u64, 0u64);
     for day in 0..days {
+        let snap = RouteSnapshot::build(internet, &attachments, Day(day));
         for &t in &times {
-            for c in &s.clients {
-                match anycast_request(internet, &c.attachment, Day(day), t) {
+            for i in 0..s.clients.len() {
+                match anycast_request_memo(internet, &snap, i, t) {
                     out if out.served() => any_served += 1,
                     out => {
                         any_failed += 1;
@@ -282,9 +287,10 @@ pub fn failover(scale: Scale, seed: u64) -> FigureResult {
         let mut dns = DnsRedirectionSim::new(internet, ttl);
         let (mut served, mut failed, mut stale) = (0u64, 0u64, 0u64);
         for day in 0..days {
+            let snap = RouteSnapshot::build(internet, &attachments, Day(day));
             for &t in &times {
-                for c in &s.clients {
-                    match dns.request(c.prefix, &c.attachment, Day(day), t) {
+                for (i, c) in s.clients.iter().enumerate() {
+                    match dns.request_memo(c.prefix, &snap, i, t) {
                         out if out.served() => served += 1,
                         out => {
                             failed += 1;

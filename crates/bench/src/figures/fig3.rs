@@ -13,7 +13,7 @@ use anycast_analysis::report::Series;
 use anycast_geo::{Region, Scope};
 use anycast_netsim::{Day, Prefix24};
 
-use crate::worlds::{figure_days, rng_for, study, Scale};
+use crate::worlds::{figure_days, study, Scale};
 use crate::FigureResult;
 
 /// Days of beacon data the figure aggregates ("collected over a period of a
@@ -23,8 +23,7 @@ pub const PAPER_DAYS: u32 = 3;
 /// Computes the figure.
 pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xf163);
-    st.run_days(Day(0), figure_days(scale, PAPER_DAYS), &mut rng);
+    st.run_days(Day(0), figure_days(scale, PAPER_DAYS));
 
     // Scope lookup per prefix.
     let scope_of: HashMap<Prefix24, (&'static str, Region)> = st

@@ -10,7 +10,7 @@ use anycast_analysis::poor_paths::{daily_prevalence, mean_fraction, DailyPrevale
 use anycast_analysis::report::Series;
 use anycast_netsim::Day;
 
-use crate::worlds::{figure_days, rng_for, study, Scale};
+use crate::worlds::{figure_days, study, Scale};
 use crate::FigureResult;
 
 /// The paper's experiment spans April 2015; we run four weeks.
@@ -23,10 +23,9 @@ pub const LABELS: [&str; 5] = ["all", "> 10ms", "> 25ms", "> 50ms", "> 100ms"];
 pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let days = figure_days(scale, PAPER_DAYS);
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xf165);
     let mut daily: Vec<DailyPrevalence> = Vec::with_capacity(days as usize);
     for day in Day(0).span(days) {
-        st.run_day(day, &mut rng);
+        st.run_day(day);
         daily.push(daily_prevalence(&st.daily_prefix_perf(day)));
     }
 
@@ -67,10 +66,9 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
 pub fn poor_days_by_prefix(scale: Scale, seed: u64) -> Vec<(anycast_netsim::Prefix24, u32)> {
     let days = figure_days(scale, PAPER_DAYS);
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xf165);
     let mut out = Vec::new();
     for day in Day(0).span(days) {
-        st.run_day(day, &mut rng);
+        st.run_day(day);
         for p in st.daily_prefix_perf(day) {
             if p.improvement_ms() > 0.0 {
                 out.push((p.key, day.0));

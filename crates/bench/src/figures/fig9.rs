@@ -19,14 +19,13 @@ use anycast_core::{
 };
 use anycast_netsim::Day;
 
-use crate::worlds::{rng_for, study, Scale};
+use crate::worlds::{study, Scale};
 use crate::FigureResult;
 
 /// Computes the figure.
 pub fn compute(scale: Scale, seed: u64) -> FigureResult {
     let mut st = study(scale, seed);
-    let mut rng = rng_for(seed, 0xf169);
-    st.run_days(Day(0), 2, &mut rng);
+    st.run_days(Day(0), 2);
 
     let ldns_of = st.ldns_of();
     let volumes = st.volumes();
@@ -42,7 +41,7 @@ pub fn compute(scale: Scale, seed: u64) -> FigureResult {
             failure_penalty_ms: 3_000.0,
         };
         let table = Predictor::new(cfg).train(st.dataset(), Day(0));
-        let rows = evaluate_prediction(&table, grouping, st.dataset(), Day(1), &ldns_of, &volumes);
+        let rows = evaluate_prediction(&table, grouping, st.dataset(), Day(1), ldns_of, &volumes);
         let p50 = Ecdf::from_weighted(rows.iter().map(|r| (r.improvement_p50_ms, r.weight)));
         let p75 = Ecdf::from_weighted(rows.iter().map(|r| (r.improvement_p75_ms, r.weight)));
         series.push(Series::new(

@@ -22,7 +22,8 @@
 //! paper makes in prose (client-LDNS distance, TCP disruption under route
 //! changes, shedding vs withdrawal). [`worlds`] builds the standard
 //! experiment worlds at two scales: `Small` for CI/criterion, `Paper` for
-//! the numbers recorded in EXPERIMENTS.md.
+//! the numbers recorded in EXPERIMENTS.md. [`studybench`] is the `bench`
+//! CLI target: the campaign-engine worker sweep behind `BENCH_study.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,6 +32,7 @@ pub mod ablations;
 pub mod cli;
 pub mod extras;
 pub mod figures;
+pub mod studybench;
 pub mod worlds;
 
 use anycast_analysis::report::{render_scalars, render_table, Series};

@@ -1,0 +1,177 @@
+//! The `bench` CLI target: wall-clock throughput of the parallel campaign
+//! engine, written to `BENCH_study.json`.
+//!
+//! For each worker count this times `Study::run_day` — one full beacon
+//! day: schedule fan-out, time-ordered execution, merge, join — over a
+//! freshly built world, and reports rows/second plus the speedup against
+//! the sequential (1-worker) engine. Worker count is provably
+//! output-neutral (the `study_worker_invariance` proptest), so the only
+//! thing that varies here is time. The report records the host's core
+//! count because the speedup ceiling is `min(workers, cores)`: on a
+//! single-core host every worker count is expected to tie.
+
+use std::time::Instant;
+
+use anycast_core::{Study, StudyConfig};
+use anycast_netsim::Day;
+
+use crate::worlds::{self, Scale};
+
+/// Worker counts the `bench` target sweeps.
+pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Timing for one worker count: best-of-`iters` wall clock for one day.
+#[derive(Debug, Clone)]
+pub struct WorkerRun {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Best (minimum) wall-clock seconds for `run_day`.
+    pub best_s: f64,
+    /// Joined measurement rows the day produced (identical across runs).
+    pub rows: usize,
+    /// Rows per second at the best time.
+    pub rows_per_s: f64,
+    /// Best 1-worker time divided by this best time.
+    pub speedup_vs_1w: f64,
+}
+
+/// The full sweep, serializable as `BENCH_study.json`.
+#[derive(Debug, Clone)]
+pub struct StudyBenchReport {
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+    /// World seed.
+    pub seed: u64,
+    /// Parallelism the host actually offers.
+    pub host_cores: usize,
+    /// Timed iterations per worker count (best is reported).
+    pub iters: usize,
+    /// One row per worker count, in sweep order.
+    pub runs: Vec<WorkerRun>,
+}
+
+/// Runs the sweep: for each worker count, `iters` timed single-day
+/// campaigns over a fresh world (plus one untimed warm-up), best time kept.
+pub fn run(scale: Scale, seed: u64, workers: &[usize], iters: usize) -> StudyBenchReport {
+    let mut runs = Vec::with_capacity(workers.len());
+    let mut base_s = None;
+    for &w in workers {
+        let cfg = StudyConfig {
+            workers: w,
+            ..StudyConfig::default()
+        };
+        let mut best_s = f64::INFINITY;
+        let mut rows = 0usize;
+        // One extra untimed iteration warms caches and the allocator.
+        for i in 0..=iters.max(1) {
+            let mut st = Study::new(worlds::scenario(scale, seed), cfg);
+            let t0 = Instant::now();
+            st.run_day(Day(0));
+            let dt = t0.elapsed().as_secs_f64();
+            rows = st.dataset().measurements().len();
+            if i > 0 && dt < best_s {
+                best_s = dt;
+            }
+        }
+        let base = *base_s.get_or_insert(best_s);
+        runs.push(WorkerRun {
+            workers: w,
+            best_s,
+            rows,
+            rows_per_s: rows as f64 / best_s,
+            speedup_vs_1w: base / best_s,
+        });
+    }
+    StudyBenchReport {
+        scale,
+        seed,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        iters: iters.max(1),
+        runs,
+    }
+}
+
+impl StudyBenchReport {
+    /// Hand-rolled JSON (the workspace deliberately has no serde).
+    pub fn to_json(&self) -> String {
+        let scale = match self.scale {
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        };
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"study-run-day\",\n");
+        out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        out.push_str(&format!("  \"iters\": {},\n", self.iters));
+        out.push_str(
+            "  \"note\": \"speedup ceiling is min(workers, host_cores); \
+             on a 1-core host all worker counts tie modulo thread overhead\",\n",
+        );
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"best_s\": {:.6}, \"rows\": {}, \
+                 \"rows_per_s\": {:.1}, \"speedup_vs_1w\": {:.3}}}{comma}\n",
+                r.workers, r.best_s, r.rows, r.rows_per_s, r.speedup_vs_1w
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Aligned text table for stdout.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== bench — study run_day sweep (scale {:?}, seed {}, {} host core(s), best of {}) ==\n",
+            self.scale, self.seed, self.host_cores, self.iters
+        );
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>8} {:>12} {:>12}\n",
+            "workers", "best_s", "rows", "rows/s", "speedup"
+        ));
+        for r in &self.runs {
+            out.push_str(&format!(
+                "{:>8} {:>10.4} {:>8} {:>12.0} {:>11.2}x\n",
+                r.workers, r.best_s, r.rows, r.rows_per_s, r.speedup_vs_1w
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_every_worker_count() {
+        let report = run(Scale::Small, 1, &[1, 2], 1);
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs[0].workers, 1);
+        assert!((report.runs[0].speedup_vs_1w - 1.0).abs() < 1e-9);
+        // Output neutrality: both worker counts saw the same day.
+        assert_eq!(report.runs[0].rows, report.runs[1].rows);
+        assert!(report.runs.iter().all(|r| r.best_s > 0.0 && r.rows > 0));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = run(Scale::Small, 2, &[1], 1);
+        let j = report.to_json();
+        for key in [
+            "\"bench\"",
+            "\"scale\"",
+            "\"seed\"",
+            "\"host_cores\"",
+            "\"runs\"",
+            "\"speedup_vs_1w\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(report.render().contains("speedup"));
+    }
+}

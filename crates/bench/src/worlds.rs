@@ -59,8 +59,7 @@ pub fn study(scale: Scale, seed: u64) -> Study {
 /// day 0.
 pub fn study_with_days(scale: Scale, seed: u64, days: u32) -> Study {
     let mut s = study(scale, seed);
-    let mut rng = rng_for(seed, 0x0073_7475_6479);
-    s.run_days(Day(0), days, &mut rng);
+    s.run_days(Day(0), days);
     s
 }
 

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 
 use anycast_geo::GeoPoint;
-use anycast_netsim::{ClientAttachment, Day, Internet, Prefix24, SiteId};
+use anycast_netsim::{ClientAttachment, Day, Internet, Prefix24, RouteSnapshot, SiteId};
 
 /// Why a request failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,6 +111,46 @@ pub fn anycast_requests(
         .collect()
 }
 
+/// [`anycast_request`] through a per-day [`RouteSnapshot`]: identical
+/// outcomes (the snapshot is transparent), but the steady-state path is an
+/// array lookup instead of a full BGP/IGP re-selection. `client` indexes
+/// the population the snapshot was built over.
+pub fn anycast_request_memo(
+    internet: &Internet,
+    routes: &RouteSnapshot,
+    client: usize,
+    time_s: f64,
+) -> RequestOutcome {
+    match routes.anycast_at(internet, client, time_s) {
+        Some(d) => RequestOutcome::Served {
+            site: d.site,
+            rtt_ms: d.base_rtt_ms,
+        },
+        None => {
+            let steady = routes.steady_anycast(client).site;
+            if internet.outages().converging(steady, routes.day(), time_s) {
+                RequestOutcome::Failed(FailureReason::Converging)
+            } else {
+                RequestOutcome::Failed(FailureReason::NoLiveRoute)
+            }
+        }
+    }
+}
+
+/// A stream of memoized anycast requests at the given instants of the
+/// snapshot's day.
+pub fn anycast_requests_memo(
+    internet: &Internet,
+    routes: &RouteSnapshot,
+    client: usize,
+    times_s: &[f64],
+) -> Vec<RequestOutcome> {
+    times_s
+        .iter()
+        .map(|&t| anycast_request_memo(internet, routes, client, t))
+        .collect()
+}
+
 /// `n` evenly spaced request instants across a day, offset off the exact
 /// boundaries (deterministic; shared by the failure experiments).
 pub fn request_times(n: usize) -> Vec<f64> {
@@ -158,6 +198,33 @@ impl<'a> DnsRedirectionSim<'a> {
             .map(|(s, _)| s)
     }
 
+    /// The site the client uses at `(day, time_s)`: the cached answer if
+    /// still within TTL, else a fresh health-checked resolution (which is
+    /// cached). `None` when nothing is live to answer.
+    fn answer_site(
+        &mut self,
+        prefix: Prefix24,
+        loc: &GeoPoint,
+        day: Day,
+        time_s: f64,
+    ) -> Option<SiteId> {
+        let now = f64::from(day.0) * 86_400.0 + time_s;
+        let cached = self
+            .cache
+            .get(&prefix)
+            .copied()
+            .filter(|&(_, expires)| expires > now)
+            .map(|(site, _)| site);
+        match cached {
+            Some(site) => Some(site),
+            None => {
+                let site = self.resolve(loc, day, time_s)?;
+                self.cache.insert(prefix, (site, now + self.ttl_s));
+                Some(site)
+            }
+        }
+    }
+
     /// One request from `prefix` at `(day, time_s)`. Time must not go
     /// backwards across calls for a given prefix (cache expiry is absolute
     /// experiment time).
@@ -168,22 +235,8 @@ impl<'a> DnsRedirectionSim<'a> {
         day: Day,
         time_s: f64,
     ) -> RequestOutcome {
-        let now = f64::from(day.0) * 86_400.0 + time_s;
-        let cached = self
-            .cache
-            .get(&prefix)
-            .copied()
-            .filter(|&(_, expires)| expires > now)
-            .map(|(site, _)| site);
-        let site = match cached {
-            Some(site) => site,
-            None => match self.resolve(&client.location, day, time_s) {
-                Some(site) => {
-                    self.cache.insert(prefix, (site, now + self.ttl_s));
-                    site
-                }
-                None => return RequestOutcome::Failed(FailureReason::NoLiveRoute),
-            },
+        let Some(site) = self.answer_site(prefix, &client.location, day, time_s) else {
+            return RequestOutcome::Failed(FailureReason::NoLiveRoute);
         };
         match self.internet.unicast_route_at(client, site, day, time_s) {
             Some(d) => RequestOutcome::Served {
@@ -191,6 +244,31 @@ impl<'a> DnsRedirectionSim<'a> {
                 rtt_ms: d.base_rtt_ms,
             },
             // The answer was live when cached; the site died under it.
+            None => RequestOutcome::Failed(FailureReason::StaleDnsAnswer),
+        }
+    }
+
+    /// [`DnsRedirectionSim::request`] through a per-day [`RouteSnapshot`]
+    /// built over the same client population (the snapshot's day supplies
+    /// the day): identical outcomes, memoized unicast routing. `client`
+    /// indexes the snapshot's population.
+    pub fn request_memo(
+        &mut self,
+        prefix: Prefix24,
+        routes: &RouteSnapshot,
+        client: usize,
+        time_s: f64,
+    ) -> RequestOutcome {
+        let day = routes.day();
+        let loc = routes.attachment(client).location;
+        let Some(site) = self.answer_site(prefix, &loc, day, time_s) else {
+            return RequestOutcome::Failed(FailureReason::NoLiveRoute);
+        };
+        match routes.unicast_at(client, site, time_s) {
+            Some(d) => RequestOutcome::Served {
+                site,
+                rtt_ms: d.base_rtt_ms,
+            },
             None => RequestOutcome::Failed(FailureReason::StaleDnsAnswer),
         }
     }
@@ -355,6 +433,34 @@ mod tests {
         match dns.request(p, &c, day, t2) {
             RequestOutcome::Served { site: s, .. } => assert_ne!(s, site),
             RequestOutcome::Failed(r) => panic!("expected re-resolved answer, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn memoized_paths_match_direct_paths_under_failures() {
+        let internet = failure_world();
+        let clients: Vec<ClientAttachment> = (0..6).map(|i| attachment(&internet, i)).collect();
+        let times = request_times(24);
+        for day in 0..6u32 {
+            let day = Day(day);
+            let routes = RouteSnapshot::build(&internet, &clients, day);
+            let mut dns_direct = DnsRedirectionSim::new(&internet, 300.0);
+            let mut dns_memo = DnsRedirectionSim::new(&internet, 300.0);
+            for (i, c) in clients.iter().enumerate() {
+                let p = Prefix24::containing(Ipv4Addr::new(11, 0, i as u8, 1));
+                for &t in &times {
+                    assert_eq!(
+                        anycast_request_memo(&internet, &routes, i, t),
+                        anycast_request(&internet, c, day, t),
+                        "anycast divergence day {day:?} t {t}"
+                    );
+                    assert_eq!(
+                        dns_memo.request_memo(p, &routes, i, t),
+                        dns_direct.request(p, c, day, t),
+                        "dns divergence day {day:?} t {t}"
+                    );
+                }
+            }
         }
     }
 

@@ -6,38 +6,98 @@
 //! real resolver against the CDN's authoritative servers, and at the end of
 //! each day the backend joins client-side HTTP results with server-side DNS
 //! logs into the growing [`BeaconDataset`].
+//!
+//! # The parallel deterministic engine
+//!
+//! Calder et al. joined ~1B beacon measurements per day; the campaign is
+//! the hot path behind every figure. `run_day` is therefore built around
+//! **splittable determinism** rather than one shared sequential RNG:
+//!
+//! 1. **Schedule.** Each client's beacon count and timestamps for the day
+//!    are drawn from a private stream derived as
+//!    `stream_rng(seed, [SCHEDULE_STREAM, day, client])` — no client's
+//!    draws can perturb another's.
+//! 2. **Order.** The scheduled beacons are sorted into one global event
+//!    list by `(time, client, beacon)` and numbered; event *i* of `day`
+//!    gets execution id `(day << 28) | i`, globally unique across the
+//!    campaign without any shared counter.
+//! 3. **Execute.** Events fan out over worker threads with
+//!    [`anycast_pipeline::map_ordered`]; each beacon draws its noise from
+//!    `stream_rng(seed, [BEACON_STREAM, day, client, beacon])` and routes
+//!    against a shared read-only [`RouteSnapshot`] built once for the day.
+//!    Per-worker scratch state (authoritative server, resolver caches) is
+//!    output-transparent: beacon hostnames are unique, so resolver caches
+//!    only ever hit within a single execution.
+//! 4. **Merge.** Outputs come back in event order, so the HTTP rows and
+//!    the DNS log are globally time-ordered and **bit-identical for any
+//!    worker count** — the same contract the pipeline crate's sharded
+//!    ingestion makes, pinned end-to-end by the `study-worker-invariance`
+//!    proptest.
 
 use std::collections::HashMap;
 
 use anycast_analysis::poor_paths::PrefixDayPerf;
 use anycast_analysis::quantile::median;
 use anycast_beacon::{
-    join, BeaconClient, BeaconDataset, FetchConfig, MeasurementIdGen, MeasurementPolicy, Target,
-    TimingModel,
+    join, BeaconClient, BeaconDataset, FetchConfig, MeasurementPolicy, Target, TimingModel,
 };
-use anycast_dns::{AuthoritativeServer, DnsName, LdnsId};
-use anycast_netsim::{Day, Prefix24, Timeline};
+use anycast_dns::{AuthoritativeServer, DnsName, DnsQueryLog, Ldns, LdnsId};
+use anycast_geo::GeoPoint;
+use anycast_netsim::{stream_rng, ClientAttachment, Day, Prefix24, RouteSnapshot};
+use anycast_pipeline::map_ordered;
 use anycast_workload::{ldns_assign, temporal, Scenario};
-use rand::Rng;
+
+/// First key of every scheduling stream ("schedule").
+const SCHEDULE_STREAM: u64 = 0x7363_6865_6475_6c65;
+/// First key of every per-beacon noise stream ("beacon!").
+const BEACON_STREAM: u64 = 0x62_6561_636f_6e21;
+/// Bits of the execution id reserved for the within-day event index; the
+/// day number occupies the bits above. 2^28 beacons/day is two orders of
+/// magnitude past the Paper-scale world.
+const EXEC_INDEX_BITS: u32 = 28;
+/// Per-worker bounded output queue depth for the ordered merge.
+const QUEUE_DEPTH: usize = 16;
 
 /// Campaign parameters.
+///
+/// **RNG stream identity.** Derived streams are keyed only by
+/// `(scenario seed, day, client, beacon index)`, so a knob invalidates
+/// pinned outputs exactly when it changes which streams exist or what is
+/// asked of them:
+///
+/// * `beacon_rate` **affects stream identity** — it changes each client's
+///   scheduled beacon count, hence the event list and every downstream id;
+/// * `candidates` **affects stream identity** of the measurement policy's
+///   answers (which unicast targets a beacon fetches);
+/// * `timing` and `fetch` change how many draws a beacon makes from *its
+///   own* stream (and the reported values), but never another stream's;
+/// * `ttl_s`, `min_unicast_samples`, and `workers` are **stream-neutral**:
+///   `workers` in particular is provably output-neutral (the
+///   worker-invariance proptest pins it).
 #[derive(Debug, Clone, Copy)]
 pub struct StudyConfig {
     /// Fraction of queries that carry the beacon ("a small fraction of
-    /// search response pages", §1).
+    /// search response pages", §1). Affects RNG stream identity.
     pub beacon_rate: f64,
     /// Candidate-set size for the DNS measurement policy (§3.3's ten).
+    /// Affects which targets are measured, hence stream contents.
     pub candidates: usize,
     /// Measurement answer TTL, seconds (longer than a beacon run).
+    /// Stream-neutral.
     pub ttl_s: u32,
-    /// Browser timing accuracy model.
+    /// Browser timing accuracy model. Changes per-beacon draws, not
+    /// stream identity.
     pub timing: TimingModel,
     /// Client-side fetch timeout/retry behavior (matters only in worlds
-    /// with scheduled front-end failures).
+    /// with scheduled front-end failures). Changes per-beacon draws, not
+    /// stream identity.
     pub fetch: FetchConfig,
     /// Minimum samples for a per-day unicast median to count in the §5
-    /// daily poor-path analysis.
+    /// daily poor-path analysis. Stream-neutral.
     pub min_unicast_samples: usize,
+    /// Worker threads for `run_day` (≥ 1). Output bytes never depend on
+    /// it. Defaults to `$ANYCAST_STUDY_WORKERS` when set, else 1.
+    pub workers: usize,
 }
 
 impl Default for StudyConfig {
@@ -49,19 +109,56 @@ impl Default for StudyConfig {
             timing: TimingModel::default(),
             fetch: FetchConfig::default(),
             min_unicast_samples: 6,
+            workers: default_workers(),
         }
     }
+}
+
+/// Worker count from `$ANYCAST_STUDY_WORKERS` (CI exercises the threaded
+/// path this way), defaulting to sequential.
+fn default_workers() -> usize {
+    std::env::var("ANYCAST_STUDY_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
+
+/// One scheduled beacon execution: client `client`'s beacon number
+/// `beacon` of the day, firing at `time_s`.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time_s: f64,
+    client: usize,
+    beacon: u64,
+}
+
+/// Per-worker scratch state for a day's event fan-out. The authoritative
+/// server is a clone of the shared (pure, id-keyed) policy whose log is
+/// drained after every event; resolver replicas are built lazily per
+/// worker. Both are output-transparent: beacon hostnames are globally
+/// unique, so a resolver cache can only hit within one execution.
+struct DayWorker {
+    auth: AuthoritativeServer<MeasurementPolicy>,
+    resolvers: HashMap<LdnsId, Ldns>,
 }
 
 /// A running measurement campaign.
 #[derive(Debug)]
 pub struct Study {
     scenario: Scenario,
-    auth: AuthoritativeServer<MeasurementPolicy>,
+    policy: MeasurementPolicy,
     dataset: BeaconDataset,
-    ids: MeasurementIdGen,
+    dns_log: Vec<DnsQueryLog>,
     zone: DnsName,
     cfg: StudyConfig,
+    /// Client prefix → LDNS, fixed for the scenario (built once).
+    ldns_of: HashMap<Prefix24, LdnsId>,
+    /// Client index → LDNS (the hot-path form of `ldns_of`).
+    client_ldns: Vec<LdnsId>,
+    /// Resolver id → where the CDN's geolocation database believes the
+    /// resolver is (pure per resolver, precomputed).
+    believed: Vec<GeoPoint>,
 }
 
 impl Study {
@@ -74,16 +171,32 @@ impl Study {
             cfg.ttl_s,
             scenario.seed ^ 0x6265_6163_6f6e,
         );
-        // The measurement zone's authoritative server; ECS handling is not
-        // needed for the beacon (client identity comes from the HTTP side).
-        let auth = AuthoritativeServer::new(policy, false);
+        let ldns_of: HashMap<Prefix24, LdnsId> = scenario
+            .clients
+            .iter()
+            .map(|c| (c.prefix, scenario.ldns.resolver_of(c.prefix)))
+            .collect();
+        let client_ldns: Vec<LdnsId> = scenario
+            .clients
+            .iter()
+            .map(|c| ldns_of[&c.prefix])
+            .collect();
+        let believed: Vec<GeoPoint> = scenario
+            .ldns
+            .resolvers
+            .iter()
+            .map(|r| ldns_assign::believed_ldns_location(r, &scenario.geodb))
+            .collect();
         Study {
             scenario,
-            auth,
+            policy,
             dataset: BeaconDataset::new(),
-            ids: MeasurementIdGen::new(),
+            dns_log: Vec::new(),
             zone: DnsName::new("probe.cdn.example").expect("static zone is valid"),
             cfg,
+            ldns_of,
+            client_ldns,
+            believed,
         }
     }
 
@@ -102,79 +215,144 @@ impl Study {
         &self.dataset
     }
 
-    /// Runs one day of beacons: samples beacon executions from each
-    /// client's query stream, schedules them on the day's event timeline,
-    /// and runs them in arrival order (so DNS and HTTP logs come out
-    /// time-ordered, as production logs do). The day ends with the backend
-    /// join of DNS and HTTP logs into the dataset.
-    pub fn run_day(&mut self, day: Day, rng: &mut impl Rng) {
-        let s = &mut self.scenario;
-        let day_factor = temporal::day_volume_factor(day);
-        // Phase 1: schedule the day's beacon executions.
-        let mut timeline: Timeline<usize> = Timeline::new();
-        for (idx, c) in s.clients.iter().enumerate() {
-            let expected = c.volume as f64 * self.cfg.beacon_rate * day_factor;
-            let n = {
-                let base = expected.floor();
-                let extra = if rng.gen::<f64>() < expected - base {
-                    1u64
-                } else {
-                    0
-                };
-                base as u64 + extra
-            };
-            for _ in 0..n {
-                let t = temporal::sample_query_time(c.attachment.location.lon_deg(), rng);
-                timeline.push(t, idx);
-            }
-        }
-        // Phase 2: drain events in time order.
-        let mut http_rows = Vec::with_capacity(timeline.len() * 4);
-        while let Some((t, idx)) = timeline.pop() {
-            let c = &s.clients[idx];
-            let ldns_id = s.ldns.resolver_of(c.prefix);
-            let believed = ldns_assign::believed_ldns_location(s.ldns.resolver(ldns_id), &s.geodb);
-            let beacon_client = BeaconClient {
-                prefix: c.prefix,
-                attachment: c.attachment,
-            };
-            let rows = anycast_beacon::run_beacon(
-                &s.internet,
-                &s.addressing,
-                &self.cfg.timing,
-                &self.cfg.fetch,
-                &self.zone,
-                &beacon_client,
-                s.ldns.resolver_mut(ldns_id),
-                believed,
-                &mut self.auth,
-                &mut self.ids,
-                day,
-                t,
-                rng,
-            );
-            http_rows.extend(rows);
-        }
-        // Phase 3: day-end backend processing — pull the DNS logs and join.
-        let dns_logs = self.auth.drain_log();
-        let joined = join(&http_rows, &dns_logs, &s.addressing);
-        self.dataset.extend(joined);
+    /// Server-side authoritative DNS log collected so far, in global time
+    /// order (the backend's view before the join).
+    pub fn dns_log(&self) -> &[DnsQueryLog] {
+        &self.dns_log
     }
 
-    /// Runs a span of consecutive days.
-    pub fn run_days(&mut self, start: Day, count: u32, rng: &mut impl Rng) {
+    /// Runs one day of beacons: schedules each client's executions from
+    /// its private derived stream, sorts them into one global timeline,
+    /// fans them out across `cfg.workers` threads against a shared per-day
+    /// route snapshot, and merges results back in time order — so DNS and
+    /// HTTP logs come out exactly as a sequential run would produce them,
+    /// for any worker count. The day ends with the backend join of DNS and
+    /// HTTP logs into the dataset.
+    pub fn run_day(&mut self, day: Day) {
+        let s = &self.scenario;
+        let cfg = &self.cfg;
+        let zone = &self.zone;
+        let policy = &self.policy;
+        let client_ldns = &self.client_ldns;
+        let believed = &self.believed;
+        let workers = cfg.workers.max(1);
+        let day_factor = temporal::day_volume_factor(day);
+
+        // Phase 1: schedule the day's beacon executions, one derived
+        // stream per client. The floor+Bernoulli count and the rejection-
+        // sampled timestamps all come from the client's own stream, so the
+        // schedule is computable per client in isolation.
+        let schedules: Vec<Vec<f64>> = map_ordered(
+            &s.clients,
+            workers,
+            QUEUE_DEPTH,
+            |_| (),
+            |(), idx, c| {
+                let mut rng = stream_rng(s.seed, &[SCHEDULE_STREAM, u64::from(day.0), idx as u64]);
+                let expected = c.volume as f64 * cfg.beacon_rate * day_factor;
+                let n = anycast_workload::scenario::sample_count(expected, &mut rng);
+                (0..n)
+                    .map(|_| temporal::sample_query_time(c.attachment.location.lon_deg(), &mut rng))
+                    .collect()
+            },
+        );
+        let mut events: Vec<Event> = Vec::new();
+        for (client, times) in schedules.iter().enumerate() {
+            for (beacon, &time_s) in times.iter().enumerate() {
+                events.push(Event {
+                    time_s,
+                    client,
+                    beacon: beacon as u64,
+                });
+            }
+        }
+        // Total order: arrival time, then (client, beacon) as the
+        // deterministic tiebreak for simultaneous arrivals.
+        events.sort_unstable_by(|a, b| {
+            a.time_s
+                .total_cmp(&b.time_s)
+                .then(a.client.cmp(&b.client))
+                .then(a.beacon.cmp(&b.beacon))
+        });
+        assert!(
+            (events.len() as u64) < 1 << EXEC_INDEX_BITS,
+            "day of {} events overflows the execution-id index space",
+            events.len()
+        );
+
+        // Phase 2: build the day's route memo once (shared read-only), then
+        // fan events out; outputs come back merged in event order.
+        let attachments: Vec<ClientAttachment> = s.clients.iter().map(|c| c.attachment).collect();
+        let routes = RouteSnapshot::build_parallel(&s.internet, &attachments, day, workers);
+        let outputs: Vec<(Vec<anycast_beacon::HttpResult>, Vec<DnsQueryLog>)> = map_ordered(
+            &events,
+            workers,
+            QUEUE_DEPTH,
+            |_| DayWorker {
+                auth: AuthoritativeServer::new(policy.clone(), false),
+                resolvers: HashMap::new(),
+            },
+            |w, i, ev| {
+                let c = &s.clients[ev.client];
+                let ldns_id = client_ldns[ev.client];
+                let ldns = w.resolvers.entry(ldns_id).or_insert_with(|| {
+                    let r = s.ldns.resolver(ldns_id);
+                    Ldns::new(r.id, r.kind, r.location, r.supports_ecs)
+                });
+                let beacon_client = BeaconClient {
+                    prefix: c.prefix,
+                    attachment: c.attachment,
+                };
+                let execution = (u64::from(day.0) << EXEC_INDEX_BITS) | i as u64;
+                let mut rng = stream_rng(
+                    s.seed,
+                    &[BEACON_STREAM, u64::from(day.0), ev.client as u64, ev.beacon],
+                );
+                let rows = anycast_beacon::run_beacon(
+                    &s.internet,
+                    routes.client(ev.client),
+                    &s.addressing,
+                    &cfg.timing,
+                    &cfg.fetch,
+                    zone,
+                    &beacon_client,
+                    ldns,
+                    believed[ldns_id.0 as usize],
+                    &mut w.auth,
+                    execution,
+                    ev.time_s,
+                    &mut rng,
+                );
+                (rows, w.auth.drain_log())
+            },
+        );
+
+        // Phase 3: day-end backend processing — concatenate the already
+        // time-ordered logs and join.
+        let mut http_rows = Vec::with_capacity(events.len() * 4);
+        let mut dns_rows = Vec::with_capacity(events.len() * 4);
+        for (rows, dns) in outputs {
+            http_rows.extend(rows);
+            dns_rows.extend(dns);
+        }
+        let joined = join(&http_rows, &dns_rows, &s.addressing);
+        self.dataset.extend(joined);
+        self.dns_log.extend(dns_rows);
+    }
+
+    /// Runs a span of consecutive days. Each day derives its own streams,
+    /// so days are independent too — running days 0..3 then 3..6 equals
+    /// running 0..6.
+    pub fn run_days(&mut self, start: Day, count: u32) {
         for day in start.span(count) {
-            self.run_day(day, rng);
+            self.run_day(day);
         }
     }
 
     /// Client prefix → LDNS map (the DNS side of the §6 LDNS evaluation).
-    pub fn ldns_of(&self) -> HashMap<Prefix24, LdnsId> {
-        self.scenario
-            .clients
-            .iter()
-            .map(|c| (c.prefix, self.scenario.ldns.resolver_of(c.prefix)))
-            .collect()
+    /// Fixed for the scenario; built once at [`Study::new`].
+    pub fn ldns_of(&self) -> &HashMap<Prefix24, LdnsId> {
+        &self.ldns_of
     }
 
     /// Client prefix → daily query volume (the figure weighting).
@@ -228,7 +406,6 @@ impl Study {
 mod tests {
     use super::*;
     use anycast_beacon::Slot;
-    use anycast_workload::scenario::seeded_rng;
 
     fn small_study(seed: u64) -> Study {
         Study::new(Scenario::small(seed), StudyConfig::default())
@@ -237,8 +414,7 @@ mod tests {
     #[test]
     fn one_day_produces_joined_measurements() {
         let mut study = small_study(1);
-        let mut rng = seeded_rng(1, 2);
-        study.run_day(Day(0), &mut rng);
+        study.run_day(Day(0));
         assert!(!study.dataset().is_empty(), "no measurements collected");
         // Every measurement joined an LDNS identity.
         for m in study.dataset().measurements() {
@@ -257,8 +433,7 @@ mod tests {
     #[test]
     fn executions_have_anycast_and_unicast_sides() {
         let mut study = small_study(2);
-        let mut rng = seeded_rng(2, 2);
-        study.run_day(Day(0), &mut rng);
+        study.run_day(Day(0));
         let execs = study.dataset().executions();
         assert!(!execs.is_empty());
         let complete = execs
@@ -271,8 +446,7 @@ mod tests {
     #[test]
     fn beacon_volume_tracks_rate() {
         let mut study = small_study(3);
-        let mut rng = seeded_rng(3, 2);
-        study.run_day(Day(0), &mut rng);
+        study.run_day(Day(0));
         let total_volume: u64 = study.scenario().clients.iter().map(|c| c.volume).sum();
         let expected_execs = total_volume as f64 * study.config().beacon_rate;
         let got = study.dataset().executions().len() as f64;
@@ -285,8 +459,7 @@ mod tests {
     #[test]
     fn daily_perf_is_nonempty_and_sane() {
         let mut study = small_study(4);
-        let mut rng = seeded_rng(4, 2);
-        study.run_day(Day(0), &mut rng);
+        study.run_day(Day(0));
         let perf = study.daily_prefix_perf(Day(0));
         assert!(!perf.is_empty());
         for p in &perf {
@@ -302,10 +475,9 @@ mod tests {
     #[test]
     fn measurements_arrive_in_time_order() {
         // The event-driven day must produce time-ordered logs, like a real
-        // log pipeline.
+        // log pipeline — and so must the drained DNS log.
         let mut study = small_study(8);
-        let mut rng = seeded_rng(8, 2);
-        study.run_day(Day(0), &mut rng);
+        study.run_day(Day(0));
         let times: Vec<f64> = study
             .dataset()
             .measurements()
@@ -315,14 +487,57 @@ mod tests {
         assert!(times.len() > 100);
         let sorted = times.windows(2).all(|w| w[0] <= w[1]);
         assert!(sorted, "day's measurements are not time-ordered");
+        let dns_sorted = study
+            .dns_log()
+            .windows(2)
+            .all(|w| w[0].time_s <= w[1].time_s);
+        assert!(dns_sorted, "day's DNS log is not time-ordered");
     }
 
     #[test]
     fn multi_day_runs_accumulate() {
         let mut study = small_study(5);
-        let mut rng = seeded_rng(5, 2);
-        study.run_days(Day(0), 2, &mut rng);
+        study.run_days(Day(0), 2);
         assert_eq!(study.dataset().days(), vec![Day(0), Day(1)]);
+    }
+
+    #[test]
+    fn execution_ids_are_unique_across_days() {
+        let mut study = small_study(9);
+        study.run_days(Day(0), 2);
+        let mut execs: Vec<u64> = study
+            .dataset()
+            .measurements()
+            .iter()
+            .map(|m| Slot::execution_of(m.measurement_id))
+            .collect();
+        execs.sort_unstable();
+        execs.dedup();
+        let grouped = study.dataset().executions().len();
+        assert_eq!(execs.len(), grouped, "execution ids collide across days");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outputs() {
+        // The proptest pins this over many seeds/worker counts; this is
+        // the fast always-on check.
+        let run = |workers: usize| {
+            let cfg = StudyConfig {
+                workers,
+                ..StudyConfig::default()
+            };
+            let mut study = Study::new(Scenario::small(11), cfg);
+            study.run_day(Day(0));
+            study
+        };
+        let seq = run(1);
+        let par = run(3);
+        assert_eq!(
+            seq.dataset().measurements(),
+            par.dataset().measurements(),
+            "joined dataset differs across worker counts"
+        );
+        assert_eq!(seq.dns_log(), par.dns_log(), "DNS log differs");
     }
 
     #[test]

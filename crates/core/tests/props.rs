@@ -3,10 +3,11 @@
 
 use anycast_beacon::{BeaconDataset, BeaconMeasurement, Slot, Target};
 use anycast_core::loadaware::{plan_shedding, total_overload, withdraw, SiteLoad};
-use anycast_core::{GroupKey, Grouping, Metric, Predictor, PredictorConfig};
+use anycast_core::{GroupKey, Grouping, Metric, Predictor, PredictorConfig, Study, StudyConfig};
 use anycast_dns::LdnsId;
 use anycast_geo::GeoPoint;
 use anycast_netsim::{Day, Prefix24, SiteId};
+use anycast_workload::{Scenario, ScenarioConfig};
 use proptest::prelude::*;
 
 /// Builds a dataset from a compact spec: per (prefix, target) a list of
@@ -176,5 +177,43 @@ proptest! {
         let after_total: f64 = after.iter().map(|s| s.load).sum();
         prop_assert!((before_total - after_total).abs() < 1e-6);
         prop_assert_eq!(after.iter().find(|s| s.site == victim).unwrap().load, 0.0);
+    }
+}
+
+// Each case runs three full campaign days over a Small world, so this
+// block keeps its case count low; CI invokes it by name.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn study_worker_invariance(
+        seed in 0u64..500,
+        outages in any::<bool>(),
+    ) {
+        // The threaded campaign engine must be output-transparent: for a
+        // fixed seed, the joined dataset AND the drained DNS log are
+        // byte-identical for any worker count, including in worlds where
+        // front-ends fail mid-day.
+        let world = |seed: u64| {
+            let mut cfg = ScenarioConfig::small(seed);
+            if outages {
+                cfg.net.p_site_outage = 0.25;
+                cfg.net.p_site_drain = 0.15;
+            }
+            Scenario::build(cfg).expect("valid config")
+        };
+        let run = |workers: usize| {
+            let cfg = StudyConfig { workers, ..StudyConfig::default() };
+            let mut st = Study::new(world(seed), cfg);
+            st.run_day(Day(0));
+            (st.dataset().measurements().to_vec(), st.dns_log().to_vec())
+        };
+        let (m1, d1) = run(1);
+        prop_assert!(!m1.is_empty(), "campaign produced no measurements");
+        for workers in [2usize, 8] {
+            let (m, d) = run(workers);
+            prop_assert_eq!(&m, &m1, "measurements diverge at {} workers", workers);
+            prop_assert_eq!(&d, &d1, "dns log diverges at {} workers", workers);
+        }
     }
 }

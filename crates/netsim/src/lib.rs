@@ -50,6 +50,8 @@ pub mod outage;
 pub mod path;
 pub mod prefix;
 pub mod sim;
+pub mod snapshot;
+pub mod stream;
 pub mod topology;
 pub mod trace;
 
@@ -63,5 +65,7 @@ pub use outage::{OutageKind, OutageModel, OutageWindow};
 pub use path::{Hop, HopKind, RoutePath};
 pub use prefix::{Prefix24, PrefixAllocator};
 pub use sim::{Day, Timeline};
+pub use snapshot::{ClientRoutes, RouteSnapshot};
+pub use stream::stream_rng;
 pub use topology::{CdnNetwork, EyeballAs, Topology, TransitAs};
 pub use trace::{Probe, ProbeFleet, Traceroute};

@@ -1,0 +1,302 @@
+//! Per-day route memoization: a read-only snapshot of routing decisions.
+//!
+//! Routing is deterministic per `(client, site, day)` — the stochastic part
+//! of a measurement is only the RTT noise added by
+//! [`Internet::sample_rtt`]. The campaign engine nevertheless used to
+//! recompute BGP/IGP selection and path construction for every beacon
+//! fetch, several times per beacon. A [`RouteSnapshot`] hoists that work to
+//! once per `(client, site)` per day: build it when the day starts, share
+//! it read-only across worker threads, and route each request with an
+//! array lookup.
+//!
+//! The snapshot is **transparent**: for every `(client, site, time)` it
+//! returns exactly what [`Internet::anycast_route_at`] /
+//! [`Internet::unicast_route_at`] would. The steady-state fast path is a
+//! borrow of the precomputed decision; only instants that fall inside a
+//! scheduled down-window fall back to the full failover computation (which
+//! depends on the set of currently-down sites and is too time-varying to
+//! precompute). Worlds without failure injection never take the fallback.
+
+use std::borrow::Cow;
+
+use crate::ids::SiteId;
+use crate::internet::{ClientAttachment, Internet, RouteDecision};
+use crate::outage::OutageWindow;
+use crate::sim::Day;
+
+/// One day's routing table for a fixed client population: steady anycast
+/// and per-site unicast decisions, plus the day's outage windows.
+#[derive(Debug, Clone)]
+pub struct RouteSnapshot {
+    day: Day,
+    n_sites: usize,
+    attachments: Vec<ClientAttachment>,
+    /// Steady anycast decision per client.
+    anycast: Vec<RouteDecision>,
+    /// Unicast decision per `(client, site)`, client-major.
+    unicast: Vec<RouteDecision>,
+    /// This day's down-window per site (almost always all `None`).
+    windows: Vec<Option<OutageWindow>>,
+    has_windows: bool,
+}
+
+impl RouteSnapshot {
+    /// Builds the snapshot sequentially. Equivalent to
+    /// [`RouteSnapshot::build_parallel`] with one worker.
+    pub fn build(internet: &Internet, clients: &[ClientAttachment], day: Day) -> RouteSnapshot {
+        Self::build_parallel(internet, clients, day, 1)
+    }
+
+    /// Builds the snapshot with up to `workers` threads. Per-client rows
+    /// are pure functions of `(internet, client, day)`, so the result is
+    /// identical for any worker count.
+    pub fn build_parallel(
+        internet: &Internet,
+        clients: &[ClientAttachment],
+        day: Day,
+        workers: usize,
+    ) -> RouteSnapshot {
+        let sites: Vec<SiteId> = internet.topology().cdn.site_ids().collect();
+        let n_sites = sites.len();
+        let windows: Vec<Option<OutageWindow>> = sites
+            .iter()
+            .map(|&s| internet.outages().window_on(s, day))
+            .collect();
+        let has_windows = windows.iter().any(Option::is_some);
+
+        let row = |c: &ClientAttachment| -> (RouteDecision, Vec<RouteDecision>) {
+            let any = internet.anycast_route(c, day);
+            let uni = sites
+                .iter()
+                .map(|&s| internet.unicast_route(c, s, day))
+                .collect();
+            (any, uni)
+        };
+
+        let workers = workers.max(1).min(clients.len().max(1));
+        let rows: Vec<(RouteDecision, Vec<RouteDecision>)> = if workers <= 1 {
+            clients.iter().map(row).collect()
+        } else {
+            // Contiguous chunks, stitched back in order: worker counts can
+            // never reorder (or change) the pure per-client rows.
+            let chunk = clients.len().div_ceil(workers);
+            let mut parts: Vec<Vec<(RouteDecision, Vec<RouteDecision>)>> =
+                Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = clients
+                    .chunks(chunk)
+                    .map(|part| scope.spawn(|| part.iter().map(row).collect::<Vec<_>>()))
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("snapshot worker panicked"));
+                }
+            });
+            parts.into_iter().flatten().collect()
+        };
+
+        let mut anycast = Vec::with_capacity(clients.len());
+        let mut unicast = Vec::with_capacity(clients.len() * n_sites);
+        for (any, uni) in rows {
+            anycast.push(any);
+            unicast.extend(uni);
+        }
+        RouteSnapshot {
+            day,
+            n_sites,
+            attachments: clients.to_vec(),
+            anycast,
+            unicast,
+            windows,
+            has_windows,
+        }
+    }
+
+    /// The day this snapshot is valid for.
+    pub fn day(&self) -> Day {
+        self.day
+    }
+
+    /// Number of clients covered.
+    pub fn len(&self) -> usize {
+        self.anycast.len()
+    }
+
+    /// Whether the snapshot covers no clients.
+    pub fn is_empty(&self) -> bool {
+        self.anycast.is_empty()
+    }
+
+    /// The attachment snapshot row `client` was built from.
+    pub fn attachment(&self, client: usize) -> &ClientAttachment {
+        &self.attachments[client]
+    }
+
+    /// Steady anycast decision for `client` (ignores outages).
+    pub fn steady_anycast(&self, client: usize) -> &RouteDecision {
+        &self.anycast[client]
+    }
+
+    /// Steady unicast decision for `(client, site)` (ignores outages).
+    pub fn steady_unicast(&self, client: usize, site: SiteId) -> &RouteDecision {
+        &self.unicast[client * self.n_sites + site.0 as usize]
+    }
+
+    /// Whether any site is inside a down-window at `time_s`.
+    fn any_down(&self, time_s: f64) -> bool {
+        self.has_windows
+            && self
+                .windows
+                .iter()
+                .any(|w| w.is_some_and(|w| w.contains(time_s)))
+    }
+
+    /// Memoized [`Internet::anycast_route_at`]: a borrowed steady decision
+    /// on the (overwhelmingly common) fast path, the full failover
+    /// computation only while some site is actually down.
+    pub fn anycast_at(
+        &self,
+        internet: &Internet,
+        client: usize,
+        time_s: f64,
+    ) -> Option<Cow<'_, RouteDecision>> {
+        if !self.any_down(time_s) {
+            return Some(Cow::Borrowed(self.steady_anycast(client)));
+        }
+        internet
+            .anycast_route_at(&self.attachments[client], self.day, time_s)
+            .map(Cow::Owned)
+    }
+
+    /// Memoized [`Internet::unicast_route_at`]: `None` while `site`'s
+    /// window contains `time_s`, the precomputed decision otherwise.
+    pub fn unicast_at(&self, client: usize, site: SiteId, time_s: f64) -> Option<&RouteDecision> {
+        let down = self.windows[site.0 as usize].is_some_and(|w| w.contains(time_s));
+        if down {
+            None
+        } else {
+            Some(self.steady_unicast(client, site))
+        }
+    }
+
+    /// A per-client view, for callers that handle one client at a time.
+    pub fn client(&self, idx: usize) -> ClientRoutes<'_> {
+        ClientRoutes { snap: self, idx }
+    }
+}
+
+/// A single client's slice of a [`RouteSnapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientRoutes<'a> {
+    snap: &'a RouteSnapshot,
+    idx: usize,
+}
+
+impl<'a> ClientRoutes<'a> {
+    /// The snapshot's day.
+    pub fn day(&self) -> Day {
+        self.snap.day
+    }
+
+    /// Steady anycast decision (ignores outages).
+    pub fn steady_anycast(&self) -> &'a RouteDecision {
+        self.snap.steady_anycast(self.idx)
+    }
+
+    /// Memoized [`Internet::anycast_route_at`] for this client.
+    pub fn anycast_at(&self, internet: &Internet, time_s: f64) -> Option<Cow<'a, RouteDecision>> {
+        self.snap.anycast_at(internet, self.idx, time_s)
+    }
+
+    /// Memoized [`Internet::unicast_route_at`] for this client.
+    pub fn unicast_at(&self, site: SiteId, time_s: f64) -> Option<&'a RouteDecision> {
+        self.snap.unicast_at(self.idx, site, time_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::latency::AccessTech;
+
+    fn clients(net: &Internet, n: usize) -> Vec<ClientAttachment> {
+        (0..n)
+            .map(|i| {
+                let e = &net.topology().eyeballs[i % net.topology().eyeballs.len()];
+                ClientAttachment {
+                    as_id: e.id,
+                    metro: e.home_metro,
+                    location: net
+                        .topology()
+                        .atlas
+                        .metro(e.home_metro)
+                        .location()
+                        .destination((i as f64 * 31.0) % 360.0, 15.0),
+                    access: AccessTech::sample((i as f64 * 0.21) % 1.0),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_matches_direct_routing_without_failures() {
+        let net = Internet::new(NetConfig::small(), 9).unwrap();
+        let cs = clients(&net, 12);
+        let snap = RouteSnapshot::build(&net, &cs, Day(2));
+        for (i, c) in cs.iter().enumerate() {
+            assert_eq!(*snap.steady_anycast(i), net.anycast_route(c, Day(2)));
+            for s in net.topology().cdn.site_ids() {
+                assert_eq!(*snap.steady_unicast(i, s), net.unicast_route(c, s, Day(2)));
+            }
+            for t in [0.0, 40_000.0, 80_000.0] {
+                assert_eq!(
+                    snap.anycast_at(&net, i, t).map(Cow::into_owned),
+                    net.anycast_route_at(c, Day(2), t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_direct_routing_under_failures() {
+        let cfg = NetConfig {
+            p_site_outage: 0.3,
+            p_site_drain: 0.15,
+            ..NetConfig::small()
+        };
+        let net = Internet::new(cfg, 11).unwrap();
+        let cs = clients(&net, 8);
+        for day in Day(0).span(6) {
+            let snap = RouteSnapshot::build(&net, &cs, day);
+            for (i, c) in cs.iter().enumerate() {
+                for t in [0.0, 15_000.0, 43_200.0, 70_000.0, 86_000.0] {
+                    assert_eq!(
+                        snap.anycast_at(&net, i, t).map(Cow::into_owned),
+                        net.anycast_route_at(c, day, t),
+                        "anycast divergence day {day:?} t {t}"
+                    );
+                    for s in net.topology().cdn.site_ids() {
+                        assert_eq!(
+                            snap.unicast_at(i, s, t).cloned(),
+                            net.unicast_route_at(c, s, day, t),
+                            "unicast divergence day {day:?} t {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let net = Internet::new(NetConfig::small(), 5).unwrap();
+        let cs = clients(&net, 23);
+        let seq = RouteSnapshot::build(&net, &cs, Day(1));
+        for workers in [2, 3, 8] {
+            let par = RouteSnapshot::build_parallel(&net, &cs, Day(1), workers);
+            assert_eq!(seq.anycast, par.anycast);
+            assert_eq!(seq.unicast, par.unicast);
+            assert_eq!(seq.windows, par.windows);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use anycast_netsim::{
     AccessTech, ClientAttachment, Day, HopKind, Internet, NetConfig, OutageKind, OutageModel,
-    Prefix24, PrefixAllocator, SiteId,
+    Prefix24, PrefixAllocator, RouteSnapshot, SiteId,
 };
 use proptest::prelude::*;
 
@@ -217,6 +217,36 @@ proptest! {
                 _ => cfg.spike_prob = p,
             }
             prop_assert!(cfg.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn route_memo_is_transparent(
+        seed in 0u64..6,
+        idx in 0usize..60,
+        day in 0u32..10,
+        slot in 0u32..48,
+    ) {
+        // A per-day RouteSnapshot must be a pure cache: every route it
+        // answers — steady fast path or outage-window fallback — is the
+        // route the Internet would have computed directly, in a world
+        // where outages and drains actually fire.
+        let cfg = NetConfig {
+            p_site_outage: 0.25,
+            p_site_drain: 0.15,
+            ..NetConfig::small()
+        };
+        let net = Internet::new(cfg, seed).unwrap();
+        let c = client_of(&net, idx, 15.0);
+        let snap = RouteSnapshot::build(&net, &[c], Day(day));
+        let t = f64::from(slot) * 1_800.0 + 900.0;
+        let memo = snap.anycast_at(&net, 0, t).map(|d| d.into_owned());
+        let direct = net.anycast_route_at(&c, Day(day), t);
+        prop_assert_eq!(memo, direct, "anycast memo diverges at t={}", t);
+        for site in net.topology().cdn.site_ids() {
+            let memo = snap.unicast_at(0, site, t).cloned();
+            let direct = net.unicast_route_at(&c, site, Day(day), t);
+            prop_assert_eq!(memo, direct, "unicast memo diverges at site {:?}", site);
         }
     }
 }

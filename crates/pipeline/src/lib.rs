@@ -15,6 +15,9 @@
 //! * [`shard`] — hash-partitioned ingestion across N worker threads over
 //!   bounded channels with blocking backpressure, merged deterministically
 //!   at day close;
+//! * [`ordered`] — ordered fan-out over a finite indexed work list,
+//!   outputs merged back in input order over bounded channels: the shape
+//!   the campaign engine uses to shard a day of beacon events;
 //! * [`window`] — day-partitioned incremental per-`(group, front-end)`
 //!   sketches, pooled over training windows and retired once the window
 //!   passes (the §6 one-day prediction interval lifecycle);
@@ -37,11 +40,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ordered;
 pub mod shard;
 pub mod sketch;
 pub mod source;
 pub mod window;
 
+pub use ordered::map_ordered;
 pub use shard::{merge_keyed, Aggregate, ShardConfig, ShardError, ShardedIngest};
 pub use sketch::{
     mix64, Counts, DistinctCounter, FastHasher, FastMap, HeavyHitters, QuantileSketch,

@@ -1,0 +1,159 @@
+//! Ordered fan-out over a fixed work list.
+//!
+//! [`crate::shard`] streams *records* to key-owning workers and merges
+//! keyed aggregates; this module covers the other parallel shape the
+//! campaign engine needs: a **finite, indexed work list** whose per-item
+//! outputs must come back in **input order**, bit-identical for any worker
+//! count. The campaign engine uses it to fan a day's beacon events across
+//! threads while the downstream join still sees one globally time-ordered
+//! log.
+//!
+//! **Determinism contract.** Item `i` is processed by worker `i mod N`, so
+//! each worker walks its stride of the list in increasing index order, and
+//! the consumer performs a round-robin ordered merge: output `i` is popped
+//! from worker `i mod N`'s channel. The merged `Vec` is therefore exactly
+//! `[f(0), f(1), …]` regardless of `N` — **provided** `f`'s output for an
+//! item does not depend on which other items its worker state saw (state
+//! may cache, but caching must be output-transparent). The campaign
+//! engine's worker-invariance proptest pins this end to end.
+//!
+//! **Backpressure.** Per-worker `sync_channel`s hold at most `queue_depth`
+//! outputs, so a worker whose stride runs ahead of the merge blocks
+//! instead of buffering its whole slice.
+
+use std::sync::mpsc::sync_channel;
+
+/// Maps `f` over `items` with `workers` threads, returning outputs in
+/// input order. `make_state(w)` builds worker `w`'s private scratch state
+/// (caches, logs) once; `f(state, index, item)` produces item `index`'s
+/// output.
+///
+/// With `workers <= 1` everything runs inline on the caller's thread —
+/// same call sequence, no channels — which is also the reference the
+/// worker-count-invariance contract is pinned against.
+///
+/// # Panics
+/// Propagates the first panicking worker's payload (no threads are
+/// leaked: workers are joined by the scope either way).
+pub fn map_ordered<T, O, S>(
+    items: &[T],
+    workers: usize,
+    queue_depth: usize,
+    make_state: impl Fn(usize) -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> O + Sync,
+) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        let mut state = make_state(0);
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+    let queue_depth = queue_depth.max(1);
+    let out = std::thread::scope(|scope| {
+        let receivers: Vec<_> = (0..workers)
+            .map(|w| {
+                let (tx, rx) = sync_channel::<O>(queue_depth);
+                let make_state = &make_state;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = make_state(w);
+                    for (i, item) in items.iter().enumerate().skip(w).step_by(workers) {
+                        // A send fails only when the merge loop gave up
+                        // (another worker died); just stop.
+                        if tx.send(f(&mut state, i, item)).is_err() {
+                            return;
+                        }
+                    }
+                });
+                rx
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for i in 0..items.len() {
+            match receivers[i % workers].recv() {
+                Ok(o) => out.push(o),
+                // Sender dropped mid-stride: that worker panicked. Fall
+                // through — the scope join below re-raises its payload.
+                Err(_) => break,
+            }
+        }
+        out
+    });
+    assert_eq!(out.len(), items.len(), "ordered merge lost outputs");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_come_back_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = map_ordered(&items, 1, 4, |_| (), |(), i, &x| (i as u64) * 1000 + x);
+        for workers in [2, 3, 8] {
+            let par = map_ordered(
+                &items,
+                workers,
+                2,
+                |_| (),
+                |(), i, &x| (i as u64) * 1000 + x,
+            );
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn state_is_per_worker_and_outputs_stay_invariant() {
+        // State counts items seen by that worker; output ignores it, so
+        // the result must be invariant even though state histories differ.
+        let items: Vec<u32> = (0..257).collect();
+        let run = |workers| {
+            map_ordered(
+                &items,
+                workers,
+                3,
+                |_| 0usize,
+                |seen, _, &x| {
+                    *seen += 1;
+                    u64::from(x) * 2
+                },
+            )
+        };
+        let one = run(1);
+        assert_eq!(run(2), one);
+        assert_eq!(run(8), one);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let none: Vec<u8> = Vec::new();
+        assert!(map_ordered(&none, 8, 2, |_| (), |(), _, &x| x).is_empty());
+        assert_eq!(map_ordered(&[7u8], 8, 2, |_| (), |(), _, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            map_ordered(
+                &items,
+                4,
+                2,
+                |_| (),
+                |(), _, &x| {
+                    assert!(x != 42, "poison item");
+                    x
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+}

@@ -189,8 +189,9 @@ impl Scenario {
 }
 
 /// Expected-value-preserving integer sample: `floor(x)` plus one with
-/// probability `frac(x)`.
-fn sample_count(expected: f64, rng: &mut impl Rng) -> u64 {
+/// probability `frac(x)`. Consumes at most one draw, so it is safe inside
+/// per-entity derived streams (the campaign scheduler uses it that way).
+pub fn sample_count(expected: f64, rng: &mut impl Rng) -> u64 {
     let base = expected.floor();
     let extra = if rng.gen::<f64>() < expected - base {
         1

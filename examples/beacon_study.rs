@@ -15,7 +15,7 @@
 use anycast_cdn::analysis::Ecdf;
 use anycast_cdn::core::{Study, StudyConfig};
 use anycast_cdn::netsim::Day;
-use anycast_cdn::workload::{scenario::seeded_rng, Scenario, ScenarioConfig};
+use anycast_cdn::workload::{Scenario, ScenarioConfig};
 
 fn main() {
     let scenario = Scenario::build(ScenarioConfig {
@@ -24,10 +24,9 @@ fn main() {
     })
     .expect("default configuration is valid");
     let mut study = Study::new(scenario, StudyConfig::default());
-    let mut rng = seeded_rng(7, 0xbeac);
 
     let days = 3;
-    study.run_days(Day(0), days, &mut rng);
+    study.run_days(Day(0), days);
 
     let dataset = study.dataset();
     println!(

@@ -15,7 +15,7 @@ use anycast_cdn::core::{
     Study, StudyConfig,
 };
 use anycast_cdn::netsim::Day;
-use anycast_cdn::workload::{scenario::seeded_rng, Scenario, ScenarioConfig};
+use anycast_cdn::workload::{Scenario, ScenarioConfig};
 
 fn main() {
     let scenario = Scenario::build(ScenarioConfig {
@@ -24,8 +24,7 @@ fn main() {
     })
     .expect("default configuration is valid");
     let mut study = Study::new(scenario, StudyConfig::default());
-    let mut rng = seeded_rng(11, 0x9ced);
-    study.run_days(Day(0), 2, &mut rng);
+    study.run_days(Day(0), 2);
 
     let ldns_of = study.ldns_of();
     let volumes = study.volumes();
@@ -39,14 +38,8 @@ fn main() {
             failure_penalty_ms: 3_000.0,
         };
         let table = Predictor::new(cfg).train(study.dataset(), Day(0));
-        let rows = evaluate_prediction(
-            &table,
-            grouping,
-            study.dataset(),
-            Day(1),
-            &ldns_of,
-            &volumes,
-        );
+        let rows =
+            evaluate_prediction(&table, grouping, study.dataset(), Day(1), ldns_of, &volumes);
         let (improved, unchanged, hurt) = outcome_shares(&rows, false);
         println!("{label:10}  groups with prediction: {}", table.len());
         println!(
@@ -79,7 +72,7 @@ fn main() {
             Grouping::Ecs,
             study.dataset(),
             Day(1),
-            &ldns_of,
+            ldns_of,
             &volumes,
         );
         let (improved, _, hurt) = outcome_shares(&rows, false);

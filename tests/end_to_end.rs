@@ -11,8 +11,7 @@ use anycast_cdn::workload::{scenario::seeded_rng, Scenario};
 
 fn small_study(seed: u64, days: u32) -> Study {
     let mut study = Study::new(Scenario::small(seed), StudyConfig::default());
-    let mut rng = seeded_rng(seed, 0xe2e);
-    study.run_days(Day(0), days, &mut rng);
+    study.run_days(Day(0), days);
     study
 }
 
@@ -47,7 +46,7 @@ fn full_pipeline_produces_all_analyses() {
         Grouping::Ecs,
         dataset,
         Day(1),
-        &study.ldns_of(),
+        study.ldns_of(),
         &study.volumes(),
     );
     assert!(!rows.is_empty(), "no prefixes evaluated");

@@ -7,7 +7,7 @@ use anycast_cdn::core::{
 };
 use anycast_cdn::dns::{AuthoritativeServer, DnsName, Ldns, LdnsId, ResolverKind};
 use anycast_cdn::netsim::Day;
-use anycast_cdn::workload::{scenario::seeded_rng, Scenario};
+use anycast_cdn::workload::Scenario;
 
 fn resolve_via_stack<P: anycast_cdn::dns::RedirectionPolicy>(
     scenario: &Scenario,
@@ -64,8 +64,7 @@ fn prediction_policy_end_to_end_with_ecs() {
     // Train a real table from a real campaign, install it on the
     // authoritative server, and resolve through an ECS-capable resolver.
     let mut study = Study::new(Scenario::small(3), StudyConfig::default());
-    let mut rng = seeded_rng(3, 0xd15);
-    study.run_day(Day(0), &mut rng);
+    study.run_day(Day(0));
     let cfg = PredictorConfig {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
@@ -101,8 +100,7 @@ fn prediction_policy_end_to_end_with_ecs() {
 #[test]
 fn prediction_policy_without_ecs_falls_back_to_anycast() {
     let mut study = Study::new(Scenario::small(4), StudyConfig::default());
-    let mut rng = seeded_rng(4, 0xd15);
-    study.run_day(Day(0), &mut rng);
+    study.run_day(Day(0));
     let cfg = PredictorConfig {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
@@ -122,8 +120,7 @@ fn prediction_policy_without_ecs_falls_back_to_anycast() {
 #[test]
 fn hybrid_redirects_strict_subset() {
     let mut study = Study::new(Scenario::small(5), StudyConfig::default());
-    let mut rng = seeded_rng(5, 0xd15);
-    study.run_day(Day(0), &mut rng);
+    study.run_day(Day(0));
     let cfg = PredictorConfig {
         grouping: Grouping::Ecs,
         metric: Metric::P25,
