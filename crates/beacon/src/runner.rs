@@ -19,6 +19,7 @@ use anycast_geo::GeoPoint;
 use anycast_netsim::{
     CdnAddressing, ClientAttachment, ClientRoutes, Day, Internet, Prefix24, SiteId,
 };
+use anycast_obs::{counter, histogram};
 use rand::Rng;
 
 use anycast_dns::{AuthoritativeServer, DnsName, Ldns};
@@ -122,6 +123,7 @@ pub fn run_beacon(
     rng: &mut impl Rng,
 ) -> Vec<HttpResult> {
     let day = routes.day();
+    counter!("beacon_executions_total").inc();
     let compliant = timing.browser_is_compliant(rng);
     let mut results = Vec::with_capacity(4);
     for slot in Slot::ALL {
@@ -175,9 +177,14 @@ pub fn run_beacon(
                 break;
             }
         }
+        counter!("beacon_fetch_attempts_total").add(u64::from(attempts));
+        if attempts > 1 {
+            counter!("beacon_fetch_retries_total").add(u64::from(attempts - 1));
+        }
         let (served_site, reported_ms, failed) = match served {
             Some((site, ms)) => (site, ms, false),
             None => {
+                counter!("beacon_fetch_failures_total").inc();
                 // Every attempt timed out. Attribute the failure to the
                 // site the client was steered towards (the unicast target,
                 // or anycast's steady-state catchment) and report the time
@@ -192,6 +199,7 @@ pub fn run_beacon(
                 (site, f64::from(attempts) * fetch_cfg.timeout_ms, true)
             }
         };
+        histogram!("beacon_reported_ms").observe(reported_ms);
         results.push(HttpResult {
             measurement_id: id,
             prefix: client.prefix,

@@ -3,17 +3,24 @@
 //! ```text
 //! figures <artifact|all|ablations|extras|everything|bench>
 //!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
+//!         [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
-//! Output is an aligned text table per artifact; `--csv` emits long-form
-//! CSV to stdout, `--out DIR` writes per-artifact `.csv` and `.txt` files.
-//! EXPERIMENTS.md records the paper-vs-measured comparison produced by
-//! `figures all --scale paper`.
+//! Output discipline: **stdout carries only machine-readable results**
+//! (tables, CSV, the bench report) — progress and diagnostics go to
+//! stderr as structured `key=value` log lines, gated by `--quiet`/`-v`.
+//! `--csv` emits long-form CSV to stdout, `--out DIR` writes per-artifact
+//! `.csv` and `.txt` files. `--obs-out`/`--obs-prom` export everything
+//! the metrics registry accumulated across the run as a JSON run report /
+//! Prometheus text dump. EXPERIMENTS.md records the paper-vs-measured
+//! comparison produced by `figures all --scale paper`.
 
 use std::process::ExitCode;
 
 use anycast_bench::cli;
 use anycast_bench::{ablations, extras, figures, studybench};
+use anycast_obs::logging;
+use anycast_obs::{RunMeta, RunReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,8 +38,27 @@ fn main() -> ExitCode {
             };
         }
     };
+    logging::set_level(invocation.log_level);
 
-    for id in invocation.ids {
+    let workers = std::env::var("ANYCAST_STUDY_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1);
+    logging::info(
+        "figures",
+        "run start",
+        &[
+            ("artifacts", invocation.ids.len().to_string()),
+            ("scale", format!("{:?}", invocation.scale).to_lowercase()),
+            ("seed", invocation.seed.to_string()),
+            ("workers", workers.to_string()),
+        ],
+    );
+
+    for id in &invocation.ids {
+        let id = *id;
+        logging::debug("figures", "computing artifact", &[("id", id.to_string())]);
         if id == "bench" {
             let report = studybench::run(
                 invocation.scale,
@@ -46,11 +72,22 @@ fn main() -> ExitCode {
                 .unwrap_or_default()
                 .join("BENCH_study.json");
             if let Err(e) = std::fs::write(&path, report.to_json()) {
-                eprintln!("error: writing {}: {e}", path.display());
+                logging::error(
+                    "figures",
+                    "write failed",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
                 return ExitCode::FAILURE;
             }
             println!("{}", report.render());
-            println!("wrote {}", path.display());
+            logging::info(
+                "figures",
+                "wrote artifact",
+                &[("id", id.to_string()), ("path", path.display().to_string())],
+            );
             continue;
         }
         let result = figures::compute(id, invocation.scale, invocation.seed)
@@ -62,14 +99,74 @@ fn main() -> ExitCode {
                 .and_then(|()| std::fs::write(dir.join(format!("{id}.csv")), result.to_csv()))
                 .and_then(|()| std::fs::write(dir.join(format!("{id}.txt")), result.render()))
             {
-                eprintln!("error: writing {id} to {}: {e}", dir.display());
+                logging::error(
+                    "figures",
+                    "write failed",
+                    &[
+                        ("id", id.to_string()),
+                        ("dir", dir.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
                 return ExitCode::FAILURE;
             }
-            println!("wrote {}/{id}.csv and .txt", dir.display());
+            logging::info(
+                "figures",
+                "wrote artifact",
+                &[("id", id.to_string()), ("dir", dir.display().to_string())],
+            );
         } else if invocation.csv {
             print!("{}", result.to_csv());
         } else {
             println!("{}", result.render());
+        }
+    }
+
+    if invocation.obs_out.is_some() || invocation.obs_prom.is_some() {
+        let snapshot = anycast_obs::global().snapshot();
+        let meta = RunMeta {
+            tool: "figures".to_string(),
+            scale: format!("{:?}", invocation.scale).to_lowercase(),
+            seed: invocation.seed,
+            workers,
+            artifacts: invocation.ids.iter().map(|s| s.to_string()).collect(),
+        };
+        if let Some(path) = &invocation.obs_out {
+            let report = RunReport::new(meta.clone(), snapshot.clone());
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                logging::error(
+                    "figures",
+                    "obs report write failed",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                return ExitCode::FAILURE;
+            }
+            logging::info(
+                "figures",
+                "wrote obs report",
+                &[("path", path.display().to_string())],
+            );
+        }
+        if let Some(path) = &invocation.obs_prom {
+            if let Err(e) = std::fs::write(path, snapshot.to_prometheus()) {
+                logging::error(
+                    "figures",
+                    "obs prometheus write failed",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                return ExitCode::FAILURE;
+            }
+            logging::info(
+                "figures",
+                "wrote obs metrics",
+                &[("path", path.display().to_string())],
+            );
         }
     }
     ExitCode::SUCCESS

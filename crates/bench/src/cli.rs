@@ -5,12 +5,19 @@
 //! ```text
 //! figures <artifact|all|ablations|extras|everything|bench>
 //!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
+//!         [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
 //! `bench` is special: it times the campaign engine across worker counts
 //! and writes `BENCH_study.json` instead of rendering a figure.
+//!
+//! `--obs-out` / `--obs-prom` write the observability run report (JSON /
+//! Prometheus text) collected across all computed artifacts; `--quiet`
+//! and `-v` set the stderr log level (stdout carries only results).
 
 use std::path::PathBuf;
+
+use anycast_obs::logging::Level;
 
 use crate::worlds::Scale;
 use crate::{ablations, extras, figures};
@@ -28,6 +35,12 @@ pub struct Invocation {
     pub csv: bool,
     /// Write per-artifact `.csv`/`.txt` files here instead of stdout.
     pub out_dir: Option<PathBuf>,
+    /// Write the JSON observability run report here.
+    pub obs_out: Option<PathBuf>,
+    /// Write the Prometheus text-format metrics dump here.
+    pub obs_prom: Option<PathBuf>,
+    /// Stderr log level: `--quiet` → error-only, `-v` → debug.
+    pub log_level: Level,
 }
 
 /// Parse failure, with a message for the user.
@@ -72,6 +85,9 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut seed: u64 = 2015;
     let mut csv = false;
     let mut out_dir = None;
+    let mut obs_out = None;
+    let mut obs_prom = None;
+    let mut log_level = Level::Info;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -95,6 +111,20 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                         .ok_or_else(|| ParseError("expected --out <dir>".into()))?,
                 ));
             }
+            "--obs-out" => {
+                obs_out =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        ParseError("expected --obs-out <file>".into())
+                    })?));
+            }
+            "--obs-prom" => {
+                obs_prom =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        ParseError("expected --obs-prom <file>".into())
+                    })?));
+            }
+            "--quiet" | "-q" => log_level = Level::Error,
+            "--verbose" | "-v" => log_level = Level::Debug,
             "--help" | "-h" => return Err(ParseError(String::new())),
             other if target.is_none() => target = Some(other.to_string()),
             other => return Err(ParseError(format!("unexpected argument {other:?}"))),
@@ -107,6 +137,9 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         seed,
         csv,
         out_dir,
+        obs_out,
+        obs_prom,
+        log_level,
     })
 }
 
@@ -115,8 +148,11 @@ pub fn usage_text() -> String {
     format!(
         "usage: figures <artifact|all|ablations|extras|everything|bench> \
          [--scale small|paper] [--seed N] [--csv] [--out DIR]\n\
+         \x20       [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]\n\
          bench: times Study::run_day across worker counts, \
          writes BENCH_study.json\n\
+         --obs-out/--obs-prom: write the observability run report \
+         (JSON / Prometheus text)\n\
          artifacts: {}\n\
          ablations: {}\n\
          extras:    {}",
@@ -198,6 +234,36 @@ mod tests {
         let u = usage_text();
         assert!(u.contains("fig9") && u.contains("ablation-hybrid") && u.contains("world-summary"));
         assert!(u.contains("bench") && u.contains("BENCH_study.json"));
+    }
+
+    #[test]
+    fn obs_flags_are_captured() {
+        let inv = parse(&args(&[
+            "fig1",
+            "--obs-out",
+            "report.json",
+            "--obs-prom",
+            "metrics.prom",
+        ]))
+        .unwrap();
+        assert_eq!(inv.obs_out, Some(PathBuf::from("report.json")));
+        assert_eq!(inv.obs_prom, Some(PathBuf::from("metrics.prom")));
+        assert_eq!(inv.log_level, Level::Info);
+        assert!(parse(&args(&["fig1", "--obs-out"])).is_err());
+        assert!(parse(&args(&["fig1", "--obs-prom"])).is_err());
+    }
+
+    #[test]
+    fn verbosity_flags_set_the_level() {
+        assert_eq!(parse(&args(&["fig1"])).unwrap().log_level, Level::Info);
+        assert_eq!(
+            parse(&args(&["fig1", "--quiet"])).unwrap().log_level,
+            Level::Error
+        );
+        assert_eq!(
+            parse(&args(&["fig1", "-v"])).unwrap().log_level,
+            Level::Debug
+        );
     }
 
     #[test]

@@ -9,11 +9,20 @@
 //! thing that varies here is time. The report records the host's core
 //! count because the speedup ceiling is `min(workers, cores)`: on a
 //! single-core host every worker count is expected to tie.
+//!
+//! The sweep ends with a **training stage**: the last day's dataset is
+//! pushed through the full streaming pipeline
+//! ([`Predictor::train_sketched`]: sharded ingestion into per-group
+//! latency sketches, merge, score) so one `figures bench` run exercises —
+//! and its `--obs-out` report covers — every instrumented layer:
+//! pipeline, study, beacon, netsim, and prediction.
 
 use std::time::Instant;
 
-use anycast_core::{Study, StudyConfig};
+use anycast_core::{Predictor, PredictorConfig, Study, StudyConfig};
 use anycast_netsim::Day;
+use anycast_obs::span;
+use anycast_pipeline::ShardConfig;
 
 use crate::worlds::{self, Scale};
 
@@ -48,13 +57,19 @@ pub struct StudyBenchReport {
     pub iters: usize,
     /// One row per worker count, in sweep order.
     pub runs: Vec<WorkerRun>,
+    /// Wall-clock seconds for the sketched predictor-training stage.
+    pub train_s: f64,
+    /// Groups the training stage scored into the prediction table.
+    pub table_groups: usize,
 }
 
 /// Runs the sweep: for each worker count, `iters` timed single-day
 /// campaigns over a fresh world (plus one untimed warm-up), best time kept.
 pub fn run(scale: Scale, seed: u64, workers: &[usize], iters: usize) -> StudyBenchReport {
+    let sweep_timer = span!("bench.sweep").start();
     let mut runs = Vec::with_capacity(workers.len());
     let mut base_s = None;
+    let mut last_study = None;
     for &w in workers {
         let cfg = StudyConfig {
             workers: w,
@@ -72,6 +87,7 @@ pub fn run(scale: Scale, seed: u64, workers: &[usize], iters: usize) -> StudyBen
             if i > 0 && dt < best_s {
                 best_s = dt;
             }
+            last_study = Some(st);
         }
         let base = *base_s.get_or_insert(best_s);
         runs.push(WorkerRun {
@@ -82,12 +98,31 @@ pub fn run(scale: Scale, seed: u64, workers: &[usize], iters: usize) -> StudyBen
             speedup_vs_1w: base / best_s,
         });
     }
+    drop(sweep_timer);
+
+    // Training stage: push the day through the streaming pipeline
+    // (sharded ingestion → per-group sketches → scored table). Timed once
+    // — it is the pipeline-shaped path, not the figure hot loop.
+    let train_timer = span!("bench.train").start();
+    let study = last_study.expect("sweep ran at least one worker count");
+    let t0 = Instant::now();
+    let table = Predictor::new(PredictorConfig::default()).train_sketched(
+        study.dataset(),
+        &[Day(0)],
+        0.01,
+        ShardConfig::default(),
+    );
+    let train_s = t0.elapsed().as_secs_f64();
+    drop(train_timer);
+
     StudyBenchReport {
         scale,
         seed,
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         iters: iters.max(1),
         runs,
+        train_s,
+        table_groups: table.len(),
     }
 }
 
@@ -118,7 +153,10 @@ impl StudyBenchReport {
                 r.workers, r.best_s, r.rows, r.rows_per_s, r.speedup_vs_1w
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"train_s\": {:.6},\n", self.train_s));
+        out.push_str(&format!("  \"table_groups\": {}\n", self.table_groups));
+        out.push_str("}\n");
         out
     }
 
@@ -138,6 +176,10 @@ impl StudyBenchReport {
                 r.workers, r.best_s, r.rows, r.rows_per_s, r.speedup_vs_1w
             ));
         }
+        out.push_str(&format!(
+            "sketched training: {:.4}s, {} groups scored\n",
+            self.train_s, self.table_groups
+        ));
         out
     }
 }
@@ -155,6 +197,9 @@ mod tests {
         // Output neutrality: both worker counts saw the same day.
         assert_eq!(report.runs[0].rows, report.runs[1].rows);
         assert!(report.runs.iter().all(|r| r.best_s > 0.0 && r.rows > 0));
+        // The training stage ran and scored a nonempty table.
+        assert!(report.train_s > 0.0);
+        assert!(report.table_groups > 0);
     }
 
     #[test]
@@ -168,6 +213,8 @@ mod tests {
             "\"host_cores\"",
             "\"runs\"",
             "\"speedup_vs_1w\"",
+            "\"train_s\"",
+            "\"table_groups\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

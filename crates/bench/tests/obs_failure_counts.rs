@@ -1,0 +1,117 @@
+//! Failure observability: the counters the run report surfaces must agree
+//! with what the analysis layer independently computes.
+//!
+//! * `beacon_fetch_failures_total` — beacon executions whose every
+//!   attempt timed out — must match the failed-request tally
+//!   [`anycast_pipeline::tally_outcomes`] produces over the same joined
+//!   dataset (satellite: failure worlds are *visible*, not just survived).
+//! * `pipeline_shard_panics_total` — ShardError recoveries — must match
+//!   the number of worker deaths the producer actually observed.
+//!
+//! Dedicated integration-test binary: exact-count assertions run inside
+//! `obs::capture` windows with nothing else in the process.
+
+use std::collections::BTreeMap;
+
+use anycast_core::{Study, StudyConfig};
+use anycast_netsim::{Day, Prefix24};
+use anycast_pipeline::{route_prefix, tally_outcomes, Aggregate, ShardConfig, ShardedIngest};
+use anycast_workload::{Scenario, ScenarioConfig};
+
+/// A failure world: outages and drains scheduled at high rates so some
+/// beacon fetches really do hit dead front-ends.
+fn failure_world(seed: u64) -> Scenario {
+    let mut cfg = ScenarioConfig::small(seed);
+    cfg.net.p_site_outage = 0.3;
+    cfg.net.p_site_drain = 0.15;
+    Scenario::build(cfg).expect("valid config")
+}
+
+#[test]
+fn failed_fetch_counter_matches_tally_outcomes() {
+    anycast_obs::set_enabled(true);
+    let (st, delta) = anycast_obs::capture(|| {
+        let mut st = Study::new(failure_world(11), StudyConfig::default());
+        st.run_days(Day(0), 3);
+        st
+    });
+
+    // Independent ground truth: shard the joined rows through the
+    // availability tally (which takes `(key, served)` records) and sum
+    // the failed side.
+    let tallies: BTreeMap<Prefix24, _> = tally_outcomes(
+        st.dataset()
+            .measurements()
+            .iter()
+            .map(|m| (m.prefix, !m.failed)),
+        ShardConfig::default(),
+        |p: &Prefix24| route_prefix(*p),
+    );
+    let failed_rows: u64 = tallies.values().map(|c| c.failed).sum();
+    let total_rows: u64 = tallies.values().map(|c| c.total()).sum();
+    assert!(failed_rows > 0, "failure world produced no failed fetches");
+    assert_eq!(total_rows, st.dataset().measurements().len() as u64);
+
+    assert_eq!(
+        delta.counter("beacon_fetch_failures_total"),
+        failed_rows,
+        "run-report failure counter disagrees with tally_outcomes"
+    );
+    // Failed fetches imply retries: the retry counter saw at least one
+    // retry per failure (max_attempts >= 2 by default).
+    assert!(delta.counter("beacon_fetch_retries_total") >= failed_rows);
+    // And the per-day failed-row counters sum to the same total.
+    assert_eq!(
+        delta.counter_sum("study_day_failed_rows_total"),
+        failed_rows
+    );
+}
+
+/// Aggregate that panics on a poison record.
+struct Poisonable;
+
+impl Aggregate for Poisonable {
+    type Record = u64;
+    type Output = u64;
+
+    fn observe(&mut self, record: u64) {
+        assert!(record != 99, "poison record 99 observed");
+    }
+
+    fn finish(self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn shard_panic_counter_matches_observed_errors() {
+    anycast_obs::set_enabled(true);
+    let (observed, delta) = anycast_obs::capture(|| {
+        let cfg = ShardConfig {
+            workers: 2,
+            batch: 1,
+            queue_depth: 1,
+        };
+        let mut ingest =
+            ShardedIngest::new(cfg, |r: &u64| anycast_pipeline::mix64(*r), |_| Poisonable);
+        let mut errors = 0u64;
+        for i in 0..1_000u64 {
+            let record = if i == 10 { 99 } else { i };
+            if ingest.push(record).is_err() {
+                errors += 1;
+                break;
+            }
+        }
+        if ingest.finish().is_err() && errors == 0 {
+            errors += 1;
+        }
+        errors
+    });
+    assert_eq!(observed, 1, "exactly one worker death is observed");
+    assert_eq!(
+        delta.counter("pipeline_shard_panics_total"),
+        observed,
+        "panic counter disagrees with observed ShardErrors"
+    );
+    assert!(delta.counter("pipeline_records_routed_total") > 0);
+}

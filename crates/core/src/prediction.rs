@@ -237,8 +237,10 @@ impl Predictor {
         let p = self.cfg.metric.p();
         choose(grouped.into_iter().filter_map(|((key, target), samples)| {
             if samples.len() < min {
+                anycast_obs::counter!("prediction_groups_discarded_total").inc();
                 return None;
             }
+            anycast_obs::counter!("prediction_groups_trained_total").inc();
             percentile(&samples, p).map(|score| (key, target, score))
         }))
     }
@@ -261,8 +263,10 @@ impl Predictor {
         let p = self.cfg.metric.p();
         choose(stats.iter().filter_map(|(&(key, target), backend)| {
             if backend.count() < min {
+                anycast_obs::counter!("prediction_groups_discarded_total").inc();
                 return None;
             }
+            anycast_obs::counter!("prediction_groups_trained_total").inc();
             backend.percentile(p).map(|score| (key, target, score))
         }))
     }

@@ -44,6 +44,7 @@ use anycast_beacon::{
 use anycast_dns::{AuthoritativeServer, DnsName, DnsQueryLog, Ldns, LdnsId};
 use anycast_geo::GeoPoint;
 use anycast_netsim::{stream_rng, ClientAttachment, Day, Prefix24, RouteSnapshot};
+use anycast_obs::span;
 use anycast_pipeline::map_ordered;
 use anycast_workload::{ldns_assign, temporal, Scenario};
 
@@ -141,6 +142,10 @@ struct Event {
 struct DayWorker {
     auth: AuthoritativeServer<MeasurementPolicy>,
     resolvers: HashMap<LdnsId, Ldns>,
+    /// Wall-time accumulator for this worker's beacon executions
+    /// (`study.beacon`, labeled by worker index). Observability only:
+    /// spans never touch RNG streams or outputs.
+    beacon_span: std::sync::Arc<anycast_obs::SpanAcc>,
 }
 
 /// A running measurement campaign.
@@ -242,6 +247,7 @@ impl Study {
         // stream per client. The floor+Bernoulli count and the rejection-
         // sampled timestamps all come from the client's own stream, so the
         // schedule is computable per client in isolation.
+        let schedule_timer = span!("study.schedule").start();
         let schedules: Vec<Vec<f64>> = map_ordered(
             &s.clients,
             workers,
@@ -279,20 +285,25 @@ impl Study {
             "day of {} events overflows the execution-id index space",
             events.len()
         );
+        drop(schedule_timer);
 
         // Phase 2: build the day's route memo once (shared read-only), then
         // fan events out; outputs come back merged in event order.
         let attachments: Vec<ClientAttachment> = s.clients.iter().map(|c| c.attachment).collect();
-        let routes = RouteSnapshot::build_parallel(&s.internet, &attachments, day, workers);
+        let routes = span!("study.snapshot_build")
+            .time(|| RouteSnapshot::build_parallel(&s.internet, &attachments, day, workers));
+        let execute_timer = span!("study.execute").start();
         let outputs: Vec<(Vec<anycast_beacon::HttpResult>, Vec<DnsQueryLog>)> = map_ordered(
             &events,
             workers,
             QUEUE_DEPTH,
-            |_| DayWorker {
+            |worker| DayWorker {
                 auth: AuthoritativeServer::new(policy.clone(), false),
                 resolvers: HashMap::new(),
+                beacon_span: span!("study.beacon", &worker.to_string()),
             },
             |w, i, ev| {
+                let _beacon_timer = w.beacon_span.start();
                 let c = &s.clients[ev.client];
                 let ldns_id = client_ldns[ev.client];
                 let ldns = w.resolvers.entry(ldns_id).or_insert_with(|| {
@@ -326,9 +337,11 @@ impl Study {
                 (rows, w.auth.drain_log())
             },
         );
+        drop(execute_timer);
 
         // Phase 3: day-end backend processing — concatenate the already
         // time-ordered logs and join.
+        let join_timer = span!("study.join").start();
         let mut http_rows = Vec::with_capacity(events.len() * 4);
         let mut dns_rows = Vec::with_capacity(events.len() * 4);
         for (rows, dns) in outputs {
@@ -338,6 +351,20 @@ impl Study {
         let joined = join(&http_rows, &dns_rows, &s.addressing);
         self.dataset.extend(joined);
         self.dns_log.extend(dns_rows);
+        drop(join_timer);
+
+        // Per-day campaign counters: tallied on the merge thread from the
+        // already-ordered outputs, so the values are worker-count
+        // invariant (the neutrality tests compare them directly).
+        let day_label = day.0.to_string();
+        let labels: &[(&str, &str)] = &[("day", &day_label)];
+        let obs = anycast_obs::global();
+        obs.counter_with("study_day_events_total", labels)
+            .add(events.len() as u64);
+        obs.counter_with("study_day_rows_total", labels)
+            .add(http_rows.len() as u64);
+        obs.counter_with("study_day_failed_rows_total", labels)
+            .add(http_rows.iter().filter(|r| r.failed).count() as u64);
     }
 
     /// Runs a span of consecutive days. Each day derives its own streams,

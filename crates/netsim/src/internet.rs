@@ -12,6 +12,7 @@
 //! RNG-driven noise on top of the route's base RTT.
 
 use anycast_geo::{GeoPoint, MetroId};
+use anycast_obs::counter;
 use rand::Rng;
 
 use crate::bgp::{self, EgressDecision};
@@ -225,6 +226,7 @@ impl Internet {
         }
         let steady = self.anycast_route(client, day);
         if down.contains(&steady.site) && self.outages.converging(steady.site, day, time_s) {
+            counter!("netsim_reconvergence_losses_total").inc();
             return None;
         }
         let withdrawn: Vec<BorderId> = down
@@ -241,6 +243,9 @@ impl Internet {
         );
         let igp_rank = usize::from(self.igp_episode_on(egress.ingress, day));
         let site = igp::select_site_avoiding(&self.topo, egress.ingress, igp_rank, &down)?;
+        if site != steady.site {
+            counter!("netsim_failover_reroutes_total").inc();
+        }
         Some(self.build_decision(client, egress, site, day))
     }
 

@@ -19,6 +19,8 @@
 
 use std::borrow::Cow;
 
+use anycast_obs::counter;
+
 use crate::ids::SiteId;
 use crate::internet::{ClientAttachment, Internet, RouteDecision};
 use crate::outage::OutageWindow;
@@ -63,6 +65,15 @@ impl RouteSnapshot {
             .map(|&s| internet.outages().window_on(s, day))
             .collect();
         let has_windows = windows.iter().any(Option::is_some);
+        for w in windows.iter().flatten() {
+            let kind = match w.kind {
+                crate::outage::OutageKind::Unplanned => "unplanned",
+                crate::outage::OutageKind::Maintenance => "maintenance",
+            };
+            anycast_obs::global()
+                .counter_with("netsim_outage_windows_total", &[("kind", kind)])
+                .inc();
+        }
 
         let row = |c: &ClientAttachment| -> (RouteDecision, Vec<RouteDecision>) {
             let any = internet.anycast_route(c, day);
@@ -160,8 +171,10 @@ impl RouteSnapshot {
         time_s: f64,
     ) -> Option<Cow<'_, RouteDecision>> {
         if !self.any_down(time_s) {
+            counter!("netsim_route_memo_hits_total").inc();
             return Some(Cow::Borrowed(self.steady_anycast(client)));
         }
+        counter!("netsim_route_memo_misses_total").inc();
         internet
             .anycast_route_at(&self.attachments[client], self.day, time_s)
             .map(Cow::Owned)
@@ -172,8 +185,10 @@ impl RouteSnapshot {
     pub fn unicast_at(&self, client: usize, site: SiteId, time_s: f64) -> Option<&RouteDecision> {
         let down = self.windows[site.0 as usize].is_some_and(|w| w.contains(time_s));
         if down {
+            counter!("netsim_route_memo_misses_total").inc();
             None
         } else {
+            counter!("netsim_route_memo_hits_total").inc();
             Some(self.steady_unicast(client, site))
         }
     }

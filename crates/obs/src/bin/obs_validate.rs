@@ -1,0 +1,46 @@
+//! Validates a JSON document against a JSON-Schema-subset file.
+//!
+//! ```text
+//! obs_validate <schema.json> <document.json>
+//! ```
+//!
+//! Exit 0 when the document validates; exit 1 with one violation per
+//! stderr line otherwise. CI runs this over every emitted run report
+//! against `crates/obs/schemas/run_report.schema.json`.
+
+use std::process::ExitCode;
+
+use anycast_obs::{json, schema};
+
+fn load(path: &str) -> Result<json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [schema_path, doc_path] = args.as_slice() else {
+        eprintln!("usage: obs_validate <schema.json> <document.json>");
+        return ExitCode::from(2);
+    };
+    let (schema_doc, doc) = match (load(schema_path), load(doc_path)) {
+        (Ok(s), Ok(d)) => (s, d),
+        (s, d) => {
+            for e in [s.err(), d.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let violations = schema::validate(&doc, &schema_doc);
+    if violations.is_empty() {
+        println!("{doc_path}: valid against {schema_path}");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{doc_path}: {v}");
+        }
+        eprintln!("{doc_path}: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

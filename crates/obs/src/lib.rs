@@ -1,0 +1,168 @@
+//! Determinism-safe observability for the anycast-CDN reproduction.
+//!
+//! The paper's operational story (§3.2, §6) depends on operators being
+//! able to *see* the system — query volumes, per-front-end load, failed
+//! measurements. This crate is the reproduction's equivalent: a
+//! zero-dependency metrics layer every other crate reports into, built
+//! around one non-negotiable invariant:
+//!
+//! > **Obs-neutrality.** Instrumentation never draws randomness, never
+//! > feeds a value back into simulation state, and therefore never
+//! > changes an output byte — whether obs is enabled, disabled, or the
+//! > work is spread over any number of workers. Figures, ablations, and
+//! > extras goldens are bit-identical either way; the
+//! > `obs_neutrality` proptests and the CI golden-drift job pin it.
+//!
+//! The pieces:
+//!
+//! * [`registry`] — thread-safe [`Registry`] of counters, gauges,
+//!   histograms, and spans; handles are `Arc`s of atomics, so hot paths
+//!   pay a couple of relaxed atomic ops and allocate nothing;
+//! * [`hist`] — log-linear-bucket [`Histogram`]s whose merge is
+//!   element-wise `u64` addition: bit-exactly commutative and
+//!   associative, mirroring the pipeline crate's sketch-merge contract;
+//! * [`span`] — scoped wall-time aggregation per `(stage, worker)`;
+//! * [`report`] — the structured JSON [`RunReport`] (config fingerprint,
+//!   seed, worker count, host metadata, per-day counters) and, on
+//!   [`Snapshot`], the Prometheus text exporter;
+//! * [`json`] / [`schema`] — in-house JSON parsing and the
+//!   JSON-Schema-subset validator CI uses to enforce the report shape;
+//! * [`logging`] — structured `key=value` stderr logging behind
+//!   `--quiet`/`-v` (stdout stays machine-readable).
+//!
+//! # Global registry and capture windows
+//!
+//! Library crates record into [`global`] through the [`counter!`],
+//! [`histogram!`], and [`span!`] macros, which cache the handle in a
+//! call-site `OnceLock` — after the first hit, recording is lock-free
+//! and allocation-free. Tests that assert exact counts use [`capture`],
+//! which serializes capture windows process-wide and returns the
+//! metrics delta for the closure; put such tests in their own
+//! integration-test binary so unrelated parallel tests cannot inflate
+//! the window.
+//!
+//! Set `ANYCAST_OBS=0` to disable recording process-wide (the CI
+//! golden-drift job diffs outputs against an enabled run).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod json;
+pub mod logging;
+pub mod registry;
+pub mod report;
+pub mod schema;
+pub mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricKey, Registry, Snapshot};
+pub use report::{fingerprint, HostInfo, RunMeta, RunReport};
+pub use span::{SpanAcc, SpanSnapshot, SpanTimer};
+
+use std::sync::{Mutex, OnceLock};
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumented crate records into.
+/// Initialized enabled unless the environment sets `ANYCAST_OBS=0`.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| {
+        let r = Registry::new();
+        if std::env::var("ANYCAST_OBS").is_ok_and(|v| v == "0") {
+            r.set_enabled(false);
+        }
+        r
+    })
+}
+
+/// Whether the global registry is recording.
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Turns global recording on or off (the CLI and the neutrality tests
+/// use this; simulation code never should).
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` and returns its result together with the *delta* of the
+/// global registry across the call. Capture windows are serialized
+/// process-wide so two captures can never pollute each other; other
+/// concurrently running code in the same process still records into the
+/// shared registry, so exact-count assertions belong in a dedicated
+/// integration-test binary.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let before = global().snapshot();
+    let out = f();
+    let delta = global().snapshot().diff(&before);
+    (out, delta)
+}
+
+/// A cached handle to an unlabeled counter in the [`global`] registry.
+///
+/// ```
+/// anycast_obs::counter!("example_events_total").inc();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::Counter>> =
+            std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// A cached handle to an unlabeled histogram in the [`global`] registry.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::Histogram>> =
+            std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// A cached handle to a span accumulator in the [`global`] registry,
+/// attributed to worker `"main"` unless a worker is given.
+#[macro_export]
+macro_rules! span {
+    ($stage:expr) => {{
+        static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::SpanAcc>> =
+            std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().span($stage, "main"))
+    }};
+    ($stage:expr, $worker:expr) => {
+        $crate::global().span($stage, $worker)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_and_record_into_global() {
+        let c = crate::counter!("obs_lib_test_total");
+        let before = c.get();
+        crate::counter!("obs_lib_test_total").add(2);
+        assert_eq!(c.get(), before + 2);
+        crate::histogram!("obs_lib_test_ms").observe(1.0);
+        crate::span!("obs_lib_test.stage").time(|| ());
+        crate::span!("obs_lib_test.stage", "3").record_ns(10);
+        let snap = crate::global().snapshot();
+        assert!(snap.counter("obs_lib_test_total") >= 2);
+    }
+
+    #[test]
+    fn capture_returns_the_delta() {
+        let (out, delta) = crate::capture(|| {
+            crate::counter!("obs_capture_test_total").add(5);
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(delta.counter("obs_capture_test_total"), 5);
+    }
+}

@@ -1,0 +1,251 @@
+//! A JSON Schema subset validator for the run-report contract.
+//!
+//! CI validates every emitted run report against the checked-in schema
+//! (`crates/obs/schemas/run_report.schema.json`); the workspace builds
+//! offline, so the validator is in-house. The supported keyword subset is
+//! exactly what the report schema uses:
+//!
+//! `type` (string or array; `"integer"` means a number with zero
+//! fractional part), `required`, `properties`,
+//! `additionalProperties` (bool or schema), `items` (single schema),
+//! `minItems` / `maxItems`, `enum`, `minimum`, and `const`.
+//!
+//! Unknown keywords are **rejected**, not ignored: a typo in the schema
+//! must fail loudly rather than silently validate everything.
+
+use crate::json::Value;
+
+/// The keywords this validator understands.
+const KNOWN_KEYWORDS: &[&str] = &[
+    "$schema",
+    "title",
+    "description",
+    "type",
+    "required",
+    "properties",
+    "additionalProperties",
+    "items",
+    "minItems",
+    "maxItems",
+    "enum",
+    "minimum",
+    "const",
+];
+
+/// Validates `value` against `schema`. Returns every violation found,
+/// each prefixed with a JSON-pointer-style path; empty means valid.
+pub fn validate(value: &Value, schema: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(value, schema, "$", &mut errors);
+    errors
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    }
+}
+
+fn matches_type(v: &Value, t: &str) -> bool {
+    match t {
+        "integer" => matches!(v, Value::Num(n) if n.fract() == 0.0),
+        other => type_name(v) == other,
+    }
+}
+
+fn check(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(keywords) = schema.as_obj() else {
+        errors.push(format!("{path}: schema is not an object"));
+        return;
+    };
+    for key in keywords.keys() {
+        if !KNOWN_KEYWORDS.contains(&key.as_str()) {
+            errors.push(format!("{path}: unsupported schema keyword {key:?}"));
+        }
+    }
+
+    if let Some(t) = keywords.get("type") {
+        let allowed: Vec<&str> = match t {
+            Value::Str(s) => vec![s.as_str()],
+            Value::Arr(ts) => ts.iter().filter_map(Value::as_str).collect(),
+            _ => {
+                errors.push(format!("{path}: malformed \"type\""));
+                Vec::new()
+            }
+        };
+        if !allowed.is_empty() && !allowed.iter().any(|t| matches_type(value, t)) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                allowed.join("|"),
+                type_name(value)
+            ));
+            return; // Structural keywords below assume the right type.
+        }
+    }
+
+    if let Some(expected) = keywords.get("const") {
+        if value != expected {
+            errors.push(format!("{path}: value differs from const"));
+        }
+    }
+
+    if let Some(options) = keywords.get("enum").and_then(Value::as_arr) {
+        if !options.contains(value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let (Some(min), Some(n)) = (
+        keywords.get("minimum").and_then(Value::as_num),
+        value.as_num(),
+    ) {
+        if n < min {
+            errors.push(format!("{path}: {n} below minimum {min}"));
+        }
+    }
+
+    if let Some(obj) = value.as_obj() {
+        let props = keywords.get("properties").and_then(Value::as_obj);
+        if let Some(required) = keywords.get("required").and_then(Value::as_arr) {
+            for name in required.iter().filter_map(Value::as_str) {
+                if !obj.contains_key(name) {
+                    errors.push(format!("{path}: missing required member {name:?}"));
+                }
+            }
+        }
+        for (name, member) in obj {
+            let member_path = format!("{path}.{name}");
+            if let Some(sub) = props.and_then(|p| p.get(name)) {
+                check(member, sub, &member_path, errors);
+            } else {
+                match keywords.get("additionalProperties") {
+                    Some(Value::Bool(false)) => {
+                        errors.push(format!("{path}: unexpected member {name:?}"));
+                    }
+                    Some(Value::Bool(true)) | None => {}
+                    Some(sub) => check(member, sub, &member_path, errors),
+                }
+            }
+        }
+    }
+
+    if let Some(items) = value.as_arr() {
+        if let Some(min) = keywords.get("minItems").and_then(Value::as_num) {
+            if (items.len() as f64) < min {
+                errors.push(format!(
+                    "{path}: {} items below minItems {min}",
+                    items.len()
+                ));
+            }
+        }
+        if let Some(max) = keywords.get("maxItems").and_then(Value::as_num) {
+            if (items.len() as f64) > max {
+                errors.push(format!(
+                    "{path}: {} items above maxItems {max}",
+                    items.len()
+                ));
+            }
+        }
+        if let Some(sub) = keywords.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                check(item, sub, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn ok(doc: &str, schema: &str) {
+        let errs = validate(&parse(doc).unwrap(), &parse(schema).unwrap());
+        assert!(errs.is_empty(), "unexpected errors: {errs:?}");
+    }
+
+    fn bad(doc: &str, schema: &str, needle: &str) {
+        let errs = validate(&parse(doc).unwrap(), &parse(schema).unwrap());
+        assert!(
+            errs.iter().any(|e| e.contains(needle)),
+            "expected an error containing {needle:?}, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn type_checks() {
+        ok("3", r#"{"type": "integer"}"#);
+        ok("3.5", r#"{"type": "number"}"#);
+        bad("3.5", r#"{"type": "integer"}"#, "expected type integer");
+        ok("3", r#"{"type": ["integer", "string"]}"#);
+        bad("true", r#"{"type": "object"}"#, "expected type object");
+    }
+
+    #[test]
+    fn required_and_additional_properties() {
+        let schema = r#"{
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "number"}},
+            "additionalProperties": false
+        }"#;
+        ok(r#"{"a": 1}"#, schema);
+        bad(r#"{}"#, schema, "missing required member \"a\"");
+        bad(r#"{"a": 1, "b": 2}"#, schema, "unexpected member \"b\"");
+        // additionalProperties as a schema validates open maps.
+        ok(
+            r#"{"x": 1, "y": 2}"#,
+            r#"{"type": "object", "additionalProperties": {"type": "number"}}"#,
+        );
+        bad(
+            r#"{"x": "s"}"#,
+            r#"{"type": "object", "additionalProperties": {"type": "number"}}"#,
+            "expected type number",
+        );
+    }
+
+    #[test]
+    fn arrays_items_and_bounds() {
+        let schema =
+            r#"{"type": "array", "items": {"type": "number"}, "minItems": 1, "maxItems": 2}"#;
+        ok("[1]", schema);
+        ok("[1, 2]", schema);
+        bad("[]", schema, "below minItems");
+        bad("[1,2,3]", schema, "above maxItems");
+        bad(r#"[1, "x"]"#, schema, "$[1]");
+    }
+
+    #[test]
+    fn enum_const_minimum() {
+        ok(r#""paper""#, r#"{"enum": ["small", "paper"]}"#);
+        bad(
+            r#""huge""#,
+            r#"{"enum": ["small", "paper"]}"#,
+            "not in enum",
+        );
+        ok("1", r#"{"const": 1}"#);
+        bad("2", r#"{"const": 1}"#, "differs from const");
+        bad("-1", r#"{"type": "number", "minimum": 0}"#, "below minimum");
+    }
+
+    #[test]
+    fn unknown_keywords_are_rejected() {
+        bad("1", r#"{"tpye": "number"}"#, "unsupported schema keyword");
+    }
+
+    #[test]
+    fn nested_paths_point_at_the_violation() {
+        let schema = r#"{
+            "type": "object",
+            "properties": {"runs": {"type": "array", "items": {
+                "type": "object", "required": ["workers"]
+            }}}
+        }"#;
+        bad(r#"{"runs": [{"workers": 1}, {}]}"#, schema, "$.runs[1]");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the obs crate's algebraic contracts:
+//!
+//! * histogram merge is bit-exactly **commutative** and **associative**,
+//!   and merging per-worker partials equals observing the whole stream
+//!   in one histogram (the same contract the pipeline crate's quantile
+//!   sketches make);
+//! * snapshot `diff` inverts accumulation;
+//! * the JSON writer and parser round-trip arbitrary value trees.
+
+use anycast_obs::json::{self, Value};
+use anycast_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+fn hist_of(values: &[f64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Latency-shaped values: a wide positive range plus degenerate corners.
+fn latency() -> impl Strategy<Value = f64> {
+    (any::<u32>(), any::<u16>()).prop_map(|(a, b)| {
+        // Spread across octaves: mantissa from a, scale from b.
+        let base = f64::from(a) / f64::from(u32::MAX);
+        let scale = f64::powi(2.0, i32::from(b % 28) - 5);
+        base * scale
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hist_merge_is_commutative(
+        xs in prop::collection::vec(latency(), 0..200),
+        ys in prop::collection::vec(latency(), 0..200),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn hist_merge_is_associative(
+        xs in prop::collection::vec(latency(), 0..120),
+        ys in prop::collection::vec(latency(), 0..120),
+        zs in prop::collection::vec(latency(), 0..120),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn sharded_observation_equals_sequential(
+        values in prop::collection::vec(latency(), 1..400),
+        workers in 1usize..8,
+    ) {
+        // Partition round-robin across "workers", merge the partials:
+        // must equal one histogram fed the whole stream.
+        let mut parts = vec![HistogramSnapshot::default(); workers];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % workers].observe(v);
+        }
+        let mut merged = HistogramSnapshot::default();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged, hist_of(&values));
+    }
+
+    #[test]
+    fn diff_inverts_merge(
+        xs in prop::collection::vec(latency(), 0..150),
+        ys in prop::collection::vec(latency(), 0..150),
+    ) {
+        let base = hist_of(&xs);
+        let delta = hist_of(&ys);
+        let mut grown = base.clone();
+        grown.merge(&delta);
+        prop_assert_eq!(grown.diff(&base), delta);
+        prop_assert_eq!(grown.count(), xs.len() as u64 + ys.len() as u64);
+    }
+}
+
+/// A small recursive strategy for JSON value trees.
+fn json_value() -> impl Strategy<Value = Value> {
+    let leaf = (any::<u8>(), any::<u32>()).prop_map(|(kind, n)| match kind % 4 {
+        0 => Value::Null,
+        1 => Value::Bool(n % 2 == 0),
+        2 => Value::Num(f64::from(n) / 8.0 - 1000.0),
+        _ => Value::Str(format!("s{}\n\"{}\"", n % 97, n % 13)),
+    });
+    (prop::collection::vec(leaf, 0..12), any::<u8>()).prop_map(|(leaves, shape)| {
+        if shape % 2 == 0 {
+            Value::Arr(leaves)
+        } else {
+            Value::Obj(
+                leaves
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("k{i}"), v))
+                    .collect(),
+            )
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_roundtrips(v in json_value()) {
+        prop_assert_eq!(&json::parse(&v.to_json()).unwrap(), &v);
+        prop_assert_eq!(&json::parse(&v.to_json_pretty()).unwrap(), &v);
+    }
+}

@@ -21,8 +21,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
+
+use anycast_obs::counter;
 
 /// A shard worker died mid-stream. Carries the worker's index and its
 /// panic message, recovered from the `JoinHandle::join` payload — the
@@ -162,13 +164,24 @@ impl<A: Aggregate, R: Fn(&A::Record) -> u64> ShardedIngest<A, R> {
         // this runs once per log record.
         let hash = (self.route)(&record);
         let shard = ((u128::from(hash) * self.senders.len() as u128) >> 64) as usize;
+        counter!("pipeline_records_routed_total").inc();
         self.pending[shard].push(record);
         if self.pending[shard].len() >= self.batch {
             let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.batch));
-            if self.senders[shard].send(batch).is_err() {
+            counter!("pipeline_batches_sent_total").inc();
+            // try_send first so a full queue — the producer outrunning the
+            // workers — is visible as a backpressure event before blocking.
+            match self.senders[shard].try_send(batch) {
+                Ok(()) => {}
+                Err(TrySendError::Full(batch)) => {
+                    counter!("pipeline_backpressure_blocks_total").inc();
+                    if self.senders[shard].send(batch).is_err() {
+                        return Err(self.reap(shard));
+                    }
+                }
                 // A send only fails when the receiver hung up, i.e. the
                 // worker died. Reap it for the real panic payload.
-                return Err(self.reap(shard));
+                Err(TrySendError::Disconnected(_)) => return Err(self.reap(shard)),
             }
         }
         Ok(())
@@ -179,10 +192,13 @@ impl<A: Aggregate, R: Fn(&A::Record) -> u64> ShardedIngest<A, R> {
     fn reap(&mut self, shard: usize) -> ShardError {
         let err = match self.handles[shard].take() {
             Some(h) => match h.join() {
-                Err(payload) => ShardError {
-                    worker: shard,
-                    message: panic_message(payload),
-                },
+                Err(payload) => {
+                    counter!("pipeline_shard_panics_total").inc();
+                    ShardError {
+                        worker: shard,
+                        message: panic_message(payload),
+                    }
+                }
                 Ok(_) => ShardError {
                     worker: shard,
                     message: "worker exited before end of stream".to_string(),
@@ -223,6 +239,7 @@ impl<A: Aggregate, R: Fn(&A::Record) -> u64> ShardedIngest<A, R> {
             match h.join() {
                 Ok(out) => outputs.push(out),
                 Err(payload) => {
+                    counter!("pipeline_shard_panics_total").inc();
                     if first_err.is_none() {
                         first_err = Some(ShardError {
                             worker: i,

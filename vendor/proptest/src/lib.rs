@@ -9,7 +9,7 @@
 //!
 //! Differences from upstream: no shrinking (the failing case is reported
 //! as-is), no persistence files, and only the strategy combinators this
-//! workspace actually uses (numeric ranges, tuples, `any`,
+//! workspace actually uses (numeric ranges, tuples, `any`, `prop_map`,
 //! `prop::collection::vec`, `string::string_regex`).
 
 #![forbid(unsafe_code)]
@@ -26,6 +26,33 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
