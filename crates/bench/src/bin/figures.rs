@@ -1,9 +1,9 @@
 //! Regenerates the paper's tables and figures from the simulated world.
 //!
 //! ```text
-//! figures <artifact|all|ablations|extras|everything|bench>
-//!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
-//!         [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
+//! figures <artifact|all|ablations|extras|everything|bench|serve-bench>
+//!         [--scale small|paper] [--seed N] [--queries N] [--csv]
+//!         [--out DIR] [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
 //! Output discipline: **stdout carries only machine-readable results**
@@ -18,7 +18,7 @@
 use std::process::ExitCode;
 
 use anycast_bench::cli;
-use anycast_bench::{ablations, extras, figures, studybench};
+use anycast_bench::{ablations, extras, figures, servebench, studybench};
 use anycast_obs::logging;
 use anycast_obs::{RunMeta, RunReport};
 
@@ -72,6 +72,38 @@ fn main() -> ExitCode {
                 .unwrap_or_default()
                 .join("BENCH_study.json");
             if let Err(e) = std::fs::write(&path, report.to_json()) {
+                logging::error(
+                    "figures",
+                    "write failed",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("{}", report.render());
+            logging::info(
+                "figures",
+                "wrote artifact",
+                &[("id", id.to_string()), ("path", path.display().to_string())],
+            );
+            continue;
+        }
+        if id == "serve-bench" {
+            let queries = invocation
+                .queries
+                .unwrap_or_else(|| servebench::default_queries(invocation.scale));
+            let report =
+                servebench::run(invocation.scale, invocation.seed, workers.max(2), queries);
+            let path = invocation
+                .out_dir
+                .clone()
+                .unwrap_or_default()
+                .join("BENCH_study.json");
+            let existing = std::fs::read_to_string(&path).ok();
+            let merged = report.merge_into_bench_json(existing.as_deref());
+            if let Err(e) = std::fs::write(&path, merged) {
                 logging::error(
                     "figures",
                     "write failed",

@@ -3,13 +3,16 @@
 //! Grammar:
 //!
 //! ```text
-//! figures <artifact|all|ablations|extras|everything|bench>
-//!         [--scale small|paper] [--seed N] [--csv] [--out DIR]
-//!         [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
+//! figures <artifact|all|ablations|extras|everything|bench|serve-bench>
+//!         [--scale small|paper] [--seed N] [--queries N] [--csv]
+//!         [--out DIR] [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
 //! `bench` is special: it times the campaign engine across worker counts
 //! and writes `BENCH_study.json` instead of rendering a figure.
+//! `serve-bench` drives the wire serving plane closed-loop and merges
+//! `serve_qps`/`serve_p50_us`/`serve_p99_us` into the same file;
+//! `--queries` overrides its per-scale query count.
 //!
 //! `--obs-out` / `--obs-prom` write the observability run report (JSON /
 //! Prometheus text) collected across all computed artifacts; `--quiet`
@@ -41,6 +44,8 @@ pub struct Invocation {
     pub obs_prom: Option<PathBuf>,
     /// Stderr log level: `--quiet` → error-only, `-v` → debug.
     pub log_level: Level,
+    /// `serve-bench` query count override (`--queries N`).
+    pub queries: Option<usize>,
 }
 
 /// Parse failure, with a message for the user.
@@ -60,6 +65,9 @@ pub fn resolve_target(target: &str) -> Result<Vec<&'static str>, ParseError> {
         // The campaign-engine timing sweep (studybench); writes
         // BENCH_study.json rather than a figure table.
         "bench" => Ok(vec!["bench"]),
+        // Closed-loop wire-serving load (servebench); merges into
+        // BENCH_study.json.
+        "serve-bench" => Ok(vec!["serve-bench"]),
         "ablations" => Ok(ablations::ALL.to_vec()),
         "extras" => Ok(extras::ALL.to_vec()),
         "everything" => Ok(figures::ALL
@@ -88,6 +96,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut obs_out = None;
     let mut obs_prom = None;
     let mut log_level = Level::Info;
+    let mut queries = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -103,6 +112,14 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| ParseError("expected --seed <u64>".into()))?;
+            }
+            "--queries" => {
+                queries = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| ParseError("expected --queries <positive N>".into()))?,
+                );
             }
             "--csv" => csv = true,
             "--out" => {
@@ -140,17 +157,21 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         obs_out,
         obs_prom,
         log_level,
+        queries,
     })
 }
 
 /// The usage text.
 pub fn usage_text() -> String {
     format!(
-        "usage: figures <artifact|all|ablations|extras|everything|bench> \
-         [--scale small|paper] [--seed N] [--csv] [--out DIR]\n\
+        "usage: figures <artifact|all|ablations|extras|everything|bench|serve-bench> \
+         [--scale small|paper] [--seed N] [--queries N] [--csv] [--out DIR]\n\
          \x20       [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]\n\
          bench: times Study::run_day across worker counts, \
          writes BENCH_study.json\n\
+         serve-bench: closed-loop wire load against the serving plane, \
+         merges serve_qps/p50/p99 into BENCH_study.json \
+         (--queries overrides the per-scale count)\n\
          --obs-out/--obs-prom: write the observability run report \
          (JSON / Prometheus text)\n\
          artifacts: {}\n\
@@ -272,5 +293,18 @@ mod tests {
         let inv = parse(&args(&["bench", "--scale", "small"])).unwrap();
         assert_eq!(inv.ids, vec!["bench"]);
         assert_eq!(inv.scale, Scale::Small);
+    }
+
+    #[test]
+    fn serve_bench_target_and_queries_flag() {
+        assert_eq!(resolve_target("serve-bench").unwrap(), vec!["serve-bench"]);
+        let inv = parse(&args(&["serve-bench", "--queries", "1000"])).unwrap();
+        assert_eq!(inv.ids, vec!["serve-bench"]);
+        assert_eq!(inv.queries, Some(1000));
+        assert_eq!(parse(&args(&["fig1"])).unwrap().queries, None);
+        assert!(parse(&args(&["serve-bench", "--queries"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--queries", "0"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--queries", "x"])).is_err());
+        assert!(usage_text().contains("serve-bench"));
     }
 }

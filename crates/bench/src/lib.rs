@@ -24,6 +24,8 @@
 //! experiment worlds at two scales: `Small` for CI/criterion, `Paper` for
 //! the numbers recorded in EXPERIMENTS.md. [`studybench`] is the `bench`
 //! CLI target: the campaign-engine worker sweep behind `BENCH_study.json`.
+//! [`servebench`] is the `serve-bench` target: closed-loop wire load
+//! against the serving plane, merged into the same file.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +34,7 @@ pub mod ablations;
 pub mod cli;
 pub mod extras;
 pub mod figures;
+pub mod servebench;
 pub mod studybench;
 pub mod worlds;
 

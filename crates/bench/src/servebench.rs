@@ -1,0 +1,301 @@
+//! The `serve-bench` CLI target: closed-loop load against the wire
+//! serving plane, merged into `BENCH_study.json`.
+//!
+//! Trains a §6 predictor from one real beacon day, compiles it into the
+//! hot-swappable [`TableStore`], spawns the sharded UDP server on an
+//! ephemeral loopback port, and replays a day of simulated queries from
+//! closed-loop client threads (each thread sends its next query only
+//! after the previous answer lands). Reports sustained QPS and exact
+//! latency percentiles computed from every recorded round trip; the same
+//! latencies also feed the `serve_bench_latency_ms` obs histogram so
+//! `--obs-out` run reports cover the serving plane.
+//!
+//! Obs-neutrality holds throughout: instrumentation observes the wire
+//! path, it never alters an answer.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use anycast_core::prediction::{Predictor, PredictorConfig};
+use anycast_core::{Study, StudyConfig};
+use anycast_netsim::Day;
+use anycast_obs::json::{parse, Value};
+use anycast_obs::{histogram, span};
+use anycast_serve::client::WireClient;
+use anycast_serve::replay::{day_queries, ldns_directory, ldns_source_addr, QuerySpec};
+use anycast_serve::server::{DnsServer, ServeConfig};
+use anycast_serve::store::{CompiledTable, TableStore};
+
+use crate::worlds::{self, Scale};
+
+/// Default query count per scale when `--queries` is not given.
+pub fn default_queries(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 20_000,
+        Scale::Paper => 100_000,
+    }
+}
+
+/// Closed-loop client threads driving the server.
+pub const CLIENT_THREADS: usize = 4;
+
+/// One `serve-bench` run, serializable into `BENCH_study.json`.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Scale the run used.
+    pub scale: Scale,
+    /// World seed.
+    pub seed: u64,
+    /// Server worker shards.
+    pub workers: usize,
+    /// Closed-loop client threads.
+    pub client_threads: usize,
+    /// Queries actually sent.
+    pub queries: usize,
+    /// Distinct resolvers the query stream used.
+    pub resolvers: usize,
+    /// Groups in the compiled prediction table.
+    pub table_groups: usize,
+    /// Wall-clock seconds from first send to last answer.
+    pub elapsed_s: f64,
+    /// Sustained queries per second.
+    pub qps: f64,
+    /// Exact median round-trip latency, microseconds.
+    pub p50_us: f64,
+    /// Exact 99th-percentile round-trip latency, microseconds.
+    pub p99_us: f64,
+    /// Server-side decode errors (must be 0 for a clean run).
+    pub decode_errors: u64,
+    /// Queries answered by the overload valve.
+    pub degraded: u64,
+    /// Queries dropped at the ingress queue.
+    pub dropped: u64,
+    /// Truncated UDP answers (would retry over TCP).
+    pub truncated: u64,
+}
+
+/// Runs the closed-loop benchmark: train, compile, spawn, replay.
+pub fn run(scale: Scale, seed: u64, workers: usize, queries: usize) -> ServeBenchReport {
+    let bench_timer = span!("bench.serve").start();
+
+    // Train on day 0, serve day 1 — the §6 deployment cadence.
+    let mut study = Study::new(worlds::scenario(scale, seed), StudyConfig::default());
+    study.run_day(Day(0));
+    let predictor_cfg = PredictorConfig::default();
+    let grouping = predictor_cfg.grouping;
+    let table = Predictor::new(predictor_cfg).train(study.dataset(), Day(0));
+    let scenario = study.scenario();
+    let compiled = CompiledTable::compile(&table, grouping, scenario.addressing, 60, 1);
+    let table_groups = compiled.len();
+    let store = Arc::new(TableStore::new(compiled));
+
+    let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
+    cfg.workers = workers;
+    cfg.day = Day(1);
+    let server = DnsServer::spawn(cfg, Arc::clone(&store), ldns_directory(scenario))
+        .expect("serve-bench server spawns");
+    let addr = server.local_addr();
+
+    // A day of queries, cycled if the simulated day is shorter than the
+    // requested load.
+    let day = day_queries(scenario, Day(1), queries);
+    assert!(!day.is_empty(), "a simulated day must produce queries");
+    let resolvers = {
+        let mut ids: Vec<u32> = day.iter().map(|q| q.ldns.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    };
+    let stream: Vec<QuerySpec> = day.iter().cloned().cycle().take(queries).collect();
+
+    // Partition round-robin across closed-loop threads; each thread owns
+    // its own sockets (same loopback source IPs, distinct ephemeral
+    // ports), so threads never contend on a client.
+    let threads = CLIENT_THREADS.min(queries.max(1));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let share: Vec<QuerySpec> = stream.iter().skip(t).step_by(threads).cloned().collect();
+            std::thread::spawn(move || {
+                let mut clients: std::collections::HashMap<u32, WireClient> =
+                    std::collections::HashMap::new();
+                let mut lat_us = Vec::with_capacity(share.len());
+                for q in &share {
+                    let client = clients.entry(q.ldns.0).or_insert_with(|| {
+                        WireClient::bind(ldns_source_addr(q.ldns), addr).expect("client binds")
+                    });
+                    let s = Instant::now();
+                    client.query(&q.qname, q.ecs.as_ref()).expect("wire query");
+                    let us = s.elapsed().as_secs_f64() * 1e6;
+                    histogram!("serve_bench_latency_ms").observe(us / 1e3);
+                    lat_us.push(us);
+                }
+                lat_us
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(queries);
+    for h in handles {
+        lat_us.extend(h.join().expect("client thread"));
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    drop(bench_timer);
+
+    lat_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mut server = server;
+    let stats = server.stats();
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    let report = ServeBenchReport {
+        scale,
+        seed,
+        workers,
+        client_threads: threads,
+        queries: lat_us.len(),
+        resolvers,
+        table_groups,
+        elapsed_s,
+        qps: lat_us.len() as f64 / elapsed_s,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        decode_errors: load(&stats.decode_errors),
+        degraded: load(&stats.degraded),
+        dropped: load(&stats.dropped),
+        truncated: load(&stats.truncated),
+    };
+    server.stop();
+    report
+}
+
+/// Exact percentile by nearest-rank over a sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServeBenchReport {
+    /// The run as a JSON object (for merging into `BENCH_study.json`).
+    pub fn to_value(&self) -> Value {
+        let scale = match self.scale {
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        };
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("bench".into(), Value::Str("serve-closed-loop".into()));
+        m.insert("scale".into(), Value::Str(scale.into()));
+        m.insert("seed".into(), Value::Num(self.seed as f64));
+        m.insert("workers".into(), Value::Num(self.workers as f64));
+        m.insert(
+            "client_threads".into(),
+            Value::Num(self.client_threads as f64),
+        );
+        m.insert("queries".into(), Value::Num(self.queries as f64));
+        m.insert("resolvers".into(), Value::Num(self.resolvers as f64));
+        m.insert("table_groups".into(), Value::Num(self.table_groups as f64));
+        m.insert("elapsed_s".into(), Value::Num(self.elapsed_s));
+        m.insert("qps".into(), Value::Num(self.qps));
+        m.insert("p50_us".into(), Value::Num(self.p50_us));
+        m.insert("p99_us".into(), Value::Num(self.p99_us));
+        m.insert(
+            "decode_errors".into(),
+            Value::Num(self.decode_errors as f64),
+        );
+        m.insert("degraded".into(), Value::Num(self.degraded as f64));
+        m.insert("dropped".into(), Value::Num(self.dropped as f64));
+        m.insert("truncated".into(), Value::Num(self.truncated as f64));
+        Value::Obj(m)
+    }
+
+    /// Merges this run into an existing `BENCH_study.json` body (or starts
+    /// a fresh one): top-level `serve_qps` / `serve_p50_us` / `serve_p99_us`
+    /// scalars plus the full run under `"serve"`. Existing keys from the
+    /// `bench` target are preserved.
+    pub fn merge_into_bench_json(&self, existing: Option<&str>) -> String {
+        let mut root = existing
+            .and_then(|s| parse(s).ok())
+            .and_then(|v| match v {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            })
+            .unwrap_or_default();
+        root.insert("serve_qps".into(), Value::Num(self.qps));
+        root.insert("serve_p50_us".into(), Value::Num(self.p50_us));
+        root.insert("serve_p99_us".into(), Value::Num(self.p99_us));
+        root.insert("serve".into(), self.to_value());
+        Value::Obj(root).to_json_pretty()
+    }
+
+    /// Aligned text block for stdout.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== serve-bench — closed-loop wire serving (scale {:?}, seed {}) ==\n",
+            self.scale, self.seed
+        );
+        out.push_str(&format!(
+            "{} queries over {} client thread(s) against {} worker shard(s), \
+             {} resolvers, {} table groups\n",
+            self.queries, self.client_threads, self.workers, self.resolvers, self.table_groups
+        ));
+        out.push_str(&format!(
+            "qps {:>10.0}   p50 {:>8.1}us   p99 {:>8.1}us   elapsed {:.3}s\n",
+            self.qps, self.p50_us, self.p99_us, self.elapsed_s
+        ));
+        out.push_str(&format!(
+            "decode_errors {}   degraded {}   dropped {}   truncated {}\n",
+            self.decode_errors, self.degraded, self.dropped, self.truncated
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_run_is_clean_and_reports_latency() {
+        let r = run(Scale::Small, 5, 2, 400);
+        assert_eq!(r.queries, 400);
+        assert_eq!(r.decode_errors, 0, "bench traffic must decode cleanly");
+        assert_eq!(r.dropped, 0, "closed-loop load must not overrun the queue");
+        assert!(r.qps > 0.0 && r.elapsed_s > 0.0);
+        assert!(r.p50_us > 0.0 && r.p99_us >= r.p50_us);
+        assert!(r.table_groups > 0, "training must produce a table");
+    }
+
+    #[test]
+    fn merge_preserves_existing_bench_keys() {
+        let r = run(Scale::Small, 6, 1, 64);
+        let existing = "{\"bench\": \"study-run-day\", \"train_s\": 0.5}";
+        let merged = r.merge_into_bench_json(Some(existing));
+        let v = parse(&merged).expect("merged output parses");
+        assert_eq!(
+            v.get("bench").and_then(Value::as_str),
+            Some("study-run-day")
+        );
+        assert_eq!(v.get("train_s").and_then(Value::as_num), Some(0.5));
+        assert!(v.get("serve_qps").and_then(Value::as_num).unwrap() > 0.0);
+        assert!(v.get("serve_p50_us").is_some() && v.get("serve_p99_us").is_some());
+        let serve = v.get("serve").expect("serve object");
+        assert_eq!(
+            serve.get("decode_errors").and_then(Value::as_num),
+            Some(0.0)
+        );
+        // Merging into nothing (or garbage) still produces a valid body.
+        let fresh = parse(&r.merge_into_bench_json(None)).unwrap();
+        assert!(fresh.get("serve_qps").is_some());
+        let over_garbage = parse(&r.merge_into_bench_json(Some("not json"))).unwrap();
+        assert!(over_garbage.get("serve").is_some());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -33,6 +33,26 @@ pub enum Grouping {
     Ldns,
 }
 
+impl Grouping {
+    /// The ECS scope prefix length an answer keyed at this granularity
+    /// advertises to a query (RFC 7871 §7.2.1: scope reflects how the
+    /// *answer* was derived, not what the query asked).
+    ///
+    /// * [`Grouping::Ecs`] answers to ECS-bearing queries are specific to
+    ///   the /24 the table is keyed by → scope 24. Without ECS there is no
+    ///   subnet in play → scope 0.
+    /// * [`Grouping::Ldns`] answers depend only on which resolver asked,
+    ///   so they advertise scope 0 even when the query carried ECS — the
+    ///   answer is cacheable for *all* clients of that resolver, per §6's
+    ///   LDNS/ECS distinction.
+    pub fn answer_scope(self, query_has_ecs: bool) -> u8 {
+        match self {
+            Grouping::Ecs if query_has_ecs => 24,
+            _ => 0,
+        }
+    }
+}
+
 /// A client group's identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GroupKey {

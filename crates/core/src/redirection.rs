@@ -123,16 +123,17 @@ impl RedirectionPolicy for PredictionPolicy {
             .group_of(query)
             .and_then(|k| self.table.predict(k))
             .unwrap_or(Target::Anycast);
-        let scoped = self.grouping == Grouping::Ecs && query.ecs.is_some();
         let addr = match choice {
             Target::Anycast => self.addressing.anycast_ip(),
             Target::Unicast(site) => self.addressing.site_ip(site),
         };
-        if scoped {
-            DnsAnswer::subnet_scoped(addr, self.ttl_s)
-        } else {
-            DnsAnswer::global(addr, self.ttl_s)
-        }
+        // Scope comes from the table's key granularity, not the query:
+        // an LDNS-keyed answer to an ECS-bearing query advertises scope 0.
+        DnsAnswer::scoped(
+            addr,
+            self.ttl_s,
+            self.grouping.answer_scope(query.ecs.is_some()),
+        )
     }
 }
 
@@ -317,6 +318,58 @@ mod tests {
         // A different LDNS gets anycast.
         let b = p.answer(&ctx(&qname, 5, GeoPoint::new(0.0, 0.0), None));
         assert!(plan.is_anycast(b.addr));
+    }
+
+    #[test]
+    fn ldns_keyed_answers_to_ecs_queries_advertise_scope_zero() {
+        // The §6 LDNS/ECS distinction on the wire: an answer computed per
+        // resolver does not depend on the client subnet, so even when the
+        // query carries ECS the response must advertise scope 0 — one
+        // cache entry serves every client of the LDNS.
+        let plan = CdnAddressing::standard(8);
+        use crate::prediction::{Predictor, PredictorConfig};
+        let mut ds = BeaconDataset::new();
+        let mk = |exec: u64, t: Target, rtt: f64| BeaconMeasurement {
+            measurement_id: match t {
+                Target::Anycast => Slot::Anycast.id_for(exec),
+                Target::Unicast(_) => Slot::GeoClosest.id_for(exec),
+            },
+            slot: Slot::Anycast,
+            prefix: prefix(1),
+            ldns: LdnsId(4),
+            ecs: None,
+            target: t,
+            served_site: SiteId(0),
+            rtt_ms: rtt,
+            failed: false,
+            day: Day(0),
+            time_s: 0.0,
+        };
+        ds.extend((0..25).map(|i| mk(i, Target::Anycast, 90.0)));
+        ds.extend((100..125).map(|i| mk(i, Target::Unicast(SiteId(2)), 40.0)));
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ldns,
+            ..Default::default()
+        };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+        let p = PredictionPolicy::new(table, Grouping::Ldns, plan, 60);
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        let a = p.answer(&ctx(
+            &qname,
+            4,
+            GeoPoint::new(0.0, 0.0),
+            Some(EcsOption::for_prefix(prefix(1))),
+        ));
+        assert_eq!(
+            plan.site_for_ip(a.addr),
+            Some(SiteId(2)),
+            "still redirected"
+        );
+        assert_eq!(a.ecs_scope, 0, "LDNS-keyed answer must be scope 0");
+        // ECS-keyed answers to ECS-bearing queries keep the /24 scope.
+        assert_eq!(Grouping::Ecs.answer_scope(true), 24);
+        assert_eq!(Grouping::Ecs.answer_scope(false), 0);
+        assert_eq!(Grouping::Ldns.answer_scope(true), 0);
     }
 
     #[test]

@@ -162,6 +162,46 @@ mod tests {
     }
 
     #[test]
+    fn zero_ttl_answers_are_never_served() {
+        // §2: DNS redirection keeps control via small TTLs; the limit case
+        // is TTL 0 — an answer usable once but never cacheable. A 0-TTL
+        // put must not produce a hit at any later time, including the very
+        // same instant it was stored.
+        let mut c = DnsCache::new();
+        let n = name("a.cdn.example");
+        c.put(n.clone(), None, Ipv4Addr::new(203, 0, 113, 1), 0, 100.0);
+        assert_eq!(c.get(&n, None, 100.0), None);
+        assert_eq!(c.get(&n, None, 100.001), None);
+        assert!(c.is_empty(), "the expired 0-TTL entry must be dropped");
+    }
+
+    #[test]
+    fn zero_ttl_put_does_not_displace_live_entries() {
+        let mut c = DnsCache::with_capacity(2);
+        c.put(
+            name("live.cdn.example"),
+            None,
+            Ipv4Addr::new(1, 1, 1, 1),
+            1000,
+            0.0,
+        );
+        // Fill to capacity with 0-TTL churn; the live entry must survive.
+        for i in 0..5u8 {
+            c.put(
+                name(&format!("burst{i}.cdn.example")),
+                None,
+                Ipv4Addr::new(10, 0, 0, i),
+                0,
+                1.0,
+            );
+        }
+        assert_eq!(
+            c.get(&name("live.cdn.example"), None, 2.0),
+            Some(Ipv4Addr::new(1, 1, 1, 1))
+        );
+    }
+
+    #[test]
     fn ecs_scoped_entries_do_not_leak_across_subnets() {
         let mut c = DnsCache::new();
         let n = name("a.cdn.example");

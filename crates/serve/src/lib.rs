@@ -1,0 +1,44 @@
+//! Wire-speed serving plane for the §6 prediction-based redirection
+//! system: a real authoritative DNS front door for the simulator's
+//! policies.
+//!
+//! The paper's CDN answers billions of real DNS queries; everything else
+//! in this workspace exercises redirection policies through in-process
+//! calls. This crate closes that gap with zero external dependencies:
+//!
+//! * [`wire`] / [`message`] — an in-house RFC 1035 codec (header, question,
+//!   answer, name compression) plus EDNS0/RFC 7871 client-subnet options,
+//!   bridging [`anycast_dns::DnsAnswer`] and [`anycast_dns::QueryContext`]
+//!   onto real packets;
+//! * [`store`] — trained prediction tables compiled into immutable
+//!   binary-search lookup structures, hot-swapped atomically while the
+//!   server runs;
+//! * [`server`] — a sharded UDP listener (thread-per-worker over cloned
+//!   sockets, emulating an SO_REUSEPORT worker set) with a TCP fallback
+//!   path for truncated responses and an overload valve that degrades to
+//!   the anycast VIP under queue pressure — the serving-plane analogue of
+//!   the paper's "anycast is the safe default" conclusion;
+//! * [`client`] / [`replay`] — a loopback wire client and a deterministic
+//!   day-of-queries generator used by the equivalence tests and the
+//!   `figures serve-bench` load generator.
+//!
+//! Observability follows the workspace obs-neutrality contract: counters
+//! and histograms record what happened, and never influence an answer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod message;
+pub mod replay;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{ServedAnswer, WireClient};
+pub use message::{decode_query, decode_response, encode_query, encode_response};
+pub use message::{Edns, WireEcs, WireQuery, WireResponse};
+pub use replay::{day_queries, ldns_directory, ldns_source_addr, QuerySpec};
+pub use server::{DnsServer, LdnsDirectory, ServeConfig, ServeStats};
+pub use store::{CompiledTable, TableStore};
+pub use wire::WireError;

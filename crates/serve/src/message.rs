@@ -1,0 +1,563 @@
+//! Whole-message codec: queries and authoritative responses, including
+//! EDNS0 OPT records and the RFC 7871 client-subnet option.
+//!
+//! The types here bridge the simulator's in-process vocabulary
+//! ([`DnsAnswer`], [`EcsOption`]) and real RFC 1035 packets. A
+//! [`WireQuery`] keeps the *raw* ECS address from the wire (not just the
+//! derived /24) because RFC 7871 §7.1.4 requires the response to echo the
+//! source address and prefix length bit-for-bit.
+
+use std::net::Ipv4Addr;
+
+use anycast_dns::ecs::EcsOption;
+use anycast_dns::{DnsAnswer, DnsName};
+use anycast_netsim::Prefix24;
+
+use crate::wire::{
+    Cursor, Flags, Header, NameWriter, WireError, CLASS_IN, HEADER_LEN, OPTION_ECS, TYPE_A,
+    TYPE_OPT,
+};
+
+/// ECS option as carried on the wire (RFC 7871 §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEcs {
+    /// Raw source address from the option (bits beyond
+    /// `source_prefix_len` zeroed, as the RFC requires).
+    pub addr: Ipv4Addr,
+    /// SOURCE PREFIX-LENGTH.
+    pub source_prefix_len: u8,
+    /// SCOPE PREFIX-LENGTH (0 in queries; the answer's scope in responses).
+    pub scope_prefix_len: u8,
+}
+
+impl WireEcs {
+    /// Builds the query-side option for a simulator [`EcsOption`].
+    pub fn from_option(opt: &EcsOption) -> WireEcs {
+        WireEcs {
+            addr: opt.prefix.network(),
+            source_prefix_len: opt.source_prefix_len.min(32),
+            scope_prefix_len: 0,
+        }
+    }
+
+    /// Maps to the simulator's option. A zero source prefix ("give me the
+    /// generic answer", RFC 7871 §7.1.2) maps to `None`.
+    pub fn to_option(self) -> Option<EcsOption> {
+        if self.source_prefix_len == 0 {
+            return None;
+        }
+        Some(EcsOption {
+            prefix: Prefix24::containing(self.addr),
+            source_prefix_len: self.source_prefix_len,
+        })
+    }
+}
+
+/// EDNS0 parameters extracted from (or destined for) an OPT record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edns {
+    /// Requestor's advertised UDP payload size (the OPT CLASS field).
+    pub udp_payload: u16,
+    /// Client-subnet option, if present.
+    pub ecs: Option<WireEcs>,
+}
+
+impl Edns {
+    /// EDNS with a payload advertisement and no options.
+    pub fn plain(udp_payload: u16) -> Edns {
+        Edns {
+            udp_payload,
+            ecs: None,
+        }
+    }
+}
+
+/// A decoded query: exactly one question plus optional EDNS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireQuery {
+    /// Transaction id.
+    pub id: u16,
+    /// Recursion-desired bit (echoed in the response).
+    pub rd: bool,
+    /// Queried name.
+    pub qname: DnsName,
+    /// Query type.
+    pub qtype: u16,
+    /// Query class.
+    pub qclass: u16,
+    /// EDNS parameters, if the query carried an OPT record.
+    pub edns: Option<Edns>,
+}
+
+/// A decoded response, as seen by the load-generator client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// Transaction id (must match the query).
+    pub id: u16,
+    /// Response code.
+    pub rcode: u8,
+    /// Truncation bit — the client should retry over TCP.
+    pub tc: bool,
+    /// Authoritative-answer bit.
+    pub aa: bool,
+    /// Question echoed from the query.
+    pub qname: DnsName,
+    /// Question type echoed from the query.
+    pub qtype: u16,
+    /// First A record, if any: `(address, ttl)`.
+    pub answer: Option<(Ipv4Addr, u32)>,
+    /// Echoed ECS option, if any.
+    pub ecs: Option<WireEcs>,
+}
+
+fn write_ecs_option(out: &mut Vec<u8>, ecs: &WireEcs) {
+    let addr_len = usize::from(ecs.source_prefix_len.div_ceil(8));
+    out.extend_from_slice(&OPTION_ECS.to_be_bytes());
+    out.extend_from_slice(&((4 + addr_len) as u16).to_be_bytes());
+    out.extend_from_slice(&1u16.to_be_bytes()); // FAMILY = IPv4
+    out.push(ecs.source_prefix_len);
+    out.push(ecs.scope_prefix_len);
+    let octets = mask_addr(ecs.addr, ecs.source_prefix_len).octets();
+    out.extend_from_slice(&octets[..addr_len]);
+}
+
+/// Zeroes address bits beyond `prefix_len`, per RFC 7871 §6.
+fn mask_addr(addr: Ipv4Addr, prefix_len: u8) -> Ipv4Addr {
+    if prefix_len >= 32 {
+        return addr;
+    }
+    let mask = if prefix_len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(prefix_len))
+    };
+    Ipv4Addr::from(u32::from(addr) & mask)
+}
+
+fn write_opt_record(out: &mut Vec<u8>, edns: &Edns) {
+    out.push(0); // root name
+    out.extend_from_slice(&TYPE_OPT.to_be_bytes());
+    out.extend_from_slice(&edns.udp_payload.to_be_bytes());
+    out.extend_from_slice(&0u32.to_be_bytes()); // ext-rcode, version, flags
+    let rdlen_at = out.len();
+    out.extend_from_slice(&0u16.to_be_bytes());
+    if let Some(ecs) = &edns.ecs {
+        write_ecs_option(out, ecs);
+    }
+    let rdlen = (out.len() - rdlen_at - 2) as u16;
+    out[rdlen_at..rdlen_at + 2].copy_from_slice(&rdlen.to_be_bytes());
+}
+
+/// Parses the RDATA of an OPT record into its ECS option (if present).
+fn parse_opt_rdata(rdata: &[u8]) -> Result<Option<WireEcs>, WireError> {
+    let mut c = Cursor::new(rdata);
+    let mut ecs = None;
+    while c.remaining() > 0 {
+        let code = c.u16()?;
+        let len = usize::from(c.u16()?);
+        let body = c.take(len)?;
+        if code != OPTION_ECS {
+            continue; // unknown options are skipped, per RFC 6891
+        }
+        let mut o = Cursor::new(body);
+        let family = o.u16()?;
+        let source_prefix_len = o.u8()?;
+        let scope_prefix_len = o.u8()?;
+        if family != 1 {
+            // Non-IPv4 families are out of scope for the simulator; treat
+            // the option as absent rather than rejecting the query.
+            continue;
+        }
+        if source_prefix_len > 32 || scope_prefix_len > 32 {
+            return Err(WireError::BadOpt);
+        }
+        let addr_len = usize::from(source_prefix_len.div_ceil(8));
+        if o.remaining() != addr_len {
+            return Err(WireError::BadOpt);
+        }
+        let mut octets = [0u8; 4];
+        octets[..addr_len].copy_from_slice(o.take(addr_len)?);
+        if ecs.is_some() {
+            return Err(WireError::BadOpt); // duplicate ECS options
+        }
+        ecs = Some(WireEcs {
+            addr: mask_addr(Ipv4Addr::from(octets), source_prefix_len),
+            source_prefix_len,
+            scope_prefix_len,
+        });
+    }
+    Ok(ecs)
+}
+
+/// Encodes a query packet.
+pub fn encode_query(q: &WireQuery) -> Vec<u8> {
+    let header = Header {
+        id: q.id,
+        flags: Flags {
+            rd: q.rd,
+            ..Flags::default()
+        },
+        qdcount: 1,
+        arcount: u16::from(q.edns.is_some()),
+        ..Header::default()
+    };
+    let mut out = Vec::with_capacity(64);
+    header.encode(&mut out);
+    crate::wire::write_name_uncompressed(&mut out, &q.qname);
+    out.extend_from_slice(&q.qtype.to_be_bytes());
+    out.extend_from_slice(&q.qclass.to_be_bytes());
+    if let Some(edns) = &q.edns {
+        write_opt_record(&mut out, edns);
+    }
+    out
+}
+
+/// Skips a resource record's fixed fields and RDATA, returning
+/// `(type, class, ttl, rdata)`. The record's owner name must already have
+/// been consumed.
+fn record_body<'a>(c: &mut Cursor<'a>) -> Result<(u16, u16, u32, &'a [u8]), WireError> {
+    let rtype = c.u16()?;
+    let rclass = c.u16()?;
+    let ttl = c.u32()?;
+    let rdlen = usize::from(c.u16()?);
+    let rdata = c.take(rdlen)?;
+    Ok((rtype, rclass, ttl, rdata))
+}
+
+/// Decodes a query packet (QR must be 0; exactly one question).
+pub fn decode_query(buf: &[u8]) -> Result<WireQuery, WireError> {
+    let mut c = Cursor::new(buf);
+    let h = Header::decode(&mut c)?;
+    if h.flags.qr {
+        return Err(WireError::WrongDirection);
+    }
+    if h.qdcount != 1 {
+        return Err(WireError::BadQuestionCount);
+    }
+    let qname = c.name()?;
+    let qtype = c.u16()?;
+    let qclass = c.u16()?;
+    // Answer/authority records in a query are tolerated but skipped.
+    for _ in 0..u32::from(h.ancount) + u32::from(h.nscount) {
+        c.name()?;
+        record_body(&mut c)?;
+    }
+    let mut edns = None;
+    for _ in 0..h.arcount {
+        // OPT records are owned by the root name — a bare 0 octet, which
+        // `DnsName` cannot represent — so detect it before decoding.
+        if c.remaining() > 0 && buf[c.pos()] == 0 {
+            c.skip(1)?;
+        } else {
+            c.name()?;
+        }
+        let (rtype, rclass, _ttl, rdata) = record_body(&mut c)?;
+        if rtype == TYPE_OPT {
+            if edns.is_some() {
+                return Err(WireError::BadOpt); // duplicate OPT is FORMERR
+            }
+            edns = Some(Edns {
+                udp_payload: rclass,
+                ecs: parse_opt_rdata(rdata)?,
+            });
+        }
+    }
+    Ok(WireQuery {
+        id: h.id,
+        rd: h.flags.rd,
+        qname,
+        qtype,
+        qclass,
+        edns,
+    })
+}
+
+/// Encodes an authoritative response to `q`.
+///
+/// * `answer` — `Some` for a normal A answer; `None` for an empty
+///   NOERROR/NXDOMAIN-style response (the `rcode` decides which).
+/// * `max_payload` — the client's effective payload limit. If the full
+///   response does not fit, a truncated (TC=1) header + question (+ OPT)
+///   is returned instead, telling the client to retry over TCP.
+/// * If the query carried ECS, the response echoes the option with the
+///   answer's scope prefix length (RFC 7871 §7.1.4).
+pub fn encode_response(
+    q: &WireQuery,
+    answer: Option<&DnsAnswer>,
+    rcode: u8,
+    max_payload: usize,
+) -> Vec<u8> {
+    let edns = q.edns.as_ref().map(|query_edns| Edns {
+        udp_payload: crate::server::SERVER_UDP_PAYLOAD,
+        ecs: query_edns.ecs.map(|e| WireEcs {
+            scope_prefix_len: answer.map(|a| a.ecs_scope).unwrap_or(0),
+            ..e
+        }),
+    });
+    let header = Header {
+        id: q.id,
+        flags: Flags {
+            qr: true,
+            aa: true,
+            rd: q.rd,
+            rcode,
+            ..Flags::default()
+        },
+        qdcount: 1,
+        ancount: u16::from(answer.is_some()),
+        arcount: u16::from(edns.is_some()),
+        ..Header::default()
+    };
+    let mut out = Vec::with_capacity(128);
+    header.encode(&mut out);
+    let mut names = NameWriter::new();
+    names.write(&mut out, &q.qname);
+    out.extend_from_slice(&q.qtype.to_be_bytes());
+    out.extend_from_slice(&q.qclass.to_be_bytes());
+    if let Some(a) = answer {
+        names.write(&mut out, &q.qname);
+        out.extend_from_slice(&TYPE_A.to_be_bytes());
+        out.extend_from_slice(&CLASS_IN.to_be_bytes());
+        out.extend_from_slice(&a.ttl_s.to_be_bytes());
+        out.extend_from_slice(&4u16.to_be_bytes());
+        out.extend_from_slice(&a.addr.octets());
+    }
+    if let Some(edns) = &edns {
+        write_opt_record(&mut out, edns);
+    }
+    if out.len() > max_payload {
+        return encode_truncated(q, &edns, rcode, max_payload);
+    }
+    out
+}
+
+/// Header + question (+ OPT when it fits) with TC=1.
+fn encode_truncated(q: &WireQuery, edns: &Option<Edns>, rcode: u8, max_payload: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    let mut header = Header {
+        id: q.id,
+        flags: Flags {
+            qr: true,
+            aa: true,
+            tc: true,
+            rd: q.rd,
+            rcode,
+            ..Flags::default()
+        },
+        qdcount: 1,
+        ..Header::default()
+    };
+    header.encode(&mut out);
+    crate::wire::write_name_uncompressed(&mut out, &q.qname);
+    out.extend_from_slice(&q.qtype.to_be_bytes());
+    out.extend_from_slice(&q.qclass.to_be_bytes());
+    if let Some(edns) = edns {
+        let with_opt = out.len();
+        write_opt_record(&mut out, edns);
+        if out.len() > max_payload {
+            out.truncate(with_opt);
+        } else {
+            header.arcount = 1;
+            let mut fixed = Vec::with_capacity(HEADER_LEN);
+            header.encode(&mut fixed);
+            out[..HEADER_LEN].copy_from_slice(&fixed);
+        }
+    }
+    out
+}
+
+/// Decodes a response packet (QR must be 1).
+pub fn decode_response(buf: &[u8]) -> Result<WireResponse, WireError> {
+    let mut c = Cursor::new(buf);
+    let h = Header::decode(&mut c)?;
+    if !h.flags.qr {
+        return Err(WireError::WrongDirection);
+    }
+    if h.qdcount != 1 {
+        return Err(WireError::BadQuestionCount);
+    }
+    let qname = c.name()?;
+    let qtype = c.u16()?;
+    let _qclass = c.u16()?;
+    let mut answer = None;
+    for _ in 0..h.ancount {
+        c.name()?;
+        let (rtype, rclass, ttl, rdata) = record_body(&mut c)?;
+        if rtype == TYPE_A && rclass == CLASS_IN && answer.is_none() {
+            if rdata.len() != 4 {
+                return Err(WireError::BadRdata);
+            }
+            let octets: [u8; 4] = rdata.try_into().unwrap();
+            answer = Some((Ipv4Addr::from(octets), ttl));
+        }
+    }
+    for _ in 0..h.nscount {
+        c.name()?;
+        record_body(&mut c)?;
+    }
+    let mut ecs = None;
+    for _ in 0..h.arcount {
+        let owner_root = c.remaining() > 0 && buf[c.pos()] == 0;
+        if owner_root {
+            c.skip(1)?;
+        } else {
+            c.name()?;
+        }
+        let (rtype, _rclass, _ttl, rdata) = record_body(&mut c)?;
+        if rtype == TYPE_OPT {
+            ecs = parse_opt_rdata(rdata)?;
+        }
+    }
+    Ok(WireResponse {
+        id: h.id,
+        rcode: h.flags.rcode,
+        tc: h.flags.tc,
+        aa: h.flags.aa,
+        qname,
+        qtype,
+        answer,
+        ecs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query(ecs: Option<WireEcs>) -> WireQuery {
+        WireQuery {
+            id: 0x1234,
+            rd: true,
+            qname: DnsName::new("www.cdn.example").unwrap(),
+            qtype: TYPE_A,
+            qclass: CLASS_IN,
+            edns: Some(Edns {
+                udp_payload: 1232,
+                ecs,
+            }),
+        }
+    }
+
+    #[test]
+    fn query_round_trips_without_edns() {
+        let q = WireQuery {
+            edns: None,
+            ..sample_query(None)
+        };
+        assert_eq!(decode_query(&encode_query(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn query_round_trips_with_ecs() {
+        let q = sample_query(Some(WireEcs {
+            addr: Ipv4Addr::new(198, 51, 100, 0),
+            source_prefix_len: 24,
+            scope_prefix_len: 0,
+        }));
+        assert_eq!(decode_query(&encode_query(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn ecs_address_bits_beyond_prefix_are_masked() {
+        let q = sample_query(Some(WireEcs {
+            addr: Ipv4Addr::new(198, 51, 100, 0),
+            source_prefix_len: 16,
+            scope_prefix_len: 0,
+        }));
+        let got = decode_query(&encode_query(&q)).unwrap();
+        let ecs = got.edns.unwrap().ecs.unwrap();
+        assert_eq!(ecs.addr, Ipv4Addr::new(198, 51, 0, 0));
+        assert_eq!(ecs.source_prefix_len, 16);
+    }
+
+    #[test]
+    fn zero_source_prefix_maps_to_no_option() {
+        let e = WireEcs {
+            addr: Ipv4Addr::UNSPECIFIED,
+            source_prefix_len: 0,
+            scope_prefix_len: 0,
+        };
+        assert_eq!(e.to_option(), None);
+    }
+
+    #[test]
+    fn response_carries_answer_and_scoped_ecs() {
+        let q = sample_query(Some(WireEcs {
+            addr: Ipv4Addr::new(198, 51, 100, 0),
+            source_prefix_len: 24,
+            scope_prefix_len: 0,
+        }));
+        let a = DnsAnswer::scoped(Ipv4Addr::new(192, 0, 2, 7), 300, 24);
+        let wire = encode_response(&q, Some(&a), 0, 1232);
+        let r = decode_response(&wire).unwrap();
+        assert_eq!(r.id, q.id);
+        assert!(r.aa && !r.tc);
+        assert_eq!(r.rcode, 0);
+        assert_eq!(r.answer, Some((a.addr, a.ttl_s)));
+        let ecs = r.ecs.unwrap();
+        assert_eq!(ecs.addr, Ipv4Addr::new(198, 51, 100, 0));
+        assert_eq!(ecs.source_prefix_len, 24);
+        assert_eq!(ecs.scope_prefix_len, 24);
+    }
+
+    #[test]
+    fn response_without_query_ecs_carries_no_ecs() {
+        let q = sample_query(None);
+        let a = DnsAnswer::global(Ipv4Addr::new(192, 0, 2, 7), 300);
+        let r = decode_response(&encode_response(&q, Some(&a), 0, 1232)).unwrap();
+        assert_eq!(r.answer, Some((a.addr, a.ttl_s)));
+        assert_eq!(r.ecs, None);
+    }
+
+    #[test]
+    fn oversized_response_is_truncated_with_tc() {
+        let q = sample_query(Some(WireEcs {
+            addr: Ipv4Addr::new(198, 51, 100, 0),
+            source_prefix_len: 24,
+            scope_prefix_len: 0,
+        }));
+        let a = DnsAnswer::global(Ipv4Addr::new(192, 0, 2, 7), 300);
+        // Far too small for the answer, but big enough for question + OPT.
+        let wire = encode_response(&q, Some(&a), 0, 60);
+        assert!(wire.len() <= 60);
+        let r = decode_response(&wire).unwrap();
+        assert!(r.tc);
+        assert_eq!(r.answer, None);
+        assert!(
+            r.ecs.is_some(),
+            "OPT should survive truncation when it fits"
+        );
+    }
+
+    #[test]
+    fn empty_answer_response_round_trips() {
+        let q = sample_query(None);
+        let r = decode_response(&encode_response(&q, None, 3, 1232)).unwrap();
+        assert_eq!(r.rcode, 3);
+        assert_eq!(r.answer, None);
+    }
+
+    #[test]
+    fn duplicate_opt_records_are_rejected() {
+        let q = sample_query(None);
+        let mut wire = encode_query(&q);
+        // Append a second OPT record and bump ARCOUNT to 2.
+        write_opt_record(&mut wire, &Edns::plain(512));
+        wire[11] = 2;
+        assert_eq!(decode_query(&wire), Err(WireError::BadOpt));
+    }
+
+    #[test]
+    fn unknown_edns_options_are_skipped() {
+        let q = sample_query(None);
+        let mut wire = encode_query(&q);
+        // Rewrite the OPT RDATA to carry an unknown option (code 0xFFFE).
+        let rdlen_at = wire.len() - 2;
+        wire[rdlen_at..].copy_from_slice(&8u16.to_be_bytes());
+        wire.extend_from_slice(&0xFFFEu16.to_be_bytes());
+        wire.extend_from_slice(&4u16.to_be_bytes());
+        wire.extend_from_slice(&[1, 2, 3, 4]);
+        let got = decode_query(&wire).unwrap();
+        assert_eq!(got.edns.unwrap().ecs, None);
+    }
+}

@@ -1,0 +1,638 @@
+//! The sharded authoritative server.
+//!
+//! Layout per worker: a **receiver** thread blocks on a cloned handle of
+//! the shared UDP socket (the std-only stand-in for an SO_REUSEPORT
+//! socket set — the kernel delivers each datagram to exactly one blocked
+//! receiver) and pushes raw packets into that worker's bounded queue; a
+//! **processor** thread drains the queue, decodes, consults the policy,
+//! and sends the response from its own socket clone. A single **TCP
+//! acceptor** thread serves the RFC 1035 fallback path for clients that
+//! saw TC=1.
+//!
+//! Two safety valves, both observable and both answer-only (they never
+//! drop state):
+//!
+//! * a **bounded queue** per worker — packets arriving into a full queue
+//!   are dropped (the client retries), bounding memory under attack;
+//! * an **overload valve** — when a worker's queue depth at dequeue time
+//!   is at or above the watermark, the policy lookup is skipped and the
+//!   query is answered with the anycast VIP at a short TTL. Degrading to
+//!   anycast is always safe (the paper's central observation) and sheds
+//!   the table-lookup cost exactly when the shard is drowning.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use anycast_dns::{LdnsId, QueryContext, RedirectionPolicy};
+use anycast_geo::GeoPoint;
+use anycast_netsim::Day;
+use anycast_obs::counter;
+
+use crate::message::{decode_query, encode_response};
+use crate::wire::{Flags, Header, CLASSIC_UDP_LIMIT, CLASS_IN, TYPE_A};
+
+/// UDP payload size the server advertises in its OPT records.
+pub const SERVER_UDP_PAYLOAD: u16 = 1232;
+
+/// RCODE: format error.
+pub const RCODE_FORMERR: u8 = 1;
+/// RCODE: refused.
+pub const RCODE_REFUSED: u8 = 5;
+
+/// Maximum TCP message size (16-bit length prefix).
+const TCP_MAX_MESSAGE: usize = 65535;
+/// Receive buffer per datagram; larger than any advertised payload.
+const RECV_BUF: usize = 4096;
+/// How often blocked receivers re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of worker shards (receiver + processor thread pairs).
+    pub workers: usize,
+    /// Bounded queue capacity per worker.
+    pub queue_cap: usize,
+    /// Queue depth at dequeue time at or above which the overload valve
+    /// answers the anycast VIP without consulting the policy.
+    pub overload_watermark: usize,
+    /// TTL of valve (degraded) answers — short, so clients re-ask once
+    /// the shard recovers.
+    pub valve_ttl_s: u32,
+    /// Simulation day stamped into [`QueryContext`]s.
+    pub day: Day,
+    /// The anycast VIP used by the valve and for unknown-resolver queries.
+    pub anycast_vip: Ipv4Addr,
+    /// Server-side cap on UDP response size regardless of what the client
+    /// advertises (BIND's `max-udp-size`; operators clamp it to dodge
+    /// fragmentation). Oversized answers come back truncated and the
+    /// client retries over TCP. `None` honors the client's advertisement.
+    pub udp_response_cap: Option<usize>,
+}
+
+impl ServeConfig {
+    /// Sensible defaults for loopback serving: 2 workers, 1024-deep
+    /// queues, valve at 256, 30 s degraded TTL.
+    pub fn new(anycast_vip: Ipv4Addr) -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 1024,
+            overload_watermark: 256,
+            valve_ttl_s: 30,
+            day: Day(0),
+            anycast_vip,
+            udp_response_cap: None,
+        }
+    }
+}
+
+/// Maps a query's source address to the LDNS identity the simulator knows
+/// it as. The serving-plane analogue of the CDN knowing "which LDNS
+/// forwarded the request" (§2).
+#[derive(Debug, Clone, Default)]
+pub struct LdnsDirectory {
+    by_ip: HashMap<Ipv4Addr, (LdnsId, GeoPoint)>,
+}
+
+impl LdnsDirectory {
+    /// An empty directory (every query becomes an unknown-resolver VIP
+    /// answer).
+    pub fn new() -> LdnsDirectory {
+        LdnsDirectory::default()
+    }
+
+    /// Registers a resolver's source address and believed location.
+    pub fn insert(&mut self, addr: Ipv4Addr, ldns: LdnsId, location: GeoPoint) {
+        self.by_ip.insert(addr, (ldns, location));
+    }
+
+    /// Looks up a source address.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(LdnsId, GeoPoint)> {
+        self.by_ip.get(&addr).copied()
+    }
+
+    /// Number of registered resolvers.
+    pub fn len(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// Whether no resolvers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_ip.is_empty()
+    }
+}
+
+/// Monotonic serving counters, shared across workers.
+///
+/// Plain atomics (readable in tests without obs plumbing); each increment
+/// is mirrored to the obs registry under `serve_*` counter names.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Queries received over UDP.
+    pub udp_queries: AtomicU64,
+    /// Queries received over TCP (truncation fallback).
+    pub tcp_queries: AtomicU64,
+    /// Packets that failed to decode.
+    pub decode_errors: AtomicU64,
+    /// Queries answered by the overload valve.
+    pub degraded: AtomicU64,
+    /// Packets dropped because a worker queue was full.
+    pub dropped: AtomicU64,
+    /// Responses truncated to fit the client's UDP payload limit.
+    pub truncated: AtomicU64,
+    /// Queries from source addresses not in the [`LdnsDirectory`].
+    pub unknown_ldns: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(field: &AtomicU64, name: &'static str) {
+        field.fetch_add(1, Ordering::Relaxed);
+        match name {
+            "serve_udp_queries_total" => counter!("serve_udp_queries_total").inc(),
+            "serve_tcp_queries_total" => counter!("serve_tcp_queries_total").inc(),
+            "serve_decode_errors_total" => counter!("serve_decode_errors_total").inc(),
+            "serve_degraded_answers_total" => counter!("serve_degraded_answers_total").inc(),
+            "serve_queue_dropped_total" => counter!("serve_queue_dropped_total").inc(),
+            "serve_truncated_responses_total" => counter!("serve_truncated_responses_total").inc(),
+            "serve_unknown_ldns_total" => counter!("serve_unknown_ldns_total").inc(),
+            _ => unreachable!("unknown serve counter {name}"),
+        }
+    }
+}
+
+type Packet = (Vec<u8>, SocketAddr);
+type Queue = Arc<(Mutex<VecDeque<Packet>>, Condvar)>;
+
+/// A running server; dropping it stops all threads.
+pub struct DnsServer {
+    addr: SocketAddr,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    queues: Vec<Queue>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DnsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DnsServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.queues.len())
+            .finish()
+    }
+}
+
+impl DnsServer {
+    /// Binds UDP + TCP on an ephemeral loopback port and spawns the
+    /// worker set. The policy is consulted once per decodable query.
+    pub fn spawn<P>(
+        cfg: ServeConfig,
+        policy: P,
+        directory: LdnsDirectory,
+    ) -> std::io::Result<DnsServer>
+    where
+        P: RedirectionPolicy + Send + Sync + 'static,
+    {
+        let (udp, tcp) = bind_pair()?;
+        let addr = udp.local_addr()?;
+        udp.set_read_timeout(Some(POLL_INTERVAL))?;
+        tcp.set_nonblocking(true)?;
+
+        let policy = Arc::new(policy);
+        let directory = Arc::new(directory);
+        let stats = Arc::new(ServeStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut queues = Vec::new();
+        let mut handles = Vec::new();
+
+        let workers = cfg.workers.max(1);
+        let mut sharded = true;
+        let mut clones = Vec::with_capacity(workers * 2);
+        for _ in 0..workers * 2 {
+            match udp.try_clone() {
+                Ok(c) => clones.push(c),
+                Err(_) => {
+                    sharded = false;
+                    break;
+                }
+            }
+        }
+
+        if sharded {
+            for worker in 0..workers {
+                let queue: Queue = Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+                queues.push(queue.clone());
+                let rx_sock = clones.remove(0);
+                let tx_sock = clones.remove(0);
+                handles.push(spawn_receiver(
+                    rx_sock,
+                    queue.clone(),
+                    cfg.queue_cap,
+                    stats.clone(),
+                    stop.clone(),
+                    format!("serve-rx-{worker}"),
+                ));
+                handles.push(spawn_processor(
+                    tx_sock,
+                    queue,
+                    cfg,
+                    policy.clone(),
+                    directory.clone(),
+                    stats.clone(),
+                    stop.clone(),
+                    format!("serve-wk-{worker}"),
+                ));
+            }
+        } else {
+            // Single-listener fallback: one thread does recv + handle +
+            // send inline on the primary socket.
+            counter!("serve_single_listener_fallbacks_total").inc();
+            handles.push(spawn_inline(
+                udp,
+                cfg,
+                policy.clone(),
+                directory.clone(),
+                stats.clone(),
+                stop.clone(),
+            ));
+        }
+
+        handles.push(spawn_tcp_acceptor(
+            tcp,
+            cfg,
+            policy,
+            directory,
+            stats.clone(),
+            stop.clone(),
+        ));
+
+        Ok(DnsServer {
+            addr,
+            stats,
+            stop,
+            queues,
+            handles,
+        })
+    }
+
+    /// The bound loopback address (UDP and TCP share the port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Stops all threads and waits for them to exit. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for q in &self.queues {
+            q.1.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DnsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds a UDP socket and a TCP listener on the *same* ephemeral loopback
+/// port, retrying with fresh ports if the TCP side of a chosen port is
+/// already taken.
+fn bind_pair() -> std::io::Result<(UdpSocket, TcpListener)> {
+    let mut last_err = None;
+    for _ in 0..16 {
+        let udp = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        let port = udp.local_addr()?.port();
+        match TcpListener::bind((Ipv4Addr::LOCALHOST, port)) {
+            Ok(tcp) => return Ok((udp, tcp)),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("could not pair UDP/TCP ports")))
+}
+
+fn spawn_receiver(
+    sock: UdpSocket,
+    queue: Queue,
+    cap: usize,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    name: String,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let mut buf = [0u8; RECV_BUF];
+            while !stop.load(Ordering::Relaxed) {
+                match sock.recv_from(&mut buf) {
+                    Ok((n, src)) => {
+                        let (lock, cvar) = &*queue;
+                        let mut q = lock.lock().expect("queue lock poisoned");
+                        if q.len() >= cap {
+                            drop(q);
+                            ServeStats::bump(&stats.dropped, "serve_queue_dropped_total");
+                        } else {
+                            q.push_back((buf[..n].to_vec(), src));
+                            drop(q);
+                            cvar.notify_one();
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn receiver thread")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_processor<P>(
+    sock: UdpSocket,
+    queue: Queue,
+    cfg: ServeConfig,
+    policy: Arc<P>,
+    directory: Arc<LdnsDirectory>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    name: String,
+) -> std::thread::JoinHandle<()>
+where
+    P: RedirectionPolicy + Send + Sync + 'static,
+{
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || loop {
+            let (packet, depth) = {
+                let (lock, cvar) = &*queue;
+                let mut q = lock.lock().expect("queue lock poisoned");
+                loop {
+                    if let Some(p) = q.pop_front() {
+                        break (Some(p), q.len());
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break (None, 0);
+                    }
+                    let (guard, _) = cvar
+                        .wait_timeout(q, POLL_INTERVAL)
+                        .expect("queue lock poisoned");
+                    q = guard;
+                }
+            };
+            let Some((data, src)) = packet else { return };
+            let overloaded = depth >= cfg.overload_watermark;
+            if let Some(resp) =
+                handle_datagram(&cfg, &*policy, &directory, &stats, &data, src, overloaded)
+            {
+                let _ = sock.send_to(&resp, src);
+            }
+        })
+        .expect("spawn processor thread")
+}
+
+fn spawn_inline<P>(
+    sock: UdpSocket,
+    cfg: ServeConfig,
+    policy: Arc<P>,
+    directory: Arc<LdnsDirectory>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()>
+where
+    P: RedirectionPolicy + Send + Sync + 'static,
+{
+    std::thread::Builder::new()
+        .name("serve-inline".to_string())
+        .spawn(move || {
+            let mut buf = [0u8; RECV_BUF];
+            while !stop.load(Ordering::Relaxed) {
+                match sock.recv_from(&mut buf) {
+                    Ok((n, src)) => {
+                        if let Some(resp) = handle_datagram(
+                            &cfg,
+                            &*policy,
+                            &directory,
+                            &stats,
+                            &buf[..n],
+                            src,
+                            false,
+                        ) {
+                            let _ = sock.send_to(&resp, src);
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn inline worker thread")
+}
+
+fn spawn_tcp_acceptor<P>(
+    listener: TcpListener,
+    cfg: ServeConfig,
+    policy: Arc<P>,
+    directory: Arc<LdnsDirectory>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()>
+where
+    P: RedirectionPolicy + Send + Sync + 'static,
+{
+    std::thread::Builder::new()
+        .name("serve-tcp".to_string())
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, src)) => {
+                        let _ = serve_tcp_conn(stream, src, &cfg, &*policy, &directory, &stats);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn tcp acceptor thread")
+}
+
+/// Serves queries on one TCP connection (RFC 1035 §4.2.2 framing) until
+/// the peer closes or times out.
+fn serve_tcp_conn<P>(
+    mut stream: TcpStream,
+    src: SocketAddr,
+    cfg: &ServeConfig,
+    policy: &P,
+    directory: &LdnsDirectory,
+    stats: &ServeStats,
+) -> std::io::Result<()>
+where
+    P: RedirectionPolicy + ?Sized,
+{
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    loop {
+        let mut len_buf = [0u8; 2];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return Ok(()); // peer closed or timed out
+        }
+        let len = usize::from(u16::from_be_bytes(len_buf));
+        let mut data = vec![0u8; len];
+        stream.read_exact(&mut data)?;
+        ServeStats::bump(&stats.tcp_queries, "serve_tcp_queries_total");
+        let resp = respond(cfg, policy, directory, stats, &data, src, Transport::Tcp);
+        if let Some(resp) = resp {
+            debug_assert!(resp.len() <= TCP_MAX_MESSAGE);
+            stream.write_all(&(resp.len() as u16).to_be_bytes())?;
+            stream.write_all(&resp)?;
+        }
+    }
+}
+
+/// UDP entry point: counts the query and dispatches.
+fn handle_datagram<P>(
+    cfg: &ServeConfig,
+    policy: &P,
+    directory: &LdnsDirectory,
+    stats: &ServeStats,
+    data: &[u8],
+    src: SocketAddr,
+    overloaded: bool,
+) -> Option<Vec<u8>>
+where
+    P: RedirectionPolicy + ?Sized,
+{
+    ServeStats::bump(&stats.udp_queries, "serve_udp_queries_total");
+    respond(
+        cfg,
+        policy,
+        directory,
+        stats,
+        data,
+        src,
+        Transport::Udp { overloaded },
+    )
+}
+
+/// How a query arrived — decides the response-size rule and whether the
+/// overload valve can apply.
+#[derive(Debug, Clone, Copy)]
+enum Transport {
+    /// UDP: payload limited by the EDNS advertisement (and
+    /// `udp_response_cap`); the valve engages when the queue is deep.
+    Udp {
+        /// Queue depth was at or past the watermark at dequeue time.
+        overloaded: bool,
+    },
+    /// TCP: up to the 16-bit frame limit; never valved (the connection
+    /// already survived the queue).
+    Tcp,
+}
+
+/// Decodes one query and produces the response bytes, if any.
+fn respond<P>(
+    cfg: &ServeConfig,
+    policy: &P,
+    directory: &LdnsDirectory,
+    stats: &ServeStats,
+    data: &[u8],
+    src: SocketAddr,
+    transport: Transport,
+) -> Option<Vec<u8>>
+where
+    P: RedirectionPolicy + ?Sized,
+{
+    let q = match decode_query(data) {
+        Ok(q) => q,
+        Err(_) => {
+            ServeStats::bump(&stats.decode_errors, "serve_decode_errors_total");
+            return formerr_response(data);
+        }
+    };
+    let overloaded = matches!(transport, Transport::Udp { overloaded: true });
+    let max_payload = match transport {
+        Transport::Tcp => TCP_MAX_MESSAGE,
+        Transport::Udp { .. } => {
+            let advertised = q
+                .edns
+                .map(|e| usize::from(e.udp_payload).max(CLASSIC_UDP_LIMIT))
+                .unwrap_or(CLASSIC_UDP_LIMIT);
+            match cfg.udp_response_cap {
+                Some(cap) => advertised.min(cap),
+                None => advertised,
+            }
+        }
+    };
+    if q.qclass != CLASS_IN {
+        return Some(encode_response(&q, None, RCODE_REFUSED, max_payload));
+    }
+    if q.qtype != TYPE_A {
+        return Some(encode_response(&q, None, 0, max_payload));
+    }
+    let source_ip = match src.ip() {
+        std::net::IpAddr::V4(v4) => v4,
+        std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+    };
+    let answer = if overloaded {
+        ServeStats::bump(&stats.degraded, "serve_degraded_answers_total");
+        anycast_dns::DnsAnswer::global(cfg.anycast_vip, cfg.valve_ttl_s)
+    } else {
+        match directory.lookup(source_ip) {
+            Some((ldns, ldns_location)) => {
+                let ecs = q.edns.and_then(|e| e.ecs).and_then(|e| e.to_option());
+                let ctx = QueryContext {
+                    qname: &q.qname,
+                    ldns,
+                    ldns_location,
+                    ecs,
+                    day: cfg.day,
+                    time_s: 0.0,
+                };
+                policy.answer(&ctx)
+            }
+            None => {
+                ServeStats::bump(&stats.unknown_ldns, "serve_unknown_ldns_total");
+                anycast_dns::DnsAnswer::global(cfg.anycast_vip, cfg.valve_ttl_s)
+            }
+        }
+    };
+    let resp = encode_response(&q, Some(&answer), 0, max_payload);
+    if resp.len() >= crate::wire::HEADER_LEN && resp[2] & 0x02 != 0 {
+        // TC bit set in the encoded header.
+        ServeStats::bump(&stats.truncated, "serve_truncated_responses_total");
+    }
+    Some(resp)
+}
+
+/// A question-less FORMERR response, if the packet at least carries an id.
+fn formerr_response(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 2 {
+        return None;
+    }
+    let header = Header {
+        id: u16::from_be_bytes([data[0], data[1]]),
+        flags: Flags {
+            qr: true,
+            rcode: RCODE_FORMERR,
+            ..Flags::default()
+        },
+        ..Header::default()
+    };
+    let mut out = Vec::with_capacity(crate::wire::HEADER_LEN);
+    header.encode(&mut out);
+    Some(out)
+}

@@ -1,0 +1,253 @@
+//! Property tests for the wire codec: hostile-input safety and bit-exact
+//! round-trips.
+//!
+//! The decode fuzz tests run 10 000 cases each (the ISSUE acceptance
+//! floor): arbitrary bytes must never panic, only return `Ok` or a
+//! controlled [`WireError`].
+
+use std::net::Ipv4Addr;
+
+use anycast_dns::{DnsAnswer, DnsName};
+use anycast_serve::message::{
+    decode_query, decode_response, encode_query, encode_response, Edns, WireEcs, WireQuery,
+};
+use anycast_serve::wire::{Cursor, Flags, Header, CLASS_IN, TYPE_A};
+use proptest::prelude::*;
+
+fn arbitrary_name() -> impl Strategy<Value = DnsName> {
+    proptest::string::string_regex("[a-z0-9]{1,12}(\\.[a-z0-9]{1,12}){0,3}")
+        .expect("pattern parses")
+        .prop_map(|s| DnsName::new(&s).expect("generated names are valid"))
+}
+
+fn arbitrary_ecs() -> impl Strategy<Value = WireEcs> {
+    (any::<u32>(), 0u8..33).prop_map(|(addr, spl)| {
+        let mask = if spl == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(spl))
+        };
+        WireEcs {
+            addr: Ipv4Addr::from(addr & mask),
+            source_prefix_len: spl,
+            scope_prefix_len: 0,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    #[test]
+    fn decode_query_of_arbitrary_bytes_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = decode_query(&bytes);
+    }
+
+    #[test]
+    fn decode_response_of_arbitrary_bytes_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = decode_response(&bytes);
+    }
+
+    #[test]
+    fn name_decode_of_arbitrary_bytes_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = Cursor::new(&bytes).name();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn header_bits_round_trip(
+        id in any::<u16>(),
+        qr in any::<bool>(),
+        opcode in 0u8..16,
+        aa in any::<bool>(),
+        tc in any::<bool>(),
+        rd in any::<bool>(),
+        ra in any::<bool>(),
+        rcode in 0u8..16,
+        counts in (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()),
+    ) {
+        let h = Header {
+            id,
+            flags: Flags { qr, opcode, aa, tc, rd, ra, rcode },
+            qdcount: counts.0,
+            ancount: counts.1,
+            nscount: counts.2,
+            arcount: counts.3,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        prop_assert_eq!(Header::decode(&mut Cursor::new(&buf)).unwrap(), h);
+    }
+
+    #[test]
+    fn queries_round_trip_bit_exactly(
+        id in any::<u16>(),
+        rd in any::<bool>(),
+        qname in arbitrary_name(),
+        payload in 512u16..4096,
+        ecs in arbitrary_ecs(),
+        with_edns in any::<bool>(),
+        with_ecs in any::<bool>(),
+    ) {
+        let q = WireQuery {
+            id,
+            rd,
+            qname,
+            qtype: TYPE_A,
+            qclass: CLASS_IN,
+            edns: with_edns.then_some(Edns {
+                udp_payload: payload,
+                ecs: with_ecs.then_some(ecs),
+            }),
+        };
+        prop_assert_eq!(decode_query(&encode_query(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn responses_round_trip_addr_ttl_and_scope(
+        id in any::<u16>(),
+        qname in arbitrary_name(),
+        addr in any::<u32>(),
+        ttl in any::<u32>(),
+        scope in 0u8..33,
+        ecs in arbitrary_ecs(),
+        with_ecs in any::<bool>(),
+    ) {
+        let q = WireQuery {
+            id,
+            rd: true,
+            qname,
+            qtype: TYPE_A,
+            qclass: CLASS_IN,
+            edns: Some(Edns {
+                udp_payload: 1232,
+                ecs: with_ecs.then_some(ecs),
+            }),
+        };
+        let answer = DnsAnswer::scoped(Ipv4Addr::from(addr), ttl, scope);
+        let wire = encode_response(&q, Some(&answer), 0, 4096);
+        let r = decode_response(&wire).unwrap();
+        prop_assert_eq!(r.id, q.id);
+        prop_assert_eq!(r.qname, q.qname);
+        prop_assert_eq!(r.answer, Some((answer.addr, answer.ttl_s)));
+        match (with_ecs, ecs.source_prefix_len) {
+            (true, _) => {
+                // The option is echoed: same address + source prefix,
+                // scope from the answer.
+                let echoed = r.ecs.expect("ECS must be echoed");
+                prop_assert_eq!(echoed.addr, ecs.addr);
+                prop_assert_eq!(echoed.source_prefix_len, ecs.source_prefix_len);
+                prop_assert_eq!(echoed.scope_prefix_len, scope);
+            }
+            (false, _) => prop_assert!(r.ecs.is_none()),
+        }
+    }
+
+    #[test]
+    fn ecs_options_round_trip_through_queries(ecs in arbitrary_ecs()) {
+        let q = WireQuery {
+            id: 9,
+            rd: false,
+            qname: DnsName::new("www.cdn.example").unwrap(),
+            qtype: TYPE_A,
+            qclass: CLASS_IN,
+            edns: Some(Edns { udp_payload: 1232, ecs: Some(ecs) }),
+        };
+        let got = decode_query(&encode_query(&q)).unwrap();
+        prop_assert_eq!(got.edns.unwrap().ecs, Some(ecs));
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics(
+        qname in arbitrary_name(),
+        ecs in arbitrary_ecs(),
+        pos_seed in any::<u16>(),
+        val in any::<u8>(),
+    ) {
+        // Structured-then-corrupted packets reach deeper decode paths
+        // than pure noise.
+        let q = WireQuery {
+            id: 7,
+            rd: true,
+            qname,
+            qtype: TYPE_A,
+            qclass: CLASS_IN,
+            edns: Some(Edns { udp_payload: 1232, ecs: Some(ecs) }),
+        };
+        let mut wire = encode_query(&q);
+        let pos = usize::from(pos_seed) % wire.len();
+        wire[pos] = val;
+        let _ = decode_query(&wire);
+        let _ = decode_response(&wire);
+    }
+}
+
+/// Crafted pointer abuse beyond what random bytes reliably hit.
+mod pointers {
+    use super::*;
+    use anycast_serve::wire::WireError;
+
+    #[test]
+    fn pointer_chain_that_descends_is_followed() {
+        // A valid two-name layout: "cdn.example" at offset 0, then
+        // "www" + pointer at offset 13.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[3, b'c', b'd', b'n', 7]);
+        buf.extend_from_slice(b"example");
+        buf.push(0);
+        let second = buf.len();
+        buf.extend_from_slice(&[3, b'w', b'w', b'w', 0xC0, 0x00]);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.name().unwrap(), DnsName::new("cdn.example").unwrap());
+        assert_eq!(c.pos(), second);
+        assert_eq!(c.name().unwrap(), DnsName::new("www.cdn.example").unwrap());
+    }
+
+    #[test]
+    fn non_descending_chains_are_rejected() {
+        // offset 0: label "a" then pointer to 4; offset 4: pointer to 0 —
+        // a cycle through two sites.
+        let buf = [1, b'a', 0xC0, 0x04, 0xC0, 0x00];
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(
+            c.name(),
+            Err(WireError::ForwardPointer | WireError::PointerLoop)
+        ));
+    }
+
+    #[test]
+    fn deep_but_legal_chains_stay_bounded() {
+        // Chain: name_k points at name_{k-1}; all strictly descending.
+        // 40 hops exceeds MAX_POINTER_JUMPS and must be rejected, not
+        // stack-overflow.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[1, b'a', 0]); // offset 0: "a"
+        let mut prev = 0u16;
+        let mut offsets = vec![0u16];
+        for _ in 0..40 {
+            let here = buf.len() as u16;
+            buf.extend_from_slice(&[1, b'b']);
+            buf.extend_from_slice(&(0xC000 | prev).to_be_bytes());
+            prev = here;
+            offsets.push(here);
+        }
+        let mut c = Cursor::new(&buf);
+        c.skip(usize::from(prev)).unwrap();
+        let r = c.name();
+        // Either rejected for exceeding the jump cap (expected: 40 > 32)
+        // or for the name growing too long; never a panic or hang.
+        assert!(matches!(
+            r,
+            Err(WireError::PointerLoop | WireError::NameTooLong | WireError::BadName)
+        ));
+    }
+}
