@@ -16,16 +16,25 @@
 //!   the Figure 9 result survives when training reads bounded-memory
 //!   quantile sketches instead of exact per-group sample vectors;
 //! * [`outage_ttl`] — the §2 availability argument under stress: outage
-//!   rate × DNS TTL, anycast failover against DNS redirection staleness.
+//!   rate × DNS TTL, anycast failover against DNS redirection staleness;
+//! * [`load_shedding`] — the §2 load-management question closed by the
+//!   control plane: capacity headroom × {off, shed, withdraw}, trading
+//!   overload integral against latency inflation.
+
+use std::collections::BTreeMap;
 
 use anycast_analysis::cdf::Ecdf;
 use anycast_analysis::report::Series;
+use anycast_control::{
+    simulate, CapacityPlan, ControlConfig, ControlMode, DemandModel, LoopConfig,
+};
 use anycast_core::{
     anycast_request_memo, evaluate_prediction, evaluation::outcome_shares, request_times,
     Deployment, DnsRedirectionSim, Grouping, Metric, Predictor, PredictorConfig, Study,
     StudyConfig,
 };
 use anycast_netsim::{Day, NetConfig, RouteSnapshot};
+use anycast_obs::json::{parse, Value};
 use anycast_pipeline::ShardConfig;
 use anycast_workload::{ldns_assign, Scenario};
 
@@ -496,8 +505,156 @@ pub fn outage_ttl(scale: Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// Capacity headroom × {off, shed, withdraw}: the latency-vs-overload
+/// tradeoff the control plane navigates.
+///
+/// Every site's capacity is set to `headroom ×` its peak projected load
+/// across the day's control epochs, so headroom < 1 guarantees each site
+/// is undersized at its own peak. For each headroom the closed loop runs
+/// in all three modes and reports the overload integral (site-queries
+/// above capacity, summed over epochs) and the median per-query latency
+/// inflation the steering paid for it.
+pub fn load_shedding(scale: Scale, seed: u64) -> FigureResult {
+    const HEADROOMS: [f64; 5] = [0.7, 0.85, 0.95, 1.1, 1.3];
+    let mut st = study(scale, seed);
+    st.run_day(anycast_netsim::Day(0));
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ldns,
+        ..PredictorConfig::default()
+    };
+    let table = Predictor::new(cfg).train(st.dataset(), anycast_netsim::Day(0));
+    let scenario = st.scenario();
+
+    let loop_cfg = |mode: ControlMode| LoopConfig {
+        grouping: Grouping::Ldns,
+        day: Day(1),
+        epochs: 6,
+        control: ControlConfig {
+            mode,
+            ..ControlConfig::default()
+        },
+        ..LoopConfig::default()
+    };
+
+    // Per-site peak projected load across the day's epochs — the yardstick
+    // every headroom factor scales.
+    let base = loop_cfg(ControlMode::Off);
+    let model = DemandModel::build(
+        scenario,
+        &table,
+        base.grouping,
+        base.day,
+        base.epochs,
+        base.query_cap,
+    );
+    let mut peak: BTreeMap<anycast_netsim::SiteId, f64> = BTreeMap::new();
+    for epoch in &model.epochs {
+        for (site, load) in epoch.project(&table, &BTreeMap::new()) {
+            let p = peak.entry(site).or_insert(0.0);
+            *p = p.max(load);
+        }
+    }
+
+    let modes = [
+        (ControlMode::Off, "off"),
+        (ControlMode::Shed, "shed"),
+        (ControlMode::Withdraw, "withdraw"),
+    ];
+    let mut overload_pts: Vec<Vec<(f64, f64)>> = vec![Vec::new(); modes.len()];
+    let mut inflation_pts: Vec<Vec<(f64, f64)>> = vec![Vec::new(); modes.len()];
+    let mut scalars = Vec::new();
+    for &h in &HEADROOMS {
+        let mut caps = CapacityPlan::new();
+        for (&site, &p) in &peak {
+            caps.set(site, h * p.max(1.0));
+        }
+        for (i, &(mode, _)) in modes.iter().enumerate() {
+            let run = simulate(scenario, &table, &loop_cfg(mode), &caps);
+            overload_pts[i].push((h, run.overload_integral));
+            inflation_pts[i].push((h, run.median_inflation_ms));
+        }
+    }
+    // The headline: at the tightest headroom, how much of the valve-only
+    // overload the closed loop sheds, and what it pays in latency.
+    let off0 = overload_pts[0][0].1;
+    let shed0 = overload_pts[1][0].1;
+    if off0 > 0.0 {
+        scalars.push((
+            format!("overload integral shed at headroom {}", HEADROOMS[0]),
+            1.0 - shed0 / off0,
+        ));
+    }
+    scalars.push((
+        format!(
+            "median inflation (ms) of shedding at headroom {}",
+            HEADROOMS[0]
+        ),
+        inflation_pts[1][0].1,
+    ));
+
+    let mut series = Vec::new();
+    for (i, &(_, name)) in modes.iter().enumerate() {
+        series.push(Series::new(
+            format!("overload integral, {name}"),
+            overload_pts[i].clone(),
+        ));
+    }
+    for (i, &(_, name)) in modes.iter().enumerate() {
+        series.push(Series::new(
+            format!("median inflation ms, {name}"),
+            inflation_pts[i].clone(),
+        ));
+    }
+
+    FigureResult {
+        id: "ablation-load-shedding",
+        title: "Load-shedding tradeoff: capacity headroom × control mode".into(),
+        x_label: "capacity headroom (× peak site load)".into(),
+        series,
+        scalars,
+        text: None,
+    }
+}
+
+/// Merges the [`load_shedding`] tradeoff series into the cumulative
+/// `BENCH_study.json` body (same discipline as `servebench`): each series
+/// becomes `load_shedding.<snake_name>` as an array of `[x, y]` pairs, and
+/// the headline scalars ride along.
+pub fn merge_load_shedding_into_bench_json(fig: &FigureResult, existing: Option<&str>) -> String {
+    let mut root = existing
+        .and_then(|s| parse(s).ok())
+        .and_then(|v| match v {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let mut body = BTreeMap::new();
+    for s in &fig.series {
+        let name: String = s
+            .name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let pts = s
+            .points
+            .iter()
+            .map(|&(x, y)| Value::Arr(vec![Value::Num(x), Value::Num(y)]))
+            .collect();
+        body.insert(name, Value::Arr(pts));
+    }
+    for (name, v) in &fig.scalars {
+        let name: String = name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        body.insert(name, Value::Num(*v));
+    }
+    root.insert("load_shedding".into(), Value::Obj(body));
+    Value::Obj(root).to_json_pretty()
+}
+
 /// All ablation ids.
-pub const ALL: [&str; 8] = [
+pub const ALL: [&str; 9] = [
     "ablation-prediction-metric",
     "ablation-min-samples",
     "ablation-candidates",
@@ -506,6 +663,7 @@ pub const ALL: [&str; 8] = [
     "ablation-training-window",
     "ablation-sketch-accuracy",
     "ablation-outage-ttl",
+    "ablation-load-shedding",
 ];
 
 /// Computes an ablation by id.
@@ -519,6 +677,7 @@ pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
         "ablation-training-window" => Some(training_window(scale, seed)),
         "ablation-sketch-accuracy" => Some(sketch_accuracy(scale, seed)),
         "ablation-outage-ttl" => Some(outage_ttl(scale, seed)),
+        "ablation-load-shedding" => Some(load_shedding(scale, seed)),
         _ => None,
     }
 }
@@ -626,6 +785,78 @@ mod tests {
         }
         // Anycast stays near-perfect even at the harshest outage rate.
         assert!(fig.scalars[2].1 < 0.01, "anycast loss {}", fig.scalars[2].1);
+    }
+
+    #[test]
+    fn load_shedding_trades_overload_for_latency() {
+        let fig = load_shedding(Scale::Small, 1);
+        assert_eq!(fig.series.len(), 6);
+        let off = &fig.series[0].points;
+        let shed = &fig.series[1].points;
+        let withdraw = &fig.series[2].points;
+        let off_infl = &fig.series[3].points;
+        // The valve-only baseline is actually overloaded at tight headroom…
+        assert!(off[0].1 > 0.0, "headroom 0.7 must overload the baseline");
+        // …wherever some site still has spare capacity (headroom ≥ 0.85
+        // leaves off-peak sites with room), shedding beats doing nothing;
+        // below that the system is under-provisioned outright and no DNS
+        // steering can win — that crossover is the figure's point.
+        for (o, s) in off.iter().zip(shed).filter(|(o, _)| o.0 >= 0.85) {
+            assert!(
+                s.1 <= o.1 + 1e-9,
+                "shed ({}) beat by off ({}) at {}",
+                s.1,
+                o.1,
+                o.0
+            );
+        }
+        let mid = off.iter().zip(shed).find(|(o, _)| o.0 >= 0.95).unwrap();
+        assert!(
+            mid.1 .1 < mid.0 .1,
+            "with real spare capacity shedding must strictly help"
+        );
+        // …withdrawing a whole site never beats targeted shedding…
+        for (w, s) in withdraw.iter().zip(shed) {
+            assert!(w.1 >= s.1 - 1e-9, "withdraw beat shedding at {}", w.0);
+        }
+        // …more headroom never increases the baseline overload…
+        for w in off.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "overload must shrink with headroom"
+            );
+        }
+        // …and a baseline that steers nothing pays nothing.
+        assert!(off_infl.iter().all(|&(_, y)| y == 0.0));
+    }
+
+    #[test]
+    fn load_shedding_merges_into_bench_json() {
+        let fig = load_shedding(Scale::Small, 1);
+        let existing = r#"{"bench": "study-run-day", "train_s": 0.5}"#;
+        let merged = merge_load_shedding_into_bench_json(&fig, Some(existing));
+        let v = parse(&merged).expect("merged output parses");
+        assert_eq!(
+            v.get("bench").and_then(Value::as_str),
+            Some("study-run-day")
+        );
+        let ls = v.get("load_shedding").expect("load_shedding object");
+        for key in [
+            "overload_integral__off",
+            "overload_integral__shed",
+            "overload_integral__withdraw",
+            "median_inflation_ms__off",
+            "median_inflation_ms__shed",
+            "median_inflation_ms__withdraw",
+        ] {
+            assert!(ls.get(key).is_some(), "missing series {key}");
+        }
+        // Merging into nothing (or garbage) still produces a valid body.
+        let fresh = parse(&merge_load_shedding_into_bench_json(&fig, None)).unwrap();
+        assert!(fresh.get("load_shedding").is_some());
+        let over_garbage =
+            parse(&merge_load_shedding_into_bench_json(&fig, Some("not json"))).unwrap();
+        assert!(over_garbage.get("load_shedding").is_some());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Offered-load attribution: which client group sends how many queries in
+//! each control epoch, and where that load lands.
+//!
+//! The controller can only move load it can *name*: a query steers through
+//! DNS exactly when it resolves to a trained group (an ECS /24 or an LDNS
+//! resolver with candidate rankings). Everything else — untrained groups,
+//! non-ECS queries under ECS grouping — is answered with the anycast VIP
+//! and lands wherever BGP already sends that client. The model splits a
+//! day's deterministic query plan (`anycast_serve::day_query_plan`) into
+//! control epochs and tallies both halves per epoch:
+//!
+//! * steerable load, per group, with the group's *catchment distribution*
+//!   (which sites absorb it if the answer is the VIP);
+//! * pinned load, per site, that no DNS rewrite can move.
+//!
+//! Everything is keyed through `BTreeMap`s so iteration order — and hence
+//! every controller decision — is deterministic.
+
+use std::collections::BTreeMap;
+
+use anycast_core::prediction::{GroupKey, Grouping, PredictionTable};
+use anycast_netsim::{Day, SiteId};
+use anycast_serve::day_query_plan;
+use anycast_workload::Scenario;
+
+use anycast_beacon::Target;
+
+/// One steerable group's demand within one control epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupEpoch {
+    /// Queries the group contributes this epoch.
+    pub queries: u64,
+    /// Where those queries land when answered with the anycast VIP:
+    /// site → query count (sums to `queries`).
+    pub vip_by_site: BTreeMap<SiteId, u64>,
+}
+
+/// Offered load for one control epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochDemand {
+    /// Steerable groups: trained groups the epoch's queries resolve to.
+    pub groups: BTreeMap<GroupKey, GroupEpoch>,
+    /// Load DNS cannot move (VIP answers with no trained group), per
+    /// anycast catchment site.
+    pub pinned: BTreeMap<SiteId, f64>,
+}
+
+impl EpochDemand {
+    /// Total queries this epoch, steerable and pinned.
+    pub fn total_queries(&self) -> f64 {
+        let steer: u64 = self.groups.values().map(|g| g.queries).sum();
+        let pinned: f64 = self.pinned.values().sum();
+        steer as f64 + pinned
+    }
+
+    /// Projects per-site offered load under a group→target assignment.
+    /// Groups absent from `assignment` serve their rank-0 (table) choice.
+    pub fn project(
+        &self,
+        table: &PredictionTable,
+        assignment: &BTreeMap<GroupKey, Target>,
+    ) -> BTreeMap<SiteId, f64> {
+        let mut loads = self.pinned.clone();
+        for (&key, g) in &self.groups {
+            let target = assignment.get(&key).copied().or_else(|| table.predict(key));
+            match target {
+                Some(Target::Unicast(site)) => {
+                    *loads.entry(site).or_insert(0.0) += g.queries as f64;
+                }
+                // The VIP (or, defensively, a group the table no longer
+                // knows): load falls to the anycast catchments.
+                Some(Target::Anycast) | None => {
+                    for (&site, &q) in &g.vip_by_site {
+                        *loads.entry(site).or_insert(0.0) += q as f64;
+                    }
+                }
+            }
+        }
+        loads
+    }
+}
+
+/// A full day's offered load, split into control epochs.
+#[derive(Debug, Clone)]
+pub struct DemandModel {
+    /// Per-epoch demand, in replay order.
+    pub epochs: Vec<EpochDemand>,
+}
+
+/// Chunk boundaries for splitting `n` queries into `epochs` contiguous
+/// control epochs: epoch `e` covers `[e·n/E, (e+1)·n/E)`. The wire replay
+/// uses the same boundaries, so model epochs and replay epochs line up
+/// query-for-query.
+pub fn epoch_bounds(n: usize, epochs: usize) -> Vec<(usize, usize)> {
+    let e = epochs.max(1);
+    (0..e).map(|i| (i * n / e, (i + 1) * n / e)).collect()
+}
+
+impl DemandModel {
+    /// Builds the model from a scenario's deterministic day of queries.
+    ///
+    /// `table` decides which groups are steerable (a group with an empty
+    /// candidate ranking cannot be moved); `cap` bounds the day's query
+    /// count the way the replay's cap does.
+    pub fn build(
+        scenario: &Scenario,
+        table: &PredictionTable,
+        grouping: Grouping,
+        day: Day,
+        epochs: usize,
+        cap: usize,
+    ) -> DemandModel {
+        let plan = day_query_plan(scenario, day, cap);
+        let bounds = epoch_bounds(plan.len(), epochs);
+        let mut out = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in &bounds {
+            let mut epoch = EpochDemand::default();
+            for (ci, spec) in &plan[lo..hi] {
+                let client = &scenario.clients[*ci];
+                let catchment = scenario
+                    .internet
+                    .anycast_route(&client.attachment, day)
+                    .site;
+                let key = match grouping {
+                    Grouping::Ecs => spec.ecs.as_ref().map(|e| GroupKey::Ecs(e.prefix)),
+                    Grouping::Ldns => Some(GroupKey::Ldns(spec.ldns)),
+                };
+                match key.filter(|k| !table.ranked(*k).is_empty()) {
+                    Some(k) => {
+                        let g = epoch.groups.entry(k).or_default();
+                        g.queries += 1;
+                        *g.vip_by_site.entry(catchment).or_insert(0) += 1;
+                    }
+                    None => {
+                        *epoch.pinned.entry(catchment).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+            out.push(epoch);
+        }
+        DemandModel { epochs: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_core::prediction::{Predictor, PredictorConfig};
+    use anycast_core::{Study, StudyConfig};
+
+    fn trained(grouping: Grouping) -> (Study, PredictionTable) {
+        let mut study = Study::new(Scenario::small(21), StudyConfig::default());
+        study.run_day(Day(0));
+        let cfg = PredictorConfig {
+            grouping,
+            ..PredictorConfig::default()
+        };
+        let table = Predictor::new(cfg).train(study.dataset(), Day(0));
+        (study, table)
+    }
+
+    #[test]
+    fn epoch_bounds_partition_the_plan() {
+        let b = epoch_bounds(10, 3);
+        assert_eq!(b, vec![(0, 3), (3, 6), (6, 10)]);
+        assert_eq!(epoch_bounds(5, 1), vec![(0, 5)]);
+        assert_eq!(
+            epoch_bounds(0, 4)
+                .iter()
+                .map(|&(l, h)| h - l)
+                .sum::<usize>(),
+            0
+        );
+    }
+
+    #[test]
+    fn model_accounts_for_every_query() {
+        let (study, table) = trained(Grouping::Ecs);
+        let scenario = study.scenario();
+        let n = day_query_plan(scenario, Day(1), 600).len();
+        assert!(n > 100, "a simulated day must produce a real workload");
+        let model = DemandModel::build(scenario, &table, Grouping::Ecs, Day(1), 4, 600);
+        assert_eq!(model.epochs.len(), 4);
+        let total: f64 = model.epochs.iter().map(EpochDemand::total_queries).sum();
+        assert_eq!(total, n as f64, "every query is steerable or pinned");
+        // Group catchment distributions are internally consistent.
+        for e in &model.epochs {
+            for g in e.groups.values() {
+                assert_eq!(g.vip_by_site.values().sum::<u64>(), g.queries);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_matches_pinned_plus_steered() {
+        let (study, table) = trained(Grouping::Ldns);
+        let scenario = study.scenario();
+        let model = DemandModel::build(scenario, &table, Grouping::Ldns, Day(1), 2, 400);
+        for e in &model.epochs {
+            let loads = e.project(&table, &BTreeMap::new());
+            let total: f64 = loads.values().sum();
+            assert!(
+                (total - e.total_queries()).abs() < 1e-9,
+                "projection conserves load"
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (study, table) = trained(Grouping::Ecs);
+        let scenario = study.scenario();
+        let a = DemandModel::build(scenario, &table, Grouping::Ecs, Day(1), 3, 500);
+        let b = DemandModel::build(scenario, &table, Grouping::Ecs, Day(1), 3, 500);
+        assert_eq!(a.epochs, b.epochs);
+    }
+}

@@ -33,14 +33,30 @@ pub struct SiteLoad {
 }
 
 impl SiteLoad {
+    /// The capacity this site is planned against: NaN and negative
+    /// capacities are degenerate (a meaningless or impossible budget) and
+    /// are treated as **zero** — the site can hold nothing, so all of its
+    /// load is overload and it never accepts spill. `+inf` is legitimate
+    /// and means "uncapacitated". Without this guard a NaN capacity
+    /// silently disables a site's overload (`NaN` comparisons are all
+    /// false) and a negative one lets [`plan_shedding`] move more load
+    /// off a site than the site actually has.
+    pub fn effective_capacity(&self) -> f64 {
+        if self.capacity.is_nan() || self.capacity < 0.0 {
+            0.0
+        } else {
+            self.capacity
+        }
+    }
+
     /// Load above capacity (zero when healthy).
     pub fn overload(&self) -> f64 {
-        (self.load - self.capacity).max(0.0)
+        (self.load - self.effective_capacity()).max(0.0)
     }
 
     /// Spare capacity (zero when at or over capacity).
     pub fn headroom(&self) -> f64 {
-        (self.capacity - self.load).max(0.0)
+        (self.effective_capacity() - self.load).max(0.0)
     }
 }
 
@@ -69,7 +85,10 @@ pub fn plan_shedding(sites: &[SiteLoad]) -> (Vec<Move>, Vec<SiteLoad>) {
         .filter(|&i| state[i].overload() > 0.0)
         .collect();
     for idx in overloaded {
-        let mut excess = state[idx].overload();
+        // Never move more than the site actually carries: with a
+        // degenerate (negative → zero) capacity, overload equals load,
+        // and the clamp keeps the source from going negative.
+        let mut excess = state[idx].overload().min(state[idx].load.max(0.0));
         if excess <= 0.0 {
             continue;
         }
@@ -235,6 +254,62 @@ mod tests {
     fn withdraw_unknown_site_is_a_no_op() {
         let sites = vec![site(0, 0.0, 10.0, 100.0)];
         assert_eq!(withdraw(&sites, SiteId(9)), sites);
+    }
+
+    #[test]
+    fn degenerate_capacities_are_guarded() {
+        // NaN capacity: all load counts as overload, never a destination.
+        let nan = site(0, 0.0, 50.0, f64::NAN);
+        assert_eq!(nan.effective_capacity(), 0.0);
+        assert_eq!(nan.overload(), 50.0);
+        assert_eq!(nan.headroom(), 0.0);
+        // Negative capacity: same as zero.
+        let neg = site(0, 0.0, 50.0, -100.0);
+        assert_eq!(neg.overload(), 50.0);
+        assert_eq!(neg.headroom(), 0.0);
+        // Zero capacity is a dead site (the PR-2 outage shape).
+        let dead = site(0, 0.0, 50.0, 0.0);
+        assert_eq!(dead.overload(), 50.0);
+        // Infinite capacity is legitimately uncapacitated.
+        let inf = site(0, 0.0, 50.0, f64::INFINITY);
+        assert_eq!(inf.overload(), 0.0);
+        assert_eq!(inf.headroom(), f64::INFINITY);
+    }
+
+    #[test]
+    fn plan_shedding_survives_degenerate_sites() {
+        let sites = vec![
+            site(0, 0.0, 150.0, f64::NAN),      // everything must leave
+            site(1, 5.0, 40.0, -10.0),          // negative: sheds all, takes none
+            site(2, 10.0, 20.0, 400.0),         // the only real destination
+            site(3, 15.0, 30.0, f64::INFINITY), // uncapacitated destination
+        ];
+        let (moves, after) = plan_shedding(&sites);
+        for s in &after {
+            assert!(s.load.is_finite(), "no NaN/inf loads: {s:?}");
+            assert!(s.load >= -1e-9, "no negative loads: {s:?}");
+            assert!(
+                s.load <= s.effective_capacity() + 1e-9 || s.effective_capacity() == 0.0,
+                "no destination overloaded: {s:?}"
+            );
+        }
+        for m in &moves {
+            assert!(m.amount.is_finite() && m.amount > 0.0, "bad move {m:?}");
+            // Degenerate-capacity sites never receive spill.
+            assert!(m.to == SiteId(2) || m.to == SiteId(3), "bad dest {m:?}");
+        }
+        assert_eq!(total_overload(&after), 0.0);
+    }
+
+    #[test]
+    fn negative_capacity_never_drives_load_negative() {
+        let sites = vec![site(0, 0.0, 50.0, -1000.0), site(1, 5.0, 0.0, 1000.0)];
+        let (moves, after) = plan_shedding(&sites);
+        // Overload reads 50 (not 1050): exactly the carried load moves.
+        assert_eq!(moves.len(), 1);
+        assert!((moves[0].amount - 50.0).abs() < 1e-9);
+        assert!(after[0].load.abs() < 1e-9);
+        assert!((after[1].load - 50.0).abs() < 1e-9);
     }
 
     #[test]

@@ -144,11 +144,29 @@ pub struct Choice {
     pub gain_ms: Option<f64>,
 }
 
+/// One scored candidate in a group's ranking: a target and its latency
+/// score under the training metric (lower is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedCandidate {
+    /// The candidate target.
+    pub target: Target,
+    /// The group's latency score for this target, ms.
+    pub score_ms: f64,
+}
+
 /// The per-group choice table produced by one training pass — what the
 /// authoritative server would serve during the next prediction interval.
+///
+/// Besides each group's winning [`Choice`], the table retains the **full
+/// ranking** of eligible candidates ([`PredictionTable::ranked`], best
+/// first). Rank 0 is by construction the served choice, so consumers that
+/// only read `predict`/`choice` see exactly the single-best behavior;
+/// the load-management control plane uses the deeper ranks as principled
+/// spill targets when a front-end saturates.
 #[derive(Debug, Clone, Default)]
 pub struct PredictionTable {
     choices: HashMap<GroupKey, Choice>,
+    ranked: HashMap<GroupKey, Vec<RankedCandidate>>,
 }
 
 impl PredictionTable {
@@ -168,17 +186,22 @@ impl PredictionTable {
     /// anycast". Groups with unknown gain are dropped (no evidence, no
     /// redirect).
     pub fn hybrid_filter(&self, min_gain_ms: f64) -> PredictionTable {
-        PredictionTable {
-            choices: self
-                .choices
-                .iter()
-                .filter(|(_, c)| {
-                    matches!(c.target, Target::Unicast(_))
-                        && c.gain_ms.is_some_and(|g| g >= min_gain_ms)
-                })
-                .map(|(k, c)| (*k, *c))
-                .collect(),
-        }
+        let choices: HashMap<GroupKey, Choice> = self
+            .choices
+            .iter()
+            .filter(|(_, c)| {
+                matches!(c.target, Target::Unicast(_))
+                    && c.gain_ms.is_some_and(|g| g >= min_gain_ms)
+            })
+            .map(|(k, c)| (*k, *c))
+            .collect();
+        let ranked = self
+            .ranked
+            .iter()
+            .filter(|(k, _)| choices.contains_key(k))
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        PredictionTable { choices, ranked }
     }
 
     /// Number of groups with a prediction.
@@ -204,6 +227,19 @@ impl PredictionTable {
     /// Iterates over every `(group, choice)`.
     pub fn iter(&self) -> impl Iterator<Item = (GroupKey, Choice)> + '_ {
         self.choices.iter().map(|(k, c)| (*k, *c))
+    }
+
+    /// The group's full candidate ranking, best first (empty for groups
+    /// without a prediction). Rank 0 is always the target
+    /// [`PredictionTable::predict`] serves; deeper ranks are the next-best
+    /// eligible front-ends, in score order with the same tie-break.
+    pub fn ranked(&self, key: GroupKey) -> &[RankedCandidate] {
+        self.ranked.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over every group's candidate ranking.
+    pub fn iter_ranked(&self) -> impl Iterator<Item = (GroupKey, &[RankedCandidate])> {
+        self.ranked.iter().map(|(k, v)| (*k, v.as_slice()))
     }
 }
 
@@ -337,38 +373,48 @@ fn route_group(key: &GroupKey) -> u64 {
 }
 
 /// Shared selection pass: given `(group, target, score)` rows (already
-/// filtered for eligibility), picks each group's argmin-score target and
-/// computes the expected gain over anycast. Both the exact and the
-/// sketch-fed training paths end here, so their tie-break behavior cannot
-/// drift apart.
+/// filtered for eligibility), ranks each group's targets by score and
+/// picks the argmin as the served choice, computing the expected gain
+/// over anycast. Both the exact and the sketch-fed training paths end
+/// here, so their tie-break behavior cannot drift apart.
+///
+/// The ranking is total — `(score, target_order)` with a unique order per
+/// target — so rank 0 is exactly the single-best target the pre-ranking
+/// implementation kept, and the deeper ranks extend it without changing
+/// any served answer.
 fn choose(scores: impl Iterator<Item = (GroupKey, Target, f64)>) -> PredictionTable {
-    let mut best: HashMap<GroupKey, (Target, f64)> = HashMap::new();
-    let mut anycast_score: HashMap<GroupKey, f64> = HashMap::new();
+    let mut ranked: HashMap<GroupKey, Vec<RankedCandidate>> = HashMap::new();
     for (key, target, score) in scores {
-        if target == Target::Anycast {
-            anycast_score.insert(key, score);
-        }
-        match best.get(&key) {
-            Some(&(prev_t, prev_s))
-                if prev_s < score
-                    || (prev_s == score && target_order(prev_t) <= target_order(target)) => {}
-            _ => {
-                best.insert(key, (target, score));
-            }
-        }
+        ranked.entry(key).or_default().push(RankedCandidate {
+            target,
+            score_ms: score,
+        });
     }
-    PredictionTable {
-        choices: best
-            .into_iter()
-            .map(|(k, (t, s))| {
-                let gain_ms = match t {
-                    Target::Anycast => Some(0.0),
-                    Target::Unicast(_) => anycast_score.get(&k).map(|a| a - s),
-                };
-                (k, Choice { target: t, gain_ms })
-            })
-            .collect(),
+    let mut choices = HashMap::with_capacity(ranked.len());
+    for (key, cands) in &mut ranked {
+        cands.sort_by(|a, b| {
+            a.score_ms
+                .total_cmp(&b.score_ms)
+                .then_with(|| target_order(a.target).cmp(&target_order(b.target)))
+        });
+        let best = cands[0];
+        let anycast = cands
+            .iter()
+            .find(|c| c.target == Target::Anycast)
+            .map(|c| c.score_ms);
+        let gain_ms = match best.target {
+            Target::Anycast => Some(0.0),
+            Target::Unicast(_) => anycast.map(|a| a - best.score_ms),
+        };
+        choices.insert(
+            *key,
+            Choice {
+                target: best.target,
+                gain_ms,
+            },
+        );
     }
+    PredictionTable { choices, ranked }
 }
 
 /// Deterministic tie-break: anycast wins ties (don't redirect without
@@ -771,6 +817,118 @@ mod tests {
             tables[0], tables[1],
             "worker count must not change the trained table"
         );
+    }
+
+    #[test]
+    fn rank_zero_is_the_served_choice_and_ranks_are_sorted() {
+        let ds = separated_dataset();
+        for grouping in [Grouping::Ecs, Grouping::Ldns] {
+            let table = Predictor::new(PredictorConfig {
+                grouping,
+                ..Default::default()
+            })
+            .train(&ds, Day(0));
+            assert!(!table.is_empty());
+            let mut seen_ranked = 0usize;
+            for (key, cands) in table.iter_ranked() {
+                seen_ranked += 1;
+                assert!(!cands.is_empty());
+                assert_eq!(
+                    table.predict(key),
+                    Some(cands[0].target),
+                    "rank 0 must be what the table serves"
+                );
+                for w in cands.windows(2) {
+                    assert!(
+                        w[0].score_ms < w[1].score_ms
+                            || (w[0].score_ms == w[1].score_ms
+                                && target_order(w[0].target) < target_order(w[1].target)),
+                        "ranking must be strictly ordered by (score, tie-break)"
+                    );
+                }
+            }
+            assert_eq!(seen_ranked, table.len(), "every choice has a ranking");
+        }
+    }
+
+    /// Pins k=1 equivalence: the ranked selection must pick exactly the
+    /// target the pre-ranking argmin loop picked — including on exact
+    /// score ties — and compute the same gain.
+    #[test]
+    fn rank_zero_matches_the_legacy_argmin_rule() {
+        use anycast_analysis::ExactQuantiles;
+        // Groups with assorted tie patterns; min_samples satisfied.
+        let mk = |v: f64| ExactQuantiles::from(vec![v; 25]);
+        let mut stats: BTreeMap<(GroupKey, Target), ExactQuantiles> = BTreeMap::new();
+        let rows: &[(u8, Target, f64)] = &[
+            // Group 1: plain win for site 2.
+            (1, Target::Anycast, 80.0),
+            (1, Target::Unicast(SiteId(2)), 50.0),
+            (1, Target::Unicast(SiteId(5)), 60.0),
+            // Group 2: exact three-way tie — anycast must win.
+            (2, Target::Anycast, 40.0),
+            (2, Target::Unicast(SiteId(1)), 40.0),
+            (2, Target::Unicast(SiteId(3)), 40.0),
+            // Group 3: unicast tie — lower site id must win.
+            (3, Target::Unicast(SiteId(7)), 30.0),
+            (3, Target::Unicast(SiteId(4)), 30.0),
+            (3, Target::Anycast, 90.0),
+            // Group 4: no anycast measurement at all.
+            (4, Target::Unicast(SiteId(6)), 20.0),
+            (4, Target::Unicast(SiteId(8)), 25.0),
+        ];
+        for &(g, t, v) in rows {
+            stats.insert((GroupKey::Ecs(prefix(g)), t), mk(v));
+        }
+        let table = Predictor::new(PredictorConfig::default()).train_from_stats(&stats);
+        // Legacy rule, recomputed independently: strict lexicographic min
+        // over (score, target_order).
+        let mut legacy: HashMap<GroupKey, (Target, f64)> = HashMap::new();
+        let mut anycast: HashMap<GroupKey, f64> = HashMap::new();
+        for (&(key, t), q) in &stats {
+            let s = q.percentile(25.0).unwrap();
+            if t == Target::Anycast {
+                anycast.insert(key, s);
+            }
+            match legacy.get(&key) {
+                Some(&(pt, ps)) if ps < s || (ps == s && target_order(pt) <= target_order(t)) => {}
+                _ => {
+                    legacy.insert(key, (t, s));
+                }
+            }
+        }
+        assert_eq!(table.len(), legacy.len());
+        for (key, &(t, s)) in &legacy {
+            let c = table.choice(*key).expect("group trained");
+            assert_eq!(c.target, t, "{key:?}");
+            let want_gain = match t {
+                Target::Anycast => Some(0.0),
+                Target::Unicast(_) => anycast.get(key).map(|a| a - s),
+            };
+            assert_eq!(c.gain_ms, want_gain, "{key:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_filter_keeps_rankings_for_surviving_groups() {
+        let ds = separated_dataset();
+        let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
+        let filtered = table.hybrid_filter(5.0);
+        for (key, _) in filtered.iter() {
+            assert!(
+                !filtered.ranked(key).is_empty(),
+                "surviving group keeps its ranking"
+            );
+            assert_eq!(filtered.ranked(key), table.ranked(key));
+        }
+        // Dropped groups lose theirs.
+        let dropped = table
+            .iter()
+            .map(|(k, _)| k)
+            .find(|k| filtered.choice(*k).is_none());
+        if let Some(k) = dropped {
+            assert!(filtered.ranked(k).is_empty());
+        }
     }
 
     #[test]

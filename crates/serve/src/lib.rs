@@ -38,7 +38,7 @@ pub mod wire;
 pub use client::{ServedAnswer, WireClient};
 pub use message::{decode_query, decode_response, encode_query, encode_response};
 pub use message::{Edns, WireEcs, WireQuery, WireResponse};
-pub use replay::{day_queries, ldns_directory, ldns_source_addr, QuerySpec};
+pub use replay::{day_queries, day_query_plan, ldns_directory, ldns_source_addr, QuerySpec};
 pub use server::{DnsServer, LdnsDirectory, ServeConfig, ServeStats};
 pub use store::{CompiledTable, TableStore};
 pub use wire::WireError;

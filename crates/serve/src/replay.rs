@@ -77,6 +77,18 @@ pub fn ldns_directory(scenario: &Scenario) -> LdnsDirectory {
 /// one client at a time. ECS rides along exactly when the client's
 /// resolver supports it.
 pub fn day_queries(scenario: &Scenario, day: Day, cap: usize) -> Vec<QuerySpec> {
+    day_query_plan(scenario, day, cap)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect()
+}
+
+/// Like [`day_queries`], but each query carries the index into
+/// `scenario.clients` of the client whose demand produced it. The control
+/// plane uses the indices to attribute each query's load to a client
+/// group (and to the client's anycast catchment) without re-deriving the
+/// round-robin schedule.
+pub fn day_query_plan(scenario: &Scenario, day: Day, cap: usize) -> Vec<(usize, QuerySpec)> {
     let qname = service_qname();
     let factor = day_volume_factor(day);
     let demand: Vec<u64> = scenario
@@ -87,7 +99,7 @@ pub fn day_queries(scenario: &Scenario, day: Day, cap: usize) -> Vec<QuerySpec> 
     let max_demand = demand.iter().copied().max().unwrap_or(0);
     let mut out = Vec::with_capacity(cap.min(demand.iter().sum::<u64>() as usize));
     'passes: for pass in 0..max_demand {
-        for (client, &n) in scenario.clients.iter().zip(&demand) {
+        for (ci, (client, &n)) in scenario.clients.iter().zip(&demand).enumerate() {
             if pass >= n {
                 continue;
             }
@@ -100,11 +112,14 @@ pub fn day_queries(scenario: &Scenario, day: Day, cap: usize) -> Vec<QuerySpec> 
                 .resolver(ldns)
                 .supports_ecs
                 .then(|| EcsOption::for_prefix(client.prefix));
-            out.push(QuerySpec {
-                qname: qname.clone(),
-                ldns,
-                ecs,
-            });
+            out.push((
+                ci,
+                QuerySpec {
+                    qname: qname.clone(),
+                    ldns,
+                    ecs,
+                },
+            ));
         }
     }
     out

@@ -146,6 +146,14 @@ pub struct ServeStats {
     pub truncated: AtomicU64,
     /// Queries from source addresses not in the [`LdnsDirectory`].
     pub unknown_ldns: AtomicU64,
+    /// Per answered-address tallies — how many A answers named each
+    /// front-end address (the anycast VIP included). This is the control
+    /// plane's live offered-load feed: the plain map is authoritative
+    /// (deterministic, independent of whether obs recording is enabled),
+    /// and each increment is mirrored to the labeled obs counter
+    /// `serve_answers_total{addr=...}`. Counts depend only on which
+    /// queries were answered, so they are worker-count invariant.
+    answered: Mutex<HashMap<Ipv4Addr, (u64, Arc<anycast_obs::Counter>)>>,
 }
 
 impl ServeStats {
@@ -161,6 +169,28 @@ impl ServeStats {
             "serve_unknown_ldns_total" => counter!("serve_unknown_ldns_total").inc(),
             _ => unreachable!("unknown serve counter {name}"),
         }
+    }
+
+    fn note_answered(&self, addr: Ipv4Addr) {
+        let mut map = self.answered.lock().unwrap_or_else(|p| p.into_inner());
+        let (count, obs) = map.entry(addr).or_insert_with(|| {
+            let label = addr.to_string();
+            (
+                0,
+                anycast_obs::global().counter_with("serve_answers_total", &[("addr", &label)]),
+            )
+        });
+        *count += 1;
+        obs.inc();
+    }
+
+    /// Snapshot of the per-address answered-query tallies, sorted by
+    /// address (deterministic iteration for feeds and tests).
+    pub fn answered_by_addr(&self) -> Vec<(Ipv4Addr, u64)> {
+        let map = self.answered.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out: Vec<(Ipv4Addr, u64)> = map.iter().map(|(a, (c, _))| (*a, *c)).collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
     }
 }
 
@@ -610,6 +640,7 @@ where
             }
         }
     };
+    stats.note_answered(answer.addr);
     let resp = encode_response(&q, Some(&answer), 0, max_payload);
     if resp.len() >= crate::wire::HEADER_LEN && resp[2] & 0x02 != 0 {
         // TC bit set in the encoded header.

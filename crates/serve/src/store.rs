@@ -48,10 +48,35 @@ impl CompiledTable {
         ttl_s: u32,
         generation: u64,
     ) -> CompiledTable {
+        CompiledTable::compile_with_overrides(
+            table,
+            &std::collections::BTreeMap::new(),
+            grouping,
+            addressing,
+            ttl_s,
+            generation,
+        )
+    }
+
+    /// Compiles a trained table with per-group assignment overrides — the
+    /// control plane's rewrite path. Groups present in `overrides` serve
+    /// the overridden target instead of the table's own choice; all other
+    /// groups compile exactly as [`CompiledTable::compile`] would.
+    /// Overrides for groups the table does not know are ignored (a group
+    /// without training evidence is never steered).
+    pub fn compile_with_overrides(
+        table: &PredictionTable,
+        overrides: &std::collections::BTreeMap<GroupKey, Target>,
+        grouping: Grouping,
+        addressing: CdnAddressing,
+        ttl_s: u32,
+        generation: u64,
+    ) -> CompiledTable {
         let mut by_prefix = Vec::new();
         let mut by_ldns = Vec::new();
         for (key, choice) in table.iter() {
-            let addr = match choice.target {
+            let target = overrides.get(&key).copied().unwrap_or(choice.target);
+            let addr = match target {
                 Target::Anycast => addressing.anycast_ip(),
                 Target::Unicast(site) => addressing.site_ip(site),
             };
@@ -205,6 +230,91 @@ mod tests {
         assert_eq!((a.ttl_s, a.ecs_scope), (60, 24));
         let b = t.answer(LdnsId(0), None);
         assert_eq!(b.ecs_scope, 0);
+    }
+
+    #[test]
+    fn overrides_rewrite_known_groups_and_ignore_unknown_ones() {
+        use anycast_beacon::{BeaconDataset, BeaconMeasurement, Slot, Target};
+        use anycast_core::prediction::{Predictor, PredictorConfig};
+
+        // Train a tiny LDNS-keyed table where resolvers 0 and 1 both
+        // prefer unicast site 0 over anycast.
+        let mut ds = BeaconDataset::new();
+        let mut exec = 0u64;
+        for ldns in [LdnsId(0), LdnsId(1)] {
+            for (target, rtt) in [(Target::Anycast, 90.0), (Target::Unicast(SiteId(0)), 40.0)] {
+                for _ in 0..25 {
+                    ds.extend([BeaconMeasurement {
+                        measurement_id: match target {
+                            Target::Anycast => Slot::Anycast.id_for(exec),
+                            Target::Unicast(_) => Slot::GeoClosest.id_for(exec),
+                        },
+                        slot: Slot::Anycast,
+                        prefix: Prefix24::containing(Ipv4Addr::new(10, 0, ldns.0 as u8, 1)),
+                        ldns,
+                        ecs: None,
+                        target,
+                        served_site: SiteId(0),
+                        rtt_ms: rtt,
+                        failed: false,
+                        day: Day(0),
+                        time_s: 0.0,
+                    }]);
+                    exec += 1;
+                }
+            }
+        }
+        let cfg = PredictorConfig {
+            grouping: Grouping::Ldns,
+            ..PredictorConfig::default()
+        };
+        let table = Predictor::new(cfg).train(&ds, Day(0));
+
+        let mut overrides = std::collections::BTreeMap::new();
+        // Steer resolver 0 somewhere else; resolver 99 has no training
+        // evidence, so its override must be dropped on the floor.
+        overrides.insert(GroupKey::Ldns(LdnsId(0)), Target::Unicast(SiteId(3)));
+        overrides.insert(GroupKey::Ldns(LdnsId(99)), Target::Unicast(SiteId(5)));
+        let rewritten = CompiledTable::compile_with_overrides(
+            &table,
+            &overrides,
+            Grouping::Ldns,
+            plan(),
+            60,
+            2,
+        );
+        let baseline = CompiledTable::compile(&table, Grouping::Ldns, plan(), 60, 2);
+
+        assert_eq!(
+            rewritten.len(),
+            baseline.len(),
+            "overrides never add groups"
+        );
+        let site_of =
+            |t: &CompiledTable, id: u32| plan().site_for_ip(t.answer(LdnsId(id), None).addr);
+        assert_eq!(site_of(&rewritten, 0), Some(SiteId(3)), "override applied");
+        assert_eq!(
+            site_of(&rewritten, 1),
+            site_of(&baseline, 1),
+            "untouched group unchanged"
+        );
+        // Unknown group: both tables miss and fall back to the VIP.
+        assert!(plan().is_anycast(rewritten.answer(LdnsId(99), None).addr));
+        // An empty override map is the identity.
+        let id = CompiledTable::compile_with_overrides(
+            &table,
+            &std::collections::BTreeMap::new(),
+            Grouping::Ldns,
+            plan(),
+            60,
+            2,
+        );
+        for ldns in [0u32, 1, 99] {
+            assert_eq!(
+                id.answer(LdnsId(ldns), None).addr,
+                baseline.answer(LdnsId(ldns), None).addr
+            );
+        }
     }
 
     #[test]

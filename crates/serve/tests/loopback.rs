@@ -136,6 +136,55 @@ fn wire_answers_match_in_process_path_four_workers() {
 }
 
 #[test]
+fn answered_tallies_mirror_answers_and_never_influence_them() {
+    // Satellite: the per-front-end answered tally is the control plane's
+    // live load feed. It must be (a) a pure function of the served
+    // answers — identical across reruns and worker counts — and (b)
+    // obs-neutral: the answers themselves are byte-identical whether or
+    // not anyone reads the tallies.
+    let (study, policy) = trained(49, Grouping::Ecs);
+    let scenario = study.scenario();
+    let queries = day_queries(scenario, Day(1), 400);
+    let run = |workers: usize| {
+        let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
+        cfg.workers = workers;
+        cfg.day = Day(1);
+        let directory = ldns_directory(scenario);
+        let server = DnsServer::spawn(cfg, policy.clone(), directory).expect("server spawns");
+        let qname = service_qname();
+        let mut pool = ClientPool::new(server.local_addr());
+        let mut answers = Vec::new();
+        for q in &queries {
+            let a = pool
+                .get(q.ldns)
+                .query(&qname, q.ecs.as_ref())
+                .expect("query");
+            answers.push((a.addr, a.ttl_s, a.ecs_scope));
+        }
+        let tallies = server.stats().answered_by_addr();
+        (answers, tallies)
+    };
+    let (a1, t1) = run(1);
+    let (a2, t2) = run(2);
+    assert_eq!(a1, a2, "answers do not depend on worker count");
+    assert_eq!(t1, t2, "tallies are a pure function of the served answers");
+    assert_eq!(
+        t1.iter().map(|&(_, n)| n).sum::<u64>(),
+        queries.len() as u64,
+        "every answered query is attributed to exactly one front end"
+    );
+    // The tally agrees with the answers the clients actually saw.
+    let mut expect: HashMap<Ipv4Addr, u64> = HashMap::new();
+    for &(addr, _, _) in &a1 {
+        *expect.entry(addr).or_default() += 1;
+    }
+    assert_eq!(expect.len(), t1.len());
+    for (addr, n) in &t1 {
+        assert_eq!(expect.get(addr), Some(n), "tally for {addr} disagrees");
+    }
+}
+
+#[test]
 fn ldns_keyed_tables_serve_scope_zero_on_the_wire() {
     let (study, policy) = trained(43, Grouping::Ldns);
     let scenario = study.scenario();

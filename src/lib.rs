@@ -25,6 +25,7 @@
 
 pub use anycast_analysis as analysis;
 pub use anycast_beacon as beacon;
+pub use anycast_control as control;
 pub use anycast_core as core;
 pub use anycast_dns as dns;
 pub use anycast_geo as geo;
