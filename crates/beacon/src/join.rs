@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use anycast_netsim::{CdnAddressing, Day, Prefix24, SiteId};
+use anycast_netsim::{CdnAddressing, Day, Prefix, Prefix24, SiteId};
 
 use anycast_dns::{DnsQueryLog, LdnsId};
 
@@ -39,7 +39,9 @@ pub struct BeaconMeasurement {
     /// Resolver that forwarded the DNS query (server-side).
     pub ldns: LdnsId,
     /// Client subnet the resolver forwarded via ECS, if any (server-side).
-    pub ecs: Option<Prefix24>,
+    /// Variable-length: a privacy-truncating resolver may disclose a
+    /// coarser prefix than the client's /24.
+    pub ecs: Option<Prefix>,
     /// What was targeted.
     pub target: Target,
     /// The site that served the fetch (equals the target site for unicast).
@@ -184,9 +186,9 @@ mod tests {
         let id = Slot::GeoClosest.id_for(2);
         let subnet = Prefix24::containing(Ipv4Addr::new(11, 0, 5, 0));
         let mut d = dns_row(id, plan.site_ip(SiteId(1)));
-        d.ecs = Some(subnet);
+        d.ecs = Some(subnet.into());
         let http = vec![http_row(id, plan.site_ip(SiteId(1)), 1)];
         let joined = join(&http, &[d], &plan);
-        assert_eq!(joined[0].ecs, Some(subnet));
+        assert_eq!(joined[0].ecs, Some(subnet.into()));
     }
 }

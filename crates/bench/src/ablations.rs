@@ -19,7 +19,10 @@
 //!   rate × DNS TTL, anycast failover against DNS redirection staleness;
 //! * [`load_shedding`] — the §2 load-management question closed by the
 //!   control plane: capacity headroom × {off, shed, withdraw}, trading
-//!   overload integral against latency inflation.
+//!   overload integral against latency inflation;
+//! * [`table_compression`] — the routing-aware aggregation question: how
+//!   many trie entries the default+exception pass saves per regret-bound
+//!   setting, and what it costs in next-day Figure 9 quality.
 
 use std::collections::BTreeMap;
 
@@ -30,8 +33,8 @@ use anycast_control::{
 };
 use anycast_core::{
     anycast_request_memo, evaluate_prediction, evaluation::outcome_shares, request_times,
-    Deployment, DnsRedirectionSim, Grouping, Metric, Predictor, PredictorConfig, Study,
-    StudyConfig,
+    AggregationConfig, Deployment, DnsRedirectionSim, Grouping, Metric, Predictor, PredictorConfig,
+    Study, StudyConfig,
 };
 use anycast_netsim::{Day, NetConfig, RouteSnapshot};
 use anycast_obs::json::{parse, Value};
@@ -616,11 +619,109 @@ pub fn load_shedding(scale: Scale, seed: u64) -> FigureResult {
     }
 }
 
-/// Merges the [`load_shedding`] tradeoff series into the cumulative
-/// `BENCH_study.json` body (same discipline as `servebench`): each series
-/// becomes `load_shedding.<snake_name>` as an array of `[x, y]` pairs, and
-/// the headline scalars ride along.
-pub fn merge_load_shedding_into_bench_json(fig: &FigureResult, existing: Option<&str>) -> String {
+/// Sweep of the routing-aware aggregation regret bound: table size (trie
+/// entries) against next-day Figure 9 quality, plain per-/24 training as
+/// the baseline.
+///
+/// The series answer the PR's acceptance question directly: how many
+/// entries does the ORTC-style default+exception pass save, and how many
+/// percentage points of the improved−hurt margin does it give back? A
+/// scalar pins the identity contract — the disabled config must reproduce
+/// plain training choice-for-choice.
+pub fn table_compression(scale: Scale, seed: u64) -> FigureResult {
+    const BOUNDS_MS: [f64; 7] = [0.0, 1.0, 2.5, 5.0, 7.5, 10.0, 25.0];
+    let default_bound = AggregationConfig::default().regret_bound_ms;
+    let mut st = study(scale, seed);
+    st.run_days(Day(0), 2);
+    let ldns_of = st.ldns_of();
+    let volumes = st.volumes();
+    // Production-shaped baseline: one entry per measured /24, however
+    // thin the evidence — the served table holds every /24 the logs saw,
+    // not just the well-sampled ones. That is the table the aggregation
+    // pass has to shrink; Fig-9's min_samples filter would leave a
+    // handful of entries at small scale and nothing to compress.
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        metric: Metric::P25,
+        min_samples: 1,
+        failure_penalty_ms: 3_000.0,
+    };
+    let predictor = Predictor::new(cfg);
+    let plain = predictor.train(st.dataset(), Day(0));
+    let plain_rows = evaluate_prediction(
+        &plain,
+        Grouping::Ecs,
+        st.dataset(),
+        Day(1),
+        ldns_of,
+        &volumes,
+    );
+    let (plain_improved, _, plain_hurt) = outcome_shares(&plain_rows, false);
+    let plain_margin = plain_improved - plain_hurt;
+
+    let mut entry_pts = Vec::new();
+    let mut ratio_pts = Vec::new();
+    let mut delta_pts = Vec::new();
+    let mut scalars = vec![
+        ("plain table entries".to_string(), plain.len() as f64),
+        ("plain improved - hurt (p75)".to_string(), plain_margin),
+    ];
+    for &bound in &BOUNDS_MS {
+        let agg = AggregationConfig {
+            regret_bound_ms: bound,
+            ..AggregationConfig::default()
+        };
+        let table = predictor.train_aggregated(st.dataset(), Day(0), &agg);
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            st.dataset(),
+            Day(1),
+            ldns_of,
+            &volumes,
+        );
+        let (improved, _, hurt) = outcome_shares(&rows, false);
+        let ratio = plain.len() as f64 / table.len().max(1) as f64;
+        let delta_pp = (plain_margin - (improved - hurt)) * 100.0;
+        entry_pts.push((bound, table.len() as f64));
+        ratio_pts.push((bound, ratio));
+        delta_pts.push((bound, delta_pp));
+        if bound == default_bound {
+            scalars.push(("compression ratio at default bound".to_string(), ratio));
+            scalars.push(("quality loss at default bound (pp)".to_string(), delta_pp));
+        }
+    }
+    // The identity contract: disabled aggregation reproduces plain
+    // training choice-for-choice (1.0 = identical).
+    let disabled = predictor.train_aggregated(st.dataset(), Day(0), &AggregationConfig::disabled());
+    let identical = disabled.len() == plain.len()
+        && plain
+            .iter()
+            .all(|(k, c)| disabled.predict(k) == Some(c.target));
+    scalars.push((
+        "disabled config identical to plain".to_string(),
+        f64::from(identical),
+    ));
+
+    FigureResult {
+        id: "ablation-table-compression",
+        title: "Routing-aware aggregation sweep: table size vs Fig-9 quality".into(),
+        x_label: "regret bound (ms)".into(),
+        series: vec![
+            Series::new("table entries", entry_pts),
+            Series::new("compression ratio vs plain", ratio_pts),
+            Series::new("quality loss vs plain (pp)", delta_pts),
+        ],
+        scalars,
+        text: None,
+    }
+}
+
+/// Merges a figure's series and scalars into the cumulative
+/// `BENCH_study.json` body under `key` (same discipline as `servebench`):
+/// each series becomes `key.<snake_name>` as an array of `[x, y]` pairs,
+/// and the scalars ride along.
+fn merge_figure_into_bench_json(fig: &FigureResult, key: &str, existing: Option<&str>) -> String {
     let mut root = existing
         .and_then(|s| parse(s).ok())
         .and_then(|v| match v {
@@ -649,12 +750,27 @@ pub fn merge_load_shedding_into_bench_json(fig: &FigureResult, existing: Option<
             .collect();
         body.insert(name, Value::Num(*v));
     }
-    root.insert("load_shedding".into(), Value::Obj(body));
+    root.insert(key.into(), Value::Obj(body));
     Value::Obj(root).to_json_pretty()
 }
 
+/// Merges the [`load_shedding`] tradeoff series into the cumulative
+/// `BENCH_study.json` body under `load_shedding`.
+pub fn merge_load_shedding_into_bench_json(fig: &FigureResult, existing: Option<&str>) -> String {
+    merge_figure_into_bench_json(fig, "load_shedding", existing)
+}
+
+/// Merges the [`table_compression`] sweep into the cumulative
+/// `BENCH_study.json` body under `table_compression`.
+pub fn merge_table_compression_into_bench_json(
+    fig: &FigureResult,
+    existing: Option<&str>,
+) -> String {
+    merge_figure_into_bench_json(fig, "table_compression", existing)
+}
+
 /// All ablation ids.
-pub const ALL: [&str; 9] = [
+pub const ALL: [&str; 10] = [
     "ablation-prediction-metric",
     "ablation-min-samples",
     "ablation-candidates",
@@ -664,6 +780,7 @@ pub const ALL: [&str; 9] = [
     "ablation-sketch-accuracy",
     "ablation-outage-ttl",
     "ablation-load-shedding",
+    "ablation-table-compression",
 ];
 
 /// Computes an ablation by id.
@@ -678,6 +795,7 @@ pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
         "ablation-sketch-accuracy" => Some(sketch_accuracy(scale, seed)),
         "ablation-outage-ttl" => Some(outage_ttl(scale, seed)),
         "ablation-load-shedding" => Some(load_shedding(scale, seed)),
+        "ablation-table-compression" => Some(table_compression(scale, seed)),
         _ => None,
     }
 }
@@ -857,6 +975,64 @@ mod tests {
         let over_garbage =
             parse(&merge_load_shedding_into_bench_json(&fig, Some("not json"))).unwrap();
         assert!(over_garbage.get("load_shedding").is_some());
+    }
+
+    #[test]
+    fn table_compression_meets_the_acceptance_bar() {
+        let fig = table_compression(Scale::Small, 1);
+        let scalar = |needle: &str| {
+            fig.scalars
+                .iter()
+                .find(|(n, _)| n.contains(needle))
+                .unwrap_or_else(|| panic!("missing scalar {needle}"))
+                .1
+        };
+        // The PR's acceptance bar at the default regret bound: ≥10× fewer
+        // entries, ≤1 pp of the Fig-9 improved−hurt margin given back.
+        assert!(
+            scalar("compression ratio") >= 10.0,
+            "compression ratio {} below 10x",
+            scalar("compression ratio")
+        );
+        // Signed: a negative loss (robust pooling beating noisy per-/24
+        // training) is fine; only giving back margin is budgeted.
+        assert!(
+            scalar("quality loss") <= 1.0,
+            "quality loss {} pp exceeds the 1 pp budget",
+            scalar("quality loss")
+        );
+        assert_eq!(
+            scalar("disabled config identical"),
+            1.0,
+            "disabled aggregation drifted from plain training"
+        );
+        // Looser bounds can only shrink the table.
+        let entries = &fig.series[0].points;
+        for w in entries.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9, "entries must fall with the bound");
+        }
+    }
+
+    #[test]
+    fn table_compression_merges_into_bench_json() {
+        let fig = table_compression(Scale::Small, 1);
+        let existing = r#"{"bench": "study-run-day"}"#;
+        let merged = merge_table_compression_into_bench_json(&fig, Some(existing));
+        let v = parse(&merged).expect("merged output parses");
+        assert_eq!(
+            v.get("bench").and_then(Value::as_str),
+            Some("study-run-day")
+        );
+        let tc = v
+            .get("table_compression")
+            .expect("table_compression object");
+        for key in [
+            "table_entries",
+            "compression_ratio_vs_plain",
+            "quality_loss_vs_plain__pp_",
+        ] {
+            assert!(tc.get(key).is_some(), "missing series {key}");
+        }
     }
 
     #[test]

@@ -121,8 +121,16 @@ impl DemandModel {
                     .internet
                     .anycast_route(&client.attachment, day)
                     .site;
+                // ECS tables are longest-prefix-match: a query steers
+                // through the *aggregate* entry covering its subnet, so
+                // steering groups are keyed (and overridden) per aggregate
+                // — rewriting one short default entry moves every /24 it
+                // covers at once.
                 let key = match grouping {
-                    Grouping::Ecs => spec.ecs.as_ref().map(|e| GroupKey::Ecs(e.prefix)),
+                    Grouping::Ecs => spec
+                        .ecs
+                        .as_ref()
+                        .and_then(|e| table.lookup_lpm(e.prefix).map(|(p, _)| GroupKey::Ecs(p))),
                     Grouping::Ldns => Some(GroupKey::Ldns(spec.ldns)),
                 };
                 match key.filter(|k| !table.ranked(*k).is_empty()) {

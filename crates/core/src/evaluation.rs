@@ -69,14 +69,19 @@ pub fn evaluate_prediction(
         let Some(anycast_samples) = by_prefix.get(&(prefix, Target::Anycast)) else {
             continue;
         };
-        let key = match grouping {
-            Grouping::Ecs => GroupKey::Ecs(prefix),
+        // ECS tables are longest-prefix-match (an aggregated table may
+        // cover this /24 with a shorter default entry); LDNS tables key on
+        // the prefix's resolver.
+        let choice = match grouping {
+            Grouping::Ecs => table
+                .lookup_lpm(prefix.into())
+                .map(|(_, c)| c.target)
+                .unwrap_or(Target::Anycast),
             Grouping::Ldns => match ldns_of.get(&prefix) {
-                Some(&l) => GroupKey::Ldns(l),
+                Some(&l) => table.predict(GroupKey::Ldns(l)).unwrap_or(Target::Anycast),
                 None => continue,
             },
         };
-        let choice = table.predict(key).unwrap_or(Target::Anycast);
         let (p50, p75) = match choice {
             Target::Anycast => (0.0, 0.0),
             Target::Unicast(_) => {

@@ -46,7 +46,8 @@ pub use failure::{
 pub use flows::{disruption_rate, DisruptionStats, FlowModel};
 pub use loadaware::{plan_shedding, withdraw, SiteLoad};
 pub use prediction::{
-    Choice, GroupKey, Grouping, Metric, PredictionTable, Predictor, PredictorConfig,
+    AggregationConfig, Choice, GroupKey, Grouping, Metric, PredictionTable, Predictor,
+    PredictorConfig,
 };
 pub use redirection::{AnycastPolicy, GeoClosestDnsPolicy, HybridPolicy, PredictionPolicy};
 pub use study::{Study, StudyConfig};

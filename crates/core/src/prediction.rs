@@ -15,14 +15,14 @@
 //! showed that higher percentiles of latency distributions are very noisy
 //! … The 25th percentile and median have lower coefficient of variation."
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use anycast_analysis::{percentile, QuantileBackend};
 use anycast_beacon::{BeaconDataset, Target};
 use anycast_dns::LdnsId;
-use anycast_netsim::{Day, Prefix24};
+use anycast_netsim::{Day, Prefix};
 use anycast_pipeline::{ecs_record_with_failures, ldns_record_with_failures};
-use anycast_pipeline::{route_ldns, route_prefix, DayWindow, ShardConfig};
+use anycast_pipeline::{route_ldns, route_subnet, DayWindow, ShardConfig};
 
 /// The granularity clients are grouped at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,20 +35,22 @@ pub enum Grouping {
 
 impl Grouping {
     /// The ECS scope prefix length an answer keyed at this granularity
-    /// advertises to a query (RFC 7871 §7.2.1: scope reflects how the
-    /// *answer* was derived, not what the query asked).
+    /// advertises (RFC 7871 §7.2.1: scope reflects how the *answer* was
+    /// derived, not what the query asked).
     ///
-    /// * [`Grouping::Ecs`] answers to ECS-bearing queries are specific to
-    ///   the /24 the table is keyed by → scope 24. Without ECS there is no
-    ///   subnet in play → scope 0.
+    /// * [`Grouping::Ecs`] answers derived from a table group advertise the
+    ///   matched group's prefix length (`matched_len`). A table **miss** —
+    ///   the anycast-VIP fallback — is derived from no subnet at all, so it
+    ///   advertises scope 0 and one cache entry covers every client of the
+    ///   resolver.
     /// * [`Grouping::Ldns`] answers depend only on which resolver asked,
     ///   so they advertise scope 0 even when the query carried ECS — the
     ///   answer is cacheable for *all* clients of that resolver, per §6's
     ///   LDNS/ECS distinction.
-    pub fn answer_scope(self, query_has_ecs: bool) -> u8 {
+    pub fn answer_scope(self, matched_len: Option<u8>) -> u8 {
         match self {
-            Grouping::Ecs if query_has_ecs => 24,
-            _ => 0,
+            Grouping::Ecs => matched_len.unwrap_or(0),
+            Grouping::Ldns => 0,
         }
     }
 }
@@ -56,8 +58,9 @@ impl Grouping {
 /// A client group's identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GroupKey {
-    /// An ECS /24 group.
-    Ecs(Prefix24),
+    /// An ECS subnet group: a /24 from plain training, or a shorter
+    /// aggregate produced by [`Predictor::train_aggregated`].
+    Ecs(Prefix),
     /// An LDNS group.
     Ldns(LdnsId),
 }
@@ -167,12 +170,59 @@ pub struct RankedCandidate {
 pub struct PredictionTable {
     choices: HashMap<GroupKey, Choice>,
     ranked: HashMap<GroupKey, Vec<RankedCandidate>>,
+    /// Distinct prefix lengths among the ECS keys, longest first — the
+    /// probe order for [`PredictionTable::lookup_lpm`].
+    ecs_lens: Vec<u8>,
 }
 
 impl PredictionTable {
+    /// Builds a table from its parts, indexing the ECS prefix lengths
+    /// present. Every constructor funnels through here so longest-prefix
+    /// lookup stays consistent with the key set.
+    fn from_parts(
+        choices: HashMap<GroupKey, Choice>,
+        ranked: HashMap<GroupKey, Vec<RankedCandidate>>,
+    ) -> PredictionTable {
+        let mut ecs_lens: Vec<u8> = choices
+            .keys()
+            .filter_map(|k| match k {
+                GroupKey::Ecs(p) => Some(p.len()),
+                GroupKey::Ldns(_) => None,
+            })
+            .collect();
+        ecs_lens.sort_unstable_by(|a, b| b.cmp(a));
+        ecs_lens.dedup();
+        PredictionTable {
+            choices,
+            ranked,
+            ecs_lens,
+        }
+    }
+
     /// The predicted best target for a group, if the group had enough data.
     pub fn predict(&self, key: GroupKey) -> Option<Target> {
         self.choices.get(&key).map(|c| c.target)
+    }
+
+    /// Longest-prefix-match lookup for an ECS subnet: the most specific
+    /// table entry whose prefix covers `p`, together with the matching
+    /// aggregate's prefix — whose length is the RFC 7871 §7.2.1 SCOPE
+    /// PREFIX-LENGTH the answer should advertise.
+    ///
+    /// Entries *longer* than the query's own prefix are never matched: an
+    /// answer must not claim a scope more specific than the SOURCE
+    /// PREFIX-LENGTH the query disclosed.
+    pub fn lookup_lpm(&self, p: Prefix) -> Option<(Prefix, &Choice)> {
+        for &len in &self.ecs_lens {
+            if len > p.len() {
+                continue;
+            }
+            let truncated = p.truncate(len);
+            if let Some(c) = self.choices.get(&GroupKey::Ecs(truncated)) {
+                return Some((truncated, c));
+            }
+        }
+        None
     }
 
     /// The full choice (target + expected gain) for a group.
@@ -201,7 +251,7 @@ impl PredictionTable {
             .filter(|(k, _)| choices.contains_key(k))
             .map(|(k, v)| (*k, v.clone()))
             .collect();
-        PredictionTable { choices, ranked }
+        PredictionTable::from_parts(choices, ranked)
     }
 
     /// Number of groups with a prediction.
@@ -243,6 +293,55 @@ impl PredictionTable {
     }
 }
 
+/// Configuration for the routing-aware prefix-aggregation training pass
+/// ([`Predictor::train_aggregated`]).
+///
+/// Real ECS tables cannot afford one entry per /24: the paper's dataset
+/// alone spans hundreds of thousands of client /24s, most of which the §6
+/// scheme leaves on anycast anyway. Aggregation exploits that: a short
+/// *default* prefix carries the choice most of its /24s agree on, and only
+/// the /24s whose own measurements disagree — by more than
+/// `regret_bound_ms` under the training metric — get longer-prefix
+/// *exception* entries, ORTC-style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregationConfig {
+    /// Maximum latency regret, in ms, a covered /24 may suffer from being
+    /// served its aggregate's choice instead of its own best: if the /24's
+    /// measurements score the aggregate's target worse than its own best
+    /// target by more than this bound, the /24 keeps a specific entry.
+    /// `0.0` means any measurable disagreement forces an exception.
+    pub regret_bound_ms: f64,
+    /// Shortest aggregate prefix length the pass may emit (values above 24
+    /// are clamped to 24). `24` disables aggregation entirely.
+    pub min_prefix_len: u8,
+}
+
+impl Default for AggregationConfig {
+    /// 7.5 ms regret at up to /8 aggregates. Single-digit-millisecond
+    /// regret sits below typical day-over-day drift of a /24's P25
+    /// estimate, and the `ablation-table-compression` sweep places this
+    /// bound where compression reaches ~10× before next-day Figure 9
+    /// quality begins to degrade.
+    fn default() -> Self {
+        AggregationConfig {
+            regret_bound_ms: 7.5,
+            min_prefix_len: 8,
+        }
+    }
+}
+
+impl AggregationConfig {
+    /// Disables aggregation: with no aggregates allowed shorter than /24
+    /// the pass degenerates to per-/24 training, and the resulting table is
+    /// byte-identical to [`Predictor::train`]'s.
+    pub fn disabled() -> Self {
+        AggregationConfig {
+            regret_bound_ms: 0.0,
+            min_prefix_len: 24,
+        }
+    }
+}
+
 /// The history-based predictor.
 #[derive(Debug, Clone, Copy)]
 pub struct Predictor {
@@ -279,7 +378,7 @@ impl Predictor {
                 let (key, target, rtt) = match self.cfg.grouping {
                     Grouping::Ecs => {
                         let (p, t, rtt) = ecs_record_with_failures(m, penalty);
-                        (GroupKey::Ecs(p), t, rtt)
+                        (GroupKey::Ecs(p.into()), t, rtt)
                     }
                     Grouping::Ldns => {
                         let (l, t, rtt) = ldns_record_with_failures(m, penalty);
@@ -349,7 +448,7 @@ impl Predictor {
             let records = data.day(day).map(|m| match self.cfg.grouping {
                 Grouping::Ecs => {
                     let (p, t, rtt) = ecs_record_with_failures(m, penalty);
-                    (GroupKey::Ecs(p), t, rtt)
+                    (GroupKey::Ecs(p.into()), t, rtt)
                 }
                 Grouping::Ldns => {
                     let (l, t, rtt) = ldns_record_with_failures(m, penalty);
@@ -361,13 +460,414 @@ impl Predictor {
         }
         self.train_from_stats(&window.pooled(days))
     }
+
+    /// Trains a *routing-aware aggregated* table: variable-length prefix
+    /// groups instead of one entry per /24.
+    ///
+    /// The pass is ORTC-style (optimal routing table construction:
+    /// defaults plus exceptions) over the binary trie of the day's
+    /// measured /24s, in two phases:
+    ///
+    /// 1. **Bottom-up feasibility.** Each /24 *excludes* the targets its
+    ///    own samples show to be more than `agg.regret_bound_ms` worse
+    ///    than its best — every other target is an acceptable default for
+    ///    it. Exclusion sets merge up the trie exactly as ORTC merges
+    ///    next-hop sets: where the children can agree on a shared default
+    ///    (their exclusions don't cover the whole target universe) the
+    ///    node excludes the union; where they can't, the node defers and
+    ///    excludes only the intersection.
+    /// 2. **Top-down emission.** A node at depth ≥ `agg.min_prefix_len`
+    ///    emits an aggregate entry only when the choice inherited from the
+    ///    nearest emitting ancestor is infeasible for it (or when there is
+    ///    no ancestor); the emitted choice is the *robustly* best feasible
+    ///    target — lowest median of per-leaf metric scores, preferring
+    ///    targets measured in a majority of the node's leaves, so a
+    ///    default is good for the typical covered /24 rather than a lucky
+    ///    cluster. A /24 whose inherited default is within the regret
+    ///    bound of its own best (over *all* its samples — a damage check,
+    ///    not a choice) is covered and emits nothing; one that disagrees
+    ///    beyond the bound keeps a longer-prefix exception entry with its
+    ///    own ranking. A /24 with too little data for any choice of its
+    ///    own *borrows* its aggregate's (counted by
+    ///    `prediction_groups_borrowed_total`) — sparse groups inherit
+    ///    evidence from their covering prefix instead of falling back to
+    ///    anycast.
+    ///
+    /// Lookup against the result is [`PredictionTable::lookup_lpm`]; the
+    /// matched prefix length is the ECS answer scope. With
+    /// [`AggregationConfig::disabled`] the output is byte-identical to
+    /// [`Predictor::train`].
+    ///
+    /// Only meaningful for [`Grouping::Ecs`]; an LDNS-grouped predictor
+    /// has no prefixes to aggregate and falls back to plain training.
+    pub fn train_aggregated(
+        &self,
+        data: &BeaconDataset,
+        day: Day,
+        agg: &AggregationConfig,
+    ) -> PredictionTable {
+        if self.cfg.grouping != Grouping::Ecs {
+            return self.train(data, day);
+        }
+        let penalty = self.cfg.failure_penalty_ms;
+        let mut by_leaf: BTreeMap<u32, BTreeMap<Target, Vec<f64>>> = BTreeMap::new();
+        for m in data.day(day) {
+            let (p, t, rtt) = ecs_record_with_failures(m, penalty);
+            by_leaf
+                .entry(Prefix::from(p).raw())
+                .or_default()
+                .entry(t)
+                .or_default()
+                .push(rtt);
+        }
+        let leaves: Vec<(u32, BTreeMap<Target, Vec<f64>>)> = by_leaf.into_iter().collect();
+        let universe: BTreeSet<Target> = leaves
+            .iter()
+            .flat_map(|(_, stats)| stats.keys().copied())
+            .collect();
+        let metric_p = self.cfg.metric.p();
+        // Locality-scoped evidence transfer: the median per-leaf score of
+        // each target across the leaf's allocation block. /24s of one
+        // announced block share an access network and a metro, so a
+        // front-end measured by a /24's block siblings is evidence about
+        // the /24 itself — the premise the whole aggregation rests on.
+        let mut block_samples: HashMap<u32, BTreeMap<Target, Vec<f64>>> = HashMap::new();
+        let block_mask = u32::MAX << (32 - LOCALITY_BLOCK_LEN);
+        for (net, stats) in &leaves {
+            let per_block = block_samples.entry(net & block_mask).or_default();
+            for (t, samples) in stats {
+                if let Some(s) = percentile(samples, metric_p) {
+                    per_block.entry(*t).or_default().push(s);
+                }
+            }
+        }
+        let block_scores: HashMap<u32, BTreeMap<Target, f64>> = block_samples
+            .into_iter()
+            .map(|(block, by_target)| {
+                let medians = by_target
+                    .into_iter()
+                    .filter_map(|(t, scores)| percentile(&scores, 50.0).map(|m| (t, m)))
+                    .collect();
+                (block, medians)
+            })
+            .collect();
+        let mut ctx = AggContext {
+            metric_p,
+            min_samples: self.cfg.min_samples,
+            regret_bound_ms: agg.regret_bound_ms,
+            min_prefix_len: agg.min_prefix_len.min(24),
+            universe,
+            block_scores,
+            excls: HashMap::new(),
+            rows: Vec::new(),
+        };
+        build_exclusions(&leaves, 0, 0, &mut ctx);
+        emit_subtree(&leaves, 0, 0, 0, None, &mut ctx);
+        choose(ctx.rows.into_iter())
+    }
+}
+
+/// The prefix length of an *allocation block* for evidence-transfer
+/// purposes: /24s within one /21 are treated as routing siblings whose
+/// measurements speak for each other. Access networks announce contiguous
+/// blocks, so this is the scale at which "my neighbor reached that
+/// front-end fine" is evidence rather than a guess — transferring
+/// evidence across wider spans is exactly the failure mode the per-leaf
+/// exclusion sets exist to prevent.
+const LOCALITY_BLOCK_LEN: u8 = 21;
+
+/// Shared state of one [`Predictor::train_aggregated`] trie walk.
+struct AggContext {
+    metric_p: f64,
+    min_samples: usize,
+    regret_bound_ms: f64,
+    min_prefix_len: u8,
+    /// Every target measured anywhere on the training day — the universe
+    /// the ORTC exclusion sets live in.
+    universe: BTreeSet<Target>,
+    /// Per-[`LOCALITY_BLOCK_LEN`]-block median of per-leaf metric scores,
+    /// for vouching for targets a leaf never measured itself.
+    block_scores: HashMap<u32, BTreeMap<Target, f64>>,
+    /// Phase-1 output: each trie node's excluded targets, keyed by
+    /// `(depth, index of the node's first leaf)`. Nodes at one depth
+    /// cover disjoint leaf ranges, so the pair is a unique node identity.
+    excls: HashMap<(u8, usize), BTreeSet<Target>>,
+    /// Emitted `(group, target, score)` rows, fed to [`choose`] at the end
+    /// so aggregates and exceptions get exactly the ranking, tie-break,
+    /// and gain computation every other training path gets.
+    rows: Vec<(GroupKey, Target, f64)>,
+}
+
+impl AggContext {
+    /// Scores an internal node's targets for use as a *default*: the
+    /// median of the target's per-leaf metric scores. When `strict`, a
+    /// target is eligible only if it was measured in a majority of the
+    /// node's leaves and carries ≥ `min_samples` samples pooled.
+    ///
+    /// Robustness is the point. A default is served to every covered /24
+    /// that has no say of its own, so it must be good for the *typical*
+    /// leaf. Scoring the naively pooled sample set instead would let one
+    /// dense, lucky cluster of samples elect a front-end that is terrible
+    /// for every other leaf under the node — exactly the failure the
+    /// regret bound exists to prevent.
+    fn pooled_scores(
+        &self,
+        leaves: &[(u32, BTreeMap<Target, Vec<f64>>)],
+        strict: bool,
+    ) -> Vec<(Target, f64)> {
+        let mut leaf_scores: BTreeMap<Target, Vec<f64>> = BTreeMap::new();
+        let mut counts: BTreeMap<Target, usize> = BTreeMap::new();
+        for (_, stats) in leaves {
+            for (t, samples) in stats {
+                if let Some(s) = percentile(samples, self.metric_p) {
+                    leaf_scores.entry(*t).or_default().push(s);
+                }
+                *counts.entry(*t).or_default() += samples.len();
+            }
+        }
+        let quorum = if strict { leaves.len().div_ceil(2) } else { 1 };
+        let min_samples = if strict { self.min_samples } else { 1 };
+        leaf_scores
+            .into_iter()
+            .filter(|(t, per_leaf)| counts[t] >= min_samples && per_leaf.len() >= quorum)
+            .filter_map(|(t, per_leaf)| percentile(&per_leaf, 50.0).map(|v| (t, v)))
+            .collect()
+    }
+
+    /// The default an emitting node serves, with the ranking rows to
+    /// record for it: the best-scored target the node's exclusion set
+    /// allows, robust (majority-quorum) scores first, any-leaf scores as
+    /// the fallback. `None` when nothing feasible was measured under the
+    /// node — the node then defers to its children entirely.
+    fn node_choice(
+        &self,
+        leaves: &[(u32, BTreeMap<Target, Vec<f64>>)],
+        excl: &BTreeSet<Target>,
+    ) -> Option<(Target, Vec<(Target, f64)>)> {
+        for strict in [true, false] {
+            let scored: Vec<(Target, f64)> = self
+                .pooled_scores(leaves, strict)
+                .into_iter()
+                .filter(|(t, _)| !excl.contains(t))
+                .collect();
+            if let Some((best, _)) = best_scored(&scored) {
+                return Some((best, scored));
+            }
+        }
+        None
+    }
+
+    /// Whether the allocation block around the /24 at `net` vouches for
+    /// serving it `t` despite the leaf itself never measuring `t`: the
+    /// block's sibling /24s measured `t` within the regret bound of the
+    /// leaf's own best (`best_all`).
+    fn block_vouches(&self, net: u32, t: Target, best_all: f64) -> bool {
+        let block = net & (u32::MAX << (32 - LOCALITY_BLOCK_LEN));
+        self.block_scores
+            .get(&block)
+            .and_then(|m| m.get(&t))
+            .is_some_and(|&s| s - best_all <= self.regret_bound_ms)
+    }
+}
+
+/// The best-scored target among `scored`, under the global tie-break.
+fn best_scored(scored: &[(Target, f64)]) -> Option<(Target, f64)> {
+    scored.iter().copied().min_by(|a, b| {
+        a.1.total_cmp(&b.1)
+            .then_with(|| target_order(a.0).cmp(&target_order(b.0)))
+    })
+}
+
+/// Phase 1 (bottom-up): the exclusion set of the trie node at `len`
+/// whose leaf slice starts at `start` — the targets that are *not* an
+/// acceptable default for some /24 below it. Mirrors ORTC's next-hop-set
+/// merge, complemented: where ORTC intersects candidate sets, exclusions
+/// union; where children's candidates are disjoint (exclusions cover the
+/// whole universe) the node defers and keeps only the shared exclusions.
+fn build_exclusions(
+    leaves: &[(u32, BTreeMap<Target, Vec<f64>>)],
+    start: usize,
+    len: u8,
+    ctx: &mut AggContext,
+) -> BTreeSet<Target> {
+    let excl = if leaves.len() == 1 || len == 24 {
+        leaf_exclusions(leaves[0].0, &leaves[0].1, ctx)
+    } else {
+        let bit = 1u32 << (31 - len);
+        let split = leaves.partition_point(|(n, _)| n & bit == 0);
+        if split == 0 || split == leaves.len() {
+            build_exclusions(leaves, start, len + 1, ctx)
+        } else {
+            let a = build_exclusions(&leaves[..split], start, len + 1, ctx);
+            let b = build_exclusions(&leaves[split..], start + split, len + 1, ctx);
+            let union: BTreeSet<Target> = a.union(&b).copied().collect();
+            if union.len() < ctx.universe.len() {
+                union
+            } else {
+                a.intersection(&b).copied().collect()
+            }
+        }
+    };
+    ctx.excls.insert((len, start), excl.clone());
+    excl
+}
+
+/// A /24's exclusion set: the targets its own samples rule out as a
+/// default. A target is *acceptable* when the leaf measured it within
+/// the regret bound of the best of everything measured at the leaf, or
+/// when it is anycast (the evidence-free safe harbor); anything else is
+/// excluded unless the leaf's allocation block *vouches* for it — its
+/// routing siblings' median score lands within the bound of the leaf's
+/// own best. The vouch cuts both ways by design: it admits front-ends
+/// the leaf never reached, and it overrides a thin, noisy measurement
+/// that dissents from the block consensus — while a genuine dissenter,
+/// whose own best truly beats the block's median by more than the bound,
+/// keeps its veto. Exactly the damage check [`emit_leaf`] applies, so
+/// phase 1's feasibility and phase 2's cover/exception decisions cannot
+/// disagree. A leaf too sparse for a choice of its own excludes nothing:
+/// it will borrow any default.
+fn leaf_exclusions(
+    net: u32,
+    stats: &BTreeMap<Target, Vec<f64>>,
+    ctx: &AggContext,
+) -> BTreeSet<Target> {
+    let own = stats
+        .iter()
+        .filter(|(_, samples)| samples.len() >= ctx.min_samples)
+        .filter_map(|(t, samples)| percentile(samples, ctx.metric_p).map(|s| (*t, s)));
+    let Some((own_target, _)) = best_scored(&own.collect::<Vec<_>>()) else {
+        return BTreeSet::new();
+    };
+    let all: BTreeMap<Target, f64> = stats
+        .iter()
+        .filter_map(|(t, s)| percentile(s, ctx.metric_p).map(|v| (*t, v)))
+        .collect();
+    let best_all = all.values().copied().fold(f64::INFINITY, f64::min);
+    ctx.universe
+        .iter()
+        .filter(|&&t| {
+            let acceptable = match all.get(&t) {
+                Some(&s) => s - best_all <= ctx.regret_bound_ms,
+                None => t == Target::Anycast,
+            };
+            t != own_target && !acceptable && !ctx.block_vouches(net, t, best_all)
+        })
+        .copied()
+        .collect()
+}
+
+/// Phase 2 (top-down): recursive emission over the trie node `(net, len)`
+/// covering the leaf slice starting at `start` (sorted by /24 network
+/// address). `inherited` is the choice of the nearest ancestor that
+/// emitted an aggregate entry; a node emits only when that choice is in
+/// its exclusion set (or no ancestor emitted), which is what makes the
+/// resulting table ORTC-minimal for the phase-1 feasibility sets.
+fn emit_subtree(
+    leaves: &[(u32, BTreeMap<Target, Vec<f64>>)],
+    start: usize,
+    net: u32,
+    len: u8,
+    inherited: Option<Target>,
+    ctx: &mut AggContext,
+) {
+    if leaves.is_empty() {
+        return;
+    }
+    if len == 24 {
+        emit_leaf(leaves[0].0, &leaves[0].1, inherited, ctx);
+        return;
+    }
+    let mut inherited = inherited;
+    // Aggregating a single leaf would only claim unmeasured address space
+    // around it without saving an entry, so defaults need ≥ 2 leaves.
+    if len >= ctx.min_prefix_len && leaves.len() > 1 {
+        let excl = &ctx.excls[&(len, start)];
+        let infeasible = inherited.is_none_or(|h| excl.contains(&h));
+        if infeasible {
+            if let Some((best, scored)) = ctx.node_choice(leaves, excl) {
+                let key = GroupKey::Ecs(Prefix::from_raw(net, len));
+                ctx.rows
+                    .extend(scored.into_iter().map(|(t, s)| (key, t, s)));
+                inherited = Some(best);
+            }
+        }
+    }
+    let bit = 1u32 << (31 - len);
+    let split = leaves.partition_point(|(n, _)| n & bit == 0);
+    emit_subtree(&leaves[..split], start, net, len + 1, inherited, ctx);
+    emit_subtree(
+        &leaves[split..],
+        start + split,
+        net | bit,
+        len + 1,
+        inherited,
+        ctx,
+    );
+}
+
+/// Leaf (/24) emission: exactly [`Predictor::train`]'s per-group behavior
+/// when uncovered, cover/exception/borrow logic under an aggregate.
+fn emit_leaf(
+    net: u32,
+    stats: &BTreeMap<Target, Vec<f64>>,
+    inherited: Option<Target>,
+    ctx: &mut AggContext,
+) {
+    let key = GroupKey::Ecs(Prefix::from_raw(net, 24));
+    let mut eligible: Vec<(Target, f64)> = Vec::new();
+    for (t, samples) in stats {
+        if samples.len() < ctx.min_samples {
+            if inherited.is_none() {
+                anycast_obs::counter!("prediction_groups_discarded_total").inc();
+            }
+            continue;
+        }
+        if inherited.is_none() {
+            anycast_obs::counter!("prediction_groups_trained_total").inc();
+        }
+        if let Some(s) = percentile(samples, ctx.metric_p) {
+            eligible.push((*t, s));
+        }
+    }
+    let own = best_scored(&eligible);
+    match (inherited, own) {
+        // No covering aggregate: behave exactly like plain training.
+        (None, Some(_)) => ctx.rows.extend(eligible.iter().map(|&(t, s)| (key, t, s))),
+        (None, None) => {}
+        // Covered but too sparse for a choice of its own: borrow the
+        // aggregate's — don't emit, don't fall back to anycast.
+        (Some(_), None) => anycast_obs::counter!("prediction_groups_borrowed_total").inc(),
+        (Some(h), Some((own_target, _))) => {
+            if own_target == h {
+                return; // agrees with the aggregate — covered
+            }
+            // Regret of serving `h` here, over *all* of the leaf's samples
+            // (no eligibility filter: this is a damage check, not a
+            // choice), with the allocation block's vouch overriding both
+            // gaps and thin dissent — mirror of [`leaf_exclusions`].
+            let all: Vec<(Target, f64)> = stats
+                .iter()
+                .filter_map(|(t, s)| percentile(s, ctx.metric_p).map(|v| (*t, v)))
+                .collect();
+            let best_all = all.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+            let acceptable = match all.iter().find(|(t, _)| *t == h) {
+                Some(&(_, h_score)) => h_score - best_all <= ctx.regret_bound_ms,
+                None => h == Target::Anycast,
+            };
+            let damaging = !acceptable && !ctx.block_vouches(net, h, best_all);
+            if damaging {
+                // Disagrees beyond the bound: longer-prefix exception.
+                ctx.rows.extend(eligible.iter().map(|&(t, s)| (key, t, s)));
+            }
+        }
+    }
 }
 
 /// Shard route for prediction group keys (key-ownership discipline: a
 /// group's records always land on the same worker).
 fn route_group(key: &GroupKey) -> u64 {
     match *key {
-        GroupKey::Ecs(p) => route_prefix(p),
+        GroupKey::Ecs(p) => route_subnet(p),
         GroupKey::Ldns(l) => route_ldns(l),
     }
 }
@@ -414,7 +914,7 @@ fn choose(scores: impl Iterator<Item = (GroupKey, Target, f64)>) -> PredictionTa
             },
         );
     }
-    PredictionTable { choices, ranked }
+    PredictionTable::from_parts(choices, ranked)
 }
 
 /// Deterministic tie-break: anycast wins ties (don't redirect without
@@ -430,7 +930,7 @@ fn target_order(t: Target) -> u32 {
 mod tests {
     use super::*;
     use anycast_beacon::{BeaconMeasurement, Slot};
-    use anycast_netsim::SiteId;
+    use anycast_netsim::{Prefix24, SiteId};
     use std::net::Ipv4Addr;
 
     fn prefix(n: u8) -> Prefix24 {
@@ -516,7 +1016,7 @@ mod tests {
         };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         assert_eq!(
-            table.predict(GroupKey::Ecs(prefix(1))),
+            table.predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Anycast),
             "a mostly-failing front-end must not be chosen"
         );
@@ -549,8 +1049,8 @@ mod tests {
             let exact = predictor.train(&ds, Day(0));
             let sketched = predictor.train_sketched(&ds, &[Day(0)], 0.01, ShardConfig::default());
             assert_eq!(
-                exact.predict(GroupKey::Ecs(prefix(1))),
-                sketched.predict(GroupKey::Ecs(prefix(1))),
+                exact.predict(GroupKey::Ecs(prefix(1).into())),
+                sketched.predict(GroupKey::Ecs(prefix(1).into())),
                 "{metric:?}: penalty handling must match on both paths"
             );
         }
@@ -578,7 +1078,7 @@ mod tests {
         ));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         assert_eq!(
-            table.predict(GroupKey::Ecs(prefix(1))),
+            table.predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Unicast(SiteId(3)))
         );
     }
@@ -597,7 +1097,7 @@ mod tests {
         ));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         assert_eq!(
-            table.predict(GroupKey::Ecs(prefix(1))),
+            table.predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Anycast)
         );
         assert_eq!(table.redirected_groups().count(), 0);
@@ -611,7 +1111,7 @@ mod tests {
         ds.extend(rows(100, prefix(1), 0, Target::Unicast(SiteId(3)), 10.0, 5));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         assert_eq!(
-            table.predict(GroupKey::Ecs(prefix(1))),
+            table.predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Anycast)
         );
     }
@@ -621,7 +1121,7 @@ mod tests {
         let mut ds = BeaconDataset::new();
         ds.extend(rows(0, prefix(1), 0, Target::Anycast, 80.0, 3));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
-        assert_eq!(table.predict(GroupKey::Ecs(prefix(1))), None);
+        assert_eq!(table.predict(GroupKey::Ecs(prefix(1).into())), None);
         assert!(table.is_empty());
     }
 
@@ -694,11 +1194,13 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(
-            p25.train(&ds, Day(0)).predict(GroupKey::Ecs(prefix(1))),
+            p25.train(&ds, Day(0))
+                .predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Unicast(SiteId(1)))
         );
         assert_eq!(
-            p95.train(&ds, Day(0)).predict(GroupKey::Ecs(prefix(1))),
+            p95.train(&ds, Day(0))
+                .predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Unicast(SiteId(2)))
         );
     }
@@ -715,7 +1217,7 @@ mod tests {
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         // Day-1 data must not leak into day-0 training.
         assert_eq!(
-            table.predict(GroupKey::Ecs(prefix(1))),
+            table.predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Anycast)
         );
     }
@@ -734,7 +1236,7 @@ mod tests {
         ));
         let table = Predictor::new(PredictorConfig::default()).train(&ds, Day(0));
         assert_eq!(
-            table.predict(GroupKey::Ecs(prefix(1))),
+            table.predict(GroupKey::Ecs(prefix(1).into())),
             Some(Target::Anycast)
         );
     }
@@ -878,7 +1380,7 @@ mod tests {
             (4, Target::Unicast(SiteId(8)), 25.0),
         ];
         for &(g, t, v) in rows {
-            stats.insert((GroupKey::Ecs(prefix(g)), t), mk(v));
+            stats.insert((GroupKey::Ecs(prefix(g).into()), t), mk(v));
         }
         let table = Predictor::new(PredictorConfig::default()).train_from_stats(&stats);
         // Legacy rule, recomputed independently: strict lexicographic min
@@ -935,7 +1437,7 @@ mod tests {
     fn train_from_stats_applies_the_min_samples_filter() {
         use anycast_analysis::ExactQuantiles;
         let mut stats: BTreeMap<(GroupKey, Target), ExactQuantiles> = BTreeMap::new();
-        let key = GroupKey::Ecs(prefix(1));
+        let key = GroupKey::Ecs(prefix(1).into());
         stats.insert((key, Target::Anycast), ExactQuantiles::from(vec![80.0; 25]));
         // Faster, but too few samples to be eligible.
         stats.insert(
@@ -944,5 +1446,144 @@ mod tests {
         );
         let table = Predictor::new(PredictorConfig::default()).train_from_stats(&stats);
         assert_eq!(table.predict(key), Some(Target::Anycast));
+    }
+
+    #[test]
+    fn disabled_aggregation_is_byte_identical_to_plain_training() {
+        let ds = separated_dataset();
+        let predictor = Predictor::new(PredictorConfig::default());
+        let plain = predictor.train(&ds, Day(0));
+        let agg = predictor.train_aggregated(&ds, Day(0), &AggregationConfig::disabled());
+        assert_eq!(plain.len(), agg.len());
+        for (key, choice) in plain.iter() {
+            assert_eq!(agg.choice(key), Some(&choice), "{key:?}");
+            assert_eq!(agg.ranked(key), plain.ranked(key), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn aggregation_merges_agreeing_leaves_into_one_aggregate() {
+        // All 12 leaves of separated_dataset() prefer site 3: the whole
+        // table collapses to a single /8 default entry.
+        let ds = separated_dataset();
+        let predictor = Predictor::new(PredictorConfig::default());
+        let plain = predictor.train(&ds, Day(0));
+        let agg = predictor.train_aggregated(&ds, Day(0), &AggregationConfig::default());
+        assert_eq!(agg.len(), 1, "12 agreeing /24s compress to one entry");
+        for g in 0..12u8 {
+            let (matched, choice) = agg
+                .lookup_lpm(prefix(g).into())
+                .expect("every measured /24 is covered");
+            assert_eq!(matched.len(), 8);
+            assert_eq!(
+                Some(choice.target),
+                plain.predict(GroupKey::Ecs(prefix(g).into()))
+            );
+        }
+        // Unmeasured space outside the aggregate still misses.
+        assert!(agg
+            .lookup_lpm(Prefix::new(Ipv4Addr::new(99, 0, 0, 0), 24))
+            .is_none());
+    }
+
+    /// Five leaves prefer site 3; one strongly prefers site 4.
+    fn exception_dataset() -> BeaconDataset {
+        let mut ds = BeaconDataset::new();
+        let mut exec = 0u64;
+        for g in 0..6u8 {
+            let (s3, s4) = if g == 5 { (100.0, 20.0) } else { (50.0, 70.0) };
+            for (target, rtt) in [
+                (Target::Anycast, 80.0),
+                (Target::Unicast(SiteId(3)), s3),
+                (Target::Unicast(SiteId(4)), s4),
+            ] {
+                ds.extend(rows(exec, prefix(g), u32::from(g), target, rtt, 25));
+                exec += 25;
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn aggregation_keeps_exceptions_for_disagreeing_leaves() {
+        let ds = exception_dataset();
+        let predictor = Predictor::new(PredictorConfig::default());
+        let plain = predictor.train(&ds, Day(0));
+        let agg = predictor.train_aggregated(&ds, Day(0), &AggregationConfig::default());
+        assert!(
+            agg.len() < plain.len(),
+            "aggregation must shrink the table ({} vs {})",
+            agg.len(),
+            plain.len()
+        );
+        // Compression must not change any measured leaf's served target.
+        for g in 0..6u8 {
+            let (matched, choice) = agg.lookup_lpm(prefix(g).into()).expect("covered");
+            assert_eq!(
+                Some(choice.target),
+                plain.predict(GroupKey::Ecs(prefix(g).into())),
+                "leaf {g} (matched {matched})"
+            );
+        }
+        // The dissenting leaf is served by a more specific entry than the
+        // default aggregate.
+        let (matched, choice) = agg.lookup_lpm(prefix(5).into()).unwrap();
+        assert_eq!(choice.target, Target::Unicast(SiteId(4)));
+        assert!(matched.len() > 8, "exception is longer than the default");
+    }
+
+    #[test]
+    fn sparse_leaves_borrow_their_aggregate() {
+        let mut ds = separated_dataset();
+        // Leaf 20 has 5 anycast samples: below min_samples, so plain
+        // training discards it entirely.
+        ds.extend(rows(10_000, prefix(20), 20, Target::Anycast, 80.0, 5));
+        let predictor = Predictor::new(PredictorConfig::default());
+        let plain = predictor.train(&ds, Day(0));
+        assert_eq!(plain.predict(GroupKey::Ecs(prefix(20).into())), None);
+        let agg = predictor.train_aggregated(&ds, Day(0), &AggregationConfig::default());
+        assert_eq!(
+            agg.choice(GroupKey::Ecs(prefix(20).into())),
+            None,
+            "the sparse leaf gets no entry of its own"
+        );
+        let (matched, choice) = agg
+            .lookup_lpm(prefix(20).into())
+            .expect("borrows the covering aggregate");
+        assert_eq!(matched.len(), 8);
+        assert_eq!(choice.target, Target::Unicast(SiteId(3)));
+    }
+
+    #[test]
+    fn lpm_lookup_prefers_longest_match_and_respects_source_len() {
+        use anycast_analysis::ExactQuantiles;
+        let mut stats: BTreeMap<(GroupKey, Target), ExactQuantiles> = BTreeMap::new();
+        let key8 = GroupKey::Ecs(Prefix::new(Ipv4Addr::new(11, 0, 0, 0), 8));
+        let key24 = GroupKey::Ecs(prefix(5).into());
+        stats.insert(
+            (key8, Target::Anycast),
+            ExactQuantiles::from(vec![40.0; 25]),
+        );
+        stats.insert(
+            (key24, Target::Unicast(SiteId(2))),
+            ExactQuantiles::from(vec![30.0; 25]),
+        );
+        let table = Predictor::new(PredictorConfig::default()).train_from_stats(&stats);
+        // /24 query under the exception: longest match wins.
+        let (m, c) = table.lookup_lpm(prefix(5).into()).unwrap();
+        assert_eq!((m.len(), c.target), (24, Target::Unicast(SiteId(2))));
+        // /24 query elsewhere under the default.
+        let (m, c) = table.lookup_lpm(prefix(9).into()).unwrap();
+        assert_eq!((m.len(), c.target), (8, Target::Anycast));
+        // A /16 query must never match the /24 entry (scope would exceed
+        // the disclosed source prefix) — it falls back to the /8.
+        let (m, _) = table
+            .lookup_lpm(Prefix::new(Ipv4Addr::new(11, 0, 5, 0), 16))
+            .unwrap();
+        assert_eq!(m.len(), 8);
+        // Outside the default entirely: miss.
+        assert!(table
+            .lookup_lpm(Prefix::new(Ipv4Addr::new(12, 0, 0, 0), 24))
+            .is_none());
     }
 }

@@ -108,32 +108,32 @@ impl PredictionPolicy {
     pub fn table(&self) -> &PredictionTable {
         &self.table
     }
-
-    fn group_of(&self, query: &QueryContext<'_>) -> Option<GroupKey> {
-        match self.grouping {
-            Grouping::Ecs => query.ecs.map(|e| GroupKey::Ecs(e.prefix)),
-            Grouping::Ldns => Some(GroupKey::Ldns(query.ldns)),
-        }
-    }
 }
 
 impl RedirectionPolicy for PredictionPolicy {
     fn answer(&self, query: &QueryContext<'_>) -> DnsAnswer {
-        let choice = self
-            .group_of(query)
-            .and_then(|k| self.table.predict(k))
-            .unwrap_or(Target::Anycast);
+        // ECS tables are longest-prefix-match: the matched aggregate's
+        // length is the answer's scope (RFC 7871 §7.2.1). A miss — the
+        // anycast fallback — was derived from no subnet, so it is scope 0;
+        // advertising the query's own length there was the classic
+        // over-scoping bug that shattered resolver caches.
+        let (choice, matched_len) = match self.grouping {
+            Grouping::Ecs => match query.ecs.and_then(|e| self.table.lookup_lpm(e.prefix)) {
+                Some((matched, c)) => (c.target, Some(matched.len())),
+                None => (Target::Anycast, None),
+            },
+            Grouping::Ldns => (
+                self.table
+                    .predict(GroupKey::Ldns(query.ldns))
+                    .unwrap_or(Target::Anycast),
+                None,
+            ),
+        };
         let addr = match choice {
             Target::Anycast => self.addressing.anycast_ip(),
             Target::Unicast(site) => self.addressing.site_ip(site),
         };
-        // Scope comes from the table's key granularity, not the query:
-        // an LDNS-keyed answer to an ECS-bearing query advertises scope 0.
-        DnsAnswer::scoped(
-            addr,
-            self.ttl_s,
-            self.grouping.answer_scope(query.ecs.is_some()),
-        )
+        DnsAnswer::scoped(addr, self.ttl_s, self.grouping.answer_scope(matched_len))
     }
 }
 
@@ -268,7 +268,8 @@ mod tests {
         ));
         assert_eq!(plan.site_for_ip(a.addr), Some(SiteId(3)));
         assert_eq!(a.ecs_scope, 24);
-        // Unknown subnet: anycast fallback.
+        // Unknown subnet: anycast fallback — derived from no subnet, so it
+        // must advertise scope 0, not echo the query's /24.
         let b = p.answer(&ctx(
             &qname,
             0,
@@ -276,6 +277,7 @@ mod tests {
             Some(EcsOption::for_prefix(prefix(9))),
         ));
         assert!(plan.is_anycast(b.addr));
+        assert_eq!(b.ecs_scope, 0, "table miss must be scope 0");
         // No ECS at all: anycast fallback, global scope.
         let c = p.answer(&ctx(&qname, 0, GeoPoint::new(0.0, 0.0), None));
         assert!(plan.is_anycast(c.addr));
@@ -366,10 +368,12 @@ mod tests {
             "still redirected"
         );
         assert_eq!(a.ecs_scope, 0, "LDNS-keyed answer must be scope 0");
-        // ECS-keyed answers to ECS-bearing queries keep the /24 scope.
-        assert_eq!(Grouping::Ecs.answer_scope(true), 24);
-        assert_eq!(Grouping::Ecs.answer_scope(false), 0);
-        assert_eq!(Grouping::Ldns.answer_scope(true), 0);
+        // ECS-keyed answers advertise the matched aggregate's length; a
+        // miss is scope 0; LDNS-keyed answers are always scope 0.
+        assert_eq!(Grouping::Ecs.answer_scope(Some(24)), 24);
+        assert_eq!(Grouping::Ecs.answer_scope(Some(8)), 8);
+        assert_eq!(Grouping::Ecs.answer_scope(None), 0);
+        assert_eq!(Grouping::Ldns.answer_scope(Some(24)), 0);
     }
 
     #[test]

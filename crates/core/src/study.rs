@@ -309,6 +309,7 @@ impl Study {
                 let ldns = w.resolvers.entry(ldns_id).or_insert_with(|| {
                     let r = s.ldns.resolver(ldns_id);
                     Ldns::new(r.id, r.kind, r.location, r.supports_ecs)
+                        .with_ecs_prefix_len(r.ecs_prefix_len)
                 });
                 let beacon_client = BeaconClient {
                     prefix: c.prefix,

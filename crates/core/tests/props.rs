@@ -61,7 +61,7 @@ proptest! {
         let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples, failure_penalty_ms: 3_000.0 };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         let prefix = Prefix24::containing(std::net::Ipv4Addr::new(11, 0, 1, 1));
-        match table.predict(GroupKey::Ecs(prefix)) {
+        match table.predict(GroupKey::Ecs(prefix.into())) {
             None => {
                 prop_assert!(anycast_rtts.len() < min_samples && unicast_rtts.len() < min_samples);
             }
@@ -80,7 +80,7 @@ proptest! {
         let cfg = PredictorConfig { grouping: Grouping::Ecs, metric: Metric::P25, min_samples: 10, failure_penalty_ms: 3_000.0 };
         let table = Predictor::new(cfg).train(&ds, Day(0));
         let prefix = Prefix24::containing(std::net::Ipv4Addr::new(11, 0, 1, 1));
-        let chosen = table.predict(GroupKey::Ecs(prefix)).unwrap();
+        let chosen = table.predict(GroupKey::Ecs(prefix.into())).unwrap();
         let score = |v: &Vec<f64>| Metric::P25.score(v).unwrap();
         let best = score(&a).min(score(&b)).min(score(&c));
         let chosen_score = match chosen {

@@ -180,6 +180,7 @@ mod tests {
         let mut server = AuthoritativeServer::new(policy, false);
         let qname = DnsName::new("www.cdn.example").unwrap();
         let ecs = EcsOption::for_prefix(Prefix24::containing(Ipv4Addr::new(9, 9, 9, 9)));
+        assert_eq!(ecs.source_prefix_len(), 24);
         server.resolve(
             &qname,
             LdnsId(0),
@@ -209,7 +210,7 @@ mod tests {
             Day(0),
             0.0,
         );
-        assert_eq!(server.log()[0].ecs, Some(p));
+        assert_eq!(server.log()[0].ecs, Some(p.into()));
     }
 
     #[test]

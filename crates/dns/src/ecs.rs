@@ -3,30 +3,44 @@
 //! ECS (§2, [RFC 7871]) "allows a portion of the client's actual IP address
 //! to be forwarded to the authoritative resolver, allowing per-prefix
 //! redirection decisions". The paper's ECS-based prediction scheme (§6)
-//! operates on /24 prefixes, so the option here carries a
-//! [`Prefix24`] with a source prefix length of 24.
+//! operates on /24 prefixes, but real resolvers forward whatever SOURCE
+//! PREFIX-LENGTH they choose — public resolvers commonly truncate below
+//! /24 for privacy — so the option carries a variable-length
+//! [`Prefix`]. The prefix length *is* the source prefix length.
 //!
 //! [RFC 7871]: https://www.rfc-editor.org/rfc/rfc7871
 
-use anycast_netsim::Prefix24;
+use anycast_netsim::{Prefix, Prefix24};
 
 /// The client-subnet option attached to a forwarded DNS query.
+///
+/// The carried [`Prefix`] is canonical: bits beyond its length are zero
+/// (the `Prefix` constructors mask them), matching RFC 7871 §6's
+/// requirement for the wire form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EcsOption {
-    /// The client's /24 prefix.
-    pub prefix: Prefix24,
-    /// Source prefix length the resolver forwarded (always 24 here; real
-    /// resolvers may truncate further for privacy).
-    pub source_prefix_len: u8,
+    /// The client subnet the resolver forwarded.
+    pub prefix: Prefix,
 }
 
 impl EcsOption {
-    /// Builds the option for a client prefix.
+    /// Builds the classic /24 option for a client prefix — the paper's §6
+    /// granularity and the default resolver behavior in the simulator.
     pub fn for_prefix(prefix: Prefix24) -> EcsOption {
         EcsOption {
-            prefix,
-            source_prefix_len: 24,
+            prefix: prefix.into(),
         }
+    }
+
+    /// Builds the option for an arbitrary-length subnet (a resolver
+    /// truncating for privacy, or a synthetic coarse-prefix query).
+    pub fn for_subnet(prefix: Prefix) -> EcsOption {
+        EcsOption { prefix }
+    }
+
+    /// The SOURCE PREFIX-LENGTH this option advertises.
+    pub fn source_prefix_len(&self) -> u8 {
+        self.prefix.len()
     }
 }
 
@@ -45,8 +59,16 @@ mod tests {
     fn carries_the_prefix() {
         let p = Prefix24::containing(Ipv4Addr::new(198, 51, 100, 42));
         let o = EcsOption::for_prefix(p);
-        assert_eq!(o.prefix, p);
-        assert_eq!(o.source_prefix_len, 24);
+        assert_eq!(o.prefix, p.into());
+        assert_eq!(o.source_prefix_len(), 24);
         assert_eq!(o.to_string(), "ecs=198.51.100.0/24");
+    }
+
+    #[test]
+    fn non_slash24_subnets_are_first_class() {
+        let o = EcsOption::for_subnet(Prefix::new(Ipv4Addr::new(198, 51, 100, 42), 16));
+        assert_eq!(o.source_prefix_len(), 16);
+        assert_eq!(o.prefix.network(), Ipv4Addr::new(198, 51, 0, 0));
+        assert_eq!(o.to_string(), "ecs=198.51.0.0/16");
     }
 }

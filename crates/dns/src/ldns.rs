@@ -19,7 +19,7 @@
 use std::net::Ipv4Addr;
 
 use anycast_geo::GeoPoint;
-use anycast_netsim::{Day, Prefix24};
+use anycast_netsim::{Day, Prefix, Prefix24};
 
 use crate::authoritative::{AuthoritativeServer, RedirectionPolicy};
 use crate::cache::DnsCache;
@@ -67,6 +67,11 @@ pub struct Ldns {
     /// Whether it attaches ECS to upstream queries (public resolvers do;
     /// most ISP resolvers in the study's era did not).
     pub supports_ecs: bool,
+    /// SOURCE PREFIX-LENGTH this resolver forwards when it attaches ECS.
+    /// 24 is the paper's granularity; real resolvers may truncate further
+    /// for privacy (RFC 7871 §11.1), which is what the serving plane's
+    /// longest-prefix-match tables exist to answer correctly.
+    pub ecs_prefix_len: u8,
     cache: DnsCache,
 }
 
@@ -76,15 +81,25 @@ impl Ldns {
     /// resolvers cap theirs.
     const CACHE_CAPACITY: usize = 100_000;
 
-    /// Creates a resolver.
+    /// Creates a resolver forwarding full /24 ECS (when it forwards ECS at
+    /// all).
     pub fn new(id: LdnsId, kind: ResolverKind, location: GeoPoint, supports_ecs: bool) -> Ldns {
         Ldns {
             id,
             kind,
             location,
             supports_ecs,
+            ecs_prefix_len: 24,
             cache: DnsCache::with_capacity(Self::CACHE_CAPACITY),
         }
+    }
+
+    /// Sets the SOURCE PREFIX-LENGTH this resolver truncates ECS to
+    /// (clamped to 1–24; a resolver that wants no ECS at all clears
+    /// `supports_ecs` instead).
+    pub fn with_ecs_prefix_len(mut self, len: u8) -> Ldns {
+        self.ecs_prefix_len = len.clamp(1, 24);
+        self
     }
 
     /// Resolves `qname` on behalf of a client in `client_prefix`,
@@ -117,7 +132,9 @@ impl Ldns {
                 cache_hit: true,
             };
         }
-        let ecs = ecs_active.then(|| EcsOption::for_prefix(client_prefix));
+        let ecs = ecs_active.then(|| {
+            EcsOption::for_subnet(Prefix::from(client_prefix).truncate(self.ecs_prefix_len))
+        });
         let (record, answer) = auth.resolve(qname, self.id, believed_location, ecs, day, time_s);
         // Per RFC 7871 the cache scope follows the *answer's* scope: a
         // global answer (scope 0) is shared across subnets even if we sent
@@ -246,6 +263,30 @@ mod tests {
         let qname = DnsName::new("www.cdn.example").unwrap();
         ldns.resolve(&qname, prefix(3), ldns.location, &mut auth, Day(0), 0.0);
         assert_eq!(auth.log()[0].ecs, None);
+    }
+
+    #[test]
+    fn truncating_resolver_sends_coarse_ecs() {
+        // A privacy-truncating resolver must forward its configured source
+        // prefix length, with host bits masked, not a fabricated /24.
+        let policy = |q: &QueryContext<'_>| {
+            let e = q.ecs.expect("ECS forwarded");
+            assert_eq!(e.source_prefix_len(), 16);
+            assert_eq!(u32::from(e.prefix.network()) & 0xFFFF, 0);
+            DnsAnswer::global(Ipv4Addr::new(1, 1, 1, 1), 60)
+        };
+        let mut auth = AuthoritativeServer::new(policy, true);
+        let mut ldns = Ldns::new(
+            LdnsId(3),
+            ResolverKind::Public,
+            GeoPoint::new(0.0, 0.0),
+            true,
+        )
+        .with_ecs_prefix_len(16);
+        let qname = DnsName::new("www.cdn.example").unwrap();
+        ldns.resolve(&qname, prefix(1), ldns.location, &mut auth, Day(0), 0.0);
+        let logged = auth.log()[0].ecs.expect("logged ECS");
+        assert_eq!(logged.len(), 16);
     }
 
     #[test]

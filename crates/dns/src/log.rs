@@ -8,7 +8,7 @@
 
 use std::net::Ipv4Addr;
 
-use anycast_netsim::{Day, Prefix24};
+use anycast_netsim::{Day, Prefix};
 
 use crate::ldns::LdnsId;
 use crate::name::DnsName;
@@ -21,8 +21,9 @@ pub struct DnsQueryLog {
     /// The LDNS that forwarded the query — the *only* client identity a
     /// non-ECS authoritative server ever sees.
     pub ldns: LdnsId,
-    /// Client subnet, when the LDNS attached ECS.
-    pub ecs: Option<Prefix24>,
+    /// Client subnet, when the LDNS attached ECS (any prefix length the
+    /// resolver chose to forward).
+    pub ecs: Option<Prefix>,
     /// Address returned.
     pub answer: Ipv4Addr,
     /// Day of the query.

@@ -63,7 +63,7 @@ pub use internet::{ClientAttachment, Internet, RouteDecision};
 pub use latency::AccessTech;
 pub use outage::{OutageKind, OutageModel, OutageWindow};
 pub use path::{Hop, HopKind, RoutePath};
-pub use prefix::{Prefix24, PrefixAllocator};
+pub use prefix::{Prefix, Prefix24, PrefixAllocator};
 pub use sim::{Day, Timeline};
 pub use snapshot::{ClientRoutes, RouteSnapshot};
 pub use stream::stream_rng;

@@ -1,12 +1,117 @@
-//! Client /24 prefixes.
+//! Client prefixes.
 //!
 //! The paper aggregates clients into /24 prefixes throughout ("we aggregated
 //! client IP addresses from measurements into /24 prefixes because they tend
 //! to be localized", §3.2), and the ECS prediction scheme operates at /24
 //! granularity. [`Prefix24`] is that identity: the top 24 bits of an IPv4
-//! address.
+//! address. [`Prefix`] generalizes it to any length 0–32 — what RFC 7871
+//! ECS actually carries on the wire (resolvers may truncate below /24 for
+//! privacy), and what the routing-aware aggregation pass produces when it
+//! merges /24s that share a best front-end.
 
 use std::net::Ipv4Addr;
+
+/// An IPv4 prefix of any length 0–32, stored as the network address with
+/// all bits beyond the length zeroed.
+///
+/// Ordering is `(network, length)` lexicographic, so a covering prefix
+/// sorts immediately before the subnets it contains — the order compiled
+/// tables and aggregation passes iterate in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    net: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The `/len` prefix containing `addr`. Lengths above 32 are clamped;
+    /// host bits are masked off.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Prefix {
+        Prefix::from_raw(u32::from(addr), len)
+    }
+
+    /// Constructs from a raw 32-bit network value; host bits are masked.
+    pub fn from_raw(raw: u32, len: u8) -> Prefix {
+        let len = len.min(32);
+        Prefix {
+            net: raw & mask(len),
+            len,
+        }
+    }
+
+    /// The network address (host bits zero).
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.net)
+    }
+
+    /// The raw 32-bit network value.
+    pub fn raw(&self) -> u32 {
+        self.net
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length prefix (all of IPv4).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// This prefix truncated to `len` bits (no-op when `len` is not
+    /// shorter).
+    pub fn truncate(&self, len: u8) -> Prefix {
+        if len >= self.len {
+            *self
+        } else {
+            Prefix::from_raw(self.net, len)
+        }
+    }
+
+    /// Whether `addr` belongs to this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & mask(self.len)) == self.net
+    }
+
+    /// Whether this prefix covers `other` (is equal or shorter and
+    /// contains its network).
+    pub fn covers(&self, other: &Prefix) -> bool {
+        self.len <= other.len && (other.net & mask(self.len)) == self.net
+    }
+
+    /// A stable 64-bit key for hashing into seeded random streams,
+    /// distinct across `(network, length)` pairs.
+    pub fn key(&self) -> u64 {
+        (u64::from(self.net) << 8) | u64::from(self.len)
+    }
+}
+
+impl From<Prefix24> for Prefix {
+    fn from(p: Prefix24) -> Prefix {
+        Prefix {
+            net: p.raw(),
+            len: 24,
+        }
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// The network mask for a prefix length (0 → all-zero mask).
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else if len >= 32 {
+        u32::MAX
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
 
 /// An IPv4 /24 prefix, stored as the network address with the low octet
 /// zeroed.
@@ -160,5 +265,49 @@ mod tests {
         let a = Prefix24::containing(Ipv4Addr::new(1, 2, 3, 4));
         let b = Prefix24::containing(Ipv4Addr::new(1, 2, 4, 4));
         assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn prefix_masks_host_bits_at_any_length() {
+        let p = Prefix::new(Ipv4Addr::new(10, 20, 30, 40), 16);
+        assert_eq!(p.network(), Ipv4Addr::new(10, 20, 0, 0));
+        assert_eq!(p.len(), 16);
+        assert!(p.contains(Ipv4Addr::new(10, 20, 255, 1)));
+        assert!(!p.contains(Ipv4Addr::new(10, 21, 0, 0)));
+        assert_eq!(p.to_string(), "10.20.0.0/16");
+        // Degenerate lengths.
+        assert!(Prefix::new(Ipv4Addr::new(1, 2, 3, 4), 0).contains(Ipv4Addr::new(9, 9, 9, 9)));
+        let host = Prefix::new(Ipv4Addr::new(1, 2, 3, 4), 32);
+        assert!(host.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!host.contains(Ipv4Addr::new(1, 2, 3, 5)));
+        // Over-long lengths clamp to 32.
+        assert_eq!(Prefix::new(Ipv4Addr::new(1, 2, 3, 4), 40).len(), 32);
+    }
+
+    #[test]
+    fn prefix_truncate_and_covers() {
+        let p24: Prefix = Prefix24::containing(Ipv4Addr::new(93, 184, 216, 34)).into();
+        assert_eq!(p24.len(), 24);
+        assert_eq!(p24.network(), Ipv4Addr::new(93, 184, 216, 0));
+        let p16 = p24.truncate(16);
+        assert_eq!(
+            (p16.network(), p16.len()),
+            (Ipv4Addr::new(93, 184, 0, 0), 16)
+        );
+        assert!(p16.covers(&p24));
+        assert!(!p24.covers(&p16));
+        assert!(p24.covers(&p24));
+        // Truncating to a longer length is the identity.
+        assert_eq!(p24.truncate(32), p24);
+        let other = Prefix::new(Ipv4Addr::new(93, 185, 0, 0), 16);
+        assert!(!other.covers(&p24));
+    }
+
+    #[test]
+    fn prefix_keys_separate_lengths() {
+        let a = Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16);
+        let b = Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 24);
+        assert_ne!(a.key(), b.key());
+        assert!(a < b, "shorter prefix of the same network sorts first");
     }
 }

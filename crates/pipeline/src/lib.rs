@@ -53,8 +53,8 @@ pub use sketch::{
 };
 pub use source::{
     ecs_record, ecs_record_with_failures, ldns_record, ldns_record_with_failures, passive_record,
-    route_ldns, route_prefix, sketch_day, summarize_passive_day, tally_outcomes, OutcomeCounts,
-    OutcomeTally, PassiveAggregator, PassiveDaySummary, PassiveSummaryConfig,
+    route_ldns, route_prefix, route_subnet, sketch_day, summarize_passive_day, tally_outcomes,
+    OutcomeCounts, OutcomeTally, PassiveAggregator, PassiveDaySummary, PassiveSummaryConfig,
 };
 pub use window::{DaySketches, DayWindow, GroupAggregator};
 

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use anycast_beacon::{BeaconMeasurement, Target};
 use anycast_dns::LdnsId;
-use anycast_netsim::{Prefix24, SiteId};
+use anycast_netsim::{Prefix, Prefix24, SiteId};
 use anycast_telemetry::PassiveRecord;
 
 use crate::shard::{merge_keyed, Aggregate, ShardConfig, ShardedIngest};
@@ -59,6 +59,13 @@ pub fn passive_record(r: &PassiveRecord) -> (Prefix24, SiteId) {
 
 /// Shard route for prefix-keyed records.
 pub fn route_prefix(p: Prefix24) -> u64 {
+    mix64(p.key())
+}
+
+/// Shard route for variable-length subnet keys (aggregated prediction
+/// groups). `Prefix::key` folds the length in, so a /16 and the /24 at the
+/// same network route independently.
+pub fn route_subnet(p: Prefix) -> u64 {
     mix64(p.key())
 }
 

@@ -10,9 +10,10 @@
 //!   answer, name compression) plus EDNS0/RFC 7871 client-subnet options,
 //!   bridging [`anycast_dns::DnsAnswer`] and [`anycast_dns::QueryContext`]
 //!   onto real packets;
-//! * [`store`] — trained prediction tables compiled into immutable
-//!   binary-search lookup structures, hot-swapped atomically while the
-//!   server runs;
+//! * [`store`] — trained prediction tables compiled into immutable lookup
+//!   structures (a longest-prefix-match trie for ECS groups, sorted
+//!   arrays for LDNS groups), hot-swapped atomically while the server
+//!   runs;
 //! * [`server`] — a sharded UDP listener (thread-per-worker over cloned
 //!   sockets, emulating an SO_REUSEPORT worker set) with a TCP fallback
 //!   path for truncated responses and an overload valve that degrades to
@@ -40,5 +41,5 @@ pub use message::{decode_query, decode_response, encode_query, encode_response};
 pub use message::{Edns, WireEcs, WireQuery, WireResponse};
 pub use replay::{day_queries, day_query_plan, ldns_directory, ldns_source_addr, QuerySpec};
 pub use server::{DnsServer, LdnsDirectory, ServeConfig, ServeStats};
-pub use store::{CompiledTable, TableStore};
+pub use store::{CompiledTable, PrefixTrie, TableStore};
 pub use wire::WireError;

@@ -11,7 +11,7 @@ use std::net::Ipv4Addr;
 
 use anycast_dns::ecs::EcsOption;
 use anycast_dns::{DnsAnswer, DnsName};
-use anycast_netsim::Prefix24;
+use anycast_netsim::Prefix;
 
 use crate::wire::{
     Cursor, Flags, Header, NameWriter, WireError, CLASS_IN, HEADER_LEN, OPTION_ECS, TYPE_A,
@@ -35,20 +35,23 @@ impl WireEcs {
     pub fn from_option(opt: &EcsOption) -> WireEcs {
         WireEcs {
             addr: opt.prefix.network(),
-            source_prefix_len: opt.source_prefix_len.min(32),
+            source_prefix_len: opt.prefix.len(),
             scope_prefix_len: 0,
         }
     }
 
-    /// Maps to the simulator's option. A zero source prefix ("give me the
-    /// generic answer", RFC 7871 §7.1.2) maps to `None`.
+    /// Maps to the simulator's option, at the *true* source prefix length.
+    /// The old mapping forced every wire subnet to its covering /24 — a
+    /// /16 query would be answered (and scoped!) as if the resolver had
+    /// disclosed a /24, claiming 8 bits the query never carried. A zero
+    /// source prefix ("give me the generic answer", RFC 7871 §7.1.2) maps
+    /// to `None`.
     pub fn to_option(self) -> Option<EcsOption> {
         if self.source_prefix_len == 0 {
             return None;
         }
         Some(EcsOption {
-            prefix: Prefix24::containing(self.addr),
-            source_prefix_len: self.source_prefix_len,
+            prefix: Prefix::new(self.addr, self.source_prefix_len),
         })
     }
 }
@@ -468,6 +471,35 @@ mod tests {
         let ecs = got.edns.unwrap().ecs.unwrap();
         assert_eq!(ecs.addr, Ipv4Addr::new(198, 51, 0, 0));
         assert_eq!(ecs.source_prefix_len, 16);
+    }
+
+    #[test]
+    fn ecs_round_trips_at_every_source_prefix_len() {
+        let client = Ipv4Addr::new(198, 51, 100, 129);
+        for spl in [0u8, 8, 16, 20, 24, 32] {
+            let q = sample_query(Some(WireEcs {
+                addr: mask_addr(client, spl),
+                source_prefix_len: spl,
+                scope_prefix_len: 0,
+            }));
+            let got = decode_query(&encode_query(&q)).unwrap();
+            assert_eq!(got, q, "spl {spl}");
+            // The simulator option must preserve the disclosed length
+            // bit-for-bit (0 means "no subnet").
+            let opt = got.edns.unwrap().ecs.unwrap().to_option();
+            if spl == 0 {
+                assert!(opt.is_none());
+                continue;
+            }
+            let opt = opt.unwrap();
+            assert_eq!(opt.prefix.len(), spl, "length survives decode");
+            assert_eq!(opt.prefix.network(), mask_addr(client, spl));
+            let back = WireEcs::from_option(&opt);
+            assert_eq!(
+                (back.addr, back.source_prefix_len),
+                (mask_addr(client, spl), spl)
+            );
+        }
     }
 
     #[test]

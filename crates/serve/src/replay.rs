@@ -107,11 +107,14 @@ pub fn day_query_plan(scenario: &Scenario, day: Day, cap: usize) -> Vec<(usize, 
                 break 'passes;
             }
             let ldns = scenario.ldns.resolver_of(client.prefix);
-            let ecs = scenario
-                .ldns
-                .resolver(ldns)
-                .supports_ecs
-                .then(|| EcsOption::for_prefix(client.prefix));
+            let resolver = scenario.ldns.resolver(ldns);
+            // ECS rides along at the resolver's own disclosure length — a
+            // privacy-truncating resolver sends a coarser subnet than /24.
+            let ecs = resolver.supports_ecs.then(|| {
+                EcsOption::for_subnet(
+                    anycast_netsim::Prefix::from(client.prefix).truncate(resolver.ecs_prefix_len),
+                )
+            });
             out.push((
                 ci,
                 QuerySpec {

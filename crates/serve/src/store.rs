@@ -4,11 +4,12 @@
 //! paper); the serving plane must pick the new table up without dropping
 //! queries. [`CompiledTable`] freezes one trained
 //! [`PredictionTable`] into an immutable, cache-friendly lookup structure
-//! (sorted arrays + binary search — no hashing, no locking on the read
-//! path), and [`TableStore`] swaps whole tables atomically under a brief
-//! write lock. Workers clone an `Arc` per query, so a swap never blocks a
-//! lookup in flight and an old table stays alive until its last in-flight
-//! query completes.
+//! (a binary longest-prefix-match trie for ECS groups, a sorted array for
+//! LDNS groups — no hashing, no locking on the read path), and
+//! [`TableStore`] swaps whole tables atomically under a brief write lock.
+//! Workers clone an `Arc` per query, so a swap never blocks a lookup in
+//! flight and an old table stays alive until its last in-flight query
+//! completes.
 //!
 //! [`CompiledTable::answer`] is contractually byte-identical to
 //! [`anycast_core::redirection::PredictionPolicy`] — the loopback
@@ -22,15 +23,118 @@ use anycast_beacon::Target;
 use anycast_core::prediction::{GroupKey, Grouping, PredictionTable};
 use anycast_dns::ecs::EcsOption;
 use anycast_dns::{DnsAnswer, LdnsId, QueryContext, RedirectionPolicy};
-use anycast_netsim::CdnAddressing;
+use anycast_netsim::{CdnAddressing, Prefix};
 use anycast_obs::counter;
 
-/// One trained table compiled for serving: immutable, binary-searchable.
+/// A compiled binary longest-prefix-match trie over IPv4 prefixes: one
+/// node per bit of depth, values at the depths where entries live.
+///
+/// This is the serving-plane shape of a routing-aware ECS table: a query
+/// subnet matches the most specific entry covering it, and the matched
+/// depth *is* the RFC 7871 scope the answer advertises. Lookup cost is
+/// bounded by the query's own SOURCE PREFIX-LENGTH — entries deeper than
+/// what the query disclosed are never matched.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie {
+    nodes: Vec<TrieNode>,
+    entries: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TrieNode {
+    /// Child node indexes for bit 0 / bit 1; 0 means "no child" (the root
+    /// is never anyone's child).
+    children: [u32; 2],
+    value: Option<Ipv4Addr>,
+}
+
+const EMPTY_NODE: TrieNode = TrieNode {
+    children: [0, 0],
+    value: None,
+};
+
+impl PrefixTrie {
+    /// An empty trie.
+    pub fn new() -> PrefixTrie {
+        PrefixTrie {
+            nodes: vec![EMPTY_NODE],
+            entries: 0,
+        }
+    }
+
+    /// Number of entries (prefixes with a value).
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the trie holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts `prefix → addr`, replacing any existing value at exactly
+    /// that prefix.
+    pub fn insert(&mut self, prefix: Prefix, addr: Ipv4Addr) {
+        let bits = prefix.raw();
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let bit = usize::from((bits >> (31 - depth)) & 1 == 1);
+            let child = self.nodes[node].children[bit];
+            node = if child == 0 {
+                self.nodes.push(EMPTY_NODE);
+                let idx = self.nodes.len() - 1;
+                self.nodes[node].children[bit] = idx as u32;
+                idx
+            } else {
+                child as usize
+            };
+        }
+        if self.nodes[node].value.is_none() {
+            self.entries += 1;
+        }
+        self.nodes[node].value = Some(addr);
+    }
+
+    /// Longest-prefix match for `addr`, considering only entries no more
+    /// specific than `max_len` bits (the query's SOURCE PREFIX-LENGTH).
+    /// Returns the value and the matched entry's prefix length.
+    pub fn lookup(&self, addr: Ipv4Addr, max_len: u8) -> Option<(Ipv4Addr, u8)> {
+        let bits = u32::from(addr);
+        let max_len = max_len.min(32);
+        let mut node = 0usize;
+        let mut best = None;
+        let mut depth = 0u8;
+        loop {
+            if let Some(v) = self.nodes[node].value {
+                best = Some((v, depth));
+            }
+            if depth >= max_len {
+                return best;
+            }
+            let bit = usize::from((bits >> (31 - depth)) & 1 == 1);
+            let child = self.nodes[node].children[bit];
+            if child == 0 {
+                return best;
+            }
+            node = child as usize;
+            depth += 1;
+        }
+    }
+}
+
+impl Default for PrefixTrie {
+    fn default() -> Self {
+        PrefixTrie::new()
+    }
+}
+
+/// One trained table compiled for serving: immutable, cache-friendly.
 #[derive(Debug, Clone)]
 pub struct CompiledTable {
     grouping: Grouping,
-    /// ECS groups: `(raw /24 prefix, answer address)`, sorted by prefix.
-    by_prefix: Vec<(u32, Ipv4Addr)>,
+    /// ECS groups, longest-prefix-matchable (variable-length prefixes:
+    /// aggregation defaults plus their exceptions).
+    by_prefix: PrefixTrie,
     /// LDNS groups: `(resolver id, answer address)`, sorted by id.
     by_ldns: Vec<(u32, Ipv4Addr)>,
     addressing: CdnAddressing,
@@ -72,7 +176,7 @@ impl CompiledTable {
         ttl_s: u32,
         generation: u64,
     ) -> CompiledTable {
-        let mut by_prefix = Vec::new();
+        let mut ecs_entries: Vec<(Prefix, Ipv4Addr)> = Vec::new();
         let mut by_ldns = Vec::new();
         for (key, choice) in table.iter() {
             let target = overrides.get(&key).copied().unwrap_or(choice.target);
@@ -81,11 +185,15 @@ impl CompiledTable {
                 Target::Unicast(site) => addressing.site_ip(site),
             };
             match key {
-                GroupKey::Ecs(p) => by_prefix.push((p.raw(), addr)),
+                GroupKey::Ecs(p) => ecs_entries.push((p, addr)),
                 GroupKey::Ldns(l) => by_ldns.push((l.0, addr)),
             }
         }
-        by_prefix.sort_unstable_by_key(|&(k, _)| k);
+        ecs_entries.sort_unstable_by_key(|&(p, _)| p.key());
+        let mut by_prefix = PrefixTrie::new();
+        for (p, addr) in ecs_entries {
+            by_prefix.insert(p, addr);
+        }
         by_ldns.sort_unstable_by_key(|&(k, _)| k);
         CompiledTable {
             grouping,
@@ -102,7 +210,7 @@ impl CompiledTable {
     pub fn empty(grouping: Grouping, addressing: CdnAddressing, ttl_s: u32) -> CompiledTable {
         CompiledTable {
             grouping,
-            by_prefix: Vec::new(),
+            by_prefix: PrefixTrie::new(),
             by_ldns: Vec::new(),
             addressing,
             ttl_s,
@@ -115,9 +223,9 @@ impl CompiledTable {
         self.generation
     }
 
-    /// Number of redirectable groups.
+    /// Number of redirectable groups (trie entries plus LDNS entries).
     pub fn len(&self) -> usize {
-        self.by_prefix.len() + self.by_ldns.len()
+        self.by_prefix.entries() + self.by_ldns.len()
     }
 
     /// Whether the table holds no groups at all.
@@ -137,26 +245,31 @@ impl CompiledTable {
 
     /// Decides the answer for a query from `ldns` carrying `ecs`.
     ///
-    /// Mirrors `PredictionPolicy::answer` exactly: group by the table's
-    /// own granularity, fall back to the anycast VIP on a miss, and derive
-    /// the ECS scope from the key granularity ([`Grouping::answer_scope`]).
+    /// Mirrors `PredictionPolicy::answer` exactly: longest-prefix match for
+    /// ECS tables (bounded by the query's disclosed prefix length), exact
+    /// match for LDNS tables, anycast VIP on a miss. The ECS scope is the
+    /// matched entry's prefix length — and 0 on a miss: the VIP fallback
+    /// was derived from no subnet, so advertising the query's /24 there
+    /// (the old behavior) fragmented resolver caches into per-/24 entries
+    /// that all held the same generic answer.
     pub fn answer(&self, ldns: LdnsId, ecs: Option<&EcsOption>) -> DnsAnswer {
-        let hit = match self.grouping {
-            Grouping::Ecs => ecs.and_then(|e| {
-                let raw = e.prefix.raw();
-                self.by_prefix
-                    .binary_search_by_key(&raw, |&(k, _)| k)
+        let (hit, matched_len) = match self.grouping {
+            Grouping::Ecs => {
+                match ecs.and_then(|e| self.by_prefix.lookup(e.prefix.network(), e.prefix.len())) {
+                    Some((addr, len)) => (Some(addr), Some(len)),
+                    None => (None, None),
+                }
+            }
+            Grouping::Ldns => (
+                self.by_ldns
+                    .binary_search_by_key(&ldns.0, |&(k, _)| k)
                     .ok()
-                    .map(|i| self.by_prefix[i].1)
-            }),
-            Grouping::Ldns => self
-                .by_ldns
-                .binary_search_by_key(&ldns.0, |&(k, _)| k)
-                .ok()
-                .map(|i| self.by_ldns[i].1),
+                    .map(|i| self.by_ldns[i].1),
+                None,
+            ),
         };
         let addr = hit.unwrap_or_else(|| self.addressing.anycast_ip());
-        DnsAnswer::scoped(addr, self.ttl_s, self.grouping.answer_scope(ecs.is_some()))
+        DnsAnswer::scoped(addr, self.ttl_s, self.grouping.answer_scope(matched_len))
     }
 }
 
@@ -225,11 +338,96 @@ mod tests {
     fn empty_table_answers_anycast() {
         let t = CompiledTable::empty(Grouping::Ecs, plan(), 60);
         assert!(t.is_empty());
+        // A miss is derived from no subnet: scope 0, never the query's 24.
         let a = t.answer(LdnsId(0), Some(&ecs(1)));
         assert!(plan().is_anycast(a.addr));
-        assert_eq!((a.ttl_s, a.ecs_scope), (60, 24));
+        assert_eq!((a.ttl_s, a.ecs_scope), (60, 0));
         let b = t.answer(LdnsId(0), None);
         assert_eq!(b.ecs_scope, 0);
+    }
+
+    #[test]
+    fn trie_longest_match_and_source_len_bound() {
+        let mut trie = PrefixTrie::new();
+        let a8 = Ipv4Addr::new(192, 0, 2, 8);
+        let a16 = Ipv4Addr::new(192, 0, 2, 16);
+        let a24 = Ipv4Addr::new(192, 0, 2, 24);
+        trie.insert(Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8), a8);
+        trie.insert(Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16), a16);
+        trie.insert(Prefix::new(Ipv4Addr::new(10, 1, 2, 0), 24), a24);
+        assert_eq!(trie.entries(), 3);
+        // Longest match wins at full depth.
+        let q = Ipv4Addr::new(10, 1, 2, 3);
+        assert_eq!(trie.lookup(q, 32), Some((a24, 24)));
+        // Bounding by the query's source prefix length hides deeper
+        // entries: a /16 query can only see the /8 and /16.
+        assert_eq!(trie.lookup(q, 16), Some((a16, 16)));
+        assert_eq!(trie.lookup(q, 12), Some((a8, 8)));
+        assert_eq!(trie.lookup(q, 0), None);
+        // Siblings don't leak.
+        assert_eq!(trie.lookup(Ipv4Addr::new(10, 9, 0, 1), 32), Some((a8, 8)));
+        assert_eq!(trie.lookup(Ipv4Addr::new(11, 0, 0, 1), 32), None);
+        // Re-inserting replaces, not duplicates.
+        trie.insert(Prefix::new(Ipv4Addr::new(10, 1, 2, 0), 24), a8);
+        assert_eq!(trie.entries(), 3);
+        assert_eq!(trie.lookup(q, 24), Some((a8, 24)));
+    }
+
+    #[test]
+    fn compiled_ecs_table_scopes_answers_by_matched_prefix() {
+        use anycast_beacon::{BeaconDataset, BeaconMeasurement, Slot, Target};
+        use anycast_core::prediction::{AggregationConfig, Predictor, PredictorConfig};
+
+        // Two adjacent /24s agreeing on site 2: aggregation compiles them
+        // into one short default entry.
+        let mut ds = BeaconDataset::new();
+        let mut exec = 0u64;
+        for n in [1u8, 2] {
+            for (target, rtt) in [(Target::Anycast, 90.0), (Target::Unicast(SiteId(2)), 40.0)] {
+                for _ in 0..25 {
+                    ds.extend([BeaconMeasurement {
+                        measurement_id: match target {
+                            Target::Anycast => Slot::Anycast.id_for(exec),
+                            Target::Unicast(_) => Slot::GeoClosest.id_for(exec),
+                        },
+                        slot: Slot::Anycast,
+                        prefix: Prefix24::containing(Ipv4Addr::new(10, 0, n, 1)),
+                        ldns: LdnsId(0),
+                        ecs: None,
+                        target,
+                        served_site: SiteId(2),
+                        rtt_ms: rtt,
+                        failed: false,
+                        day: Day(0),
+                        time_s: 0.0,
+                    }]);
+                    exec += 1;
+                }
+            }
+        }
+        let table = Predictor::new(PredictorConfig::default()).train_aggregated(
+            &ds,
+            Day(0),
+            &AggregationConfig::default(),
+        );
+        let compiled = CompiledTable::compile(&table, Grouping::Ecs, plan(), 60, 1);
+        assert_eq!(compiled.len(), 1, "two agreeing /24s share one entry");
+        // A /24 query under the aggregate: redirected, scoped to the
+        // aggregate's length (not 24).
+        let a = compiled.answer(LdnsId(0), Some(&ecs(1)));
+        assert_eq!(plan().site_for_ip(a.addr), Some(SiteId(2)));
+        assert!(a.ecs_scope < 24 && a.ecs_scope >= 8);
+        // A coarser query still covered by the aggregate gets the same
+        // answer — the whole point of routing-aware scopes.
+        let coarse = EcsOption::for_subnet(Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16));
+        let b = compiled.answer(LdnsId(0), Some(&coarse));
+        assert_eq!(plan().site_for_ip(b.addr), Some(SiteId(2)));
+        assert_eq!(b.ecs_scope, a.ecs_scope);
+        // Outside the aggregate: miss, scope 0.
+        let far = EcsOption::for_subnet(Prefix::new(Ipv4Addr::new(99, 0, 0, 0), 24));
+        let c = compiled.answer(LdnsId(0), Some(&far));
+        assert!(plan().is_anycast(c.addr));
+        assert_eq!(c.ecs_scope, 0);
     }
 
     #[test]

@@ -185,6 +185,120 @@ fn answered_tallies_mirror_answers_and_never_influence_them() {
 }
 
 #[test]
+fn aggregated_tables_serve_identically_compiled_or_in_process() {
+    // The routing-aware table behind a real socket: the trie-compiled
+    // table must serve the same (addr, ttl, scope) triple as the
+    // in-process LPM policy for a full day, never advertise a scope wider
+    // than the query disclosed, and answer misses at scope 0.
+    use anycast_core::prediction::AggregationConfig;
+    use anycast_dns::ecs::EcsOption;
+    use anycast_netsim::Prefix;
+
+    let mut study = Study::new(Scenario::small(50), StudyConfig::default());
+    study.run_day(Day(0));
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        ..PredictorConfig::default()
+    };
+    let table = Predictor::new(cfg).train_aggregated(
+        study.dataset(),
+        Day(0),
+        &AggregationConfig::default(),
+    );
+    let scenario = study.scenario();
+    let policy = PredictionPolicy::new(table.clone(), Grouping::Ecs, scenario.addressing, TTL_S);
+    let compiled = CompiledTable::compile(&table, Grouping::Ecs, scenario.addressing, TTL_S, 1);
+
+    let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
+    cfg.day = Day(1);
+    let directory = ldns_directory(scenario);
+    let believed: HashMap<LdnsId, anycast_geo::GeoPoint> = scenario
+        .ldns
+        .resolvers
+        .iter()
+        .map(|r| (r.id, directory.lookup(ldns_source_addr(r.id)).unwrap().1))
+        .collect();
+    let server = DnsServer::spawn(cfg, Arc::new(TableStore::new(compiled)), directory)
+        .expect("server spawns");
+
+    let mut reference = AuthoritativeServer::new(policy, true);
+    let qname = service_qname();
+    let mut pool = ClientPool::new(server.local_addr());
+    let queries = day_queries(scenario, Day(1), 2_000);
+    for q in &queries {
+        let served = pool
+            .get(q.ldns)
+            .query(&qname, q.ecs.as_ref())
+            .expect("wire query");
+        let (_, expected) =
+            reference.resolve(&qname, q.ldns, believed[&q.ldns], q.ecs, Day(1), 0.0);
+        assert_eq!(
+            (served.addr, served.ttl_s, served.ecs_scope),
+            (expected.addr, expected.ttl_s, expected.ecs_scope),
+            "trie-compiled and in-process LPM answers must agree for {q:?}"
+        );
+        if let Some(e) = &q.ecs {
+            assert!(
+                served.ecs_scope <= e.source_prefix_len(),
+                "scope {} wider than disclosed /{}",
+                served.ecs_scope,
+                e.source_prefix_len()
+            );
+        }
+    }
+    // An untrained subnet: the fallback VIP answer is derived from no
+    // subnet, so the wire must carry scope 0 — the §6 bugfix this PR pins.
+    let ecs_ldns = queries
+        .iter()
+        .find(|q| q.ecs.is_some())
+        .expect("small world has public resolvers")
+        .ldns;
+    let unknown = EcsOption::for_subnet(Prefix::new(Ipv4Addr::new(203, 0, 113, 0), 24));
+    let miss = pool
+        .get(ecs_ldns)
+        .query(&qname, Some(&unknown))
+        .expect("wire query");
+    assert_eq!(miss.addr, scenario.addressing.anycast_ip());
+    assert_eq!(miss.ecs_scope, 0, "table miss must be scope 0 on the wire");
+}
+
+#[test]
+fn disabled_aggregation_compiles_to_byte_identical_answers() {
+    // Golden-drift guard: with aggregation disabled the trie-compiled
+    // table must answer every query of a simulated day byte-identically
+    // to the plain per-/24 training path.
+    use anycast_core::prediction::AggregationConfig;
+
+    let mut study = Study::new(Scenario::small(51), StudyConfig::default());
+    study.run_day(Day(0));
+    let cfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        ..PredictorConfig::default()
+    };
+    let predictor = Predictor::new(cfg);
+    let plain = predictor.train(study.dataset(), Day(0));
+    let disabled =
+        predictor.train_aggregated(study.dataset(), Day(0), &AggregationConfig::disabled());
+    let scenario = study.scenario();
+    let a = CompiledTable::compile(&plain, Grouping::Ecs, scenario.addressing, TTL_S, 1);
+    let b = CompiledTable::compile(&disabled, Grouping::Ecs, scenario.addressing, TTL_S, 1);
+    assert_eq!(a.len(), b.len(), "same group count");
+    let queries = day_queries(scenario, Day(1), usize::MAX);
+    assert!(queries.len() > 100);
+    for q in &queries {
+        let (x, y) = (
+            a.answer(q.ldns, q.ecs.as_ref()),
+            b.answer(q.ldns, q.ecs.as_ref()),
+        );
+        assert_eq!(
+            (x.addr, x.ttl_s, x.ecs_scope),
+            (y.addr, y.ttl_s, y.ecs_scope),
+            "disabled aggregation must not drift from plain training for {q:?}"
+        );
+    }
+}
+
+#[test]
 fn ldns_keyed_tables_serve_scope_zero_on_the_wire() {
     let (study, policy) = trained(43, Grouping::Ldns);
     let scenario = study.scenario();

@@ -191,6 +191,81 @@ proptest! {
     }
 }
 
+/// The compiled ECS trie against the obviously-correct model: a linear
+/// scan for the longest stored prefix that covers the address and fits
+/// the query's SOURCE PREFIX-LENGTH.
+mod trie {
+    use super::*;
+    use anycast_netsim::Prefix;
+    use anycast_serve::PrefixTrie;
+
+    fn naive_lookup(
+        entries: &[(Prefix, Ipv4Addr)],
+        addr: Ipv4Addr,
+        max_len: u8,
+    ) -> Option<(Ipv4Addr, u8)> {
+        entries
+            .iter()
+            .filter(|(p, _)| p.len() <= max_len.min(32) && p.contains(addr))
+            // Ties on length are exact duplicates; `max_by_key` keeps the
+            // last, matching the trie's insert-replaces semantics.
+            .max_by_key(|(p, _)| p.len())
+            .map(|&(p, a)| (a, p.len()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn trie_lookup_matches_naive_linear_scan(
+            raw_entries in prop::collection::vec(
+                // Nets drawn from 8 top bytes × dense mid bits so random
+                // sets actually nest and share subtrees.
+                (0u32..8, any::<u16>(), 0u8..33, any::<u32>()),
+                0..40,
+            ),
+            raw_probes in prop::collection::vec((any::<u32>(), 0u8..40), 1..20),
+        ) {
+            let entries: Vec<(Prefix, Ipv4Addr)> = raw_entries
+                .into_iter()
+                .map(|(hi, mid, len, addr)| {
+                    let net = (hi << 24) | (u32::from(mid) << 8);
+                    (Prefix::from_raw(net, len), Ipv4Addr::from(addr))
+                })
+                .collect();
+            let mut trie = PrefixTrie::new();
+            for &(p, a) in &entries {
+                trie.insert(p, a);
+            }
+            let distinct: std::collections::HashSet<_> =
+                entries.iter().map(|(p, _)| p).collect();
+            prop_assert_eq!(trie.entries(), distinct.len());
+            // Random probes plus each entry's own network at several
+            // source lengths — the interesting collision points.
+            let mut probes: Vec<(Ipv4Addr, u8)> = raw_probes
+                .into_iter()
+                .map(|(a, l)| (Ipv4Addr::from(a), l))
+                .collect();
+            probes.extend(entries.iter().flat_map(|&(p, _)| {
+                [
+                    (p.network(), 32),
+                    (p.network(), p.len()),
+                    (Ipv4Addr::from(p.raw() | 0xFF), 24),
+                ]
+            }));
+            for (addr, max_len) in probes {
+                prop_assert_eq!(
+                    trie.lookup(addr, max_len),
+                    naive_lookup(&entries, addr, max_len),
+                    "addr {} max_len {}",
+                    addr,
+                    max_len
+                );
+            }
+        }
+    }
+}
+
 /// Crafted pointer abuse beyond what random bytes reliably hit.
 mod pointers {
     use super::*;

@@ -3,7 +3,10 @@
 //! Each client is one /24 prefix: localized (all its hosts share a metro and
 //! an access network, per the paper's Freedman-et-al. citation), attached to
 //! an eyeball AS present at its metro, and placed at a concrete location
-//! within commuting distance of the metro center.
+//! within commuting distance of the metro center. Prefixes are allocated
+//! the way access networks announce them — contiguous blocks per (metro,
+//! AS) — so numerically adjacent /24s share routing fate, the property the
+//! routing-aware table aggregation depends on.
 
 use anycast_geo::{GeoPoint, LogNormal, Metro, MetroId, Region};
 use anycast_netsim::{AccessTech, ClientAttachment, Prefix24, PrefixAllocator, Topology};
@@ -117,7 +120,7 @@ pub fn generate(topo: &Topology, cfg: &PopulationConfig, rng: &mut impl Rng) -> 
         let idx = cumulative.partition_point(|&c| c <= target);
         MetroId(idx.min(topo.atlas.len() - 1) as u32)
     };
-    (0..cfg.n_prefixes)
+    let mut clients: Vec<Client> = (0..cfg.n_prefixes)
         .map(|i| {
             let metro_id = sample_metro(rng.gen());
             let metro = topo.atlas.metro(metro_id);
@@ -128,7 +131,9 @@ pub fn generate(topo: &Topology, cfg: &PopulationConfig, rng: &mut impl Rng) -> 
             let bearing = rng.gen_range(0.0..360.0);
             let location = metro.location().destination(bearing, spread.sample(rng));
             Client {
-                prefix: alloc.alloc(),
+                // Placeholder; real prefixes are assigned in routing order
+                // below.
+                prefix: Prefix24::from_raw(0),
                 attachment: ClientAttachment {
                     as_id,
                     metro: metro_id,
@@ -140,7 +145,22 @@ pub fn generate(topo: &Topology, cfg: &PopulationConfig, rng: &mut impl Rng) -> 
                 volume: volumes[i],
             }
         })
-        .collect()
+        .collect();
+    // Address-space realism (§3.2: /24s "tend to be localized"): an access
+    // network announces contiguous blocks, so clients of the same eyeball
+    // AS at the same metro get *adjacent* /24s. This is the structure the
+    // routing-aware aggregation pass exploits — without it, numerically
+    // adjacent prefixes would be geographically independent, which no real
+    // allocation looks like.
+    let mut order: Vec<usize> = (0..clients.len()).collect();
+    order.sort_by_key(|&i| {
+        let a = &clients[i].attachment;
+        (a.metro, a.as_id, i)
+    });
+    for i in order {
+        clients[i].prefix = alloc.alloc();
+    }
+    clients
 }
 
 /// Returns `(metro_id, client_count)` pairs for a population — a sanity view
@@ -270,6 +290,33 @@ mod tests {
             &mut SmallRng::seed_from_u64(9),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adjacent_prefixes_share_routing_fate() {
+        // Contiguous allocation per (metro, AS): sorting clients by prefix
+        // must yield long same-metro runs — numerically adjacent /24s
+        // belong to the same access network almost everywhere (block
+        // boundaries are the only exceptions).
+        let (_, clients) = world_and_clients();
+        let mut by_prefix: Vec<&Client> = clients.iter().collect();
+        by_prefix.sort_by_key(|c| c.prefix);
+        let same_metro = by_prefix
+            .windows(2)
+            .filter(|w| w[0].attachment.metro == w[1].attachment.metro)
+            .count();
+        let share = same_metro as f64 / (by_prefix.len() - 1) as f64;
+        assert!(
+            share > 0.6,
+            "only {share:.2} of adjacent prefix pairs share a metro"
+        );
+        // And within a metro, same-AS runs are contiguous too.
+        let same_as = by_prefix
+            .windows(2)
+            .filter(|w| w[0].attachment.metro == w[1].attachment.metro)
+            .filter(|w| w[0].attachment.as_id == w[1].attachment.as_id)
+            .count();
+        assert!(same_as > 0, "same-AS adjacency must occur");
     }
 
     #[test]

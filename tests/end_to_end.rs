@@ -157,8 +157,11 @@ fn prediction_targets_were_actually_measured() {
         let anycast_cdn::core::GroupKey::Ecs(prefix) = key else {
             panic!("ECS table must contain ECS keys");
         };
+        // Plain (non-aggregated) training always emits /24 groups.
+        assert_eq!(prefix.len(), 24, "plain training emits /24 keys");
+        let prefix24 = anycast_cdn::netsim::Prefix24::containing(prefix.network());
         let samples = by_target
-            .get(&(prefix, choice.target))
+            .get(&(prefix24, choice.target))
             .map(Vec::len)
             .unwrap_or(0);
         assert!(

@@ -79,7 +79,7 @@ fn prediction_policy_end_to_end_with_ecs() {
     // unicast address; everyone else gets anycast.
     let mut redirected_seen = false;
     for (idx, client) in scenario.clients.iter().enumerate().take(200) {
-        let predicted = table.predict(anycast_cdn::core::GroupKey::Ecs(client.prefix));
+        let predicted = table.predict(anycast_cdn::core::GroupKey::Ecs(client.prefix.into()));
         let policy = PredictionPolicy::new(table.clone(), Grouping::Ecs, scenario.addressing, 300);
         let addr = resolve_via_stack(scenario, idx, policy, true, true);
         match predicted {
