@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures <artifact|all|ablations|extras|everything|bench|serve-bench>
-//!         [--scale small|paper] [--seed N] [--queries N] [--csv]
+//!         [--scale small|paper] [--seed N] [--queries N]
+//!         [--workers N[,N...]] [--batch N[,N...]] [--csv]
 //!         [--out DIR] [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
@@ -94,8 +95,27 @@ fn main() -> ExitCode {
             let queries = invocation
                 .queries
                 .unwrap_or_else(|| servebench::default_queries(invocation.scale));
-            let report =
-                servebench::run(invocation.scale, invocation.seed, workers.max(2), queries);
+            let workers_axis = invocation
+                .workers
+                .clone()
+                .unwrap_or_else(|| servebench::DEFAULT_WORKERS.to_vec());
+            // ANYCAST_SERVE_BATCH=N pins the whole sweep to one batch
+            // size — CI uses =1 to smoke the portable one-packet
+            // fallback through the exact same path.
+            let batch_axis = std::env::var("ANYCAST_SERVE_BATCH")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&b| b >= 1)
+                .map(|b| vec![b])
+                .or_else(|| invocation.batch.clone())
+                .unwrap_or_else(|| servebench::DEFAULT_BATCHES.to_vec());
+            let report = servebench::run_sweep(
+                invocation.scale,
+                invocation.seed,
+                &workers_axis,
+                &batch_axis,
+                queries,
+            );
             let path = invocation
                 .out_dir
                 .clone()

@@ -4,15 +4,18 @@
 //!
 //! ```text
 //! figures <artifact|all|ablations|extras|everything|bench|serve-bench>
-//!         [--scale small|paper] [--seed N] [--queries N] [--csv]
+//!         [--scale small|paper] [--seed N] [--queries N]
+//!         [--workers N[,N...]] [--batch N[,N...]] [--csv]
 //!         [--out DIR] [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
 //! `bench` is special: it times the campaign engine across worker counts
 //! and writes `BENCH_study.json` instead of rendering a figure.
-//! `serve-bench` drives the wire serving plane closed-loop and merges
-//! `serve_qps`/`serve_p50_us`/`serve_p99_us` into the same file;
-//! `--queries` overrides its per-scale query count.
+//! `serve-bench` sweeps the batched wire serving plane across
+//! `--workers` × `--batch` (comma-separated axes) and merges the
+//! headline `serve_qps`/`serve_p50_us`/`serve_p99_us` plus the full
+//! sweep trajectory into the same file; `--queries` overrides its
+//! per-scale per-point query count.
 //!
 //! `--obs-out` / `--obs-prom` write the observability run report (JSON /
 //! Prometheus text) collected across all computed artifacts; `--quiet`
@@ -46,6 +49,19 @@ pub struct Invocation {
     pub log_level: Level,
     /// `serve-bench` query count override (`--queries N`).
     pub queries: Option<usize>,
+    /// `serve-bench` worker-count sweep axis (`--workers 1,2,4`).
+    pub workers: Option<Vec<usize>>,
+    /// `serve-bench` batch-size sweep axis (`--batch 1,8,32`).
+    pub batch: Option<Vec<usize>>,
+}
+
+/// Parses a comma-separated list of positive integers (`1,2,4`).
+fn parse_list(s: &str) -> Option<Vec<usize>> {
+    let vals: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse().ok().filter(|&n: &usize| n > 0))
+        .collect::<Option<_>>()?;
+    (!vals.is_empty()).then_some(vals)
 }
 
 /// Parse failure, with a message for the user.
@@ -97,6 +113,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut obs_prom = None;
     let mut log_level = Level::Info;
     let mut queries = None;
+    let mut workers = None;
+    let mut batch = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -119,6 +137,26 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                         .and_then(|s| s.parse().ok())
                         .filter(|&n: &usize| n > 0)
                         .ok_or_else(|| ParseError("expected --queries <positive N>".into()))?,
+                );
+            }
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .map(String::as_str)
+                        .and_then(parse_list)
+                        .ok_or_else(|| {
+                            ParseError("expected --workers <N[,N...]> (positive)".into())
+                        })?,
+                );
+            }
+            "--batch" => {
+                batch = Some(
+                    it.next()
+                        .map(String::as_str)
+                        .and_then(parse_list)
+                        .ok_or_else(|| {
+                            ParseError("expected --batch <N[,N...]> (positive)".into())
+                        })?,
                 );
             }
             "--csv" => csv = true,
@@ -158,6 +196,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         obs_prom,
         log_level,
         queries,
+        workers,
+        batch,
     })
 }
 
@@ -166,12 +206,15 @@ pub fn usage_text() -> String {
     format!(
         "usage: figures <artifact|all|ablations|extras|everything|bench|serve-bench> \
          [--scale small|paper] [--seed N] [--queries N] [--csv] [--out DIR]\n\
-         \x20       [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]\n\
+         \x20       [--workers N[,N...]] [--batch N[,N...]] \
+         [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]\n\
          bench: times Study::run_day across worker counts, \
          writes BENCH_study.json\n\
-         serve-bench: closed-loop wire load against the serving plane, \
-         merges serve_qps/p50/p99 into BENCH_study.json \
-         (--queries overrides the per-scale count)\n\
+         serve-bench: batched wire load swept across --workers x --batch \
+         (defaults 1,2,4 x 1,8,32), merges headline serve_qps/p50/p99 and \
+         the sweep into BENCH_study.json (--queries overrides the \
+         per-scale per-point count; ANYCAST_SERVE_BATCH=N forces one \
+         batch value)\n\
          --obs-out/--obs-prom: write the observability run report \
          (JSON / Prometheus text)\n\
          artifacts: {}\n\
@@ -306,5 +349,27 @@ mod tests {
         assert!(parse(&args(&["serve-bench", "--queries", "0"])).is_err());
         assert!(parse(&args(&["serve-bench", "--queries", "x"])).is_err());
         assert!(usage_text().contains("serve-bench"));
+    }
+
+    #[test]
+    fn sweep_axes_parse_as_comma_lists() {
+        let inv = parse(&args(&[
+            "serve-bench",
+            "--workers",
+            "1,2,4",
+            "--batch",
+            "1, 8,32",
+        ]))
+        .unwrap();
+        assert_eq!(inv.workers, Some(vec![1, 2, 4]));
+        assert_eq!(inv.batch, Some(vec![1, 8, 32]));
+        let single = parse(&args(&["serve-bench", "--batch", "16"])).unwrap();
+        assert_eq!(single.batch, Some(vec![16]));
+        assert_eq!(single.workers, None);
+        assert!(parse(&args(&["serve-bench", "--workers"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--workers", ""])).is_err());
+        assert!(parse(&args(&["serve-bench", "--workers", "1,0"])).is_err());
+        assert!(parse(&args(&["serve-bench", "--batch", "a,b"])).is_err());
+        assert!(usage_text().contains("--workers") && usage_text().contains("--batch"));
     }
 }

@@ -139,9 +139,16 @@ impl WireClient {
         let wire = encode_query(&q);
         self.sock.send_to(&wire, self.server)?;
         let mut buf = [0u8; 4096];
-        // Discard stale datagrams (late responses to prior ids).
+        // Only a datagram from the server we queried, carrying our txid,
+        // is the answer. Anything else — a rogue sender spoofing into our
+        // ephemeral port, a late response to a prior id — is discarded
+        // and the read retried, so an off-path datagram can neither
+        // poison the answer nor error the query.
         for _ in 0..8 {
-            let (n, _) = self.sock.recv_from(&mut buf)?;
+            let (n, from) = self.sock.recv_from(&mut buf)?;
+            if from != self.server {
+                continue;
+            }
             let r = decode_response(&buf[..n])?;
             if r.id != q.id {
                 continue;

@@ -14,11 +14,16 @@
 //!   structures (a longest-prefix-match trie for ECS groups, sorted
 //!   arrays for LDNS groups), hot-swapped atomically while the server
 //!   runs;
+//! * [`mmsg`] / [`template`] — the million-QPS hot path: batched UDP I/O
+//!   via raw `recvmmsg`/`sendmmsg` syscalls (libc-free, with a portable
+//!   one-packet fallback behind the same trait), preallocated per-shard
+//!   packet arenas, and zero-alloc templated answers patched straight
+//!   into send buffers;
 //! * [`server`] — a sharded UDP listener (thread-per-worker over cloned
 //!   sockets, emulating an SO_REUSEPORT worker set) with a TCP fallback
 //!   path for truncated responses and an overload valve that degrades to
-//!   the anycast VIP under queue pressure — the serving-plane analogue of
-//!   the paper's "anycast is the safe default" conclusion;
+//!   the anycast VIP under sustained full batches — the serving-plane
+//!   analogue of the paper's "anycast is the safe default" conclusion;
 //! * [`client`] / [`replay`] — a loopback wire client and a deterministic
 //!   day-of-queries generator used by the equivalence tests and the
 //!   `figures serve-bench` load generator.
@@ -26,20 +31,27 @@
 //! Observability follows the workspace obs-neutrality contract: counters
 //! and histograms record what happened, and never influence an answer.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the raw `recvmmsg`/`sendmmsg` syscall shims in
+// [`mmsg`] opt back in with an explicit scoped `allow` — the only unsafe
+// in the workspace, confined to one audited module.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod message;
+pub mod mmsg;
 pub mod replay;
 pub mod server;
 pub mod store;
+pub mod template;
 pub mod wire;
 
 pub use client::{ServedAnswer, WireClient};
 pub use message::{decode_query, decode_response, encode_query, encode_response};
 pub use message::{Edns, WireEcs, WireQuery, WireResponse};
+pub use mmsg::{batch_io, BatchIo, PacketArena};
 pub use replay::{day_queries, day_query_plan, ldns_directory, ldns_source_addr, QuerySpec};
 pub use server::{DnsServer, LdnsDirectory, ServeConfig, ServeStats};
 pub use store::{CompiledTable, PrefixTrie, TableStore};
+pub use template::{AnswerRr, QueryView};
 pub use wire::WireError;

@@ -125,7 +125,7 @@ fn write_ecs_option(out: &mut Vec<u8>, ecs: &WireEcs) {
 }
 
 /// Zeroes address bits beyond `prefix_len`, per RFC 7871 §6.
-fn mask_addr(addr: Ipv4Addr, prefix_len: u8) -> Ipv4Addr {
+pub(crate) fn mask_addr(addr: Ipv4Addr, prefix_len: u8) -> Ipv4Addr {
     if prefix_len >= 32 {
         return addr;
     }
@@ -152,7 +152,7 @@ fn write_opt_record(out: &mut Vec<u8>, edns: &Edns) {
 }
 
 /// Parses the RDATA of an OPT record into its ECS option (if present).
-fn parse_opt_rdata(rdata: &[u8]) -> Result<Option<WireEcs>, WireError> {
+pub(crate) fn parse_opt_rdata(rdata: &[u8]) -> Result<Option<WireEcs>, WireError> {
     let mut c = Cursor::new(rdata);
     let mut ecs = None;
     while c.remaining() > 0 {

@@ -1,38 +1,46 @@
-//! The sharded authoritative server.
+//! The batched sharded authoritative server.
 //!
-//! Layout per worker: a **receiver** thread blocks on a cloned handle of
-//! the shared UDP socket (the std-only stand-in for an SO_REUSEPORT
-//! socket set — the kernel delivers each datagram to exactly one blocked
-//! receiver) and pushes raw packets into that worker's bounded queue; a
-//! **processor** thread drains the queue, decodes, consults the policy,
-//! and sends the response from its own socket clone. A single **TCP
-//! acceptor** thread serves the RFC 1035 fallback path for clients that
-//! saw TC=1.
+//! Layout per worker shard: one thread owns a cloned handle of the shared
+//! UDP socket (the std-only stand-in for an SO_REUSEPORT socket set — the
+//! kernel delivers each datagram to exactly one blocked receiver), a
+//! [`PacketArena`] of receive/send slots allocated once at spawn, and a
+//! [`BatchIo`] implementation: `recvmmsg`/`sendmmsg` on supported Linux
+//! targets, a one-packet portable fallback elsewhere (or when
+//! `batch = 1`). The loop is: receive up to `batch` datagrams in one
+//! syscall, load the compiled table pointer once, answer every packet in
+//! place — the templated fast path patches pre-encoded bytes straight
+//! into the send slot; anything unusual falls back to the full
+//! decode/encode path — flush the batch's counters, and send every
+//! response in one syscall. Steady state performs **no allocation and no
+//! lock acquisition per packet**. A single **TCP acceptor** thread serves
+//! the RFC 1035 fallback path for clients that saw TC=1.
 //!
-//! Two safety valves, both observable and both answer-only (they never
-//! drop state):
-//!
-//! * a **bounded queue** per worker — packets arriving into a full queue
-//!   are dropped (the client retries), bounding memory under attack;
-//! * an **overload valve** — when a worker's queue depth at dequeue time
-//!   is at or above the watermark, the policy lookup is skipped and the
-//!   query is answered with the anycast VIP at a short TTL. Degrading to
-//!   anycast is always safe (the paper's central observation) and sheds
-//!   the table-lookup cost exactly when the shard is drowning.
+//! Backpressure is the kernel's: there is no userspace ingress queue, so
+//! overload manifests as socket-buffer drops (the client retries), which
+//! bounds memory without copying packets around. The **overload valve**
+//! watches for sustained full batches — `batch` consecutive datagrams per
+//! recv call means the socket never drains — and, past the watermark,
+//! answers with the anycast VIP at a short TTL without consulting the
+//! policy. Degrading to anycast is always safe (the paper's central
+//! observation) and sheds the table-lookup cost exactly when the shard
+//! is drowning.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use anycast_dns::{LdnsId, QueryContext, RedirectionPolicy};
 use anycast_geo::GeoPoint;
 use anycast_netsim::Day;
-use anycast_obs::counter;
+use anycast_obs::{counter, histogram};
 
 use crate::message::{decode_query, encode_response};
+use crate::mmsg::{batch_io, PacketArena, MAX_BATCH};
+use crate::store::TableStore;
+use crate::template::{response_len, write_response, AnswerRr, QueryView};
 use crate::wire::{Flags, Header, CLASSIC_UDP_LIMIT, CLASS_IN, TYPE_A};
 
 /// UDP payload size the server advertises in its OPT records.
@@ -53,12 +61,16 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Number of worker shards (receiver + processor thread pairs).
+    /// Number of worker shards (one thread + arena + socket clone each).
     pub workers: usize,
-    /// Bounded queue capacity per worker.
-    pub queue_cap: usize,
-    /// Queue depth at dequeue time at or above which the overload valve
-    /// answers the anycast VIP without consulting the policy.
+    /// Datagrams moved per `recvmmsg`/`sendmmsg` syscall (1 selects the
+    /// portable one-packet path; clamped to [`MAX_BATCH`]).
+    pub batch: usize,
+    /// Sustained-backlog threshold, in packets, at or above which the
+    /// overload valve answers the anycast VIP without consulting the
+    /// policy. A shard estimates its backlog as `batch` × the number of
+    /// consecutive completely-full batches it has received; 0 valves
+    /// every query (useful in tests).
     pub overload_watermark: usize,
     /// TTL of valve (degraded) answers — short, so clients re-ask once
     /// the shard recovers.
@@ -75,12 +87,12 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// Sensible defaults for loopback serving: 2 workers, 1024-deep
-    /// queues, valve at 256, 30 s degraded TTL.
+    /// Sensible defaults for loopback serving: 2 workers, batches of 32,
+    /// valve at 256, 30 s degraded TTL.
     pub fn new(anycast_vip: Ipv4Addr) -> ServeConfig {
         ServeConfig {
             workers: 2,
-            queue_cap: 1024,
+            batch: 32,
             overload_watermark: 256,
             valve_ttl_s: 30,
             day: Day(0),
@@ -128,24 +140,30 @@ impl LdnsDirectory {
 
 /// Monotonic serving counters, shared across workers.
 ///
-/// Plain atomics (readable in tests without obs plumbing); each increment
-/// is mirrored to the obs registry under `serve_*` counter names.
+/// Plain atomics (readable in tests without obs plumbing); increments are
+/// mirrored to the obs registry under `serve_*` counter names. The hot
+/// path accumulates into a per-batch [`BatchCounts`] and flushes once per
+/// batch, so per-packet cost is a couple of local integer bumps.
 #[derive(Debug, Default)]
 pub struct ServeStats {
     /// Queries received over UDP.
     pub udp_queries: AtomicU64,
     /// Queries received over TCP (truncation fallback).
     pub tcp_queries: AtomicU64,
+    /// TCP fallback connections accepted.
+    pub tcp_fallbacks: AtomicU64,
     /// Packets that failed to decode.
     pub decode_errors: AtomicU64,
     /// Queries answered by the overload valve.
     pub degraded: AtomicU64,
-    /// Packets dropped because a worker queue was full.
-    pub dropped: AtomicU64,
     /// Responses truncated to fit the client's UDP payload limit.
     pub truncated: AtomicU64,
     /// Queries from source addresses not in the [`LdnsDirectory`].
     pub unknown_ldns: AtomicU64,
+    /// UDP answers produced by the zero-alloc templated fast path.
+    pub template_hits: AtomicU64,
+    /// Decodable UDP queries that needed the full encoder.
+    pub template_misses: AtomicU64,
     /// Per answered-address tallies — how many A answers named each
     /// front-end address (the anycast VIP included). This is the control
     /// plane's live offered-load feed: the plain map is authoritative
@@ -157,31 +175,23 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    fn bump(field: &AtomicU64, name: &'static str) {
-        field.fetch_add(1, Ordering::Relaxed);
-        match name {
-            "serve_udp_queries_total" => counter!("serve_udp_queries_total").inc(),
-            "serve_tcp_queries_total" => counter!("serve_tcp_queries_total").inc(),
-            "serve_decode_errors_total" => counter!("serve_decode_errors_total").inc(),
-            "serve_degraded_answers_total" => counter!("serve_degraded_answers_total").inc(),
-            "serve_queue_dropped_total" => counter!("serve_queue_dropped_total").inc(),
-            "serve_truncated_responses_total" => counter!("serve_truncated_responses_total").inc(),
-            "serve_unknown_ldns_total" => counter!("serve_unknown_ldns_total").inc(),
-            _ => unreachable!("unknown serve counter {name}"),
+    /// Merges a batch of per-address tallies under one lock acquisition.
+    fn note_answered_bulk(&self, tallies: &[(Ipv4Addr, u64)]) {
+        if tallies.is_empty() {
+            return;
         }
-    }
-
-    fn note_answered(&self, addr: Ipv4Addr) {
         let mut map = self.answered.lock().unwrap_or_else(|p| p.into_inner());
-        let (count, obs) = map.entry(addr).or_insert_with(|| {
-            let label = addr.to_string();
-            (
-                0,
-                anycast_obs::global().counter_with("serve_answers_total", &[("addr", &label)]),
-            )
-        });
-        *count += 1;
-        obs.inc();
+        for &(addr, n) in tallies {
+            let (count, obs) = map.entry(addr).or_insert_with(|| {
+                let label = addr.to_string();
+                (
+                    0,
+                    anycast_obs::global().counter_with("serve_answers_total", &[("addr", &label)]),
+                )
+            });
+            *count += n;
+            obs.add(n);
+        }
     }
 
     /// Snapshot of the per-address answered-query tallies, sorted by
@@ -194,15 +204,96 @@ impl ServeStats {
     }
 }
 
-type Packet = (Vec<u8>, SocketAddr);
-type Queue = Arc<(Mutex<VecDeque<Packet>>, Condvar)>;
+/// Counter deltas for one batch (or one TCP query), accumulated locally
+/// and flushed to [`ServeStats`] + obs in one step. Flushing *before* the
+/// batch's responses are sent keeps the invariant that a client observing
+/// its answer also observes the matching tallies.
+#[derive(Debug, Default)]
+struct BatchCounts {
+    udp: u64,
+    tcp: u64,
+    decode_errors: u64,
+    degraded: u64,
+    truncated: u64,
+    unknown_ldns: u64,
+    template_hits: u64,
+    template_misses: u64,
+    /// Per-address answer tallies; batches touch a handful of addresses,
+    /// so a linear-scanned vec beats a map.
+    answered: Vec<(Ipv4Addr, u64)>,
+}
+
+impl BatchCounts {
+    fn tally(&mut self, addr: Ipv4Addr) {
+        for (a, n) in self.answered.iter_mut() {
+            if *a == addr {
+                *n += 1;
+                return;
+            }
+        }
+        self.answered.push((addr, 1));
+    }
+
+    fn flush(&mut self, stats: &ServeStats) {
+        if self.udp > 0 {
+            stats.udp_queries.fetch_add(self.udp, Ordering::Relaxed);
+            counter!("serve_udp_queries_total").add(self.udp);
+        }
+        if self.tcp > 0 {
+            stats.tcp_queries.fetch_add(self.tcp, Ordering::Relaxed);
+            counter!("serve_tcp_queries_total").add(self.tcp);
+        }
+        if self.decode_errors > 0 {
+            stats
+                .decode_errors
+                .fetch_add(self.decode_errors, Ordering::Relaxed);
+            counter!("serve_decode_errors_total").add(self.decode_errors);
+        }
+        if self.degraded > 0 {
+            stats.degraded.fetch_add(self.degraded, Ordering::Relaxed);
+            counter!("serve_degraded_answers_total").add(self.degraded);
+        }
+        if self.truncated > 0 {
+            stats.truncated.fetch_add(self.truncated, Ordering::Relaxed);
+            counter!("serve_truncated_responses_total").add(self.truncated);
+        }
+        if self.unknown_ldns > 0 {
+            stats
+                .unknown_ldns
+                .fetch_add(self.unknown_ldns, Ordering::Relaxed);
+            counter!("serve_unknown_ldns_total").add(self.unknown_ldns);
+        }
+        if self.template_hits > 0 {
+            stats
+                .template_hits
+                .fetch_add(self.template_hits, Ordering::Relaxed);
+            counter!("serve_template_hit").add(self.template_hits);
+        }
+        if self.template_misses > 0 {
+            stats
+                .template_misses
+                .fetch_add(self.template_misses, Ordering::Relaxed);
+            counter!("serve_template_miss").add(self.template_misses);
+        }
+        stats.note_answered_bulk(&self.answered);
+        self.answered.clear();
+        self.udp = 0;
+        self.tcp = 0;
+        self.decode_errors = 0;
+        self.degraded = 0;
+        self.truncated = 0;
+        self.unknown_ldns = 0;
+        self.template_hits = 0;
+        self.template_misses = 0;
+    }
+}
 
 /// A running server; dropping it stops all threads.
 pub struct DnsServer {
     addr: SocketAddr,
     stats: Arc<ServeStats>,
     stop: Arc<AtomicBool>,
-    queues: Vec<Queue>,
+    workers: usize,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -210,17 +301,45 @@ impl std::fmt::Debug for DnsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DnsServer")
             .field("addr", &self.addr)
-            .field("workers", &self.queues.len())
+            .field("workers", &self.workers)
             .finish()
     }
 }
 
 impl DnsServer {
     /// Binds UDP + TCP on an ephemeral loopback port and spawns the
-    /// worker set. The policy is consulted once per decodable query.
+    /// worker set around an arbitrary policy. Every decodable query runs
+    /// the full decode → policy → encode path (no templates: a generic
+    /// policy's answers cannot be pre-encoded).
     pub fn spawn<P>(
         cfg: ServeConfig,
         policy: P,
+        directory: LdnsDirectory,
+    ) -> std::io::Result<DnsServer>
+    where
+        P: RedirectionPolicy + Send + Sync + 'static,
+    {
+        DnsServer::spawn_inner(cfg, Arc::new(policy), None, directory)
+    }
+
+    /// Binds and spawns around a [`TableStore`], enabling the zero-alloc
+    /// templated fast path: each batch loads the current
+    /// [`crate::store::CompiledTable`] once and patches its pre-encoded
+    /// answers straight into the send slots. Non-templatable queries
+    /// still take the full path against the same table, so the wire
+    /// bytes are identical either way.
+    pub fn spawn_tables(
+        cfg: ServeConfig,
+        store: Arc<TableStore>,
+        directory: LdnsDirectory,
+    ) -> std::io::Result<DnsServer> {
+        DnsServer::spawn_inner(cfg, store.clone(), Some(store), directory)
+    }
+
+    fn spawn_inner<P>(
+        cfg: ServeConfig,
+        policy: Arc<P>,
+        tables: Option<Arc<TableStore>>,
         directory: LdnsDirectory,
     ) -> std::io::Result<DnsServer>
     where
@@ -231,62 +350,36 @@ impl DnsServer {
         udp.set_read_timeout(Some(POLL_INTERVAL))?;
         tcp.set_nonblocking(true)?;
 
-        let policy = Arc::new(policy);
         let directory = Arc::new(directory);
         let stats = Arc::new(ServeStats::default());
         let stop = Arc::new(AtomicBool::new(false));
-        let mut queues = Vec::new();
         let mut handles = Vec::new();
 
+        // One socket clone per worker; a clone failure degrades to a
+        // single listener on the primary socket (observable, never fatal).
         let workers = cfg.workers.max(1);
-        let mut sharded = true;
-        let mut clones = Vec::with_capacity(workers * 2);
-        for _ in 0..workers * 2 {
-            match udp.try_clone() {
-                Ok(c) => clones.push(c),
+        let mut socks = vec![udp];
+        for _ in 1..workers {
+            match socks[0].try_clone() {
+                Ok(c) => socks.push(c),
                 Err(_) => {
-                    sharded = false;
+                    socks.truncate(1);
+                    counter!("serve_single_listener_fallbacks_total").inc();
                     break;
                 }
             }
         }
-
-        if sharded {
-            for worker in 0..workers {
-                let queue: Queue = Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
-                queues.push(queue.clone());
-                let rx_sock = clones.remove(0);
-                let tx_sock = clones.remove(0);
-                handles.push(spawn_receiver(
-                    rx_sock,
-                    queue.clone(),
-                    cfg.queue_cap,
-                    stats.clone(),
-                    stop.clone(),
-                    format!("serve-rx-{worker}"),
-                ));
-                handles.push(spawn_processor(
-                    tx_sock,
-                    queue,
-                    cfg,
-                    policy.clone(),
-                    directory.clone(),
-                    stats.clone(),
-                    stop.clone(),
-                    format!("serve-wk-{worker}"),
-                ));
-            }
-        } else {
-            // Single-listener fallback: one thread does recv + handle +
-            // send inline on the primary socket.
-            counter!("serve_single_listener_fallbacks_total").inc();
-            handles.push(spawn_inline(
-                udp,
+        let spawned = socks.len();
+        for (worker, sock) in socks.into_iter().enumerate() {
+            handles.push(spawn_worker(
+                sock,
                 cfg,
                 policy.clone(),
+                tables.clone(),
                 directory.clone(),
                 stats.clone(),
                 stop.clone(),
+                format!("serve-wk-{worker}"),
             ));
         }
 
@@ -303,7 +396,7 @@ impl DnsServer {
             addr,
             stats,
             stop,
-            queues,
+            workers: spawned,
             handles,
         })
     }
@@ -321,9 +414,6 @@ impl DnsServer {
     /// Stops all threads and waits for them to exit. Idempotent.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        for q in &self.queues {
-            q.1.notify_all();
-        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -352,48 +442,13 @@ fn bind_pair() -> std::io::Result<(UdpSocket, TcpListener)> {
     Err(last_err.unwrap_or_else(|| std::io::Error::other("could not pair UDP/TCP ports")))
 }
 
-fn spawn_receiver(
-    sock: UdpSocket,
-    queue: Queue,
-    cap: usize,
-    stats: Arc<ServeStats>,
-    stop: Arc<AtomicBool>,
-    name: String,
-) -> std::thread::JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(name)
-        .spawn(move || {
-            let mut buf = [0u8; RECV_BUF];
-            while !stop.load(Ordering::Relaxed) {
-                match sock.recv_from(&mut buf) {
-                    Ok((n, src)) => {
-                        let (lock, cvar) = &*queue;
-                        let mut q = lock.lock().expect("queue lock poisoned");
-                        if q.len() >= cap {
-                            drop(q);
-                            ServeStats::bump(&stats.dropped, "serve_queue_dropped_total");
-                        } else {
-                            q.push_back((buf[..n].to_vec(), src));
-                            drop(q);
-                            cvar.notify_one();
-                        }
-                    }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                    Err(_) => break,
-                }
-            }
-        })
-        .expect("spawn receiver thread")
-}
-
+/// One worker shard: arena + batch I/O + the per-batch answer loop.
 #[allow(clippy::too_many_arguments)]
-fn spawn_processor<P>(
+fn spawn_worker<P>(
     sock: UdpSocket,
-    queue: Queue,
     cfg: ServeConfig,
     policy: Arc<P>,
+    tables: Option<Arc<TableStore>>,
     directory: Arc<LdnsDirectory>,
     stats: Arc<ServeStats>,
     stop: Arc<AtomicBool>,
@@ -404,72 +459,157 @@ where
 {
     std::thread::Builder::new()
         .name(name)
-        .spawn(move || loop {
-            let (packet, depth) = {
-                let (lock, cvar) = &*queue;
-                let mut q = lock.lock().expect("queue lock poisoned");
-                loop {
-                    if let Some(p) = q.pop_front() {
-                        break (Some(p), q.len());
+        .spawn(move || {
+            let batch = cfg.batch.clamp(1, MAX_BATCH);
+            let mut io = batch_io(batch);
+            let mut arena = PacketArena::new(batch, RECV_BUF);
+            let valve = AnswerRr::new(cfg.anycast_vip, cfg.valve_ttl_s);
+            let mut counts = BatchCounts::default();
+            // Consecutive completely-full batches: the overload signal.
+            // A full batch means the socket had more queued than one
+            // syscall drained; a streak of them means the shard is not
+            // keeping up. `batch == 1` carries no backlog information
+            // (every busy recv is "full"), so the streak stays 0 there
+            // and only `overload_watermark == 0` valves.
+            let mut full_streak: usize = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let n = match io.recv_batch(&sock, &mut arena) {
+                    Ok(n) => n,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock
+                                | std::io::ErrorKind::TimedOut
+                                | std::io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        full_streak = 0;
+                        continue;
                     }
-                    if stop.load(Ordering::Relaxed) {
-                        break (None, 0);
-                    }
-                    let (guard, _) = cvar
-                        .wait_timeout(q, POLL_INTERVAL)
-                        .expect("queue lock poisoned");
-                    q = guard;
+                    Err(_) => break,
+                };
+                histogram!("serve_batch_size").observe(n as f64);
+                if batch > 1 && n == batch {
+                    full_streak += 1;
+                } else {
+                    full_streak = 0;
                 }
-            };
-            let Some((data, src)) = packet else { return };
-            let overloaded = depth >= cfg.overload_watermark;
-            if let Some(resp) =
-                handle_datagram(&cfg, &*policy, &directory, &stats, &data, src, overloaded)
-            {
-                let _ = sock.send_to(&resp, src);
+                let overloaded = full_streak.saturating_mul(batch) >= cfg.overload_watermark;
+                // One atomic load of the hot-swapped table per batch.
+                let table = tables.as_ref().map(|t| t.load());
+                for i in 0..n {
+                    if arena.packet(i).is_empty() {
+                        arena.set_response_len(i, 0);
+                        continue;
+                    }
+                    let src = arena.peer(i);
+                    let len = serve_packet(
+                        &cfg,
+                        &*policy,
+                        table.as_deref(),
+                        &directory,
+                        &valve,
+                        &mut counts,
+                        i,
+                        &mut arena,
+                        src,
+                        overloaded,
+                    );
+                    arena.set_response_len(i, len);
+                }
+                // Flush tallies before the responses hit the wire, so a
+                // client that sees its answer also sees the counts.
+                counts.flush(&stats);
+                let _ = io.send_batch(&sock, &mut arena, n);
             }
         })
-        .expect("spawn processor thread")
+        .expect("spawn worker thread")
 }
 
-fn spawn_inline<P>(
-    sock: UdpSocket,
-    cfg: ServeConfig,
-    policy: Arc<P>,
-    directory: Arc<LdnsDirectory>,
-    stats: Arc<ServeStats>,
-    stop: Arc<AtomicBool>,
-) -> std::thread::JoinHandle<()>
+/// Answers the packet in arena slot `i`, returning the response length
+/// written into the matching send slot (0 = no response).
+#[allow(clippy::too_many_arguments)]
+fn serve_packet<P>(
+    cfg: &ServeConfig,
+    policy: &P,
+    table: Option<&crate::store::CompiledTable>,
+    directory: &LdnsDirectory,
+    valve: &AnswerRr,
+    counts: &mut BatchCounts,
+    i: usize,
+    arena: &mut PacketArena,
+    src: SocketAddr,
+    overloaded: bool,
+) -> usize
 where
-    P: RedirectionPolicy + Send + Sync + 'static,
+    P: RedirectionPolicy + ?Sized,
 {
-    std::thread::Builder::new()
-        .name("serve-inline".to_string())
-        .spawn(move || {
-            let mut buf = [0u8; RECV_BUF];
-            while !stop.load(Ordering::Relaxed) {
-                match sock.recv_from(&mut buf) {
-                    Ok((n, src)) => {
-                        if let Some(resp) = handle_datagram(
-                            &cfg,
-                            &*policy,
-                            &directory,
-                            &stats,
-                            &buf[..n],
-                            src,
-                            false,
-                        ) {
-                            let _ = sock.send_to(&resp, src);
+    counts.udp += 1;
+    let (data, out, _) = arena.io_slot(i);
+    // The zero-alloc fast path: a templatable query against a compiled
+    // table whose response provably fits. Any gate failing falls through
+    // to the full decode/encode path, the behavioral reference.
+    if let Some(table) = table {
+        if let Some(view) = QueryView::parse(data) {
+            let advertised = view
+                .udp_payload()
+                .map(|p| usize::from(p).max(CLASSIC_UDP_LIMIT))
+                .unwrap_or(CLASSIC_UDP_LIMIT);
+            let max_payload = match cfg.udp_response_cap {
+                Some(cap) => advertised.min(cap),
+                None => advertised,
+            };
+            let len = response_len(&view);
+            // All gates checked before any count mutation, so the slow
+            // path never double-counts a query the fast path rejected.
+            if len <= max_payload && len <= out.len() {
+                let (rr, scope) = if overloaded {
+                    counts.degraded += 1;
+                    (valve, 0)
+                } else {
+                    match directory.lookup(source_ip(src)) {
+                        Some((ldns, _)) => {
+                            let ecs = view.edns.and_then(|e| e.ecs).and_then(|e| e.to_option());
+                            table.answer_rr(ldns, ecs.as_ref())
+                        }
+                        None => {
+                            counts.unknown_ldns += 1;
+                            (valve, 0)
                         }
                     }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                    Err(_) => break,
-                }
+                };
+                counts.template_hits += 1;
+                counts.tally(rr.addr());
+                return write_response(out, &view, rr, scope);
             }
-        })
-        .expect("spawn inline worker thread")
+        }
+    }
+    let resp = respond(
+        cfg,
+        policy,
+        directory,
+        counts,
+        data,
+        src,
+        Transport::Udp { overloaded },
+    );
+    // Re-borrow the slot: `respond` needed `data` immutably while the
+    // response Vec was built.
+    let (_, out, _) = arena.io_slot(i);
+    match resp {
+        Some(resp) if resp.len() <= out.len() => {
+            out[..resp.len()].copy_from_slice(&resp);
+            resp.len()
+        }
+        _ => 0,
+    }
+}
+
+fn source_ip(src: SocketAddr) -> Ipv4Addr {
+    match src.ip() {
+        std::net::IpAddr::V4(v4) => v4,
+        std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+    }
 }
 
 fn spawn_tcp_acceptor<P>(
@@ -489,6 +629,8 @@ where
             while !stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, src)) => {
+                        stats.tcp_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        counter!("tcp_fallback_total").inc();
                         let _ = serve_tcp_conn(stream, src, &cfg, &*policy, &directory, &stats);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -502,7 +644,8 @@ where
 }
 
 /// Serves queries on one TCP connection (RFC 1035 §4.2.2 framing) until
-/// the peer closes or times out.
+/// the peer closes or times out. The query scratch and the length-prefixed
+/// response frame are per-connection buffers reused across messages.
 fn serve_tcp_conn<P>(
     mut stream: TcpStream,
     src: SocketAddr,
@@ -515,47 +658,38 @@ where
     P: RedirectionPolicy + ?Sized,
 {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut data: Vec<u8> = Vec::new();
+    let mut frame: Vec<u8> = Vec::new();
+    let mut counts = BatchCounts::default();
     loop {
         let mut len_buf = [0u8; 2];
         if stream.read_exact(&mut len_buf).is_err() {
             return Ok(()); // peer closed or timed out
         }
         let len = usize::from(u16::from_be_bytes(len_buf));
-        let mut data = vec![0u8; len];
+        data.resize(len, 0);
         stream.read_exact(&mut data)?;
-        ServeStats::bump(&stats.tcp_queries, "serve_tcp_queries_total");
-        let resp = respond(cfg, policy, directory, stats, &data, src, Transport::Tcp);
+        counts.tcp += 1;
+        let resp = respond(
+            cfg,
+            policy,
+            directory,
+            &mut counts,
+            &data,
+            src,
+            Transport::Tcp,
+        );
+        counts.flush(stats);
         if let Some(resp) = resp {
             debug_assert!(resp.len() <= TCP_MAX_MESSAGE);
-            stream.write_all(&(resp.len() as u16).to_be_bytes())?;
-            stream.write_all(&resp)?;
+            // One write_all of [len | message]: a single segment on the
+            // wire instead of two, and no fresh buffer per message.
+            frame.clear();
+            frame.extend_from_slice(&(resp.len() as u16).to_be_bytes());
+            frame.extend_from_slice(&resp);
+            stream.write_all(&frame)?;
         }
     }
-}
-
-/// UDP entry point: counts the query and dispatches.
-fn handle_datagram<P>(
-    cfg: &ServeConfig,
-    policy: &P,
-    directory: &LdnsDirectory,
-    stats: &ServeStats,
-    data: &[u8],
-    src: SocketAddr,
-    overloaded: bool,
-) -> Option<Vec<u8>>
-where
-    P: RedirectionPolicy + ?Sized,
-{
-    ServeStats::bump(&stats.udp_queries, "serve_udp_queries_total");
-    respond(
-        cfg,
-        policy,
-        directory,
-        stats,
-        data,
-        src,
-        Transport::Udp { overloaded },
-    )
 }
 
 /// How a query arrived — decides the response-size rule and whether the
@@ -563,22 +697,24 @@ where
 #[derive(Debug, Clone, Copy)]
 enum Transport {
     /// UDP: payload limited by the EDNS advertisement (and
-    /// `udp_response_cap`); the valve engages when the queue is deep.
+    /// `udp_response_cap`); the valve engages when the shard is drowning.
     Udp {
-        /// Queue depth was at or past the watermark at dequeue time.
+        /// The worker observed a sustained backlog past the watermark.
         overloaded: bool,
     },
     /// TCP: up to the 16-bit frame limit; never valved (the connection
-    /// already survived the queue).
+    /// already survived the socket).
     Tcp,
 }
 
-/// Decodes one query and produces the response bytes, if any.
+/// Decodes one query and produces the response bytes, if any. The full
+/// (allocating) path: behavioral reference for FORMERR, REFUSED,
+/// truncation, and every non-templatable shape.
 fn respond<P>(
     cfg: &ServeConfig,
     policy: &P,
     directory: &LdnsDirectory,
-    stats: &ServeStats,
+    counts: &mut BatchCounts,
     data: &[u8],
     src: SocketAddr,
     transport: Transport,
@@ -589,10 +725,13 @@ where
     let q = match decode_query(data) {
         Ok(q) => q,
         Err(_) => {
-            ServeStats::bump(&stats.decode_errors, "serve_decode_errors_total");
+            counts.decode_errors += 1;
             return formerr_response(data);
         }
     };
+    if matches!(transport, Transport::Udp { .. }) {
+        counts.template_misses += 1;
+    }
     let overloaded = matches!(transport, Transport::Udp { overloaded: true });
     let max_payload = match transport {
         Transport::Tcp => TCP_MAX_MESSAGE,
@@ -613,15 +752,11 @@ where
     if q.qtype != TYPE_A {
         return Some(encode_response(&q, None, 0, max_payload));
     }
-    let source_ip = match src.ip() {
-        std::net::IpAddr::V4(v4) => v4,
-        std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
-    };
     let answer = if overloaded {
-        ServeStats::bump(&stats.degraded, "serve_degraded_answers_total");
+        counts.degraded += 1;
         anycast_dns::DnsAnswer::global(cfg.anycast_vip, cfg.valve_ttl_s)
     } else {
-        match directory.lookup(source_ip) {
+        match directory.lookup(source_ip(src)) {
             Some((ldns, ldns_location)) => {
                 let ecs = q.edns.and_then(|e| e.ecs).and_then(|e| e.to_option());
                 let ctx = QueryContext {
@@ -635,16 +770,16 @@ where
                 policy.answer(&ctx)
             }
             None => {
-                ServeStats::bump(&stats.unknown_ldns, "serve_unknown_ldns_total");
+                counts.unknown_ldns += 1;
                 anycast_dns::DnsAnswer::global(cfg.anycast_vip, cfg.valve_ttl_s)
             }
         }
     };
-    stats.note_answered(answer.addr);
+    counts.tally(answer.addr);
     let resp = encode_response(&q, Some(&answer), 0, max_payload);
     if resp.len() >= crate::wire::HEADER_LEN && resp[2] & 0x02 != 0 {
         // TC bit set in the encoded header.
-        ServeStats::bump(&stats.truncated, "serve_truncated_responses_total");
+        counts.truncated += 1;
     }
     Some(resp)
 }

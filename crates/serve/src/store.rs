@@ -16,6 +16,7 @@
 //! equivalence test pins `(addr, ttl_s, ecs_scope)` for a full simulated
 //! day of queries.
 
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::{Arc, RwLock};
 
@@ -26,6 +27,8 @@ use anycast_dns::{DnsAnswer, LdnsId, QueryContext, RedirectionPolicy};
 use anycast_netsim::{CdnAddressing, Prefix};
 use anycast_obs::counter;
 
+use crate::template::AnswerRr;
+
 /// A compiled binary longest-prefix-match trie over IPv4 prefixes: one
 /// node per bit of depth, values at the depths where entries live.
 ///
@@ -34,30 +37,35 @@ use anycast_obs::counter;
 /// depth *is* the RFC 7871 scope the answer advertises. Lookup cost is
 /// bounded by the query's own SOURCE PREFIX-LENGTH — entries deeper than
 /// what the query disclosed are never matched.
+///
+/// Generic over the stored value (`Copy`): the serving table stores
+/// template indices, tests and tools store addresses directly.
 #[derive(Debug, Clone)]
-pub struct PrefixTrie {
-    nodes: Vec<TrieNode>,
+pub struct PrefixTrie<V = Ipv4Addr> {
+    nodes: Vec<TrieNode<V>>,
     entries: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct TrieNode {
+struct TrieNode<V> {
     /// Child node indexes for bit 0 / bit 1; 0 means "no child" (the root
     /// is never anyone's child).
     children: [u32; 2],
-    value: Option<Ipv4Addr>,
+    value: Option<V>,
 }
 
-const EMPTY_NODE: TrieNode = TrieNode {
-    children: [0, 0],
-    value: None,
-};
+impl<V: Copy> TrieNode<V> {
+    const EMPTY: TrieNode<V> = TrieNode {
+        children: [0, 0],
+        value: None,
+    };
+}
 
-impl PrefixTrie {
+impl<V: Copy> PrefixTrie<V> {
     /// An empty trie.
-    pub fn new() -> PrefixTrie {
+    pub fn new() -> PrefixTrie<V> {
         PrefixTrie {
-            nodes: vec![EMPTY_NODE],
+            nodes: vec![TrieNode::EMPTY],
             entries: 0,
         }
     }
@@ -72,16 +80,16 @@ impl PrefixTrie {
         self.entries == 0
     }
 
-    /// Inserts `prefix → addr`, replacing any existing value at exactly
+    /// Inserts `prefix → value`, replacing any existing value at exactly
     /// that prefix.
-    pub fn insert(&mut self, prefix: Prefix, addr: Ipv4Addr) {
+    pub fn insert(&mut self, prefix: Prefix, value: V) {
         let bits = prefix.raw();
         let mut node = 0usize;
         for depth in 0..prefix.len() {
             let bit = usize::from((bits >> (31 - depth)) & 1 == 1);
             let child = self.nodes[node].children[bit];
             node = if child == 0 {
-                self.nodes.push(EMPTY_NODE);
+                self.nodes.push(TrieNode::EMPTY);
                 let idx = self.nodes.len() - 1;
                 self.nodes[node].children[bit] = idx as u32;
                 idx
@@ -92,13 +100,13 @@ impl PrefixTrie {
         if self.nodes[node].value.is_none() {
             self.entries += 1;
         }
-        self.nodes[node].value = Some(addr);
+        self.nodes[node].value = Some(value);
     }
 
     /// Longest-prefix match for `addr`, considering only entries no more
     /// specific than `max_len` bits (the query's SOURCE PREFIX-LENGTH).
     /// Returns the value and the matched entry's prefix length.
-    pub fn lookup(&self, addr: Ipv4Addr, max_len: u8) -> Option<(Ipv4Addr, u8)> {
+    pub fn lookup(&self, addr: Ipv4Addr, max_len: u8) -> Option<(V, u8)> {
         let bits = u32::from(addr);
         let max_len = max_len.min(32);
         let mut node = 0usize;
@@ -122,21 +130,30 @@ impl PrefixTrie {
     }
 }
 
-impl Default for PrefixTrie {
+impl<V: Copy> Default for PrefixTrie<V> {
     fn default() -> Self {
         PrefixTrie::new()
     }
 }
 
 /// One trained table compiled for serving: immutable, cache-friendly.
+///
+/// Answers are interned as pre-encoded [`AnswerRr`] templates at compile
+/// time — one 16-byte baked record per distinct answer address, with
+/// index 0 reserved for the anycast-VIP miss/valve answer — so the UDP
+/// fast path patches table bytes straight into its send buffer without
+/// constructing a [`DnsAnswer`] or running the encoder.
 #[derive(Debug, Clone)]
 pub struct CompiledTable {
     grouping: Grouping,
     /// ECS groups, longest-prefix-matchable (variable-length prefixes:
-    /// aggregation defaults plus their exceptions).
-    by_prefix: PrefixTrie,
-    /// LDNS groups: `(resolver id, answer address)`, sorted by id.
-    by_ldns: Vec<(u32, Ipv4Addr)>,
+    /// aggregation defaults plus their exceptions). Values index
+    /// `templates`.
+    by_prefix: PrefixTrie<u32>,
+    /// LDNS groups: `(resolver id, template index)`, sorted by id.
+    by_ldns: Vec<(u32, u32)>,
+    /// Interned pre-encoded answers; `templates[0]` is the anycast VIP.
+    templates: Vec<AnswerRr>,
     addressing: CdnAddressing,
     ttl_s: u32,
     generation: u64,
@@ -176,7 +193,13 @@ impl CompiledTable {
         ttl_s: u32,
         generation: u64,
     ) -> CompiledTable {
-        let mut ecs_entries: Vec<(Prefix, Ipv4Addr)> = Vec::new();
+        // Intern one baked template per distinct answer address; index 0
+        // is always the anycast VIP so misses and the overload valve can
+        // share it.
+        let mut templates = vec![AnswerRr::new(addressing.anycast_ip(), ttl_s)];
+        let mut interned: HashMap<Ipv4Addr, u32> = HashMap::new();
+        interned.insert(addressing.anycast_ip(), 0);
+        let mut ecs_entries: Vec<(Prefix, u32)> = Vec::new();
         let mut by_ldns = Vec::new();
         for (key, choice) in table.iter() {
             let target = overrides.get(&key).copied().unwrap_or(choice.target);
@@ -184,21 +207,26 @@ impl CompiledTable {
                 Target::Anycast => addressing.anycast_ip(),
                 Target::Unicast(site) => addressing.site_ip(site),
             };
+            let idx = *interned.entry(addr).or_insert_with(|| {
+                templates.push(AnswerRr::new(addr, ttl_s));
+                (templates.len() - 1) as u32
+            });
             match key {
-                GroupKey::Ecs(p) => ecs_entries.push((p, addr)),
-                GroupKey::Ldns(l) => by_ldns.push((l.0, addr)),
+                GroupKey::Ecs(p) => ecs_entries.push((p, idx)),
+                GroupKey::Ldns(l) => by_ldns.push((l.0, idx)),
             }
         }
         ecs_entries.sort_unstable_by_key(|&(p, _)| p.key());
         let mut by_prefix = PrefixTrie::new();
-        for (p, addr) in ecs_entries {
-            by_prefix.insert(p, addr);
+        for (p, idx) in ecs_entries {
+            by_prefix.insert(p, idx);
         }
         by_ldns.sort_unstable_by_key(|&(k, _)| k);
         CompiledTable {
             grouping,
             by_prefix,
             by_ldns,
+            templates,
             addressing,
             ttl_s,
             generation,
@@ -212,6 +240,7 @@ impl CompiledTable {
             grouping,
             by_prefix: PrefixTrie::new(),
             by_ldns: Vec::new(),
+            templates: vec![AnswerRr::new(addressing.anycast_ip(), ttl_s)],
             addressing,
             ttl_s,
             generation: 0,
@@ -243,6 +272,37 @@ impl CompiledTable {
         &self.addressing
     }
 
+    /// The fast-path lookup: the baked answer template for a query from
+    /// `ldns` carrying `ecs`, plus the ECS scope to advertise. Misses
+    /// resolve to `templates[0]`, the anycast VIP. No allocation.
+    pub fn answer_rr(&self, ldns: LdnsId, ecs: Option<&EcsOption>) -> (&AnswerRr, u8) {
+        let (idx, matched_len) = match self.grouping {
+            Grouping::Ecs => {
+                match ecs.and_then(|e| self.by_prefix.lookup(e.prefix.network(), e.prefix.len())) {
+                    Some((idx, len)) => (idx, Some(len)),
+                    None => (0, None),
+                }
+            }
+            Grouping::Ldns => (
+                self.by_ldns
+                    .binary_search_by_key(&ldns.0, |&(k, _)| k)
+                    .ok()
+                    .map(|i| self.by_ldns[i].1)
+                    .unwrap_or(0),
+                None,
+            ),
+        };
+        (
+            &self.templates[idx as usize],
+            self.grouping.answer_scope(matched_len),
+        )
+    }
+
+    /// The baked valve answer: the anycast VIP at this table's TTL.
+    pub fn valve_rr(&self) -> &AnswerRr {
+        &self.templates[0]
+    }
+
     /// Decides the answer for a query from `ldns` carrying `ecs`.
     ///
     /// Mirrors `PredictionPolicy::answer` exactly: longest-prefix match for
@@ -253,23 +313,8 @@ impl CompiledTable {
     /// (the old behavior) fragmented resolver caches into per-/24 entries
     /// that all held the same generic answer.
     pub fn answer(&self, ldns: LdnsId, ecs: Option<&EcsOption>) -> DnsAnswer {
-        let (hit, matched_len) = match self.grouping {
-            Grouping::Ecs => {
-                match ecs.and_then(|e| self.by_prefix.lookup(e.prefix.network(), e.prefix.len())) {
-                    Some((addr, len)) => (Some(addr), Some(len)),
-                    None => (None, None),
-                }
-            }
-            Grouping::Ldns => (
-                self.by_ldns
-                    .binary_search_by_key(&ldns.0, |&(k, _)| k)
-                    .ok()
-                    .map(|i| self.by_ldns[i].1),
-                None,
-            ),
-        };
-        let addr = hit.unwrap_or_else(|| self.addressing.anycast_ip());
-        DnsAnswer::scoped(addr, self.ttl_s, self.grouping.answer_scope(matched_len))
+        let (rr, scope) = self.answer_rr(ldns, ecs);
+        DnsAnswer::scoped(rr.addr(), self.ttl_s, scope)
     }
 }
 
@@ -532,7 +577,9 @@ mod tests {
         // public surface: an empty PredictionTable has no entries, so
         // patch via the sorted-array representation directly.
         let mut t = CompiledTable::empty(Grouping::Ldns, plan(), 60);
-        t.by_ldns.push((7, plan().site_ip(SiteId(3))));
+        t.templates
+            .push(AnswerRr::new(plan().site_ip(SiteId(3)), 60));
+        t.by_ldns.push((7, 1));
         t.generation = 1;
         let old = store.swap(t);
         assert_eq!(old.generation(), 0);

@@ -135,6 +135,214 @@ fn wire_answers_match_in_process_path_four_workers() {
     equivalence_for_workers(4);
 }
 
+/// The batched tentpole path against the in-process reference: a
+/// trie-compiled table behind `spawn_tables` (recvmmsg/sendmmsg workers,
+/// templated answers) must serve a full simulated day identically to the
+/// same table exercised in-process — and actually take the fast path.
+fn batched_equivalence_for_workers(workers: usize, batch: usize) {
+    let mut study = Study::new(Scenario::small(52), StudyConfig::default());
+    study.run_day(Day(0));
+    let pcfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        ..PredictorConfig::default()
+    };
+    let table = Predictor::new(pcfg).train(study.dataset(), Day(0));
+    let scenario = study.scenario();
+    let policy = PredictionPolicy::new(table.clone(), Grouping::Ecs, scenario.addressing, TTL_S);
+    let compiled = CompiledTable::compile(&table, Grouping::Ecs, scenario.addressing, TTL_S, 1);
+
+    let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
+    cfg.workers = workers;
+    cfg.batch = batch;
+    cfg.day = Day(1);
+    let directory = ldns_directory(scenario);
+    let believed: HashMap<LdnsId, anycast_geo::GeoPoint> = scenario
+        .ldns
+        .resolvers
+        .iter()
+        .map(|r| (r.id, directory.lookup(ldns_source_addr(r.id)).unwrap().1))
+        .collect();
+    let server = DnsServer::spawn_tables(cfg, Arc::new(TableStore::new(compiled)), directory)
+        .expect("server spawns");
+
+    let mut reference = AuthoritativeServer::new(policy, true);
+    let qname = service_qname();
+    let mut pool = ClientPool::new(server.local_addr());
+    let queries = day_queries(scenario, Day(1), usize::MAX);
+    assert!(queries.len() > 100);
+    for q in &queries {
+        let served = pool
+            .get(q.ldns)
+            .query(&qname, q.ecs.as_ref())
+            .expect("wire query");
+        let (_, expected) =
+            reference.resolve(&qname, q.ldns, believed[&q.ldns], q.ecs, Day(1), 0.0);
+        assert_eq!(
+            (served.addr, served.ttl_s, served.ecs_scope),
+            (expected.addr, expected.ttl_s, expected.ecs_scope),
+            "batched wire answer must match the in-process path for {q:?} \
+             ({workers} workers, batch {batch})"
+        );
+    }
+    use std::sync::atomic::Ordering::Relaxed;
+    let stats = server.stats();
+    assert_eq!(stats.decode_errors.load(Relaxed), 0);
+    assert!(
+        stats.template_hits.load(Relaxed) > 0,
+        "canonical client queries must engage the templated fast path"
+    );
+}
+
+#[test]
+fn batched_tables_match_in_process_path_one_worker() {
+    batched_equivalence_for_workers(1, 32);
+}
+
+#[test]
+fn batched_tables_match_in_process_path_four_workers() {
+    batched_equivalence_for_workers(4, 32);
+}
+
+#[test]
+fn batched_and_fallback_servers_are_byte_identical_on_the_wire() {
+    // Golden-drift guard at the raw-datagram level: the same table served
+    // through the batched syscall path (batch 32, templated answers) and
+    // through the portable one-packet fallback (batch 1) must produce
+    // bit-for-bit identical response packets — templated or not, the wire
+    // format is pinned to the reference encoder.
+    use anycast_serve::message::{encode_query, Edns, WireEcs, WireQuery};
+    use anycast_serve::wire::{CLASS_IN, TYPE_A};
+
+    let mut study = Study::new(Scenario::small(53), StudyConfig::default());
+    study.run_day(Day(0));
+    let pcfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        ..PredictorConfig::default()
+    };
+    let table = Predictor::new(pcfg).train(study.dataset(), Day(0));
+    let scenario = study.scenario();
+    let compiled = CompiledTable::compile(&table, Grouping::Ecs, scenario.addressing, TTL_S, 1);
+
+    let spawn_with_batch = |batch: usize| {
+        let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
+        cfg.workers = 1;
+        cfg.batch = batch;
+        cfg.day = Day(1);
+        DnsServer::spawn_tables(
+            cfg,
+            Arc::new(TableStore::new(compiled.clone())),
+            ldns_directory(scenario),
+        )
+        .expect("server spawns")
+    };
+    let batched = spawn_with_batch(32);
+    let fallback = spawn_with_batch(1);
+
+    // Real day-of-queries shapes plus crafted slow-path shapes (an AAAA
+    // query and an ECS-bearing one at several source lengths).
+    let mut wires: Vec<(LdnsId, Vec<u8>)> = Vec::new();
+    let queries = day_queries(scenario, Day(1), 200);
+    for (i, q) in queries.iter().enumerate() {
+        wires.push((
+            q.ldns,
+            encode_query(&WireQuery {
+                id: i as u16,
+                rd: i % 2 == 0,
+                qname: q.qname.clone(),
+                qtype: TYPE_A,
+                qclass: CLASS_IN,
+                edns: Some(Edns {
+                    udp_payload: 1232,
+                    ecs: q.ecs.as_ref().map(WireEcs::from_option),
+                }),
+            }),
+        ));
+    }
+    let some_ldns = queries[0].ldns;
+    wires.push((
+        some_ldns,
+        encode_query(&WireQuery {
+            id: 0xAAAA,
+            rd: true,
+            qname: service_qname(),
+            qtype: 28, // AAAA: non-templatable, exercises the slow path
+            qclass: CLASS_IN,
+            edns: Some(Edns::plain(1232)),
+        }),
+    ));
+
+    let ask = |server: &DnsServer, ldns: LdnsId, wire: &[u8]| -> Vec<u8> {
+        let sock = std::net::UdpSocket::bind((ldns_source_addr(ldns), 0)).expect("bind");
+        sock.set_read_timeout(Some(std::time::Duration::from_millis(2000)))
+            .unwrap();
+        sock.send_to(wire, server.local_addr()).expect("send");
+        let mut buf = [0u8; 4096];
+        let (n, _) = sock.recv_from(&mut buf).expect("reply");
+        buf[..n].to_vec()
+    };
+    for (ldns, wire) in &wires {
+        assert_eq!(
+            ask(&batched, *ldns, wire),
+            ask(&fallback, *ldns, wire),
+            "batched and one-packet servers must not drift on the wire"
+        );
+    }
+    use std::sync::atomic::Ordering::Relaxed;
+    assert!(
+        batched.stats().template_hits.load(Relaxed) > 0,
+        "the batched server took the templated path"
+    );
+    assert!(
+        batched.stats().template_misses.load(Relaxed) > 0,
+        "the crafted AAAA query exercised the slow path"
+    );
+}
+
+#[test]
+fn client_discards_rogue_datagrams_and_stale_ids() {
+    // Satellite bugfix: a datagram from the wrong source address — even
+    // one carrying the right txid — or a right-source datagram with a
+    // stale id must be skipped, not returned and not turned into an
+    // error. Only the genuine answer lands.
+    use anycast_serve::message::{decode_query, encode_response};
+
+    let fake_server = std::net::UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind server");
+    let rogue = std::net::UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind rogue");
+    let server_addr = fake_server.local_addr().unwrap();
+
+    let genuine = Ipv4Addr::new(198, 18, 0, 1);
+    let poisoned = Ipv4Addr::new(203, 0, 113, 66);
+    let feeder = std::thread::spawn(move || {
+        let mut buf = [0u8; 4096];
+        let (n, client_addr) = fake_server.recv_from(&mut buf).expect("query arrives");
+        let q = decode_query(&buf[..n]).expect("client query decodes");
+        // 1) Off-path spoof: right txid, wrong source socket.
+        let spoof = encode_response(&q, Some(&DnsAnswer::global(poisoned, 60)), 0, 4096);
+        rogue.send_to(&spoof, client_addr).expect("spoof sends");
+        // 2) Right source, stale txid.
+        let mut stale_q = q.clone();
+        stale_q.id = q.id.wrapping_add(1);
+        let stale = encode_response(&stale_q, Some(&DnsAnswer::global(poisoned, 60)), 0, 4096);
+        fake_server
+            .send_to(&stale, client_addr)
+            .expect("stale sends");
+        // 3) The genuine answer.
+        let real = encode_response(&q, Some(&DnsAnswer::global(genuine, 60)), 0, 4096);
+        fake_server.send_to(&real, client_addr).expect("real sends");
+    });
+
+    let mut client =
+        WireClient::bind(Ipv4Addr::new(127, 0, 0, 1), server_addr).expect("client binds");
+    let answer = client
+        .query(&service_qname(), None)
+        .expect("rogue traffic must not error the query");
+    feeder.join().expect("feeder thread");
+    assert_eq!(
+        answer.addr, genuine,
+        "the spoofed and stale datagrams must not poison the answer"
+    );
+}
+
 #[test]
 fn answered_tallies_mirror_answers_and_never_influence_them() {
     // Satellite: the per-front-end answered tally is the control plane's
@@ -218,7 +426,7 @@ fn aggregated_tables_serve_identically_compiled_or_in_process() {
         .iter()
         .map(|r| (r.id, directory.lookup(ldns_source_addr(r.id)).unwrap().1))
         .collect();
-    let server = DnsServer::spawn(cfg, Arc::new(TableStore::new(compiled)), directory)
+    let server = DnsServer::spawn_tables(cfg, Arc::new(TableStore::new(compiled)), directory)
         .expect("server spawns");
 
     let mut reference = AuthoritativeServer::new(policy, true);
@@ -350,7 +558,7 @@ fn hot_swap_and_ttl_control_retention_through_the_wire() {
             LdnsId(0),
             anycast_geo::GeoPoint::new(0.0, 0.0),
         );
-        let server = DnsServer::spawn(cfg, store.clone(), directory).expect("server spawns");
+        let server = DnsServer::spawn_tables(cfg, store.clone(), directory).expect("server spawns");
 
         let qname = service_qname();
         let mut client =

@@ -266,6 +266,88 @@ mod trie {
     }
 }
 
+/// The zero-alloc template path against the full encoder: for every
+/// templatable query shape the patched bytes must be identical to what
+/// `encode_response` would have produced — the invariant that makes the
+/// fast path invisible on the wire.
+mod templates {
+    use super::*;
+    use anycast_serve::template::{response_len, write_response};
+    use anycast_serve::{AnswerRr, QueryView};
+
+    /// ECS source prefix lengths the acceptance gate names explicitly.
+    const SOURCE_LENS: [u8; 6] = [0, 8, 16, 20, 24, 32];
+
+    fn ecs_at(addr: u32, spl: u8) -> WireEcs {
+        let mask = if spl == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(spl))
+        };
+        WireEcs {
+            addr: Ipv4Addr::from(addr & mask),
+            source_prefix_len: spl,
+            scope_prefix_len: 0,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2048))]
+
+        #[test]
+        fn patched_template_is_byte_identical_to_full_encoder(
+            id in any::<u16>(),
+            rd in any::<bool>(),
+            qname in arbitrary_name(),
+            payload in 512u16..4096,
+            spl_idx in 0usize..SOURCE_LENS.len(),
+            ecs_addr in any::<u32>(),
+            with_edns in any::<bool>(),
+            with_ecs in any::<bool>(),
+            // Two independent answers stand in for a hot table swap: the
+            // same parsed view patched with each must match the encoder
+            // run with each — templates carry no cross-answer state.
+            addr_a in any::<u32>(),
+            ttl_a in 0u32..86_400,
+            addr_b in any::<u32>(),
+            ttl_b in 0u32..86_400,
+            scope_raw in 0u8..33,
+        ) {
+            let spl = SOURCE_LENS[spl_idx];
+            let ecs = (with_edns && with_ecs).then(|| ecs_at(ecs_addr, spl));
+            let scope = if ecs.is_some() { scope_raw } else { 0 };
+            let q = WireQuery {
+                id,
+                rd,
+                qname,
+                qtype: TYPE_A,
+                qclass: CLASS_IN,
+                edns: with_edns.then_some(Edns { udp_payload: payload, ecs }),
+            };
+            let wire = encode_query(&q);
+            let view = QueryView::parse(&wire).expect("canonical queries are templatable");
+            prop_assert_eq!(view.id, id);
+            let decoded = decode_query(&wire).unwrap();
+            let mut out = vec![0u8; 4096];
+            for (addr, ttl) in [
+                (Ipv4Addr::from(addr_a), ttl_a),
+                (Ipv4Addr::from(addr_b), ttl_b),
+            ] {
+                let rr = AnswerRr::new(addr, ttl);
+                let n = write_response(&mut out, &view, &rr, scope);
+                prop_assert_eq!(n, response_len(&view), "advertised length is exact");
+                let want = encode_response(
+                    &decoded,
+                    Some(&DnsAnswer::scoped(addr, ttl, scope)),
+                    0,
+                    4096,
+                );
+                prop_assert_eq!(&out[..n], &want[..], "template == full encoder");
+            }
+        }
+    }
+}
+
 /// Crafted pointer abuse beyond what random bytes reliably hit.
 mod pointers {
     use super::*;
