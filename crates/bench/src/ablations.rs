@@ -717,6 +717,74 @@ pub fn table_compression(scale: Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// The live-telemetry overhead ablation: the same pipelined serving
+/// point measured with the hot-path flight recorder sampling and with it
+/// compiled out of the run, plus the CUSUM detection-latency curve that
+/// prices the drift detectors the recorder feeds.
+///
+/// Two questions, one figure:
+///
+/// * what does per-query trace sampling cost at the headline point
+///   (`recorder_overhead_pct` — the PR's bar is ≤3%);
+/// * how many control epochs does a persistent share shift of magnitude
+///   `d` take to fire under the default [`anycast_obs::DriftConfig`]
+///   (driven through a real [`anycast_obs::Cusum`], matching the
+///   closed-form `⌈h/(d−k)⌉` bound).
+pub fn obs_overhead(scale: Scale, seed: u64) -> FigureResult {
+    let queries = crate::servebench::default_queries(scale);
+    // One short loopback run has ~10% scheduler noise, which would drown
+    // a ≤3% recorder cost. Three defenses: a single worker (so server,
+    // client and drain threads do not oversubscribe small CI hosts into
+    // a scheduling lottery), repetitions *interleaved* (on, off, on,
+    // off, …) so slow background-load drift hits both settings equally,
+    // and the median QPS per setting — robust to the occasional run a
+    // background task lands on.
+    let sample = |recorder: bool| {
+        let r =
+            crate::servebench::run_sweep_cfg(scale, seed, &[1], &[32], queries, recorder, false);
+        (r.headline().qps, r.headline().p99_us)
+    };
+    let (mut on, mut off) = (Vec::new(), Vec::new());
+    for _ in 0..5 {
+        on.push(sample(true));
+        off.push(sample(false));
+    }
+    let median = |v: &mut Vec<(f64, f64)>| {
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v[v.len() / 2]
+    };
+    let (qps_on, p99_on) = median(&mut on);
+    let (qps_off, p99_off) = median(&mut off);
+    let overhead_pct = if qps_off > 0.0 {
+        (qps_off - qps_on) / qps_off * 100.0
+    } else {
+        0.0
+    };
+
+    let dc = anycast_obs::DriftConfig::default();
+    let mut latency_pts = Vec::new();
+    for d in [0.075, 0.1, 0.15, 0.2, 0.3, 0.4] {
+        let mut cusum = anycast_obs::Cusum::new(dc.k, dc.h);
+        let fired = (1..=100).find(|_| cusum.update(d).is_some()).unwrap_or(100);
+        latency_pts.push((d, fired as f64));
+    }
+
+    FigureResult {
+        id: "ablation-obs-overhead",
+        title: "Live telemetry: flight-recorder cost and drift detection latency".into(),
+        x_label: "per-epoch share shift (detector series)".into(),
+        series: vec![Series::new("epochs to fire (default CUSUM)", latency_pts)],
+        scalars: vec![
+            ("serve_qps_recorder_on".into(), qps_on),
+            ("serve_qps_recorder_off".into(), qps_off),
+            ("recorder_overhead_pct".into(), overhead_pct),
+            ("serve_p99_us_recorder_on".into(), p99_on),
+            ("serve_p99_us_recorder_off".into(), p99_off),
+        ],
+        text: None,
+    }
+}
+
 /// Merges a figure's series and scalars into the cumulative
 /// `BENCH_study.json` body under `key` (same discipline as `servebench`):
 /// each series becomes `key.<snake_name>` as an array of `[x, y]` pairs,
@@ -769,8 +837,14 @@ pub fn merge_table_compression_into_bench_json(
     merge_figure_into_bench_json(fig, "table_compression", existing)
 }
 
+/// Merges the [`obs_overhead`] ablation into the cumulative
+/// `BENCH_study.json` body under `obs_overhead`.
+pub fn merge_obs_overhead_into_bench_json(fig: &FigureResult, existing: Option<&str>) -> String {
+    merge_figure_into_bench_json(fig, "obs_overhead", existing)
+}
+
 /// All ablation ids.
-pub const ALL: [&str; 10] = [
+pub const ALL: [&str; 11] = [
     "ablation-prediction-metric",
     "ablation-min-samples",
     "ablation-candidates",
@@ -781,6 +855,7 @@ pub const ALL: [&str; 10] = [
     "ablation-outage-ttl",
     "ablation-load-shedding",
     "ablation-table-compression",
+    "ablation-obs-overhead",
 ];
 
 /// Computes an ablation by id.
@@ -796,6 +871,7 @@ pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
         "ablation-outage-ttl" => Some(outage_ttl(scale, seed)),
         "ablation-load-shedding" => Some(load_shedding(scale, seed)),
         "ablation-table-compression" => Some(table_compression(scale, seed)),
+        "ablation-obs-overhead" => Some(obs_overhead(scale, seed)),
         _ => None,
     }
 }

@@ -4,7 +4,8 @@
 //! figures <artifact|all|ablations|extras|everything|bench|serve-bench>
 //!         [--scale small|paper] [--seed N] [--queries N]
 //!         [--workers N[,N...]] [--batch N[,N...]] [--csv]
-//!         [--out DIR] [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
+//!         [--out DIR] [--scrape-out FILE]
+//!         [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
 //! Output discipline: **stdout carries only machine-readable results**
@@ -109,13 +110,37 @@ fn main() -> ExitCode {
                 .map(|b| vec![b])
                 .or_else(|| invocation.batch.clone())
                 .unwrap_or_else(|| servebench::DEFAULT_BATCHES.to_vec());
-            let report = servebench::run_sweep(
+            let report = servebench::run_sweep_cfg(
                 invocation.scale,
                 invocation.seed,
                 &workers_axis,
                 &batch_axis,
                 queries,
+                true,
+                invocation.scrape_out.is_some(),
             );
+            if let Some(path) = &invocation.scrape_out {
+                let text = report.chaos_scrape.as_deref().unwrap_or_default();
+                if let Err(e) = std::fs::write(path, text) {
+                    logging::error(
+                        "figures",
+                        "scrape write failed",
+                        &[
+                            ("path", path.display().to_string()),
+                            ("error", e.to_string()),
+                        ],
+                    );
+                    return ExitCode::FAILURE;
+                }
+                logging::info(
+                    "figures",
+                    "wrote live scrape",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("bytes", text.len().to_string()),
+                    ],
+                );
+            }
             let path = invocation
                 .out_dir
                 .clone()
@@ -171,6 +196,34 @@ fn main() -> ExitCode {
             logging::info(
                 "figures",
                 "merged tradeoff series",
+                &[("id", id.to_string()), ("path", path.display().to_string())],
+            );
+        }
+        if id == "ablation-obs-overhead" {
+            // The recorder on/off serving comparison also accumulates
+            // into the cumulative bench body, next to the other runs.
+            let path = invocation
+                .out_dir
+                .clone()
+                .unwrap_or_default()
+                .join("BENCH_study.json");
+            let existing = std::fs::read_to_string(&path).ok();
+            let merged =
+                ablations::merge_obs_overhead_into_bench_json(&result, existing.as_deref());
+            if let Err(e) = std::fs::write(&path, merged) {
+                logging::error(
+                    "figures",
+                    "write failed",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                return ExitCode::FAILURE;
+            }
+            logging::info(
+                "figures",
+                "merged recorder overhead",
                 &[("id", id.to_string()), ("path", path.display().to_string())],
             );
         }

@@ -6,7 +6,8 @@
 //! figures <artifact|all|ablations|extras|everything|bench|serve-bench>
 //!         [--scale small|paper] [--seed N] [--queries N]
 //!         [--workers N[,N...]] [--batch N[,N...]] [--csv]
-//!         [--out DIR] [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
+//!         [--out DIR] [--scrape-out FILE]
+//!         [--obs-out FILE] [--obs-prom FILE] [--quiet] [-v]
 //! ```
 //!
 //! `bench` is special: it times the campaign engine across worker counts
@@ -15,7 +16,10 @@
 //! `--workers` × `--batch` (comma-separated axes) and merges the
 //! headline `serve_qps`/`serve_p50_us`/`serve_p99_us` plus the full
 //! sweep trajectory into the same file; `--queries` overrides its
-//! per-scale per-point query count.
+//! per-scale per-point query count. `--scrape-out FILE` makes
+//! `serve-bench` issue a live `CHAOS TXT metrics.bind` scrape against
+//! the first sweep point mid-replay and write the Prometheus text it
+//! answered with to FILE.
 //!
 //! `--obs-out` / `--obs-prom` write the observability run report (JSON /
 //! Prometheus text) collected across all computed artifacts; `--quiet`
@@ -53,6 +57,11 @@ pub struct Invocation {
     pub workers: Option<Vec<usize>>,
     /// `serve-bench` batch-size sweep axis (`--batch 1,8,32`).
     pub batch: Option<Vec<usize>>,
+    /// `serve-bench` mid-replay CHAOS scrape destination
+    /// (`--scrape-out FILE`); when set, the first sweep point is
+    /// scraped over the wire while the replay is still running and the
+    /// Prometheus text is written here.
+    pub scrape_out: Option<PathBuf>,
 }
 
 /// Parses a comma-separated list of positive integers (`1,2,4`).
@@ -115,6 +124,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut queries = None;
     let mut workers = None;
     let mut batch = None;
+    let mut scrape_out = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -178,6 +188,12 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                         ParseError("expected --obs-prom <file>".into())
                     })?));
             }
+            "--scrape-out" => {
+                scrape_out =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        ParseError("expected --scrape-out <file>".into())
+                    })?));
+            }
             "--quiet" | "-q" => log_level = Level::Error,
             "--verbose" | "-v" => log_level = Level::Debug,
             "--help" | "-h" => return Err(ParseError(String::new())),
@@ -198,6 +214,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         queries,
         workers,
         batch,
+        scrape_out,
     })
 }
 
@@ -214,7 +231,8 @@ pub fn usage_text() -> String {
          (defaults 1,2,4 x 1,8,32), merges headline serve_qps/p50/p99 and \
          the sweep into BENCH_study.json (--queries overrides the \
          per-scale per-point count; ANYCAST_SERVE_BATCH=N forces one \
-         batch value)\n\
+         batch value; --scrape-out FILE scrapes CHAOS TXT metrics.bind \
+         mid-replay and writes the Prometheus text to FILE)\n\
          --obs-out/--obs-prom: write the observability run report \
          (JSON / Prometheus text)\n\
          artifacts: {}\n\
@@ -371,5 +389,14 @@ mod tests {
         assert!(parse(&args(&["serve-bench", "--workers", "1,0"])).is_err());
         assert!(parse(&args(&["serve-bench", "--batch", "a,b"])).is_err());
         assert!(usage_text().contains("--workers") && usage_text().contains("--batch"));
+    }
+
+    #[test]
+    fn scrape_out_is_captured() {
+        let inv = parse(&args(&["serve-bench", "--scrape-out", "chaos.prom"])).unwrap();
+        assert_eq!(inv.scrape_out, Some(PathBuf::from("chaos.prom")));
+        assert_eq!(parse(&args(&["fig1"])).unwrap().scrape_out, None);
+        assert!(parse(&args(&["serve-bench", "--scrape-out"])).is_err());
+        assert!(usage_text().contains("--scrape-out"));
     }
 }

@@ -114,16 +114,39 @@ pub struct ServeBenchReport {
     pub sweep: Vec<SweepPoint>,
     /// Index into `sweep` of the headline point.
     pub best: usize,
+    /// Whether the flight recorder sampled the run.
+    pub recorder: bool,
+    /// Prometheus text scraped over the in-band CHAOS endpoint while the
+    /// first sweep point was being served (when requested).
+    pub chaos_scrape: Option<String>,
 }
 
-/// Runs the full sweep: train and compile once, then measure every
-/// `(workers, batch)` combination.
+/// Runs the full sweep with the flight recorder on and no scrape — the
+/// production-shaped configuration.
 pub fn run_sweep(
     scale: Scale,
     seed: u64,
     workers_axis: &[usize],
     batch_axis: &[usize],
     queries: usize,
+) -> ServeBenchReport {
+    run_sweep_cfg(scale, seed, workers_axis, batch_axis, queries, true, false)
+}
+
+/// Runs the full sweep: train and compile once, then measure every
+/// `(workers, batch)` combination. `recorder` toggles the hot-path
+/// flight recorder (the obs-overhead ablation measures both sides);
+/// `scrape` additionally pulls a CHAOS-class `TXT metrics.bind` snapshot
+/// over the ordinary wire path while the first point's load is in
+/// flight.
+pub fn run_sweep_cfg(
+    scale: Scale,
+    seed: u64,
+    workers_axis: &[usize],
+    batch_axis: &[usize],
+    queries: usize,
+    recorder: bool,
+    scrape: bool,
 ) -> ServeBenchReport {
     let bench_timer = span!("bench.serve").start();
 
@@ -173,8 +196,10 @@ pub fn run_sweep(
         .min(resolvers.max(1));
 
     let mut sweep = Vec::new();
+    let mut chaos_scrape = None;
     for &workers in workers_axis {
         for &batch in batch_axis {
+            let want_scrape = scrape && sweep.is_empty();
             sweep.push(run_point(
                 &store,
                 scenario,
@@ -182,6 +207,8 @@ pub fn run_sweep(
                 client_threads,
                 workers,
                 batch,
+                recorder,
+                want_scrape.then_some(&mut chaos_scrape),
             ));
         }
     }
@@ -197,6 +224,8 @@ pub fn run_sweep(
         table_groups,
         sweep,
         best,
+        recorder,
+        chaos_scrape,
     }
 }
 
@@ -225,7 +254,10 @@ fn headline_index(sweep: &[SweepPoint]) -> usize {
     })
 }
 
-/// Measures one `(workers, batch)` point against a fresh server.
+/// Measures one `(workers, batch)` point against a fresh server. When
+/// `scrape_into` is given, a CHAOS-class metrics scrape runs over the
+/// same wire path while the load threads are still sending.
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     store: &Arc<TableStore>,
     scenario: &anycast_workload::Scenario,
@@ -233,11 +265,14 @@ fn run_point(
     client_threads: usize,
     workers: usize,
     batch: usize,
+    recorder: bool,
+    scrape_into: Option<&mut Option<String>>,
 ) -> SweepPoint {
     let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
     cfg.workers = workers;
     cfg.batch = batch;
     cfg.day = Day(1);
+    cfg.recorder = recorder;
     // The bench measures serving capacity; sustained full batches are the
     // *point* of a pipelined load generator, not an overload signal.
     cfg.overload_watermark = usize::MAX;
@@ -283,6 +318,15 @@ fn run_point(
             })
         })
         .collect();
+    // Mid-replay scrape: the load threads are in flight; the snapshot
+    // answer rides the same UDP socket path (and falls back to TCP when
+    // the text outgrows the advertised payload).
+    if let Some(out) = scrape_into {
+        let mut scraper =
+            anycast_serve::client::WireClient::bind(std::net::Ipv4Addr::LOCALHOST, addr)
+                .expect("scrape client binds");
+        *out = Some(scraper.scrape_metrics().expect("CHAOS scrape succeeds"));
+    }
     let mut lat_us: Vec<f64> = Vec::new();
     for h in handles {
         lat_us.extend(h.join().expect("client thread"));
@@ -408,6 +452,7 @@ impl ServeBenchReport {
         m.insert("bench".into(), Value::Str("serve-batched-sweep".into()));
         m.insert("scale".into(), Value::Str(scale.into()));
         m.insert("seed".into(), Value::Num(self.seed as f64));
+        m.insert("recorder".into(), Value::Bool(self.recorder));
         m.insert("workers".into(), Value::Num(h.workers as f64));
         m.insert("batch".into(), Value::Num(h.batch as f64));
         m.insert(
@@ -578,6 +623,31 @@ mod tests {
         assert!(fresh.get("serve_qps").is_some());
         let over_garbage = parse(&r.merge_into_bench_json(Some("not json"))).unwrap();
         assert!(over_garbage.get("serve").is_some());
+    }
+
+    #[test]
+    fn mid_replay_scrape_returns_valid_prometheus_text() {
+        let r = run_sweep_cfg(Scale::Small, 7, &[1], &[8], 256, true, true);
+        let text = r.chaos_scrape.as_deref().expect("scrape requested");
+        assert!(
+            anycast_obs::validate_prometheus(text).is_empty(),
+            "scraped text must be schema-valid: {:?}",
+            anycast_obs::validate_prometheus(text)
+        );
+        assert!(text.contains("serve_udp_queries_total"));
+        assert!(
+            text.contains("# TYPE serve_batch_size histogram"),
+            "batch fill must export as a histogram"
+        );
+    }
+
+    #[test]
+    fn recorder_off_runs_clean_and_skips_sampling() {
+        let r = run_sweep_cfg(Scale::Small, 7, &[1], &[8], 128, false, false);
+        assert!(!r.recorder);
+        assert!(r.chaos_scrape.is_none());
+        assert_eq!(r.headline().decode_errors, 0);
+        assert_eq!(r.headline().queries, 128);
     }
 
     #[test]

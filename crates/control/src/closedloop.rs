@@ -19,8 +19,9 @@
 //! [`CapacityPlan`] (or [`ControlMode::Off`]) the loop never swaps and
 //! the replay is byte-identical to an uncontrolled one.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use anycast_beacon::Target;
@@ -28,8 +29,8 @@ use anycast_core::loadaware::{total_overload, withdraw, SiteLoad};
 use anycast_core::prediction::{Grouping, PredictionTable};
 use anycast_dns::LdnsId;
 use anycast_netsim::{Day, SiteId};
-use anycast_obs::counter;
 use anycast_obs::json::Value;
+use anycast_obs::{counter, DriftConfig, DriftMonitor};
 use anycast_serve::client::WireClient;
 use anycast_serve::replay::{day_query_plan, ldns_directory, ldns_source_addr, service_qname};
 use anycast_serve::server::{DnsServer, ServeConfig};
@@ -55,6 +56,13 @@ pub struct LoopConfig {
     pub ttl_s: u32,
     /// Controller tuning.
     pub control: ControlConfig,
+    /// Streaming drift detection over the live feed ([`replay_wire`]
+    /// only): per-site answered shares against the *training-day*
+    /// baseline plus the TCP-fallback rate run through EWMA+CUSUM. A
+    /// firing detector releases controller cooldowns and forces a table
+    /// recompile swap even when the step itself found nothing to move.
+    /// `None` keeps the loop byte-identical to a drift-unaware build.
+    pub drift: Option<DriftConfig>,
 }
 
 impl Default for LoopConfig {
@@ -66,6 +74,7 @@ impl Default for LoopConfig {
             query_cap: usize::MAX,
             ttl_s: 60,
             control: ControlConfig::default(),
+            drift: None,
         }
     }
 }
@@ -88,6 +97,9 @@ pub struct EpochReport {
     pub mean_inflation_ms: f64,
     /// Whether a rewritten table was swapped into the server.
     pub swapped: bool,
+    /// Drift signals the monitor emitted on this epoch's live feed (0
+    /// when drift detection is off or on the model path).
+    pub drift_signals: u64,
 }
 
 /// A whole run's outcome.
@@ -108,6 +120,8 @@ pub struct RunReport {
     /// FNV-1a digest over every served `(addr, ttl, scope)` triple in
     /// order (0 on the model path).
     pub answers_digest: u64,
+    /// Σ per-epoch drift signals.
+    pub drift_signals: u64,
 }
 
 impl RunReport {
@@ -125,6 +139,10 @@ impl RunReport {
         );
         root.insert("table_swaps".into(), Value::Num(self.table_swaps as f64));
         root.insert(
+            "drift_signals".into(),
+            Value::Num(self.drift_signals as f64),
+        );
+        root.insert(
             "answers_digest".into(),
             Value::Str(format!("{:016x}", self.answers_digest)),
         );
@@ -140,6 +158,7 @@ impl RunReport {
                 m.insert("restored".into(), Value::Num(e.restored as f64));
                 m.insert("mean_inflation_ms".into(), Value::Num(e.mean_inflation_ms));
                 m.insert("swapped".into(), Value::Bool(e.swapped));
+                m.insert("drift_signals".into(), Value::Num(e.drift_signals as f64));
                 Value::Obj(m)
             })
             .collect();
@@ -236,6 +255,7 @@ pub fn simulate(
                     restored: 0,
                     mean_inflation_ms: 0.0,
                     swapped: false,
+                    drift_signals: 0,
                 }
             }
             ControlMode::Shed => {
@@ -252,6 +272,7 @@ pub fn simulate(
                         0.0
                     },
                     swapped: step.changed,
+                    drift_signals: 0,
                 }
             }
             ControlMode::Withdraw => {
@@ -267,6 +288,7 @@ pub fn simulate(
         median_inflation_ms: median(&inflations),
         table_swaps: 0,
         answers_digest: 0,
+        drift_signals: 0,
         epochs,
     }
 }
@@ -368,6 +390,7 @@ fn withdraw_epoch(
             0.0
         },
         swapped: false,
+        drift_signals: 0,
     }
 }
 
@@ -428,21 +451,65 @@ pub fn replay_wire(
     let mut inflations = Vec::with_capacity(bounds.len());
     let mut swaps = 0u64;
 
+    // Drift baseline: the *training day's* projected per-site answered
+    // shares, epoch by epoch. The replay-day model routes through
+    // `anycast_route` on the replay day itself, so its own projection
+    // tracks outages and can never drift from the measurement;
+    // yesterday's shares are what "normal" looked like when the table
+    // was trained. Comparing epoch `i` against the training day's epoch
+    // `i` cancels the diurnal shape, so residuals carry only
+    // day-over-day change.
+    let mut drift = cfg.drift.map(|dc| {
+        let train = DemandModel::build(
+            scenario,
+            table,
+            cfg.grouping,
+            Day(cfg.day.0.saturating_sub(1)),
+            cfg.epochs,
+            cfg.query_cap,
+        );
+        let baseline: Vec<BTreeMap<SiteId, f64>> = train
+            .epochs
+            .iter()
+            .map(|e| {
+                let proj = e.project(table, &BTreeMap::new());
+                let total: f64 = proj.values().sum();
+                proj.iter()
+                    .map(|(&s, &v)| (s, if total > 0.0 { v / total } else { 0.0 }))
+                    .collect()
+            })
+            .collect();
+        (DriftMonitor::new(dc), baseline, 0u64)
+    });
+
     for (i, &(lo, hi)) in bounds.iter().enumerate() {
         // Serve the epoch's chunk under the table currently installed.
         let mut vip_catchments: BTreeMap<SiteId, u64> = BTreeMap::new();
-        for (ci, spec) in &plan[lo..hi] {
+        let mut vip_lost = 0u64;
+        for (j, (ci, spec)) in plan[lo..hi].iter().enumerate() {
             let server_addr = server.local_addr();
             let client = clients.entry(spec.ldns).or_insert_with(|| {
                 WireClient::bind(ldns_source_addr(spec.ldns), server_addr).expect("client binds")
             });
             let a = client.query(&qname, spec.ecs.as_ref()).expect("wire query");
             if addressing.is_anycast(a.addr) {
-                let catchment = scenario
-                    .internet
-                    .anycast_route(&scenario.clients[*ci].attachment, cfg.day)
-                    .site;
-                *vip_catchments.entry(catchment).or_insert(0) += 1;
+                // Attribute the VIP answer to the site BGP actually
+                // delivers to at this instant, failure schedule applied.
+                // The plan is a round-robin sweep of the population, so a
+                // query's position stands in for its time of day; in a
+                // world without failure injection this is exactly the
+                // steady `anycast_route`.
+                let time_s = 86_400.0 * (lo + j) as f64 / plan.len().max(1) as f64;
+                match scenario.internet.anycast_route_at(
+                    &scenario.clients[*ci].attachment,
+                    cfg.day,
+                    time_s,
+                ) {
+                    Some(route) => *vip_catchments.entry(route.site).or_insert(0) += 1,
+                    // Steady route into a just-crashed site before BGP
+                    // reconverges: the answer went out, the packets die.
+                    None => vip_lost += 1,
+                }
             }
             answers.push((a.addr, a.ttl_s, a.ecs_scope));
         }
@@ -465,14 +532,52 @@ pub fn replay_wire(
         prev_tally = tally;
         // VIP answers land where BGP takes each client: split the VIP
         // tally across the anycast catchments observed this epoch.
-        debug_assert_eq!(vip_total, vip_catchments.values().sum::<u64>());
-        let _ = vip_total;
+        debug_assert_eq!(vip_total, vip_catchments.values().sum::<u64>() + vip_lost);
+        let _ = (vip_total, vip_lost);
         for (&site, &n) in &vip_catchments {
             *measured.entry(site).or_insert(0.0) += n as f64;
         }
 
         let queries = (hi - lo) as f64;
         let overload = overload_of(&measured, caps);
+
+        // Streaming drift detection on the live feed. Only series that
+        // are deterministic functions of the served queries are fed
+        // (answered shares, TCP fallback rate) — never the overload
+        // valve's scheduling-dependent tallies — so a drift-armed replay
+        // stays byte-identical across worker counts and reruns.
+        let mut epoch_signals = 0u64;
+        if let Some((mon, baselines, prev_tcp)) = drift.as_mut() {
+            let before = mon.signals_total();
+            let baseline = &baselines[i.min(baselines.len() - 1)];
+            let measured_total: f64 = measured.values().sum();
+            let sites: BTreeSet<SiteId> = baseline.keys().chain(measured.keys()).copied().collect();
+            for site in sites {
+                let b = baseline.get(&site).copied().unwrap_or(0.0);
+                let m = if measured_total > 0.0 {
+                    measured.get(&site).copied().unwrap_or(0.0) / measured_total
+                } else {
+                    0.0
+                };
+                mon.observe_residual(&format!("site_share_{}", site.0), m - b);
+            }
+            let tcp = server.stats().tcp_fallbacks.load(Ordering::Relaxed);
+            let tcp_rate = if queries > 0.0 {
+                (tcp - *prev_tcp) as f64 / queries
+            } else {
+                0.0
+            };
+            *prev_tcp = tcp;
+            mon.observe("tcp_fallback_rate", tcp_rate);
+            epoch_signals = mon.signals_total() - before;
+            if epoch_signals > 0 {
+                counter!("control_drift_signals_total").add(epoch_signals);
+                // A confirmed regime change should not wait out the
+                // anti-flap freeze.
+                controller.release_cooldowns();
+            }
+        }
+
         let mut moves = 0;
         let mut restored = 0;
         let mut swapped = false;
@@ -500,6 +605,25 @@ pub fn replay_wire(
                 ));
             }
         }
+        // A detector fired but the step left the assignment unchanged
+        // (or the mode never steps): force a recompile swap of the
+        // current assignment anyway, so the serving plane installs a
+        // fresh generation immediately instead of riding out the stale
+        // table. Same overrides ⇒ byte-identical answers; the early
+        // hot-swap is visible in `table_swaps` and the obs counters.
+        if epoch_signals > 0 && !swapped {
+            swaps += 1;
+            swapped = true;
+            counter!("control_drift_swaps_total").inc();
+            store.swap(CompiledTable::compile_with_overrides(
+                table,
+                &controller.overrides(table),
+                cfg.grouping,
+                addressing,
+                cfg.ttl_s,
+                swaps,
+            ));
+        }
         inflations.push(inflation);
         epochs.push(EpochReport {
             epoch: i,
@@ -509,6 +633,7 @@ pub fn replay_wire(
             restored,
             mean_inflation_ms: inflation,
             swapped,
+            drift_signals: epoch_signals,
         });
     }
 
@@ -525,6 +650,7 @@ pub fn replay_wire(
             median_inflation_ms: median(&inflations),
             table_swaps: swaps,
             answers_digest: digest,
+            drift_signals: epochs.iter().map(|e| e.drift_signals).sum(),
             epochs,
         },
         answers,
@@ -563,11 +689,13 @@ mod tests {
                 restored: 0,
                 mean_inflation_ms: 0.25,
                 swapped: true,
+                drift_signals: 1,
             }],
             overload_integral: 1.5,
             median_inflation_ms: 0.25,
             table_swaps: 1,
             answers_digest: 0xdead_beef,
+            drift_signals: 1,
         };
         let a = rep.to_json().to_json_pretty();
         let b = rep.to_json().to_json_pretty();

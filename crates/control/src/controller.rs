@@ -134,6 +134,14 @@ impl Controller {
             .collect()
     }
 
+    /// Clears every cooldown so the next step may move frozen groups
+    /// immediately. Hysteresis exists to stop flapping in steady state;
+    /// when a drift detector confirms a regime change, waiting out the
+    /// freeze just prolongs the overload, so the closed loop releases it.
+    pub fn release_cooldowns(&mut self) {
+        self.cooldown.clear();
+    }
+
     /// Runs one control epoch: restore pass, then shed pass.
     ///
     /// `measured` supplies per-site offered load observed by the serving
@@ -526,6 +534,30 @@ mod tests {
         let rep3 = c.step(&t, &d, None);
         assert_eq!(rep3.restored, 0, "restore must not recreate the overload");
         assert_eq!(rep3.overrides.len(), 1);
+    }
+
+    #[test]
+    fn release_cooldowns_lets_restores_fire_immediately() {
+        let t = table();
+        let mut plan = CapacityPlan::new();
+        plan.set(SiteId(0), 120.0);
+        let mut c = Controller::new(shed_cfg(), plan, &sites());
+        c.step(&t, &demand(), None);
+
+        // Demand collapses, and a drift detector vouches for the regime
+        // change: the freeze is released, so the restore that would have
+        // waited two epochs fires on the very next step.
+        let mut quiet = EpochDemand::default();
+        let g = GroupEpoch {
+            queries: 40,
+            vip_by_site: [(SiteId(2), 40)].into(),
+        };
+        quiet.groups.insert(GroupKey::Ldns(LdnsId(0)), g);
+
+        c.release_cooldowns();
+        let r = c.step(&t, &quiet, None);
+        assert_eq!(r.restored, 1, "no cooldown left to wait out");
+        assert!(r.overrides.is_empty());
     }
 
     #[test]

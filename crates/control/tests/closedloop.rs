@@ -12,13 +12,13 @@ use std::collections::BTreeMap;
 
 use anycast_beacon::Target;
 use anycast_control::{
-    replay_wire, simulate, CapacityPlan, ControlConfig, ControlMode, DemandModel, EpochDemand,
-    LoopConfig,
+    replay_wire, simulate, CapacityPlan, ControlConfig, ControlMode, DemandModel, DriftConfig,
+    EpochDemand, LoopConfig,
 };
 use anycast_core::prediction::{GroupKey, Grouping, PredictionTable, Predictor, PredictorConfig};
 use anycast_core::{Study, StudyConfig};
 use anycast_netsim::{Day, SiteId};
-use anycast_workload::Scenario;
+use anycast_workload::{Scenario, ScenarioConfig};
 
 fn trained(seed: u64) -> (Study, PredictionTable) {
     let mut study = Study::new(Scenario::small(seed), StudyConfig::default());
@@ -29,6 +29,106 @@ fn trained(seed: u64) -> (Study, PredictionTable) {
     };
     let table = Predictor::new(cfg).train(study.dataset(), Day(0));
     (study, table)
+}
+
+/// An outage world: a quarter of the fleet goes dark for the whole day
+/// when the outage is drawn, shifting anycast catchments persistently —
+/// exactly the regime change the drift detectors exist to notice.
+fn trained_outage(seed: u64) -> (Study, PredictionTable) {
+    let mut cfg = ScenarioConfig::small(seed);
+    cfg.net.p_site_outage = 0.25;
+    cfg.net.outage_duration_s = 86_400.0;
+    let mut study = Study::new(
+        Scenario::build(cfg).expect("valid config"),
+        StudyConfig::default(),
+    );
+    study.run_day(Day(0));
+    let pcfg = PredictorConfig {
+        grouping: Grouping::Ldns,
+        ..PredictorConfig::default()
+    };
+    let table = Predictor::new(pcfg).train(study.dataset(), Day(0));
+    (study, table)
+}
+
+#[test]
+fn drift_monitor_is_inert_on_the_default_world() {
+    // Ordinary day-over-day route churn stays inside the CUSUM slack: an
+    // armed monitor that never fires must be byte-for-byte invisible.
+    let (study, table) = trained(44);
+    let scenario = study.scenario();
+    let mut cfg = loop_cfg(ControlMode::Off);
+    cfg.epochs = 6;
+    let plain = replay_wire(scenario, &table, &cfg, &CapacityPlan::new(), 1);
+    cfg.drift = Some(DriftConfig::default());
+    let armed = replay_wire(scenario, &table, &cfg, &CapacityPlan::new(), 1);
+
+    assert_eq!(
+        armed.report.drift_signals, 0,
+        "no regime change, no signal: {:?}",
+        armed.report.epochs
+    );
+    assert_eq!(armed.report.table_swaps, 0);
+    assert_eq!(
+        armed.answers, plain.answers,
+        "armed-but-silent is invisible"
+    );
+    assert_eq!(armed.report.answers_digest, plain.report.answers_digest);
+}
+
+#[test]
+fn injected_outage_day_fires_drift_and_forces_early_hot_swap() {
+    // The PR-2 failure schedule shifts anycast catchments persistently on
+    // the replay day; the per-site share CUSUMs must notice within a
+    // bounded number of epochs and force a table hot-swap even though the
+    // Off-mode controller itself never rewrites anything.
+    let (study, table) = trained_outage(44);
+    let scenario = study.scenario();
+    let mut cfg = loop_cfg(ControlMode::Off);
+    cfg.epochs = 6;
+    let plain = replay_wire(scenario, &table, &cfg, &CapacityPlan::new(), 1);
+    assert_eq!(plain.report.table_swaps, 0, "Off mode alone never swaps");
+
+    cfg.drift = Some(DriftConfig::default());
+    let armed = replay_wire(scenario, &table, &cfg, &CapacityPlan::new(), 1);
+
+    assert!(
+        armed.report.drift_signals > 0,
+        "the outage day must fire: {:?}",
+        armed.report.epochs
+    );
+    let first = armed
+        .report
+        .epochs
+        .iter()
+        .position(|e| e.drift_signals > 0)
+        .expect("a signalling epoch exists");
+    assert!(
+        first <= 2,
+        "bounded detection latency, fired at epoch {first}: {:?}",
+        armed.report.epochs
+    );
+    // Every signalling epoch forced a swap, and the forced recompile
+    // reinstalls the same assignment: the served bytes must not change.
+    assert!(armed.report.table_swaps >= 1, "drift must force a hot-swap");
+    assert!(armed
+        .report
+        .epochs
+        .iter()
+        .all(|e| e.drift_signals == 0 || e.swapped));
+    assert_eq!(
+        armed.answers, plain.answers,
+        "a drift swap recompiles the same assignment — answers stay put"
+    );
+    assert_eq!(
+        armed.report.drift_signals,
+        armed
+            .report
+            .epochs
+            .iter()
+            .map(|e| e.drift_signals)
+            .sum::<u64>()
+    );
 }
 
 fn loop_cfg(mode: ControlMode) -> LoopConfig {

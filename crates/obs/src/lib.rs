@@ -28,7 +28,16 @@
 //! * [`json`] / [`schema`] — in-house JSON parsing and the
 //!   JSON-Schema-subset validator CI uses to enforce the report shape;
 //! * [`logging`] — structured `key=value` stderr logging behind
-//!   `--quiet`/`-v` (stdout stays machine-readable).
+//!   `--quiet`/`-v` (stdout stays machine-readable), rate-limited per
+//!   `(target, msg)` key so a counter spike under `-v` cannot stall a
+//!   hot path on stderr;
+//! * [`ring`] / [`live`] — the live telemetry plane: fixed-capacity
+//!   overwrite rings and the per-shard [`FlightRecorder`] the serving
+//!   plane feeds with deterministically sampled query traces, drained
+//!   off the hot path into ordinary counters and histograms;
+//! * [`detect`] — streaming EWMA/CUSUM change detectors and SLO
+//!   burn-rate tracking emitting typed [`DriftSignal`]s, the trigger the
+//!   control loop uses for early table recompiles.
 //!
 //! # Global registry and capture windows
 //!
@@ -47,17 +56,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod detect;
 pub mod hist;
 pub mod json;
+pub mod live;
 pub mod logging;
 pub mod registry;
 pub mod report;
+pub mod ring;
 pub mod schema;
 pub mod span;
 
+pub use detect::{BurnRate, Cusum, DriftConfig, DriftKind, DriftMonitor, DriftSignal, Ewma};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use live::{BatchEvent, FlightRecorder, RecorderConfig, ShardRecorder, TraceRecord};
 pub use registry::{Counter, Gauge, MetricKey, Registry, Snapshot};
-pub use report::{fingerprint, HostInfo, RunMeta, RunReport};
+pub use report::{fingerprint, validate_prometheus, HostInfo, RunMeta, RunReport};
+pub use ring::Ring;
 pub use span::{SpanAcc, SpanSnapshot, SpanTimer};
 
 use std::sync::{Mutex, OnceLock};

@@ -13,9 +13,17 @@
 //! [`Level::Error`], the default to [`Level::Info`], `-v` to
 //! [`Level::Debug`]. Logging never touches metrics or simulation state,
 //! so it inherits the obs-neutrality contract for free.
+//!
+//! Emission is **rate-limited per `(target, msg)` key** with a token
+//! bucket ([`LOG_BURST`] lines of burst, [`LOG_RATE`] lines/s sustained):
+//! stderr is a pipe with a finite buffer, so an unthrottled log site
+//! sitting near a hot loop under `-v` can block the loop on a slow
+//! consumer. Errors always print; suppressed lines are tallied in
+//! [`suppressed_total`] so loss is visible, not silent.
 
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Log severity, in increasing verbosity order.
@@ -97,11 +105,79 @@ pub fn format_line(l: Level, target: &str, msg: &str, fields: &[(&str, String)])
     line
 }
 
-/// Emits a line at `l` to stderr when the level allows.
-pub fn log(l: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
-    if enabled(l) {
-        eprintln!("{}", format_line(l, target, msg, fields));
+/// Burst capacity of each `(target, msg)` token bucket, in lines.
+pub const LOG_BURST: f64 = 32.0;
+/// Sustained refill rate of each bucket, in lines per second.
+pub const LOG_RATE: f64 = 16.0;
+
+/// One log site's token bucket. The math is pure — time comes in as a
+/// caller-supplied seconds value — so refill behavior is unit-testable
+/// without sleeping.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last_s: f64,
+}
+
+impl Bucket {
+    fn new(now_s: f64) -> Bucket {
+        Bucket {
+            tokens: LOG_BURST,
+            last_s: now_s,
+        }
     }
+
+    /// Refills by elapsed time, then spends one token if available.
+    fn allow(&mut self, now_s: f64) -> bool {
+        self.tokens = (self.tokens + (now_s - self.last_s).max(0.0) * LOG_RATE).min(LOG_BURST);
+        self.last_s = now_s;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+static BUCKETS: OnceLock<Mutex<HashMap<(String, String), Bucket>>> = OnceLock::new();
+static SUPPRESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Lines dropped by the rate limiter since process start.
+pub fn suppressed_total() -> u64 {
+    SUPPRESSED.load(Ordering::Relaxed)
+}
+
+/// Consults the per-key bucket at `now_s` seconds since process start.
+/// Split from [`log`] so tests can drive the clock.
+fn rate_limit_allow(target: &str, msg: &str, now_s: f64) -> bool {
+    let buckets = BUCKETS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = buckets.lock().unwrap_or_else(|p| p.into_inner());
+    let key = (target.to_string(), msg.to_string());
+    let allowed = map
+        .entry(key)
+        .or_insert_with(|| Bucket::new(now_s))
+        .allow(now_s);
+    if !allowed {
+        SUPPRESSED.fetch_add(1, Ordering::Relaxed);
+    }
+    allowed
+}
+
+/// Emits a line at `l` to stderr when the level allows and the site's
+/// token bucket has budget. [`Level::Error`] bypasses the limiter —
+/// failures must never be shed.
+pub fn log(l: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    if !enabled(l) {
+        return;
+    }
+    if l != Level::Error {
+        let now_s = START.get_or_init(Instant::now).elapsed().as_secs_f64();
+        if !rate_limit_allow(target, msg, now_s) {
+            return;
+        }
+    }
+    eprintln!("{}", format_line(l, target, msg, fields));
 }
 
 /// [`log`] at [`Level::Error`].
@@ -160,5 +236,40 @@ mod tests {
         assert_eq!(field_value("a b"), "\"a b\"");
         assert_eq!(field_value("a=b"), "\"a=b\"");
         assert_eq!(field_value(""), "\"\"");
+    }
+
+    #[test]
+    fn bucket_allows_burst_then_blocks_then_refills() {
+        let mut b = Bucket::new(0.0);
+        for _ in 0..LOG_BURST as usize {
+            assert!(b.allow(0.0));
+        }
+        // Budget spent: same-instant lines are shed.
+        assert!(!b.allow(0.0));
+        assert!(!b.allow(0.01));
+        // One second refills LOG_RATE tokens.
+        for _ in 0..LOG_RATE as usize {
+            assert!(b.allow(1.0));
+        }
+        assert!(!b.allow(1.0));
+        // Tokens cap at the burst size no matter how long the gap.
+        for _ in 0..LOG_BURST as usize {
+            assert!(b.allow(1e6));
+        }
+        assert!(!b.allow(1e6));
+    }
+
+    #[test]
+    fn limiter_is_per_key_and_counts_suppressions() {
+        // Distinct keys get independent budgets.
+        assert!(rate_limit_allow("tgt_a", "unique msg a", 0.0));
+        assert!(rate_limit_allow("tgt_b", "unique msg b", 0.0));
+        let before = suppressed_total();
+        for _ in 0..(LOG_BURST as usize + 5) {
+            rate_limit_allow("tgt_c", "spammy msg", 0.0);
+        }
+        assert!(suppressed_total() >= before + 5);
+        // The unrelated key still has budget.
+        assert!(rate_limit_allow("tgt_d", "unique msg d", 0.0));
     }
 }

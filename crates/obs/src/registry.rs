@@ -352,20 +352,32 @@ impl Snapshot {
     /// The deterministic slice of the snapshot: counters and histograms
     /// only. This is the part the obs-neutrality proptests compare across
     /// worker counts — spans and gauges carry wall-clock state and are
-    /// excluded by construction, as are counters whose value depends on
+    /// excluded by construction, as are metrics whose value depends on
     /// scheduling rather than the input stream (backpressure blocks: how
     /// often a producer found a queue *momentarily* full is a race
-    /// outcome, even though what flowed through the queues is not).
+    /// outcome, even though what flowed through the queues is not; and
+    /// the `serve_trace_*` flight-recorder tallies: ring drains race with
+    /// traffic, so a trace can be overwritten before the drain reaches
+    /// it — the *answers* stay byte-identical, but the recorder's own
+    /// bookkeeping does not).
     pub fn deterministic(&self) -> Snapshot {
+        let scheduling_dependent = |name: &str| {
+            name.ends_with("_backpressure_blocks_total") || name.starts_with("serve_trace_")
+        };
         Snapshot {
             counters: self
                 .counters
                 .iter()
-                .filter(|(k, _)| !k.name.ends_with("_backpressure_blocks_total"))
+                .filter(|(k, _)| !scheduling_dependent(&k.name))
                 .map(|(k, &v)| (k.clone(), v))
                 .collect(),
             gauges: BTreeMap::new(),
-            histograms: self.histograms.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| !scheduling_dependent(&k.name))
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
             spans: BTreeMap::new(),
         }
     }
@@ -398,6 +410,10 @@ impl Snapshot {
             out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", k.name, h.count()));
             out.push_str(&format!("{}_sum {}\n", k.name, h.sum_ms()));
             out.push_str(&format!("{}_count {}\n", k.name, h.count()));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE obs_span_milliseconds_total counter\n");
+            out.push_str("# TYPE obs_span_events_total counter\n");
         }
         for (k, s) in &self.spans {
             let worker = k.label("worker").unwrap_or("main");

@@ -229,6 +229,188 @@ impl RunReport {
     }
 }
 
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits `name{a="x",b="y"}` into the bare name and its label pairs,
+/// collecting syntax complaints into `errors`.
+fn split_sample_name<'a>(
+    raw: &'a str,
+    line_no: usize,
+    errors: &mut Vec<String>,
+) -> (&'a str, Vec<(String, String)>) {
+    let Some(brace) = raw.find('{') else {
+        return (raw, Vec::new());
+    };
+    let name = &raw[..brace];
+    let rest = &raw[brace + 1..];
+    let Some(body) = rest.strip_suffix('}') else {
+        errors.push(format!("line {line_no}: unterminated label set in {raw:?}"));
+        return (name, Vec::new());
+    };
+    let mut labels = Vec::new();
+    for pair in body.split(',').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') => {
+                if !valid_label_name(k) {
+                    errors.push(format!("line {line_no}: bad label name {k:?}"));
+                }
+                labels.push((k.to_string(), v[1..v.len() - 1].to_string()));
+            }
+            _ => errors.push(format!(
+                "line {line_no}: bad label pair {pair:?} in {raw:?}"
+            )),
+        }
+    }
+    (name, labels)
+}
+
+/// Validates Prometheus text-exposition output as produced by
+/// [`Snapshot::to_prometheus`]. Returns human-readable complaints;
+/// empty means valid. Checks:
+///
+/// * every sample line parses as `name[{labels}] value` with legal
+///   metric/label names and a numeric value;
+/// * every sample is covered by a preceding `# TYPE` declaration
+///   (histogram samples match their base name's `_bucket`/`_sum`/
+///   `_count` suffixes);
+/// * each histogram's `le` buckets are cumulative (non-decreasing in
+///   declaration order), end with an `+Inf` bucket, and agree with the
+///   `_count` sample; `_sum` must be present.
+pub fn validate_prometheus(text: &str) -> Vec<String> {
+    // Per-histogram running state: (last bucket value, +Inf value, count, has_sum).
+    type HistState = (Option<f64>, Option<f64>, Option<f64>, bool);
+    let mut errors = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    errors.push(format!("line {line_no}: malformed TYPE line {line:?}"));
+                    continue;
+                };
+                if !valid_metric_name(name) {
+                    errors.push(format!("line {line_no}: bad metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    errors.push(format!("line {line_no}: unknown metric type {kind:?}"));
+                }
+                types.insert(name.to_string(), kind.to_string());
+                if kind == "histogram" {
+                    hists
+                        .entry(name.to_string())
+                        .or_insert((None, None, None, false));
+                }
+            }
+            continue;
+        }
+        let Some((raw_name, raw_value)) = line.rsplit_once(' ') else {
+            errors.push(format!(
+                "line {line_no}: not a `name value` sample: {line:?}"
+            ));
+            continue;
+        };
+        let Ok(value) = raw_value.parse::<f64>() else {
+            errors.push(format!("line {line_no}: non-numeric value {raw_value:?}"));
+            continue;
+        };
+        let (name, labels) = split_sample_name(raw_name, line_no, &mut errors);
+        if !valid_metric_name(name) {
+            errors.push(format!("line {line_no}: bad metric name {name:?}"));
+            continue;
+        }
+        samples += 1;
+        // A histogram sample references its base name via suffix.
+        let base = ["_bucket", "_sum", "_count"].iter().find_map(|suf| {
+            name.strip_suffix(suf)
+                .filter(|b| types.get(*b).map(String::as_str) == Some("histogram"))
+        });
+        match base {
+            Some(b) => {
+                let st = hists.get_mut(b).expect("declared histogram");
+                if name.ends_with("_bucket") {
+                    let le = labels.iter().find(|(k, _)| k == "le");
+                    match le {
+                        Some((_, bound)) if bound == "+Inf" => st.1 = Some(value),
+                        Some((_, bound)) => {
+                            if bound.parse::<f64>().is_err() {
+                                errors.push(format!("line {line_no}: bad le bound {bound:?}"));
+                            }
+                            if st.0.is_some_and(|prev| value < prev) {
+                                errors.push(format!(
+                                    "line {line_no}: histogram {b} buckets not cumulative"
+                                ));
+                            }
+                            st.0 = Some(value);
+                        }
+                        None => {
+                            errors.push(format!("line {line_no}: {name} sample missing le label"))
+                        }
+                    }
+                } else if name.ends_with("_sum") {
+                    st.3 = true;
+                } else {
+                    st.2 = Some(value);
+                }
+            }
+            None => {
+                if !types.contains_key(name) {
+                    errors.push(format!(
+                        "line {line_no}: sample {name:?} has no preceding TYPE declaration"
+                    ));
+                }
+            }
+        }
+    }
+    for (name, (last, inf, count, has_sum)) in &hists {
+        match (inf, count) {
+            (None, _) => errors.push(format!("histogram {name}: missing +Inf bucket")),
+            (Some(_), None) => errors.push(format!("histogram {name}: missing _count sample")),
+            (Some(i), Some(c)) if i != c => errors.push(format!(
+                "histogram {name}: +Inf bucket {i} disagrees with _count {c}"
+            )),
+            _ => {}
+        }
+        if let (Some(l), Some(i)) = (last, inf) {
+            if l > i {
+                errors.push(format!("histogram {name}: finite bucket exceeds +Inf"));
+            }
+        }
+        if !has_sum {
+            errors.push(format!("histogram {name}: missing _sum sample"));
+        }
+    }
+    if samples == 0 {
+        errors.push("no samples found".into());
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +480,54 @@ mod tests {
             spans[0].get("stage").unwrap().as_str(),
             Some("study.execute")
         );
+    }
+
+    #[test]
+    fn real_prometheus_export_validates_clean() {
+        let r = Registry::new();
+        r.counter("serve_udp_queries_total").add(12);
+        r.counter_with("serve_answers_total", &[("addr", "10.0.0.1")])
+            .add(3);
+        r.gauge("pipeline_queue_depth").add(2);
+        let h = r.histogram("serve_batch_size");
+        for v in [1.0, 8.0, 32.0, 32.0] {
+            h.observe(v);
+        }
+        r.span("study.execute", "0").record_ns(1_000_000);
+        let text = r.snapshot().to_prometheus();
+        let errors = validate_prometheus(&text);
+        assert!(errors.is_empty(), "unexpected complaints: {errors:?}");
+    }
+
+    #[test]
+    fn validator_rejects_structural_corruption() {
+        // Sample with no TYPE declaration.
+        let errs = validate_prometheus("lonely_metric 5\n");
+        assert!(errs.iter().any(|e| e.contains("no preceding TYPE")));
+        // Non-cumulative histogram buckets.
+        let bad_hist = "# TYPE h histogram\n\
+                        h_bucket{le=\"1\"} 5\n\
+                        h_bucket{le=\"2\"} 3\n\
+                        h_bucket{le=\"+Inf\"} 5\n\
+                        h_sum 9\nh_count 5\n";
+        let errs = validate_prometheus(bad_hist);
+        assert!(
+            errs.iter().any(|e| e.contains("not cumulative")),
+            "{errs:?}"
+        );
+        // +Inf bucket disagreeing with _count.
+        let bad_count = "# TYPE h histogram\n\
+                         h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n";
+        let errs = validate_prometheus(bad_count);
+        assert!(errs.iter().any(|e| e.contains("disagrees")), "{errs:?}");
+        // Missing _sum.
+        let no_sum = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n";
+        let errs = validate_prometheus(no_sum);
+        assert!(errs.iter().any(|e| e.contains("missing _sum")), "{errs:?}");
+        // Garbage value and empty document.
+        assert!(!validate_prometheus("# TYPE c counter\nc nope\n").is_empty());
+        assert!(validate_prometheus("")
+            .iter()
+            .any(|e| e.contains("no samples")));
     }
 }

@@ -161,6 +161,61 @@ impl WireClient {
         Err(QueryError::IdMismatch)
     }
 
+    /// Scrapes the server's in-band metrics endpoint: a CHAOS-class
+    /// `TXT metrics.bind` query over the ordinary wire path. Snapshots
+    /// rarely fit a UDP payload, so the usual flow is UDP → TC=1 → TCP
+    /// fallback, returning the full Prometheus text.
+    pub fn scrape_metrics(&mut self) -> Result<String, QueryError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let q = crate::message::WireQuery {
+            id,
+            rd: false,
+            qname: DnsName::new(crate::message::CHAOS_METRICS_QNAME).expect("static qname"),
+            qtype: crate::wire::TYPE_TXT,
+            qclass: crate::wire::CLASS_CHAOS,
+            edns: Some(crate::message::Edns::plain(self.udp_payload)),
+        };
+        let wire = encode_query(&q);
+        self.sock.send_to(&wire, self.server)?;
+        let mut buf = [0u8; 4096];
+        for _ in 0..8 {
+            let (n, from) = self.sock.recv_from(&mut buf)?;
+            if from != self.server {
+                continue;
+            }
+            let r = crate::message::decode_chaos_txt(&buf[..n])?;
+            if r.id != q.id {
+                continue;
+            }
+            if r.tc {
+                let frame = self.exchange_tcp(&wire)?;
+                let r = crate::message::decode_chaos_txt(&frame)?;
+                if r.id != q.id {
+                    return Err(QueryError::IdMismatch);
+                }
+                return Ok(r.text);
+            }
+            return Ok(r.text);
+        }
+        Err(QueryError::IdMismatch)
+    }
+
+    /// One length-prefixed TCP round trip of `wire`, returning the raw
+    /// response frame.
+    fn exchange_tcp(&self, wire: &[u8]) -> Result<Vec<u8>, QueryError> {
+        let mut stream = TcpStream::connect(self.server)?;
+        stream.set_read_timeout(Some(Duration::from_millis(2000)))?;
+        stream.write_all(&(wire.len() as u16).to_be_bytes())?;
+        stream.write_all(wire)?;
+        let mut len_buf = [0u8; 2];
+        stream.read_exact(&mut len_buf)?;
+        let len = usize::from(u16::from_be_bytes(len_buf));
+        let mut data = vec![0u8; len];
+        stream.read_exact(&mut data)?;
+        Ok(data)
+    }
+
     /// The RFC 1035 fallback: resend the same query over TCP.
     fn query_tcp(&self, wire: &[u8], id: u16) -> Result<ServedAnswer, QueryError> {
         let mut stream = TcpStream::connect(self.server)?;

@@ -47,8 +47,11 @@ pub mod template;
 pub mod wire;
 
 pub use client::{ServedAnswer, WireClient};
-pub use message::{decode_query, decode_response, encode_query, encode_response};
-pub use message::{Edns, WireEcs, WireQuery, WireResponse};
+pub use message::{
+    decode_chaos_txt, decode_query, decode_response, encode_chaos_txt, encode_query,
+    encode_response,
+};
+pub use message::{ChaosText, Edns, WireEcs, WireQuery, WireResponse, CHAOS_METRICS_QNAME};
 pub use mmsg::{batch_io, BatchIo, PacketArena};
 pub use replay::{day_queries, day_query_plan, ldns_directory, ldns_source_addr, QuerySpec};
 pub use server::{DnsServer, LdnsDirectory, ServeConfig, ServeStats};

@@ -14,8 +14,8 @@ use anycast_dns::{DnsAnswer, DnsName};
 use anycast_netsim::Prefix;
 
 use crate::wire::{
-    Cursor, Flags, Header, NameWriter, WireError, CLASS_IN, HEADER_LEN, OPTION_ECS, TYPE_A,
-    TYPE_OPT,
+    Cursor, Flags, Header, NameWriter, WireError, CLASS_CHAOS, CLASS_IN, HEADER_LEN, OPTION_ECS,
+    TYPE_A, TYPE_OPT, TYPE_TXT,
 };
 
 /// ECS option as carried on the wire (RFC 7871 §6).
@@ -369,6 +369,127 @@ fn encode_truncated(q: &WireQuery, edns: &Option<Edns>, rcode: u8, max_payload: 
     out
 }
 
+/// Owner name of the in-band metrics endpoint: `TXT metrics.bind CH`,
+/// in the tradition of `version.bind`.
+pub const CHAOS_METRICS_QNAME: &str = "metrics.bind";
+
+/// A decoded CHAOS-class TXT response (the in-band metrics scrape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosText {
+    /// Transaction id echoed from the query.
+    pub id: u16,
+    /// Truncation bit: the payload did not fit, retry over TCP.
+    pub tc: bool,
+    /// Response code (0 = the scrape succeeded).
+    pub rcode: u8,
+    /// The concatenated TXT character-strings — Prometheus text.
+    pub text: String,
+}
+
+/// Wire size of a TXT RDATA carrying `len` payload bytes: one length
+/// octet per ≤255-byte character-string chunk.
+fn txt_rdata_len(len: usize) -> usize {
+    len + len.div_ceil(255).max(1)
+}
+
+/// Encodes the CHAOS TXT metrics response. The payload is chunked into
+/// ≤255-byte character-strings inside one TXT record (TTL 0 — a scrape
+/// is never cacheable).
+///
+/// When the full message exceeds `max_payload`: over UDP (`tcp` false)
+/// the reply is a TC=1 header + question, steering the scraper onto the
+/// TCP fallback path; over TCP the text itself is trimmed to the last
+/// complete metric line that fits, so the response is always valid
+/// exposition text.
+pub fn encode_chaos_txt(q: &WireQuery, text: &str, max_payload: usize, tcp: bool) -> Vec<u8> {
+    // Header + uncompressed question + (owner pointer, type, class, ttl,
+    // rdlength) — everything except the RDATA itself.
+    let qname_wire = q.qname.as_str().len() + 2;
+    let overhead = HEADER_LEN + qname_wire + 4 + 12;
+    let mut payload = text.as_bytes();
+    if overhead + txt_rdata_len(payload.len()) > max_payload {
+        if !tcp {
+            return encode_truncated(q, &None, 0, max_payload);
+        }
+        // Largest byte budget whose chunked form fits, then back off to a
+        // line boundary so the scrape output stays parseable.
+        let budget = max_payload.saturating_sub(overhead);
+        let mut keep = budget.saturating_sub(budget / 255 + 1);
+        while keep > 0
+            && (overhead + txt_rdata_len(keep) > max_payload || payload[keep - 1] != b'\n')
+        {
+            keep -= 1;
+        }
+        payload = &payload[..keep];
+    }
+    let header = Header {
+        id: q.id,
+        flags: Flags {
+            qr: true,
+            aa: true,
+            rd: q.rd,
+            ..Flags::default()
+        },
+        qdcount: 1,
+        ancount: 1,
+        ..Header::default()
+    };
+    let mut out = Vec::with_capacity(overhead + txt_rdata_len(payload.len()));
+    header.encode(&mut out);
+    let mut names = NameWriter::new();
+    names.write(&mut out, &q.qname);
+    out.extend_from_slice(&q.qtype.to_be_bytes());
+    out.extend_from_slice(&q.qclass.to_be_bytes());
+    names.write(&mut out, &q.qname);
+    out.extend_from_slice(&TYPE_TXT.to_be_bytes());
+    out.extend_from_slice(&CLASS_CHAOS.to_be_bytes());
+    out.extend_from_slice(&0u32.to_be_bytes());
+    out.extend_from_slice(&(txt_rdata_len(payload.len()) as u16).to_be_bytes());
+    if payload.is_empty() {
+        out.push(0);
+    }
+    for chunk in payload.chunks(255) {
+        out.push(chunk.len() as u8);
+        out.extend_from_slice(chunk);
+    }
+    debug_assert!(out.len() <= max_payload);
+    out
+}
+
+/// Decodes a CHAOS TXT response, concatenating every character-string in
+/// every TXT answer record back into the scrape text.
+pub fn decode_chaos_txt(buf: &[u8]) -> Result<ChaosText, WireError> {
+    let mut c = Cursor::new(buf);
+    let h = Header::decode(&mut c)?;
+    if !h.flags.qr {
+        return Err(WireError::WrongDirection);
+    }
+    if h.qdcount != 1 {
+        return Err(WireError::BadQuestionCount);
+    }
+    c.name()?;
+    c.skip(4)?;
+    let mut text = Vec::new();
+    for _ in 0..h.ancount {
+        c.name()?;
+        let (rtype, rclass, _ttl, rdata) = record_body(&mut c)?;
+        if rtype != TYPE_TXT || rclass != CLASS_CHAOS {
+            continue;
+        }
+        let mut r = Cursor::new(rdata);
+        while r.remaining() > 0 {
+            let len = r.u8()? as usize;
+            text.extend_from_slice(r.take(len)?);
+        }
+    }
+    Ok(ChaosText {
+        id: h.id,
+        tc: h.flags.tc,
+        rcode: h.flags.rcode,
+        text: String::from_utf8_lossy(&text).into_owned(),
+    })
+}
+
 /// Decodes a response packet (QR must be 1).
 pub fn decode_response(buf: &[u8]) -> Result<WireResponse, WireError> {
     let mut c = Cursor::new(buf);
@@ -591,5 +712,61 @@ mod tests {
         wire.extend_from_slice(&[1, 2, 3, 4]);
         let got = decode_query(&wire).unwrap();
         assert_eq!(got.edns.unwrap().ecs, None);
+    }
+
+    fn chaos_query() -> WireQuery {
+        WireQuery {
+            id: 0x77AA,
+            rd: false,
+            qname: DnsName::new(CHAOS_METRICS_QNAME).unwrap(),
+            qtype: TYPE_TXT,
+            qclass: CLASS_CHAOS,
+            edns: None,
+        }
+    }
+
+    #[test]
+    fn chaos_txt_round_trips_multi_chunk_payload() {
+        // Over 255 bytes forces multiple character-string chunks.
+        let text: String = (0..40).map(|i| format!("metric_{i}_total {i}\n")).collect();
+        assert!(text.len() > 255);
+        let q = chaos_query();
+        let wire = encode_chaos_txt(&q, &text, 65535, true);
+        let got = decode_chaos_txt(&wire).unwrap();
+        assert_eq!(got.id, q.id);
+        assert!(!got.tc);
+        assert_eq!(got.rcode, 0);
+        assert_eq!(got.text, text);
+    }
+
+    #[test]
+    fn chaos_txt_over_udp_truncates_instead_of_trimming() {
+        let text = "a_total 1\n".repeat(200);
+        let wire = encode_chaos_txt(&chaos_query(), &text, 512, false);
+        assert!(wire.len() <= 512);
+        let got = decode_chaos_txt(&wire).unwrap();
+        assert!(got.tc, "oversize UDP scrape must set TC");
+        assert_eq!(got.text, "");
+    }
+
+    #[test]
+    fn chaos_txt_over_tcp_trims_at_a_line_boundary() {
+        let text = "some_metric_total 123\n".repeat(5000);
+        let cap = 4096;
+        let wire = encode_chaos_txt(&chaos_query(), &text, cap, true);
+        assert!(wire.len() <= cap);
+        let got = decode_chaos_txt(&wire).unwrap();
+        assert!(!got.tc);
+        assert!(!got.text.is_empty());
+        assert!(got.text.ends_with('\n'), "trim must land on a line end");
+        assert!(text.starts_with(&got.text));
+    }
+
+    #[test]
+    fn chaos_txt_empty_payload_is_one_empty_string() {
+        let wire = encode_chaos_txt(&chaos_query(), "", 512, false);
+        let got = decode_chaos_txt(&wire).unwrap();
+        assert!(!got.tc);
+        assert_eq!(got.text, "");
     }
 }

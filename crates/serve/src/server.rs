@@ -35,13 +35,17 @@ use std::time::Duration;
 use anycast_dns::{LdnsId, QueryContext, RedirectionPolicy};
 use anycast_geo::GeoPoint;
 use anycast_netsim::Day;
+use anycast_obs::live::{
+    BatchEvent, FlightRecorder, RecorderConfig, ShardRecorder, TraceRecord, TRACE_OVERLOAD,
+    TRACE_TEMPLATE_HIT, TRACE_UNKNOWN_LDNS, TRACE_VALVE,
+};
 use anycast_obs::{counter, histogram};
 
-use crate::message::{decode_query, encode_response};
+use crate::message::{decode_query, encode_chaos_txt, encode_response, CHAOS_METRICS_QNAME};
 use crate::mmsg::{batch_io, PacketArena, MAX_BATCH};
 use crate::store::TableStore;
 use crate::template::{response_len, write_response, AnswerRr, QueryView};
-use crate::wire::{Flags, Header, CLASSIC_UDP_LIMIT, CLASS_IN, TYPE_A};
+use crate::wire::{Flags, Header, CLASSIC_UDP_LIMIT, CLASS_CHAOS, CLASS_IN, TYPE_A, TYPE_TXT};
 
 /// UDP payload size the server advertises in its OPT records.
 pub const SERVER_UDP_PAYLOAD: u16 = 1232;
@@ -84,6 +88,10 @@ pub struct ServeConfig {
     /// fragmentation). Oversized answers come back truncated and the
     /// client retries over TCP. `None` honors the client's advertisement.
     pub udp_response_cap: Option<usize>,
+    /// Whether the flight recorder samples query traces on the hot path.
+    /// Disabling reduces every recorder hook to one predictable branch;
+    /// answers are byte-identical either way (the recorder only observes).
+    pub recorder: bool,
 }
 
 impl ServeConfig {
@@ -98,6 +106,7 @@ impl ServeConfig {
             day: Day(0),
             anycast_vip,
             udp_response_cap: None,
+            recorder: true,
         }
     }
 }
@@ -295,6 +304,7 @@ pub struct DnsServer {
     stop: Arc<AtomicBool>,
     workers: usize,
     handles: Vec<std::thread::JoinHandle<()>>,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl std::fmt::Debug for DnsServer {
@@ -370,6 +380,13 @@ impl DnsServer {
             }
         }
         let spawned = socks.len();
+        let recorder = Arc::new(FlightRecorder::new(
+            spawned,
+            RecorderConfig {
+                enabled: cfg.recorder,
+                ..RecorderConfig::default()
+            },
+        ));
         for (worker, sock) in socks.into_iter().enumerate() {
             handles.push(spawn_worker(
                 sock,
@@ -379,6 +396,7 @@ impl DnsServer {
                 directory.clone(),
                 stats.clone(),
                 stop.clone(),
+                recorder.shard(worker),
                 format!("serve-wk-{worker}"),
             ));
         }
@@ -392,12 +410,33 @@ impl DnsServer {
             stop.clone(),
         ));
 
+        // The drain side of the flight recorder: folds ring contents into
+        // registry metrics off the hot path, at the poll cadence. The
+        // final fold happens in `stop()` after every worker has exited,
+        // so post-stop totals include the last batches.
+        if recorder.enabled() {
+            let rec = recorder.clone();
+            let stop_flag = stop.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("serve-obs".to_string())
+                    .spawn(move || {
+                        while !stop_flag.load(Ordering::Relaxed) {
+                            rec.drain();
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                    })
+                    .expect("spawn recorder drain thread"),
+            );
+        }
+
         Ok(DnsServer {
             addr,
             stats,
             stop,
             workers: spawned,
             handles,
+            recorder,
         })
     }
 
@@ -411,12 +450,20 @@ impl DnsServer {
         &self.stats
     }
 
+    /// The hot-path flight recorder (disabled when
+    /// [`ServeConfig::recorder`] is false).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
     /// Stops all threads and waits for them to exit. Idempotent.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        // Workers are gone: fold whatever the periodic drain missed.
+        self.recorder.drain();
     }
 }
 
@@ -452,6 +499,7 @@ fn spawn_worker<P>(
     directory: Arc<LdnsDirectory>,
     stats: Arc<ServeStats>,
     stop: Arc<AtomicBool>,
+    rec: Arc<ShardRecorder>,
     name: String,
 ) -> std::thread::JoinHandle<()>
 where
@@ -495,6 +543,10 @@ where
                     full_streak = 0;
                 }
                 let overloaded = full_streak.saturating_mul(batch) >= cfg.overload_watermark;
+                rec.record_batch(BatchEvent {
+                    fill: n as u16,
+                    overloaded,
+                });
                 // One atomic load of the hot-swapped table per batch.
                 let table = tables.as_ref().map(|t| t.load());
                 for i in 0..n {
@@ -514,6 +566,7 @@ where
                         &mut arena,
                         src,
                         overloaded,
+                        &rec,
                     );
                     arena.set_response_len(i, len);
                 }
@@ -540,12 +593,22 @@ fn serve_packet<P>(
     arena: &mut PacketArena,
     src: SocketAddr,
     overloaded: bool,
+    rec: &ShardRecorder,
 ) -> usize
 where
     P: RedirectionPolicy + ?Sized,
 {
     counts.udp += 1;
     let (data, out, _) = arena.io_slot(i);
+    // Arrival: the deterministic sampling decision (a txid-independent
+    // hash over the packet bytes — the same packet is sampled under any
+    // worker count). One branch when the recorder is off.
+    let sampled = rec.sample(data);
+    let txid = if data.len() >= 2 {
+        u16::from_be_bytes([data[0], data[1]])
+    } else {
+        0
+    };
     // The zero-alloc fast path: a templatable query against a compiled
     // table whose response provably fits. Any gate failing falls through
     // to the full decode/encode path, the behavioral reference.
@@ -563,8 +626,13 @@ where
             // All gates checked before any count mutation, so the slow
             // path never double-counts a query the fast path rejected.
             if len <= max_payload && len <= out.len() {
+                let mut flags = TRACE_TEMPLATE_HIT;
+                if overloaded {
+                    flags |= TRACE_OVERLOAD;
+                }
                 let (rr, scope) = if overloaded {
                     counts.degraded += 1;
+                    flags |= TRACE_VALVE;
                     (valve, 0)
                 } else {
                     match directory.lookup(source_ip(src)) {
@@ -574,13 +642,25 @@ where
                         }
                         None => {
                             counts.unknown_ldns += 1;
+                            flags |= TRACE_VALVE | TRACE_UNKNOWN_LDNS;
                             (valve, 0)
                         }
                     }
                 };
                 counts.template_hits += 1;
                 counts.tally(rr.addr());
-                return write_response(out, &view, rr, scope);
+                let written = write_response(out, &view, rr, scope);
+                if sampled {
+                    // Send: the completed trace — lookup depth is the
+                    // matched ECS prefix length the answer advertises.
+                    rec.record(TraceRecord {
+                        txid,
+                        depth: scope,
+                        flags,
+                        resp_len: written as u16,
+                    });
+                }
+                return written;
             }
         }
     }
@@ -596,13 +676,22 @@ where
     // Re-borrow the slot: `respond` needed `data` immutably while the
     // response Vec was built.
     let (_, out, _) = arena.io_slot(i);
-    match resp {
+    let written = match resp {
         Some(resp) if resp.len() <= out.len() => {
             out[..resp.len()].copy_from_slice(&resp);
             resp.len()
         }
         _ => 0,
+    };
+    if sampled {
+        rec.record(TraceRecord {
+            txid,
+            depth: 0,
+            flags: if overloaded { TRACE_OVERLOAD } else { 0 },
+            resp_len: written as u16,
+        });
     }
+    written
 }
 
 fn source_ip(src: SocketAddr) -> Ipv4Addr {
@@ -746,6 +835,25 @@ where
             }
         }
     };
+    if q.qclass == CLASS_CHAOS {
+        // The in-band scrape endpoint: `TXT metrics.bind CH` answers a
+        // Prometheus-text snapshot of the metrics registry over the same
+        // wire path queries take — no side listener. Oversized snapshots
+        // come back TC=1 over UDP, steering the scraper onto the TCP
+        // fallback; any other CHAOS question is refused like any other
+        // class we don't serve.
+        if q.qtype == TYPE_TXT && q.qname.as_str() == CHAOS_METRICS_QNAME {
+            counter!("serve_chaos_scrapes_total").inc();
+            let text = anycast_obs::global().snapshot().to_prometheus();
+            return Some(encode_chaos_txt(
+                &q,
+                &text,
+                max_payload,
+                matches!(transport, Transport::Tcp),
+            ));
+        }
+        return Some(encode_response(&q, None, RCODE_REFUSED, max_payload));
+    }
     if q.qclass != CLASS_IN {
         return Some(encode_response(&q, None, RCODE_REFUSED, max_payload));
     }

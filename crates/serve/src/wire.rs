@@ -18,10 +18,16 @@ use anycast_dns::DnsName;
 pub const HEADER_LEN: usize = 12;
 /// `A` record type.
 pub const TYPE_A: u16 = 1;
+/// `TXT` record type (RFC 1035 §3.3.14) — carries the in-band metrics
+/// scrape payload.
+pub const TYPE_TXT: u16 = 16;
 /// `OPT` pseudo-record type (EDNS0, RFC 6891).
 pub const TYPE_OPT: u16 = 41;
 /// `IN` class.
 pub const CLASS_IN: u16 = 1;
+/// `CH` (CHAOS) class — the classic side channel for server self-report
+/// queries (`version.bind`, `metrics.bind` here).
+pub const CLASS_CHAOS: u16 = 3;
 /// EDNS option code for client subnet (RFC 7871).
 pub const OPTION_ECS: u16 = 8;
 /// Maximum UDP payload for plain (non-EDNS) DNS, per RFC 1035.

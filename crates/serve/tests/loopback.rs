@@ -799,3 +799,157 @@ fn policy_answers_are_pure_dnsanswer_roundtrips() {
         assert_eq!(r.ecs.unwrap().scope_prefix_len, answer.ecs_scope);
     }
 }
+
+#[test]
+fn recorder_toggle_is_obs_neutral_on_the_batched_path() {
+    // PR-9 tentpole guard: the flight recorder samples traces on the hot
+    // path, but it only *observes* — raw response datagrams must be
+    // bit-for-bit identical with the recorder on and off, at 1 worker and
+    // at 4, through the batched syscall path.
+    use anycast_serve::message::{encode_query, Edns, WireEcs, WireQuery};
+    use anycast_serve::wire::{CLASS_IN, TYPE_A};
+
+    let mut study = Study::new(Scenario::small(54), StudyConfig::default());
+    study.run_day(Day(0));
+    let pcfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        ..PredictorConfig::default()
+    };
+    let table = Predictor::new(pcfg).train(study.dataset(), Day(0));
+    let scenario = study.scenario();
+    let compiled = CompiledTable::compile(&table, Grouping::Ecs, scenario.addressing, TTL_S, 1);
+
+    let spawn = |workers: usize, recorder: bool| {
+        let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
+        cfg.workers = workers;
+        cfg.batch = 32;
+        cfg.day = Day(1);
+        cfg.recorder = recorder;
+        DnsServer::spawn_tables(
+            cfg,
+            Arc::new(TableStore::new(compiled.clone())),
+            ldns_directory(scenario),
+        )
+        .expect("server spawns")
+    };
+
+    let mut wires: Vec<(LdnsId, Vec<u8>)> = Vec::new();
+    for (i, q) in day_queries(scenario, Day(1), 300).iter().enumerate() {
+        wires.push((
+            q.ldns,
+            encode_query(&WireQuery {
+                id: i as u16,
+                rd: true,
+                qname: q.qname.clone(),
+                qtype: TYPE_A,
+                qclass: CLASS_IN,
+                edns: Some(Edns {
+                    udp_payload: 1232,
+                    ecs: q.ecs.as_ref().map(WireEcs::from_option),
+                }),
+            }),
+        ));
+    }
+    let ask = |server: &DnsServer, ldns: LdnsId, wire: &[u8]| -> Vec<u8> {
+        let sock = std::net::UdpSocket::bind((ldns_source_addr(ldns), 0)).expect("bind");
+        sock.set_read_timeout(Some(std::time::Duration::from_millis(2000)))
+            .unwrap();
+        sock.send_to(wire, server.local_addr()).expect("send");
+        let mut buf = [0u8; 4096];
+        let (n, _) = sock.recv_from(&mut buf).expect("reply");
+        buf[..n].to_vec()
+    };
+
+    for workers in [1usize, 4] {
+        let on = spawn(workers, true);
+        let off = spawn(workers, false);
+        for (ldns, wire) in &wires {
+            assert_eq!(
+                ask(&on, *ldns, wire),
+                ask(&off, *ldns, wire),
+                "recorder on/off must not change a single wire byte \
+                 ({workers} workers)"
+            );
+        }
+        use std::sync::atomic::Ordering::Relaxed;
+        assert!(
+            on.stats().udp_queries.load(Relaxed) >= wires.len() as u64,
+            "the recorder-on server served the workload"
+        );
+        // The toggle actually reached the hot path (fold totals are
+        // registry-global, so sampling volume itself is asserted by the
+        // obs crate's unit tests, not per-server here).
+        assert!(on.recorder().enabled());
+        assert!(!off.recorder().enabled());
+    }
+}
+
+#[test]
+fn chaos_scrape_answers_live_prometheus_mid_replay() {
+    // PR-9 in-band scrape, end to end over the wire: while a batched
+    // server is serving a replay workload, a `CHAOS TXT metrics.bind`
+    // query returns schema-valid Prometheus text reflecting the queries
+    // served so far — through the exact same socket path as A queries.
+    let mut study = Study::new(Scenario::small(55), StudyConfig::default());
+    study.run_day(Day(0));
+    let pcfg = PredictorConfig {
+        grouping: Grouping::Ecs,
+        ..PredictorConfig::default()
+    };
+    let table = Predictor::new(pcfg).train(study.dataset(), Day(0));
+    let scenario = study.scenario();
+    let compiled = CompiledTable::compile(&table, Grouping::Ecs, scenario.addressing, TTL_S, 1);
+
+    let mut cfg = ServeConfig::new(scenario.addressing.anycast_ip());
+    cfg.workers = 2;
+    cfg.batch = 32;
+    cfg.day = Day(1);
+    let server = DnsServer::spawn_tables(
+        cfg,
+        Arc::new(TableStore::new(compiled)),
+        ldns_directory(scenario),
+    )
+    .expect("server spawns");
+
+    // Serve part of a day first so the scrape has counters to report.
+    let qname = service_qname();
+    let mut pool = ClientPool::new(server.local_addr());
+    let queries = day_queries(scenario, Day(1), 200);
+    for q in &queries {
+        pool.get(q.ldns)
+            .query(&qname, q.ecs.as_ref())
+            .expect("wire query");
+    }
+
+    let mut scraper =
+        WireClient::bind(Ipv4Addr::LOCALHOST, server.local_addr()).expect("scraper binds");
+    let text = scraper.scrape_metrics().expect("CHAOS scrape succeeds");
+    let problems = anycast_obs::validate_prometheus(&text);
+    assert!(
+        problems.is_empty(),
+        "live scrape must be schema-valid Prometheus text: {problems:?}"
+    );
+    assert!(
+        text.contains("serve_udp_queries_total"),
+        "scrape reflects the serving counters"
+    );
+    // The snapshot was taken mid-replay: the served-query counter it
+    // carries must cover the replayed prefix (scrape included).
+    let served: u64 = text
+        .lines()
+        .find(|l| l.starts_with("serve_udp_queries_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("counter sample parses");
+    assert!(
+        served >= queries.len() as u64,
+        "scraped counter {served} must cover the {} replayed queries",
+        queries.len()
+    );
+
+    // And the ordinary A-record path keeps answering after the scrape.
+    let q = &queries[0];
+    pool.get(q.ldns)
+        .query(&qname, q.ecs.as_ref())
+        .expect("A queries still answered after a CHAOS scrape");
+}
