@@ -22,7 +22,11 @@
 //!   overload integral against latency inflation;
 //! * [`table_compression`] — the routing-aware aggregation question: how
 //!   many trie entries the default+exception pass saves per regret-bound
-//!   setting, and what it costs in next-day Figure 9 quality.
+//!   setting, and what it costs in next-day Figure 9 quality;
+//! * [`world_scale`] — the Internet-scale worldgen question: what growing
+//!   the policy-routed AS graph from 1 k to 75 k ASes costs in generation
+//!   time, catchment compute and route-table bytes, and what it does to
+//!   Figure 9 quality.
 
 use std::collections::BTreeMap;
 
@@ -785,6 +789,103 @@ pub fn obs_overhead(scale: Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// The Internet-scale world ablation: sweep the AS count of the
+/// policy-routed worldgen topology and record what growing the world
+/// costs — generation time, catchment-compute time (steady table plus
+/// every per-site unicast table), peak route-table bytes — and what it
+/// buys: the Fig-9-style improved−hurt margin of a two-day mini study
+/// run on each world.
+///
+/// The acceptance bar rides along as scalars: the largest world's
+/// generation + full-catchment time must stay far under the 60 s
+/// single-thread budget, and every world must route every AS.
+pub fn world_scale(scale: Scale, seed: u64) -> FigureResult {
+    let sizes: &[usize] = match scale {
+        Scale::Small => &[1_000, 10_000],
+        Scale::Paper => &[1_000, 10_000, 75_000],
+    };
+    let mut gen_pts = Vec::new();
+    let mut catch_pts = Vec::new();
+    let mut bytes_pts = Vec::new();
+    let mut margin_pts = Vec::new();
+    let mut scalars = Vec::new();
+    for &n in sizes {
+        let mut cfg = scenario_config(scale, seed);
+        cfg.net.worldgen = Some(anycast_netsim::WorldGenConfig::with_ases(n));
+
+        // Generation: the full topology + policy plane, nothing routed yet.
+        let t0 = std::time::Instant::now();
+        let net = anycast_netsim::Internet::new(cfg.net.clone(), seed).expect("valid worldgen");
+        let gen_s = t0.elapsed().as_secs_f64();
+        let pw = std::sync::Arc::clone(net.policy_world().expect("worldgen has a policy plane"));
+
+        // Catchments: the steady anycast table plus one unicast table per
+        // site's announcement border — the same set the eval plane needs.
+        let t1 = std::time::Instant::now();
+        let steady = pw.steady_table();
+        for site in net.topology().cdn.site_ids() {
+            pw.unicast_table(net.topology().cdn.unicast_announcement_border(site));
+        }
+        let catch_s = t1.elapsed().as_secs_f64();
+        let table_mb = pw.memory_bytes() as f64 / (1024.0 * 1024.0);
+
+        // Fig-9-style quality on this world: train day 0, evaluate day 1.
+        let mut st = Study::new(
+            Scenario::build(cfg).expect("valid worldgen"),
+            StudyConfig::default(),
+        );
+        st.run_days(Day(0), 2);
+        let ldns_of = st.ldns_of();
+        let volumes = st.volumes();
+        let pcfg = PredictorConfig {
+            grouping: Grouping::Ecs,
+            metric: Metric::P25,
+            min_samples: 20,
+            failure_penalty_ms: 3_000.0,
+        };
+        let table = Predictor::new(pcfg).train(st.dataset(), Day(0));
+        let rows = evaluate_prediction(
+            &table,
+            Grouping::Ecs,
+            st.dataset(),
+            Day(1),
+            ldns_of,
+            &volumes,
+        );
+        let (improved, _, hurt) = outcome_shares(&rows, false);
+
+        let x = n as f64;
+        gen_pts.push((x, gen_s));
+        catch_pts.push((x, catch_s));
+        bytes_pts.push((x, table_mb));
+        margin_pts.push((x, improved - hurt));
+        scalars.push((format!("{n} ASes: routed"), steady.routed_count() as f64));
+        scalars.push((format!("{n} ASes: gen+catchments s"), gen_s + catch_s));
+    }
+    let &(largest, _) = gen_pts.last().expect("at least one size");
+    let total_s = gen_pts.last().unwrap().1 + catch_pts.last().unwrap().1;
+    scalars.push(("largest world ASes".into(), largest));
+    scalars.push(("largest world gen+catchments s".into(), total_s));
+    scalars.push((
+        "largest world within 60 s budget".into(),
+        f64::from(total_s < 60.0),
+    ));
+
+    FigureResult {
+        id: "ablation-world-scale",
+        title: "Internet-scale worlds: cost and prediction quality vs AS count".into(),
+        x_label: "ASes in the generated topology".into(),
+        series: vec![
+            Series::new("generation time s", gen_pts),
+            Series::new("catchment compute s", catch_pts),
+            Series::new("route-table MB", bytes_pts),
+            Series::new("improved - hurt (p75)", margin_pts),
+        ],
+        scalars,
+        text: None,
+    }
+}
+
 /// Merges a figure's series and scalars into the cumulative
 /// `BENCH_study.json` body under `key` (same discipline as `servebench`):
 /// each series becomes `key.<snake_name>` as an array of `[x, y]` pairs,
@@ -843,8 +944,14 @@ pub fn merge_obs_overhead_into_bench_json(fig: &FigureResult, existing: Option<&
     merge_figure_into_bench_json(fig, "obs_overhead", existing)
 }
 
+/// Merges the [`world_scale`] sweep into the cumulative
+/// `BENCH_study.json` body under `world_scale`.
+pub fn merge_world_scale_into_bench_json(fig: &FigureResult, existing: Option<&str>) -> String {
+    merge_figure_into_bench_json(fig, "world_scale", existing)
+}
+
 /// All ablation ids.
-pub const ALL: [&str; 11] = [
+pub const ALL: [&str; 12] = [
     "ablation-prediction-metric",
     "ablation-min-samples",
     "ablation-candidates",
@@ -856,6 +963,7 @@ pub const ALL: [&str; 11] = [
     "ablation-load-shedding",
     "ablation-table-compression",
     "ablation-obs-overhead",
+    "ablation-world-scale",
 ];
 
 /// Computes an ablation by id.
@@ -872,6 +980,7 @@ pub fn compute(id: &str, scale: Scale, seed: u64) -> Option<FigureResult> {
         "ablation-load-shedding" => Some(load_shedding(scale, seed)),
         "ablation-table-compression" => Some(table_compression(scale, seed)),
         "ablation-obs-overhead" => Some(obs_overhead(scale, seed)),
+        "ablation-world-scale" => Some(world_scale(scale, seed)),
         _ => None,
     }
 }

@@ -255,6 +255,36 @@ fn main() -> ExitCode {
                 &[("id", id.to_string()), ("path", path.display().to_string())],
             );
         }
+        if id == "ablation-world-scale" {
+            // The world-scale sweep also accumulates into the cumulative
+            // bench body, next to the study and serving benchmarks.
+            let path = invocation
+                .out_dir
+                .clone()
+                .unwrap_or_default()
+                .join("BENCH_study.json");
+            let existing = std::fs::read_to_string(&path).ok();
+            let merged = ablations::merge_world_scale_into_bench_json(&result, existing.as_deref());
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(&path, merged) {
+                logging::error(
+                    "figures",
+                    "write failed",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                return ExitCode::FAILURE;
+            }
+            logging::info(
+                "figures",
+                "merged world-scale sweep",
+                &[("id", id.to_string()), ("path", path.display().to_string())],
+            );
+        }
         if let Some(dir) = &invocation.out_dir {
             if let Err(e) = std::fs::create_dir_all(dir)
                 .and_then(|()| std::fs::write(dir.join(format!("{id}.csv")), result.to_csv()))

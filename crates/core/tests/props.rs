@@ -6,7 +6,7 @@ use anycast_core::loadaware::{plan_shedding, total_overload, withdraw, SiteLoad}
 use anycast_core::{GroupKey, Grouping, Metric, Predictor, PredictorConfig, Study, StudyConfig};
 use anycast_dns::LdnsId;
 use anycast_geo::GeoPoint;
-use anycast_netsim::{Day, Prefix24, SiteId};
+use anycast_netsim::{Day, Prefix24, SiteId, WorldGenConfig};
 use anycast_workload::{Scenario, ScenarioConfig};
 use proptest::prelude::*;
 
@@ -200,6 +200,44 @@ proptest! {
                 cfg.net.p_site_outage = 0.25;
                 cfg.net.p_site_drain = 0.15;
             }
+            Scenario::build(cfg).expect("valid config")
+        };
+        let run = |workers: usize| {
+            let cfg = StudyConfig { workers, ..StudyConfig::default() };
+            let mut st = Study::new(world(seed), cfg);
+            st.run_day(Day(0));
+            (st.dataset().measurements().to_vec(), st.dns_log().to_vec())
+        };
+        let (m1, d1) = run(1);
+        prop_assert!(!m1.is_empty(), "campaign produced no measurements");
+        for workers in [2usize, 8] {
+            let (m, d) = run(workers);
+            prop_assert_eq!(&m, &m1, "measurements diverge at {} workers", workers);
+            prop_assert_eq!(&d, &d1, "dns log diverges at {} workers", workers);
+        }
+    }
+}
+
+// Same transparency requirement on a policy-routed 10,000-AS world: the
+// generated topology, the catchment tables behind every route, and the
+// study output must all be bit-identical across worker counts. Route
+// dynamics are boosted so mid-day incremental recomputes are exercised,
+// not just the steady fast path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn policy_world_study_worker_invariance(seed in 0u64..100) {
+        let world = |seed: u64| {
+            let mut cfg = ScenarioConfig::small(seed);
+            cfg.net.worldgen = Some(WorldGenConfig {
+                p_session_flap: 0.02,
+                p_border_flap: 0.01,
+                p_egress_shift: 0.03,
+                ..WorldGenConfig::with_ases(10_000)
+            });
+            cfg.net.p_site_outage = 0.25;
+            cfg.net.p_site_drain = 0.15;
             Scenario::build(cfg).expect("valid config")
         };
         let run = |workers: usize| {

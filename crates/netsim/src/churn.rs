@@ -150,7 +150,7 @@ mod tests {
         let m = model();
         let n = 20_000;
         let flappy = (0..n)
-            .filter(|&i| m.is_flappy(AsId((i % 500) as u16), MetroId(i / 500)))
+            .filter(|&i| m.is_flappy(AsId(i % 500), MetroId(i / 500)))
             .count();
         let frac = flappy as f64 / n as f64;
         assert!(
@@ -165,7 +165,7 @@ mod tests {
         let m = model();
         // Find a flappy attachment.
         let (a, mm) = (0..2000u32)
-            .map(|i| (AsId((i % 300) as u16), MetroId(i / 300)))
+            .map(|i| (AsId(i % 300), MetroId(i / 300)))
             .find(|(a, mm)| m.is_flappy(*a, *mm))
             .expect("some flappy attachment");
         for day in Day(0).span(28) {
@@ -182,7 +182,7 @@ mod tests {
         let mut weekday_opps = 0u32;
         let mut weekend_opps = 0u32;
         for i in 0..3000u32 {
-            let a = AsId((i % 300) as u16);
+            let a = AsId(i % 300);
             let mm = MetroId(i / 300);
             if !m.is_flappy(a, mm) {
                 continue;
@@ -221,7 +221,7 @@ mod tests {
         let n = 8000u32;
         let mut switched_by_day = [0u32; 7];
         for i in 0..n {
-            let a = AsId((i % 400) as u16);
+            let a = AsId(i % 400);
             let mm = MetroId(i / 400);
             let mut switched = false;
             for (di, day) in Day(0).span(7).enumerate() {
@@ -253,7 +253,7 @@ mod tests {
         let a = model();
         let b = model();
         for i in 0..500u32 {
-            let asid = AsId((i % 100) as u16);
+            let asid = AsId(i % 100);
             let metro = MetroId(i / 100);
             for day in Day(0).span(10) {
                 assert_eq!(a.flips_on(asid, metro, day), b.flips_on(asid, metro, day));

@@ -149,6 +149,11 @@ pub struct NetConfig {
     /// for this many seconds after the window opens, then recover via the
     /// next-best catchment (the paper's §2 "one routing step").
     pub bgp_reconvergence_s: f64,
+    /// Present: generate an Internet-scale policy-routed AS graph
+    /// ([`crate::worldgen`]) instead of the default small world, and route
+    /// by valley-free best-path selection instead of distance ranking.
+    /// `None` (the default) keeps every existing world byte-identical.
+    pub worldgen: Option<crate::worldgen::WorldGenConfig>,
 }
 
 impl Default for NetConfig {
@@ -193,6 +198,7 @@ impl Default for NetConfig {
             outage_duration_s: 7_200.0,
             drain_duration_s: 14_400.0,
             bgp_reconvergence_s: 30.0,
+            worldgen: None,
         }
     }
 }
@@ -303,6 +309,9 @@ impl NetConfig {
         }
         if self.spike_min_ms < 0.0 || self.spike_max_ms < self.spike_min_ms {
             return Err("spike range must satisfy 0 <= min <= max".into());
+        }
+        if let Some(wg) = &self.worldgen {
+            wg.validate()?;
         }
         Ok(())
     }

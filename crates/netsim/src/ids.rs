@@ -6,8 +6,13 @@
 //! of a [`crate::Topology`].
 
 /// An autonomous system (eyeball ISP, transit provider, or the CDN itself).
+///
+/// `u32` so that generated Internet-scale worlds (up to 75k ASes, see
+/// [`crate::worldgen`]) are addressable; the hand-built worlds never exceed
+/// a few hundred, and every hash key derived from an id goes through
+/// `u64::from`, so widening the representation changes no existing output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct AsId(pub u16);
+pub struct AsId(pub u32);
 
 /// A CDN front-end site (a "front-end location" in the paper's terms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -11,6 +11,8 @@
 //! Routing is deterministic per `(client, day)`; measured RTTs add explicit
 //! RNG-driven noise on top of the route's base RTT.
 
+use std::sync::Arc;
+
 use anycast_geo::{GeoPoint, MetroId};
 use anycast_obs::counter;
 use rand::Rng;
@@ -25,6 +27,7 @@ use crate::outage::OutageModel;
 use crate::path::{Hop, HopKind, RoutePath};
 use crate::sim::Day;
 use crate::topology::Topology;
+use crate::worldgen::{self, CatchmentTable, PolicyWorld, CDN_NEXT};
 
 /// A client's network attachment: which AS it sits in, at which metro, at
 /// which exact location, over which access technology. The workload crate
@@ -81,6 +84,9 @@ pub struct Internet {
     outages: OutageModel,
     latency: LatencyModel,
     episode_seed: u64,
+    /// Present in worldgen worlds: the policy-routed AS graph and its
+    /// catchment engine. Clones share the memoized catchment tables.
+    policy: Option<Arc<PolicyWorld>>,
 }
 
 impl Internet {
@@ -90,6 +96,12 @@ impl Internet {
     /// Returns a description of the violated constraint if `cfg` is invalid.
     pub fn new(cfg: NetConfig, seed: u64) -> Result<Internet, String> {
         cfg.validate()?;
+        if cfg.worldgen.is_some() {
+            let (topo, world) = worldgen::build(&cfg, seed);
+            let mut net = Self::from_topology(topo, cfg, seed);
+            net.policy = Some(Arc::new(world));
+            return Ok(net);
+        }
         let topo = Topology::generate(&cfg, seed);
         Ok(Self::from_topology(topo, cfg, seed))
     }
@@ -107,7 +119,13 @@ impl Internet {
             outages,
             latency,
             episode_seed: seed ^ 0x6970_6765_7069,
+            policy: None,
         }
+    }
+
+    /// The policy-routing engine, present only in worldgen worlds.
+    pub fn policy_world(&self) -> Option<&Arc<PolicyWorld>> {
+        self.policy.as_ref()
     }
 
     /// The underlying topology.
@@ -168,7 +186,17 @@ impl Internet {
 
     /// Where anycast routes `client` on `day` (after any route flip
     /// scheduled that day has taken effect).
+    ///
+    /// In worldgen worlds this is the steady valley-free catchment — one
+    /// shared table lookup, identical for every day with the same
+    /// announcement set.
     pub fn anycast_route(&self, client: &ClientAttachment, day: Day) -> RouteDecision {
+        if let Some(pw) = &self.policy {
+            let table = pw.steady_table();
+            return self
+                .policy_route(pw, &table, client, day, &[])
+                .expect("steady policy catchment routes every client AS");
+        }
         let rank = self.churn.selection_rank(client.as_id, client.metro, day);
         self.anycast_route_ranked(client, rank, day)
     }
@@ -176,12 +204,70 @@ impl Internet {
     /// Where anycast routed `client` at the *start* of `day`, before any
     /// flip event scheduled on that day. Differs from
     /// [`Internet::anycast_route`] exactly on flip days; the passive-log
-    /// generator uses both to reproduce intra-day front-end switches.
+    /// generator uses both to reproduce intra-day front-end switches. In
+    /// worldgen worlds there is no per-day tie-break churn — all intra-day
+    /// movement comes from windowed route dynamics
+    /// ([`Internet::anycast_route_at`]) — so this equals
+    /// [`Internet::anycast_route`].
     pub fn anycast_route_at_day_start(&self, client: &ClientAttachment, day: Day) -> RouteDecision {
+        if self.policy.is_some() {
+            return self.anycast_route(client, day);
+        }
         let rank = self
             .churn
             .selection_rank_before(client.as_id, client.metro, day);
         self.anycast_route_ranked(client, rank, day)
+    }
+
+    /// Resolves a policy-table route entry into a full [`RouteDecision`]:
+    /// the table fixes the ingress border, the IGP picks the front-end, and
+    /// multi-hop AS paths are charged the transit detour through the
+    /// first-hop provider's home. `None` when the client AS is unrouted
+    /// under this table or every candidate front-end is down.
+    fn policy_route(
+        &self,
+        pw: &PolicyWorld,
+        table: &CatchmentTable,
+        client: &ClientAttachment,
+        day: Day,
+        down: &[SiteId],
+    ) -> Option<RouteDecision> {
+        let node = client.as_id.0;
+        let entry = table.entry(node)?;
+        let ingress = BorderId(entry.ingress);
+        let igp_rank = usize::from(self.igp_episode_on(ingress, day));
+        let site = if down.is_empty() {
+            igp::select_site_ranked(&self.topo, ingress, igp_rank)
+        } else {
+            igp::select_site_avoiding(&self.topo, ingress, igp_rank, down)?
+        };
+        let (via_transit, handoff_metro) = if entry.next_hop == CDN_NEXT {
+            (None, None)
+        } else {
+            let v1 = entry.next_hop;
+            (Some(AsId(v1)), Some(pw.graph.home_metro[v1 as usize]))
+        };
+        Some(self.build_decision(
+            client,
+            EgressDecision {
+                ingress,
+                via_transit,
+                handoff_metro,
+            },
+            site,
+            day,
+        ))
+    }
+
+    /// All windows on `day` during which the anycast catchment may deviate
+    /// from steady state due to *route dynamics* (session/border flaps and
+    /// egress shifts). Empty outside worldgen worlds; site outage windows
+    /// are tracked separately by [`crate::outage::OutageModel`].
+    pub fn anycast_disturbance_windows(&self, day: Day) -> Vec<(f64, f64)> {
+        match &self.policy {
+            Some(pw) => pw.disturbance_windows(day),
+            None => Vec::new(),
+        }
     }
 
     fn anycast_route_ranked(
@@ -221,6 +307,31 @@ impl Internet {
         time_s: f64,
     ) -> Option<RouteDecision> {
         let down = self.down_sites(day, time_s);
+        if let Some(pw) = &self.policy {
+            let steady = self.anycast_route(client, day);
+            if down.contains(&steady.site) && self.outages.converging(steady.site, day, time_s) {
+                counter!("netsim_reconvergence_losses_total").inc();
+                return None;
+            }
+            let withdrawn: Vec<BorderId> = down
+                .iter()
+                .map(|&s| self.topo.cdn.unicast_announcement_border(s))
+                .collect();
+            let env = pw.env_at(day, time_s, &withdrawn);
+            if env.is_steady() {
+                return Some(steady);
+            }
+            let table = pw.table_for(&env);
+            let decision = self.policy_route(pw, &table, client, day, &down);
+            match &decision {
+                Some(d) if d.site != steady.site => {
+                    counter!("netsim_failover_reroutes_total").inc();
+                }
+                None => counter!("netsim_policy_unrouted_total").inc(),
+                _ => {}
+            }
+            return decision;
+        }
         if down.is_empty() {
             return Some(self.anycast_route(client, day));
         }
@@ -290,6 +401,36 @@ impl Internet {
         day: Day,
     ) -> RouteDecision {
         let announcement = self.topo.cdn.unicast_announcement_border(site);
+        if let Some(pw) = &self.policy {
+            // The unicast prefix is announced only at the site's colocated
+            // border (§3.1); its catchment table is computed once and shared
+            // by every day.
+            let table = pw.unicast_table(announcement);
+            let node = client.as_id.0;
+            let entry = table
+                .entry(node)
+                .expect("unicast policy catchment routes every client AS");
+            let (via_transit, handoff_metro) = if entry.next_hop == CDN_NEXT {
+                (None, None)
+            } else {
+                let v1 = entry.next_hop;
+                (Some(AsId(v1)), Some(pw.graph.home_metro[v1 as usize]))
+            };
+            let mut decision = self.build_decision(
+                client,
+                EgressDecision {
+                    ingress: BorderId(entry.ingress),
+                    via_transit,
+                    handoff_metro,
+                },
+                site,
+                day,
+            );
+            decision.base_rtt_ms += self
+                .latency
+                .unicast_path_penalty_ms(client.as_id, announcement);
+            return decision;
+        }
         let rank = self.churn.selection_rank(client.as_id, client.metro, day);
         let egress =
             bgp::select_unicast_ingress(&self.topo, rank, client.as_id, client.metro, announcement);

@@ -283,9 +283,7 @@ mod tests {
         let m = model();
         let n = 20_000u32;
         let congested_today = (0..n)
-            .filter(|&i| {
-                m.congestion_ms(AsId((i % 400) as u16), BorderId((i / 400) as u16), Day(3)) > 0.0
-            })
+            .filter(|&i| m.congestion_ms(AsId(i % 400), BorderId((i / 400) as u16), Day(3)) > 0.0)
             .count();
         let frac = congested_today as f64 / f64::from(n);
         let expected =
@@ -303,7 +301,7 @@ mod tests {
         let m = model();
         let mut found_chronic = false;
         for i in 0..2000u32 {
-            let a = AsId((i % 400) as u16);
+            let a = AsId(i % 400);
             let b = BorderId((i / 400) as u16);
             let per_day: Vec<f64> = (0..20).map(|d| m.congestion_ms(a, b, Day(d))).collect();
             if per_day.iter().all(|&x| x > 0.0) {
@@ -325,7 +323,7 @@ mod tests {
         let mut episode_days = 0u32;
         let mut followed_by_another = 0u32;
         for i in 0..4000u32 {
-            let a = AsId((i % 400) as u16);
+            let a = AsId(i % 400);
             let b = BorderId((i / 400) as u16);
             if (0..28).all(|d| m.congestion_ms(a, b, Day(d)) > 0.0) {
                 continue; // chronic
@@ -355,7 +353,10 @@ mod tests {
         let m = LatencyModel::new(NetConfig::idealized(), 7);
         for i in 0..500u16 {
             for d in 0..5 {
-                assert_eq!(m.congestion_ms(AsId(i), BorderId(i % 50), Day(d)), 0.0);
+                assert_eq!(
+                    m.congestion_ms(AsId(u32::from(i)), BorderId(i % 50), Day(d)),
+                    0.0
+                );
             }
         }
     }

@@ -54,6 +54,7 @@ pub mod snapshot;
 pub mod stream;
 pub mod topology;
 pub mod trace;
+pub mod worldgen;
 
 pub use addressing::CdnAddressing;
 pub use bgp::EgressPolicy;
@@ -69,3 +70,4 @@ pub use snapshot::{ClientRoutes, RouteSnapshot};
 pub use stream::stream_rng;
 pub use topology::{CdnNetwork, EyeballAs, Topology, TransitAs};
 pub use trace::{Probe, ProbeFleet, Traceroute};
+pub use worldgen::{AsClass, CatchmentTable, PolicyGraph, PolicyWorld, WorldGenConfig};

@@ -39,6 +39,10 @@ pub struct RouteSnapshot {
     unicast: Vec<RouteDecision>,
     /// This day's down-window per site (almost always all `None`).
     windows: Vec<Option<OutageWindow>>,
+    /// Windows during which *route dynamics* (worldgen session/border
+    /// flaps, egress shifts) may move the anycast catchment off steady
+    /// state. Always empty outside worldgen worlds.
+    dynamics_windows: Vec<(f64, f64)>,
     has_windows: bool,
 }
 
@@ -64,7 +68,8 @@ impl RouteSnapshot {
             .iter()
             .map(|&s| internet.outages().window_on(s, day))
             .collect();
-        let has_windows = windows.iter().any(Option::is_some);
+        let dynamics_windows = internet.anycast_disturbance_windows(day);
+        let has_windows = windows.iter().any(Option::is_some) || !dynamics_windows.is_empty();
         for w in windows.iter().flatten() {
             let kind = match w.kind {
                 crate::outage::OutageKind::Unplanned => "unplanned",
@@ -118,6 +123,7 @@ impl RouteSnapshot {
             anycast,
             unicast,
             windows,
+            dynamics_windows,
             has_windows,
         }
     }
@@ -152,13 +158,18 @@ impl RouteSnapshot {
         &self.unicast[client * self.n_sites + site.0 as usize]
     }
 
-    /// Whether any site is inside a down-window at `time_s`.
+    /// Whether routing at `time_s` may differ from steady state: some site
+    /// is inside a down-window, or a route-dynamics window is active.
     fn any_down(&self, time_s: f64) -> bool {
         self.has_windows
-            && self
+            && (self
                 .windows
                 .iter()
                 .any(|w| w.is_some_and(|w| w.contains(time_s)))
+                || self
+                    .dynamics_windows
+                    .iter()
+                    .any(|&(s, e)| time_s >= s && time_s < e))
     }
 
     /// Memoized [`Internet::anycast_route_at`]: a borrowed steady decision

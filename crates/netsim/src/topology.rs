@@ -149,6 +149,11 @@ impl Topology {
     /// Generates a world from configuration and seed. The same inputs always
     /// produce the same world.
     pub fn generate(cfg: &NetConfig, seed: u64) -> Topology {
+        if cfg.worldgen.is_some() {
+            // Policy-routed worlds come from the AS-graph generator; the
+            // bridged topology is identical to the one Internet::new uses.
+            return crate::worldgen::build(cfg, seed).0;
+        }
         let atlas = WorldAtlas::new();
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x7069_6e67_746f_706f);
 
@@ -164,6 +169,29 @@ impl Topology {
             }
         }
 
+        Topology {
+            atlas,
+            cdn,
+            transits,
+            eyeballs,
+            eyeballs_by_metro,
+        }
+    }
+
+    /// Assembles a topology from pre-generated parts (the worldgen bridge),
+    /// rebuilding the metro index.
+    pub(crate) fn from_parts(
+        atlas: WorldAtlas,
+        cdn: CdnNetwork,
+        transits: Vec<TransitAs>,
+        eyeballs: Vec<EyeballAs>,
+    ) -> Topology {
+        let mut eyeballs_by_metro: HashMap<MetroId, Vec<AsId>> = HashMap::new();
+        for e in &eyeballs {
+            for &m in &e.pops {
+                eyeballs_by_metro.entry(m).or_default().push(e.id);
+            }
+        }
         Topology {
             atlas,
             cdn,
@@ -219,7 +247,7 @@ const SITE_REGION_WEIGHTS: [(Region, f64); 6] = [
     (Region::Africa, 0.05),
 ];
 
-fn generate_cdn(atlas: &WorldAtlas, cfg: &NetConfig, rng: &mut impl Rng) -> CdnNetwork {
+pub(crate) fn generate_cdn(atlas: &WorldAtlas, cfg: &NetConfig, rng: &mut impl Rng) -> CdnNetwork {
     // Allocate site counts per region by weight (largest remainder).
     let mut counts: Vec<(Region, usize)> = SITE_REGION_WEIGHTS
         .iter()
@@ -333,7 +361,7 @@ fn generate_transits(
             peering.sort();
             pops.sort();
             TransitAs {
-                id: AsId(i as u16),
+                id: AsId(i as u32),
                 pops,
                 peering_borders: peering,
             }
@@ -350,7 +378,7 @@ fn generate_eyeballs(
 ) -> Vec<EyeballAs> {
     let mut eyeballs = Vec::with_capacity(cfg.n_eyeball);
     for i in 0..cfg.n_eyeball {
-        let id = AsId((transits.len() + i) as u16);
+        let id = AsId((transits.len() + i) as u32);
         let home = atlas.sample_by_population(rng.gen());
         let home_metro = atlas.metro(home);
         let home_loc = home_metro.location();

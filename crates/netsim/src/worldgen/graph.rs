@@ -1,0 +1,194 @@
+//! The AS-level policy graph: classified nodes, Gao-Rexford edges, and the
+//! CDN's peering/transit sessions.
+//!
+//! Nodes are dense `u32` indexes (the same values as the bridged
+//! [`crate::ids::AsId`]s), adjacency is CSR (one `offsets`/`targets` pair
+//! per relationship kind), so a 75k-AS world with ~2 edges per AS costs a
+//! few megabytes and BFS passes touch memory sequentially.
+
+use anycast_geo::MetroId;
+
+use crate::ids::BorderId;
+
+/// The business class of an AS, following the standard
+/// enterprise/transit/hypergiant classification used by AS-graph studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AsClass {
+    /// Enterprise customer / access ISP: hosts clients, buys transit,
+    /// occasionally peers with the CDN directly.
+    Ec,
+    /// Small (regional) transit provider: sells transit to ECs, buys from
+    /// large transit providers, peers regionally.
+    Stp,
+    /// Large (tier-1-like) transit provider: global backbone, provider-free,
+    /// full peer mesh with the other LTPs.
+    Ltp,
+    /// Content/access hypergiant: massive peering footprint, no customers.
+    Hypergiant,
+}
+
+impl AsClass {
+    /// Stable one-byte code (used in compact tables and bench output).
+    pub fn code(self) -> u8 {
+        match self {
+            AsClass::Ec => 0,
+            AsClass::Stp => 1,
+            AsClass::Ltp => 2,
+            AsClass::Hypergiant => 3,
+        }
+    }
+}
+
+/// Compressed sparse row adjacency: `targets[offsets[v]..offsets[v+1]]` are
+/// `v`'s neighbors under one relationship kind, sorted ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the CSR from unsorted `(from, to)` pairs over `n` nodes.
+    pub fn from_pairs(n: usize, mut edges: Vec<(u32, u32)>) -> Csr {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0u32; n + 1];
+        for &(from, _) in &edges {
+            offsets[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = edges.into_iter().map(|(_, to)| to).collect();
+        Csr { offsets, targets }
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Total number of stored edges.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the CSR stores no edges.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Bytes used by the adjacency arrays.
+    pub fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.targets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// How an AS interconnects with the CDN on one BGP session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdnRelation {
+    /// The CDN buys transit from this AS: the AS learns the anycast prefix
+    /// *from a customer*, so it re-exports it to everyone (providers, peers,
+    /// customers) — these sessions are what makes the prefix globally
+    /// reachable.
+    Transit,
+    /// Settlement-free peering: the AS learns the prefix *from a peer* and
+    /// re-exports it only to its customers.
+    Peer,
+}
+
+/// One AS↔CDN BGP session: where (which border routers) the AS can hand
+/// traffic to the CDN, and under which business relationship.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdnSession {
+    /// The adjacent AS (graph node index).
+    pub node: u32,
+    /// Business relationship of the session.
+    pub relation: CdnRelation,
+    /// Border routers where the session is established, sorted ascending.
+    /// Hot-potato handoff picks among these per downstream neighbor.
+    pub borders: Vec<BorderId>,
+}
+
+/// Sentinel for "no CDN session" in [`PolicyGraph::session_of`].
+pub const NO_SESSION: u32 = u32::MAX;
+
+/// The generated AS-level topology: classes, homes, Gao-Rexford adjacency
+/// and CDN sessions. Routing over it lives in [`crate::worldgen::policy`].
+#[derive(Debug, Clone)]
+pub struct PolicyGraph {
+    /// Node count.
+    pub n: u32,
+    /// Business class per node.
+    pub class: Vec<AsClass>,
+    /// Home metro per node (footprints and hot-potato distances anchor
+    /// here).
+    pub home_metro: Vec<MetroId>,
+    /// `providers.neighbors(v)` = ASes `v` buys transit from.
+    pub providers: Csr,
+    /// `customers.neighbors(v)` = ASes that buy transit from `v` (the exact
+    /// transpose of `providers`).
+    pub customers: Csr,
+    /// `peers.neighbors(v)` = settlement-free peers of `v` (symmetric).
+    pub peers: Csr,
+    /// CDN sessions, indexed by the values in `session_of`.
+    pub sessions: Vec<CdnSession>,
+    /// Per node: index into `sessions`, or [`NO_SESSION`].
+    pub session_of: Vec<u32>,
+}
+
+impl PolicyGraph {
+    /// The CDN session of `v`, if it has one.
+    pub fn session(&self, v: u32) -> Option<&CdnSession> {
+        match self.session_of[v as usize] {
+            NO_SESSION => None,
+            s => Some(&self.sessions[s as usize]),
+        }
+    }
+
+    /// Total directed provider/customer edge count plus peer edge count
+    /// (each undirected relationship counted once).
+    pub fn edge_count(&self) -> usize {
+        self.providers.len() + self.peers.len() / 2
+    }
+
+    /// Bytes used by the adjacency + attribute arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.providers.memory_bytes()
+            + self.customers.memory_bytes()
+            + self.peers.memory_bytes()
+            + self.class.len()
+            + self.home_metro.len() * std::mem::size_of::<MetroId>()
+            + self.session_of.len() * 4
+            + self
+                .sessions
+                .iter()
+                .map(|s| std::mem::size_of::<CdnSession>() + s.borders.len() * 2)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_roundtrip_sorted_dedup() {
+        let csr = Csr::from_pairs(4, vec![(2, 1), (0, 3), (0, 1), (2, 1), (0, 3)]);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[1]);
+        assert_eq!(csr.neighbors(3), &[] as &[u32]);
+        assert_eq!(csr.len(), 3);
+    }
+
+    #[test]
+    fn class_codes_are_stable() {
+        assert_eq!(AsClass::Ec.code(), 0);
+        assert_eq!(AsClass::Stp.code(), 1);
+        assert_eq!(AsClass::Ltp.code(), 2);
+        assert_eq!(AsClass::Hypergiant.code(), 3);
+    }
+}

@@ -1,0 +1,722 @@
+//! Valley-free route selection and catchment computation at scale.
+//!
+//! Instead of the per-client distance ranking of [`crate::bgp`], generated
+//! worlds route by Gao-Rexford policy: every AS prefers routes learned from
+//! a **customer** over a **peer** over a **provider** (local preference),
+//! then shortest AS path, then a deterministic lowest-next-hop tie-break —
+//! latency is never consulted, exactly like real BGP. Export rules make
+//! the selected forest valley-free: customer-learned routes go to
+//! everyone, peer/provider-learned routes go only to customers.
+//!
+//! One **catchment table** answers "where does every AS's traffic enter
+//! the CDN" for one announcement configuration. It is computed by a
+//! three-phase multi-source BFS over the policy graph — O(V+E) per
+//! announcement set, independent of the client count:
+//!
+//! 1. customer routes climb provider edges from the CDN's transit sessions;
+//! 2. peer routes take one lateral step from customer-routed ASes (plus
+//!    the CDN's own peering sessions);
+//! 3. provider routes descend customer edges from every routed AS.
+//!
+//! The table is compact: one 8-byte [`RouteEntry`] per AS. Full AS paths
+//! are not materialized — they are shared structurally through the
+//! `next_hop` forest and reconstructed on demand by [`CatchmentTable::path`].
+//!
+//! [`PolicyWorld`] memoizes tables by announcement-set key across days
+//! (steady and per-unicast-border tables are shared by *every* day that
+//! shares the announcement set — the cross-day extension of the PR-3
+//! `RouteSnapshot` memoization), and event tables are derived from the
+//! steady table by re-running only the dirty subtree.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use anycast_geo::{MetroId, WorldAtlas};
+use anycast_obs::counter;
+
+use crate::ids::BorderId;
+use crate::sim::Day;
+use crate::topology::CdnNetwork;
+
+use super::dynamics::{DynEvent, EventWindow, RouteDynamics};
+use super::graph::{CdnRelation, PolicyGraph, NO_SESSION};
+
+/// Route class codes, ordered by BGP local preference (lower = preferred).
+pub mod route_class {
+    /// Learned from a customer (exported to everyone).
+    pub const CUSTOMER: u8 = 0;
+    /// Learned from a peer (exported only to customers).
+    pub const PEER: u8 = 1;
+    /// Learned from a provider (exported only to customers).
+    pub const PROVIDER: u8 = 2;
+    /// No route.
+    pub const NONE: u8 = u8::MAX;
+}
+
+/// `next_hop` sentinel: the route hands directly to the CDN.
+pub const CDN_NEXT: u32 = u32::MAX;
+
+/// One AS's selected route towards the anycast (or a unicast) prefix:
+/// 8 bytes, so a 75k-AS table is ~600 kB and fits in L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Next AS on the path, or [`CDN_NEXT`] when this AS hands off to the
+    /// CDN itself.
+    pub next_hop: u32,
+    /// CDN border router where the traffic ultimately ingresses (raw
+    /// [`BorderId`]), `u16::MAX` when unrouted.
+    pub ingress: u16,
+    /// Route class ([`route_class`]).
+    pub class: u8,
+    /// AS-path length (hops to the CDN; 1 = directly adjacent).
+    pub path_len: u8,
+}
+
+impl RouteEntry {
+    const NONE: RouteEntry = RouteEntry {
+        next_hop: CDN_NEXT,
+        ingress: u16::MAX,
+        class: route_class::NONE,
+        path_len: u8::MAX,
+    };
+
+    /// Whether a route exists.
+    pub fn is_routed(&self) -> bool {
+        self.class != route_class::NONE
+    }
+}
+
+/// The routing environment a table is computed under: which announcements
+/// and sessions are live. The empty environment is the steady state.
+#[derive(Debug, Clone, Default)]
+pub struct RouteEnv {
+    /// Borders that have withdrawn the announcement (site outages and
+    /// border flaps), sorted ascending.
+    pub withdrawn: Vec<BorderId>,
+    /// Session indexes that are down (session flaps), sorted ascending.
+    pub dead_sessions: Vec<u32>,
+    /// Session indexes whose hot-potato handoff is shifted to the
+    /// runner-up border, sorted ascending.
+    pub shifted: Vec<u32>,
+    /// Restrict the announcement to exactly one border: the unicast
+    /// per-site prefix, announced only at the site's colocated border.
+    pub only_border: Option<BorderId>,
+}
+
+impl RouteEnv {
+    /// Whether this is the steady anycast environment.
+    pub fn is_steady(&self) -> bool {
+        self.withdrawn.is_empty()
+            && self.dead_sessions.is_empty()
+            && self.shifted.is_empty()
+            && self.only_border.is_none()
+    }
+
+    /// Stable cache key: equal environments hash equal. The steady
+    /// environment is key 0; pure unicast environments set bit 63 (they
+    /// are pinned in the cache alongside steady); event environments are
+    /// odd hashes with bit 63 clear (evictable).
+    pub fn key(&self) -> u64 {
+        if self.is_steady() {
+            return 0;
+        }
+        if let Some(b) = self.only_border {
+            if self.withdrawn.is_empty() && self.dead_sessions.is_empty() && self.shifted.is_empty()
+            {
+                return (1u64 << 63) | u64::from(b.0);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset
+        let mut eat = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        eat(0xA1);
+        for b in &self.withdrawn {
+            eat(u64::from(b.0) + 1);
+        }
+        eat(0xA2);
+        for s in &self.dead_sessions {
+            eat(u64::from(*s) + 1);
+        }
+        eat(0xA3);
+        for s in &self.shifted {
+            eat(u64::from(*s) + 1);
+        }
+        if let Some(b) = self.only_border {
+            eat(0xA4);
+            eat(u64::from(b.0) + 1);
+        }
+        (h & !(1u64 << 63)) | 1 // odd, bit 63 clear: evictable event key
+    }
+
+    fn session_dead(&self, s: u32) -> bool {
+        self.dead_sessions.binary_search(&s).is_ok()
+    }
+
+    fn session_shifted(&self, s: u32) -> bool {
+        self.shifted.binary_search(&s).is_ok()
+    }
+
+    fn border_live(&self, b: BorderId) -> bool {
+        if let Some(only) = self.only_border {
+            if b != only {
+                return false;
+            }
+        }
+        self.withdrawn.binary_search(&b).is_err()
+    }
+}
+
+/// One computed catchment table: the selected route per AS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchmentTable {
+    entries: Vec<RouteEntry>,
+}
+
+impl CatchmentTable {
+    /// The route entry of `node`, if routed.
+    pub fn entry(&self, node: u32) -> Option<RouteEntry> {
+        let e = self.entries[node as usize];
+        e.is_routed().then_some(e)
+    }
+
+    /// The ingress border of `node`'s selected route.
+    pub fn ingress(&self, node: u32) -> Option<BorderId> {
+        self.entry(node).map(|e| BorderId(e.ingress))
+    }
+
+    /// Reconstructs the AS path of `node` (itself first, CDN-adjacent AS
+    /// last) by chasing shared next-hop links.
+    pub fn path(&self, node: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while self.entries[cur as usize].is_routed() {
+            out.push(cur);
+            match self.entries[cur as usize].next_hop {
+                CDN_NEXT => break,
+                next => cur = next,
+            }
+        }
+        out
+    }
+
+    /// Number of routed ASes.
+    pub fn routed_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_routed()).count()
+    }
+
+    /// Bytes held by the table.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<RouteEntry>()
+    }
+
+    /// Entry slice (tests/benches).
+    pub fn entries(&self) -> &[RouteEntry] {
+        &self.entries
+    }
+}
+
+/// The policy-routed world: graph + dynamics + memoized catchment tables.
+///
+/// Shared read-only (behind `Arc`) by every clone of the owning
+/// [`crate::Internet`]; the table cache is a mutex because computing a
+/// table is rare and serving one is an `Arc` clone.
+#[derive(Debug)]
+pub struct PolicyWorld {
+    /// The AS graph.
+    pub graph: PolicyGraph,
+    dynamics: RouteDynamics,
+    /// km from every metro to every border: `metro_major[m * n_borders + b]`.
+    metro_border_km: Vec<f64>,
+    n_borders: usize,
+    tables: Mutex<HashMap<u64, Arc<CatchmentTable>>>,
+    day_events: Mutex<HashMap<u32, Arc<Vec<EventWindow>>>>,
+}
+
+/// Cap on memoized tables; beyond it, event tables are evicted (steady and
+/// unicast tables are always retained). Purely a memory bound — eviction
+/// can never change an output.
+const TABLE_CACHE_CAP: usize = 192;
+
+impl PolicyWorld {
+    /// Builds the world: precomputes the metro↔border distance matrix.
+    pub fn new(
+        graph: PolicyGraph,
+        dynamics: RouteDynamics,
+        atlas: &WorldAtlas,
+        cdn: &CdnNetwork,
+    ) -> PolicyWorld {
+        let n_borders = cdn.borders.len();
+        let mut metro_border_km = vec![0.0; atlas.len() * n_borders];
+        for (mid, metro) in atlas.iter() {
+            let mloc = metro.location();
+            for b in 0..n_borders {
+                let bloc = atlas.metro(cdn.borders[b].metro).location();
+                metro_border_km[mid.0 as usize * n_borders + b] = mloc.haversine_km(&bloc);
+            }
+        }
+        PolicyWorld {
+            graph,
+            dynamics,
+            metro_border_km,
+            n_borders,
+            tables: Mutex::new(HashMap::new()),
+            day_events: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// km from `metro` to `border`.
+    fn km(&self, metro: MetroId, border: BorderId) -> f64 {
+        self.metro_border_km[metro.0 as usize * self.n_borders + border.0 as usize]
+    }
+
+    /// The hot-potato ingress of session `s` as seen from `for_metro`:
+    /// nearest live border (ties by id), or the runner-up when the session
+    /// is shifted. `None` when no border of the session is live.
+    fn session_ingress(&self, s: u32, for_metro: MetroId, env: &RouteEnv) -> Option<BorderId> {
+        let sess = &self.graph.sessions[s as usize];
+        let mut best: Option<BorderId> = None;
+        let mut second: Option<BorderId> = None;
+        for &b in &sess.borders {
+            if !env.border_live(b) {
+                continue;
+            }
+            match best {
+                None => best = Some(b),
+                Some(cur) => {
+                    let closer = self
+                        .km(for_metro, b)
+                        .total_cmp(&self.km(for_metro, cur))
+                        .then(b.0.cmp(&cur.0))
+                        .is_lt();
+                    if closer {
+                        second = best;
+                        best = Some(b);
+                    } else {
+                        let better_second = match second {
+                            None => true,
+                            Some(sec) => self
+                                .km(for_metro, b)
+                                .total_cmp(&self.km(for_metro, sec))
+                                .then(b.0.cmp(&sec.0))
+                                .is_lt(),
+                        };
+                        if better_second {
+                            second = Some(b);
+                        }
+                    }
+                }
+            }
+        }
+        if env.session_shifted(s) {
+            second.or(best)
+        } else {
+            best
+        }
+    }
+
+    /// Whether session `s` can carry the prefix under `env`.
+    fn session_live(&self, s: u32, env: &RouteEnv) -> bool {
+        if env.session_dead(s) {
+            return false;
+        }
+        self.graph.sessions[s as usize]
+            .borders
+            .iter()
+            .any(|&b| env.border_live(b))
+    }
+
+    /// The steady anycast catchment table (announcement set = every
+    /// border, all sessions up). Computed once, shared by every day —
+    /// the cache-hit counter proves the cross-day reuse.
+    pub fn steady_table(&self) -> Arc<CatchmentTable> {
+        self.table_for(&RouteEnv::default())
+    }
+
+    /// The catchment table of the unicast prefix announced only at
+    /// `border` (§3.1: only the routers closest to the front-end announce
+    /// it). Shared by every day.
+    pub fn unicast_table(&self, border: BorderId) -> Arc<CatchmentTable> {
+        self.table_for(&RouteEnv {
+            only_border: Some(border),
+            ..RouteEnv::default()
+        })
+    }
+
+    /// The table for an arbitrary environment, memoized by
+    /// [`RouteEnv::key`]. Event environments are computed incrementally
+    /// from the steady table (dirty subtree only).
+    pub fn table_for(&self, env: &RouteEnv) -> Arc<CatchmentTable> {
+        let key = env.key();
+        {
+            let tables = self.tables.lock().expect("table cache poisoned");
+            if let Some(t) = tables.get(&key) {
+                counter!("netsim_catchment_cache_hits_total").inc();
+                return Arc::clone(t);
+            }
+        }
+        counter!("netsim_catchment_cache_misses_total").inc();
+        // Compute outside the lock: scratch for steady/unicast bases,
+        // dirty-subtree incremental for event perturbations of steady.
+        let table = if env.is_steady() || env.only_border.is_some() {
+            Arc::new(self.compute_scratch(env))
+        } else {
+            let base = self.steady_table();
+            counter!("netsim_catchment_incremental_recomputes_total").inc();
+            Arc::new(self.recompute_incremental(&base, env))
+        };
+        let mut tables = self.tables.lock().expect("table cache poisoned");
+        if tables.len() >= TABLE_CACHE_CAP {
+            // Drop event tables; steady (0) and unicast (bit 63) stay.
+            tables.retain(|k, _| *k == 0 || k >> 63 == 1);
+        }
+        let entry = tables.entry(key).or_insert_with(|| Arc::clone(&table));
+        Arc::clone(entry)
+    }
+
+    /// Computes a table from scratch: the three valley-free phases over
+    /// the whole graph.
+    pub fn compute_scratch(&self, env: &RouteEnv) -> CatchmentTable {
+        let n = self.graph.n as usize;
+        let mut entries = vec![RouteEntry::NONE; n];
+        let dirty = vec![true; n];
+        self.run_phases(&mut entries, &dirty, env);
+        CatchmentTable { entries }
+    }
+
+    /// Recomputes only the subtree invalidated by `env` relative to the
+    /// steady `base` table. Every node whose steady route crosses an
+    /// affected session/border (plus the affected session owners
+    /// themselves) is re-relaxed; everyone else keeps their entry, which
+    /// remains optimal because withdrawing announcements only removes
+    /// candidates.
+    pub fn recompute_incremental(&self, base: &CatchmentTable, env: &RouteEnv) -> CatchmentTable {
+        let n = self.graph.n as usize;
+        // Directly affected: owners of dead/withdrawn/shifted sessions.
+        let mut dirty = vec![false; n];
+        let mut queue: Vec<u32> = Vec::new();
+        for (s, sess) in self.graph.sessions.iter().enumerate() {
+            let s = s as u32;
+            let affected = env.session_dead(s)
+                || env.session_shifted(s)
+                || sess.borders.iter().any(|&b| !env.border_live(b));
+            if affected && !dirty[sess.node as usize] {
+                dirty[sess.node as usize] = true;
+                queue.push(sess.node);
+            }
+        }
+        // Close over routing-tree descendants: children via base next_hop.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, e) in base.entries.iter().enumerate() {
+            if e.is_routed() && e.next_hop != CDN_NEXT {
+                children[e.next_hop as usize].push(v as u32);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &c in &children[u as usize] {
+                if !dirty[c as usize] {
+                    dirty[c as usize] = true;
+                    queue.push(c);
+                }
+            }
+        }
+        let mut entries = base.entries.clone();
+        for (v, d) in dirty.iter().enumerate() {
+            if *d {
+                entries[v] = RouteEntry::NONE;
+            }
+        }
+        self.run_phases(&mut entries, &dirty, env);
+        CatchmentTable { entries }
+    }
+
+    /// The three-phase valley-free relaxation, restricted to `dirty`
+    /// nodes; clean nodes act as fixed boundary conditions. Each phase is
+    /// a lexicographic-minimum fixpoint over `(path_len, next_hop)`, which
+    /// on the provider DAG equals the level-synchronous BFS result — and
+    /// running scratch and incremental through this one routine keeps them
+    /// exactly equivalent.
+    fn run_phases(&self, entries: &mut [RouteEntry], dirty: &[bool], env: &RouteEnv) {
+        let g = &self.graph;
+        let n = g.n as usize;
+
+        // Phase 1 — customer routes (learned from a customer, traffic
+        // flows strictly downhill). Seeds: live transit sessions, where
+        // the CDN itself is the customer.
+        for v in 0..n {
+            if !dirty[v] {
+                continue;
+            }
+            let s = g.session_of[v];
+            if s != NO_SESSION
+                && g.sessions[s as usize].relation == CdnRelation::Transit
+                && self.session_live(s, env)
+            {
+                entries[v] = RouteEntry {
+                    next_hop: CDN_NEXT,
+                    ingress: u16::MAX, // resolved in the ingress pass
+                    class: route_class::CUSTOMER,
+                    path_len: 1,
+                };
+            }
+        }
+        // Relax customer routes up provider edges to fixpoint.
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if !dirty[v] {
+                    continue;
+                }
+                let mut best = entries[v];
+                for &c in g.customers.neighbors(v as u32) {
+                    let ce = entries[c as usize];
+                    if ce.class != route_class::CUSTOMER {
+                        continue;
+                    }
+                    let cand_len = ce.path_len.saturating_add(1);
+                    let better = best.class != route_class::CUSTOMER
+                        || (cand_len, c) < (best.path_len, best.next_hop);
+                    // Own transit session (len 1) always wins; never
+                    // displace it.
+                    if better && !(best.class == route_class::CUSTOMER && best.next_hop == CDN_NEXT)
+                    {
+                        best = RouteEntry {
+                            next_hop: c,
+                            ingress: u16::MAX,
+                            class: route_class::CUSTOMER,
+                            path_len: cand_len,
+                        };
+                    }
+                }
+                if best != entries[v] {
+                    entries[v] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Phase 2 — peer routes: one lateral step. Candidates: the node's
+        // own peering session, or a peer holding a customer route. Single
+        // pass (peer routes are never re-exported to peers).
+        for v in 0..n {
+            if !dirty[v] || entries[v].class == route_class::CUSTOMER {
+                continue;
+            }
+            let mut best = RouteEntry::NONE;
+            let s = g.session_of[v];
+            if s != NO_SESSION
+                && g.sessions[s as usize].relation == CdnRelation::Peer
+                && self.session_live(s, env)
+            {
+                best = RouteEntry {
+                    next_hop: CDN_NEXT,
+                    ingress: u16::MAX,
+                    class: route_class::PEER,
+                    path_len: 1,
+                };
+            }
+            for &w in g.peers.neighbors(v as u32) {
+                let we = entries[w as usize];
+                if we.class != route_class::CUSTOMER {
+                    continue;
+                }
+                let cand_len = we.path_len.saturating_add(1);
+                if best.class != route_class::PEER || (cand_len, w) < (best.path_len, best.next_hop)
+                {
+                    best = RouteEntry {
+                        next_hop: w,
+                        ingress: u16::MAX,
+                        class: route_class::PEER,
+                        path_len: cand_len,
+                    };
+                }
+            }
+            if best.is_routed() {
+                entries[v] = best;
+            }
+        }
+
+        // Phase 3 — provider routes: any routed provider exports to its
+        // customers; relax down customer edges to fixpoint. Only fills
+        // nodes with no customer/peer route (lowest preference).
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if !dirty[v] || entries[v].class != route_class::NONE {
+                    continue;
+                }
+                let mut best = RouteEntry::NONE;
+                for &p in g.providers.neighbors(v as u32) {
+                    let pe = entries[p as usize];
+                    if !pe.is_routed() {
+                        continue;
+                    }
+                    let cand_len = pe.path_len.saturating_add(1);
+                    if best.class != route_class::PROVIDER
+                        || (cand_len, p) < (best.path_len, best.next_hop)
+                    {
+                        best = RouteEntry {
+                            next_hop: p,
+                            ingress: u16::MAX,
+                            class: route_class::PROVIDER,
+                            path_len: cand_len,
+                        };
+                    }
+                }
+                if best.is_routed() {
+                    entries[v] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Provider-route lengths can shorten as the fixpoint spreads;
+        // re-relax until stable (the loop above already iterates, but a
+        // filled node is skipped — run an improvement sweep).
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if !dirty[v] || entries[v].class != route_class::PROVIDER {
+                    continue;
+                }
+                let mut best = entries[v];
+                for &p in g.providers.neighbors(v as u32) {
+                    let pe = entries[p as usize];
+                    if !pe.is_routed() {
+                        continue;
+                    }
+                    let cand_len = pe.path_len.saturating_add(1);
+                    if (cand_len, p) < (best.path_len, best.next_hop) {
+                        best = RouteEntry {
+                            next_hop: p,
+                            ingress: u16::MAX,
+                            class: route_class::PROVIDER,
+                            path_len: cand_len,
+                        };
+                    }
+                }
+                if best != entries[v] {
+                    entries[v] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Ingress resolution, ascending path length (a parent's length is
+        // always exactly one less than its children's, so parents resolve
+        // first). Hot-potato: the CDN-adjacent AS hands off at its
+        // session's nearest live border — chosen per *downstream neighbor*
+        // metro for its direct children (traffic from different customers
+        // enters the adjacent AS at different points), inherited further
+        // down.
+        let mut order: Vec<u32> = (0..g.n).filter(|&v| dirty[v as usize]).collect();
+        order.sort_by_key(|&v| (entries[v as usize].path_len, v));
+        for v in order {
+            let e = entries[v as usize];
+            if !e.is_routed() {
+                continue;
+            }
+            let ingress = match e.next_hop {
+                CDN_NEXT => {
+                    self.session_ingress(g.session_of[v as usize], g.home_metro[v as usize], env)
+                }
+                next => {
+                    let ne = entries[next as usize];
+                    if ne.next_hop == CDN_NEXT {
+                        self.session_ingress(
+                            g.session_of[next as usize],
+                            g.home_metro[v as usize],
+                            env,
+                        )
+                    } else {
+                        (ne.ingress != u16::MAX).then_some(BorderId(ne.ingress))
+                    }
+                }
+            };
+            match ingress {
+                Some(b) => entries[v as usize].ingress = b.0,
+                None => entries[v as usize] = RouteEntry::NONE,
+            }
+        }
+    }
+
+    /// All event windows scheduled on `day`, memoized.
+    pub fn events_on(&self, day: Day) -> Arc<Vec<EventWindow>> {
+        {
+            let cache = self.day_events.lock().expect("event cache poisoned");
+            if let Some(e) = cache.get(&day.0) {
+                return Arc::clone(e);
+            }
+        }
+        let events = Arc::new(self.dynamics.events_on(&self.graph, self.n_borders, day));
+        let mut cache = self.day_events.lock().expect("event cache poisoned");
+        if cache.len() > 4096 {
+            cache.clear();
+        }
+        Arc::clone(cache.entry(day.0).or_insert(events))
+    }
+
+    /// The environment in force at `(day, time_s)`: scheduled dynamics
+    /// active at that instant plus externally-withdrawn borders (site
+    /// outages).
+    pub fn env_at(&self, day: Day, time_s: f64, outage_withdrawn: &[BorderId]) -> RouteEnv {
+        let mut env = RouteEnv {
+            withdrawn: outage_withdrawn.to_vec(),
+            ..RouteEnv::default()
+        };
+        for w in self.events_on(day).iter() {
+            if !w.contains(time_s) {
+                continue;
+            }
+            match w.event {
+                DynEvent::SessionDown(s) => env.dead_sessions.push(s),
+                DynEvent::BorderDown(b) => env.withdrawn.push(b),
+                DynEvent::EgressShift(s) => env.shifted.push(s),
+            }
+        }
+        env.withdrawn.sort_unstable();
+        env.withdrawn.dedup();
+        env.dead_sessions.sort_unstable();
+        env.shifted.sort_unstable();
+        env
+    }
+
+    /// Time windows on `day` during which the anycast catchment may differ
+    /// from steady state (the snapshot fast-path guard).
+    pub fn disturbance_windows(&self, day: Day) -> Vec<(f64, f64)> {
+        self.events_on(day)
+            .iter()
+            .map(|w| (w.start_s, w.end_s))
+            .collect()
+    }
+
+    /// Whether any dynamics are configured.
+    pub fn dynamics_enabled(&self) -> bool {
+        self.dynamics.enabled()
+    }
+
+    /// Bytes held by graph + distance matrix + all memoized tables.
+    pub fn memory_bytes(&self) -> usize {
+        let tables = self.tables.lock().expect("table cache poisoned");
+        self.graph.memory_bytes()
+            + self.metro_border_km.len() * 8
+            + tables.values().map(|t| t.memory_bytes()).sum::<usize>()
+    }
+
+    /// Number of memoized tables (tests/benches).
+    pub fn cached_tables(&self) -> usize {
+        self.tables.lock().expect("table cache poisoned").len()
+    }
+}

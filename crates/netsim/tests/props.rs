@@ -1,14 +1,151 @@
 //! Property tests for the Internet substrate: routing invariants that must
 //! hold over *any* generated world.
 
+use anycast_netsim::worldgen::{route_class, CdnRelation, RouteEnv, CDN_NEXT};
 use anycast_netsim::{
-    AccessTech, ClientAttachment, Day, HopKind, Internet, NetConfig, OutageKind, OutageModel,
-    Prefix24, PrefixAllocator, RouteSnapshot, SiteId,
+    AccessTech, BorderId, CatchmentTable, ClientAttachment, Day, HopKind, Internet, NetConfig,
+    OutageKind, OutageModel, PolicyWorld, Prefix24, PrefixAllocator, RouteSnapshot, SiteId,
+    WorldGenConfig,
 };
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 fn world(seed: u64) -> Internet {
     Internet::new(NetConfig::small(), seed).unwrap()
+}
+
+fn policy_world(n_ases: usize, seed: u64) -> Internet {
+    let cfg = NetConfig {
+        worldgen: Some(WorldGenConfig::with_ases(n_ases)),
+        ..NetConfig::small()
+    };
+    Internet::new(cfg, seed).unwrap()
+}
+
+/// A client attached to some enterprise AS of a policy world (transit-class
+/// nodes host no clients).
+fn policy_client(net: &Internet, idx: usize) -> ClientAttachment {
+    let hosts: Vec<&anycast_netsim::EyeballAs> = net
+        .topology()
+        .eyeballs
+        .iter()
+        .filter(|e| !e.pops.is_empty())
+        .collect();
+    let e = hosts[idx % hosts.len()];
+    let metro = e.pops[idx % e.pops.len()];
+    ClientAttachment {
+        as_id: e.id,
+        metro,
+        location: net
+            .topology()
+            .atlas
+            .metro(metro)
+            .location()
+            .destination((idx as f64 * 41.0) % 360.0, 20.0),
+        access: AccessTech::sample((idx as f64 * 0.173) % 1.0),
+    }
+}
+
+/// Verifies every selected route obeys the Gao-Rexford export rules, edge
+/// by edge: customer-learned routes flow down customer edges, peer routes
+/// take exactly one lateral step into a customer-routed AS, provider routes
+/// climb provider edges — so every forwarding path is `Provider* Peer?
+/// Customer*` and no AS ever carries traffic between two of its providers
+/// or peers (the valley-free property).
+fn assert_valley_free(pw: &PolicyWorld, table: &CatchmentTable) -> Result<(), TestCaseError> {
+    let g = &pw.graph;
+    for v in 0..g.n {
+        let Some(e) = table.entry(v) else { continue };
+        match e.class {
+            route_class::CUSTOMER => {
+                if e.next_hop == CDN_NEXT {
+                    let s = g.session(v).expect("direct route requires a session");
+                    prop_assert_eq!(s.relation, CdnRelation::Transit);
+                    prop_assert_eq!(e.path_len, 1);
+                } else {
+                    prop_assert!(
+                        g.customers.neighbors(v).contains(&e.next_hop),
+                        "customer-class next hop {} is not a customer of {v}",
+                        e.next_hop
+                    );
+                    let ne = table.entry(e.next_hop).unwrap();
+                    prop_assert_eq!(ne.class, route_class::CUSTOMER);
+                    prop_assert_eq!(ne.path_len + 1, e.path_len);
+                }
+            }
+            route_class::PEER => {
+                if e.next_hop == CDN_NEXT {
+                    let s = g.session(v).expect("direct route requires a session");
+                    prop_assert_eq!(s.relation, CdnRelation::Peer);
+                    prop_assert_eq!(e.path_len, 1);
+                } else {
+                    prop_assert!(
+                        g.peers.neighbors(v).contains(&e.next_hop),
+                        "peer-class next hop {} is not a peer of {v}",
+                        e.next_hop
+                    );
+                    // The lateral step must land on a customer route: peer
+                    // routes are never re-exported to peers.
+                    let ne = table.entry(e.next_hop).unwrap();
+                    prop_assert_eq!(ne.class, route_class::CUSTOMER);
+                }
+            }
+            route_class::PROVIDER => {
+                prop_assert!(
+                    g.providers.neighbors(v).contains(&e.next_hop),
+                    "provider-class next hop {} is not a provider of {v}",
+                    e.next_hop
+                );
+                prop_assert!(table.entry(e.next_hop).is_some());
+            }
+            other => prop_assert!(false, "invalid route class {other}"),
+        }
+        // The reconstructed AS path terminates at a CDN session whose
+        // borders include the selected ingress, and its length matches.
+        let path = table.path(v);
+        prop_assert_eq!(path.len(), e.path_len as usize);
+        let last = *path.last().unwrap();
+        let sess = g.session(last).expect("terminal AS holds the CDN session");
+        prop_assert!(
+            sess.borders.contains(&BorderId(e.ingress)),
+            "ingress {} not on the terminal session of {v}",
+            e.ingress
+        );
+    }
+    Ok(())
+}
+
+/// A deterministic pseudo-random disturbance environment for the
+/// incremental-vs-scratch oracle.
+fn arbitrary_env(pw: &PolicyWorld, env_seed: u64) -> RouteEnv {
+    let mix = |k: u64| {
+        let mut z = env_seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    };
+    let n_sessions = pw.graph.sessions.len() as u64;
+    let mut env = RouteEnv::default();
+    for i in 0..(mix(1) % 4) {
+        env.dead_sessions.push((mix(100 + i) % n_sessions) as u32);
+    }
+    for i in 0..(mix(2) % 3) {
+        let s = (mix(200 + i) % n_sessions) as u32;
+        if pw.graph.sessions[s as usize].borders.len() > 1 {
+            env.shifted.push(s);
+        }
+    }
+    if mix(3) % 4 == 0 {
+        let sess = &pw.graph.sessions[(mix(300) % n_sessions) as usize];
+        env.withdrawn
+            .push(sess.borders[(mix(301) as usize) % sess.borders.len()]);
+    }
+    env.dead_sessions.sort_unstable();
+    env.dead_sessions.dedup();
+    env.shifted.sort_unstable();
+    env.shifted.dedup();
+    env.withdrawn.sort_unstable();
+    env.withdrawn.dedup();
+    env
 }
 
 fn client_of(net: &Internet, idx: usize, offset_km: f64) -> ClientAttachment {
@@ -221,6 +358,108 @@ proptest! {
     }
 
     #[test]
+    fn valley_free_invariant_holds_at_every_scale(
+        seed in 0u64..6,
+        scale_pick in 0usize..3,
+    ) {
+        // The tentpole invariant: every selected route in a generated
+        // world, at every scale, is valley-free — verified edge by edge
+        // against the Gao-Rexford export rules.
+        let n_ases = [500, 2_000, 5_000][scale_pick];
+        let net = policy_world(n_ases, seed);
+        let pw = net.policy_world().expect("worldgen world has a policy engine");
+        let table = pw.steady_table();
+        // Steady state routes the whole graph.
+        prop_assert_eq!(table.routed_count(), pw.graph.n as usize);
+        assert_valley_free(pw, &table)?;
+        // Unicast announcements (single border) stay valley-free too, and
+        // every route ingresses at the announcement border.
+        let border = net.topology().cdn.border_ids().next().unwrap();
+        let uni = pw.unicast_table(border);
+        prop_assert_eq!(uni.routed_count(), pw.graph.n as usize);
+        assert_valley_free(pw, &uni)?;
+        for v in 0..pw.graph.n {
+            prop_assert_eq!(uni.entry(v).unwrap().ingress, border.0);
+        }
+    }
+
+    #[test]
+    fn incremental_recompute_matches_scratch_oracle(
+        seed in 0u64..8,
+        env_seed in any::<u64>(),
+    ) {
+        // Dirty-subtree recomputation must be bit-identical to a full
+        // from-scratch pass under the same environment — the same routine
+        // runs both, restricted to different dirty sets.
+        let net = policy_world(1_500, seed);
+        let pw = net.policy_world().unwrap();
+        let env = arbitrary_env(pw, env_seed);
+        prop_assume!(!env.is_steady());
+        let base = pw.steady_table();
+        let incremental = pw.recompute_incremental(&base, &env);
+        let scratch = pw.compute_scratch(&env);
+        prop_assert_eq!(incremental.entries(), scratch.entries());
+        assert_valley_free(pw, &scratch)?;
+    }
+
+    #[test]
+    fn policy_worlds_route_deterministically(
+        seed in 0u64..5,
+        idx in 0usize..60,
+        day in 0u32..6,
+    ) {
+        // Two independently built worlds from the same seed agree on every
+        // route — and the steady table is one shared allocation across
+        // days (the cross-day memoization the cache counters track).
+        let a = policy_world(800, seed);
+        let b = policy_world(800, seed);
+        let ca = policy_client(&a, idx);
+        let cb = policy_client(&b, idx);
+        prop_assert_eq!(a.anycast_route(&ca, Day(day)), b.anycast_route(&cb, Day(day)));
+        let pa = a.policy_world().unwrap();
+        let before = pa.steady_table();
+        for d in 0..4 {
+            let _ = a.anycast_route(&ca, Day(d));
+        }
+        prop_assert!(std::sync::Arc::ptr_eq(&before, &pa.steady_table()));
+    }
+
+    #[test]
+    fn policy_route_memo_is_transparent(
+        seed in 0u64..5,
+        idx in 0usize..40,
+        day in 0u32..6,
+        slot in 0u32..48,
+    ) {
+        // RouteSnapshot must stay a pure cache in worldgen worlds, where
+        // mid-day route dynamics (not just outages) can move catchments.
+        let cfg = NetConfig {
+            worldgen: Some(WorldGenConfig {
+                n_ases: 600,
+                p_session_flap: 0.25,
+                p_border_flap: 0.1,
+                p_egress_shift: 0.3,
+                ..WorldGenConfig::default()
+            }),
+            p_site_outage: 0.2,
+            p_site_drain: 0.1,
+            ..NetConfig::small()
+        };
+        let net = Internet::new(cfg, seed).unwrap();
+        let c = policy_client(&net, idx);
+        let snap = RouteSnapshot::build(&net, &[c], Day(day));
+        let t = f64::from(slot) * 1_800.0 + 900.0;
+        let memo = snap.anycast_at(&net, 0, t).map(|d| d.into_owned());
+        let direct = net.anycast_route_at(&c, Day(day), t);
+        prop_assert_eq!(memo, direct, "anycast memo diverges at t={}", t);
+        for site in net.topology().cdn.site_ids() {
+            let memo = snap.unicast_at(0, site, t).cloned();
+            let direct = net.unicast_route_at(&c, site, Day(day), t);
+            prop_assert_eq!(memo, direct, "unicast memo diverges at site {:?}", site);
+        }
+    }
+
+    #[test]
     fn route_memo_is_transparent(
         seed in 0u64..6,
         idx in 0usize..60,
@@ -249,4 +488,32 @@ proptest! {
             prop_assert_eq!(memo, direct, "unicast memo diverges at site {:?}", site);
         }
     }
+}
+
+/// Satellite invariant for the catchment memo (the PR-3 `RouteSnapshot`
+/// memoization, extended): days that share an announcement set share one
+/// computed table, and the obs cache-hit counter records the reuse.
+#[test]
+fn catchment_tables_are_reused_across_days() {
+    let net = policy_world(1_000, 21);
+    let pw = net
+        .policy_world()
+        .expect("worldgen world has a policy plane");
+    let c = policy_client(&net, 7);
+
+    let hits = |snap: &anycast_obs::Snapshot| snap.counter("netsim_catchment_cache_hits_total");
+    let before = hits(&anycast_obs::global().snapshot());
+    let first = pw.steady_table();
+    for day in 0..12 {
+        net.anycast_route(&c, Day(day));
+    }
+    // Every day resolved against the very table computed up front…
+    assert!(std::sync::Arc::ptr_eq(&first, &pw.steady_table()));
+    // …and the counter proves each resolution was a cache hit, not a
+    // recompute (other tests in this binary only ever add hits).
+    let after = hits(&anycast_obs::global().snapshot());
+    assert!(
+        after >= before + 12,
+        "expected >=12 cache hits across days, saw {before} -> {after}"
+    );
 }

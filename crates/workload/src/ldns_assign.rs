@@ -125,12 +125,12 @@ pub fn assign(
 
     // ISP resolvers: per (AS, metro) for decentralized ASes, per AS (at the
     // home metro) for centralized ones.
-    let centralized: HashMap<u16, bool> = topo
+    let centralized: HashMap<u32, bool> = topo
         .eyeballs
         .iter()
         .map(|e| (e.id.0, rng.gen::<f64>() < cfg.centralized_dns_fraction))
         .collect();
-    let mut isp_resolver: HashMap<(u16, u32), LdnsId> = HashMap::new();
+    let mut isp_resolver: HashMap<(u32, u32), LdnsId> = HashMap::new();
 
     let mut by_client = HashMap::with_capacity(clients.len());
     for c in clients {
